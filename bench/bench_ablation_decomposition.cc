@@ -1,0 +1,86 @@
+// Ablation for §3.3 / §5: does forcing the contraction order through CTE
+// decomposition matter, or can the engine's own optimizer save the flat
+// single query (mapping rules R1-R4 applied once over all inputs)?
+//
+// Expected shape: decomposed queries win clearly; the flat query is
+// workable only while the engine's join optimizer accidentally finds a
+// good order, and "no optimization" (joins in FROM order = naive einsum)
+// is the worst configuration — the paper's observation that "blindly
+// executing joins before GROUP BY is an inefficient strategy".
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/program.h"
+#include "sat/count.h"
+#include "sat/generator.h"
+
+namespace {
+
+using namespace einsql;       // NOLINT
+using namespace einsql::sat;  // NOLINT
+
+struct AblationCase {
+  SatTensorNetwork network;
+  ContractionProgram program;
+};
+
+AblationCase BuildCase(int clauses) {
+  PackageFormulaOptions options;
+  options.num_packages = 24;
+  options.seed = 77;
+  AblationCase c;
+  c.network =
+      BuildTensorNetwork(
+          TruncateClauses(PackageDependencyFormula(options), clauses))
+          .value();
+  std::vector<Shape> shapes;
+  for (const CooTensor* t : c.network.operands()) shapes.push_back(t->shape());
+  c.program =
+      BuildProgram(c.network.spec, shapes, PathAlgorithm::kElimination)
+          .value();
+  return c;
+}
+
+void RunCase(benchmark::State& state, EinsumEngine* engine,
+             const AblationCase* c, bool decompose) {
+  const auto operands = c->network.operands();
+  EinsumOptions options;
+  options.decompose = decompose;
+  for (auto _ : state) {
+    auto result = engine->RunProgram(c->program, operands, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->nnz());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto c = std::make_shared<AblationCase>(BuildCase(40));
+  auto engines = std::make_shared<std::vector<bench::NamedEngine>>();
+  engines->push_back(bench::MakeSqliteEngine());
+  engines->push_back(bench::MakeMiniDbEngine(minidb::OptimizerMode::kGreedy));
+  engines->push_back(bench::MakeMiniDbEngine(minidb::OptimizerMode::kNone));
+  for (auto& engine : *engines) {
+    for (bool decompose : {true, false}) {
+      const std::string name = "ablation_decomposition/" + engine.label +
+                               (decompose ? "/decomposed" : "/flat");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&engine, c, decompose](benchmark::State& state) {
+            RunCase(state, engine.engine.get(), c.get(), decompose);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation for the sparse-versus-dense discussion (§1, §4.1, §5): where
+// does SQL Einstein summation beat a dense engine? A single matrix product
+// "ik,kj->ij" is swept over input density.
+//
+// Expected shape: at low density the SQL engines process only the stored
+// non-zeros while the dense engine pays for the full n² tensors, so SQL
+// wins; as density approaches 1 the dense engine overtakes by a wide
+// margin (COO storage of a dense problem is "rather inefficient", §3.1 —
+// and the triplestore of §4.1 is the extreme sparse case, 1e-13 density).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/program.h"
+
+namespace {
+
+using namespace einsql;  // NOLINT
+
+CooTensor RandomSparse(const Shape& shape, double density, uint64_t seed) {
+  CooTensor t(shape);
+  Rng rng(seed);
+  std::vector<int64_t> coords(shape.size());
+  const auto strides = RowMajorStrides(shape);
+  const int64_t total = NumElements(shape).value();
+  for (int64_t flat = 0; flat < total; ++flat) {
+    if (!rng.Bernoulli(density)) continue;
+    int64_t rem = flat;
+    for (size_t d = 0; d < shape.size(); ++d) {
+      coords[d] = rem / strides[d];
+      rem %= strides[d];
+    }
+    (void)t.Append(coords, rng.UniformDouble(-1.0, 1.0));
+  }
+  return t;
+}
+
+struct DensityCase {
+  double density;
+  CooTensor a;
+  CooTensor b;
+  ContractionProgram program;
+};
+
+DensityCase BuildCase(int64_t n, double density) {
+  DensityCase c{density, RandomSparse({n, n}, density, 1),
+                RandomSparse({n, n}, density, 2), {}};
+  c.program = BuildProgram("ik,kj->ij", {{n, n}, {n, n}},
+                           PathAlgorithm::kAuto)
+                  .value();
+  return c;
+}
+
+void RunCase(benchmark::State& state, EinsumEngine* engine,
+             const DensityCase* c) {
+  const std::vector<const CooTensor*> operands = {&c->a, &c->b};
+  for (auto _ : state) {
+    auto result = engine->RunProgram(c->program, operands, EinsumOptions{});
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->nnz());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["density"] = c->density;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int64_t kN = 128;
+  auto engines = std::make_shared<std::vector<bench::NamedEngine>>();
+  engines->push_back(bench::MakeDenseEngine());
+  engines->push_back(bench::MakeSparseEngine());
+  engines->push_back(bench::MakeSqliteEngine());
+  engines->push_back(bench::MakeMiniDbEngine(minidb::OptimizerMode::kGreedy));
+  auto cases = std::make_shared<std::vector<DensityCase>>();
+  for (double density : {0.002, 0.01, 0.05, 0.2, 1.0}) {
+    cases->push_back(BuildCase(kN, density));
+  }
+  for (auto& engine : *engines) {
+    for (auto& c : *cases) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "ablation_density/%s/density:%g",
+                    engine.label.c_str(), c.density);
+      benchmark::RegisterBenchmark(
+          label,
+          [&engine, &c](benchmark::State& state) {
+            RunCase(state, engine.engine.get(), &c);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation for the §5 discussion: how much do the two engine-side remedies
+// the paper proposes actually help on repetitive einsum queries?
+//   1. plan caching  — "Einstein summation problems are often repetitive …
+//      caching the query plans could avoid redundant computations";
+//   2. concurrent CTEs — "finding independent computations (common table
+//      expressions) that can be executed concurrently is a rather
+//      lightweight optimization".
+//
+// One decomposed #SAT query is executed on MiniDB (a) parsed+planned every
+// time, (b) from a cached plan, (c) from a cached plan with parallel CTE
+// materialization.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/program.h"
+#include "core/sqlgen.h"
+#include "sat/generator.h"
+#include "sat/tensorize.h"
+
+namespace {
+
+using namespace einsql;          // NOLINT
+using namespace einsql::sat;     // NOLINT
+using namespace einsql::minidb;  // NOLINT
+
+std::string BuildQuery() {
+  PackageFormulaOptions options;
+  options.num_packages = 60;
+  options.seed = 12;
+  const CnfFormula formula = PackageDependencyFormula(options);
+  const SatTensorNetwork network = BuildTensorNetwork(formula).value();
+  std::vector<Shape> shapes;
+  for (const CooTensor* t : network.operands()) shapes.push_back(t->shape());
+  const ContractionProgram program =
+      BuildProgram(network.spec, shapes, PathAlgorithm::kElimination).value();
+  return GenerateEinsumSql(program, network.operands(), SqlGenOptions{})
+      .value();
+}
+
+void FullPipeline(benchmark::State& state, const std::string* sql) {
+  Database db;
+  for (auto _ : state) {
+    auto result = db.Execute(*sql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->relation.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void CachedPlan(benchmark::State& state, const std::string* sql,
+                bool parallel) {
+  Database db;
+  if (parallel) db.executor_options().parallel_ctes = true;
+  auto plan = db.Prepare(*sql);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto result = db.ExecutePrepared(*plan);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->relation.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto sql = std::make_shared<std::string>(BuildQuery());
+  benchmark::RegisterBenchmark(
+      "ablation_engine/parse_plan_execute",
+      [sql](benchmark::State& state) { FullPipeline(state, sql.get()); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "ablation_engine/cached_plan",
+      [sql](benchmark::State& state) { CachedPlan(state, sql.get(), false); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "ablation_engine/cached_plan_parallel_ctes",
+      [sql](benchmark::State& state) { CachedPlan(state, sql.get(), true); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

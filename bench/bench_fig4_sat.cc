@@ -1,0 +1,98 @@
+// Reproduces Figure 4: #SAT throughput (problems solved per second) as a
+// function of the clause count of a package-dependency 3-SAT formula.
+//
+// Paper setup: the Anaconda `conda install sqlite` formula (718 clauses,
+// 378 variables), truncated to varying clause counts; every implementation
+// uses the identical precomputed contraction sequence. Expected shape:
+// SQLite beats opt_einsum on this dense small-tensor workload; heavier
+// optimizers fall behind as queries grow; throughput drops roughly
+// geometrically with clause count (log-scale axis in the paper).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/program.h"
+#include "sat/count.h"
+#include "sat/generator.h"
+
+namespace {
+
+using namespace einsql;       // NOLINT
+using namespace einsql::sat;  // NOLINT
+
+struct Fig4Case {
+  SatTensorNetwork network;
+  ContractionProgram program;
+  double expected_count = 0.0;
+};
+
+// The full conda-like formula: 189 packages x 2 versions = 378 variables,
+// ~718 clauses, all of size <= 3.
+CnfFormula FullFormula() {
+  PackageFormulaOptions options;
+  options.num_packages = 189;
+  options.versions_per_package = 2;
+  options.dependencies_per_version = 1.25;
+  options.seed = 2023;
+  return PackageDependencyFormula(options);
+}
+
+Fig4Case BuildCase(const CnfFormula& formula, int clauses) {
+  Fig4Case c;
+  c.network =
+      BuildTensorNetwork(TruncateClauses(formula, clauses)).value();
+  std::vector<Shape> shapes;
+  for (const CooTensor* t : c.network.operands()) shapes.push_back(t->shape());
+  // Bucket elimination: the expression has hundreds of operands (§3.3) and
+  // pairwise greedy wanders into astronomically large intermediates here.
+  c.program =
+      BuildProgram(c.network.spec, shapes, PathAlgorithm::kElimination)
+          .value();
+  return c;
+}
+
+void RunSolve(benchmark::State& state, EinsumEngine* engine,
+              const Fig4Case* c) {
+  const auto operands = c->network.operands();
+  EinsumOptions options;
+  for (auto _ : state) {
+    auto result = engine->RunProgram(c->program, operands, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->nnz());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["clauses"] = static_cast<double>(c->network.spec.inputs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CnfFormula formula = FullFormula();
+  auto engines = std::make_shared<std::vector<bench::NamedEngine>>(
+      bench::StandardEngines());
+  auto cases = std::make_shared<std::vector<Fig4Case>>();
+  const int full = static_cast<int>(formula.clauses.size());
+  for (int clauses : {50, 100, 200, 400, full}) {
+    cases->push_back(BuildCase(formula, clauses));
+  }
+  for (auto& engine : *engines) {
+    for (auto& c : *cases) {
+      const std::string name =
+          "fig4_sat/" + engine.label + "/clauses:" +
+          std::to_string(c.network.spec.inputs.size());
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&engine, &c](benchmark::State& state) {
+            RunSolve(state, engine.engine.get(), &c);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 6: graphical-model inference throughput as a function
+// of the evidence batch size (number of patients embedded in one query).
+//
+// Paper setup: the breast-cancer pairwise model (21 edge matrices, shapes
+// ℝ^{2×3} … ℝ^{11×7}); P(recurrence | all patient data) for batches of
+// one-hot evidence matrices. Expected shape: the dense engine (opt_einsum
+// role) leads at every batch size; row-store throughput degrades faster
+// with growing batch than the in-memory configurations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/program.h"
+#include "graphical/generator.h"
+
+namespace {
+
+using namespace einsql;            // NOLINT
+using namespace einsql::graphical; // NOLINT
+
+struct Fig6Case {
+  InferenceQuery query;
+  InferenceNetwork network;
+  ContractionProgram program;
+};
+
+Fig6Case BuildCase(const PairwiseModel& model, int batch) {
+  Rng rng(1000 + batch);
+  Fig6Case c;
+  c.query = RandomQuery(model, /*query_variable=*/0, batch, &rng);
+  c.network = BuildInferenceNetwork(model, c.query).value();
+  std::vector<Shape> shapes;
+  for (const CooTensor& t : c.network.tensors) shapes.push_back(t.shape());
+  c.program =
+      BuildProgram(c.network.spec, shapes, PathAlgorithm::kElimination).value();
+  return c;
+}
+
+void RunInference(benchmark::State& state, EinsumEngine* engine,
+                  const PairwiseModel* model, const Fig6Case* c) {
+  EinsumOptions options;
+  for (auto _ : state) {
+    // A full solve embeds the (fresh) evidence and contracts; the
+    // contraction path is precomputed, as in the paper.
+    auto network = BuildInferenceNetwork(*model, c->query);
+    if (!network.ok()) {
+      state.SkipWithError(network.status().ToString().c_str());
+      return;
+    }
+    auto raw = engine->RunProgram(c->program, network->operands(), options);
+    if (!raw.ok()) {
+      state.SkipWithError(raw.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(raw->nnz());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["batch"] = static_cast<double>(c->query.batch_size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto model = std::make_shared<PairwiseModel>(BreastCancerLikeModel());
+  auto engines = std::make_shared<std::vector<bench::NamedEngine>>(
+      bench::StandardEngines());
+  auto cases = std::make_shared<std::vector<Fig6Case>>();
+  for (int batch : {1, 4, 16, 64, 256}) {
+    cases->push_back(BuildCase(*model, batch));
+  }
+  for (auto& engine : *engines) {
+    for (auto& c : *cases) {
+      const std::string name = "fig6_graphical/" + engine.label +
+                               "/batch:" +
+                               std::to_string(c.query.batch_size());
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&engine, model, &c](benchmark::State& state) {
+            RunInference(state, engine.engine.get(), model.get(), &c);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Figure 8: quantum-circuit simulation throughput as a function
+// of circuit depth, with the qubit count fixed at 10.
+//
+// Paper setup: Sycamore-style circuits, complex amplitudes carried through
+// SQL as (re, im) column pairs with the hard-coded complex product (§4.4).
+// Expected shape: throughput decays smoothly with depth for every engine;
+// the SQL engines track the dense baseline within a constant factor since
+// the network is still contracted pairwise along the same path.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/program.h"
+#include "quantum/sycamore.h"
+#include "quantum/to_einsum.h"
+
+namespace {
+
+using namespace einsql;           // NOLINT
+using namespace einsql::quantum;  // NOLINT
+
+struct QuantumCase {
+  CircuitNetwork network;
+  ContractionProgram program;
+  int parameter = 0;  // depth or qubit count
+};
+
+QuantumCase BuildCase(int qubits, int depth) {
+  QuantumCase c;
+  Circuit circuit = SycamoreLikeCircuit(qubits, depth, /*seed=*/11);
+  c.network =
+      BuildCircuitNetwork(circuit, std::vector<int>(qubits, 0)).value();
+  std::vector<Shape> shapes;
+  for (const ComplexCooTensor& t : c.network.tensors) {
+    shapes.push_back(t.shape());
+  }
+  c.program =
+      BuildProgram(c.network.spec, shapes, PathAlgorithm::kElimination)
+          .value();
+  c.parameter = depth;
+  return c;
+}
+
+void RunSimulation(benchmark::State& state, EinsumEngine* engine,
+                   const QuantumCase* c, const char* counter) {
+  const auto operands = c->network.operands();
+  EinsumOptions options;
+  for (auto _ : state) {
+    auto amplitudes = engine->RunComplexProgram(c->program, operands, options);
+    if (!amplitudes.ok()) {
+      state.SkipWithError(amplitudes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(amplitudes->nnz());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters[counter] = static_cast<double>(c->parameter);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kQubits = 10;
+  auto engines = std::make_shared<std::vector<einsql::bench::NamedEngine>>(
+      einsql::bench::StandardEngines());
+  auto cases = std::make_shared<std::vector<QuantumCase>>();
+  for (int depth : {2, 4, 6, 8, 12, 16}) {
+    cases->push_back(BuildCase(kQubits, depth));
+  }
+  for (auto& engine : *engines) {
+    for (auto& c : *cases) {
+      const std::string name = "fig8_quantum_depth/" + engine.label +
+                               "/depth:" + std::to_string(c.parameter);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&engine, &c](benchmark::State& state) {
+            RunSimulation(state, engine.engine.get(), &c, "depth");
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Figure 9: quantum-circuit simulation throughput as a function
+// of the qubit count, with the depth fixed at 6.
+//
+// Expected shape: for few qubits the SQL engines are competitive, but the
+// output is the *dense* rank-n amplitude tensor (2^n complex values);
+// representing it in a sparse COO relation is increasingly wasteful, so
+// the dense engine pulls away as qubits grow — the paper's headline
+// observation for this figure.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/program.h"
+#include "quantum/sycamore.h"
+#include "quantum/to_einsum.h"
+
+namespace {
+
+using namespace einsql;           // NOLINT
+using namespace einsql::quantum;  // NOLINT
+
+struct QuantumCase {
+  CircuitNetwork network;
+  ContractionProgram program;
+  int qubits = 0;
+};
+
+QuantumCase BuildCase(int qubits, int depth) {
+  QuantumCase c;
+  Circuit circuit = SycamoreLikeCircuit(qubits, depth, /*seed=*/13);
+  c.network =
+      BuildCircuitNetwork(circuit, std::vector<int>(qubits, 0)).value();
+  std::vector<Shape> shapes;
+  for (const ComplexCooTensor& t : c.network.tensors) {
+    shapes.push_back(t.shape());
+  }
+  c.program =
+      BuildProgram(c.network.spec, shapes, PathAlgorithm::kElimination)
+          .value();
+  c.qubits = qubits;
+  return c;
+}
+
+void RunSimulation(benchmark::State& state, EinsumEngine* engine,
+                   const QuantumCase* c) {
+  const auto operands = c->network.operands();
+  EinsumOptions options;
+  for (auto _ : state) {
+    auto amplitudes = engine->RunComplexProgram(c->program, operands, options);
+    if (!amplitudes.ok()) {
+      state.SkipWithError(amplitudes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(amplitudes->nnz());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["qubits"] = static_cast<double>(c->qubits);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kDepth = 6;
+  auto engines = std::make_shared<std::vector<einsql::bench::NamedEngine>>(
+      einsql::bench::StandardEngines());
+  auto cases = std::make_shared<std::vector<QuantumCase>>();
+  for (int qubits : {4, 6, 8, 10, 12, 14}) {
+    cases->push_back(BuildCase(qubits, kDepth));
+  }
+  for (auto& engine : *engines) {
+    for (auto& c : *cases) {
+      const std::string name = "fig9_quantum_qubits/" + engine.label +
+                               "/qubits:" + std::to_string(c.qubits);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&engine, &c](benchmark::State& state) {
+            RunSimulation(state, engine.engine.get(), &c);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces Table 2: planning time versus execution time for one large
+// decomposed #SAT Einstein summation query (the paper uses a 952-clause
+// formula; this harness generates a package formula of comparable size).
+//
+// Methodology as in the paper: "we measure the time to determine a query
+// plan. We then subtract the time needed to compute the query plan from
+// the total runtime of the query to obtain only the execution time."
+// Expected shape:
+//   * the dense engine (opt_einsum role) has no SQL planning at all,
+//   * the lightweight engines plan in milliseconds,
+//   * the aggressive optimizer's global passes make planning a visible
+//     fraction of the total (HyPer's role: planning dominated),
+//   * the exhaustive optimizer never finishes planning and reports N/A
+//     (DuckDB 0.5's role; the paper terminated it after five hours).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/program.h"
+#include "core/sqlgen.h"
+#include "sat/count.h"
+#include "sat/generator.h"
+
+namespace {
+
+using namespace einsql;       // NOLINT
+using namespace einsql::sat;  // NOLINT
+
+void PrintRow(const std::string& name, const std::string& planning,
+              const std::string& execution) {
+  std::printf("%-22s %14s %16s\n", name.c_str(), planning.c_str(),
+              execution.c_str());
+}
+
+std::string Seconds(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f s", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  // A formula of the same size class as the paper's 952-clause instance.
+  PackageFormulaOptions options;
+  options.num_packages = 252;
+  options.versions_per_package = 2;
+  options.dependencies_per_version = 1.4;
+  options.seed = 4;
+  const CnfFormula formula = PackageDependencyFormula(options);
+
+  const SatTensorNetwork network = BuildTensorNetwork(formula).value();
+  std::vector<Shape> shapes;
+  for (const CooTensor* t : network.operands()) shapes.push_back(t->shape());
+  const ContractionProgram program =
+      BuildProgram(network.spec, shapes, PathAlgorithm::kElimination).value();
+  const std::vector<const CooTensor*> operands = network.operands();
+  const std::string sql =
+      GenerateEinsumSql(program, operands, SqlGenOptions{}).value();
+
+  std::printf("Table 2: planning vs execution time, #SAT with %zu clauses "
+              "(%d variables), query text %.0f KB\n\n",
+              formula.clauses.size(), formula.num_variables,
+              sql.size() / 1024.0);
+  PrintRow("engine", "planning", "execution");
+  PrintRow("------", "--------", "---------");
+
+  // Dense engine: contraction path precomputed outside; no SQL planning.
+  {
+    DenseEinsumEngine dense;
+    Stopwatch watch;
+    auto result = dense.RunProgram(program, operands, EinsumOptions{});
+    const double execution = watch.ElapsedSeconds();
+    if (!result.ok()) {
+      PrintRow("dense", "0.000 s", "error");
+    } else {
+      PrintRow("dense (opt_einsum role)", "0.000 s", Seconds(execution));
+    }
+  }
+
+  // SQL backends: planning = statement compilation, execution = the rest.
+  std::vector<bench::NamedEngine> engines;
+  engines.push_back(bench::MakeSqliteEngine());
+  engines.push_back(bench::MakeMiniDbEngine(minidb::OptimizerMode::kGreedy));
+  engines.push_back(
+      bench::MakeMiniDbEngine(minidb::OptimizerMode::kAggressive));
+  engines.push_back(bench::MakeMiniDbEngine(minidb::OptimizerMode::kNone));
+  for (auto& engine : engines) {
+    auto result = engine.backend->Query(sql);
+    if (!result.ok()) {
+      PrintRow(engine.label, "error", result.status().ToString());
+      continue;
+    }
+    const BackendStats stats = engine.backend->last_stats();
+    PrintRow(engine.label, Seconds(stats.planning_seconds),
+             Seconds(stats.execution_seconds));
+  }
+
+  // The exhaustive optimizer: planning never completes within budget.
+  {
+    minidb::PlannerOptions planner;
+    planner.mode = minidb::OptimizerMode::kExhaustive;
+    planner.optimizer_budget = 200'000'000;  // a few seconds of search
+    MiniDbBackend backend(planner);
+    Stopwatch watch;
+    auto result = backend.Query(sql);
+    if (result.ok()) {
+      const BackendStats stats = backend.last_stats();
+      PrintRow(backend.name(), Seconds(stats.planning_seconds),
+               Seconds(stats.execution_seconds));
+    } else {
+      char note[64];
+      std::snprintf(note, sizeof(note), "N/A (gave up after %.1f s)",
+                    watch.ElapsedSeconds());
+      PrintRow(backend.name(), note, "N/A");
+    }
+  }
+  return 0;
+}

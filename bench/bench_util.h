@@ -1,0 +1,76 @@
+#ifndef EINSQL_BENCH_BENCH_UTIL_H_
+#define EINSQL_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backends/einsum_engine.h"
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+
+namespace einsql::bench {
+
+/// One engine under benchmark, with the backend it owns (if any).
+///
+/// Mapping to the paper's systems (see DESIGN.md):
+///   dense              → opt_einsum with a NumPy backend
+///   sparse             → a tensor-native engine (Tentris role, §6)
+///   sqlite             → SQLite (the actual library, embedded)
+///   minidb-greedy      → a lightweight engine honoring the decomposition
+///   minidb-aggressive  → an optimizing in-memory DBMS (HyPer role)
+///   minidb-none        → DuckDB with optimizations disabled
+struct NamedEngine {
+  std::string label;
+  std::unique_ptr<SqlBackend> backend;  // null for the dense engine
+  std::unique_ptr<EinsumEngine> engine;
+};
+
+inline NamedEngine MakeDenseEngine() {
+  NamedEngine named;
+  named.label = "dense";
+  named.engine = std::make_unique<DenseEinsumEngine>();
+  return named;
+}
+
+inline NamedEngine MakeSparseEngine() {
+  NamedEngine named;
+  named.label = "sparse";
+  named.engine = std::make_unique<SparseEinsumEngine>();
+  return named;
+}
+
+inline NamedEngine MakeSqliteEngine() {
+  NamedEngine named;
+  named.label = "sqlite";
+  named.backend = SqliteBackend::Open().value();
+  named.engine = std::make_unique<SqlEinsumEngine>(named.backend.get());
+  return named;
+}
+
+inline NamedEngine MakeMiniDbEngine(minidb::OptimizerMode mode) {
+  NamedEngine named;
+  minidb::PlannerOptions options;
+  options.mode = mode;
+  auto backend = std::make_unique<MiniDbBackend>(options);
+  named.label = backend->name();
+  named.backend = std::move(backend);
+  named.engine = std::make_unique<SqlEinsumEngine>(named.backend.get());
+  return named;
+}
+
+/// The standard engine line-up of the figure benchmarks.
+inline std::vector<NamedEngine> StandardEngines() {
+  std::vector<NamedEngine> engines;
+  engines.push_back(MakeDenseEngine());
+  engines.push_back(MakeSparseEngine());
+  engines.push_back(MakeSqliteEngine());
+  engines.push_back(MakeMiniDbEngine(minidb::OptimizerMode::kGreedy));
+  engines.push_back(MakeMiniDbEngine(minidb::OptimizerMode::kAggressive));
+  engines.push_back(MakeMiniDbEngine(minidb::OptimizerMode::kNone));
+  return engines;
+}
+
+}  // namespace einsql::bench
+
+#endif  // EINSQL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,51 @@
+// Inference in graphical models via Einstein summation in SQL (§4.3).
+//
+// Builds the breast-cancer-like pairwise model (10 variables, 21 edge
+// matrices from ℝ^{2×3} to ℝ^{11×7}), embeds a batch of patients as
+// one-hot evidence matrices, and computes P(class | evidence) for the
+// whole batch with one SQL query — cross-checked against brute-force
+// enumeration.
+
+#include <cstdio>
+
+#include "backends/sqlite_backend.h"
+#include "graphical/generator.h"
+#include "graphical/inference.h"
+
+using namespace einsql;            // NOLINT
+using namespace einsql::graphical; // NOLINT
+
+int main() {
+  PairwiseModel model = BreastCancerLikeModel();
+  std::printf("model: %d variables, %zu edges\n", model.num_variables(),
+              model.edges.size());
+  for (const EdgeFactor& edge : model.edges) {
+    std::printf("  %s -- %s  (%s)\n",
+                model.variables[edge.u].name.c_str(),
+                model.variables[edge.v].name.c_str(),
+                ShapeToString(edge.table.shape()).c_str());
+  }
+
+  // Four patients; all non-class variables observed ("all the patient's
+  // data as evidence").
+  Rng rng(2026);
+  InferenceQuery query = RandomQuery(model, /*query_variable=*/0,
+                                     /*batch_size=*/4, &rng);
+
+  auto backend = SqliteBackend::Open().value();
+  SqlEinsumEngine engine(backend.get());
+  auto posterior = Posterior(&engine, model, query).value();
+  auto oracle = PosteriorBruteForce(model, query).value();
+
+  std::printf("\nP(%s | evidence) per patient (SQL einsum vs brute force):\n",
+              model.variables[query.query_variable].name.c_str());
+  for (int b = 0; b < query.batch_size(); ++b) {
+    std::printf("  patient %d:  no-recurrence %.4f / %.4f   "
+                "recurrence %.4f / %.4f\n",
+                b, posterior.At({b, 0}).value(), oracle.At({b, 0}).value(),
+                posterior.At({b, 1}).value(), oracle.At({b, 1}).value());
+  }
+  std::printf("\nagreement: %s\n",
+              AllClose(posterior, oracle, 1e-8) ? "exact" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Simulating quantum circuits with Einstein summation in SQL (§4.4).
+//
+// Builds the paper's two-qubit example circuit (Figure 7: H, CX, H) and a
+// Sycamore-style random circuit, converts them to tensor networks
+// (including the CX gate as a 2×2×2 tensor), and contracts them through
+// SQL with complex values carried as (re, im) column pairs. Results are
+// cross-checked against a state-vector simulator.
+
+#include <cmath>
+#include <cstdio>
+
+#include "backends/sqlite_backend.h"
+#include "quantum/sycamore.h"
+#include "quantum/to_einsum.h"
+
+using namespace einsql;           // NOLINT
+using namespace einsql::quantum;  // NOLINT
+
+int main() {
+  auto backend = SqliteBackend::Open().value();
+  SqlEinsumEngine engine(backend.get());
+
+  // Figure 7's circuit: the einsum expression is a,b,ca,dbc,ed->ce.
+  Circuit figure7;
+  figure7.num_qubits = 2;
+  figure7.gates = {H(0), CX(0, 1), H(1)};
+  auto network = BuildCircuitNetwork(figure7, {0, 0}).value();
+  std::printf("Figure 7 network: %zu tensors, expression %s\n",
+              network.tensors.size(), network.spec.ToString().c_str());
+
+  auto amplitudes = SimulateEinsum(&engine, figure7, {0, 0}).value();
+  auto state = AmplitudesToStatevector(amplitudes).value();
+  std::printf("output distribution |c e>:\n");
+  for (int index = 0; index < 4; ++index) {
+    std::printf("  |%d%d>  p = %.4f\n", index & 1, (index >> 1) & 1,
+                std::norm(state[index]));
+  }
+
+  // A Sycamore-style circuit; SQL versus the state-vector oracle.
+  const int qubits = 8, depth = 6;
+  Circuit sycamore = SycamoreLikeCircuit(qubits, depth);
+  std::printf("\nSycamore-like circuit: %d qubits, depth %d, %zu gates\n",
+              qubits, depth, sycamore.gates.size());
+  const std::vector<int> zeros(qubits, 0);
+  auto sql_state = AmplitudesToStatevector(
+                       SimulateEinsum(&engine, sycamore, zeros).value())
+                       .value();
+  auto oracle = SimulateStatevector(sycamore, zeros).value();
+  double max_error = 0.0, norm = 0.0;
+  for (size_t k = 0; k < sql_state.size(); ++k) {
+    max_error = std::max(max_error, std::abs(sql_state[k] - oracle[k]));
+    norm += std::norm(sql_state[k]);
+  }
+  std::printf("state norm: %.12f (expect 1), max |SQL - oracle|: %.2e\n",
+              norm, max_error);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: Einstein summation in SQL in five minutes.
+//
+// Reproduces the paper's running example (Listing 4): evaluate
+// A_ik B_jk v_j -> r_i  ("ik,jk,j->i") on sparse COO tensors, show the
+// generated portable SQL, and run it on both bundled backends.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "backends/einsum_engine.h"
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+#include "core/program.h"
+#include "core/sqlgen.h"
+
+using namespace einsql;  // NOLINT: example brevity
+
+int main() {
+  // 1. The tensors of Listing 4 in COO format (§3.1): only non-zeros are
+  //    stored, as (coordinates..., value) tuples.
+  CooTensor A({2, 2});
+  (void)A.Append({0, 0}, 1.0);
+  (void)A.Append({1, 1}, 2.0);
+  CooTensor B({3, 2});
+  (void)B.Append({0, 0}, 3.0);
+  (void)B.Append({0, 1}, 4.0);
+  (void)B.Append({1, 0}, 5.0);
+  (void)B.Append({1, 1}, 6.0);
+  (void)B.Append({2, 1}, 7.0);
+  CooTensor v({3});
+  (void)v.Append({0}, 8.0);
+  (void)v.Append({2}, 9.0);
+
+  // 2. Compile the format string into a contraction program: parse,
+  //    validate, and find a good pairwise contraction order (§3.3).
+  auto program =
+      BuildProgram("ik,jk,j->i", {{2, 2}, {3, 2}, {3}}, PathAlgorithm::kAuto)
+          .value();
+  std::printf("expression: %s\n", program.spec.ToString().c_str());
+  std::printf("path algorithm: %s, estimated flops: %.0f\n",
+              PathAlgorithmToString(program.algorithm), program.est_flops);
+
+  // 3. Generate the portable SQL (mapping rules R1-R4 + CTE decomposition).
+  auto sql = GenerateEinsumSql(program, {&A, &B, &v}).value();
+  std::printf("\ngenerated SQL:\n%s\n\n", sql.c_str());
+
+  // 4. Execute on SQLite and on MiniDB; the same query string runs on both.
+  auto sqlite = SqliteBackend::Open().value();
+  MiniDbBackend minidb;
+  for (SqlBackend* backend :
+       std::initializer_list<SqlBackend*>{sqlite.get(), &minidb}) {
+    SqlEinsumEngine engine(backend);
+    auto r = engine.Einsum("ik,jk,j->i", {&A, &B, &v}).value();
+    std::printf("%s result: r = [", backend->name().c_str());
+    for (int64_t i = 0; i < 2; ++i) {
+      std::printf("%s%.0f", i ? ", " : "", r.At({i}).value());
+    }
+    std::printf("]   (expected [24, 190])\n");
+  }
+
+  // 5. The dense engine (the opt_einsum stand-in) gives the same answer.
+  DenseEinsumEngine dense;
+  auto r = dense.Einsum("ik,jk,j->i", {&A, &B, &v}).value();
+  std::printf("dense result:  r = [%.0f, %.0f]\n", r.At({0}).value(),
+              r.At({1}).value());
+  return 0;
+}

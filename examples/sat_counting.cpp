@@ -1,0 +1,55 @@
+// Counting SAT solutions (#SAT) with Einstein summation in SQL (§4.2).
+//
+// Converts a conda-style package-dependency formula into a tensor network
+// (one {0,1}^{2^k} tensor per clause, at most 14 unique tensors for
+// 3-SAT), contracts it to a scalar on SQLite, and cross-checks the model
+// count against an exact DPLL counter.
+
+#include <cstdio>
+
+#include "backends/sqlite_backend.h"
+#include "sat/count.h"
+#include "sat/dimacs.h"
+#include "sat/generator.h"
+
+using namespace einsql;       // NOLINT
+using namespace einsql::sat;  // NOLINT
+
+int main() {
+  // The paper's Figure 3 example: (¬a ∨ ¬d) ∧ (a ∨ b ∨ ¬c).
+  CnfFormula example;
+  example.num_variables = 4;
+  example.clauses = {{{-1, -4}}, {{1, 2, -3}}};
+  std::printf("example formula:\n%s", ToDimacs(example).c_str());
+
+  auto backend = SqliteBackend::Open().value();
+  SqlEinsumEngine engine(backend.get());
+  std::printf("models via SQL einsum: %.0f (exact: %.0f)\n\n",
+              CountSolutionsEinsum(&engine, example).value(),
+              CountSolutionsExact(example).value());
+
+  // A package-manager formula like the paper's `conda install sqlite`
+  // instance: 3-SAT, at-most-one version constraints + dependencies.
+  PackageFormulaOptions options;
+  options.num_packages = 60;
+  CnfFormula formula = PackageDependencyFormula(options);
+  auto network = BuildTensorNetwork(formula).value();
+  std::printf("package formula: %zu clauses over %d variables, "
+              "%zu unique clause tensors (<= 14 for 3-SAT)\n",
+              formula.clauses.size(), formula.num_variables,
+              network.unique_tensors.size());
+
+  auto count = CountSolutionsEinsum(&engine, network).value();
+  std::printf("number of valid installations: %.0f\n", count);
+  std::printf("satisfiable: %s\n", count > 0 ? "yes" : "no");
+
+  // Scalability sweep over clause-count prefixes (Figure 4's x-axis).
+  std::printf("\nclauses -> models (einsum on %s)\n",
+              backend->name().c_str());
+  for (int clauses : {10, 40, 160, static_cast<int>(formula.clauses.size())}) {
+    auto prefix = TruncateClauses(formula, clauses);
+    auto models = CountSolutionsEinsum(&engine, prefix).value();
+    std::printf("  %4d -> %.6g\n", clauses, models);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Querying triplestore data with Einstein summation in SQL (§4.1).
+//
+// Generates a synthetic Olympic-history dataset, loads it into SQLite as
+// the one-hot triple tensor T(s, p, o), compiles the SPARQL-style
+// gold-medal query (Listing 7) to a single einsum SQL query (Listing 8),
+// and prints the medal table — cross-checked against the interpreted
+// graph matcher.
+
+#include <cstdio>
+
+#include "backends/sqlite_backend.h"
+#include "triplestore/generator.h"
+#include "triplestore/query.h"
+
+using namespace einsql;               // NOLINT
+using namespace einsql::triplestore;  // NOLINT
+
+int main() {
+  OlympicsOptions options;
+  options.num_athletes = 200;
+  options.results_per_athlete = 4;
+  options.medal_fraction = 0.4;
+  TripleStore store = GenerateOlympics(options);
+  std::printf("dataset: %lld triples, %lld distinct terms, density %.2e\n",
+              static_cast<long long>(store.num_triples()),
+              static_cast<long long>(store.num_terms()), store.Sparsity());
+
+  const PatternQuery query = GoldMedalQuery();
+  auto sql = CompileQueryToSql(store, query).value();
+  std::printf("\ncompiled SQL (slices of T + Einstein summation):\n%s\n\n",
+              sql.c_str());
+
+  auto backend = SqliteBackend::Open().value();
+  if (auto status = store.LoadInto(backend.get()); !status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto rows = AnswerWithSql(backend.get(), store, query).value();
+  std::printf("top gold medalists (of %zu with gold):\n", rows.size());
+  for (size_t k = 0; k < rows.size() && k < 10; ++k) {
+    std::printf("  %-16s %3.0f gold medals\n", rows[k].term.c_str(),
+                rows[k].count);
+  }
+
+  // Cross-check against the interpreted matcher (the RDFLib stand-in).
+  auto naive = AnswerNaive(store, query).value();
+  std::printf("\nnaive matcher agrees on %zu rows: %s\n", naive.size(),
+              naive.size() == rows.size() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,195 @@
+#include "backends/einsum_engine.h"
+
+#include "core/dense_exec.h"
+#include "core/sparse_exec.h"
+
+namespace einsql {
+
+Result<CooTensor> EinsumEngine::Einsum(
+    const std::string& format, const std::vector<const CooTensor*>& tensors,
+    const EinsumOptions& options) {
+  EINSQL_ASSIGN_OR_RETURN(EinsumSpec spec, ParseEinsumFormat(format));
+  return EinsumSpecified(spec, tensors, options);
+}
+
+Result<ComplexCooTensor> EinsumEngine::ComplexEinsum(
+    const std::string& format,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const EinsumOptions& options) {
+  EINSQL_ASSIGN_OR_RETURN(EinsumSpec spec, ParseEinsumFormat(format));
+  return ComplexEinsumSpecified(spec, tensors, options);
+}
+
+Result<CooTensor> EinsumEngine::EinsumSpecified(
+    const EinsumSpec& spec, const std::vector<const CooTensor*>& tensors,
+    const EinsumOptions& options) {
+  std::vector<Shape> shapes;
+  shapes.reserve(tensors.size());
+  for (const CooTensor* t : tensors) {
+    if (t == nullptr) return Status::InvalidArgument("null tensor pointer");
+    shapes.push_back(t->shape());
+  }
+  EINSQL_ASSIGN_OR_RETURN(ContractionProgram program,
+                          BuildProgram(spec, shapes, options.path));
+  return RunProgram(program, tensors, options);
+}
+
+Result<ComplexCooTensor> EinsumEngine::ComplexEinsumSpecified(
+    const EinsumSpec& spec,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const EinsumOptions& options) {
+  std::vector<Shape> shapes;
+  shapes.reserve(tensors.size());
+  for (const ComplexCooTensor* t : tensors) {
+    if (t == nullptr) return Status::InvalidArgument("null tensor pointer");
+    shapes.push_back(t->shape());
+  }
+  EINSQL_ASSIGN_OR_RETURN(ContractionProgram program,
+                          BuildProgram(spec, shapes, options.path));
+  return RunComplexProgram(program, tensors, options);
+}
+
+namespace {
+
+// Validates that `tensors` are compatible with the prebuilt program: the
+// program may be reused with fresh tensors of identical shapes.
+template <typename V>
+Status CheckShapes(const ContractionProgram& program,
+                   const std::vector<const Coo<V>*>& tensors) {
+  if (static_cast<int>(tensors.size()) != program.num_inputs) {
+    return Status::InvalidArgument("expected ", program.num_inputs,
+                                   " tensors, got ", tensors.size());
+  }
+  std::vector<Shape> shapes;
+  shapes.reserve(tensors.size());
+  for (const Coo<V>* t : tensors) {
+    if (t == nullptr) return Status::InvalidArgument("null tensor pointer");
+    shapes.push_back(t->shape());
+  }
+  return IndexExtents(program.spec, shapes).status();
+}
+
+SqlGenOptions ToSqlGenOptions(const EinsumOptions& options) {
+  SqlGenOptions sql;
+  sql.decompose = options.decompose;
+  sql.simplify = options.simplify;
+  return sql;
+}
+
+template <typename V>
+Result<Coo<V>> ParseResultImpl(const minidb::Relation& relation,
+                               const Shape& output_shape, double epsilon) {
+  constexpr bool kComplex = !std::is_same_v<V, double>;
+  const int rank = static_cast<int>(output_shape.size());
+  const int value_columns = kComplex ? 2 : 1;
+  if (relation.num_columns() != rank + value_columns) {
+    return Status::InvalidArgument(
+        "result relation has ", relation.num_columns(),
+        " columns; expected ", rank + value_columns);
+  }
+  Coo<V> out(output_shape);
+  std::vector<int64_t> coords(rank);
+  for (const minidb::Row& row : relation.rows) {
+    for (int d = 0; d < rank; ++d) {
+      if (minidb::IsNull(row[d])) {
+        return Status::InvalidArgument("NULL index value in result");
+      }
+      EINSQL_ASSIGN_OR_RETURN(coords[d], minidb::AsInt(row[d]));
+    }
+    V value;
+    if constexpr (kComplex) {
+      // A NULL re/im pair is an empty aggregation: contributes nothing.
+      if (minidb::IsNull(row[rank]) && minidb::IsNull(row[rank + 1])) {
+        continue;
+      }
+      EINSQL_ASSIGN_OR_RETURN(double re, minidb::AsDouble(row[rank]));
+      EINSQL_ASSIGN_OR_RETURN(double im, minidb::AsDouble(row[rank + 1]));
+      value = V(re, im);
+    } else {
+      if (minidb::IsNull(row[rank])) continue;
+      EINSQL_ASSIGN_OR_RETURN(double v, minidb::AsDouble(row[rank]));
+      value = v;
+    }
+    EINSQL_RETURN_IF_ERROR(out.Append(coords, value));
+  }
+  out.Coalesce(epsilon);
+  return out;
+}
+
+}  // namespace
+
+Result<CooTensor> ParseCooResult(const minidb::Relation& relation,
+                                 const Shape& output_shape, double epsilon) {
+  return ParseResultImpl<double>(relation, output_shape, epsilon);
+}
+
+Result<ComplexCooTensor> ParseComplexCooResult(
+    const minidb::Relation& relation, const Shape& output_shape,
+    double epsilon) {
+  return ParseResultImpl<std::complex<double>>(relation, output_shape,
+                                               epsilon);
+}
+
+Result<CooTensor> SqlEinsumEngine::RunProgram(
+    const ContractionProgram& program,
+    const std::vector<const CooTensor*>& tensors,
+    const EinsumOptions& options) {
+  EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  EINSQL_ASSIGN_OR_RETURN(
+      std::string sql,
+      GenerateEinsumSql(program, tensors, ToSqlGenOptions(options)));
+  EINSQL_ASSIGN_OR_RETURN(minidb::Relation relation, backend_->Query(sql));
+  EINSQL_ASSIGN_OR_RETURN(Shape output_shape,
+                          OutputShape(program.spec, program.extents));
+  return ParseCooResult(relation, output_shape, options.epsilon);
+}
+
+Result<ComplexCooTensor> SqlEinsumEngine::RunComplexProgram(
+    const ContractionProgram& program,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const EinsumOptions& options) {
+  EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  EINSQL_ASSIGN_OR_RETURN(
+      std::string sql,
+      GenerateComplexEinsumSql(program, tensors, ToSqlGenOptions(options)));
+  EINSQL_ASSIGN_OR_RETURN(minidb::Relation relation, backend_->Query(sql));
+  EINSQL_ASSIGN_OR_RETURN(Shape output_shape,
+                          OutputShape(program.spec, program.extents));
+  return ParseComplexCooResult(relation, output_shape, options.epsilon);
+}
+
+Result<CooTensor> DenseEinsumEngine::RunProgram(
+    const ContractionProgram& program,
+    const std::vector<const CooTensor*>& tensors,
+    const EinsumOptions& options) {
+  EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  return ExecuteProgramDenseCoo<double>(program, tensors, options.epsilon);
+}
+
+Result<ComplexCooTensor> DenseEinsumEngine::RunComplexProgram(
+    const ContractionProgram& program,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const EinsumOptions& options) {
+  EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  return ExecuteProgramDenseCoo<std::complex<double>>(program, tensors,
+                                                      options.epsilon);
+}
+
+Result<CooTensor> SparseEinsumEngine::RunProgram(
+    const ContractionProgram& program,
+    const std::vector<const CooTensor*>& tensors,
+    const EinsumOptions& options) {
+  EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  return ExecuteProgramSparse<double>(program, tensors, options.epsilon);
+}
+
+Result<ComplexCooTensor> SparseEinsumEngine::RunComplexProgram(
+    const ContractionProgram& program,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const EinsumOptions& options) {
+  EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  return ExecuteProgramSparse<std::complex<double>>(program, tensors,
+                                                    options.epsilon);
+}
+
+}  // namespace einsql

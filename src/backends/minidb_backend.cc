@@ -1,0 +1,88 @@
+#include "backends/minidb_backend.h"
+
+#include "common/str_util.h"
+
+namespace einsql {
+
+namespace {
+
+std::vector<minidb::Column> CooColumns(int rank, bool complex_values) {
+  std::vector<minidb::Column> columns;
+  for (int d = 0; d < rank; ++d) {
+    columns.push_back({StrCat("i", d), minidb::ValueType::kInt});
+  }
+  if (complex_values) {
+    columns.push_back({"re", minidb::ValueType::kDouble});
+    columns.push_back({"im", minidb::ValueType::kDouble});
+  } else {
+    columns.push_back({"val", minidb::ValueType::kDouble});
+  }
+  return columns;
+}
+
+}  // namespace
+
+MiniDbBackend::MiniDbBackend(minidb::PlannerOptions options)
+    : db_(options) {}
+
+std::string MiniDbBackend::name() const {
+  return StrCat("minidb-",
+                minidb::OptimizerModeToString(db_.options().mode));
+}
+
+Status MiniDbBackend::Execute(const std::string& sql) {
+  EINSQL_ASSIGN_OR_RETURN(minidb::QueryResult result, db_.Execute(sql));
+  stats_.planning_seconds = result.stats.planning_seconds();
+  stats_.execution_seconds = result.stats.exec_seconds;
+  return Status::OK();
+}
+
+Result<minidb::Relation> MiniDbBackend::Query(const std::string& sql) {
+  EINSQL_ASSIGN_OR_RETURN(minidb::QueryResult result, db_.Execute(sql));
+  stats_.planning_seconds = result.stats.planning_seconds();
+  stats_.execution_seconds = result.stats.exec_seconds;
+  return result.relation;
+}
+
+Status MiniDbBackend::CreateCooTable(const std::string& name, int rank,
+                                     bool complex_values) {
+  EINSQL_RETURN_IF_ERROR(db_.catalog().DropTable(name, /*if_exists=*/true));
+  return db_.CreateTable(name, CooColumns(rank, complex_values));
+}
+
+Status MiniDbBackend::LoadCooTensor(const std::string& name,
+                                    const CooTensor& tensor) {
+  std::vector<minidb::Row> rows;
+  rows.reserve(tensor.nnz());
+  const int r = tensor.rank();
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    minidb::Row row;
+    row.reserve(r + 1);
+    for (int d = 0; d < r; ++d) {
+      row.emplace_back(tensor.raw_coords()[k * r + d]);
+    }
+    row.emplace_back(tensor.ValueAt(k));
+    rows.push_back(std::move(row));
+  }
+  return db_.BulkInsert(name, std::move(rows));
+}
+
+Status MiniDbBackend::LoadComplexCooTensor(const std::string& name,
+                                           const ComplexCooTensor& tensor) {
+  std::vector<minidb::Row> rows;
+  rows.reserve(tensor.nnz());
+  const int r = tensor.rank();
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    minidb::Row row;
+    row.reserve(r + 2);
+    for (int d = 0; d < r; ++d) {
+      row.emplace_back(tensor.raw_coords()[k * r + d]);
+    }
+    row.emplace_back(tensor.ValueAt(k).real());
+    row.emplace_back(tensor.ValueAt(k).imag());
+    rows.push_back(std::move(row));
+  }
+  return db_.BulkInsert(name, std::move(rows));
+}
+
+}  // namespace einsql

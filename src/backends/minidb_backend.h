@@ -1,0 +1,43 @@
+#ifndef EINSQL_BACKENDS_MINIDB_BACKEND_H_
+#define EINSQL_BACKENDS_MINIDB_BACKEND_H_
+
+#include <string>
+
+#include "backends/backend.h"
+#include "minidb/database.h"
+
+namespace einsql {
+
+/// SqlBackend over the in-repo MiniDB engine. The optimizer mode selects
+/// which DBMS archetype of the paper's evaluation the instance models:
+/// kNone ≈ DuckDB with optimizations disabled, kGreedy ≈ a lightweight
+/// engine honoring the CTE decomposition, kAggressive ≈ an optimizing
+/// in-memory system, kExhaustive ≈ an optimizer that cannot finish planning
+/// large decomposed einsum queries.
+class MiniDbBackend : public SqlBackend {
+ public:
+  explicit MiniDbBackend(
+      minidb::PlannerOptions options = minidb::PlannerOptions{});
+
+  std::string name() const override;
+  Status Execute(const std::string& sql) override;
+  Result<minidb::Relation> Query(const std::string& sql) override;
+  BackendStats last_stats() const override { return stats_; }
+  Status CreateCooTable(const std::string& name, int rank,
+                        bool complex_values) override;
+  Status LoadCooTensor(const std::string& name,
+                       const CooTensor& tensor) override;
+  Status LoadComplexCooTensor(const std::string& name,
+                              const ComplexCooTensor& tensor) override;
+
+  /// Direct access to the underlying engine (tests, plan inspection).
+  minidb::Database& database() { return db_; }
+
+ private:
+  minidb::Database db_;
+  BackendStats stats_;
+};
+
+}  // namespace einsql
+
+#endif  // EINSQL_BACKENDS_MINIDB_BACKEND_H_

@@ -1,0 +1,162 @@
+#include "backends/sqlite_backend.h"
+
+#include <sqlite3.h>
+
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+
+namespace einsql {
+
+namespace {
+
+Status SqliteError(sqlite3* db, const char* what) {
+  return Status::Internal("sqlite ", what, ": ", sqlite3_errmsg(db));
+}
+
+// RAII wrapper for prepared statements.
+struct StmtCloser {
+  void operator()(sqlite3_stmt* stmt) const { sqlite3_finalize(stmt); }
+};
+using StmtPtr = std::unique_ptr<sqlite3_stmt, StmtCloser>;
+
+}  // namespace
+
+Result<std::unique_ptr<SqliteBackend>> SqliteBackend::Open() {
+  std::unique_ptr<SqliteBackend> backend(new SqliteBackend());
+  if (sqlite3_open(":memory:", &backend->db_) != SQLITE_OK) {
+    return Status::Internal("cannot open in-memory sqlite database");
+  }
+  return backend;
+}
+
+SqliteBackend::~SqliteBackend() {
+  if (db_ != nullptr) sqlite3_close(db_);
+}
+
+std::string SqliteBackend::LibraryVersion() { return sqlite3_libversion(); }
+
+Status SqliteBackend::Execute(const std::string& sql) {
+  char* error = nullptr;
+  if (sqlite3_exec(db_, sql.c_str(), nullptr, nullptr, &error) != SQLITE_OK) {
+    std::string message = error != nullptr ? error : "unknown error";
+    sqlite3_free(error);
+    return Status::Internal("sqlite exec: ", message);
+  }
+  return Status::OK();
+}
+
+Result<minidb::Relation> SqliteBackend::Query(const std::string& sql) {
+  Stopwatch watch;
+  sqlite3_stmt* raw = nullptr;
+  if (sqlite3_prepare_v2(db_, sql.c_str(), -1, &raw, nullptr) != SQLITE_OK) {
+    return SqliteError(db_, "prepare");
+  }
+  StmtPtr stmt(raw);
+  stats_.planning_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  minidb::Relation relation;
+  const int columns = sqlite3_column_count(stmt.get());
+  for (int c = 0; c < columns; ++c) {
+    const char* name = sqlite3_column_name(stmt.get(), c);
+    relation.columns.push_back(
+        {name != nullptr ? name : StrCat("c", c), minidb::ValueType::kDouble});
+  }
+  while (true) {
+    const int rc = sqlite3_step(stmt.get());
+    if (rc == SQLITE_DONE) break;
+    if (rc != SQLITE_ROW) return SqliteError(db_, "step");
+    minidb::Row row;
+    row.reserve(columns);
+    for (int c = 0; c < columns; ++c) {
+      switch (sqlite3_column_type(stmt.get(), c)) {
+        case SQLITE_INTEGER:
+          row.emplace_back(
+              static_cast<int64_t>(sqlite3_column_int64(stmt.get(), c)));
+          break;
+        case SQLITE_FLOAT:
+          row.emplace_back(sqlite3_column_double(stmt.get(), c));
+          break;
+        case SQLITE_NULL:
+          row.emplace_back(minidb::Null{});
+          break;
+        default: {
+          const unsigned char* text = sqlite3_column_text(stmt.get(), c);
+          row.emplace_back(std::string(
+              text != nullptr ? reinterpret_cast<const char*>(text) : ""));
+          break;
+        }
+      }
+    }
+    relation.rows.push_back(std::move(row));
+  }
+  stats_.execution_seconds = watch.ElapsedSeconds();
+  return relation;
+}
+
+Status SqliteBackend::CreateCooTable(const std::string& name, int rank,
+                                     bool complex_values) {
+  EINSQL_RETURN_IF_ERROR(Execute(StrCat("DROP TABLE IF EXISTS ", name)));
+  std::string ddl = StrCat("CREATE TABLE ", name, " (");
+  for (int d = 0; d < rank; ++d) ddl += StrCat("i", d, " INT, ");
+  ddl += complex_values ? "re DOUBLE, im DOUBLE)" : "val DOUBLE)";
+  return Execute(ddl);
+}
+
+namespace {
+
+template <typename V, typename BindValues>
+Status LoadRows(sqlite3* db, const std::string& name, const Coo<V>& tensor,
+                int value_columns, BindValues bind_values) {
+  const int r = tensor.rank();
+  std::string sql = StrCat("INSERT INTO ", name, " VALUES (");
+  for (int c = 0; c < r + value_columns; ++c) {
+    sql += c > 0 ? ", ?" : "?";
+  }
+  sql += ")";
+  sqlite3_stmt* raw = nullptr;
+  if (sqlite3_prepare_v2(db, sql.c_str(), -1, &raw, nullptr) != SQLITE_OK) {
+    return SqliteError(db, "prepare insert");
+  }
+  StmtPtr stmt(raw);
+  if (sqlite3_exec(db, "BEGIN", nullptr, nullptr, nullptr) != SQLITE_OK) {
+    return SqliteError(db, "begin");
+  }
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    for (int d = 0; d < r; ++d) {
+      sqlite3_bind_int64(stmt.get(), d + 1, tensor.raw_coords()[k * r + d]);
+    }
+    bind_values(stmt.get(), r, tensor.ValueAt(k));
+    if (sqlite3_step(stmt.get()) != SQLITE_DONE) {
+      return SqliteError(db, "insert step");
+    }
+    sqlite3_reset(stmt.get());
+  }
+  if (sqlite3_exec(db, "COMMIT", nullptr, nullptr, nullptr) != SQLITE_OK) {
+    return SqliteError(db, "commit");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SqliteBackend::LoadCooTensor(const std::string& name,
+                                    const CooTensor& tensor) {
+  return LoadRows(db_, name, tensor, 1,
+                  [](sqlite3_stmt* stmt, int rank, double value) {
+                    sqlite3_bind_double(stmt, rank + 1, value);
+                  });
+}
+
+Status SqliteBackend::LoadComplexCooTensor(const std::string& name,
+                                           const ComplexCooTensor& tensor) {
+  return LoadRows(db_, name, tensor, 2,
+                  [](sqlite3_stmt* stmt, int rank, std::complex<double> v) {
+                    sqlite3_bind_double(stmt, rank + 1, v.real());
+                    sqlite3_bind_double(stmt, rank + 2, v.imag());
+                  });
+}
+
+}  // namespace einsql

@@ -1,0 +1,90 @@
+#ifndef EINSQL_COMMON_RESULT_H_
+#define EINSQL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace einsql {
+
+/// A Result<T> holds either a value of type T or an error Status.
+///
+/// Typical usage:
+///
+///     Result<int> ParseCount(std::string_view s);
+///
+///     Result<int> caller() {
+///       EINSQL_ASSIGN_OR_RETURN(int n, ParseCount("42"));
+///       return n + 1;
+///     }
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit to allow `return value;`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+
+  /// Constructs a Result holding an error status.  It is a programming error
+  /// to construct a Result from an OK status; doing so converts the status to
+  /// an Internal error.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff the Result holds a value.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status (OK if the Result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if the Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+#define EINSQL_CONCAT_IMPL(x, y) x##y
+#define EINSQL_CONCAT(x, y) EINSQL_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T>-returning expression; on error returns the Status,
+/// otherwise assigns the value to `lhs` (which may include a declaration).
+#define EINSQL_ASSIGN_OR_RETURN(lhs, expr)                            \
+  EINSQL_ASSIGN_OR_RETURN_IMPL(EINSQL_CONCAT(_einsql_result_, __LINE__), lhs, \
+                               expr)
+
+#define EINSQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+}  // namespace einsql
+
+#endif  // EINSQL_COMMON_RESULT_H_

@@ -1,0 +1,144 @@
+#ifndef EINSQL_COMMON_STATUS_H_
+#define EINSQL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace einsql {
+
+/// Canonical error codes used across the library.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// every fallible operation returns a Status (or a Result<T>, see
+/// common/result.h).  The codes mirror the usual database-library
+/// conventions (Arrow / RocksDB style).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kParseError = 8,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status encapsulates the result of an operation: success, or an error
+/// code together with a human-readable message.
+///
+/// Typical usage:
+///
+///     Status DoWork() {
+///       if (bad) return Status::InvalidArgument("bad input: ", detail);
+///       return Status::OK();
+///     }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  /// Factory helpers; all variadic pieces are stringified and concatenated.
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unimplemented(Args&&... args) {
+    return Make(StatusCode::kUnimplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Make(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ParseError(Args&&... args) {
+    return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error code (kOk for success).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty for success).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args);
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+namespace internal {
+
+inline void AppendPieces(std::string*) {}
+
+template <typename T, typename... Rest>
+void AppendPieces(std::string* out, T&& first, Rest&&... rest) {
+  if constexpr (std::is_convertible_v<T, std::string_view>) {
+    out->append(std::string_view(first));
+  } else {
+    out->append(std::to_string(first));
+  }
+  AppendPieces(out, std::forward<Rest>(rest)...);
+}
+
+}  // namespace internal
+
+template <typename... Args>
+Status Status::Make(StatusCode code, Args&&... args) {
+  std::string message;
+  internal::AppendPieces(&message, std::forward<Args>(args)...);
+  return Status(code, std::move(message));
+}
+
+/// Propagates an error Status from the evaluated expression, if any.
+#define EINSQL_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::einsql::Status _einsql_status = (expr);       \
+    if (!_einsql_status.ok()) return _einsql_status; \
+  } while (false)
+
+}  // namespace einsql
+
+#endif  // EINSQL_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef EINSQL_COMMON_STOPWATCH_H_
+#define EINSQL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace einsql {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and by the
+/// MiniDB planner/executor instrumentation (Table 2 reproduction).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace einsql
+
+#endif  // EINSQL_COMMON_STOPWATCH_H_

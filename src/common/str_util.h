@@ -1,0 +1,61 @@
+#ifndef EINSQL_COMMON_STR_UTIL_H_
+#define EINSQL_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace einsql {
+
+/// Splits `input` on `delimiter`, keeping empty pieces.
+/// Split("a,,b", ',') == {"a", "", "b"}; Split("", ',') == {""}.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Joins `pieces` with `separator` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view input);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view input);
+
+/// Upper-cases ASCII characters.
+std::string ToUpper(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True iff `input` begins with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view input);
+
+/// Parses a floating point literal; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view input);
+
+/// Formats a double as a SQL literal that round-trips exactly
+/// (max_digits10 precision, always contains '.' or 'e').
+std::string DoubleToSqlLiteral(double value);
+
+/// Concatenates the string representations of all arguments.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  if constexpr (sizeof...(args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+}  // namespace einsql
+
+#endif  // EINSQL_COMMON_STR_UTIL_H_

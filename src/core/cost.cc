@@ -1,0 +1,31 @@
+#include "core/cost.h"
+
+#include <set>
+
+namespace einsql {
+
+double TermSize(const Term& term,
+                const Extents& extents) {
+  double size = 1.0;
+  std::set<Label> seen;
+  for (Label c : term) {
+    if (!seen.insert(c).second) continue;
+    auto it = extents.find(c);
+    size *= it == extents.end() ? 1.0 : static_cast<double>(it->second);
+  }
+  return size;
+}
+
+double PairContractionCost(const Term& lhs, const Term& rhs,
+                           const Term& result,
+                           const Extents& extents) {
+  (void)result;  // the union of lhs/rhs always covers the result indices
+  return TermSize(lhs + rhs, extents);
+}
+
+double UnaryReductionCost(const Term& term,
+                          const Extents& extents) {
+  return TermSize(term, extents);
+}
+
+}  // namespace einsql

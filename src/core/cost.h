@@ -1,0 +1,35 @@
+#ifndef EINSQL_CORE_COST_H_
+#define EINSQL_CORE_COST_H_
+
+#include <cstdint>
+
+#include "core/format.h"
+#include <map>
+#include <string>
+
+namespace einsql {
+
+/// Cost model for contraction-path search (§3.3). Costs are computed in
+/// doubles because intermediate tensor sizes routinely overflow int64 for
+/// naive paths over large tensor networks.
+
+/// Number of elements of a (dense) tensor whose indices are the unique
+/// characters of `term`.
+double TermSize(const Term& term,
+                const Extents& extents);
+
+/// Classical einsum flop estimate for contracting two terms into `result`:
+/// the product of the extents of the union of all participating indices
+/// (each output element costs one multiply-add per summed combination).
+double PairContractionCost(const Term& lhs, const Term& rhs,
+                           const Term& result,
+                           const Extents& extents);
+
+/// Cost of a unary reduction (diagonal extraction and/or axis sums):
+/// proportional to the input term size.
+double UnaryReductionCost(const Term& term,
+                          const Extents& extents);
+
+}  // namespace einsql
+
+#endif  // EINSQL_CORE_COST_H_

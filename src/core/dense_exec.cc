@@ -1,0 +1,87 @@
+#include "core/dense_exec.h"
+
+#include <complex>
+
+namespace einsql {
+
+namespace {
+
+Labels TermLabels(const Term& term) {
+  Labels labels;
+  labels.reserve(term.size());
+  for (Label c : term) labels.push_back(static_cast<int>(c));
+  return labels;
+}
+
+}  // namespace
+
+template <typename V>
+Result<Dense<V>> ExecuteProgramDense(
+    const ContractionProgram& program,
+    const std::vector<const Dense<V>*>& inputs) {
+  if (static_cast<int>(inputs.size()) != program.num_inputs) {
+    return Status::InvalidArgument("expected ", program.num_inputs,
+                                   " tensors, got ", inputs.size());
+  }
+  for (int t = 0; t < program.num_inputs; ++t) {
+    if (inputs[t]->rank() !=
+        static_cast<int>(program.spec.inputs[t].size())) {
+      return Status::InvalidArgument("tensor ", t, " rank mismatch");
+    }
+  }
+  // Slot storage; inputs stay borrowed, intermediates are owned.
+  std::vector<Dense<V>> intermediates;
+  auto tensor_of = [&](int slot) -> const Dense<V>& {
+    if (slot < program.num_inputs) return *inputs[slot];
+    return intermediates[slot - program.num_inputs];
+  };
+  for (const ProgramStep& step : program.steps) {
+    if (step.args.size() == 1) {
+      EINSQL_ASSIGN_OR_RETURN(
+          Dense<V> result,
+          ReduceLabels(tensor_of(step.args[0]), TermLabels(step.arg_terms[0]),
+                       TermLabels(step.result_term)));
+      intermediates.push_back(std::move(result));
+    } else {
+      EINSQL_ASSIGN_OR_RETURN(
+          Dense<V> result,
+          ContractPair(tensor_of(step.args[0]), TermLabels(step.arg_terms[0]),
+                       tensor_of(step.args[1]), TermLabels(step.arg_terms[1]),
+                       TermLabels(step.result_term)));
+      intermediates.push_back(std::move(result));
+    }
+  }
+  // Identity programs return a copy of the input.
+  return tensor_of(program.result_slot);
+}
+
+template <typename V>
+Result<Coo<V>> ExecuteProgramDenseCoo(const ContractionProgram& program,
+                                      const std::vector<const Coo<V>*>& inputs,
+                                      double epsilon) {
+  std::vector<Dense<V>> dense;
+  dense.reserve(inputs.size());
+  for (const Coo<V>* coo : inputs) {
+    EINSQL_ASSIGN_OR_RETURN(Dense<V> d, Dense<V>::FromCoo(*coo));
+    dense.push_back(std::move(d));
+  }
+  std::vector<const Dense<V>*> ptrs;
+  ptrs.reserve(dense.size());
+  for (const Dense<V>& d : dense) ptrs.push_back(&d);
+  EINSQL_ASSIGN_OR_RETURN(Dense<V> result,
+                          ExecuteProgramDense(program, ptrs));
+  return result.ToCoo(epsilon);
+}
+
+template Result<Dense<double>> ExecuteProgramDense(
+    const ContractionProgram&, const std::vector<const Dense<double>*>&);
+template Result<Dense<std::complex<double>>> ExecuteProgramDense(
+    const ContractionProgram&,
+    const std::vector<const Dense<std::complex<double>>*>&);
+template Result<Coo<double>> ExecuteProgramDenseCoo(
+    const ContractionProgram&, const std::vector<const Coo<double>*>&, double);
+template Result<Coo<std::complex<double>>> ExecuteProgramDenseCoo(
+    const ContractionProgram&,
+    const std::vector<const Coo<std::complex<double>>*>&, double);
+
+}  // namespace einsql

@@ -1,0 +1,30 @@
+#ifndef EINSQL_CORE_DENSE_EXEC_H_
+#define EINSQL_CORE_DENSE_EXEC_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/program.h"
+#include "tensor/contract.h"
+#include "tensor/dense.h"
+
+namespace einsql {
+
+/// Executes a contraction program on dense tensors by pairwise contraction,
+/// exactly the strategy of opt_einsum with a NumPy backend: unary steps run
+/// ReduceLabels, pairwise steps run ContractPair. This is the dense
+/// reference backend the paper benchmarks SQL against.
+template <typename V>
+Result<Dense<V>> ExecuteProgramDense(const ContractionProgram& program,
+                                     const std::vector<const Dense<V>*>& inputs);
+
+/// Convenience wrapper: densifies COO inputs, executes, and sparsifies the
+/// result (entries with magnitude <= epsilon are dropped).
+template <typename V>
+Result<Coo<V>> ExecuteProgramDenseCoo(const ContractionProgram& program,
+                                      const std::vector<const Coo<V>*>& inputs,
+                                      double epsilon = 0.0);
+
+}  // namespace einsql
+
+#endif  // EINSQL_CORE_DENSE_EXEC_H_

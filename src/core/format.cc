@@ -1,0 +1,182 @@
+#include "core/format.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace einsql {
+
+Term ToTerm(std::string_view ascii) {
+  Term term;
+  term.reserve(ascii.size());
+  for (char c : ascii) term.push_back(static_cast<unsigned char>(c));
+  return term;
+}
+
+std::string TermToString(const Term& term) {
+  std::string out;
+  for (Label label : term) {
+    if (label < 128 && std::isprint(static_cast<int>(label))) {
+      out.push_back(static_cast<char>(label));
+    } else {
+      out += "#" + std::to_string(static_cast<uint32_t>(label));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsIndexChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+
+Status ValidateAsciiTerm(std::string_view term) {
+  for (char c : term) {
+    if (!IsIndexChar(c)) {
+      return Status::ParseError("invalid index character '", std::string(1, c),
+                                "' in term '", term, "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string StripSpaces(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EinsumSpec::ToString() const {
+  std::string out;
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    if (t > 0) out += ",";
+    out += TermToString(inputs[t]);
+  }
+  out += "->";
+  out += TermToString(output);
+  return out;
+}
+
+Result<EinsumSpec> ParseEinsumFormat(std::string_view format) {
+  const std::string clean = StripSpaces(format);
+  if (clean.empty()) return Status::ParseError("empty format string");
+
+  EinsumSpec spec;
+  std::string lhs = clean;
+  bool has_arrow = false;
+  std::string output_ascii;
+  const size_t arrow = clean.find("->");
+  if (arrow != std::string::npos) {
+    if (clean.find("->", arrow + 2) != std::string::npos) {
+      return Status::ParseError("multiple '->' in format string");
+    }
+    has_arrow = true;
+    lhs = clean.substr(0, arrow);
+    output_ascii = clean.substr(arrow + 2);
+  }
+  if (lhs.empty()) return Status::ParseError("no input terms before '->'");
+  for (const std::string& term : Split(lhs, ',')) {
+    EINSQL_RETURN_IF_ERROR(ValidateAsciiTerm(term));
+    spec.inputs.push_back(ToTerm(term));
+  }
+  EINSQL_RETURN_IF_ERROR(ValidateAsciiTerm(output_ascii));
+  spec.output = ToTerm(output_ascii);
+
+  if (!has_arrow) {
+    // Classic implicit mode: indices that appear exactly once, sorted.
+    std::map<Label, int> occurrences;
+    for (const Term& term : spec.inputs) {
+      for (Label c : term) ++occurrences[c];
+    }
+    spec.output.clear();
+    for (const auto& [c, n] : occurrences) {  // std::map is ordered
+      if (n == 1) spec.output.push_back(c);
+    }
+    return spec;
+  }
+  EINSQL_RETURN_IF_ERROR(ValidateSpec(spec));
+  return spec;
+}
+
+Status ValidateSpec(const EinsumSpec& spec) {
+  if (spec.inputs.empty()) {
+    return Status::InvalidArgument("expression has no input tensors");
+  }
+  std::map<Label, int> occurrences;
+  for (const Term& term : spec.inputs) {
+    for (Label c : term) ++occurrences[c];
+  }
+  std::map<Label, int> seen;
+  for (Label c : spec.output) {
+    if (++seen[c] > 1) {
+      return Status::ParseError("output index '",
+                                TermToString(Term(1, c)), "' repeated");
+    }
+    if (occurrences.find(c) == occurrences.end()) {
+      return Status::ParseError("output index '", TermToString(Term(1, c)),
+                                "' does not appear in any input");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Extents> IndexExtents(const EinsumSpec& spec,
+                             const std::vector<Shape>& shapes) {
+  if (shapes.size() != spec.inputs.size()) {
+    return Status::InvalidArgument("expected ", spec.inputs.size(),
+                                   " tensors, got ", shapes.size());
+  }
+  Extents extents;
+  for (size_t t = 0; t < shapes.size(); ++t) {
+    const Term& term = spec.inputs[t];
+    if (shapes[t].size() != term.size()) {
+      return Status::InvalidArgument(
+          "tensor ", t, " has rank ", shapes[t].size(), " but term '",
+          TermToString(term), "' implies rank ", term.size());
+    }
+    for (size_t d = 0; d < term.size(); ++d) {
+      auto [it, inserted] = extents.emplace(term[d], shapes[t][d]);
+      if (!inserted && it->second != shapes[t][d]) {
+        return Status::InvalidArgument(
+            "index '", TermToString(Term(1, term[d])),
+            "' has conflicting extents ", it->second, " and ", shapes[t][d]);
+      }
+    }
+  }
+  return extents;
+}
+
+Result<Shape> OutputShape(const EinsumSpec& spec, const Extents& extents) {
+  Shape shape;
+  for (Label c : spec.output) {
+    auto it = extents.find(c);
+    if (it == extents.end()) {
+      return Status::InvalidArgument("no extent known for output index '",
+                                     TermToString(Term(1, c)), "'");
+    }
+    shape.push_back(it->second);
+  }
+  return shape;
+}
+
+Term SummationIndices(const EinsumSpec& spec) {
+  Term summed;
+  for (const Term& term : spec.inputs) {
+    for (Label c : term) {
+      if (spec.output.find(c) == Term::npos &&
+          summed.find(c) == Term::npos) {
+        summed.push_back(c);
+      }
+    }
+  }
+  return summed;
+}
+
+}  // namespace einsql

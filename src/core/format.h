@@ -1,0 +1,81 @@
+#ifndef EINSQL_CORE_FORMAT_H_
+#define EINSQL_CORE_FORMAT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/shape.h"
+
+namespace einsql {
+
+/// An index label. Format strings use ASCII letters, but programmatically
+/// constructed expressions (e.g. SAT tensor networks with hundreds of
+/// variables, §4.2) may use any 32-bit label — far beyond the 52 letters a
+/// textual format string can name, and beyond NumPy's 32-dimension ceiling
+/// the paper reports hitting.
+using Label = char32_t;
+
+/// The index string of one tensor: a sequence of labels.
+using Term = std::u32string;
+
+/// Extent of every index label in an expression.
+using Extents = std::map<Label, int64_t>;
+
+/// Widens an ASCII index string ("ik") to a Term.
+Term ToTerm(std::string_view ascii);
+
+/// Renders a term for diagnostics: ASCII labels print as themselves,
+/// anything else as "#<value>".
+std::string TermToString(const Term& term);
+
+/// A parsed tensor expression in Einstein notation (§2).
+///
+/// `inputs[t]` holds the index term of the t-th input tensor; `output`
+/// holds the labels that remain after evaluation. An empty term denotes a
+/// scalar (rank-0 tensor). Example: "ik,jk,j->i" parses to
+/// inputs = {ik, jk, j}, output = i.
+struct EinsumSpec {
+  std::vector<Term> inputs;
+  Term output;
+
+  /// Renders the spec back to a format string with the modern arrow
+  /// (non-ASCII labels render as "#<value>").
+  std::string ToString() const;
+
+  /// Number of input tensors.
+  int num_inputs() const { return static_cast<int>(inputs.size()); }
+};
+
+/// Parses a format string in modern ("ik,jk,j->i") or classic implicit
+/// ("ik,jk,j") Einstein notation. In classic mode the output consists of the
+/// indices that appear exactly once across all inputs, in alphabetical order
+/// (NumPy's convention). Index characters must be ASCII letters.
+///
+/// Validation errors (repeated output index, output index absent from every
+/// input, illegal characters, empty string) are reported as ParseError /
+/// InvalidArgument.
+Result<EinsumSpec> ParseEinsumFormat(std::string_view format);
+
+/// Validates a programmatically built spec (labels are unconstrained):
+/// output labels must be unique and present in some input.
+Status ValidateSpec(const EinsumSpec& spec);
+
+/// Derives the extent of every index label from the input shapes, and
+/// verifies rank agreement and extent consistency across tensors sharing an
+/// index (§2: axes sharing an index must have the same size).
+Result<Extents> IndexExtents(const EinsumSpec& spec,
+                             const std::vector<Shape>& shapes);
+
+/// The shape of the output tensor under `extents`.
+Result<Shape> OutputShape(const EinsumSpec& spec, const Extents& extents);
+
+/// Indices that are summed over (present in some input, absent from output),
+/// in order of first appearance.
+Term SummationIndices(const EinsumSpec& spec);
+
+}  // namespace einsql
+
+#endif  // EINSQL_CORE_FORMAT_H_

@@ -1,0 +1,502 @@
+#include "core/path.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <limits>
+#include <set>
+
+#include "core/cost.h"
+
+namespace einsql {
+
+const char* PathAlgorithmToString(PathAlgorithm algorithm) {
+  switch (algorithm) {
+    case PathAlgorithm::kNaive:
+      return "naive";
+    case PathAlgorithm::kGreedy:
+      return "greedy";
+    case PathAlgorithm::kElimination:
+      return "elimination";
+    case PathAlgorithm::kBranch:
+      return "branch";
+    case PathAlgorithm::kOptimal:
+      return "optimal";
+    case PathAlgorithm::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Term IntermediateTerm(const Term& lhs, const Term& rhs,
+                             const std::vector<Term>& remaining,
+                             const Term& output) {
+  Term result;
+  auto needed = [&](Label c) {
+    if (output.find(c) != Term::npos) return true;
+    for (const Term& term : remaining) {
+      if (term.find(c) != Term::npos) return true;
+    }
+    return false;
+  };
+  for (Label c : lhs + rhs) {
+    if (result.find(c) == Term::npos && needed(c)) result.push_back(c);
+  }
+  return result;
+}
+
+namespace {
+
+// Replays `pairs` over `terms`, filling in flop and size statistics.
+// Returns an error if any position is out of range.
+Status Replay(const std::vector<Term>& terms, const Term& output,
+              const Extents& extents, ContractionPath* path) {
+  std::vector<Term> ops = terms;
+  path->est_flops = 0.0;
+  path->largest_intermediate = 0.0;
+  for (auto [i, j] : path->pairs) {
+    if (i == j || i < 0 || j < 0 || i >= static_cast<int>(ops.size()) ||
+        j >= static_cast<int>(ops.size())) {
+      return Status::Internal("invalid contraction path positions");
+    }
+    if (i > j) std::swap(i, j);
+    const Term lhs = ops[i];
+    const Term rhs = ops[j];
+    ops.erase(ops.begin() + j);
+    ops.erase(ops.begin() + i);
+    const Term result = IntermediateTerm(lhs, rhs, ops, output);
+    path->est_flops += PairContractionCost(lhs, rhs, result, extents);
+    path->largest_intermediate =
+        std::max(path->largest_intermediate, TermSize(result, extents));
+    ops.push_back(result);
+  }
+  if (ops.size() != 1) {
+    return Status::Internal("contraction path does not reduce to one operand");
+  }
+  return Status::OK();
+}
+
+ContractionPath NaivePath(int num_terms) {
+  ContractionPath path;
+  path.algorithm = PathAlgorithm::kNaive;
+  for (int step = 0; step + 1 < num_terms; ++step) {
+    path.pairs.emplace_back(0, 1);
+  }
+  return path;
+}
+
+ContractionPath GreedyPath(const std::vector<Term>& terms,
+                           const Term& output,
+                           const Extents& extents) {
+  ContractionPath path;
+  path.algorithm = PathAlgorithm::kGreedy;
+  // Alive operands are identified by their position in `slots`; the path
+  // convention needs positions in the *compacted* list, so we re-derive the
+  // compacted position from the alive prefix at emission time.
+  std::vector<Term> ops = terms;
+  while (ops.size() > 1) {
+    // Enumerate candidate pairs that share at least one index character.
+    const int n = static_cast<int>(ops.size());
+    int best_i = -1, best_j = -1;
+    double best_gain = std::numeric_limits<double>::infinity();
+    double best_cost = std::numeric_limits<double>::infinity();
+    Term best_result;
+    // Map each char to the operands containing it to avoid O(n^2) full scan.
+    std::map<Label, std::vector<int>> by_char;
+    for (int i = 0; i < n; ++i) {
+      std::set<Label> seen;
+      for (Label c : ops[i]) {
+        if (seen.insert(c).second) by_char[c].push_back(i);
+      }
+    }
+    std::set<std::pair<int, int>> candidates;
+    for (const auto& [c, holders] : by_char) {
+      for (size_t a = 0; a < holders.size(); ++a) {
+        for (size_t b = a + 1; b < holders.size(); ++b) {
+          candidates.emplace(holders[a], holders[b]);
+        }
+      }
+    }
+    if (candidates.empty()) {
+      // Disconnected network: contract the two smallest operands (outer
+      // product), mirroring opt_einsum's tail phase.
+      std::vector<int> order(n);
+      for (int i = 0; i < n; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        double sa = TermSize(ops[a], extents), sb = TermSize(ops[b], extents);
+        if (sa != sb) return sa < sb;
+        return a < b;
+      });
+      candidates.emplace(std::min(order[0], order[1]),
+                         std::max(order[0], order[1]));
+    }
+    for (auto [i, j] : candidates) {
+      std::vector<Term> remaining;
+      remaining.reserve(n - 2);
+      for (int k = 0; k < n; ++k) {
+        if (k != i && k != j) remaining.push_back(ops[k]);
+      }
+      const Term result =
+          IntermediateTerm(ops[i], ops[j], remaining, output);
+      const double gain = TermSize(result, extents) -
+                          TermSize(ops[i], extents) -
+                          TermSize(ops[j], extents);
+      const double cost = PairContractionCost(ops[i], ops[j], result, extents);
+      if (gain < best_gain || (gain == best_gain && cost < best_cost)) {
+        best_gain = gain;
+        best_cost = cost;
+        best_i = i;
+        best_j = j;
+        best_result = result;
+      }
+    }
+    path.pairs.emplace_back(best_i, best_j);
+    ops.erase(ops.begin() + best_j);
+    ops.erase(ops.begin() + best_i);
+    ops.push_back(best_result);
+  }
+  return path;
+}
+
+ContractionPath EliminationPath(const std::vector<Term>& terms,
+                                const Term& output, const Extents& extents);
+
+// Depth-first branch-and-bound over pairwise contractions ("branch-2"):
+// at every level only the `kBranchFactor` most promising candidate pairs
+// (by the greedy gain heuristic) are expanded, and subtrees whose partial
+// cost already exceeds the best complete path are pruned. Seeded with the
+// better of greedy and elimination so pruning bites immediately.
+ContractionPath BranchPath(const std::vector<Term>& terms, const Term& output,
+                           const Extents& extents) {
+  constexpr int kBranchFactor = 2;
+  constexpr int64_t kNodeBudget = 200'000;
+
+  // Seed the bound with the better heuristic path.
+  ContractionPath best = GreedyPath(terms, output, extents);
+  (void)Replay(terms, output, extents, &best);
+  {
+    ContractionPath elimination = EliminationPath(terms, output, extents);
+    if (Replay(terms, output, extents, &elimination).ok() &&
+        elimination.est_flops < best.est_flops) {
+      best = elimination;
+    }
+  }
+  double best_cost = best.est_flops;
+
+  int64_t nodes = 0;
+  std::vector<std::pair<int, int>> current;
+  std::function<void(std::vector<Term>&, double)> search =
+      [&](std::vector<Term>& ops, double cost_so_far) {
+        if (++nodes > kNodeBudget) return;
+        if (cost_so_far >= best_cost) return;  // prune
+        const int n = static_cast<int>(ops.size());
+        if (n == 1) {
+          best.pairs = current;
+          best.algorithm = PathAlgorithm::kBranch;
+          best_cost = cost_so_far;
+          return;
+        }
+        // Rank candidate pairs by the greedy gain heuristic; expand the
+        // top kBranchFactor.
+        struct Candidate {
+          int i, j;
+          double gain, cost;
+          Term result;
+        };
+        std::vector<Candidate> candidates;
+        for (int i = 0; i < n; ++i) {
+          for (int j = i + 1; j < n; ++j) {
+            bool shares = false;
+            for (Label c : ops[i]) {
+              if (ops[j].find(c) != Term::npos) {
+                shares = true;
+                break;
+              }
+            }
+            if (!shares && n > 2) continue;  // defer outer products
+            std::vector<Term> remaining;
+            for (int k = 0; k < n; ++k) {
+              if (k != i && k != j) remaining.push_back(ops[k]);
+            }
+            Candidate candidate;
+            candidate.i = i;
+            candidate.j = j;
+            candidate.result =
+                IntermediateTerm(ops[i], ops[j], remaining, output);
+            candidate.cost =
+                PairContractionCost(ops[i], ops[j], candidate.result, extents);
+            candidate.gain = TermSize(candidate.result, extents) -
+                             TermSize(ops[i], extents) -
+                             TermSize(ops[j], extents);
+            candidates.push_back(std::move(candidate));
+          }
+        }
+        if (candidates.empty()) {
+          // Fully disconnected: fold the first two operands.
+          std::vector<Term> remaining(ops.begin() + 2, ops.end());
+          Candidate candidate;
+          candidate.i = 0;
+          candidate.j = 1;
+          candidate.result = IntermediateTerm(ops[0], ops[1], remaining, output);
+          candidate.cost =
+              PairContractionCost(ops[0], ops[1], candidate.result, extents);
+          candidate.gain = 0.0;
+          candidates.push_back(std::move(candidate));
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Candidate& a, const Candidate& b) {
+                    if (a.gain != b.gain) return a.gain < b.gain;
+                    return a.cost < b.cost;
+                  });
+        const int expand =
+            std::min<int>(kBranchFactor, static_cast<int>(candidates.size()));
+        for (int c = 0; c < expand; ++c) {
+          const Candidate& candidate = candidates[c];
+          std::vector<Term> next = ops;
+          next.erase(next.begin() + candidate.j);
+          next.erase(next.begin() + candidate.i);
+          next.push_back(candidate.result);
+          current.emplace_back(candidate.i, candidate.j);
+          search(next, cost_so_far + candidate.cost);
+          current.pop_back();
+        }
+      };
+  std::vector<Term> ops = terms;
+  search(ops, 0.0);
+  return best;
+}
+
+// Bucket / variable elimination: the classical evaluation strategy for
+// tensor networks with many small tensors. In each round, the summation
+// label whose bucket (union of the operands containing it) is cheapest is
+// eliminated by contracting the bucket pairwise; surviving operands are
+// finally folded together.
+ContractionPath EliminationPath(const std::vector<Term>& terms,
+                                const Term& output, const Extents& extents) {
+  ContractionPath path;
+  path.algorithm = PathAlgorithm::kElimination;
+  std::vector<Term> ops = terms;
+
+  auto emit_fold = [&](std::vector<int> positions) {
+    // Contracts the operands at `positions` pairwise, left-to-right,
+    // updating `ops` and the path. Positions must be sorted ascending.
+    while (positions.size() > 1) {
+      const int i = positions[0];
+      const int j = positions[1];
+      path.pairs.emplace_back(i, j);
+      const Term lhs = ops[i];
+      const Term rhs = ops[j];
+      ops.erase(ops.begin() + j);
+      ops.erase(ops.begin() + i);
+      const Term result = IntermediateTerm(lhs, rhs, ops, output);
+      ops.push_back(result);
+      // Remaining positions shift: every position p > j decreases by 2,
+      // positions between i and j decrease by 1 (i < p < j), and the merge
+      // result sits at the end.
+      std::vector<int> updated;
+      updated.push_back(static_cast<int>(ops.size()) - 1);
+      for (size_t k = 2; k < positions.size(); ++k) {
+        int p = positions[k];
+        p -= (p > i ? 1 : 0) + (p > j ? 1 : 0);
+        updated.push_back(p);
+      }
+      std::sort(updated.begin(), updated.end());
+      positions = std::move(updated);
+    }
+  };
+
+  while (true) {
+    // Buckets of all summation labels still alive.
+    std::map<Label, std::vector<int>> buckets;
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      std::set<Label> seen;
+      for (Label c : ops[i]) {
+        if (output.find(c) != Term::npos) continue;
+        if (seen.insert(c).second) buckets[c].push_back(i);
+      }
+    }
+    // Drop labels held by a single operand: a pairwise step elsewhere (or
+    // the final fold) sums them away for free.
+    for (auto it = buckets.begin(); it != buckets.end();) {
+      if (it->second.size() < 2) {
+        it = buckets.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (buckets.empty()) break;
+    // Cheapest bucket: smallest union size; tie-break by fewer operands.
+    Label best_label = 0;
+    double best_size = std::numeric_limits<double>::infinity();
+    size_t best_count = 0;
+    for (const auto& [label, members] : buckets) {
+      Term merged;
+      for (int i : members) merged += ops[i];
+      const double size = TermSize(merged, extents);
+      if (size < best_size ||
+          (size == best_size && members.size() < best_count)) {
+        best_label = label;
+        best_size = size;
+        best_count = members.size();
+      }
+    }
+    emit_fold(buckets[best_label]);
+  }
+  // Fold whatever is left (outer products of survivors).
+  if (ops.size() > 1) {
+    std::vector<int> positions;
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      positions.push_back(i);
+    }
+    emit_fold(std::move(positions));
+  }
+  return path;
+}
+
+// Exact subset dynamic program (opt_einsum "optimal").
+Result<ContractionPath> OptimalPath(const std::vector<Term>& terms,
+                                    const Term& output,
+                                    const Extents& extents) {
+  const int n = static_cast<int>(terms.size());
+  if (n > 16) {
+    return Status::InvalidArgument(
+        "optimal path search supports at most 16 operands, got ", n);
+  }
+  const uint32_t full = (n == 32 ? ~0u : (1u << n) - 1);
+
+  // term_of[mask]: surviving indices of the subtree covering `mask`.
+  std::vector<Term> term_of(full + 1);
+  auto compute_term = [&](uint32_t mask) {
+    Term inside;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        for (Label c : terms[i]) {
+          if (inside.find(c) == Term::npos) inside.push_back(c);
+        }
+      }
+    }
+    Term survivors;
+    for (Label c : inside) {
+      bool needed = output.find(c) != Term::npos;
+      for (int i = 0; i < n && !needed; ++i) {
+        if (!(mask & (1u << i)) &&
+            terms[i].find(c) != Term::npos) {
+          needed = true;
+        }
+      }
+      if (needed) survivors.push_back(c);
+    }
+    return survivors;
+  };
+  for (uint32_t mask = 1; mask <= full; ++mask) term_of[mask] = compute_term(mask);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(full + 1, kInf);
+  std::vector<uint32_t> split(full + 1, 0);
+  for (int i = 0; i < n; ++i) cost[1u << i] = 0.0;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (std::popcount(mask) < 2) continue;
+    // Enumerate submask splits; canonicalize by keeping the lowest set bit
+    // on the left side to halve the work.
+    const uint32_t low = mask & (~mask + 1);
+    for (uint32_t sub = (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask) {
+      if (!(sub & low)) continue;
+      const uint32_t rest = mask ^ sub;
+      if (cost[sub] == kInf || cost[rest] == kInf) continue;
+      const double c = cost[sub] + cost[rest] +
+                       PairContractionCost(term_of[sub], term_of[rest],
+                                           term_of[mask], extents);
+      if (c < cost[mask]) {
+        cost[mask] = c;
+        split[mask] = sub;
+      }
+    }
+  }
+
+  // Convert the binary contraction tree to opt_einsum position pairs by
+  // simulating the operand list.
+  ContractionPath path;
+  path.algorithm = PathAlgorithm::kOptimal;
+  std::vector<uint32_t> slots;
+  for (int i = 0; i < n; ++i) slots.push_back(1u << i);
+  auto position_of = [&](uint32_t mask) {
+    for (size_t k = 0; k < slots.size(); ++k) {
+      if (slots[k] == mask) return static_cast<int>(k);
+    }
+    return -1;
+  };
+  // Iterative post-order emission.
+  struct Frame {
+    uint32_t mask;
+    bool expanded;
+  };
+  std::vector<Frame> stack{{full, false}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (std::popcount(frame.mask) < 2) continue;
+    if (!frame.expanded) {
+      stack.push_back({frame.mask, true});
+      stack.push_back({split[frame.mask], false});
+      stack.push_back({frame.mask ^ split[frame.mask], false});
+      continue;
+    }
+    int pi = position_of(split[frame.mask]);
+    int pj = position_of(frame.mask ^ split[frame.mask]);
+    if (pi > pj) std::swap(pi, pj);
+    path.pairs.emplace_back(pi, pj);
+    slots.erase(slots.begin() + pj);
+    slots.erase(slots.begin() + pi);
+    slots.push_back(frame.mask);
+  }
+  return path;
+}
+
+}  // namespace
+
+Result<ContractionPath> FindPath(const std::vector<Term>& terms,
+                                 const Term& output,
+                                 const Extents& extents,
+                                 PathAlgorithm algorithm) {
+  if (terms.size() < 2) {
+    return Status::InvalidArgument("FindPath requires at least two operands");
+  }
+  ContractionPath path;
+  switch (algorithm) {
+    case PathAlgorithm::kNaive:
+      path = NaivePath(static_cast<int>(terms.size()));
+      break;
+    case PathAlgorithm::kGreedy:
+      path = GreedyPath(terms, output, extents);
+      break;
+    case PathAlgorithm::kElimination:
+      path = EliminationPath(terms, output, extents);
+      break;
+    case PathAlgorithm::kBranch:
+      path = BranchPath(terms, output, extents);
+      break;
+    case PathAlgorithm::kOptimal: {
+      EINSQL_ASSIGN_OR_RETURN(path, OptimalPath(terms, output, extents));
+      break;
+    }
+    case PathAlgorithm::kAuto: {
+      if (terms.size() <= 10) {
+        EINSQL_ASSIGN_OR_RETURN(path, OptimalPath(terms, output, extents));
+      } else {
+        // Best of the two scalable heuristics by estimated flops.
+        ContractionPath greedy = GreedyPath(terms, output, extents);
+        EINSQL_RETURN_IF_ERROR(Replay(terms, output, extents, &greedy));
+        ContractionPath elimination =
+            EliminationPath(terms, output, extents);
+        EINSQL_RETURN_IF_ERROR(Replay(terms, output, extents, &elimination));
+        return greedy.est_flops <= elimination.est_flops ? greedy
+                                                         : elimination;
+      }
+      break;
+    }
+  }
+  EINSQL_RETURN_IF_ERROR(Replay(terms, output, extents, &path));
+  return path;
+}
+
+}  // namespace einsql

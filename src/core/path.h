@@ -1,0 +1,80 @@
+#ifndef EINSQL_CORE_PATH_H_
+#define EINSQL_CORE_PATH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/format.h"
+#include <vector>
+
+#include "common/result.h"
+
+namespace einsql {
+
+/// Contraction-path search strategy (the opt_einsum work-alike of §3.3).
+enum class PathAlgorithm {
+  /// Contract operands left-to-right, as a query engine would join them in
+  /// FROM-clause order. The baseline for the decomposition ablation.
+  kNaive,
+  /// Repeatedly contracts the pair with the best
+  /// size(result) - size(lhs) - size(rhs) heuristic, preferring pairs that
+  /// share an index; scales to thousands of tensors (opt_einsum "greedy").
+  kGreedy,
+  /// Bucket / variable elimination: repeatedly eliminates the summation
+  /// index whose bucket (the union of all operands containing it) is
+  /// smallest, contracting that bucket pairwise. Far more robust than
+  /// kGreedy on large tensor networks (SAT formulas, graphical models,
+  /// circuits), where pairwise greedy is known to wander into huge
+  /// intermediates.
+  kElimination,
+  /// Depth-first branch-and-bound over pairwise choices, expanding only the
+  /// most promising few pairs per level and pruning against the best
+  /// complete path found so far (opt_einsum "branch-2"). Near-optimal on
+  /// mid-sized expressions where the exact DP is already infeasible.
+  kBranch,
+  /// Exact dynamic program over operand subsets; optimal flop count but
+  /// exponential, limited to at most 16 operands (opt_einsum "optimal"/"dp").
+  kOptimal,
+  /// kOptimal for small expressions, best-of(kGreedy, kElimination)
+  /// otherwise.
+  kAuto,
+};
+
+/// Returns "naive"/"greedy"/"optimal"/"auto".
+const char* PathAlgorithmToString(PathAlgorithm algorithm);
+
+/// A pairwise contraction sequence using the opt_einsum convention: each step
+/// names two positions in the *current* operand list; both operands are
+/// removed and the intermediate result is appended at the end of the list.
+struct ContractionPath {
+  /// Pairs of operand positions, one entry per contraction step.
+  std::vector<std::pair<int, int>> pairs;
+  /// Estimated total flop count of the whole contraction.
+  double est_flops = 0.0;
+  /// Number of elements of the largest intermediate tensor.
+  double largest_intermediate = 0.0;
+  /// The algorithm that produced the path.
+  PathAlgorithm algorithm = PathAlgorithm::kAuto;
+};
+
+/// Computes the indices of the intermediate produced by contracting `lhs`
+/// and `rhs` while the terms in `remaining` are still pending: every index
+/// that also occurs in `output` or in a remaining term survives, ordered by
+/// first occurrence in lhs then rhs.
+Term IntermediateTerm(const Term& lhs, const Term& rhs,
+                             const std::vector<Term>& remaining,
+                             const Term& output);
+
+/// Finds a pairwise contraction path for `terms` (each term must already be
+/// duplicate-free; see BuildProgram for the pre-reduction pass). Requires at
+/// least two terms. kOptimal fails with InvalidArgument beyond 16 terms.
+Result<ContractionPath> FindPath(const std::vector<Term>& terms,
+                                 const Term& output,
+                                 const Extents& extents,
+                                 PathAlgorithm algorithm);
+
+}  // namespace einsql
+
+#endif  // EINSQL_CORE_PATH_H_

@@ -1,0 +1,135 @@
+#include "core/program.h"
+
+#include <algorithm>
+
+#include "core/cost.h"
+
+namespace einsql {
+
+const Term& ContractionProgram::TermOfSlot(int slot) const {
+  if (slot < num_inputs) return spec.inputs[slot];
+  return steps[slot - num_inputs].result_term;
+}
+
+namespace {
+
+struct Operand {
+  int slot;
+  Term term;
+};
+
+// Unique characters of `term` in first-occurrence order that are needed
+// downstream: present in the output or in any other operand's term.
+Term KeepSet(const Term& term, size_t self,
+                    const std::vector<Term>& all_terms,
+                    const Term& output) {
+  Term keep;
+  for (Label c : term) {
+    if (keep.find(c) != Term::npos) continue;
+    bool needed = output.find(c) != Term::npos;
+    for (size_t t = 0; t < all_terms.size() && !needed; ++t) {
+      if (t != self && all_terms[t].find(c) != Term::npos) {
+        needed = true;
+      }
+    }
+    if (needed) keep.push_back(c);
+  }
+  return keep;
+}
+
+}  // namespace
+
+Result<ContractionProgram> BuildProgram(const EinsumSpec& spec,
+                                        const std::vector<Shape>& shapes,
+                                        PathAlgorithm algorithm) {
+  ContractionProgram program;
+  EINSQL_RETURN_IF_ERROR(ValidateSpec(spec));
+  program.spec = spec;
+  EINSQL_ASSIGN_OR_RETURN(program.extents, IndexExtents(spec, shapes));
+  program.num_inputs = spec.num_inputs();
+  program.algorithm = algorithm;
+  int next_slot = program.num_inputs;
+
+  // Phase 1: pre-reduce inputs with repeated or immediately-summable indices.
+  std::vector<Operand> alive;
+  for (int t = 0; t < spec.num_inputs(); ++t) {
+    const Term& term = spec.inputs[t];
+    const Term keep = KeepSet(term, t, spec.inputs, spec.output);
+    if (keep == term) {
+      alive.push_back({t, term});
+      continue;
+    }
+    ProgramStep step;
+    step.args = {t};
+    step.arg_terms = {term};
+    step.result_term = keep;
+    step.result_slot = next_slot++;
+    program.est_flops += UnaryReductionCost(term, program.extents);
+    alive.push_back({step.result_slot, keep});
+    program.steps.push_back(std::move(step));
+  }
+
+  // Phase 2: single-operand expressions need at most one more reduction to
+  // reach the exact output term (e.g. a transposition "ij->ji").
+  if (alive.size() == 1) {
+    if (alive[0].term != spec.output) {
+      ProgramStep step;
+      step.args = {alive[0].slot};
+      step.arg_terms = {alive[0].term};
+      step.result_term = spec.output;
+      step.result_slot = next_slot++;
+      program.est_flops += UnaryReductionCost(alive[0].term, program.extents);
+      program.steps.push_back(std::move(step));
+      program.result_slot = program.steps.back().result_slot;
+    } else {
+      program.result_slot = alive[0].slot;
+    }
+    return program;
+  }
+
+  // Phase 3: pairwise contraction along an optimized path.
+  std::vector<Term> terms;
+  terms.reserve(alive.size());
+  for (const Operand& op : alive) terms.push_back(op.term);
+  EINSQL_ASSIGN_OR_RETURN(
+      ContractionPath path,
+      FindPath(terms, spec.output, program.extents, algorithm));
+  program.algorithm = path.algorithm;
+  program.est_flops += path.est_flops;
+
+  for (size_t s = 0; s < path.pairs.size(); ++s) {
+    auto [i, j] = path.pairs[s];
+    if (i > j) std::swap(i, j);
+    const Operand lhs = alive[i];
+    const Operand rhs = alive[j];
+    alive.erase(alive.begin() + j);
+    alive.erase(alive.begin() + i);
+    Term result;
+    if (s + 1 == path.pairs.size()) {
+      result = spec.output;  // force exact output order on the last step
+    } else {
+      std::vector<Term> remaining;
+      remaining.reserve(alive.size());
+      for (const Operand& op : alive) remaining.push_back(op.term);
+      result = IntermediateTerm(lhs.term, rhs.term, remaining, spec.output);
+    }
+    ProgramStep step;
+    step.args = {lhs.slot, rhs.slot};
+    step.arg_terms = {lhs.term, rhs.term};
+    step.result_term = result;
+    step.result_slot = next_slot++;
+    alive.push_back({step.result_slot, result});
+    program.steps.push_back(std::move(step));
+  }
+  program.result_slot = alive[0].slot;
+  return program;
+}
+
+Result<ContractionProgram> BuildProgram(std::string_view format,
+                                        const std::vector<Shape>& shapes,
+                                        PathAlgorithm algorithm) {
+  EINSQL_ASSIGN_OR_RETURN(EinsumSpec spec, ParseEinsumFormat(format));
+  return BuildProgram(spec, shapes, algorithm);
+}
+
+}  // namespace einsql

@@ -1,0 +1,72 @@
+#ifndef EINSQL_CORE_PROGRAM_H_
+#define EINSQL_CORE_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/format.h"
+#include "core/path.h"
+
+namespace einsql {
+
+/// One step of a contraction program: a unary reduction (diagonal extraction
+/// and/or axis summation of a single operand) or a pairwise contraction.
+struct ProgramStep {
+  /// Slot ids of the 1 or 2 operands consumed by this step.
+  std::vector<int> args;
+  /// Index terms of the operands, parallel to `args`.
+  std::vector<Term> arg_terms;
+  /// Index term of the produced intermediate (duplicate-free).
+  Term result_term;
+  /// Slot id assigned to the result.
+  int result_slot = -1;
+};
+
+/// A backend-independent pairwise evaluation plan for an Einstein summation
+/// (§3.3's decomposition): the SQL generator turns every step into one
+/// common table expression, and the dense reference backend executes every
+/// step with ReduceLabels/ContractPair. Slots 0..num_inputs-1 are the input
+/// tensors; each step allocates the next slot.
+struct ContractionProgram {
+  /// The original parsed expression.
+  EinsumSpec spec;
+  /// Extent of every index character.
+  Extents extents;
+  /// Number of input tensors (slots 0..num_inputs-1).
+  int num_inputs = 0;
+  /// Evaluation steps in execution order.
+  std::vector<ProgramStep> steps;
+  /// Slot holding the final result. Equal to an input slot iff the
+  /// expression is an identity (e.g. "ij->ij").
+  int result_slot = 0;
+  /// Estimated flop count including unary reductions.
+  double est_flops = 0.0;
+  /// The path algorithm used for the pairwise phase.
+  PathAlgorithm algorithm = PathAlgorithm::kAuto;
+
+  /// Term of the tensor held in `slot` (input term or step result term).
+  const Term& TermOfSlot(int slot) const;
+};
+
+/// Builds a contraction program for `spec` over tensors with the given
+/// shapes:
+///  1. validates shapes against the spec and derives index extents,
+///  2. pre-reduces every input whose term has repeated indices or indices
+///     needed by no other operand and absent from the output,
+///  3. runs contraction-path search over the reduced terms,
+///  4. forces the final step to produce exactly `spec.output`.
+Result<ContractionProgram> BuildProgram(const EinsumSpec& spec,
+                                        const std::vector<Shape>& shapes,
+                                        PathAlgorithm algorithm);
+
+/// Convenience overload: parses the format string first.
+Result<ContractionProgram> BuildProgram(std::string_view format,
+                                        const std::vector<Shape>& shapes,
+                                        PathAlgorithm algorithm);
+
+}  // namespace einsql
+
+#endif  // EINSQL_CORE_PROGRAM_H_

@@ -1,0 +1,92 @@
+#include "core/reference.h"
+
+#include <complex>
+#include <map>
+
+namespace einsql {
+
+template <typename V>
+Result<Dense<V>> ReferenceEinsum(const EinsumSpec& spec,
+                                 const std::vector<const Dense<V>*>& inputs) {
+  std::vector<Shape> shapes;
+  shapes.reserve(inputs.size());
+  for (const Dense<V>* t : inputs) shapes.push_back(t->shape());
+  EINSQL_ASSIGN_OR_RETURN(auto extents, IndexExtents(spec, shapes));
+  EINSQL_ASSIGN_OR_RETURN(Shape out_shape, OutputShape(spec, extents));
+  EINSQL_ASSIGN_OR_RETURN(Dense<V> out, Dense<V>::Zeros(out_shape));
+
+  // Enumerate all distinct index characters; the joint assignment is an
+  // odometer over their extents.
+  std::vector<Label> chars;
+  std::vector<int64_t> dims;
+  for (const auto& [c, extent] : extents) {
+    chars.push_back(c);
+    dims.push_back(extent);
+  }
+  std::map<Label, int> char_pos;
+  for (size_t k = 0; k < chars.size(); ++k) char_pos[chars[k]] = k;
+
+  std::vector<int64_t> assignment(chars.size(), 0);
+  std::vector<int64_t> coords;
+  while (true) {
+    // Product of the addressed input elements.
+    V product = V(1);
+    for (size_t t = 0; t < inputs.size(); ++t) {
+      coords.clear();
+      for (Label c : spec.inputs[t]) coords.push_back(assignment[char_pos[c]]);
+      product *= (*inputs[t])[inputs[t]->FlatIndex(coords)];
+    }
+    coords.clear();
+    for (Label c : spec.output) coords.push_back(assignment[char_pos[c]]);
+    out[out.FlatIndex(coords)] += product;
+    // Advance the odometer.
+    int d = static_cast<int>(chars.size()) - 1;
+    for (; d >= 0; --d) {
+      if (++assignment[d] < dims[d]) break;
+      assignment[d] = 0;
+    }
+    if (d < 0) break;
+    if (chars.empty()) break;  // scalar-only expression: a single iteration
+  }
+  return out;
+}
+
+template <typename V>
+Result<Dense<V>> ReferenceEinsum(std::string_view format,
+                                 const std::vector<const Dense<V>*>& inputs) {
+  EINSQL_ASSIGN_OR_RETURN(EinsumSpec spec, ParseEinsumFormat(format));
+  return ReferenceEinsum(spec, inputs);
+}
+
+template <typename V>
+Result<Coo<V>> ReferenceEinsumCoo(std::string_view format,
+                                  const std::vector<const Coo<V>*>& inputs,
+                                  double epsilon) {
+  EINSQL_ASSIGN_OR_RETURN(EinsumSpec spec, ParseEinsumFormat(format));
+  std::vector<Dense<V>> dense;
+  dense.reserve(inputs.size());
+  for (const Coo<V>* coo : inputs) {
+    EINSQL_ASSIGN_OR_RETURN(Dense<V> d, Dense<V>::FromCoo(*coo));
+    dense.push_back(std::move(d));
+  }
+  std::vector<const Dense<V>*> ptrs;
+  for (const Dense<V>& d : dense) ptrs.push_back(&d);
+  EINSQL_ASSIGN_OR_RETURN(Dense<V> result, ReferenceEinsum(spec, ptrs));
+  return result.ToCoo(epsilon);
+}
+
+template Result<Dense<double>> ReferenceEinsum(
+    const EinsumSpec&, const std::vector<const Dense<double>*>&);
+template Result<Dense<std::complex<double>>> ReferenceEinsum(
+    const EinsumSpec&, const std::vector<const Dense<std::complex<double>>*>&);
+template Result<Dense<double>> ReferenceEinsum(
+    std::string_view, const std::vector<const Dense<double>*>&);
+template Result<Dense<std::complex<double>>> ReferenceEinsum(
+    std::string_view, const std::vector<const Dense<std::complex<double>>*>&);
+template Result<Coo<double>> ReferenceEinsumCoo(
+    std::string_view, const std::vector<const Coo<double>*>&, double);
+template Result<Coo<std::complex<double>>> ReferenceEinsumCoo(
+    std::string_view, const std::vector<const Coo<std::complex<double>>*>&,
+    double);
+
+}  // namespace einsql

@@ -1,0 +1,33 @@
+#ifndef EINSQL_CORE_REFERENCE_H_
+#define EINSQL_CORE_REFERENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/format.h"
+#include "tensor/dense.h"
+
+namespace einsql {
+
+/// Brute-force Einstein summation oracle: evaluates `spec` by a single set
+/// of nested for-loops over the full joint index space, exactly as in the
+/// paper's Listing 1/2. Exponential in the number of distinct indices —
+/// intended purely as the ground truth for tests.
+template <typename V>
+Result<Dense<V>> ReferenceEinsum(const EinsumSpec& spec,
+                                 const std::vector<const Dense<V>*>& inputs);
+
+/// Convenience wrapper around ParseEinsumFormat + ReferenceEinsum.
+template <typename V>
+Result<Dense<V>> ReferenceEinsum(std::string_view format,
+                                 const std::vector<const Dense<V>*>& inputs);
+
+/// COO-in / COO-out convenience wrapper.
+template <typename V>
+Result<Coo<V>> ReferenceEinsumCoo(std::string_view format,
+                                  const std::vector<const Coo<V>*>& inputs,
+                                  double epsilon = 0.0);
+
+}  // namespace einsql
+
+#endif  // EINSQL_CORE_REFERENCE_H_

@@ -1,0 +1,67 @@
+#include "core/sparse_exec.h"
+
+#include <complex>
+
+namespace einsql {
+
+namespace {
+
+Labels TermLabels(const Term& term) {
+  Labels labels;
+  labels.reserve(term.size());
+  for (Label c : term) labels.push_back(static_cast<int>(c));
+  return labels;
+}
+
+}  // namespace
+
+template <typename V>
+Result<Coo<V>> ExecuteProgramSparse(const ContractionProgram& program,
+                                    const std::vector<const Coo<V>*>& inputs,
+                                    double epsilon) {
+  if (static_cast<int>(inputs.size()) != program.num_inputs) {
+    return Status::InvalidArgument("expected ", program.num_inputs,
+                                   " tensors, got ", inputs.size());
+  }
+  for (int t = 0; t < program.num_inputs; ++t) {
+    if (inputs[t]->rank() !=
+        static_cast<int>(program.spec.inputs[t].size())) {
+      return Status::InvalidArgument("tensor ", t, " rank mismatch");
+    }
+  }
+  std::vector<Coo<V>> intermediates;
+  auto tensor_of = [&](int slot) -> const Coo<V>& {
+    if (slot < program.num_inputs) return *inputs[slot];
+    return intermediates[slot - program.num_inputs];
+  };
+  for (const ProgramStep& step : program.steps) {
+    if (step.args.size() == 1) {
+      EINSQL_ASSIGN_OR_RETURN(
+          Coo<V> result,
+          SparseReduceLabels(tensor_of(step.args[0]),
+                             TermLabels(step.arg_terms[0]),
+                             TermLabels(step.result_term)));
+      intermediates.push_back(std::move(result));
+    } else {
+      EINSQL_ASSIGN_OR_RETURN(
+          Coo<V> result,
+          SparseContractPair(tensor_of(step.args[0]),
+                             TermLabels(step.arg_terms[0]),
+                             tensor_of(step.args[1]),
+                             TermLabels(step.arg_terms[1]),
+                             TermLabels(step.result_term)));
+      intermediates.push_back(std::move(result));
+    }
+  }
+  Coo<V> result = tensor_of(program.result_slot);
+  result.Coalesce(epsilon);
+  return result;
+}
+
+template Result<Coo<double>> ExecuteProgramSparse(
+    const ContractionProgram&, const std::vector<const Coo<double>*>&, double);
+template Result<Coo<std::complex<double>>> ExecuteProgramSparse(
+    const ContractionProgram&,
+    const std::vector<const Coo<std::complex<double>>*>&, double);
+
+}  // namespace einsql

@@ -1,0 +1,24 @@
+#ifndef EINSQL_CORE_SPARSE_EXEC_H_
+#define EINSQL_CORE_SPARSE_EXEC_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/program.h"
+#include "tensor/sparse_contract.h"
+
+namespace einsql {
+
+/// Executes a contraction program directly on COO storage with sparse
+/// hash-join/hash-aggregate kernels — what a tensor-native triplestore
+/// (Tentris, §6) does in memory, and exactly the operator pipeline the
+/// generated SQL induces in a DBMS, minus SQL. Entries with magnitude
+/// <= epsilon are dropped from the final result.
+template <typename V>
+Result<Coo<V>> ExecuteProgramSparse(const ContractionProgram& program,
+                                    const std::vector<const Coo<V>*>& inputs,
+                                    double epsilon = 0.0);
+
+}  // namespace einsql
+
+#endif  // EINSQL_CORE_SPARSE_EXEC_H_

@@ -1,0 +1,304 @@
+#include "core/sqlgen.h"
+
+#include <map>
+
+#include "common/str_util.h"
+
+namespace einsql {
+
+namespace {
+
+// One operand of a generated SELECT: the relation name and its index term.
+struct StepInput {
+  std::string table;
+  Term term;
+};
+
+std::string IndexColumn(int position) { return StrCat("i", position); }
+
+// Column list for a CTE header holding a tensor of the given term length,
+// e.g. "(i0, i1, val)" or "(i0, i1, re, im)".
+std::string CteColumns(size_t rank, bool complex_values) {
+  std::string out = "(";
+  for (size_t d = 0; d < rank; ++d) out += IndexColumn(d) + ", ";
+  out += complex_values ? "re, im)" : "val)";
+  return out;
+}
+
+template <typename V>
+void AppendValueLiterals(std::string* row, V value);
+
+template <>
+void AppendValueLiterals(std::string* row, double value) {
+  *row += DoubleToSqlLiteral(value);
+}
+
+template <>
+void AppendValueLiterals(std::string* row, std::complex<double> value) {
+  *row += DoubleToSqlLiteral(value.real());
+  *row += ", ";
+  *row += DoubleToSqlLiteral(value.imag());
+}
+
+template <typename V>
+std::string CooToValuesCteImpl(const std::string& name, const Coo<V>& tensor) {
+  constexpr bool kComplex = !std::is_same_v<V, double>;
+  std::string out = name + CteColumns(tensor.rank(), kComplex) + " AS (";
+  if (tensor.nnz() == 0) {
+    // VALUES of zero rows is not valid SQL; emit an empty SELECT instead.
+    out += "SELECT ";
+    for (int d = 0; d < tensor.rank(); ++d) out += "0, ";
+    out += kComplex ? "0.0, 0.0" : "0.0";
+    out += " WHERE 1=0)";
+    return out;
+  }
+  out += "VALUES ";
+  const int r = tensor.rank();
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    if (k > 0) out += ", ";
+    out += "(";
+    for (int d = 0; d < r; ++d) {
+      out += std::to_string(tensor.raw_coords()[k * r + d]);
+      out += ", ";
+    }
+    AppendValueLiterals(&out, tensor.ValueAt(k));
+    out += ")";
+  }
+  out += ")";
+  return out;
+}
+
+// Builds one SELECT statement applying the four mapping rules of §3.2:
+//   R1: all operands in the FROM clause,
+//   R2: output indices in SELECT and GROUP BY,
+//   R3: the new value is SUM of the product of all operand values,
+//   R4: equal indices transitively equated in WHERE.
+Result<std::string> BuildSelect(const std::vector<StepInput>& inputs,
+                                const Term& out_term,
+                                bool complex_values, bool simplify) {
+  if (inputs.empty()) return Status::Internal("SELECT with no operands");
+  if (complex_values && inputs.size() > 2) {
+    return Status::InvalidArgument(
+        "complex Einstein summation requires pairwise decomposition; a "
+        "product of ", inputs.size(),
+        " complex factors cannot be expressed with the two-factor formula");
+  }
+  // Occurrences of every index character: (operand, axis position).
+  std::map<Label, std::vector<std::pair<int, int>>> occurrences;
+  std::vector<Label> char_order;  // deterministic first-appearance order
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    const Term& term = inputs[t].term;
+    for (size_t d = 0; d < term.size(); ++d) {
+      if (occurrences.find(term[d]) == occurrences.end()) {
+        char_order.push_back(term[d]);
+      }
+      occurrences[term[d]].emplace_back(static_cast<int>(t),
+                                        static_cast<int>(d));
+    }
+  }
+  for (Label c : out_term) {
+    if (occurrences.find(c) == occurrences.end()) {
+      return Status::InvalidArgument("output index '", TermToString(Term(1, c)),
+                                     "' missing from step operands");
+    }
+  }
+  // A step performs no aggregation iff every index occurs exactly once and
+  // survives into the output (pure outer product / identity projection).
+  bool needs_sum = false;
+  for (Label c : char_order) {
+    if (occurrences[c].size() > 1 ||
+        out_term.find(c) == Term::npos) {
+      needs_sum = true;
+      break;
+    }
+  }
+  if (!simplify) needs_sum = true;
+
+  auto alias = [](int t) { return StrCat("a", t); };
+  auto source_col = [&](Label c) {
+    const auto& [t, d] = occurrences[c].front();
+    return alias(t) + "." + IndexColumn(d);
+  };
+
+  // SELECT list (R2 for the indices, R3 for the value).
+  std::string select = "SELECT ";
+  for (size_t k = 0; k < out_term.size(); ++k) {
+    select += source_col(out_term[k]) + " AS " + IndexColumn(k) + ", ";
+  }
+  if (complex_values) {
+    std::string re_expr, im_expr;
+    if (inputs.size() == 1) {
+      re_expr = alias(0) + ".re";
+      im_expr = alias(0) + ".im";
+    } else {
+      // Hard-coded complex product (a+bi)(c+di) = (ac-bd) + (ad+bc)i (§4.4).
+      const std::string a = alias(0) + ".re", b = alias(0) + ".im";
+      const std::string c = alias(1) + ".re", d = alias(1) + ".im";
+      re_expr = a + " * " + c + " - " + b + " * " + d;
+      im_expr = a + " * " + d + " + " + b + " * " + c;
+    }
+    if (needs_sum) {
+      select += "SUM(" + re_expr + ") AS re, SUM(" + im_expr + ") AS im";
+    } else {
+      select += re_expr + " AS re, " + im_expr + " AS im";
+    }
+  } else {
+    std::string product;
+    for (size_t t = 0; t < inputs.size(); ++t) {
+      if (t > 0) product += " * ";
+      product += alias(t) + ".val";
+    }
+    if (needs_sum) {
+      select += "SUM(" + product + ") AS val";
+    } else {
+      select += product + " AS val";
+    }
+  }
+
+  // FROM clause (R1).
+  std::string from = " FROM ";
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    if (t > 0) from += ", ";
+    from += inputs[t].table + " " + alias(t);
+  }
+
+  // WHERE clause (R4): transitively equate repeated indices.
+  std::vector<std::string> equalities;
+  for (Label c : char_order) {
+    const auto& occs = occurrences[c];
+    for (size_t k = 1; k < occs.size(); ++k) {
+      const auto& [pt, pd] = occs[k - 1];
+      const auto& [ct, cd] = occs[k];
+      equalities.push_back(alias(pt) + "." + IndexColumn(pd) + "=" +
+                           alias(ct) + "." + IndexColumn(cd));
+    }
+  }
+  std::string where;
+  if (!equalities.empty()) where = " WHERE " + Join(equalities, " AND ");
+
+  // GROUP BY clause (R2), skipped for scalar outputs and aggregation-free
+  // steps.
+  std::string group_by;
+  if (needs_sum && !out_term.empty()) {
+    group_by = " GROUP BY ";
+    for (size_t k = 0; k < out_term.size(); ++k) {
+      if (k > 0) group_by += ", ";
+      group_by += source_col(out_term[k]);
+    }
+  }
+  return select + from + where + group_by;
+}
+
+template <typename V>
+Result<std::string> GenerateImpl(const ContractionProgram& program,
+                                 const std::vector<const Coo<V>*>* tensors,
+                                 SqlGenOptions options) {
+  constexpr bool kComplex = !std::is_same_v<V, double>;
+  if (kComplex) options.complex_values = true;
+  const int n = program.num_inputs;
+  const bool inline_mode = tensors != nullptr;
+  if (inline_mode && static_cast<int>(tensors->size()) != n) {
+    return Status::InvalidArgument("expected ", n, " tensors, got ",
+                                   tensors->size());
+  }
+  if (!inline_mode && static_cast<int>(options.input_names.size()) != n) {
+    return Status::InvalidArgument(
+        "options.input_names must name one table per input");
+  }
+
+  auto slot_name = [&](int slot) -> std::string {
+    if (slot < n) {
+      return inline_mode ? StrCat(options.inline_prefix, slot)
+                         : options.input_names[slot];
+    }
+    return StrCat(options.intermediate_prefix, slot - n + 1);
+  };
+
+  std::vector<std::string> ctes;
+  if (!options.prelude_ctes.empty()) ctes.push_back(options.prelude_ctes);
+  if (inline_mode) {
+    for (int t = 0; t < n; ++t) {
+      ctes.push_back(CooToValuesCteImpl(slot_name(t), *(*tensors)[t]));
+    }
+  }
+
+  std::string final_select;
+  if (!options.decompose) {
+    // Single flat query over all inputs (§3.2).
+    std::vector<StepInput> inputs;
+    for (int t = 0; t < n; ++t) {
+      inputs.push_back({slot_name(t), program.spec.inputs[t]});
+    }
+    EINSQL_ASSIGN_OR_RETURN(
+        final_select, BuildSelect(inputs, program.spec.output,
+                                  options.complex_values, options.simplify));
+  } else if (program.steps.empty()) {
+    // Identity expression such as "ij->ij".
+    std::vector<StepInput> inputs = {
+        {slot_name(program.result_slot), program.spec.output}};
+    EINSQL_ASSIGN_OR_RETURN(
+        final_select, BuildSelect(inputs, program.spec.output,
+                                  options.complex_values, options.simplify));
+  } else {
+    for (size_t s = 0; s < program.steps.size(); ++s) {
+      const ProgramStep& step = program.steps[s];
+      std::vector<StepInput> inputs;
+      for (size_t a = 0; a < step.args.size(); ++a) {
+        inputs.push_back({slot_name(step.args[a]), step.arg_terms[a]});
+      }
+      EINSQL_ASSIGN_OR_RETURN(
+          std::string select,
+          BuildSelect(inputs, step.result_term, options.complex_values,
+                      options.simplify));
+      if (s + 1 == program.steps.size()) {
+        final_select = select;
+      } else {
+        ctes.push_back(slot_name(step.result_slot) +
+                       CteColumns(step.result_term.size(),
+                                  options.complex_values) +
+                       " AS (" + select + ")");
+      }
+    }
+  }
+
+  std::string sql;
+  if (!ctes.empty()) sql = "WITH " + Join(ctes, ",\n") + "\n";
+  sql += final_select;
+  if (!options.order_by.empty()) sql += " ORDER BY " + options.order_by;
+  return sql;
+}
+
+}  // namespace
+
+std::string CooToValuesCte(const std::string& name, const CooTensor& tensor) {
+  return CooToValuesCteImpl(name, tensor);
+}
+
+std::string CooToValuesCte(const std::string& name,
+                           const ComplexCooTensor& tensor) {
+  return CooToValuesCteImpl(name, tensor);
+}
+
+Result<std::string> GenerateEinsumSql(
+    const ContractionProgram& program,
+    const std::vector<const CooTensor*>& tensors,
+    const SqlGenOptions& options) {
+  return GenerateImpl<double>(program, &tensors, options);
+}
+
+Result<std::string> GenerateComplexEinsumSql(
+    const ContractionProgram& program,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const SqlGenOptions& options) {
+  return GenerateImpl<std::complex<double>>(program, &tensors, options);
+}
+
+Result<std::string> GenerateEinsumSqlForTables(
+    const ContractionProgram& program, const SqlGenOptions& options) {
+  if (options.complex_values) {
+    return GenerateImpl<std::complex<double>>(program, nullptr, options);
+  }
+  return GenerateImpl<double>(program, nullptr, options);
+}
+
+}  // namespace einsql

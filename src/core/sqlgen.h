@@ -1,0 +1,86 @@
+#ifndef EINSQL_CORE_SQLGEN_H_
+#define EINSQL_CORE_SQLGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/program.h"
+#include "tensor/coo.h"
+
+namespace einsql {
+
+/// Options controlling SQL generation.
+///
+/// The generator emits only portable constructs — CTEs, VALUES lists, inner
+/// joins, WHERE equalities, GROUP BY, and SUM — so the same query string runs
+/// unchanged on SQLite, MiniDB, PostgreSQL, etc. (§3.1).
+struct SqlGenOptions {
+  /// If true, decompose the expression into one CTE per contraction step
+  /// following the program's path (§3.3). If false, emit a single flat query
+  /// applying mapping rules R1–R4 once over all inputs (§3.2).
+  bool decompose = true;
+
+  /// If true, omit SUM/GROUP BY when a step performs no summation and no
+  /// index is repeated (e.g. pure outer products).
+  bool simplify = true;
+
+  /// Tensor relations carry complex values as (re, im) column pairs, and
+  /// every multiplication is expanded with the hard-coded complex product
+  /// formula (§4.4). Requires `decompose` (or at most two inputs), because
+  /// the expansion is defined for products of exactly two factors.
+  bool complex_values = false;
+
+  /// Names of existing tables holding the input tensors in COO schema
+  /// (i0..ik-1, val) or (i0..ik-1, re, im). If empty, inputs must be passed
+  /// inline to the generator and are emitted as VALUES CTEs named
+  /// `inline_prefix`0, `inline_prefix`1, ...
+  std::vector<std::string> input_names;
+
+  /// Additional caller-supplied CTE definitions (without the WITH keyword)
+  /// emitted before the generated ones; used e.g. by the triplestore module
+  /// to define tensor slices that `input_names` then references.
+  std::string prelude_ctes;
+
+  /// Optional ORDER BY clause body appended to the final SELECT
+  /// (e.g. "val DESC").
+  std::string order_by;
+
+  /// Name prefix for inlined input CTEs (default "T") and for intermediate
+  /// contraction CTEs (default "K").
+  std::string inline_prefix = "T";
+  std::string intermediate_prefix = "K";
+};
+
+/// Renders a COO tensor as the body of a VALUES common table expression,
+/// e.g. `T0(i0, i1, val) AS (VALUES (0, 0, 1.0), (1, 1, 2.0))`. Empty
+/// tensors are rendered as a zero-row SELECT. Complex tensors produce
+/// (.., re, im) rows.
+std::string CooToValuesCte(const std::string& name, const CooTensor& tensor);
+std::string CooToValuesCte(const std::string& name,
+                           const ComplexCooTensor& tensor);
+
+/// Generates a complete, portable Einstein summation SQL query for
+/// `program`, inlining the given tensors as VALUES CTEs.
+/// The result set has columns i0..i{k-1} plus val (or re, im).
+Result<std::string> GenerateEinsumSql(const ContractionProgram& program,
+                                      const std::vector<const CooTensor*>& tensors,
+                                      const SqlGenOptions& options = {});
+
+/// Complex-valued variant (sets complex semantics regardless of
+/// options.complex_values). A distinct name rather than an overload so that
+/// brace-enclosed tensor lists never hit the vector iterator-pair
+/// constructor ambiguity.
+Result<std::string> GenerateComplexEinsumSql(
+    const ContractionProgram& program,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const SqlGenOptions& options = {});
+
+/// Generates the query against existing tables; `options.input_names` must
+/// name one stored relation (or prelude CTE) per program input.
+Result<std::string> GenerateEinsumSqlForTables(const ContractionProgram& program,
+                                               const SqlGenOptions& options);
+
+}  // namespace einsql
+
+#endif  // EINSQL_CORE_SQLGEN_H_

@@ -1,0 +1,94 @@
+#include "graphical/generator.h"
+
+#include <cmath>
+#include <set>
+
+namespace einsql::graphical {
+
+namespace {
+
+DenseTensor RandomPotentials(int rows, int columns, Rng* rng) {
+  auto table = DenseTensor::Zeros({rows, columns}).value();
+  for (int64_t i = 0; i < table.size(); ++i) {
+    table[i] = std::exp(0.5 * rng->Normal());
+  }
+  return table;
+}
+
+}  // namespace
+
+PairwiseModel BreastCancerLikeModel(uint64_t seed) {
+  Rng rng(seed);
+  PairwiseModel model;
+  model.variables = {
+      {"class", 2},       {"age", 6},        {"menopause", 3},
+      {"tumor-size", 11}, {"inv-nodes", 7},  {"node-caps", 2},
+      {"deg-malig", 3},   {"breast", 2},     {"breast-quad", 5},
+      {"irradiat", 2}};
+  // 21 edges, chosen to cover the paper's extreme shapes (2×3 and 11×7) and
+  // to connect every variable to the class variable directly or indirectly.
+  const std::pair<int, int> edges[21] = {
+      {0, 2},  // class-menopause: 2×3
+      {3, 4},  // tumor-size-inv-nodes: 11×7
+      {0, 1}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 9},
+      {1, 2}, {1, 3}, {2, 3}, {3, 5}, {3, 6}, {4, 5},
+      {4, 6}, {5, 6}, {6, 9}, {7, 8}, {3, 8}, {1, 7}, {4, 9}};
+  for (const auto& [u, v] : edges) {
+    model.edges.push_back(
+        {u, v,
+         RandomPotentials(model.variables[u].cardinality,
+                          model.variables[v].cardinality, &rng)});
+  }
+  return model;
+}
+
+PairwiseModel RandomPairwiseModel(int num_variables, int min_cardinality,
+                                  int max_cardinality, int num_edges,
+                                  Rng* rng) {
+  PairwiseModel model;
+  for (int v = 0; v < num_variables; ++v) {
+    model.variables.push_back(
+        {"x" + std::to_string(v),
+         static_cast<int>(rng->UniformInt(min_cardinality, max_cardinality))});
+  }
+  std::set<std::pair<int, int>> chosen;
+  // Spanning tree first so the model is connected.
+  for (int v = 1; v < num_variables; ++v) {
+    const int u = static_cast<int>(rng->UniformInt(0, v - 1));
+    chosen.emplace(u, v);
+  }
+  while (static_cast<int>(chosen.size()) < num_edges) {
+    int u = static_cast<int>(rng->UniformInt(0, num_variables - 1));
+    int v = static_cast<int>(rng->UniformInt(0, num_variables - 1));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    chosen.emplace(u, v);
+  }
+  for (const auto& [u, v] : chosen) {
+    model.edges.push_back(
+        {u, v,
+         RandomPotentials(model.variables[u].cardinality,
+                          model.variables[v].cardinality, rng)});
+  }
+  return model;
+}
+
+InferenceQuery RandomQuery(const PairwiseModel& model, int query_variable,
+                           int batch_size, Rng* rng) {
+  InferenceQuery query;
+  query.query_variable = query_variable;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    if (v != query_variable) query.evidence_variables.push_back(v);
+  }
+  for (int b = 0; b < batch_size; ++b) {
+    std::vector<int> row;
+    for (int variable : query.evidence_variables) {
+      row.push_back(static_cast<int>(
+          rng->UniformInt(0, model.variables[variable].cardinality - 1)));
+    }
+    query.evidence_values.push_back(std::move(row));
+  }
+  return query;
+}
+
+}  // namespace einsql::graphical

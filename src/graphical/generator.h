@@ -1,0 +1,33 @@
+#ifndef EINSQL_GRAPHICAL_GENERATOR_H_
+#define EINSQL_GRAPHICAL_GENERATOR_H_
+
+#include "common/rng.h"
+#include "graphical/inference.h"
+#include "graphical/model.h"
+
+namespace einsql::graphical {
+
+/// A synthetic stand-in for the breast-cancer model of §4.3: ten variables
+/// with the UCI dataset's cardinalities (class=2, age=6, menopause=3,
+/// tumor-size=11, inv-nodes=7, node-caps=2, deg-malig=3, breast=2,
+/// breast-quad=5, irradiat=2) and 21 edges, giving edge matrices from
+/// ℝ^{2×3} to ℝ^{11×7} exactly as the paper reports. Potentials are
+/// exp(N(0, 0.5)) as a learned log-linear model would produce.
+PairwiseModel BreastCancerLikeModel(uint64_t seed = 3);
+
+/// Random pairwise model: `num_variables` variables with cardinalities in
+/// [min_cardinality, max_cardinality] and `num_edges` distinct random edges
+/// over a connected spanning tree.
+PairwiseModel RandomPairwiseModel(int num_variables, int min_cardinality,
+                                  int max_cardinality, int num_edges,
+                                  Rng* rng);
+
+/// A random batched query against `model`: all variables except the query
+/// variable are evidence (the paper conditions on "all the patient's
+/// data"), with values drawn uniformly.
+InferenceQuery RandomQuery(const PairwiseModel& model, int query_variable,
+                           int batch_size, Rng* rng);
+
+}  // namespace einsql::graphical
+
+#endif  // EINSQL_GRAPHICAL_GENERATOR_H_

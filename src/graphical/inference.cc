@@ -1,0 +1,203 @@
+#include "graphical/inference.h"
+
+#include <set>
+
+namespace einsql::graphical {
+
+std::vector<const CooTensor*> InferenceNetwork::operands() const {
+  std::vector<const CooTensor*> ptrs;
+  ptrs.reserve(tensors.size());
+  for (const CooTensor& tensor : tensors) ptrs.push_back(&tensor);
+  return ptrs;
+}
+
+namespace {
+
+Status ValidateQuery(const PairwiseModel& model, const InferenceQuery& query) {
+  EINSQL_RETURN_IF_ERROR(Validate(model));
+  const int n = model.num_variables();
+  if (query.query_variable < 0 || query.query_variable >= n) {
+    return Status::InvalidArgument("query variable out of range");
+  }
+  if (query.batch_size() == 0) {
+    return Status::InvalidArgument("empty evidence batch");
+  }
+  std::set<int> seen;
+  for (int variable : query.evidence_variables) {
+    if (variable < 0 || variable >= n) {
+      return Status::InvalidArgument("evidence variable out of range");
+    }
+    if (variable == query.query_variable) {
+      return Status::InvalidArgument(
+          "query variable cannot also be evidence");
+    }
+    if (!seen.insert(variable).second) {
+      return Status::InvalidArgument("duplicate evidence variable ",
+                                     variable);
+    }
+  }
+  for (const std::vector<int>& row : query.evidence_values) {
+    if (row.size() != query.evidence_variables.size()) {
+      return Status::InvalidArgument(
+          "evidence row arity does not match evidence variables");
+    }
+    for (size_t k = 0; k < row.size(); ++k) {
+      const int cardinality =
+          model.variables[query.evidence_variables[k]].cardinality;
+      if (row[k] < 0 || row[k] >= cardinality) {
+        return Status::InvalidArgument("evidence value out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<InferenceNetwork> BuildInferenceNetwork(const PairwiseModel& model,
+                                               const InferenceQuery& query) {
+  EINSQL_RETURN_IF_ERROR(ValidateQuery(model, query));
+  InferenceNetwork network;
+  auto variable_label = [](int variable) {
+    return static_cast<Label>(variable + 1);
+  };
+  const Label batch_label =
+      static_cast<Label>(model.num_variables() + 1);
+
+  // Edge potential matrices.
+  for (const EdgeFactor& edge : model.edges) {
+    network.spec.inputs.push_back(
+        Term{variable_label(edge.u), variable_label(edge.v)});
+    network.tensors.push_back(edge.table.ToCoo());
+  }
+  // One-hot evidence matrices of shape (B, |v|).
+  const int batch = query.batch_size();
+  for (size_t k = 0; k < query.evidence_variables.size(); ++k) {
+    const int variable = query.evidence_variables[k];
+    CooTensor one_hot(
+        {batch, model.variables[variable].cardinality});
+    for (int b = 0; b < batch; ++b) {
+      EINSQL_RETURN_IF_ERROR(
+          one_hot.Append({b, query.evidence_values[b][k]}, 1.0));
+    }
+    network.spec.inputs.push_back(
+        Term{batch_label, variable_label(variable)});
+    network.tensors.push_back(std::move(one_hot));
+  }
+  network.spec.output =
+      Term{batch_label, variable_label(query.query_variable)};
+  // The query variable must occur somewhere or the contraction is invalid.
+  bool connected = false;
+  for (const Term& term : network.spec.inputs) {
+    if (term.find(variable_label(query.query_variable)) != Term::npos) {
+      connected = true;
+    }
+  }
+  if (!connected) {
+    return Status::InvalidArgument(
+        "query variable participates in no edge or evidence; its posterior "
+        "is unconstrained");
+  }
+  // With no evidence variables the batch label would be absent; require
+  // evidence (the paper's experiment always conditions on patient data).
+  if (query.evidence_variables.empty()) {
+    return Status::InvalidArgument("at least one evidence variable required");
+  }
+  return network;
+}
+
+namespace {
+
+Result<DenseTensor> NormalizeRows(DenseTensor raw) {
+  const int64_t rows = raw.shape()[0];
+  const int64_t columns = raw.shape()[1];
+  for (int64_t b = 0; b < rows; ++b) {
+    double total = 0.0;
+    for (int64_t x = 0; x < columns; ++x) total += raw[b * columns + x];
+    if (total <= 0.0) {
+      return Status::InvalidArgument("evidence of batch row ", b,
+                                     " has zero probability");
+    }
+    for (int64_t x = 0; x < columns; ++x) raw[b * columns + x] /= total;
+  }
+  return raw;
+}
+
+}  // namespace
+
+Result<DenseTensor> Posterior(EinsumEngine* engine,
+                              const PairwiseModel& model,
+                              const InferenceQuery& query,
+                              const EinsumOptions& options) {
+  EINSQL_ASSIGN_OR_RETURN(InferenceNetwork network,
+                          BuildInferenceNetwork(model, query));
+  EINSQL_ASSIGN_OR_RETURN(
+      CooTensor raw,
+      engine->EinsumSpecified(network.spec, network.operands(), options));
+  EINSQL_ASSIGN_OR_RETURN(DenseTensor dense, DenseTensor::FromCoo(raw));
+  return NormalizeRows(std::move(dense));
+}
+
+Result<std::vector<int>> MostLikelyState(EinsumEngine* engine,
+                                         const PairwiseModel& model,
+                                         const InferenceQuery& query,
+                                         const EinsumOptions& options) {
+  EINSQL_ASSIGN_OR_RETURN(DenseTensor posterior,
+                          Posterior(engine, model, query, options));
+  const int64_t batch = posterior.shape()[0];
+  const int64_t states = posterior.shape()[1];
+  std::vector<int> best(batch, 0);
+  for (int64_t b = 0; b < batch; ++b) {
+    double best_probability = posterior[b * states];
+    for (int64_t x = 1; x < states; ++x) {
+      if (posterior[b * states + x] > best_probability) {
+        best_probability = posterior[b * states + x];
+        best[b] = static_cast<int>(x);
+      }
+    }
+  }
+  return best;
+}
+
+Result<DenseTensor> PosteriorBruteForce(const PairwiseModel& model,
+                                        const InferenceQuery& query) {
+  EINSQL_RETURN_IF_ERROR(ValidateQuery(model, query));
+  const int n = model.num_variables();
+  const int batch = query.batch_size();
+  const int query_cardinality =
+      model.variables[query.query_variable].cardinality;
+  EINSQL_ASSIGN_OR_RETURN(
+      DenseTensor raw, DenseTensor::Zeros({batch, query_cardinality}));
+
+  std::vector<int> assignment(n, 0);
+  while (true) {
+    double weight = 1.0;
+    for (const EdgeFactor& edge : model.edges) {
+      weight *= edge.table.At({assignment[edge.u], assignment[edge.v]})
+                    .value();
+    }
+    if (weight != 0.0) {
+      for (int b = 0; b < batch; ++b) {
+        bool consistent = true;
+        for (size_t k = 0;
+             k < query.evidence_variables.size() && consistent; ++k) {
+          consistent = assignment[query.evidence_variables[k]] ==
+                       query.evidence_values[b][k];
+        }
+        if (consistent) {
+          raw[b * query_cardinality + assignment[query.query_variable]] +=
+              weight;
+        }
+      }
+    }
+    int d = n - 1;
+    for (; d >= 0; --d) {
+      if (++assignment[d] < model.variables[d].cardinality) break;
+      assignment[d] = 0;
+    }
+    if (d < 0) break;
+  }
+  return NormalizeRows(std::move(raw));
+}
+
+}  // namespace einsql::graphical

@@ -1,0 +1,60 @@
+#ifndef EINSQL_GRAPHICAL_INFERENCE_H_
+#define EINSQL_GRAPHICAL_INFERENCE_H_
+
+#include "backends/einsum_engine.h"
+#include "graphical/model.h"
+
+namespace einsql::graphical {
+
+/// A batched conditional-probability query (§4.3): for each of B patients,
+/// compute P(query_variable | evidence). Evidence values are embedded as
+/// one-hot encoded matrices of shape (B, |v|), so the whole batch is one
+/// Einstein summation.
+struct InferenceQuery {
+  int query_variable = 0;
+  std::vector<int> evidence_variables;
+  /// evidence_values[b][k] = observed state of evidence_variables[k] for
+  /// patient b. All rows must have one entry per evidence variable.
+  std::vector<std::vector<int>> evidence_values;
+
+  int batch_size() const { return static_cast<int>(evidence_values.size()); }
+};
+
+/// The query's tensor network: one COO matrix per model edge plus one
+/// one-hot evidence matrix per evidence variable; output term is
+/// (batch, query).
+struct InferenceNetwork {
+  EinsumSpec spec;
+  std::vector<CooTensor> tensors;
+
+  std::vector<const CooTensor*> operands() const;
+};
+
+/// Builds the batched tensor network for `query` against `model`.
+Result<InferenceNetwork> BuildInferenceNetwork(const PairwiseModel& model,
+                                               const InferenceQuery& query);
+
+/// Runs the query on an einsum engine and row-normalizes: result (B, |q|)
+/// with rows summing to 1. Rows whose evidence has zero probability are an
+/// InvalidArgument error.
+Result<DenseTensor> Posterior(EinsumEngine* engine, const PairwiseModel& model,
+                              const InferenceQuery& query,
+                              const EinsumOptions& options = {});
+
+/// Oracle: the same posterior by brute-force enumeration of all joint
+/// assignments. Exponential; for validation only.
+Result<DenseTensor> PosteriorBruteForce(const PairwiseModel& model,
+                                        const InferenceQuery& query);
+
+/// The most likely state of the query variable for every patient in the
+/// batch — the paper's "what tumor size is most likely?" question —
+/// computed as the argmax of the posterior. Ties resolve to the smallest
+/// state index.
+Result<std::vector<int>> MostLikelyState(EinsumEngine* engine,
+                                         const PairwiseModel& model,
+                                         const InferenceQuery& query,
+                                         const EinsumOptions& options = {});
+
+}  // namespace einsql::graphical
+
+#endif  // EINSQL_GRAPHICAL_INFERENCE_H_

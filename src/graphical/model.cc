@@ -1,0 +1,86 @@
+#include "graphical/model.h"
+
+#include <cmath>
+
+namespace einsql::graphical {
+
+Status Validate(const PairwiseModel& model) {
+  for (const Variable& variable : model.variables) {
+    if (variable.cardinality < 1) {
+      return Status::InvalidArgument("variable '", variable.name,
+                                     "' has non-positive cardinality");
+    }
+  }
+  for (size_t e = 0; e < model.edges.size(); ++e) {
+    const EdgeFactor& edge = model.edges[e];
+    if (edge.u < 0 || edge.u >= model.num_variables() || edge.v < 0 ||
+        edge.v >= model.num_variables() || edge.u == edge.v) {
+      return Status::InvalidArgument("edge ", e, " has invalid endpoints");
+    }
+    const Shape expected = {model.variables[edge.u].cardinality,
+                            model.variables[edge.v].cardinality};
+    if (edge.table.shape() != expected) {
+      return Status::InvalidArgument(
+          "edge ", e, " table shape ", ShapeToString(edge.table.shape()),
+          " does not match ", ShapeToString(expected));
+    }
+    for (int64_t i = 0; i < edge.table.size(); ++i) {
+      if (!(edge.table[i] >= 0.0)) {
+        return Status::InvalidArgument("edge ", e,
+                                       " has a negative potential");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<PairwiseModel> FromInteractionMatrix(
+    const std::vector<Variable>& variables, const DenseTensor& q,
+    double zero_tolerance) {
+  int64_t total = 0;
+  std::vector<int64_t> offset;
+  for (const Variable& variable : variables) {
+    offset.push_back(total);
+    total += variable.cardinality;
+  }
+  if (q.shape() != Shape{total, total}) {
+    return Status::InvalidArgument("Q must be ", total, "x", total,
+                                   ", got ", ShapeToString(q.shape()));
+  }
+  // Symmetry check.
+  for (int64_t i = 0; i < total; ++i) {
+    for (int64_t j = 0; j < i; ++j) {
+      if (std::abs(q.At({i, j}).value() - q.At({j, i}).value()) > 1e-12) {
+        return Status::InvalidArgument("Q is not symmetric");
+      }
+    }
+  }
+  PairwiseModel model;
+  model.variables = variables;
+  const int n = model.num_variables();
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      // Extract the block and test it for non-zero entries.
+      const int cu = variables[u].cardinality;
+      const int cv = variables[v].cardinality;
+      bool non_zero = false;
+      EINSQL_ASSIGN_OR_RETURN(DenseTensor table,
+                              DenseTensor::Zeros({cu, cv}));
+      for (int a = 0; a < cu; ++a) {
+        for (int b = 0; b < cv; ++b) {
+          EINSQL_ASSIGN_OR_RETURN(double entry,
+                                  q.At({offset[u] + a, offset[v] + b}));
+          if (std::abs(entry) > zero_tolerance) non_zero = true;
+          EINSQL_RETURN_IF_ERROR(table.Set({a, b}, std::exp(entry)));
+        }
+      }
+      if (non_zero) {
+        model.edges.push_back({u, v, std::move(table)});
+      }
+    }
+  }
+  EINSQL_RETURN_IF_ERROR(Validate(model));
+  return model;
+}
+
+}  // namespace einsql::graphical

@@ -1,0 +1,49 @@
+#ifndef EINSQL_GRAPHICAL_MODEL_H_
+#define EINSQL_GRAPHICAL_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/dense.h"
+
+namespace einsql::graphical {
+
+/// A discrete random variable of the model.
+struct Variable {
+  std::string name;
+  int cardinality = 2;
+};
+
+/// An edge of the pairwise model: a |u| × |v| table of positive potentials
+/// (one matrix of the tensor network, Figure 5).
+struct EdgeFactor {
+  int u = 0;
+  int v = 0;
+  DenseTensor table;
+};
+
+/// A discrete pairwise Markov random field: the unnormalized probability of
+/// a joint assignment x is the product of edge potentials ψ_uv[x_u, x_v].
+struct PairwiseModel {
+  std::vector<Variable> variables;
+  std::vector<EdgeFactor> edges;
+
+  int num_variables() const { return static_cast<int>(variables.size()); }
+};
+
+/// Validates variable indices, table shapes, and potential positivity.
+Status Validate(const PairwiseModel& model);
+
+/// Builds a model from a pairwise-interaction matrix Q (Figure 5): Q is a
+/// symmetric D×D matrix, D = sum of cardinalities, carved into blocks by
+/// variable; every non-zero block (u < v) becomes an edge whose potentials
+/// are exp(Q_block), exactly the translation the paper applies to the
+/// cgmodsel output.
+Result<PairwiseModel> FromInteractionMatrix(
+    const std::vector<Variable>& variables, const DenseTensor& q,
+    double zero_tolerance = 0.0);
+
+}  // namespace einsql::graphical
+
+#endif  // EINSQL_GRAPHICAL_MODEL_H_

@@ -1,0 +1,140 @@
+#include "minidb/ast.h"
+
+#include "common/str_util.h"
+
+namespace einsql::minidb {
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->literal = literal;
+  copy->table = table;
+  copy->column = column;
+  copy->bound_slot = bound_slot;
+  copy->unary_op = unary_op;
+  copy->binary_op = binary_op;
+  if (left) copy->left = left->Clone();
+  if (right) copy->right = right->Clone();
+  copy->function = function;
+  for (const auto& arg : args) copy->args.push_back(arg->Clone());
+  copy->star_argument = star_argument;
+  copy->is_null_negated = is_null_negated;
+  for (const auto& [when, then] : case_whens) {
+    copy->case_whens.emplace_back(when->Clone(), then->Clone());
+  }
+  if (case_else) copy->case_else = case_else->Clone();
+  return copy;
+}
+
+namespace {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNotEq: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLtEq: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGtEq: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (TypeOf(literal) == ValueType::kText) {
+        return "'" + std::get<std::string>(literal) + "'";
+      }
+      return ValueToString(literal);
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kUnary:
+      return std::string(unary_op == UnaryOp::kNegate ? "-" : "NOT ") +
+             "(" + left->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + " " + BinaryOpToString(binary_op) +
+             " " + right->ToString() + ")";
+    case ExprKind::kFunction: {
+      std::string out = function + "(";
+      if (star_argument) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->ToString();
+        }
+      }
+      return out + ")";
+    }
+    case ExprKind::kIsNull:
+      return "(" + left->ToString() +
+             (is_null_negated ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      for (const auto& [when, then] : case_whens) {
+        out += " WHEN " + when->ToString() + " THEN " + then->ToString();
+      }
+      if (case_else) out += " ELSE " + case_else->ToString();
+      return out + " END";
+    }
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeBinary(BinaryOp op, std::unique_ptr<Expr> l,
+                                 std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+bool IsAggregateFunction(const std::string& name) {
+  return name == "sum" || name == "count" || name == "avg" ||
+         name == "min" || name == "max";
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kFunction && IsAggregateFunction(expr.function)) {
+    return true;
+  }
+  if (expr.left && ContainsAggregate(*expr.left)) return true;
+  if (expr.right && ContainsAggregate(*expr.right)) return true;
+  for (const auto& arg : expr.args) {
+    if (ContainsAggregate(*arg)) return true;
+  }
+  for (const auto& [when, then] : expr.case_whens) {
+    if (ContainsAggregate(*when) || ContainsAggregate(*then)) return true;
+  }
+  if (expr.case_else && ContainsAggregate(*expr.case_else)) return true;
+  return false;
+}
+
+}  // namespace einsql::minidb

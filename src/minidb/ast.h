@@ -1,0 +1,190 @@
+#ifndef EINSQL_MINIDB_AST_H_
+#define EINSQL_MINIDB_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minidb/value.h"
+
+namespace einsql::minidb {
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,     // 42, 1.5, 'abc', NULL
+  kColumnRef,   // col or table.col
+  kUnary,       // -x, NOT x
+  kBinary,      // x + y, x = y, x AND y, ...
+  kFunction,    // SUM(x), COUNT(*), ABS(x), ...
+  kIsNull,      // x IS [NOT] NULL
+  kCase,        // CASE WHEN c THEN v ... [ELSE e] END
+};
+
+/// Binary operators.
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNotEq, kLt, kLtEq, kGt, kGtEq,
+  kAnd, kOr,
+};
+
+/// Unary operators.
+enum class UnaryOp { kNegate, kNot };
+
+/// A SQL scalar expression tree.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string table;   // optional qualifier, empty if absent
+  std::string column;
+  /// Slot index into the input row, set by the binder; -1 while unbound.
+  int bound_slot = -1;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNegate;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  std::unique_ptr<Expr> left;
+  std::unique_ptr<Expr> right;
+
+  // kFunction
+  std::string function;              // lower-cased name
+  std::vector<std::unique_ptr<Expr>> args;
+  bool star_argument = false;        // COUNT(*)
+
+  // kIsNull
+  bool is_null_negated = false;      // IS NOT NULL
+
+  // kCase: when/then pairs in `case_whens`, optional ELSE in `case_else`.
+  std::vector<std::pair<std::unique_ptr<Expr>, std::unique_ptr<Expr>>>
+      case_whens;
+  std::unique_ptr<Expr> case_else;
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Renders the expression back to SQL-ish text (diagnostics, plan dumps,
+  /// and structural equality for GROUP BY matching).
+  std::string ToString() const;
+};
+
+std::unique_ptr<Expr> MakeLiteral(Value v);
+std::unique_ptr<Expr> MakeColumnRef(std::string table, std::string column);
+std::unique_ptr<Expr> MakeBinary(BinaryOp op, std::unique_ptr<Expr> l,
+                                 std::unique_ptr<Expr> r);
+
+/// True iff `name` is one of the supported aggregate functions
+/// (sum, count, avg, min, max).
+bool IsAggregateFunction(const std::string& name);
+
+/// True iff the expression tree contains an aggregate function call.
+bool ContainsAggregate(const Expr& expr);
+
+/// One item of a SELECT list.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;  // null for bare '*'
+  std::string alias;           // empty if none
+  bool is_star = false;
+};
+
+/// A table reference in FROM: `name [AS] alias`.
+struct TableRef {
+  std::string name;
+  std::string alias;  // defaults to name when empty
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? name : alias;
+  }
+};
+
+/// ORDER BY item.
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+struct SelectStmt;
+
+/// Body of a query: either a SELECT core or a VALUES list.
+struct QueryBody {
+  // VALUES rows (each row is a list of expressions) — exclusive with select.
+  std::vector<std::vector<std::unique_ptr<Expr>>> values_rows;
+  bool is_values = false;
+
+  // SELECT core.
+  std::vector<SelectItem> select_list;
+  bool distinct = false;
+  std::vector<TableRef> from;
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  /// UNION ALL members appended to this SELECT core. ORDER BY and LIMIT of
+  /// the first body apply to the whole union, SQL-style; members carry
+  /// neither.
+  std::vector<std::unique_ptr<QueryBody>> union_all;
+};
+
+/// A common table expression: `name(col, ...) AS (query)`.
+struct CommonTableExpr {
+  std::string name;
+  std::vector<std::string> column_names;  // optional explicit column list
+  std::unique_ptr<QueryBody> body;
+};
+
+/// A full SELECT statement with optional WITH prologue.
+struct SelectStmt {
+  std::vector<CommonTableExpr> ctes;
+  QueryBody body;
+  /// EXPLAIN prefix: plan the query and return the plan text instead of
+  /// executing it.
+  bool explain = false;
+};
+
+/// CREATE TABLE name (col TYPE, ...).
+struct CreateTableStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ValueType>> columns;
+};
+
+/// INSERT INTO name [(cols)] VALUES (...), (...).
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // optional
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;
+};
+
+/// DROP TABLE name.
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+};
+
+/// DELETE FROM name [WHERE expr].
+struct DeleteStmt {
+  std::string table;
+  std::unique_ptr<Expr> where;
+};
+
+/// Statement kinds.
+enum class StatementKind { kSelect, kCreateTable, kInsert, kDropTable,
+                           kDelete };
+
+/// A parsed SQL statement.
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<DropTableStmt> drop_table;
+  std::unique_ptr<DeleteStmt> delete_stmt;
+};
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_AST_H_

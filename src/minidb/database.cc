@@ -1,0 +1,178 @@
+#include "minidb/database.h"
+
+#include "common/stopwatch.h"
+#include "minidb/executor.h"
+#include "minidb/expr_eval.h"
+#include "minidb/parser.h"
+
+namespace einsql::minidb {
+
+Database::Database(PlannerOptions options) : options_(options) {}
+
+Result<QueryResult> Database::Execute(std::string_view sql) {
+  QueryResult result;
+  Stopwatch watch;
+  EINSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  result.stats.parse_seconds = watch.ElapsedSeconds();
+
+  switch (stmt.kind) {
+    case StatementKind::kSelect: {
+      watch.Restart();
+      EINSQL_ASSIGN_OR_RETURN(
+          QueryPlan plan, PlanSelect(*stmt.select, catalog_, options_));
+      result.stats.plan_seconds = watch.ElapsedSeconds();
+      if (stmt.select->explain) {
+        // EXPLAIN: one text row per plan line, no execution.
+        result.relation.columns = {{"plan", ValueType::kText}};
+        std::string dump = plan.ToString();
+        size_t start = 0;
+        while (start < dump.size()) {
+          size_t end = dump.find('\n', start);
+          if (end == std::string::npos) end = dump.size();
+          result.relation.rows.push_back(
+              {Value(dump.substr(start, end - start))});
+          start = end + 1;
+        }
+        return result;
+      }
+      watch.Restart();
+      EINSQL_ASSIGN_OR_RETURN(result.relation,
+                              ExecutePlan(plan, executor_options_));
+      result.stats.exec_seconds = watch.ElapsedSeconds();
+      return result;
+    }
+    case StatementKind::kCreateTable: {
+      std::vector<Column> columns;
+      for (const auto& [name, type] : stmt.create_table->columns) {
+        columns.push_back({name, type});
+      }
+      EINSQL_RETURN_IF_ERROR(
+          catalog_.CreateTable(stmt.create_table->table, std::move(columns)));
+      return result;
+    }
+    case StatementKind::kInsert: {
+      const InsertStmt& insert = *stmt.insert;
+      EINSQL_ASSIGN_OR_RETURN(auto table, catalog_.GetTable(insert.table));
+      // Optional column list: map values into the declared positions.
+      std::vector<int> positions;
+      if (!insert.columns.empty()) {
+        for (const std::string& name : insert.columns) {
+          const int index = table->ColumnIndex(name);
+          if (index < 0) {
+            return Status::NotFound("column '", name, "' in table '",
+                                    insert.table, "'");
+          }
+          positions.push_back(index);
+        }
+      }
+      std::vector<Row> rows;
+      rows.reserve(insert.rows.size());
+      for (const auto& exprs : insert.rows) {
+        const size_t expected =
+            positions.empty() ? table->columns.size() : positions.size();
+        if (exprs.size() != expected) {
+          return Status::InvalidArgument("INSERT row arity ", exprs.size(),
+                                         " does not match ", expected);
+        }
+        Row row(table->columns.size(), Value(Null{}));
+        for (size_t k = 0; k < exprs.size(); ++k) {
+          EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateConstant(*exprs[k]));
+          row[positions.empty() ? k : positions[k]] = std::move(v);
+        }
+        rows.push_back(std::move(row));
+      }
+      watch.Restart();
+      EINSQL_RETURN_IF_ERROR(
+          catalog_.AppendRows(insert.table, std::move(rows)));
+      result.stats.exec_seconds = watch.ElapsedSeconds();
+      return result;
+    }
+    case StatementKind::kDropTable:
+      EINSQL_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop_table->table,
+                                                stmt.drop_table->if_exists));
+      return result;
+    case StatementKind::kDelete: {
+      const DeleteStmt& del = *stmt.delete_stmt;
+      EINSQL_ASSIGN_OR_RETURN(auto table, catalog_.GetTable(del.table));
+      if (!del.where) {
+        table->rows.clear();
+        return result;
+      }
+      // Bind the predicate against the table schema.
+      Schema schema;
+      for (const Column& col : table->columns) {
+        schema.push_back({del.table, col.name});
+      }
+      auto predicate = del.where->Clone();
+      // Reuse the planner's binder through a tiny local bind.
+      std::vector<Row> kept;
+      struct Binder {
+        static Status Bind(Expr* e, const Schema& s) {
+          if (e->kind == ExprKind::kColumnRef) {
+            EINSQL_ASSIGN_OR_RETURN(e->bound_slot,
+                                    ResolveColumn(s, e->table, e->column));
+            return Status::OK();
+          }
+          if (e->left) EINSQL_RETURN_IF_ERROR(Bind(e->left.get(), s));
+          if (e->right) EINSQL_RETURN_IF_ERROR(Bind(e->right.get(), s));
+          for (auto& arg : e->args) {
+            EINSQL_RETURN_IF_ERROR(Bind(arg.get(), s));
+          }
+          for (auto& [when, then] : e->case_whens) {
+            EINSQL_RETURN_IF_ERROR(Bind(when.get(), s));
+            EINSQL_RETURN_IF_ERROR(Bind(then.get(), s));
+          }
+          if (e->case_else) {
+            EINSQL_RETURN_IF_ERROR(Bind(e->case_else.get(), s));
+          }
+          return Status::OK();
+        }
+      };
+      EINSQL_RETURN_IF_ERROR(Binder::Bind(predicate.get(), schema));
+      for (const Row& row : table->rows) {
+        EINSQL_ASSIGN_OR_RETURN(Value matches, EvaluateExpr(*predicate, row));
+        if (!IsTrue(matches)) kept.push_back(row);
+      }
+      table->rows = std::move(kept);
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryPlan> Database::Prepare(std::string_view sql, QueryStats* stats) {
+  Stopwatch watch;
+  EINSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  const double parse_seconds = watch.ElapsedSeconds();
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("Prepare expects a SELECT statement");
+  }
+  watch.Restart();
+  EINSQL_ASSIGN_OR_RETURN(QueryPlan plan,
+                          PlanSelect(*stmt.select, catalog_, options_));
+  if (stats != nullptr) {
+    stats->parse_seconds = parse_seconds;
+    stats->plan_seconds = watch.ElapsedSeconds();
+  }
+  return plan;
+}
+
+Result<QueryResult> Database::ExecutePrepared(const QueryPlan& plan) {
+  QueryResult result;
+  Stopwatch watch;
+  EINSQL_ASSIGN_OR_RETURN(result.relation,
+                              ExecutePlan(plan, executor_options_));
+  result.stats.exec_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Status Database::CreateTable(const std::string& name,
+                             std::vector<Column> columns) {
+  return catalog_.CreateTable(name, std::move(columns));
+}
+
+Status Database::BulkInsert(const std::string& name, std::vector<Row> rows) {
+  return catalog_.AppendRows(name, std::move(rows));
+}
+
+}  // namespace einsql::minidb

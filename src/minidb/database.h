@@ -1,0 +1,81 @@
+#ifndef EINSQL_MINIDB_DATABASE_H_
+#define EINSQL_MINIDB_DATABASE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "minidb/executor.h"
+#include "minidb/plan.h"
+#include "minidb/planner.h"
+#include "minidb/table.h"
+
+namespace einsql::minidb {
+
+/// Timing breakdown of a query, the instrumentation behind the Table 2
+/// reproduction: "planning" covers lexing, parsing, binding, and all
+/// optimizer passes; "execution" covers operator evaluation only.
+struct QueryStats {
+  double parse_seconds = 0.0;
+  double plan_seconds = 0.0;
+  double exec_seconds = 0.0;
+
+  double planning_seconds() const { return parse_seconds + plan_seconds; }
+  double total_seconds() const {
+    return parse_seconds + plan_seconds + exec_seconds;
+  }
+};
+
+/// Result of executing a statement.
+struct QueryResult {
+  Relation relation;  // empty for DDL/DML statements
+  QueryStats stats;
+};
+
+/// MiniDB: an in-memory relational engine executing the portable SQL subset
+/// the einsum compiler emits (WITH/VALUES/SELECT/joins/GROUP BY/ORDER BY),
+/// plus CREATE TABLE / INSERT / DROP / DELETE for data management.
+///
+/// The optimizer effort is configurable per instance (OptimizerMode),
+/// standing in for the spectrum of engines evaluated in the paper — from
+/// "no optimization" (DuckDB with optimizations disabled) to planners whose
+/// planning time dominates computation-heavy einsum queries.
+class Database {
+ public:
+  explicit Database(PlannerOptions options = {});
+
+  /// Parses, plans, and executes one SQL statement.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  /// Parses and plans a SELECT without executing it; returns the plan and
+  /// fills `stats` (parse/plan time) if non-null. Used by benchmarks that
+  /// measure planning separately and by EXPLAIN-style tooling.
+  Result<QueryPlan> Prepare(std::string_view sql, QueryStats* stats = nullptr);
+
+  /// Executes a previously prepared plan, paying no parsing or planning
+  /// cost — the plan-cache pattern §5 of the paper recommends for
+  /// repetitive Einstein summation queries ("caching the query plans could
+  /// avoid redundant computations"). The plan pins the table objects it
+  /// scans: rows inserted later are visible, but tables dropped and
+  /// re-created are not.
+  Result<QueryResult> ExecutePrepared(const QueryPlan& plan);
+
+  /// Programmatic fast path for bulk loading (no SQL parsing): creates a
+  /// table if needed and moves `rows` into it.
+  Status CreateTable(const std::string& name, std::vector<Column> columns);
+  Status BulkInsert(const std::string& name, std::vector<Row> rows);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  PlannerOptions& options() { return options_; }
+  const PlannerOptions& options() const { return options_; }
+  ExecutorOptions& executor_options() { return executor_options_; }
+
+ private:
+  Catalog catalog_;
+  PlannerOptions options_;
+  ExecutorOptions executor_options_;
+};
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_DATABASE_H_

@@ -1,0 +1,495 @@
+#include "minidb/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "minidb/expr_eval.h"
+
+namespace einsql::minidb {
+
+namespace {
+
+/// Shared materialized relations; scans return their backing table without
+/// copying.
+using RelationPtr = std::shared_ptr<const Relation>;
+
+class Executor {
+ public:
+  Executor(const QueryPlan& plan, const ExecutorOptions& options)
+      : plan_(plan), options_(options) {}
+
+  Result<Relation> Run() {
+    if (options_.parallel_ctes && plan_.ctes.size() > 1) {
+      EINSQL_RETURN_IF_ERROR(MaterializeCtesInParallel());
+    } else {
+      for (const QueryPlan::Cte& cte : plan_.ctes) {
+        EINSQL_ASSIGN_OR_RETURN(RelationPtr result, Execute(*cte.plan));
+        cte_results_.push_back(std::move(result));
+      }
+    }
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr result, Execute(*plan_.root));
+    return *result;  // copy out the final relation
+  }
+
+ private:
+  // Collects the CTE indices a plan subtree references.
+  static void CollectCteRefs(const PlanNode& node, std::vector<int>* refs) {
+    if (node.kind == PlanKind::kCteScan) refs->push_back(node.cte_index);
+    for (const auto& child : node.children) CollectCteRefs(*child, refs);
+  }
+
+  // Levels the CTE dependency graph and materializes each level on a
+  // thread pool: all CTEs of a level depend only on earlier levels, so they
+  // can run concurrently (each worker writes its own pre-sized slot).
+  Status MaterializeCtesInParallel() {
+    const int n = static_cast<int>(plan_.ctes.size());
+    std::vector<int> level(n, 0);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> refs;
+      CollectCteRefs(*plan_.ctes[i].plan, &refs);
+      for (int dep : refs) {
+        if (dep >= 0 && dep < i) level[i] = std::max(level[i], level[dep] + 1);
+      }
+    }
+    const int max_level = *std::max_element(level.begin(), level.end());
+    cte_results_.assign(n, nullptr);
+    const int workers =
+        options_.num_threads > 0
+            ? options_.num_threads
+            : std::max(1u, std::thread::hardware_concurrency());
+    for (int current = 0; current <= max_level; ++current) {
+      std::vector<int> batch;
+      for (int i = 0; i < n; ++i) {
+        if (level[i] == current) batch.push_back(i);
+      }
+      std::atomic<size_t> next{0};
+      std::vector<Status> statuses(batch.size());
+      auto worker = [&]() {
+        while (true) {
+          const size_t k = next.fetch_add(1);
+          if (k >= batch.size()) return;
+          auto result = Execute(*plan_.ctes[batch[k]].plan);
+          if (result.ok()) {
+            cte_results_[batch[k]] = std::move(result).value();
+          } else {
+            statuses[k] = result.status();
+          }
+        }
+      };
+      const int threads =
+          std::min<int>(workers, static_cast<int>(batch.size()));
+      if (threads <= 1) {
+        worker();
+      } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+        for (std::thread& t : pool) t.join();
+      }
+      for (const Status& status : statuses) {
+        EINSQL_RETURN_IF_ERROR(status);
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<RelationPtr> Execute(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanKind::kScan:
+        return RelationPtr(node.table);
+      case PlanKind::kCteScan: {
+        if (node.cte_index < 0 ||
+            node.cte_index >= static_cast<int>(cte_results_.size())) {
+          return Status::Internal("CTE index out of range");
+        }
+        return cte_results_[node.cte_index];
+      }
+      case PlanKind::kValues:
+        return ExecuteValues(node);
+      case PlanKind::kFilter:
+        return ExecuteFilter(node);
+      case PlanKind::kProject:
+        return ExecuteProject(node);
+      case PlanKind::kJoin:
+        return ExecuteJoin(node);
+      case PlanKind::kAggregate:
+        return ExecuteAggregate(node);
+      case PlanKind::kSort:
+        return ExecuteSort(node);
+      case PlanKind::kLimit:
+        return ExecuteLimit(node);
+      case PlanKind::kDistinct:
+        return ExecuteDistinct(node);
+      case PlanKind::kAppend: {
+        auto out = std::make_shared<Relation>();
+        for (size_t child = 0; child < node.children.size(); ++child) {
+          EINSQL_ASSIGN_OR_RETURN(RelationPtr input,
+                                  Execute(*node.children[child]));
+          if (child == 0) out->columns = input->columns;
+          out->rows.insert(out->rows.end(), input->rows.begin(),
+                           input->rows.end());
+        }
+        return RelationPtr(out);
+      }
+    }
+    return Status::Internal("unhandled plan node kind");
+  }
+
+  static std::vector<Column> SchemaColumns(const Schema& schema) {
+    std::vector<Column> columns;
+    columns.reserve(schema.size());
+    for (const SchemaColumn& col : schema) {
+      columns.push_back({col.name, ValueType::kDouble});
+    }
+    return columns;
+  }
+
+  Result<RelationPtr> ExecuteValues(const PlanNode& node) {
+    auto out = std::make_shared<Relation>();
+    out->columns = SchemaColumns(node.schema);
+    out->rows = node.literal_rows;
+    return RelationPtr(out);
+  }
+
+  Result<RelationPtr> ExecuteFilter(const PlanNode& node) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+    auto out = std::make_shared<Relation>();
+    out->columns = input->columns;
+    for (const Row& row : input->rows) {
+      EINSQL_ASSIGN_OR_RETURN(Value keep,
+                              EvaluateExpr(*node.predicate, row));
+      if (IsTrue(keep)) out->rows.push_back(row);
+    }
+    return RelationPtr(out);
+  }
+
+  Result<RelationPtr> ExecuteProject(const PlanNode& node) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+    auto out = std::make_shared<Relation>();
+    out->columns = SchemaColumns(node.schema);
+    out->rows.reserve(input->rows.size());
+    for (const Row& row : input->rows) {
+      Row projected;
+      projected.reserve(node.exprs.size());
+      for (const auto& expr : node.exprs) {
+        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, row));
+        projected.push_back(std::move(v));
+      }
+      out->rows.push_back(std::move(projected));
+    }
+    return RelationPtr(out);
+  }
+
+  Result<RelationPtr> ExecuteJoin(const PlanNode& node) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr left, Execute(*node.children[0]));
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr right, Execute(*node.children[1]));
+    auto out = std::make_shared<Relation>();
+    out->columns = left->columns;
+    out->columns.insert(out->columns.end(), right->columns.begin(),
+                        right->columns.end());
+    auto emit = [&](const Row& l, const Row& r) -> Status {
+      Row combined = l;
+      combined.insert(combined.end(), r.begin(), r.end());
+      if (node.predicate) {
+        EINSQL_ASSIGN_OR_RETURN(Value keep,
+                                EvaluateExpr(*node.predicate, combined));
+        if (!IsTrue(keep)) return Status::OK();
+      }
+      out->rows.push_back(std::move(combined));
+      return Status::OK();
+    };
+    if (node.left_keys.empty()) {
+      // Cross join.
+      for (const Row& l : left->rows) {
+        for (const Row& r : right->rows) {
+          EINSQL_RETURN_IF_ERROR(emit(l, r));
+        }
+      }
+      return RelationPtr(out);
+    }
+    // Hash join: build on the right input.
+    std::unordered_map<size_t, std::vector<int64_t>> buckets;
+    buckets.reserve(right->rows.size() * 2);
+    std::vector<Value> key;
+    auto extract = [&](const Row& row, const std::vector<int>& slots) {
+      key.clear();
+      for (int slot : slots) key.push_back(row[slot]);
+    };
+    for (int64_t r = 0; r < right->num_rows(); ++r) {
+      extract(right->rows[r], node.right_keys);
+      bool has_null = false;
+      for (const Value& v : key) has_null |= IsNull(v);
+      if (has_null) continue;  // NULL keys never join
+      buckets[HashRowKey(key)].push_back(r);
+    }
+    for (const Row& l : left->rows) {
+      extract(l, node.left_keys);
+      bool has_null = false;
+      for (const Value& v : key) has_null |= IsNull(v);
+      if (has_null) continue;
+      auto it = buckets.find(HashRowKey(key));
+      if (it == buckets.end()) continue;
+      for (int64_t r : it->second) {
+        const Row& rr = right->rows[r];
+        bool match = true;
+        for (size_t k = 0; k < node.left_keys.size() && match; ++k) {
+          match = SqlEquals(l[node.left_keys[k]], rr[node.right_keys[k]]);
+        }
+        if (match) EINSQL_RETURN_IF_ERROR(emit(l, rr));
+      }
+    }
+    return RelationPtr(out);
+  }
+
+  // Collects aggregate call nodes within an expression tree.
+  static void CollectAggregates(const Expr& expr,
+                                std::vector<const Expr*>* out) {
+    if (expr.kind == ExprKind::kFunction &&
+        IsAggregateFunction(expr.function)) {
+      out->push_back(&expr);
+      return;  // aggregates cannot nest
+    }
+    if (expr.left) CollectAggregates(*expr.left, out);
+    if (expr.right) CollectAggregates(*expr.right, out);
+    for (const auto& arg : expr.args) CollectAggregates(*arg, out);
+    for (const auto& [when, then] : expr.case_whens) {
+      CollectAggregates(*when, out);
+      CollectAggregates(*then, out);
+    }
+    if (expr.case_else) CollectAggregates(*expr.case_else, out);
+  }
+
+  struct Accumulator {
+    // sum / avg
+    double double_sum = 0.0;
+    int64_t int_sum = 0;
+    bool saw_double = false;
+    bool saw_value = false;
+    int64_t count = 0;
+    Value min_value = Null{};
+    Value max_value = Null{};
+  };
+
+  Result<RelationPtr> ExecuteAggregate(const PlanNode& node) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+    // The distinct aggregate calls across all output expressions.
+    std::vector<const Expr*> agg_calls;
+    for (const auto& expr : node.exprs) CollectAggregates(*expr, &agg_calls);
+    if (node.predicate) CollectAggregates(*node.predicate, &agg_calls);
+
+    struct Group {
+      Row representative;
+      std::vector<Accumulator> accumulators;
+    };
+    std::unordered_map<size_t, std::vector<int64_t>> buckets;
+    std::vector<std::vector<Value>> group_keys;
+    std::vector<Group> groups;
+
+    std::vector<Value> key;
+    for (const Row& row : input->rows) {
+      key.clear();
+      for (const auto& expr : node.group_exprs) {
+        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, row));
+        key.push_back(std::move(v));
+      }
+      // Find or create the group (GROUP BY treats NULLs as equal).
+      const size_t hash = HashRowKey(key);
+      int64_t group_index = -1;
+      for (int64_t candidate : buckets[hash]) {
+        const std::vector<Value>& existing = group_keys[candidate];
+        bool same = existing.size() == key.size();
+        for (size_t k = 0; k < key.size() && same; ++k) {
+          same = CompareValues(existing[k], key[k]) == 0;
+        }
+        if (same) {
+          group_index = candidate;
+          break;
+        }
+      }
+      if (group_index < 0) {
+        group_index = static_cast<int64_t>(groups.size());
+        buckets[hash].push_back(group_index);
+        group_keys.push_back(key);
+        Group group;
+        group.representative = row;
+        group.accumulators.resize(agg_calls.size());
+        groups.push_back(std::move(group));
+      }
+      // Update accumulators.
+      Group& group = groups[group_index];
+      for (size_t a = 0; a < agg_calls.size(); ++a) {
+        const Expr& call = *agg_calls[a];
+        Accumulator& acc = group.accumulators[a];
+        if (call.star_argument) {
+          ++acc.count;
+          acc.saw_value = true;
+          continue;
+        }
+        if (call.args.size() != 1) {
+          return Status::InvalidArgument("aggregate ", call.function,
+                                         "() expects one argument");
+        }
+        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*call.args[0], row));
+        if (IsNull(v)) continue;  // aggregates skip NULLs
+        ++acc.count;
+        acc.saw_value = true;
+        if (call.function == "sum" || call.function == "avg") {
+          if (TypeOf(v) == ValueType::kInt && !acc.saw_double) {
+            acc.int_sum += std::get<int64_t>(v);
+          } else {
+            EINSQL_ASSIGN_OR_RETURN(double d, AsDouble(v));
+            if (!acc.saw_double) {
+              acc.double_sum = static_cast<double>(acc.int_sum);
+              acc.saw_double = true;
+            }
+            acc.double_sum += d;
+          }
+        } else if (call.function == "min") {
+          if (IsNull(acc.min_value) ||
+              CompareValues(v, acc.min_value) < 0) {
+            acc.min_value = v;
+          }
+        } else if (call.function == "max") {
+          if (IsNull(acc.max_value) ||
+              CompareValues(v, acc.max_value) > 0) {
+            acc.max_value = v;
+          }
+        }
+      }
+    }
+    // A global aggregation over an empty input still produces one row.
+    if (groups.empty() && node.group_exprs.empty()) {
+      Group group;
+      group.representative.assign(input->num_columns(), Value(Null{}));
+      group.accumulators.resize(agg_calls.size());
+      groups.push_back(std::move(group));
+    }
+    // Produce output rows.
+    auto out = std::make_shared<Relation>();
+    out->columns = SchemaColumns(node.schema);
+    out->rows.reserve(groups.size());
+    for (const Group& group : groups) {
+      AggregateValues agg_values;
+      for (size_t a = 0; a < agg_calls.size(); ++a) {
+        const Expr& call = *agg_calls[a];
+        const Accumulator& acc = group.accumulators[a];
+        Value v;
+        if (call.function == "count") {
+          v = Value(acc.count);
+        } else if (call.function == "sum") {
+          if (!acc.saw_value) {
+            v = Value(Null{});
+          } else if (acc.saw_double) {
+            v = Value(acc.double_sum);
+          } else {
+            v = Value(acc.int_sum);
+          }
+        } else if (call.function == "avg") {
+          if (!acc.saw_value) {
+            v = Value(Null{});
+          } else {
+            const double total = acc.saw_double
+                                     ? acc.double_sum
+                                     : static_cast<double>(acc.int_sum);
+            v = Value(total / static_cast<double>(acc.count));
+          }
+        } else if (call.function == "min") {
+          v = acc.min_value;
+        } else {  // max
+          v = acc.max_value;
+        }
+        agg_values[&call] = std::move(v);
+      }
+      if (node.predicate) {
+        // HAVING: filter groups before projecting them.
+        EINSQL_ASSIGN_OR_RETURN(
+            Value keep,
+            EvaluateExpr(*node.predicate, group.representative, &agg_values));
+        if (!IsTrue(keep)) continue;
+      }
+      Row out_row;
+      out_row.reserve(node.exprs.size());
+      for (const auto& expr : node.exprs) {
+        EINSQL_ASSIGN_OR_RETURN(
+            Value v, EvaluateExpr(*expr, group.representative, &agg_values));
+        out_row.push_back(std::move(v));
+      }
+      out->rows.push_back(std::move(out_row));
+    }
+    return RelationPtr(out);
+  }
+
+  Result<RelationPtr> ExecuteSort(const PlanNode& node) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+    // Precompute sort keys.
+    std::vector<std::pair<std::vector<Value>, int64_t>> keyed;
+    keyed.reserve(input->rows.size());
+    for (int64_t r = 0; r < input->num_rows(); ++r) {
+      std::vector<Value> key;
+      key.reserve(node.sort_exprs.size());
+      for (const auto& expr : node.sort_exprs) {
+        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, input->rows[r]));
+        key.push_back(std::move(v));
+      }
+      keyed.emplace_back(std::move(key), r);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (size_t k = 0; k < node.sort_exprs.size(); ++k) {
+                         int c = CompareValues(a.first[k], b.first[k]);
+                         if (node.sort_desc[k]) c = -c;
+                         if (c != 0) return c < 0;
+                       }
+                       return false;
+                     });
+    auto out = std::make_shared<Relation>();
+    out->columns = input->columns;
+    out->rows.reserve(input->rows.size());
+    for (const auto& [key, r] : keyed) out->rows.push_back(input->rows[r]);
+    return RelationPtr(out);
+  }
+
+  Result<RelationPtr> ExecuteLimit(const PlanNode& node) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+    auto out = std::make_shared<Relation>();
+    out->columns = input->columns;
+    const int64_t n =
+        std::min<int64_t>(node.limit, input->num_rows());
+    out->rows.assign(input->rows.begin(), input->rows.begin() + n);
+    return RelationPtr(out);
+  }
+
+  Result<RelationPtr> ExecuteDistinct(const PlanNode& node) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+    auto out = std::make_shared<Relation>();
+    out->columns = input->columns;
+    auto row_less = [](const Row& a, const Row& b) {
+      for (size_t k = 0; k < a.size() && k < b.size(); ++k) {
+        int c = CompareValues(a[k], b[k]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    };
+    std::map<Row, bool, decltype(row_less)> seen(row_less);
+    for (const Row& row : input->rows) {
+      if (seen.emplace(row, true).second) out->rows.push_back(row);
+    }
+    return RelationPtr(out);
+  }
+
+  const QueryPlan& plan_;
+  ExecutorOptions options_;
+  std::vector<RelationPtr> cte_results_;
+};
+
+}  // namespace
+
+Result<Relation> ExecutePlan(const QueryPlan& plan,
+                             const ExecutorOptions& options) {
+  Executor executor(plan, options);
+  return executor.Run();
+}
+
+}  // namespace einsql::minidb

@@ -1,0 +1,34 @@
+#ifndef EINSQL_MINIDB_EXECUTOR_H_
+#define EINSQL_MINIDB_EXECUTOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "minidb/plan.h"
+
+namespace einsql::minidb {
+
+/// Execution options.
+struct ExecutorOptions {
+  /// Materialize independent CTEs concurrently. §5 of the paper argues
+  /// that for decomposed einsum queries "finding independent common table
+  /// expressions that can be executed concurrently is a rather lightweight
+  /// optimization": the executor levels the CTE dependency graph and runs
+  /// each level on a thread pool.
+  bool parallel_ctes = false;
+  /// Worker threads for parallel CTE materialization (0 = hardware
+  /// concurrency).
+  int num_threads = 0;
+};
+
+/// Executes a query plan: materializes every CTE once (respecting
+/// dependencies), then evaluates the root operator tree. All operators are
+/// fully materialized (hash joins, hash aggregation, sorts), matching the
+/// paper's observation that Einstein summation queries are
+/// computation-heavy pipelines of join + GROUP BY stages.
+Result<Relation> ExecutePlan(const QueryPlan& plan,
+                             const ExecutorOptions& options = {});
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_EXECUTOR_H_

@@ -1,0 +1,212 @@
+#include "minidb/expr_eval.h"
+
+#include <cmath>
+
+namespace einsql::minidb {
+
+namespace {
+
+// Three-valued comparison result: NULL when either side is NULL.
+Result<Value> Compare(BinaryOp op, const Value& a, const Value& b) {
+  if (IsNull(a) || IsNull(b)) return Value(Null{});
+  const int c = CompareValues(a, b);
+  bool result = false;
+  switch (op) {
+    case BinaryOp::kEq: result = c == 0; break;
+    case BinaryOp::kNotEq: result = c != 0; break;
+    case BinaryOp::kLt: result = c < 0; break;
+    case BinaryOp::kLtEq: result = c <= 0; break;
+    case BinaryOp::kGt: result = c > 0; break;
+    case BinaryOp::kGtEq: result = c >= 0; break;
+    default:
+      return Status::Internal("Compare called with non-comparison operator");
+  }
+  return Value(static_cast<int64_t>(result ? 1 : 0));
+}
+
+Result<Value> Modulo(const Value& a, const Value& b) {
+  if (IsNull(a) || IsNull(b)) return Value(Null{});
+  if (TypeOf(a) == ValueType::kInt && TypeOf(b) == ValueType::kInt) {
+    const int64_t divisor = std::get<int64_t>(b);
+    if (divisor == 0) return Value(Null{});
+    return Value(std::get<int64_t>(a) % divisor);
+  }
+  EINSQL_ASSIGN_OR_RETURN(double da, AsDouble(a));
+  EINSQL_ASSIGN_OR_RETURN(double db, AsDouble(b));
+  if (db == 0.0) return Value(Null{});
+  return Value(std::fmod(da, db));
+}
+
+Result<Value> EvaluateScalarFunction(const Expr& expr,
+                                     const std::vector<Value>& args) {
+  const std::string& f = expr.function;
+  auto need = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::InvalidArgument("function ", f, " expects ", n,
+                                     " arguments, got ", args.size());
+    }
+    return Status::OK();
+  };
+  if (f == "coalesce") {
+    for (const Value& v : args) {
+      if (!IsNull(v)) return v;
+    }
+    return Value(Null{});
+  }
+  if (f == "length") {
+    EINSQL_RETURN_IF_ERROR(need(1));
+    if (IsNull(args[0])) return Value(Null{});
+    if (TypeOf(args[0]) != ValueType::kText) {
+      return Status::InvalidArgument("length() expects text");
+    }
+    return Value(static_cast<int64_t>(std::get<std::string>(args[0]).size()));
+  }
+  if (f == "mod") {
+    EINSQL_RETURN_IF_ERROR(need(2));
+    return Modulo(args[0], args[1]);
+  }
+  // Remaining functions are numeric with NULL propagation.
+  for (const Value& v : args) {
+    if (IsNull(v)) return Value(Null{});
+  }
+  if (f == "abs") {
+    EINSQL_RETURN_IF_ERROR(need(1));
+    if (TypeOf(args[0]) == ValueType::kInt) {
+      return Value(std::abs(std::get<int64_t>(args[0])));
+    }
+    EINSQL_ASSIGN_OR_RETURN(double d, AsDouble(args[0]));
+    return Value(std::abs(d));
+  }
+  auto unary_double = [&](double (*fn)(double)) -> Result<Value> {
+    EINSQL_RETURN_IF_ERROR(need(1));
+    EINSQL_ASSIGN_OR_RETURN(double d, AsDouble(args[0]));
+    return Value(fn(d));
+  };
+  if (f == "floor") return unary_double(std::floor);
+  if (f == "ceil" || f == "ceiling") return unary_double(std::ceil);
+  if (f == "sqrt") return unary_double(std::sqrt);
+  if (f == "exp") return unary_double(std::exp);
+  if (f == "ln") return unary_double(std::log);
+  if (f == "pow" || f == "power") {
+    EINSQL_RETURN_IF_ERROR(need(2));
+    EINSQL_ASSIGN_OR_RETURN(double base, AsDouble(args[0]));
+    EINSQL_ASSIGN_OR_RETURN(double exponent, AsDouble(args[1]));
+    return Value(std::pow(base, exponent));
+  }
+  return Status::InvalidArgument("unknown function '", f, "'");
+}
+
+}  // namespace
+
+bool IsTrue(const Value& v) {
+  if (const int64_t* i = std::get_if<int64_t>(&v)) return *i != 0;
+  if (const double* d = std::get_if<double>(&v)) return *d != 0.0;
+  return false;
+}
+
+Result<Value> EvaluateExpr(const Expr& expr, const Row& row,
+                           const AggregateValues* aggregates) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef: {
+      if (expr.bound_slot < 0 ||
+          expr.bound_slot >= static_cast<int>(row.size())) {
+        return Status::Internal("unbound column reference '", expr.column,
+                                "'");
+      }
+      return row[expr.bound_slot];
+    }
+    case ExprKind::kUnary: {
+      EINSQL_ASSIGN_OR_RETURN(Value operand, EvaluateExpr(*expr.left, row,
+                                                          aggregates));
+      if (expr.unary_op == UnaryOp::kNegate) return Negate(operand);
+      // NOT with three-valued logic.
+      if (IsNull(operand)) return Value(Null{});
+      return Value(static_cast<int64_t>(IsTrue(operand) ? 0 : 1));
+    }
+    case ExprKind::kBinary: {
+      // AND/OR need lazy three-valued handling.
+      if (expr.binary_op == BinaryOp::kAnd) {
+        EINSQL_ASSIGN_OR_RETURN(Value lhs,
+                                EvaluateExpr(*expr.left, row, aggregates));
+        if (!IsNull(lhs) && !IsTrue(lhs)) return Value(int64_t{0});
+        EINSQL_ASSIGN_OR_RETURN(Value rhs,
+                                EvaluateExpr(*expr.right, row, aggregates));
+        if (!IsNull(rhs) && !IsTrue(rhs)) return Value(int64_t{0});
+        if (IsNull(lhs) || IsNull(rhs)) return Value(Null{});
+        return Value(int64_t{1});
+      }
+      if (expr.binary_op == BinaryOp::kOr) {
+        EINSQL_ASSIGN_OR_RETURN(Value lhs,
+                                EvaluateExpr(*expr.left, row, aggregates));
+        if (!IsNull(lhs) && IsTrue(lhs)) return Value(int64_t{1});
+        EINSQL_ASSIGN_OR_RETURN(Value rhs,
+                                EvaluateExpr(*expr.right, row, aggregates));
+        if (!IsNull(rhs) && IsTrue(rhs)) return Value(int64_t{1});
+        if (IsNull(lhs) || IsNull(rhs)) return Value(Null{});
+        return Value(int64_t{0});
+      }
+      EINSQL_ASSIGN_OR_RETURN(Value lhs,
+                              EvaluateExpr(*expr.left, row, aggregates));
+      EINSQL_ASSIGN_OR_RETURN(Value rhs,
+                              EvaluateExpr(*expr.right, row, aggregates));
+      switch (expr.binary_op) {
+        case BinaryOp::kAdd: return Add(lhs, rhs);
+        case BinaryOp::kSub: return Subtract(lhs, rhs);
+        case BinaryOp::kMul: return Multiply(lhs, rhs);
+        case BinaryOp::kDiv: return Divide(lhs, rhs);
+        case BinaryOp::kMod: return Modulo(lhs, rhs);
+        default: return Compare(expr.binary_op, lhs, rhs);
+      }
+    }
+    case ExprKind::kFunction: {
+      if (IsAggregateFunction(expr.function)) {
+        if (aggregates == nullptr) {
+          return Status::InvalidArgument("aggregate ", expr.function,
+                                         "() used outside aggregation");
+        }
+        auto it = aggregates->find(&expr);
+        if (it == aggregates->end()) {
+          return Status::Internal("aggregate value not computed");
+        }
+        return it->second;
+      }
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const auto& arg : expr.args) {
+        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*arg, row, aggregates));
+        args.push_back(std::move(v));
+      }
+      return EvaluateScalarFunction(expr, args);
+    }
+    case ExprKind::kIsNull: {
+      EINSQL_ASSIGN_OR_RETURN(Value operand,
+                              EvaluateExpr(*expr.left, row, aggregates));
+      const bool is_null = IsNull(operand);
+      return Value(
+          static_cast<int64_t>(is_null != expr.is_null_negated ? 1 : 0));
+    }
+    case ExprKind::kCase: {
+      for (const auto& [when, then] : expr.case_whens) {
+        EINSQL_ASSIGN_OR_RETURN(Value condition,
+                                EvaluateExpr(*when, row, aggregates));
+        if (IsTrue(condition)) {
+          return EvaluateExpr(*then, row, aggregates);
+        }
+      }
+      if (expr.case_else) {
+        return EvaluateExpr(*expr.case_else, row, aggregates);
+      }
+      return Value(Null{});
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Value> EvaluateConstant(const Expr& expr) {
+  static const Row kEmptyRow;
+  return EvaluateExpr(expr, kEmptyRow, nullptr);
+}
+
+}  // namespace einsql::minidb

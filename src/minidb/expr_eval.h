@@ -1,0 +1,32 @@
+#ifndef EINSQL_MINIDB_EXPR_EVAL_H_
+#define EINSQL_MINIDB_EXPR_EVAL_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "minidb/ast.h"
+#include "minidb/table.h"
+
+namespace einsql::minidb {
+
+/// Values computed for aggregate calls of the current group, keyed by the
+/// aggregate Expr node. Empty outside of aggregation.
+using AggregateValues = std::map<const Expr*, Value>;
+
+/// Evaluates a bound expression against `row`. Column references must carry
+/// a bound_slot. Aggregate calls are looked up in `aggregates` (it is an
+/// Internal error to hit one that is absent). Supports three-valued logic
+/// for comparisons/AND/OR/NOT and the scalar functions abs, coalesce,
+/// length, mod, floor, ceil, sqrt, pow, exp, ln.
+Result<Value> EvaluateExpr(const Expr& expr, const Row& row,
+                           const AggregateValues* aggregates = nullptr);
+
+/// Evaluates a constant expression (no column references, no aggregates).
+Result<Value> EvaluateConstant(const Expr& expr);
+
+/// SQL condition truthiness: true iff the value is a non-NULL number != 0.
+bool IsTrue(const Value& v);
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_EXPR_EVAL_H_

@@ -1,0 +1,300 @@
+#include "minidb/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace einsql::minidb {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kSelect: return "SELECT";
+    case TokenKind::kFrom: return "FROM";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kGroup: return "GROUP";
+    case TokenKind::kBy: return "BY";
+    case TokenKind::kOrder: return "ORDER";
+    case TokenKind::kAsc: return "ASC";
+    case TokenKind::kDesc: return "DESC";
+    case TokenKind::kLimit: return "LIMIT";
+    case TokenKind::kAs: return "AS";
+    case TokenKind::kWith: return "WITH";
+    case TokenKind::kValues: return "VALUES";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kCreate: return "CREATE";
+    case TokenKind::kTable: return "TABLE";
+    case TokenKind::kInsert: return "INSERT";
+    case TokenKind::kInto: return "INTO";
+    case TokenKind::kDrop: return "DROP";
+    case TokenKind::kNull: return "NULL";
+    case TokenKind::kDistinct: return "DISTINCT";
+    case TokenKind::kCross: return "CROSS";
+    case TokenKind::kJoin: return "JOIN";
+    case TokenKind::kInner: return "INNER";
+    case TokenKind::kOn: return "ON";
+    case TokenKind::kDelete: return "DELETE";
+    case TokenKind::kCase: return "CASE";
+    case TokenKind::kWhen: return "WHEN";
+    case TokenKind::kThen: return "THEN";
+    case TokenKind::kElse: return "ELSE";
+    case TokenKind::kEnd: return "END";
+    case TokenKind::kBetween: return "BETWEEN";
+    case TokenKind::kIn: return "IN";
+    case TokenKind::kIs: return "IS";
+    case TokenKind::kUnion: return "UNION";
+    case TokenKind::kAll: return "ALL";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNotEq: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLtEq: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGtEq: return ">=";
+    case TokenKind::kSemicolon: return ";";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind>& KeywordMap() {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"select", TokenKind::kSelect},   {"from", TokenKind::kFrom},
+      {"where", TokenKind::kWhere},     {"group", TokenKind::kGroup},
+      {"by", TokenKind::kBy},           {"order", TokenKind::kOrder},
+      {"asc", TokenKind::kAsc},         {"desc", TokenKind::kDesc},
+      {"limit", TokenKind::kLimit},     {"as", TokenKind::kAs},
+      {"with", TokenKind::kWith},       {"values", TokenKind::kValues},
+      {"and", TokenKind::kAnd},         {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},         {"create", TokenKind::kCreate},
+      {"table", TokenKind::kTable},     {"insert", TokenKind::kInsert},
+      {"into", TokenKind::kInto},       {"drop", TokenKind::kDrop},
+      {"null", TokenKind::kNull},       {"distinct", TokenKind::kDistinct},
+      {"cross", TokenKind::kCross},     {"join", TokenKind::kJoin},
+      {"inner", TokenKind::kInner},     {"on", TokenKind::kOn},
+      {"delete", TokenKind::kDelete},   {"case", TokenKind::kCase},
+      {"when", TokenKind::kWhen},       {"then", TokenKind::kThen},
+      {"else", TokenKind::kElse},       {"end", TokenKind::kEnd},
+      {"between", TokenKind::kBetween}, {"in", TokenKind::kIn},
+      {"is", TokenKind::kIs},         {"union", TokenKind::kUnion},
+      {"all", TokenKind::kAll},
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  int line = 1, column = 1;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (pos < sql.size() && sql[pos] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++pos;
+    }
+  };
+  auto make = [&](TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+
+  while (pos < sql.size()) {
+    const char c = sql[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && pos + 1 < sql.size() && sql[pos + 1] == '-') {
+      while (pos < sql.size() && sql[pos] != '\n') advance(1);
+      continue;
+    }
+    // Numbers: integer or float (with optional exponent).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[pos + 1])))) {
+      size_t end = pos;
+      bool is_float = false;
+      while (end < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[end]))) {
+        ++end;
+      }
+      if (end < sql.size() && sql[end] == '.') {
+        is_float = true;
+        ++end;
+        while (end < sql.size() &&
+               std::isdigit(static_cast<unsigned char>(sql[end]))) {
+          ++end;
+        }
+      }
+      if (end < sql.size() && (sql[end] == 'e' || sql[end] == 'E')) {
+        size_t exp = end + 1;
+        if (exp < sql.size() && (sql[exp] == '+' || sql[exp] == '-')) ++exp;
+        if (exp < sql.size() &&
+            std::isdigit(static_cast<unsigned char>(sql[exp]))) {
+          is_float = true;
+          end = exp;
+          while (end < sql.size() &&
+                 std::isdigit(static_cast<unsigned char>(sql[end]))) {
+            ++end;
+          }
+        }
+      }
+      std::string text(sql.substr(pos, end - pos));
+      Token t = make(is_float ? TokenKind::kFloatLiteral
+                              : TokenKind::kIntLiteral,
+                     text);
+      if (is_float) {
+        EINSQL_ASSIGN_OR_RETURN(t.double_value, ParseDouble(text));
+      } else {
+        auto parsed = ParseInt64(text);
+        if (parsed.ok()) {
+          t.int_value = parsed.value();
+        } else {
+          // Integer literal too large for int64: fall back to double.
+          t.kind = TokenKind::kFloatLiteral;
+          EINSQL_ASSIGN_OR_RETURN(t.double_value, ParseDouble(text));
+        }
+      }
+      tokens.push_back(std::move(t));
+      advance(end - pos);
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos;
+      while (end < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[end])) ||
+              sql[end] == '_')) {
+        ++end;
+      }
+      std::string text(sql.substr(pos, end - pos));
+      auto it = KeywordMap().find(ToLower(text));
+      if (it != KeywordMap().end()) {
+        tokens.push_back(make(it->second, text));
+      } else {
+        tokens.push_back(make(TokenKind::kIdentifier, text));
+      }
+      advance(end - pos);
+      continue;
+    }
+    // Quoted identifiers.
+    if (c == '"') {
+      size_t end = pos + 1;
+      while (end < sql.size() && sql[end] != '"') ++end;
+      if (end >= sql.size()) {
+        return Status::ParseError("unterminated quoted identifier at line ",
+                                  line);
+      }
+      tokens.push_back(make(TokenKind::kIdentifier,
+                            std::string(sql.substr(pos + 1, end - pos - 1))));
+      advance(end + 1 - pos);
+      continue;
+    }
+    // String literals with '' escaping.
+    if (c == '\'') {
+      std::string text;
+      size_t end = pos + 1;
+      while (end < sql.size()) {
+        if (sql[end] == '\'') {
+          if (end + 1 < sql.size() && sql[end + 1] == '\'') {
+            text.push_back('\'');
+            end += 2;
+            continue;
+          }
+          break;
+        }
+        text.push_back(sql[end]);
+        ++end;
+      }
+      if (end >= sql.size()) {
+        return Status::ParseError("unterminated string literal at line ",
+                                  line);
+      }
+      tokens.push_back(make(TokenKind::kStringLiteral, text));
+      advance(end + 1 - pos);
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char next) {
+      return pos + 1 < sql.size() && sql[pos + 1] == next;
+    };
+    TokenKind kind;
+    size_t length = 1;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case ',': kind = TokenKind::kComma; break;
+      case '.': kind = TokenKind::kDot; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '%': kind = TokenKind::kPercent; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case '=': kind = TokenKind::kEq; break;
+      case '!':
+        if (!two('=')) {
+          return Status::ParseError("unexpected '!' at line ", line);
+        }
+        kind = TokenKind::kNotEq;
+        length = 2;
+        break;
+      case '<':
+        if (two('=')) {
+          kind = TokenKind::kLtEq;
+          length = 2;
+        } else if (two('>')) {
+          kind = TokenKind::kNotEq;
+          length = 2;
+        } else {
+          kind = TokenKind::kLt;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          kind = TokenKind::kGtEq;
+          length = 2;
+        } else {
+          kind = TokenKind::kGt;
+        }
+        break;
+      default:
+        return Status::ParseError("unexpected character '",
+                                  std::string(1, c), "' at line ", line,
+                                  ", column ", column);
+    }
+    tokens.push_back(make(kind, std::string(sql.substr(pos, length))));
+    advance(length);
+  }
+  tokens.push_back(make(TokenKind::kEof, ""));
+  return tokens;
+}
+
+}  // namespace einsql::minidb

@@ -1,0 +1,53 @@
+#ifndef EINSQL_MINIDB_LEXER_H_
+#define EINSQL_MINIDB_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace einsql::minidb {
+
+/// SQL token kinds. Keywords are recognized case-insensitively; anything
+/// alphabetic that is not a keyword is an identifier (so aggregate function
+/// names like SUM arrive as identifiers and are resolved by the parser).
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  // Keywords.
+  kSelect, kFrom, kWhere, kGroup, kBy, kOrder, kAsc, kDesc, kLimit, kAs,
+  kWith, kValues, kAnd, kOr, kNot, kCreate, kTable, kInsert, kInto, kDrop,
+  kNull, kDistinct, kCross, kJoin, kInner, kOn, kDelete, kCase, kWhen,
+  kThen, kElse, kEnd, kBetween, kIn, kIs, kUnion, kAll,
+  // Punctuation and operators.
+  kLParen, kRParen, kComma, kDot, kStar, kPlus, kMinus, kSlash, kPercent,
+  kEq, kNotEq, kLt, kLtEq, kGt, kGtEq, kSemicolon,
+};
+
+/// Returns a printable name for diagnostics.
+const char* TokenKindToString(TokenKind kind);
+
+/// One lexed token with its source text and position.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  /// Raw text (identifier spelling, literal text without quotes).
+  std::string text;
+  /// Numeric payloads for literals.
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  /// 1-based line/column of the first character, for error messages.
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes a SQL string. Supports `--` line comments, single-quoted
+/// strings with '' escaping, and double-quoted identifiers.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_LEXER_H_

@@ -1,0 +1,588 @@
+#include "minidb/parser.h"
+
+#include "common/str_util.h"
+
+namespace einsql::minidb {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    bool explain = false;
+    if (Peek().kind == TokenKind::kIdentifier &&
+        EqualsIgnoreCase(Peek().text, "explain")) {
+      Advance();
+      explain = true;
+    }
+    const Token& t = Peek();
+    if (explain && t.kind != TokenKind::kWith &&
+        t.kind != TokenKind::kSelect && t.kind != TokenKind::kValues) {
+      return Error("EXPLAIN requires a SELECT statement");
+    }
+    if (t.kind == TokenKind::kWith || t.kind == TokenKind::kSelect ||
+        t.kind == TokenKind::kValues) {
+      EINSQL_ASSIGN_OR_RETURN(auto select, ParseSelectStmt());
+      stmt.kind = StatementKind::kSelect;
+      stmt.select = std::move(select);
+      stmt.select->explain = explain;
+    } else if (t.kind == TokenKind::kCreate) {
+      EINSQL_ASSIGN_OR_RETURN(auto create, ParseCreateTable());
+      stmt.kind = StatementKind::kCreateTable;
+      stmt.create_table = std::move(create);
+    } else if (t.kind == TokenKind::kInsert) {
+      EINSQL_ASSIGN_OR_RETURN(auto insert, ParseInsert());
+      stmt.kind = StatementKind::kInsert;
+      stmt.insert = std::move(insert);
+    } else if (t.kind == TokenKind::kDrop) {
+      EINSQL_ASSIGN_OR_RETURN(auto drop, ParseDropTable());
+      stmt.kind = StatementKind::kDropTable;
+      stmt.drop_table = std::move(drop);
+    } else if (t.kind == TokenKind::kDelete) {
+      EINSQL_ASSIGN_OR_RETURN(auto del, ParseDelete());
+      stmt.kind = StatementKind::kDelete;
+      stmt.delete_stmt = std::move(del);
+    } else {
+      return Error("expected a statement");
+    }
+    (void)Accept(TokenKind::kSemicolon);
+    if (Peek().kind != TokenKind::kEof) {
+      return Error("trailing input after statement");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseLoneExpression() {
+    EINSQL_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+    if (Peek().kind != TokenKind::kEof) {
+      return Error("trailing input after expression");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t k = pos_ + ahead;
+    if (k >= tokens_.size()) k = tokens_.size() - 1;
+    return tokens_[k];
+  }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Accept(kind)) {
+      return Error(StrCat("expected ", TokenKindToString(kind), ", found ",
+                          TokenKindToString(Peek().kind)));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(StrCat("expected identifier, found ",
+                          TokenKindToString(Peek().kind)));
+    }
+    return Advance().text;
+  }
+
+  // Uniform parse error with position info; converts implicitly to any
+  // Result<T> via the Status constructor.
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message, " at line ", Peek().line, ", column ",
+                              Peek().column);
+  }
+
+  // --- statements ---
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt() {
+    auto stmt = std::make_unique<SelectStmt>();
+    if (Accept(TokenKind::kWith)) {
+      do {
+        CommonTableExpr cte;
+        EINSQL_ASSIGN_OR_RETURN(cte.name, ExpectIdentifier());
+        if (Accept(TokenKind::kLParen)) {
+          do {
+            EINSQL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+            cte.column_names.push_back(std::move(col));
+          } while (Accept(TokenKind::kComma));
+          EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        }
+        EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kAs));
+        EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+        EINSQL_ASSIGN_OR_RETURN(auto body, ParseQueryBody());
+        EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        cte.body = std::move(body);
+        stmt->ctes.push_back(std::move(cte));
+      } while (Accept(TokenKind::kComma));
+    }
+    EINSQL_ASSIGN_OR_RETURN(auto body, ParseQueryBody());
+    stmt->body = std::move(*body);
+    return stmt;
+  }
+
+  Result<std::unique_ptr<QueryBody>> ParseQueryBody() {
+    auto body = std::make_unique<QueryBody>();
+    if (Accept(TokenKind::kValues)) {
+      body->is_values = true;
+      do {
+        EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+        std::vector<std::unique_ptr<Expr>> row;
+        do {
+          EINSQL_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+          row.push_back(std::move(expr));
+        } while (Accept(TokenKind::kComma));
+        EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        body->values_rows.push_back(std::move(row));
+      } while (Accept(TokenKind::kComma));
+      return body;
+    }
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kSelect));
+    body->distinct = Accept(TokenKind::kDistinct);
+    // Select list.
+    do {
+      SelectItem item;
+      if (Accept(TokenKind::kStar)) {
+        item.is_star = true;
+      } else {
+        EINSQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Accept(TokenKind::kAs)) {
+          EINSQL_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        } else if (Peek().kind == TokenKind::kIdentifier) {
+          item.alias = Advance().text;
+        }
+      }
+      body->select_list.push_back(std::move(item));
+    } while (Accept(TokenKind::kComma));
+    // FROM with comma / JOIN syntax.
+    if (Accept(TokenKind::kFrom)) {
+      EINSQL_RETURN_IF_ERROR(ParseTableRef(body.get()));
+      while (true) {
+        if (Accept(TokenKind::kComma)) {
+          EINSQL_RETURN_IF_ERROR(ParseTableRef(body.get()));
+          continue;
+        }
+        const bool cross = Peek().kind == TokenKind::kCross;
+        const bool inner = Peek().kind == TokenKind::kInner;
+        if (cross || inner || Peek().kind == TokenKind::kJoin) {
+          if (cross || inner) Advance();
+          EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kJoin));
+          EINSQL_RETURN_IF_ERROR(ParseTableRef(body.get()));
+          if (Accept(TokenKind::kOn)) {
+            if (cross) return Error("CROSS JOIN cannot have ON");
+            EINSQL_ASSIGN_OR_RETURN(auto cond, ParseExpr());
+            // Fold ON conditions into WHERE; the planner re-derives join
+            // predicates from the conjuncts.
+            body->where = body->where
+                              ? MakeBinary(BinaryOp::kAnd,
+                                           std::move(body->where),
+                                           std::move(cond))
+                              : std::move(cond);
+          }
+          continue;
+        }
+        break;
+      }
+    }
+    if (Accept(TokenKind::kWhere)) {
+      EINSQL_ASSIGN_OR_RETURN(auto where, ParseExpr());
+      body->where = body->where
+                        ? MakeBinary(BinaryOp::kAnd, std::move(body->where),
+                                     std::move(where))
+                        : std::move(where);
+    }
+    if (Accept(TokenKind::kGroup)) {
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kBy));
+      do {
+        EINSQL_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+        body->group_by.push_back(std::move(expr));
+      } while (Accept(TokenKind::kComma));
+    }
+    if (Peek().kind == TokenKind::kIdentifier &&
+        EqualsIgnoreCase(Peek().text, "having")) {
+      Advance();
+      if (body->group_by.empty()) {
+        return Error("HAVING requires GROUP BY");
+      }
+      EINSQL_ASSIGN_OR_RETURN(body->having, ParseExpr());
+    }
+    while (Accept(TokenKind::kUnion)) {
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kAll));
+      // The recursive call consumes the rest of the union including the
+      // trailing ORDER BY/LIMIT, which by SQL semantics apply to the whole
+      // union: hoist them to this (outermost) body.
+      EINSQL_ASSIGN_OR_RETURN(auto member, ParseQueryBody());
+      if (member->is_values) {
+        return Error("UNION ALL members must be SELECT statements");
+      }
+      body->order_by = std::move(member->order_by);
+      body->limit = member->limit;
+      member->order_by.clear();
+      member->limit.reset();
+      // Flatten right-nested unions produced by the recursive call.
+      std::vector<std::unique_ptr<QueryBody>> nested =
+          std::move(member->union_all);
+      body->union_all.push_back(std::move(member));
+      for (auto& inner : nested) body->union_all.push_back(std::move(inner));
+    }
+    if (Accept(TokenKind::kOrder)) {
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kBy));
+      do {
+        OrderItem item;
+        EINSQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Accept(TokenKind::kDesc)) {
+          item.descending = true;
+        } else {
+          (void)Accept(TokenKind::kAsc);
+        }
+        body->order_by.push_back(std::move(item));
+      } while (Accept(TokenKind::kComma));
+    }
+    if (Accept(TokenKind::kLimit)) {
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("LIMIT requires an integer literal");
+      }
+      body->limit = Advance().int_value;
+    }
+    return body;
+  }
+
+  Status ParseTableRef(QueryBody* body) {
+    TableRef ref;
+    EINSQL_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
+    if (Accept(TokenKind::kAs)) {
+      EINSQL_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    body->from.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kCreate));
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kTable));
+    auto stmt = std::make_unique<CreateTableStmt>();
+    EINSQL_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    do {
+      EINSQL_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      EINSQL_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+      const std::string lower = ToLower(type_name);
+      ValueType type;
+      if (lower == "int" || lower == "integer" || lower == "bigint") {
+        type = ValueType::kInt;
+      } else if (lower == "double" || lower == "real" || lower == "float") {
+        type = ValueType::kDouble;
+      } else if (lower == "text" || lower == "varchar" || lower == "string") {
+        type = ValueType::kText;
+        // VARCHAR(n) style length suffix.
+        if (Accept(TokenKind::kLParen)) {
+          if (Peek().kind == TokenKind::kIntLiteral) Advance();
+          EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        }
+      } else {
+        return Error(
+            StrCat("unknown column type '", type_name, "'"));
+      }
+      stmt->columns.emplace_back(std::move(name), type);
+    } while (Accept(TokenKind::kComma));
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return stmt;
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kInsert));
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kInto));
+    auto stmt = std::make_unique<InsertStmt>();
+    EINSQL_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    if (Accept(TokenKind::kLParen)) {
+      do {
+        EINSQL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt->columns.push_back(std::move(col));
+      } while (Accept(TokenKind::kComma));
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    }
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kValues));
+    do {
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      std::vector<std::unique_ptr<Expr>> row;
+      do {
+        EINSQL_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+        row.push_back(std::move(expr));
+      } while (Accept(TokenKind::kComma));
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      stmt->rows.push_back(std::move(row));
+    } while (Accept(TokenKind::kComma));
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DropTableStmt>> ParseDropTable() {
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kDrop));
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kTable));
+    auto stmt = std::make_unique<DropTableStmt>();
+    // Optional IF EXISTS (both arrive as identifiers).
+    if (Peek().kind == TokenKind::kIdentifier &&
+        EqualsIgnoreCase(Peek().text, "if") &&
+        Peek(1).kind == TokenKind::kIdentifier &&
+        EqualsIgnoreCase(Peek(1).text, "exists")) {
+      Advance();
+      Advance();
+      stmt->if_exists = true;
+    }
+    EINSQL_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kDelete));
+    EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+    auto stmt = std::make_unique<DeleteStmt>();
+    EINSQL_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    if (Accept(TokenKind::kWhere)) {
+      EINSQL_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  // --- expressions (precedence climbing) ---
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    EINSQL_ASSIGN_OR_RETURN(auto left, ParseAnd());
+    while (Accept(TokenKind::kOr)) {
+      EINSQL_ASSIGN_OR_RETURN(auto right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    EINSQL_ASSIGN_OR_RETURN(auto left, ParseNot());
+    while (Accept(TokenKind::kAnd)) {
+      EINSQL_ASSIGN_OR_RETURN(auto right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (Accept(TokenKind::kNot)) {
+      EINSQL_ASSIGN_OR_RETURN(auto operand, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_op = UnaryOp::kNot;
+      e->left = std::move(operand);
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    EINSQL_ASSIGN_OR_RETURN(auto left, ParseAdditive());
+    if (Accept(TokenKind::kBetween)) {
+      // x BETWEEN lo AND hi  ==  x >= lo AND x <= hi.
+      EINSQL_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kAnd));
+      EINSQL_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+      auto lower = MakeBinary(BinaryOp::kGtEq, left->Clone(), std::move(lo));
+      auto upper = MakeBinary(BinaryOp::kLtEq, std::move(left), std::move(hi));
+      return MakeBinary(BinaryOp::kAnd, std::move(lower), std::move(upper));
+    }
+    if (Accept(TokenKind::kIn)) {
+      // x IN (a, b, ...)  ==  x = a OR x = b OR ...
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      std::unique_ptr<Expr> disjunction;
+      do {
+        EINSQL_ASSIGN_OR_RETURN(auto candidate, ParseExpr());
+        auto eq = MakeBinary(BinaryOp::kEq, left->Clone(),
+                             std::move(candidate));
+        disjunction = disjunction
+                          ? MakeBinary(BinaryOp::kOr, std::move(disjunction),
+                                       std::move(eq))
+                          : std::move(eq);
+      } while (Accept(TokenKind::kComma));
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return disjunction;
+    }
+    if (Accept(TokenKind::kIs)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->is_null_negated = Accept(TokenKind::kNot);
+      EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kNull));
+      e->left = std::move(left);
+      return e;
+    }
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNotEq: op = BinaryOp::kNotEq; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLtEq: op = BinaryOp::kLtEq; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGtEq: op = BinaryOp::kGtEq; break;
+      default:
+        return left;
+    }
+    Advance();
+    EINSQL_ASSIGN_OR_RETURN(auto right, ParseAdditive());
+    return MakeBinary(op, std::move(left), std::move(right));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    EINSQL_ASSIGN_OR_RETURN(auto left, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSub;
+      } else {
+        return left;
+      }
+      Advance();
+      EINSQL_ASSIGN_OR_RETURN(auto right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    EINSQL_ASSIGN_OR_RETURN(auto left, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinaryOp::kDiv;
+      } else if (Peek().kind == TokenKind::kPercent) {
+        op = BinaryOp::kMod;
+      } else {
+        return left;
+      }
+      Advance();
+      EINSQL_ASSIGN_OR_RETURN(auto right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      EINSQL_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+      // Fold negation of literals so "-3" is a literal, not an expression.
+      if (operand->kind == ExprKind::kLiteral &&
+          TypeOf(operand->literal) != ValueType::kText) {
+        EINSQL_ASSIGN_OR_RETURN(Value negated, Negate(operand->literal));
+        return MakeLiteral(std::move(negated));
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_op = UnaryOp::kNegate;
+      e->left = std::move(operand);
+      return e;
+    }
+    (void)Accept(TokenKind::kPlus);
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return MakeLiteral(Value(t.int_value));
+      case TokenKind::kFloatLiteral:
+        Advance();
+        return MakeLiteral(Value(t.double_value));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return MakeLiteral(Value(t.text));
+      case TokenKind::kNull:
+        Advance();
+        return MakeLiteral(Value(Null{}));
+      case TokenKind::kLParen: {
+        Advance();
+        EINSQL_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+        EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return expr;
+      }
+      case TokenKind::kCase: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCase;
+        if (Peek().kind != TokenKind::kWhen) {
+          return Error("searched CASE requires WHEN (simple CASE is not "
+                       "supported)");
+        }
+        while (Accept(TokenKind::kWhen)) {
+          EINSQL_ASSIGN_OR_RETURN(auto when, ParseExpr());
+          EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kThen));
+          EINSQL_ASSIGN_OR_RETURN(auto then, ParseExpr());
+          e->case_whens.emplace_back(std::move(when), std::move(then));
+        }
+        if (Accept(TokenKind::kElse)) {
+          EINSQL_ASSIGN_OR_RETURN(e->case_else, ParseExpr());
+        }
+        EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+        return e;
+      }
+      case TokenKind::kIdentifier: {
+        std::string name = Advance().text;
+        if (Accept(TokenKind::kLParen)) {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFunction;
+          e->function = ToLower(name);
+          if (Accept(TokenKind::kStar)) {
+            e->star_argument = true;
+          } else if (Peek().kind != TokenKind::kRParen) {
+            do {
+              EINSQL_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+            } while (Accept(TokenKind::kComma));
+          }
+          EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          return e;
+        }
+        if (Accept(TokenKind::kDot)) {
+          EINSQL_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+          return MakeColumnRef(std::move(name), std::move(column));
+        }
+        return MakeColumnRef("", std::move(name));
+      }
+      default:
+        return Error(
+            StrCat("unexpected ", TokenKindToString(t.kind),
+                   " in expression"));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  EINSQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view text) {
+  EINSQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseLoneExpression();
+}
+
+}  // namespace einsql::minidb

@@ -1,0 +1,31 @@
+#ifndef EINSQL_MINIDB_PARSER_H_
+#define EINSQL_MINIDB_PARSER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "minidb/ast.h"
+#include "minidb/lexer.h"
+
+namespace einsql::minidb {
+
+/// Parses a single SQL statement (optionally terminated by ';').
+///
+/// Supported grammar (the portable subset the einsum SQL generator emits,
+/// plus common conveniences):
+///   WITH name(cols) AS (SELECT ... | VALUES ...), ... SELECT ...
+///   SELECT [DISTINCT] items FROM t [alias] [, u | [INNER|CROSS] JOIN u
+///     [ON expr]] ... WHERE expr GROUP BY exprs ORDER BY exprs LIMIT n
+///   VALUES (..), (..)
+///   CREATE TABLE t (col TYPE, ...)
+///   INSERT INTO t [(cols)] VALUES (..), ..
+///   DROP TABLE [IF EXISTS] t
+///   DELETE FROM t [WHERE expr]
+Result<Statement> ParseStatement(std::string_view sql);
+
+/// Parses just an expression (used by tests).
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view text);
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_PARSER_H_

@@ -1,0 +1,145 @@
+#include "minidb/plan.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace einsql::minidb {
+
+Result<int> ResolveColumn(const Schema& schema, const std::string& qualifier,
+                          const std::string& name) {
+  int found = -1;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (!EqualsIgnoreCase(schema[i].name, name)) continue;
+    if (!qualifier.empty() &&
+        !EqualsIgnoreCase(schema[i].qualifier, qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference '",
+                                     qualifier.empty() ? name
+                                                       : qualifier + "." + name,
+                                     "'");
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::NotFound("column '",
+                            qualifier.empty() ? name : qualifier + "." + name,
+                            "' not found");
+  }
+  return found;
+}
+
+const char* PlanKindToString(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan: return "Scan";
+    case PlanKind::kCteScan: return "CteScan";
+    case PlanKind::kValues: return "Values";
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kJoin: return "HashJoin";
+    case PlanKind::kAggregate: return "HashAggregate";
+    case PlanKind::kSort: return "Sort";
+    case PlanKind::kLimit: return "Limit";
+    case PlanKind::kDistinct: return "Distinct";
+    case PlanKind::kAppend: return "Append";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->kind = kind;
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  copy->schema = schema;
+  copy->est_rows = est_rows;
+  copy->table = table;
+  copy->table_name = table_name;
+  copy->alias = alias;
+  copy->cte_index = cte_index;
+  copy->cte_name = cte_name;
+  copy->literal_rows = literal_rows;
+  if (predicate) copy->predicate = predicate->Clone();
+  copy->left_keys = left_keys;
+  copy->right_keys = right_keys;
+  for (const auto& e : exprs) copy->exprs.push_back(e->Clone());
+  for (const auto& e : group_exprs) copy->group_exprs.push_back(e->Clone());
+  for (const auto& e : sort_exprs) copy->sort_exprs.push_back(e->Clone());
+  copy->sort_desc = sort_desc;
+  copy->limit = limit;
+  return copy;
+}
+
+std::string PlanNode::Fingerprint() const {
+  std::ostringstream os;
+  os << PlanKindToString(kind) << "(";
+  switch (kind) {
+    case PlanKind::kScan:
+      os << table_name;
+      break;
+    case PlanKind::kCteScan:
+      os << "cte:" << cte_index;
+      break;
+    case PlanKind::kValues:
+      for (const Row& row : literal_rows) {
+        os << "[";
+        for (const Value& v : row) os << ValueToString(v) << ",";
+        os << "]";
+      }
+      break;
+    default:
+      break;
+  }
+  if (predicate) os << " pred=" << predicate->ToString();
+  if (!left_keys.empty()) {
+    os << " keys=";
+    for (size_t i = 0; i < left_keys.size(); ++i) {
+      os << left_keys[i] << ":" << right_keys[i] << ",";
+    }
+  }
+  for (const auto& e : exprs) os << " e=" << e->ToString();
+  for (const auto& e : group_exprs) os << " g=" << e->ToString();
+  for (const auto& e : sort_exprs) os << " s=" << e->ToString();
+  if (limit >= 0) os << " limit=" << limit;
+  for (const auto& child : children) os << " " << child->Fingerprint();
+  os << ")";
+  return os.str();
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  os << std::string(indent * 2, ' ') << PlanKindToString(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      os << " " << table_name;
+      if (!alias.empty() && alias != table_name) os << " AS " << alias;
+      break;
+    case PlanKind::kCteScan:
+      os << " " << cte_name;
+      break;
+    case PlanKind::kValues:
+      os << " (" << literal_rows.size() << " rows)";
+      break;
+    case PlanKind::kJoin:
+      if (left_keys.empty()) os << " (cross)";
+      break;
+    default:
+      break;
+  }
+  if (predicate) os << " [" << predicate->ToString() << "]";
+  os << "  ~" << static_cast<int64_t>(est_rows) << " rows\n";
+  for (const auto& child : children) os << child->ToString(indent + 1);
+  return os.str();
+}
+
+std::string QueryPlan::ToString() const {
+  std::ostringstream os;
+  for (const auto& cte : ctes) {
+    os << "CTE " << cte.name << ":\n" << cte.plan->ToString(1);
+  }
+  os << "Main:\n" << root->ToString(1);
+  return os.str();
+}
+
+}  // namespace einsql::minidb

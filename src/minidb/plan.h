@@ -1,0 +1,116 @@
+#ifndef EINSQL_MINIDB_PLAN_H_
+#define EINSQL_MINIDB_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minidb/ast.h"
+#include "minidb/table.h"
+
+namespace einsql::minidb {
+
+/// One column of an operator's output schema: an optional qualifier (the
+/// table alias it came from) and the column name.
+struct SchemaColumn {
+  std::string qualifier;
+  std::string name;
+};
+
+/// An operator output schema.
+using Schema = std::vector<SchemaColumn>;
+
+/// Resolves a (qualifier, name) reference against `schema`.
+/// Returns the slot index; NotFound / InvalidArgument("ambiguous...") errors.
+Result<int> ResolveColumn(const Schema& schema, const std::string& qualifier,
+                          const std::string& name);
+
+/// Physical plan operator kinds. All operators are fully materialized:
+/// Execute() consumes child relations and produces one output relation.
+enum class PlanKind {
+  kScan,       // base table scan
+  kCteScan,    // reference to a materialized common table expression
+  kValues,     // literal rows
+  kFilter,     // predicate over child rows
+  kProject,    // expression projection
+  kJoin,       // hash equi-join (cross product when key lists are empty)
+  kAggregate,  // hash aggregation with grouped output expressions
+  kSort,       // ORDER BY
+  kLimit,      // LIMIT
+  kDistinct,   // duplicate elimination
+  kAppend,     // UNION ALL: concatenation of the children's rows
+};
+
+/// Returns a short operator name for plan dumps ("Scan", "HashJoin", ...).
+const char* PlanKindToString(PlanKind kind);
+
+/// A physical plan node. Expressions stored in plan nodes are clones of the
+/// AST whose column references were bound to input slot indices.
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+  /// Output schema.
+  Schema schema;
+  /// Optimizer cardinality estimate.
+  double est_rows = 1.0;
+
+  // kScan
+  std::shared_ptr<Relation> table;
+  std::string table_name;
+  std::string alias;
+
+  // kCteScan
+  int cte_index = -1;
+  std::string cte_name;
+
+  // kValues (rows already folded to constants)
+  std::vector<Row> literal_rows;
+
+  // kFilter / kJoin residual
+  std::unique_ptr<Expr> predicate;
+
+  // kJoin: key slots into left/right child schemas; empty => cross join.
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+
+  // kProject / kAggregate output expressions (bound against child schema).
+  std::vector<std::unique_ptr<Expr>> exprs;
+
+  // kAggregate group expressions (bound against child schema).
+  std::vector<std::unique_ptr<Expr>> group_exprs;
+
+  // kSort: expressions bound against *this node's input* (child output),
+  // plus direction flags.
+  std::vector<std::unique_ptr<Expr>> sort_exprs;
+  std::vector<bool> sort_desc;
+
+  // kLimit
+  int64_t limit = -1;
+
+  /// Deep copy (used by the aggressive optimizer's CTE analysis).
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Structural fingerprint: two plans with equal fingerprints compute the
+  /// same relation. Used by the common-subplan (CTE deduplication) pass.
+  std::string Fingerprint() const;
+
+  /// Multi-line indented plan dump for EXPLAIN-style output.
+  std::string ToString(int indent = 0) const;
+};
+
+/// A complete query plan: CTE plans materialized in order, then the root.
+struct QueryPlan {
+  struct Cte {
+    std::string name;
+    std::unique_ptr<PlanNode> plan;
+  };
+  std::vector<Cte> ctes;
+  std::unique_ptr<PlanNode> root;
+
+  /// Plan dump including CTEs.
+  std::string ToString() const;
+};
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_PLAN_H_

@@ -1,0 +1,827 @@
+#include "minidb/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+#include "minidb/expr_eval.h"
+
+namespace einsql::minidb {
+
+const char* OptimizerModeToString(OptimizerMode mode) {
+  switch (mode) {
+    case OptimizerMode::kNone: return "none";
+    case OptimizerMode::kGreedy: return "greedy";
+    case OptimizerMode::kAggressive: return "aggressive";
+    case OptimizerMode::kExhaustive: return "exhaustive";
+  }
+  return "?";
+}
+
+namespace {
+
+// Collects the table aliases referenced by an expression.
+void CollectAliases(const Expr& expr, std::set<std::string>* aliases) {
+  if (expr.kind == ExprKind::kColumnRef) {
+    aliases->insert(ToLower(expr.table));  // "" for unqualified
+  }
+  if (expr.left) CollectAliases(*expr.left, aliases);
+  if (expr.right) CollectAliases(*expr.right, aliases);
+  for (const auto& arg : expr.args) CollectAliases(*arg, aliases);
+  for (const auto& [when, then] : expr.case_whens) {
+    CollectAliases(*when, aliases);
+    CollectAliases(*then, aliases);
+  }
+  if (expr.case_else) CollectAliases(*expr.case_else, aliases);
+}
+
+// Splits an AND tree into conjuncts (borrowed pointers into the AST).
+void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr->kind == ExprKind::kBinary && expr->binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(expr->left.get(), out);
+    SplitConjuncts(expr->right.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+// Binds all column references of `expr` (in place) against `schema`.
+Status BindExpr(Expr* expr, const Schema& schema) {
+  if (expr->kind == ExprKind::kColumnRef) {
+    EINSQL_ASSIGN_OR_RETURN(expr->bound_slot,
+                            ResolveColumn(schema, expr->table, expr->column));
+    return Status::OK();
+  }
+  if (expr->left) EINSQL_RETURN_IF_ERROR(BindExpr(expr->left.get(), schema));
+  if (expr->right) {
+    EINSQL_RETURN_IF_ERROR(BindExpr(expr->right.get(), schema));
+  }
+  for (auto& arg : expr->args) {
+    EINSQL_RETURN_IF_ERROR(BindExpr(arg.get(), schema));
+  }
+  for (auto& [when, then] : expr->case_whens) {
+    EINSQL_RETURN_IF_ERROR(BindExpr(when.get(), schema));
+    EINSQL_RETURN_IF_ERROR(BindExpr(then.get(), schema));
+  }
+  if (expr->case_else) {
+    EINSQL_RETURN_IF_ERROR(BindExpr(expr->case_else.get(), schema));
+  }
+  return Status::OK();
+}
+
+// AND-combines bound conjunct clones.
+std::unique_ptr<Expr> CombineConjuncts(std::vector<std::unique_ptr<Expr>> cs) {
+  std::unique_ptr<Expr> result;
+  for (auto& c : cs) {
+    result = result ? MakeBinary(BinaryOp::kAnd, std::move(result),
+                                 std::move(c))
+                    : std::move(c);
+  }
+  return result;
+}
+
+// Derives an output column name for a select item.
+std::string OutputName(const SelectItem& item, int position) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column;
+  return StrCat("col", position);
+}
+
+/// Per-statement planning state.
+class Planner {
+ public:
+  Planner(const Catalog& catalog, const PlannerOptions& options)
+      : catalog_(catalog), options_(options) {}
+
+  Result<QueryPlan> Plan(const SelectStmt& stmt) {
+    QueryPlan plan;
+    for (const CommonTableExpr& cte : stmt.ctes) {
+      EINSQL_ASSIGN_OR_RETURN(auto node, PlanBody(*cte.body));
+      if (!cte.column_names.empty()) {
+        if (cte.column_names.size() != node->schema.size()) {
+          return Status::InvalidArgument(
+              "CTE '", cte.name, "' declares ", cte.column_names.size(),
+              " columns but its body produces ", node->schema.size());
+        }
+        for (size_t c = 0; c < cte.column_names.size(); ++c) {
+          node->schema[c].name = cte.column_names[c];
+          node->schema[c].qualifier.clear();
+        }
+      }
+      CteInfo info;
+      info.index = static_cast<int>(plan.ctes.size());
+      info.schema = node->schema;
+      info.est_rows = node->est_rows;
+      const std::string key = ToLower(cte.name);
+      if (cte_registry_.count(key) > 0) {
+        return Status::InvalidArgument("duplicate CTE name '", cte.name, "'");
+      }
+      cte_registry_[key] = std::move(info);
+      plan.ctes.push_back({cte.name, std::move(node)});
+    }
+    EINSQL_ASSIGN_OR_RETURN(plan.root, PlanBody(stmt.body));
+    if (options_.mode == OptimizerMode::kAggressive ||
+        options_.mode == OptimizerMode::kExhaustive) {
+      DeduplicateCtes(&plan);
+      // IDP-style bounded enumeration: exhaustive inline-vs-materialize
+      // search inside a sliding window of CTEs (iterative dynamic
+      // programming, the classical way to apply exponential plan
+      // enumeration to plan spaces too large for one shot). This is where
+      // the aggressive optimizer's planning time goes on large decomposed
+      // einsum queries — Table 2's "planning dominates" regime.
+      WindowedMaterializationSearch(plan);
+    }
+    if (options_.mode == OptimizerMode::kExhaustive) {
+      EINSQL_RETURN_IF_ERROR(ExhaustiveMaterializationSearch(plan));
+    }
+    return plan;
+  }
+
+ private:
+  struct CteInfo {
+    int index = -1;
+    Schema schema;
+    double est_rows = 1.0;
+  };
+
+  // --- body planning ---
+
+  Result<std::unique_ptr<PlanNode>> PlanBody(const QueryBody& body) {
+    if (body.is_values) return PlanValues(body);
+    EINSQL_ASSIGN_OR_RETURN(auto current, PlanSelectCore(body));
+    if (!body.union_all.empty()) {
+      auto append = std::make_unique<PlanNode>();
+      append->kind = PlanKind::kAppend;
+      append->schema = current->schema;
+      append->est_rows = current->est_rows;
+      append->children.push_back(std::move(current));
+      for (const auto& member : body.union_all) {
+        EINSQL_ASSIGN_OR_RETURN(auto plan, PlanSelectCore(*member));
+        if (plan->schema.size() != append->schema.size()) {
+          return Status::InvalidArgument(
+              "UNION ALL members must produce the same column count (",
+              append->schema.size(), " vs ", plan->schema.size(), ")");
+        }
+        append->est_rows += plan->est_rows;
+        append->children.push_back(std::move(plan));
+      }
+      current = std::move(append);
+    }
+    return ApplyOrderLimit(body, std::move(current));
+  }
+
+  // Applies the body's ORDER BY and LIMIT on top of `current` (after any
+  // UNION ALL concatenation, SQL-style).
+  Result<std::unique_ptr<PlanNode>> ApplyOrderLimit(
+      const QueryBody& body, std::unique_ptr<PlanNode> current) {
+    // ORDER BY against the output schema (aliases or 1-based positions).
+    if (!body.order_by.empty()) {
+      auto sort = std::make_unique<PlanNode>();
+      sort->kind = PlanKind::kSort;
+      sort->schema = current->schema;
+      sort->est_rows = current->est_rows;
+      for (const OrderItem& item : body.order_by) {
+        std::unique_ptr<Expr> expr;
+        if (item.expr->kind == ExprKind::kLiteral &&
+            TypeOf(item.expr->literal) == ValueType::kInt) {
+          const int64_t position = std::get<int64_t>(item.expr->literal);
+          if (position < 1 ||
+              position > static_cast<int64_t>(current->schema.size())) {
+            return Status::InvalidArgument("ORDER BY position ", position,
+                                           " out of range");
+          }
+          expr = MakeColumnRef("", current->schema[position - 1].name);
+        } else {
+          expr = item.expr->Clone();
+        }
+        Status bound = BindExpr(expr.get(), current->schema);
+        if (!bound.ok()) {
+          // ORDER BY items may reference input columns via their source
+          // qualifier (e.g. "ORDER BY A.i" when the output alias is "i");
+          // retry with qualifiers stripped.
+          expr = item.expr->Clone();
+          std::vector<Expr*> stack = {expr.get()};
+          while (!stack.empty()) {
+            Expr* e = stack.back();
+            stack.pop_back();
+            if (e->kind == ExprKind::kColumnRef) e->table.clear();
+            if (e->left) stack.push_back(e->left.get());
+            if (e->right) stack.push_back(e->right.get());
+            for (auto& arg : e->args) stack.push_back(arg.get());
+          }
+          EINSQL_RETURN_IF_ERROR(BindExpr(expr.get(), current->schema));
+        }
+        sort->sort_exprs.push_back(std::move(expr));
+        sort->sort_desc.push_back(item.descending);
+      }
+      sort->children.push_back(std::move(current));
+      current = std::move(sort);
+    }
+
+    // LIMIT.
+    if (body.limit.has_value()) {
+      auto limit = std::make_unique<PlanNode>();
+      limit->kind = PlanKind::kLimit;
+      limit->schema = current->schema;
+      limit->limit = *body.limit;
+      limit->est_rows =
+          std::min(current->est_rows, static_cast<double>(*body.limit));
+      limit->children.push_back(std::move(current));
+      current = std::move(limit);
+    }
+    return current;
+  }
+
+  Result<std::unique_ptr<PlanNode>> PlanValues(const QueryBody& body) {
+    auto node = std::make_unique<PlanNode>();
+    node->kind = PlanKind::kValues;
+    size_t arity = 0;
+    for (const auto& row : body.values_rows) {
+      if (arity == 0) arity = row.size();
+      if (row.size() != arity) {
+        return Status::InvalidArgument("VALUES rows have differing arity");
+      }
+      Row values;
+      values.reserve(row.size());
+      for (const auto& expr : row) {
+        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateConstant(*expr));
+        values.push_back(std::move(v));
+      }
+      node->literal_rows.push_back(std::move(values));
+    }
+    for (size_t c = 0; c < arity; ++c) {
+      node->schema.push_back({"", StrCat("c", c)});
+    }
+    node->est_rows = static_cast<double>(node->literal_rows.size());
+    return node;
+  }
+
+  // A leaf relation in the join graph.
+  struct Leaf {
+    std::unique_ptr<PlanNode> plan;
+    std::string alias;  // lower-cased
+  };
+
+  // An equi-join predicate between two leaves.
+  struct JoinEdge {
+    const Expr* left_ref;   // column ref
+    const Expr* right_ref;  // column ref
+    std::string left_alias, right_alias;
+  };
+
+  Result<std::unique_ptr<PlanNode>> PlanSelectCore(const QueryBody& body) {
+    // 1. Leaves.
+    std::vector<Leaf> leaves;
+    for (const TableRef& ref : body.from) {
+      EINSQL_ASSIGN_OR_RETURN(auto leaf, MakeLeaf(ref));
+      leaves.push_back(std::move(leaf));
+    }
+    if (leaves.empty()) {
+      // SELECT without FROM: a single empty row.
+      auto dual = std::make_unique<PlanNode>();
+      dual->kind = PlanKind::kValues;
+      dual->literal_rows.push_back({});
+      dual->est_rows = 1.0;
+      leaves.push_back({std::move(dual), ""});
+    }
+    // Duplicate alias check.
+    {
+      std::set<std::string> seen;
+      for (const Leaf& leaf : leaves) {
+        if (!seen.insert(leaf.alias).second) {
+          return Status::InvalidArgument("duplicate table alias '",
+                                         leaf.alias, "'");
+        }
+      }
+    }
+
+    // 2. Conjunct classification.
+    std::vector<const Expr*> conjuncts;
+    if (body.where) SplitConjuncts(body.where.get(), &conjuncts);
+    struct PendingPredicate {
+      const Expr* expr;
+      std::set<std::string> aliases;  // referenced aliases (lower-cased)
+    };
+    std::vector<PendingPredicate> pending;
+    for (const Expr* conjunct : conjuncts) {
+      std::set<std::string> aliases;
+      CollectAliases(*conjunct, &aliases);
+      // Unqualified references ("") are resolved against the full schema;
+      // attribute them to the leaf that has the column, if unique.
+      std::set<std::string> resolved;
+      for (const std::string& alias : aliases) {
+        if (!alias.empty()) {
+          resolved.insert(alias);
+          continue;
+        }
+        // Find the owning leaves of unqualified columns below.
+        resolved.insert("");
+      }
+      pending.push_back({conjunct, std::move(resolved)});
+    }
+    // Resolve unqualified column owners.
+    for (PendingPredicate& p : pending) {
+      if (p.aliases.count("") == 0) continue;
+      p.aliases.erase("");
+      std::vector<const Expr*> stack = {p.expr};
+      bool failed = false;
+      while (!stack.empty()) {
+        const Expr* e = stack.back();
+        stack.pop_back();
+        if (e->kind == ExprKind::kColumnRef && e->table.empty()) {
+          int owner = -1;
+          for (size_t l = 0; l < leaves.size(); ++l) {
+            Schema& schema = leaves[l].plan->schema;
+            if (ResolveColumn(schema, "", e->column).ok()) {
+              if (owner >= 0) {
+                failed = true;  // ambiguous: defer to full-schema binding
+                break;
+              }
+              owner = static_cast<int>(l);
+            }
+          }
+          if (owner >= 0) p.aliases.insert(leaves[owner].alias);
+        }
+        if (e->left) stack.push_back(e->left.get());
+        if (e->right) stack.push_back(e->right.get());
+        for (const auto& arg : e->args) stack.push_back(arg.get());
+      }
+      if (failed) {
+        // Force it to be treated as a residual over everything.
+        for (const Leaf& leaf : leaves) p.aliases.insert(leaf.alias);
+      }
+    }
+
+    // 3. Push single-leaf predicates onto their leaf.
+    std::vector<JoinEdge> edges;
+    std::vector<PendingPredicate> residuals;
+    for (PendingPredicate& p : pending) {
+      if (p.aliases.empty()) {
+        // Constant predicate: apply to the first leaf (cheap).
+        EINSQL_RETURN_IF_ERROR(
+            AttachFilter(&leaves[0].plan, p.expr));
+        continue;
+      }
+      if (p.aliases.size() == 1) {
+        const std::string& alias = *p.aliases.begin();
+        for (Leaf& leaf : leaves) {
+          if (leaf.alias == alias) {
+            EINSQL_RETURN_IF_ERROR(AttachFilter(&leaf.plan, p.expr));
+            break;
+          }
+        }
+        continue;
+      }
+      // Equi-join edge?
+      const Expr* e = p.expr;
+      if (p.aliases.size() == 2 && e->kind == ExprKind::kBinary &&
+          e->binary_op == BinaryOp::kEq &&
+          e->left->kind == ExprKind::kColumnRef &&
+          e->right->kind == ExprKind::kColumnRef) {
+        JoinEdge edge;
+        edge.left_ref = e->left.get();
+        edge.right_ref = e->right.get();
+        std::set<std::string> la, ra;
+        CollectAliases(*e->left, &la);
+        CollectAliases(*e->right, &ra);
+        edge.left_alias = OwnerAlias(*e->left, leaves);
+        edge.right_alias = OwnerAlias(*e->right, leaves);
+        if (!edge.left_alias.empty() && !edge.right_alias.empty() &&
+            edge.left_alias != edge.right_alias) {
+          edges.push_back(std::move(edge));
+          continue;
+        }
+      }
+      residuals.push_back(std::move(p));
+    }
+
+    // 4. Join ordering.
+    EINSQL_ASSIGN_OR_RETURN(
+        std::vector<int> order,
+        JoinOrder(leaves, edges));
+
+    // 5. Build the left-deep join tree.
+    std::unique_ptr<PlanNode> current = std::move(leaves[order[0]].plan);
+    std::set<std::string> bound_aliases = {leaves[order[0]].alias};
+    std::vector<bool> edge_used(edges.size(), false);
+    std::vector<bool> residual_used(residuals.size(), false);
+    for (size_t k = 1; k < order.size(); ++k) {
+      Leaf& next = leaves[order[k]];
+      auto join = std::make_unique<PlanNode>();
+      join->kind = PlanKind::kJoin;
+      // Keys: edges between bound aliases and the incoming leaf.
+      Schema combined = current->schema;
+      combined.insert(combined.end(), next.plan->schema.begin(),
+                      next.plan->schema.end());
+      for (size_t e = 0; e < edges.size(); ++e) {
+        if (edge_used[e]) continue;
+        const JoinEdge& edge = edges[e];
+        const Expr* left_side = nullptr;
+        const Expr* right_side = nullptr;
+        if (bound_aliases.count(edge.left_alias) > 0 &&
+            edge.right_alias == next.alias) {
+          left_side = edge.left_ref;
+          right_side = edge.right_ref;
+        } else if (bound_aliases.count(edge.right_alias) > 0 &&
+                   edge.left_alias == next.alias) {
+          left_side = edge.right_ref;
+          right_side = edge.left_ref;
+        } else {
+          continue;
+        }
+        EINSQL_ASSIGN_OR_RETURN(
+            int lslot, ResolveColumn(current->schema, left_side->table,
+                                     left_side->column));
+        EINSQL_ASSIGN_OR_RETURN(
+            int rslot, ResolveColumn(next.plan->schema, right_side->table,
+                                     right_side->column));
+        join->left_keys.push_back(lslot);
+        join->right_keys.push_back(rslot);
+        edge_used[e] = true;
+      }
+      bound_aliases.insert(next.alias);
+      // Residual predicates that became evaluable.
+      std::vector<std::unique_ptr<Expr>> applicable;
+      for (size_t r = 0; r < residuals.size(); ++r) {
+        if (residual_used[r]) continue;
+        bool covered = true;
+        for (const std::string& alias : residuals[r].aliases) {
+          if (bound_aliases.count(alias) == 0) {
+            covered = false;
+            break;
+          }
+        }
+        if (covered) {
+          auto clone = residuals[r].expr->Clone();
+          EINSQL_RETURN_IF_ERROR(BindExpr(clone.get(), combined));
+          applicable.push_back(std::move(clone));
+          residual_used[r] = true;
+        }
+      }
+      join->predicate = CombineConjuncts(std::move(applicable));
+      // Cardinality estimate.
+      const double l = current->est_rows, r = next.plan->est_rows;
+      join->est_rows = join->left_keys.empty() ? l * r : std::max(l, r);
+      if (join->predicate) join->est_rows *= 0.5;
+      join->schema = std::move(combined);
+      join->children.push_back(std::move(current));
+      join->children.push_back(std::move(next.plan));
+      current = std::move(join);
+    }
+    // Edges between already-joined leaves that were never consumed (cycles in
+    // the join graph) become filters.
+    {
+      std::vector<std::unique_ptr<Expr>> leftover;
+      for (size_t e = 0; e < edges.size(); ++e) {
+        if (edge_used[e]) continue;
+        auto eq = MakeBinary(BinaryOp::kEq, edges[e].left_ref->Clone(),
+                             edges[e].right_ref->Clone());
+        EINSQL_RETURN_IF_ERROR(BindExpr(eq.get(), current->schema));
+        leftover.push_back(std::move(eq));
+      }
+      for (size_t r = 0; r < residuals.size(); ++r) {
+        if (residual_used[r]) continue;
+        auto clone = residuals[r].expr->Clone();
+        EINSQL_RETURN_IF_ERROR(BindExpr(clone.get(), current->schema));
+        leftover.push_back(std::move(clone));
+      }
+      if (!leftover.empty()) {
+        auto filter = std::make_unique<PlanNode>();
+        filter->kind = PlanKind::kFilter;
+        filter->predicate = CombineConjuncts(std::move(leftover));
+        filter->schema = current->schema;
+        filter->est_rows = current->est_rows * 0.5;
+        filter->children.push_back(std::move(current));
+        current = std::move(filter);
+      }
+    }
+
+    // 6. Projection or aggregation.
+    // Expand '*' select items first.
+    std::vector<SelectItem> items;
+    for (const SelectItem& item : body.select_list) {
+      if (!item.is_star) {
+        SelectItem copy;
+        copy.expr = item.expr->Clone();
+        copy.alias = item.alias;
+        items.push_back(std::move(copy));
+        continue;
+      }
+      for (const SchemaColumn& col : current->schema) {
+        SelectItem copy;
+        copy.expr = MakeColumnRef(col.qualifier, col.name);
+        copy.alias = col.name;
+        items.push_back(std::move(copy));
+      }
+    }
+    bool has_aggregate = !body.group_by.empty();
+    for (const SelectItem& item : items) {
+      if (ContainsAggregate(*item.expr)) has_aggregate = true;
+    }
+
+    auto shaped = std::make_unique<PlanNode>();
+    shaped->kind = has_aggregate ? PlanKind::kAggregate : PlanKind::kProject;
+    for (size_t i = 0; i < items.size(); ++i) {
+      auto clone = items[i].expr->Clone();
+      EINSQL_RETURN_IF_ERROR(BindExpr(clone.get(), current->schema));
+      shaped->exprs.push_back(std::move(clone));
+      shaped->schema.push_back(
+          {"", OutputName(items[i], static_cast<int>(i))});
+    }
+    if (has_aggregate) {
+      for (const auto& group : body.group_by) {
+        auto clone = group->Clone();
+        EINSQL_RETURN_IF_ERROR(BindExpr(clone.get(), current->schema));
+        shaped->group_exprs.push_back(std::move(clone));
+      }
+      if (body.having) {
+        auto clone = body.having->Clone();
+        EINSQL_RETURN_IF_ERROR(BindExpr(clone.get(), current->schema));
+        shaped->predicate = std::move(clone);  // per-group HAVING filter
+      }
+      shaped->est_rows =
+          body.group_by.empty()
+              ? 1.0
+              : std::max(1.0, current->est_rows * 0.5);
+    } else {
+      if (body.having) {
+        return Status::InvalidArgument("HAVING requires aggregation");
+      }
+      shaped->est_rows = current->est_rows;
+    }
+    shaped->children.push_back(std::move(current));
+    current = std::move(shaped);
+
+    // 7. DISTINCT.
+    if (body.distinct) {
+      auto distinct = std::make_unique<PlanNode>();
+      distinct->kind = PlanKind::kDistinct;
+      distinct->schema = current->schema;
+      distinct->est_rows = current->est_rows * 0.7;
+      distinct->children.push_back(std::move(current));
+      current = std::move(distinct);
+    }
+
+    return current;
+  }
+
+  Result<Leaf> MakeLeaf(const TableRef& ref) {
+    Leaf leaf;
+    leaf.alias = ToLower(ref.effective_alias());
+    auto node = std::make_unique<PlanNode>();
+    const std::string key = ToLower(ref.name);
+    auto cte = cte_registry_.find(key);
+    if (cte != cte_registry_.end()) {
+      node->kind = PlanKind::kCteScan;
+      node->cte_index = cte->second.index;
+      node->cte_name = ref.name;
+      node->est_rows = cte->second.est_rows;
+      node->schema = cte->second.schema;
+    } else {
+      EINSQL_ASSIGN_OR_RETURN(auto table, catalog_.GetTable(ref.name));
+      node->kind = PlanKind::kScan;
+      node->table = table;
+      node->table_name = ref.name;
+      node->alias = ref.effective_alias();
+      node->est_rows = static_cast<double>(table->num_rows());
+      for (const Column& col : table->columns) {
+        node->schema.push_back({"", col.name});
+      }
+    }
+    // Qualify every output column with the alias.
+    for (SchemaColumn& col : node->schema) {
+      col.qualifier = ref.effective_alias();
+    }
+    leaf.plan = std::move(node);
+    return leaf;
+  }
+
+  // Wraps `*plan` in a Filter for `conjunct` (bound against its schema).
+  Status AttachFilter(std::unique_ptr<PlanNode>* plan, const Expr* conjunct) {
+    auto clone = conjunct->Clone();
+    EINSQL_RETURN_IF_ERROR(BindExpr(clone.get(), (*plan)->schema));
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = PlanKind::kFilter;
+    filter->schema = (*plan)->schema;
+    // Equality against a constant is assumed selective.
+    const bool is_eq = clone->kind == ExprKind::kBinary &&
+                       clone->binary_op == BinaryOp::kEq;
+    filter->est_rows = (*plan)->est_rows * (is_eq ? 0.1 : 0.5);
+    filter->predicate = std::move(clone);
+    filter->children.push_back(std::move(*plan));
+    *plan = std::move(filter);
+    return Status::OK();
+  }
+
+  // The alias owning a column reference (empty when unresolvable).
+  std::string OwnerAlias(const Expr& ref, const std::vector<Leaf>& leaves) {
+    if (!ref.table.empty()) return ToLower(ref.table);
+    std::string owner;
+    for (const Leaf& leaf : leaves) {
+      if (ResolveColumn(leaf.plan->schema, "", ref.column).ok()) {
+        if (!owner.empty()) return "";  // ambiguous
+        owner = leaf.alias;
+      }
+    }
+    return owner;
+  }
+
+  // Chooses the order in which leaves enter the left-deep join tree.
+  Result<std::vector<int>> JoinOrder(const std::vector<Leaf>& leaves,
+                                     const std::vector<JoinEdge>& edges) {
+    const int n = static_cast<int>(leaves.size());
+    std::vector<int> order;
+    if (options_.mode == OptimizerMode::kNone || n <= 1) {
+      for (int i = 0; i < n; ++i) order.push_back(i);
+      return order;
+    }
+    // Greedy: start from the smallest leaf; repeatedly add the connected
+    // leaf minimizing the estimated join result, falling back to the
+    // smallest remaining leaf (cross product) when disconnected.
+    auto alias_index = [&](const std::string& alias) {
+      for (int i = 0; i < n; ++i) {
+        if (leaves[i].alias == alias) return i;
+      }
+      return -1;
+    };
+    std::vector<std::vector<int>> adjacency(n);
+    for (const JoinEdge& edge : edges) {
+      int a = alias_index(edge.left_alias);
+      int b = alias_index(edge.right_alias);
+      if (a >= 0 && b >= 0) {
+        adjacency[a].push_back(b);
+        adjacency[b].push_back(a);
+      }
+    }
+    std::vector<bool> used(n, false);
+    int start = 0;
+    for (int i = 1; i < n; ++i) {
+      if (leaves[i].plan->est_rows < leaves[start].plan->est_rows) start = i;
+    }
+    order.push_back(start);
+    used[start] = true;
+    double current_rows = leaves[start].plan->est_rows;
+    for (int step = 1; step < n; ++step) {
+      int best = -1;
+      double best_rows = 0.0;
+      bool best_connected = false;
+      for (int cand = 0; cand < n; ++cand) {
+        if (used[cand]) continue;
+        bool connected = false;
+        for (int adj : adjacency[cand]) {
+          if (used[adj]) {
+            connected = true;
+            break;
+          }
+        }
+        const double rows =
+            connected ? std::max(current_rows, leaves[cand].plan->est_rows)
+                      : current_rows * leaves[cand].plan->est_rows;
+        if (best < 0 || (connected && !best_connected) ||
+            (connected == best_connected && rows < best_rows)) {
+          best = cand;
+          best_rows = rows;
+          best_connected = connected;
+        }
+      }
+      order.push_back(best);
+      used[best] = true;
+      current_rows = best_rows;
+    }
+    return order;
+  }
+
+  // --- global optimizer passes ---
+
+  // Deduplicates structurally identical CTE plans, rewriting CteScan
+  // references. The pairwise structural comparison over the full WITH list
+  // is the aggressive optimizer's dominant planning cost on large decomposed
+  // einsum queries — and a genuine win when tensors repeat (3-SAT reuses at
+  // most 14 distinct clause tensors, §4.2).
+  void DeduplicateCtes(QueryPlan* plan) {
+    const int n = static_cast<int>(plan->ctes.size());
+    std::vector<int> remap(n);
+    std::vector<QueryPlan::Cte> kept;
+    std::vector<std::string> fingerprints;  // parallel to `kept`
+    for (int i = 0; i < n; ++i) {
+      RewriteCteIndices(plan->ctes[i].plan.get(), remap);
+      const std::string fp = plan->ctes[i].plan->Fingerprint();
+      int found = -1;
+      for (size_t k = 0; k < kept.size(); ++k) {
+        if (fingerprints[k].size() == fp.size() && fingerprints[k] == fp) {
+          found = static_cast<int>(k);
+          break;
+        }
+      }
+      if (found >= 0) {
+        remap[i] = found;
+      } else {
+        remap[i] = static_cast<int>(kept.size());
+        fingerprints.push_back(fp);
+        kept.push_back(std::move(plan->ctes[i]));
+      }
+    }
+    RewriteCteIndices(plan->root.get(), remap);
+    plan->ctes = std::move(kept);
+  }
+
+  void RewriteCteIndices(PlanNode* node, const std::vector<int>& remap) {
+    if (node->kind == PlanKind::kCteScan && node->cte_index >= 0 &&
+        node->cte_index < static_cast<int>(remap.size())) {
+      node->cte_index = remap[node->cte_index];
+    }
+    for (auto& child : node->children) {
+      RewriteCteIndices(child.get(), remap);
+    }
+  }
+
+  // Bounded (IDP-style) variant of the materialization search: exhaustive
+  // 2^W enumeration inside a window of W consecutive CTEs, slid across the
+  // whole chain. Polynomial overall — n·2^W cost evaluations — but W=16
+  // makes planning a visible cost on queries with many hundreds of CTEs,
+  // exactly the planning/execution trade-off of Table 2.
+  void WindowedMaterializationSearch(const QueryPlan& plan) {
+    constexpr int kWindow = 18;
+    const int n = static_cast<int>(plan.ctes.size());
+    if (n == 0) return;
+    std::vector<double> cte_cost(n);
+    for (int i = 0; i < n; ++i) cte_cost[i] = PlanCost(*plan.ctes[i].plan);
+    double best_total = std::numeric_limits<double>::infinity();
+    for (int start = 0; start + 1 < n || start == 0; ++start) {
+      const int end = std::min(n, start + kWindow);
+      // Exhaustive enumeration of materialization choices in [start, end).
+      std::function<double(int, double)> enumerate =
+          [&](int i, double cost_so_far) -> double {
+        if (i == end) return cost_so_far;
+        const double materialized =
+            enumerate(i + 1, cost_so_far + cte_cost[i]);
+        const double inlined =
+            enumerate(i + 1, cost_so_far + 2.0 * cte_cost[i]);
+        return std::min(materialized, inlined);
+      };
+      best_total = std::min(best_total, enumerate(start, 0.0));
+      if (end == n) break;
+    }
+    // The search confirms materialization (reference counts of decomposed
+    // einsum CTEs are 1, so materializing is never worse); the plan is
+    // unchanged, the planning cost is real.
+    (void)best_total;
+  }
+
+  // Naive exponential inline-vs-materialize enumeration over the CTE chain
+  // (no memoization), modeling optimizers that never finish planning large
+  // decomposed queries. Only estimates costs; the chosen plan is always the
+  // materialized one. Aborts with OutOfRange when the work budget runs out.
+  Status ExhaustiveMaterializationSearch(const QueryPlan& plan) {
+    const size_t n = plan.ctes.size();
+    int64_t work = 0;
+    bool exceeded = false;
+    std::function<double(size_t, double)> enumerate =
+        [&](size_t i, double cost_so_far) -> double {
+      if (exceeded) return cost_so_far;
+      if (++work > options_.optimizer_budget) {
+        exceeded = true;
+        return cost_so_far;
+      }
+      if (i == n) return cost_so_far;
+      const double cte_cost = PlanCost(*plan.ctes[i].plan);
+      // Materialize: pay the CTE cost once.
+      const double materialized = enumerate(i + 1, cost_so_far + cte_cost);
+      // Inline: every consumer re-evaluates the CTE body.
+      const double references = 2.0;  // pessimistic reference count
+      const double inlined =
+          enumerate(i + 1, cost_so_far + references * cte_cost);
+      return std::min(materialized, inlined);
+    };
+    enumerate(0, 0.0);
+    if (exceeded) {
+      return Status::OutOfRange(
+          "optimizer budget exceeded while enumerating CTE materialization "
+          "choices (", n, " CTEs); rerun with a cheaper optimizer mode");
+    }
+    return Status::OK();
+  }
+
+  static double PlanCost(const PlanNode& node) {
+    double cost = node.est_rows;
+    for (const auto& child : node.children) cost += PlanCost(*child);
+    return cost;
+  }
+
+  const Catalog& catalog_;
+  const PlannerOptions& options_;
+  std::map<std::string, CteInfo> cte_registry_;
+};
+
+}  // namespace
+
+Result<QueryPlan> PlanSelect(const SelectStmt& stmt, const Catalog& catalog,
+                             const PlannerOptions& options) {
+  Planner planner(catalog, options);
+  return planner.Plan(stmt);
+}
+
+}  // namespace einsql::minidb

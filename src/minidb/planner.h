@@ -1,0 +1,52 @@
+#ifndef EINSQL_MINIDB_PLANNER_H_
+#define EINSQL_MINIDB_PLANNER_H_
+
+#include "common/result.h"
+#include "minidb/ast.h"
+#include "minidb/plan.h"
+#include "minidb/table.h"
+
+namespace einsql::minidb {
+
+/// Query-optimization effort levels (§5 of the paper: the planning/execution
+/// trade-off for computation-heavy Einstein summation queries).
+enum class OptimizerMode {
+  /// No optimization beyond what is needed for correctness: joins in FROM
+  /// order, equi-join predicates still matched to hash joins. Models
+  /// DuckDB's `disable_optimizer` pragma.
+  kNone,
+  /// Per-SELECT greedy join ordering plus single-table predicate pushdown.
+  /// The default; comparable to a lightweight engine honoring the CTE
+  /// decomposition (SQLite-like).
+  kGreedy,
+  /// kGreedy plus global passes over the whole WITH tree: exhaustive
+  /// pairwise common-CTE detection (deduplicating identical VALUES/step
+  /// CTEs) and exact DP join enumeration for small joins. High plan quality,
+  /// planning time grows superlinearly with query size (HyPer-like).
+  kAggressive,
+  /// kAggressive plus a naive exponential inline-vs-materialize enumeration
+  /// over the CTE chain (no memoization). Models optimizers whose planning
+  /// never finishes on large decomposed einsum queries (DuckDB 0.5 in
+  /// Table 2); aborts with OutOfRange once the budget is exhausted.
+  kExhaustive,
+};
+
+/// Returns "none" / "greedy" / "aggressive" / "exhaustive".
+const char* OptimizerModeToString(OptimizerMode mode);
+
+/// Planner configuration.
+struct PlannerOptions {
+  OptimizerMode mode = OptimizerMode::kGreedy;
+  /// Work budget for the exhaustive CTE enumeration; exceeding it aborts
+  /// planning with OutOfRange (reported as N/A by the benchmarks, matching
+  /// the paper's DuckDB row).
+  int64_t optimizer_budget = 50'000'000;
+};
+
+/// Builds a physical plan for a parsed SELECT statement against `catalog`.
+Result<QueryPlan> PlanSelect(const SelectStmt& stmt, const Catalog& catalog,
+                             const PlannerOptions& options);
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_PLANNER_H_

@@ -1,0 +1,101 @@
+#include "minidb/table.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace einsql::minidb {
+
+int Relation::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Relation::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) os << " | ";
+    os << columns[c].name;
+  }
+  os << "\n";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) os << "-+-";
+    os << std::string(columns[c].name.size(), '-');
+  }
+  os << "\n";
+  int64_t shown = 0;
+  for (const Row& row : rows) {
+    if (shown++ >= max_rows) {
+      os << "... (" << num_rows() - max_rows << " more rows)\n";
+      break;
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << ValueToString(row[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status Catalog::CreateTable(const std::string& name,
+                            std::vector<Column> columns) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '", name, "' already exists");
+  }
+  auto table = std::make_shared<Relation>();
+  table->columns = std::move(columns);
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  const std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table '", name, "' does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Relation>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '", name, "' does not exist");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::AppendRows(const std::string& name, std::vector<Row> rows) {
+  EINSQL_ASSIGN_OR_RETURN(auto table, GetTable(name));
+  for (const Row& row : rows) {
+    if (static_cast<int>(row.size()) != table->num_columns()) {
+      return Status::InvalidArgument(
+          "row arity ", row.size(), " does not match table '", name,
+          "' with ", table->num_columns(), " columns");
+    }
+  }
+  table->rows.insert(table->rows.end(),
+                     std::make_move_iterator(rows.begin()),
+                     std::make_move_iterator(rows.end()));
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(key);
+  return names;
+}
+
+}  // namespace einsql::minidb

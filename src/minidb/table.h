@@ -1,0 +1,68 @@
+#ifndef EINSQL_MINIDB_TABLE_H_
+#define EINSQL_MINIDB_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "minidb/value.h"
+
+namespace einsql::minidb {
+
+/// A column definition: name plus declared storage class.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kDouble;
+};
+
+/// A row of values.
+using Row = std::vector<Value>;
+
+/// A materialized relation: schema plus row storage. Used both for base
+/// tables in the catalog and for intermediate/final query results.
+struct Relation {
+  std::vector<Column> columns;
+  std::vector<Row> rows;
+
+  int num_columns() const { return static_cast<int>(columns.size()); }
+  int64_t num_rows() const { return static_cast<int64_t>(rows.size()); }
+
+  /// Index of the column with the given (case-insensitive) name, or -1.
+  int ColumnIndex(std::string_view name) const;
+
+  /// Renders an ASCII table for debugging and examples.
+  std::string ToString(int64_t max_rows = 20) const;
+};
+
+/// The table catalog of a MiniDB instance. Names are case-insensitive.
+class Catalog {
+ public:
+  /// Creates an empty table. Fails with AlreadyExists on duplicates.
+  Status CreateTable(const std::string& name, std::vector<Column> columns);
+
+  /// Drops a table. Fails with NotFound unless `if_exists`.
+  Status DropTable(const std::string& name, bool if_exists = false);
+
+  /// Looks up a table (nullptr result is never returned; missing tables are
+  /// a NotFound error).
+  Result<std::shared_ptr<Relation>> GetTable(const std::string& name) const;
+
+  /// True iff a table with the name exists.
+  bool HasTable(const std::string& name) const;
+
+  /// Appends rows to an existing table, checking arity. Values are not
+  /// coerced; MiniDB is dynamically typed at the storage layer.
+  Status AppendRows(const std::string& name, std::vector<Row> rows);
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Relation>> tables_;  // lower-case key
+};
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_TABLE_H_

@@ -1,0 +1,195 @@
+#include "minidb/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace einsql::minidb {
+
+ValueType TypeOf(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kDouble;
+    default:
+      return ValueType::kText;
+  }
+}
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kText:
+      return "TEXT";
+  }
+  return "?";
+}
+
+bool IsNull(const Value& v) { return std::holds_alternative<Null>(v); }
+
+Result<double> AsDouble(const Value& v) {
+  if (const int64_t* i = std::get_if<int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  if (const double* d = std::get_if<double>(&v)) return *d;
+  return Status::InvalidArgument("cannot interpret ", ValueToString(v),
+                                 " as a number");
+}
+
+Result<int64_t> AsInt(const Value& v) {
+  if (const int64_t* i = std::get_if<int64_t>(&v)) return *i;
+  if (const double* d = std::get_if<double>(&v)) {
+    return static_cast<int64_t>(*d);
+  }
+  return Status::InvalidArgument("cannot interpret ", ValueToString(v),
+                                 " as an integer");
+}
+
+std::string ValueToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v));
+    case ValueType::kDouble:
+      return DoubleToSqlLiteral(std::get<double>(v));
+    case ValueType::kText:
+      return std::get<std::string>(v);
+  }
+  return "?";
+}
+
+namespace {
+
+// Sort-class rank: NULL < numbers < text.
+int RankOf(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kText:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+int CompareValues(const Value& a, const Value& b) {
+  const int ra = RankOf(a), rb = RankOf(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1: {
+      const double da = AsDouble(a).value();
+      const double db = AsDouble(b).value();
+      if (da < db) return -1;
+      if (da > db) return 1;
+      return 0;
+    }
+    default: {
+      const std::string& sa = std::get<std::string>(a);
+      const std::string& sb = std::get<std::string>(b);
+      return sa < sb ? -1 : (sa > sb ? 1 : 0);
+    }
+  }
+}
+
+bool SqlEquals(const Value& a, const Value& b) {
+  if (IsNull(a) || IsNull(b)) return false;
+  if (RankOf(a) != RankOf(b)) return false;
+  return CompareValues(a, b) == 0;
+}
+
+namespace {
+
+// Applies `int_op`/`double_op` with SQL NULL propagation.
+template <typename IntOp, typename DoubleOp>
+Result<Value> Arith(const Value& a, const Value& b, IntOp int_op,
+                    DoubleOp double_op) {
+  if (IsNull(a) || IsNull(b)) return Value(Null{});
+  if (TypeOf(a) == ValueType::kText || TypeOf(b) == ValueType::kText) {
+    return Status::InvalidArgument("arithmetic on text value");
+  }
+  if (TypeOf(a) == ValueType::kInt && TypeOf(b) == ValueType::kInt) {
+    return int_op(std::get<int64_t>(a), std::get<int64_t>(b));
+  }
+  EINSQL_ASSIGN_OR_RETURN(double da, AsDouble(a));
+  EINSQL_ASSIGN_OR_RETURN(double db, AsDouble(b));
+  return double_op(da, db);
+}
+
+}  // namespace
+
+Result<Value> Add(const Value& a, const Value& b) {
+  return Arith(
+      a, b, [](int64_t x, int64_t y) { return Value(x + y); },
+      [](double x, double y) { return Value(x + y); });
+}
+
+Result<Value> Subtract(const Value& a, const Value& b) {
+  return Arith(
+      a, b, [](int64_t x, int64_t y) { return Value(x - y); },
+      [](double x, double y) { return Value(x - y); });
+}
+
+Result<Value> Multiply(const Value& a, const Value& b) {
+  return Arith(
+      a, b, [](int64_t x, int64_t y) { return Value(x * y); },
+      [](double x, double y) { return Value(x * y); });
+}
+
+Result<Value> Divide(const Value& a, const Value& b) {
+  return Arith(
+      a, b,
+      [](int64_t x, int64_t y) {
+        return y == 0 ? Value(Null{}) : Value(x / y);
+      },
+      [](double x, double y) {
+        return y == 0.0 ? Value(Null{}) : Value(x / y);
+      });
+}
+
+Result<Value> Negate(const Value& a) {
+  if (IsNull(a)) return Value(Null{});
+  if (TypeOf(a) == ValueType::kInt) return Value(-std::get<int64_t>(a));
+  if (TypeOf(a) == ValueType::kDouble) return Value(-std::get<double>(a));
+  return Status::InvalidArgument("cannot negate text value");
+}
+
+size_t HashValue(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kNull:
+      return 0x9E3779B9u;
+    case ValueType::kInt:
+      // Hash ints through double so 1 and 1.0 land in the same bucket.
+      return std::hash<double>()(static_cast<double>(std::get<int64_t>(v)));
+    case ValueType::kDouble:
+      return std::hash<double>()(std::get<double>(v));
+    case ValueType::kText:
+      return std::hash<std::string>()(std::get<std::string>(v));
+  }
+  return 0;
+}
+
+size_t HashRowKey(const std::vector<Value>& key) {
+  size_t h = 0x345678u;
+  for (const Value& v : key) {
+    h = h * 1000003u ^ HashValue(v);
+  }
+  return h;
+}
+
+}  // namespace einsql::minidb

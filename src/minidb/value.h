@@ -1,0 +1,66 @@
+#ifndef EINSQL_MINIDB_VALUE_H_
+#define EINSQL_MINIDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace einsql::minidb {
+
+/// SQL NULL marker.
+struct Null {
+  bool operator==(const Null&) const { return true; }
+};
+
+/// A runtime SQL value: NULL, 64-bit integer, double, or text.
+/// MiniDB follows the usual dynamic-typing model of lightweight engines
+/// (SQLite-style): arithmetic promotes integers to doubles on contact.
+using Value = std::variant<Null, int64_t, double, std::string>;
+
+/// Storage classes of a Value / column.
+enum class ValueType { kNull, kInt, kDouble, kText };
+
+/// Returns the storage class of `v`.
+ValueType TypeOf(const Value& v);
+
+/// Returns "NULL", "INT", "DOUBLE", or "TEXT".
+const char* ValueTypeToString(ValueType type);
+
+/// True iff `v` is NULL.
+bool IsNull(const Value& v);
+
+/// Numeric accessors; TEXT and NULL are errors.
+Result<double> AsDouble(const Value& v);
+Result<int64_t> AsInt(const Value& v);
+
+/// Renders a value for result display ("NULL", "42", "1.5", "abc").
+std::string ValueToString(const Value& v);
+
+/// Three-way comparison for ORDER BY and equality joins. NULL sorts before
+/// everything; numbers compare numerically across int/double; text compares
+/// lexicographically; numbers sort before text (SQLite ordering).
+int CompareValues(const Value& a, const Value& b);
+
+/// SQL equality for join keys and WHERE: NULL never equals anything.
+bool SqlEquals(const Value& a, const Value& b);
+
+/// Arithmetic with SQL NULL propagation. Division by zero yields NULL
+/// (SQLite behaviour). Text operands are errors.
+Result<Value> Add(const Value& a, const Value& b);
+Result<Value> Subtract(const Value& a, const Value& b);
+Result<Value> Multiply(const Value& a, const Value& b);
+Result<Value> Divide(const Value& a, const Value& b);
+Result<Value> Negate(const Value& a);
+
+/// Hash for join/aggregation keys; numerically equal int/double hash alike.
+size_t HashValue(const Value& v);
+
+/// Hash of a composite key.
+size_t HashRowKey(const std::vector<Value>& key);
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_VALUE_H_

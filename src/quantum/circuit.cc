@@ -1,0 +1,135 @@
+#include "quantum/circuit.h"
+
+namespace einsql::quantum {
+
+Status Validate(const Circuit& circuit) {
+  if (circuit.num_qubits < 1) {
+    return Status::InvalidArgument("circuit needs at least one qubit");
+  }
+  for (size_t g = 0; g < circuit.gates.size(); ++g) {
+    const Gate& gate = circuit.gates[g];
+    const size_t arity = gate.kind == GateKind::kOneQubit  ? 1
+                         : gate.kind == GateKind::kToffoli ? 3
+                                                           : 2;
+    if (gate.qubits.size() != arity) {
+      return Status::InvalidArgument("gate ", g, " (", gate.name,
+                                     ") has wrong qubit count");
+    }
+    for (int qubit : gate.qubits) {
+      if (qubit < 0 || qubit >= circuit.num_qubits) {
+        return Status::InvalidArgument("gate ", g, " (", gate.name,
+                                       ") addresses qubit ", qubit,
+                                       " out of range");
+      }
+    }
+    for (size_t a = 0; a < gate.qubits.size(); ++a) {
+      for (size_t b = a + 1; b < gate.qubits.size(); ++b) {
+        if (gate.qubits[a] == gate.qubits[b]) {
+          return Status::InvalidArgument("gate ", g, " (", gate.name,
+                                         ") addresses the same qubit twice");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Amplitude>> SimulateStatevector(
+    const Circuit& circuit, const std::vector<int>& initial_bits) {
+  EINSQL_RETURN_IF_ERROR(Validate(circuit));
+  if (static_cast<int>(initial_bits.size()) != circuit.num_qubits) {
+    return Status::InvalidArgument("initial state needs one bit per qubit");
+  }
+  if (circuit.num_qubits > 24) {
+    return Status::InvalidArgument(
+        "state-vector oracle limited to 24 qubits");
+  }
+  const int64_t dim = int64_t{1} << circuit.num_qubits;
+  std::vector<Amplitude> state(dim, 0.0);
+  int64_t start = 0;
+  for (int q = 0; q < circuit.num_qubits; ++q) {
+    if (initial_bits[q] != 0 && initial_bits[q] != 1) {
+      return Status::InvalidArgument("initial bit must be 0 or 1");
+    }
+    start |= static_cast<int64_t>(initial_bits[q]) << q;
+  }
+  state[start] = 1.0;
+
+  for (const Gate& gate : circuit.gates) {
+    switch (gate.kind) {
+      case GateKind::kOneQubit: {
+        const int64_t bit = int64_t{1} << gate.qubits[0];
+        const auto& m = gate.tensor;  // m[out][in]
+        for (int64_t index = 0; index < dim; ++index) {
+          if (index & bit) continue;  // visit each pair once
+          const Amplitude a0 = state[index];
+          const Amplitude a1 = state[index | bit];
+          state[index] = m[0] * a0 + m[1] * a1;           // out=0
+          state[index | bit] = m[2] * a0 + m[3] * a1;     // out=1
+        }
+        break;
+      }
+      case GateKind::kTwoQubit: {
+        const int64_t bit1 = int64_t{1} << gate.qubits[0];
+        const int64_t bit2 = int64_t{1} << gate.qubits[1];
+        const auto& m = gate.tensor;  // [o1][o2][i1][i2]
+        for (int64_t index = 0; index < dim; ++index) {
+          if ((index & bit1) || (index & bit2)) continue;
+          Amplitude in[4];  // basis |i1 i2>
+          in[0] = state[index];
+          in[1] = state[index | bit2];
+          in[2] = state[index | bit1];
+          in[3] = state[index | bit1 | bit2];
+          for (int o1 = 0; o1 < 2; ++o1) {
+            for (int o2 = 0; o2 < 2; ++o2) {
+              Amplitude sum = 0.0;
+              for (int i1 = 0; i1 < 2; ++i1) {
+                for (int i2 = 0; i2 < 2; ++i2) {
+                  sum += m[((o1 * 2 + o2) * 2 + i1) * 2 + i2] *
+                         in[i1 * 2 + i2];
+                }
+              }
+              state[index | (o1 ? bit1 : 0) | (o2 ? bit2 : 0)] = sum;
+            }
+          }
+        }
+        break;
+      }
+      case GateKind::kControlledX: {
+        const int64_t cbit = int64_t{1} << gate.qubits[0];
+        const int64_t tbit = int64_t{1} << gate.qubits[1];
+        for (int64_t index = 0; index < dim; ++index) {
+          if ((index & cbit) && !(index & tbit)) {
+            std::swap(state[index], state[index | tbit]);
+          }
+        }
+        break;
+      }
+      case GateKind::kDiagonalTwoQubit: {
+        const int64_t bit1 = int64_t{1} << gate.qubits[0];
+        const int64_t bit2 = int64_t{1} << gate.qubits[1];
+        const auto& d = gate.tensor;  // d[a][b]
+        for (int64_t index = 0; index < dim; ++index) {
+          const int a = (index & bit1) ? 1 : 0;
+          const int b = (index & bit2) ? 1 : 0;
+          state[index] *= d[a * 2 + b];
+        }
+        break;
+      }
+      case GateKind::kToffoli: {
+        const int64_t c1 = int64_t{1} << gate.qubits[0];
+        const int64_t c2 = int64_t{1} << gate.qubits[1];
+        const int64_t tbit = int64_t{1} << gate.qubits[2];
+        for (int64_t index = 0; index < dim; ++index) {
+          if ((index & c1) && (index & c2) && !(index & tbit)) {
+            std::swap(state[index], state[index | tbit]);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace einsql::quantum

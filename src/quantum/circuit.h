@@ -1,0 +1,29 @@
+#ifndef EINSQL_QUANTUM_CIRCUIT_H_
+#define EINSQL_QUANTUM_CIRCUIT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "quantum/gates.h"
+
+namespace einsql::quantum {
+
+/// A quantum circuit: gates applied in order to `num_qubits` qubits.
+struct Circuit {
+  int num_qubits = 0;
+  std::vector<Gate> gates;
+};
+
+/// Validates qubit ranges and gate arities.
+Status Validate(const Circuit& circuit);
+
+/// Simulates the circuit on a full state vector (the correctness oracle for
+/// the einsum simulation; exponential in qubit count). `initial_bits[q]` is
+/// the starting computational-basis value of qubit q. The returned vector
+/// is indexed with qubit 0 as the least-significant bit.
+Result<std::vector<Amplitude>> SimulateStatevector(
+    const Circuit& circuit, const std::vector<int>& initial_bits);
+
+}  // namespace einsql::quantum
+
+#endif  // EINSQL_QUANTUM_CIRCUIT_H_

@@ -1,0 +1,228 @@
+#include "quantum/gates.h"
+
+#include <cmath>
+
+namespace einsql::quantum {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+Gate MakeOneQubit(std::string name, int qubit,
+                  std::initializer_list<Amplitude> values) {
+  Gate gate;
+  gate.name = std::move(name);
+  gate.kind = GateKind::kOneQubit;
+  gate.qubits = {qubit};
+  gate.tensor = ComplexDenseTensor::FromData({2, 2}, values).value();
+  return gate;
+}
+
+// Square root of an involution (M² = I): √M = e^{iπ/4}/√2 · (I - iM).
+Gate SqrtOfInvolution(std::string name, int qubit, Amplitude m00,
+                      Amplitude m01, Amplitude m10, Amplitude m11) {
+  const Amplitude phase = Amplitude(0.5, 0.5);  // e^{iπ/4}/√2
+  const Amplitude i(0, 1);
+  return MakeOneQubit(std::move(name), qubit,
+                      {phase * (1.0 - i * m00), phase * (-i * m01),
+                       phase * (-i * m10), phase * (1.0 - i * m11)});
+}
+
+}  // namespace
+
+Gate H(int qubit) {
+  return MakeOneQubit("H", qubit,
+                      {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2});
+}
+
+Gate X(int qubit) { return MakeOneQubit("X", qubit, {0, 1, 1, 0}); }
+
+Gate Y(int qubit) {
+  return MakeOneQubit("Y", qubit,
+                      {0, Amplitude(0, -1), Amplitude(0, 1), 0});
+}
+
+Gate Z(int qubit) { return MakeOneQubit("Z", qubit, {1, 0, 0, -1}); }
+
+Gate S(int qubit) {
+  return MakeOneQubit("S", qubit, {1, 0, 0, Amplitude(0, 1)});
+}
+
+Gate T(int qubit) {
+  return MakeOneQubit("T", qubit,
+                      {1, 0, 0, Amplitude(kInvSqrt2, kInvSqrt2)});
+}
+
+Gate SqrtX(int qubit) { return SqrtOfInvolution("sqrtX", qubit, 0, 1, 1, 0); }
+
+Gate SqrtY(int qubit) {
+  return SqrtOfInvolution("sqrtY", qubit, 0, Amplitude(0, -1),
+                          Amplitude(0, 1), 0);
+}
+
+Gate SqrtW(int qubit) {
+  // W = (X + Y)/√2 is an involution with off-diagonals e^{∓iπ/4}.
+  return SqrtOfInvolution("sqrtW", qubit, 0,
+                          Amplitude(kInvSqrt2, -kInvSqrt2),
+                          Amplitude(kInvSqrt2, kInvSqrt2), 0);
+}
+
+Gate Rz(int qubit, double theta) {
+  return MakeOneQubit("Rz", qubit,
+                      {std::exp(Amplitude(0, -theta / 2)), 0, 0,
+                       std::exp(Amplitude(0, theta / 2))});
+}
+
+Gate CX(int control, int target) {
+  Gate gate;
+  gate.name = "CX";
+  gate.kind = GateKind::kControlledX;
+  gate.qubits = {control, target};
+  // tensor[c][t_in][t_out] = 1 iff t_out == t_in XOR c.
+  auto tensor = ComplexDenseTensor::Zeros({2, 2, 2}).value();
+  for (int64_t c = 0; c < 2; ++c) {
+    for (int64_t t_in = 0; t_in < 2; ++t_in) {
+      (void)tensor.Set({c, t_in, t_in ^ c}, 1.0);
+    }
+  }
+  gate.tensor = std::move(tensor);
+  return gate;
+}
+
+Gate CZ(int q1, int q2) {
+  Gate gate;
+  gate.name = "CZ";
+  gate.kind = GateKind::kDiagonalTwoQubit;
+  gate.qubits = {q1, q2};
+  gate.tensor =
+      ComplexDenseTensor::FromData({2, 2}, {1, 1, 1, -1}).value();
+  return gate;
+}
+
+Gate FSim(int q1, int q2, double theta, double phi) {
+  Gate gate;
+  gate.name = "fSim";
+  gate.kind = GateKind::kTwoQubit;
+  gate.qubits = {q1, q2};
+  auto tensor = ComplexDenseTensor::Zeros({2, 2, 2, 2}).value();
+  const Amplitude c = std::cos(theta);
+  const Amplitude ms = Amplitude(0, -std::sin(theta));
+  // Basis |q1 q2>: out/in pairs (o1,o2),(i1,i2).
+  (void)tensor.Set({0, 0, 0, 0}, 1.0);
+  (void)tensor.Set({0, 1, 0, 1}, c);
+  (void)tensor.Set({0, 1, 1, 0}, ms);
+  (void)tensor.Set({1, 0, 0, 1}, ms);
+  (void)tensor.Set({1, 0, 1, 0}, c);
+  (void)tensor.Set({1, 1, 1, 1}, std::exp(Amplitude(0, -phi)));
+  gate.tensor = std::move(tensor);
+  return gate;
+}
+
+Gate Swap(int q1, int q2) {
+  Gate gate;
+  gate.name = "SWAP";
+  gate.kind = GateKind::kTwoQubit;
+  gate.qubits = {q1, q2};
+  auto tensor = ComplexDenseTensor::Zeros({2, 2, 2, 2}).value();
+  for (int64_t a = 0; a < 2; ++a) {
+    for (int64_t b = 0; b < 2; ++b) {
+      (void)tensor.Set({b, a, a, b}, 1.0);  // outputs are the swapped inputs
+    }
+  }
+  gate.tensor = std::move(tensor);
+  return gate;
+}
+
+Gate Toffoli(int control1, int control2, int target) {
+  Gate gate;
+  gate.name = "CCX";
+  gate.kind = GateKind::kToffoli;
+  gate.qubits = {control1, control2, target};
+  // tensor[c1][c2][t_in][t_out] = 1 iff t_out == t_in XOR (c1 AND c2).
+  auto tensor = ComplexDenseTensor::Zeros({2, 2, 2, 2}).value();
+  for (int64_t c1 = 0; c1 < 2; ++c1) {
+    for (int64_t c2 = 0; c2 < 2; ++c2) {
+      for (int64_t t_in = 0; t_in < 2; ++t_in) {
+        (void)tensor.Set({c1, c2, t_in, t_in ^ (c1 & c2)}, 1.0);
+      }
+    }
+  }
+  gate.tensor = std::move(tensor);
+  return gate;
+}
+
+Gate OneQubitGate(std::string name, int qubit,
+                  const std::vector<Amplitude>& matrix) {
+  Gate gate;
+  gate.name = std::move(name);
+  gate.kind = GateKind::kOneQubit;
+  gate.qubits = {qubit};
+  gate.tensor =
+      ComplexDenseTensor::FromData({2, 2}, matrix).value();
+  return gate;
+}
+
+Result<bool> IsUnitary(const Gate& gate, double tolerance) {
+  // Reconstruct the full matrix in the computational basis.
+  int dim = 2;
+  std::vector<Amplitude> m;
+  switch (gate.kind) {
+    case GateKind::kOneQubit:
+      m = {gate.tensor.data().begin(), gate.tensor.data().end()};
+      break;
+    case GateKind::kTwoQubit: {
+      dim = 4;
+      m.assign(16, 0.0);
+      for (int64_t o1 = 0; o1 < 2; ++o1)
+        for (int64_t o2 = 0; o2 < 2; ++o2)
+          for (int64_t i1 = 0; i1 < 2; ++i1)
+            for (int64_t i2 = 0; i2 < 2; ++i2)
+              m[(o1 * 2 + o2) * 4 + (i1 * 2 + i2)] =
+                  gate.tensor.At({o1, o2, i1, i2}).value();
+      break;
+    }
+    case GateKind::kControlledX: {
+      dim = 4;
+      m.assign(16, 0.0);
+      for (int64_t c = 0; c < 2; ++c)
+        for (int64_t t_in = 0; t_in < 2; ++t_in)
+          for (int64_t t_out = 0; t_out < 2; ++t_out)
+            m[(c * 2 + t_out) * 4 + (c * 2 + t_in)] =
+                gate.tensor.At({c, t_in, t_out}).value();
+      break;
+    }
+    case GateKind::kDiagonalTwoQubit: {
+      dim = 4;
+      m.assign(16, 0.0);
+      for (int64_t a = 0; a < 2; ++a)
+        for (int64_t b = 0; b < 2; ++b)
+          m[(a * 2 + b) * 4 + (a * 2 + b)] = gate.tensor.At({a, b}).value();
+      break;
+    }
+    case GateKind::kToffoli: {
+      dim = 8;
+      m.assign(64, 0.0);
+      for (int64_t c1 = 0; c1 < 2; ++c1)
+        for (int64_t c2 = 0; c2 < 2; ++c2)
+          for (int64_t t_in = 0; t_in < 2; ++t_in)
+            for (int64_t t_out = 0; t_out < 2; ++t_out)
+              m[((c1 * 2 + c2) * 2 + t_out) * 8 + ((c1 * 2 + c2) * 2 + t_in)] =
+                  gate.tensor.At({c1, c2, t_in, t_out}).value();
+      break;
+    }
+  }
+  // M * M† == I?
+  for (int r = 0; r < dim; ++r) {
+    for (int c = 0; c < dim; ++c) {
+      Amplitude sum = 0.0;
+      for (int k = 0; k < dim; ++k) {
+        sum += m[r * dim + k] * std::conj(m[c * dim + k]);
+      }
+      const Amplitude expected = r == c ? 1.0 : 0.0;
+      if (std::abs(sum - expected) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace einsql::quantum

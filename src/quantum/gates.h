@@ -1,0 +1,74 @@
+#ifndef EINSQL_QUANTUM_GATES_H_
+#define EINSQL_QUANTUM_GATES_H_
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/dense.h"
+
+namespace einsql::quantum {
+
+using Amplitude = std::complex<double>;
+
+/// How a gate enters the tensor network (§4.4).
+enum class GateKind {
+  /// Single-qubit unitary, a 2×2 matrix M[out][in]; rewires its qubit.
+  kOneQubit,
+  /// General two-qubit unitary, a 2×2×2×2 tensor M[out1][out2][in1][in2];
+  /// rewires both qubits.
+  kTwoQubit,
+  /// Controlled-X: the 2×2×2 tensor of the paper ("the CX gate is instead a
+  /// 2×2×2-tensor"), indexed [control][target_in][target_out]; the control
+  /// wire passes through unchanged.
+  kControlledX,
+  /// Two-qubit diagonal (CZ, CPhase): a 2×2 phase table D[q1][q2]; neither
+  /// wire is renamed.
+  kDiagonalTwoQubit,
+  /// Toffoli (CCX): a 2×2×2×2 tensor [c1][c2][t_in][t_out]; both control
+  /// wires pass through unchanged, only the target is rewired.
+  kToffoli,
+};
+
+/// One gate application.
+struct Gate {
+  std::string name;
+  GateKind kind = GateKind::kOneQubit;
+  /// 1, 2, or (Toffoli) 3 entries; for kControlledX: {control, target};
+  /// for kToffoli: {control1, control2, target}.
+  std::vector<int> qubits;
+  ComplexDenseTensor tensor;
+};
+
+/// Gate constructors. Matrices follow the usual computational-basis
+/// convention.
+Gate H(int qubit);
+Gate X(int qubit);
+Gate Y(int qubit);
+Gate Z(int qubit);
+Gate S(int qubit);
+Gate T(int qubit);
+/// Sycamore's single-qubit set: √X, √Y, and √W with W = (X+Y)/√2.
+Gate SqrtX(int qubit);
+Gate SqrtY(int qubit);
+Gate SqrtW(int qubit);
+Gate Rz(int qubit, double theta);
+Gate CX(int control, int target);
+Gate CZ(int q1, int q2);
+/// fSim(θ, φ), Sycamore's two-qubit coupler.
+Gate FSim(int q1, int q2, double theta, double phi);
+/// SWAP, exchanging two qubits.
+Gate Swap(int q1, int q2);
+/// Toffoli (controlled-controlled-X).
+Gate Toffoli(int control1, int control2, int target);
+/// Arbitrary single-qubit unitary from a row-major 2×2 matrix.
+Gate OneQubitGate(std::string name, int qubit,
+                  const std::vector<Amplitude>& matrix);
+
+/// Checks unitarity of a gate's underlying matrix (tests).
+Result<bool> IsUnitary(const Gate& gate, double tolerance = 1e-9);
+
+}  // namespace einsql::quantum
+
+#endif  // EINSQL_QUANTUM_GATES_H_

@@ -1,0 +1,59 @@
+#include "quantum/sycamore.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace einsql::quantum {
+
+Circuit SycamoreLikeCircuit(int num_qubits, int depth, uint64_t seed) {
+  Rng rng(seed);
+  Circuit circuit;
+  circuit.num_qubits = num_qubits;
+  const int width =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(num_qubits))));
+  auto qubit_at = [&](int row, int column) { return row * width + column; };
+  const double theta = 1.5707963267948966 / 1.0;  // π/2
+  const double phi = 0.5235987755982988;          // π/6
+
+  std::vector<int> previous_choice(num_qubits, -1);
+  for (int cycle = 0; cycle < depth; ++cycle) {
+    // Single-qubit layer: random √X/√Y/√W, never repeating on a qubit.
+    for (int q = 0; q < num_qubits; ++q) {
+      int choice;
+      do {
+        choice = static_cast<int>(rng.UniformInt(0, 2));
+      } while (choice == previous_choice[q]);
+      previous_choice[q] = choice;
+      switch (choice) {
+        case 0: circuit.gates.push_back(SqrtX(q)); break;
+        case 1: circuit.gates.push_back(SqrtY(q)); break;
+        default: circuit.gates.push_back(SqrtW(q)); break;
+      }
+    }
+    // Two-qubit layer: one of the four ABCD coupler patterns.
+    const int pattern = cycle % 4;
+    const bool horizontal = pattern < 2;
+    const int parity = pattern % 2;
+    const int rows = (num_qubits + width - 1) / width;
+    for (int row = 0; row < rows; ++row) {
+      for (int column = 0; column < width; ++column) {
+        const int q = qubit_at(row, column);
+        if (q >= num_qubits) continue;
+        int partner;
+        if (horizontal) {
+          if (column + 1 >= width || column % 2 != parity) continue;
+          partner = qubit_at(row, column + 1);
+        } else {
+          if (row % 2 != parity) continue;
+          partner = qubit_at(row + 1, column);
+        }
+        if (partner >= num_qubits) continue;
+        circuit.gates.push_back(FSim(q, partner, theta, phi));
+      }
+    }
+  }
+  return circuit;
+}
+
+}  // namespace einsql::quantum

@@ -1,0 +1,21 @@
+#ifndef EINSQL_QUANTUM_SYCAMORE_H_
+#define EINSQL_QUANTUM_SYCAMORE_H_
+
+#include "quantum/circuit.h"
+
+namespace einsql::quantum {
+
+/// Generates a Sycamore-style random circuit (the stand-in for the Yao.jl
+/// instances of §4.4): qubits on a ⌈√n⌉-wide grid; each cycle applies a
+/// random single-qubit gate from {√X, √Y, √W} to every qubit (never
+/// repeating the previous choice on the same qubit, as in the supremacy
+/// experiment) followed by fSim(π/2, π/6) couplers on one of four
+/// alternating grid patterns (the ABCD sequence).
+///
+/// `depth` counts cycles; the full Sycamore experiment used 53 qubits at
+/// depth 20.
+Circuit SycamoreLikeCircuit(int num_qubits, int depth, uint64_t seed = 11);
+
+}  // namespace einsql::quantum
+
+#endif  // EINSQL_QUANTUM_SYCAMORE_H_

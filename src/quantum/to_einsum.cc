@@ -1,0 +1,155 @@
+#include "quantum/to_einsum.h"
+
+namespace einsql::quantum {
+
+std::vector<const ComplexCooTensor*> CircuitNetwork::operands() const {
+  std::vector<const ComplexCooTensor*> ptrs;
+  ptrs.reserve(tensors.size());
+  for (const ComplexCooTensor& tensor : tensors) ptrs.push_back(&tensor);
+  return ptrs;
+}
+
+Result<CircuitNetwork> BuildCircuitNetwork(
+    const Circuit& circuit, const std::vector<int>& initial_bits) {
+  EINSQL_RETURN_IF_ERROR(Validate(circuit));
+  if (static_cast<int>(initial_bits.size()) != circuit.num_qubits) {
+    return Status::InvalidArgument("initial state needs one bit per qubit");
+  }
+  CircuitNetwork network;
+  // Wire labels start at 1 (char32_t 0 would terminate the term).
+  Label next_label = 1;
+  std::vector<Label> wire(circuit.num_qubits);
+
+  // Input qubit vectors.
+  for (int q = 0; q < circuit.num_qubits; ++q) {
+    if (initial_bits[q] != 0 && initial_bits[q] != 1) {
+      return Status::InvalidArgument("initial bit must be 0 or 1");
+    }
+    wire[q] = next_label++;
+    ComplexCooTensor basis({2});
+    EINSQL_RETURN_IF_ERROR(basis.Append({initial_bits[q]}, 1.0));
+    network.spec.inputs.push_back(Term{wire[q]});
+    network.tensors.push_back(std::move(basis));
+  }
+
+  for (const Gate& gate : circuit.gates) {
+    switch (gate.kind) {
+      case GateKind::kOneQubit: {
+        const int q = gate.qubits[0];
+        const Label out = next_label++;
+        // M[out][in] with term {out, in}.
+        network.spec.inputs.push_back(Term{out, wire[q]});
+        network.tensors.push_back(gate.tensor.ToCoo());
+        wire[q] = out;
+        break;
+      }
+      case GateKind::kTwoQubit: {
+        const int q1 = gate.qubits[0];
+        const int q2 = gate.qubits[1];
+        const Label out1 = next_label++;
+        const Label out2 = next_label++;
+        // M[o1][o2][i1][i2] with term {o1, o2, i1, i2}.
+        network.spec.inputs.push_back(
+            Term{out1, out2, wire[q1], wire[q2]});
+        network.tensors.push_back(gate.tensor.ToCoo());
+        wire[q1] = out1;
+        wire[q2] = out2;
+        break;
+      }
+      case GateKind::kControlledX: {
+        const int control = gate.qubits[0];
+        const int target = gate.qubits[1];
+        const Label out = next_label++;
+        // tensor[c][t_in][t_out]: the control wire passes through — this is
+        // the 2×2×2 CX of the paper's format string ("dbc").
+        network.spec.inputs.push_back(
+            Term{wire[control], wire[target], out});
+        network.tensors.push_back(gate.tensor.ToCoo());
+        wire[target] = out;
+        break;
+      }
+      case GateKind::kDiagonalTwoQubit: {
+        // Neither wire is renamed; the phase table joins both wires.
+        network.spec.inputs.push_back(
+            Term{wire[gate.qubits[0]], wire[gate.qubits[1]]});
+        network.tensors.push_back(gate.tensor.ToCoo());
+        break;
+      }
+      case GateKind::kToffoli: {
+        const int target = gate.qubits[2];
+        const Label out = next_label++;
+        // tensor[c1][c2][t_in][t_out]: both controls pass through.
+        network.spec.inputs.push_back(Term{wire[gate.qubits[0]],
+                                           wire[gate.qubits[1]],
+                                           wire[target], out});
+        network.tensors.push_back(gate.tensor.ToCoo());
+        wire[target] = out;
+        break;
+      }
+    }
+  }
+  for (int q = 0; q < circuit.num_qubits; ++q) {
+    network.spec.output.push_back(wire[q]);
+  }
+  return network;
+}
+
+Result<ComplexCooTensor> SimulateEinsum(EinsumEngine* engine,
+                                        const Circuit& circuit,
+                                        const std::vector<int>& initial_bits,
+                                        const EinsumOptions& options) {
+  EINSQL_ASSIGN_OR_RETURN(CircuitNetwork network,
+                          BuildCircuitNetwork(circuit, initial_bits));
+  return engine->ComplexEinsumSpecified(network.spec, network.operands(),
+                                        options);
+}
+
+Result<Amplitude> SimulateAmplitudeEinsum(EinsumEngine* engine,
+                                          const Circuit& circuit,
+                                          const std::vector<int>& initial_bits,
+                                          const std::vector<int>& output_bits,
+                                          const EinsumOptions& options) {
+  EINSQL_ASSIGN_OR_RETURN(CircuitNetwork network,
+                          BuildCircuitNetwork(circuit, initial_bits));
+  if (static_cast<int>(output_bits.size()) != circuit.num_qubits) {
+    return Status::InvalidArgument("output state needs one bit per qubit");
+  }
+  // Close every output wire with the basis covector <b_q|.
+  for (int q = 0; q < circuit.num_qubits; ++q) {
+    if (output_bits[q] != 0 && output_bits[q] != 1) {
+      return Status::InvalidArgument("output bit must be 0 or 1");
+    }
+    ComplexCooTensor basis({2});
+    EINSQL_RETURN_IF_ERROR(basis.Append({output_bits[q]}, 1.0));
+    network.spec.inputs.push_back(Term{network.spec.output[q]});
+    network.tensors.push_back(std::move(basis));
+  }
+  network.spec.output.clear();
+  EINSQL_ASSIGN_OR_RETURN(
+      ComplexCooTensor scalar,
+      engine->ComplexEinsumSpecified(network.spec, network.operands(),
+                                     options));
+  return scalar.At({});
+}
+
+Result<std::vector<Amplitude>> AmplitudesToStatevector(
+    const ComplexCooTensor& amplitudes) {
+  const int n = amplitudes.rank();
+  for (int64_t extent : amplitudes.shape()) {
+    if (extent != 2) {
+      return Status::InvalidArgument("amplitude tensor axes must have size 2");
+    }
+  }
+  if (n > 24) return Status::InvalidArgument("too many qubits to flatten");
+  std::vector<Amplitude> state(int64_t{1} << n, 0.0);
+  for (int64_t k = 0; k < amplitudes.nnz(); ++k) {
+    int64_t index = 0;
+    for (int q = 0; q < n; ++q) {
+      index |= amplitudes.raw_coords()[k * n + q] << q;
+    }
+    state[index] += amplitudes.ValueAt(k);
+  }
+  return state;
+}
+
+}  // namespace einsql::quantum

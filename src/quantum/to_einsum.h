@@ -1,0 +1,50 @@
+#ifndef EINSQL_QUANTUM_TO_EINSUM_H_
+#define EINSQL_QUANTUM_TO_EINSUM_H_
+
+#include "backends/einsum_engine.h"
+#include "quantum/circuit.h"
+
+namespace einsql::quantum {
+
+/// A circuit converted to its tensor network (§4.4, the paper's
+/// "a,b,ca,dbc,ed->ce" construction): one rank-1 tensor per input qubit,
+/// one tensor per gate, wires as shared indices; the output term collects
+/// each qubit's final wire, so the result is the rank-n amplitude tensor.
+struct CircuitNetwork {
+  EinsumSpec spec;
+  std::vector<ComplexCooTensor> tensors;
+
+  std::vector<const ComplexCooTensor*> operands() const;
+};
+
+/// Builds the network for `circuit` starting from the computational-basis
+/// state given by `initial_bits` (one 0/1 per qubit).
+Result<CircuitNetwork> BuildCircuitNetwork(const Circuit& circuit,
+                                           const std::vector<int>& initial_bits);
+
+/// Simulates by contracting the network on `engine`; the result is the
+/// final state as a rank-n COO tensor over {0,1}^n (axis q = qubit q).
+Result<ComplexCooTensor> SimulateEinsum(EinsumEngine* engine,
+                                        const Circuit& circuit,
+                                        const std::vector<int>& initial_bits,
+                                        const EinsumOptions& options = {});
+
+/// Flattens a rank-n amplitude tensor to a 2^n state vector with qubit 0 as
+/// the least-significant bit (comparison against SimulateStatevector).
+Result<std::vector<Amplitude>> AmplitudesToStatevector(
+    const ComplexCooTensor& amplitudes);
+
+/// Computes the single amplitude <output_bits| C |initial_bits> by closing
+/// every output wire with a basis covector, so the whole network contracts
+/// to a scalar. This is how tensor-network simulators evaluate individual
+/// bitstring amplitudes of circuits far too wide for the full state vector
+/// (the regime where Figure 9 shows the dense output overwhelming SQL).
+Result<Amplitude> SimulateAmplitudeEinsum(EinsumEngine* engine,
+                                          const Circuit& circuit,
+                                          const std::vector<int>& initial_bits,
+                                          const std::vector<int>& output_bits,
+                                          const EinsumOptions& options = {});
+
+}  // namespace einsql::quantum
+
+#endif  // EINSQL_QUANTUM_TO_EINSUM_H_

@@ -1,0 +1,132 @@
+#include "sat/cnf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace einsql::sat {
+
+int CnfFormula::max_clause_size() const {
+  int max_size = 0;
+  for (const Clause& clause : clauses) {
+    max_size = std::max(max_size, static_cast<int>(clause.literals.size()));
+  }
+  return max_size;
+}
+
+Status Validate(const CnfFormula& formula) {
+  if (formula.num_variables < 0) {
+    return Status::InvalidArgument("negative variable count");
+  }
+  for (size_t c = 0; c < formula.clauses.size(); ++c) {
+    const Clause& clause = formula.clauses[c];
+    if (clause.literals.empty()) {
+      return Status::InvalidArgument("clause ", c, " is empty");
+    }
+    for (Literal lit : clause.literals) {
+      if (lit == 0 || std::abs(lit) > formula.num_variables) {
+        return Status::InvalidArgument("clause ", c,
+                                       " has out-of-range literal ", lit);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool EvaluateClause(const Clause& clause,
+                    const std::vector<bool>& assignment) {
+  for (Literal lit : clause.literals) {
+    const bool value = assignment[std::abs(lit) - 1];
+    if ((lit > 0 && value) || (lit < 0 && !value)) return true;
+  }
+  return false;
+}
+
+bool Evaluate(const CnfFormula& formula,
+              const std::vector<bool>& assignment) {
+  for (const Clause& clause : formula.clauses) {
+    if (!EvaluateClause(clause, assignment)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Simplified formula state for DPLL counting: clauses as literal lists that
+// shrink as variables are assigned.
+struct CountingState {
+  // -1 unassigned, 0 false, 1 true.
+  std::vector<int> assignment;
+  int unassigned;
+};
+
+// Returns the number of satisfying assignments of `clauses` over the
+// unassigned variables of `state`, or -1 on conflict.
+double CountRecursive(const std::vector<Clause>& clauses,
+                      CountingState* state) {
+  // Simplify: find a unit clause or detect conflicts / all-satisfied.
+  int branch_variable = 0;
+  bool all_satisfied = true;
+  for (const Clause& clause : clauses) {
+    bool satisfied = false;
+    int unassigned_in_clause = 0;
+    Literal last_unassigned = 0;
+    for (Literal lit : clause.literals) {
+      const int value = state->assignment[std::abs(lit) - 1];
+      if (value < 0) {
+        ++unassigned_in_clause;
+        last_unassigned = lit;
+      } else if ((lit > 0) == (value == 1)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    if (unassigned_in_clause == 0) return 0.0;  // conflict
+    all_satisfied = false;
+    if (unassigned_in_clause == 1) {
+      // Unit clause: the forced branch halves the work; handle by
+      // branching only on the forced value.
+      const int variable = std::abs(last_unassigned);
+      const int forced = last_unassigned > 0 ? 1 : 0;
+      state->assignment[variable - 1] = forced;
+      --state->unassigned;
+      const double count = CountRecursive(clauses, state);
+      state->assignment[variable - 1] = -1;
+      ++state->unassigned;
+      return count;
+    }
+    if (branch_variable == 0) branch_variable = std::abs(clause.literals[0]);
+    for (Literal lit : clause.literals) {
+      if (state->assignment[std::abs(lit) - 1] < 0) {
+        branch_variable = std::abs(lit);
+        break;
+      }
+    }
+  }
+  if (all_satisfied) {
+    // Every unassigned variable is free.
+    return std::pow(2.0, state->unassigned);
+  }
+  double total = 0.0;
+  for (int value = 0; value <= 1; ++value) {
+    state->assignment[branch_variable - 1] = value;
+    --state->unassigned;
+    total += CountRecursive(clauses, state);
+    state->assignment[branch_variable - 1] = -1;
+    ++state->unassigned;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<double> CountSolutionsExact(const CnfFormula& formula) {
+  EINSQL_RETURN_IF_ERROR(Validate(formula));
+  CountingState state;
+  state.assignment.assign(formula.num_variables, -1);
+  state.unassigned = formula.num_variables;
+  return CountRecursive(formula.clauses, &state);
+}
+
+}  // namespace einsql::sat

@@ -1,0 +1,49 @@
+#ifndef EINSQL_SAT_CNF_H_
+#define EINSQL_SAT_CNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace einsql::sat {
+
+/// A literal: +v for variable v, -v for its negation. Variables are
+/// 1-based, as in the DIMACS convention.
+using Literal = int;
+
+/// A disjunction of literals.
+struct Clause {
+  std::vector<Literal> literals;
+};
+
+/// A propositional formula in conjunctive normal form.
+struct CnfFormula {
+  int num_variables = 0;
+  std::vector<Clause> clauses;
+
+  /// Largest number of literals in any clause (0 for an empty formula).
+  int max_clause_size() const;
+};
+
+/// Validates literal ranges (non-zero, |lit| <= num_variables) and rejects
+/// empty clauses (an empty clause makes the formula trivially unsatisfiable
+/// but has no tensor representation).
+Status Validate(const CnfFormula& formula);
+
+/// True iff `assignment` (indexed by variable-1) satisfies the clause.
+bool EvaluateClause(const Clause& clause, const std::vector<bool>& assignment);
+
+/// True iff `assignment` satisfies every clause.
+bool Evaluate(const CnfFormula& formula, const std::vector<bool>& assignment);
+
+/// Exact #SAT oracle: counts satisfying assignments over all
+/// `num_variables` variables by DPLL-style branching with unit propagation
+/// and free-variable shortcuts. Exponential; intended for validating the
+/// tensor-network counting on small formulas (§4.2).
+Result<double> CountSolutionsExact(const CnfFormula& formula);
+
+}  // namespace einsql::sat
+
+#endif  // EINSQL_SAT_CNF_H_

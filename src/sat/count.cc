@@ -1,0 +1,103 @@
+#include "sat/count.h"
+
+#include <cmath>
+#include <set>
+
+namespace einsql::sat {
+
+Result<double> CountSolutionsEinsum(EinsumEngine* engine,
+                                    const SatTensorNetwork& network,
+                                    const EinsumOptions& options) {
+  if (network.spec.inputs.empty()) {
+    return std::pow(2.0, network.free_variables);
+  }
+  const std::vector<const CooTensor*> operands = network.operands();
+  EINSQL_ASSIGN_OR_RETURN(CooTensor result,
+                          engine->EinsumSpecified(network.spec, operands,
+                                                  options));
+  EINSQL_ASSIGN_OR_RETURN(double count, result.At({}));
+  return ScaleByFreeVariables(network, count);
+}
+
+Result<double> CountSolutionsEinsum(EinsumEngine* engine,
+                                    const CnfFormula& formula,
+                                    const EinsumOptions& options) {
+  EINSQL_ASSIGN_OR_RETURN(SatTensorNetwork network,
+                          BuildTensorNetwork(formula));
+  return CountSolutionsEinsum(engine, network, options);
+}
+
+LiteralWeights LiteralWeights::Uniform(int num_variables) {
+  LiteralWeights weights;
+  weights.negative.assign(num_variables, 1.0);
+  weights.positive.assign(num_variables, 1.0);
+  return weights;
+}
+
+Result<double> WeightedCountEinsum(EinsumEngine* engine,
+                                   const CnfFormula& formula,
+                                   const LiteralWeights& weights,
+                                   const EinsumOptions& options) {
+  if (static_cast<int>(weights.negative.size()) != formula.num_variables ||
+      static_cast<int>(weights.positive.size()) != formula.num_variables) {
+    return Status::InvalidArgument("weights need one entry per variable");
+  }
+  EINSQL_ASSIGN_OR_RETURN(SatTensorNetwork network,
+                          BuildTensorNetwork(formula));
+  // Variables present in the clause network get a rank-1 weight tensor on
+  // their shared index; free variables contribute a scalar factor.
+  std::set<Label> used;
+  for (const Term& term : network.spec.inputs) {
+    for (Label c : term) used.insert(c);
+  }
+  SatTensorNetwork weighted = network;
+  double free_factor = 1.0;
+  for (int v = 1; v <= formula.num_variables; ++v) {
+    const double w_false = weights.negative[v - 1];
+    const double w_true = weights.positive[v - 1];
+    if (used.count(static_cast<Label>(v)) == 0) {
+      free_factor *= w_false + w_true;
+      continue;
+    }
+    CooTensor weight({2});
+    EINSQL_RETURN_IF_ERROR(weight.Append({0}, w_false));
+    EINSQL_RETURN_IF_ERROR(weight.Append({1}, w_true));
+    weighted.unique_tensors.push_back(std::move(weight));
+    weighted.tensor_of_clause.push_back(
+        static_cast<int>(weighted.unique_tensors.size()) - 1);
+    weighted.spec.inputs.push_back(Term{static_cast<Label>(v)});
+  }
+  if (weighted.spec.inputs.empty()) return free_factor;
+  EINSQL_ASSIGN_OR_RETURN(
+      CooTensor result,
+      engine->EinsumSpecified(weighted.spec, weighted.operands(), options));
+  EINSQL_ASSIGN_OR_RETURN(double total, result.At({}));
+  return total * free_factor;
+}
+
+Result<double> WeightedCountExact(const CnfFormula& formula,
+                                  const LiteralWeights& weights) {
+  EINSQL_RETURN_IF_ERROR(Validate(formula));
+  if (static_cast<int>(weights.negative.size()) != formula.num_variables ||
+      static_cast<int>(weights.positive.size()) != formula.num_variables) {
+    return Status::InvalidArgument("weights need one entry per variable");
+  }
+  if (formula.num_variables > 25) {
+    return Status::InvalidArgument(
+        "exact WMC oracle limited to 25 variables");
+  }
+  double total = 0.0;
+  const int64_t assignments = int64_t{1} << formula.num_variables;
+  std::vector<bool> assignment(formula.num_variables);
+  for (int64_t mask = 0; mask < assignments; ++mask) {
+    double weight = 1.0;
+    for (int v = 0; v < formula.num_variables; ++v) {
+      assignment[v] = (mask >> v) & 1;
+      weight *= assignment[v] ? weights.positive[v] : weights.negative[v];
+    }
+    if (Evaluate(formula, assignment)) total += weight;
+  }
+  return total;
+}
+
+}  // namespace einsql::sat

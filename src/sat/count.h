@@ -1,0 +1,50 @@
+#ifndef EINSQL_SAT_COUNT_H_
+#define EINSQL_SAT_COUNT_H_
+
+#include "backends/einsum_engine.h"
+#include "sat/tensorize.h"
+
+namespace einsql::sat {
+
+/// Counts the satisfying assignments of `formula` by contracting its tensor
+/// network on `engine` (#SAT via Einstein summation, §4.2), scaling by free
+/// variables. Formulas without clauses have 2^num_variables models.
+Result<double> CountSolutionsEinsum(EinsumEngine* engine,
+                                    const CnfFormula& formula,
+                                    const EinsumOptions& options = {});
+
+/// Counts via an already-built network (reuse across repetitions in the
+/// benchmark loop).
+Result<double> CountSolutionsEinsum(EinsumEngine* engine,
+                                    const SatTensorNetwork& network,
+                                    const EinsumOptions& options = {});
+
+/// Per-variable literal weights for weighted model counting:
+/// `negative[v-1]` is the weight of assigning variable v false,
+/// `positive[v-1]` of assigning it true. Unweighted counting is
+/// negative = positive = 1 everywhere.
+struct LiteralWeights {
+  std::vector<double> negative;
+  std::vector<double> positive;
+
+  /// Uniform weights (plain #SAT) for `num_variables` variables.
+  static LiteralWeights Uniform(int num_variables);
+};
+
+/// Weighted model counting (WMC): the sum over satisfying assignments of
+/// the product of literal weights. Implemented by attaching one rank-1
+/// weight tensor (w_false, w_true) per variable to the clause tensor
+/// network — free variables contribute their weight sum as a factor.
+/// With uniform weights this equals CountSolutionsEinsum.
+Result<double> WeightedCountEinsum(EinsumEngine* engine,
+                                   const CnfFormula& formula,
+                                   const LiteralWeights& weights,
+                                   const EinsumOptions& options = {});
+
+/// Exact WMC oracle by DPLL-style enumeration (validation only).
+Result<double> WeightedCountExact(const CnfFormula& formula,
+                                  const LiteralWeights& weights);
+
+}  // namespace einsql::sat
+
+#endif  // EINSQL_SAT_COUNT_H_

@@ -1,0 +1,76 @@
+#include "sat/dimacs.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace einsql::sat {
+
+Result<CnfFormula> ParseDimacs(std::string_view text) {
+  CnfFormula formula;
+  bool header_seen = false;
+  int declared_clauses = 0;
+  Clause current;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == 'c' || trimmed[0] == '%') continue;
+    if (trimmed[0] == 'p') {
+      std::istringstream header{std::string(trimmed)};
+      std::string p, cnf;
+      header >> p >> cnf >> formula.num_variables >> declared_clauses;
+      if (cnf != "cnf" || header.fail()) {
+        return Status::ParseError("malformed DIMACS header: '", trimmed, "'");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) {
+      return Status::ParseError("clause data before DIMACS header");
+    }
+    std::istringstream numbers{std::string(trimmed)};
+    int value = 0;
+    while (numbers >> value) {
+      if (value == 0) {
+        if (current.literals.empty()) {
+          return Status::ParseError("empty clause in DIMACS input");
+        }
+        formula.clauses.push_back(std::move(current));
+        current = Clause{};
+      } else {
+        current.literals.push_back(value);
+      }
+    }
+    if (!numbers.eof()) {
+      return Status::ParseError("malformed clause line: '", trimmed, "'");
+    }
+  }
+  if (!header_seen) return Status::ParseError("missing DIMACS header");
+  if (!current.literals.empty()) {
+    // Clause without a trailing 0 terminator; accept it (common in the
+    // wild) rather than dropping data.
+    formula.clauses.push_back(std::move(current));
+  }
+  if (declared_clauses != 0 &&
+      declared_clauses != static_cast<int>(formula.clauses.size())) {
+    return Status::ParseError("DIMACS header declares ", declared_clauses,
+                              " clauses but ", formula.clauses.size(),
+                              " were parsed");
+  }
+  EINSQL_RETURN_IF_ERROR(Validate(formula));
+  return formula;
+}
+
+std::string ToDimacs(const CnfFormula& formula) {
+  std::ostringstream os;
+  os << "p cnf " << formula.num_variables << " " << formula.clauses.size()
+     << "\n";
+  for (const Clause& clause : formula.clauses) {
+    for (Literal lit : clause.literals) os << lit << " ";
+    os << "0\n";
+  }
+  return os.str();
+}
+
+}  // namespace einsql::sat

@@ -1,0 +1,20 @@
+#ifndef EINSQL_SAT_DIMACS_H_
+#define EINSQL_SAT_DIMACS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sat/cnf.h"
+
+namespace einsql::sat {
+
+/// Parses a DIMACS CNF document ("c" comments, "p cnf <vars> <clauses>"
+/// header, whitespace-separated zero-terminated clauses).
+Result<CnfFormula> ParseDimacs(std::string_view text);
+
+/// Renders a formula as DIMACS CNF.
+std::string ToDimacs(const CnfFormula& formula);
+
+}  // namespace einsql::sat
+
+#endif  // EINSQL_SAT_DIMACS_H_

@@ -1,0 +1,92 @@
+#include "sat/generator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace einsql::sat {
+
+CnfFormula RandomKSat(int num_variables, int num_clauses, int k, Rng* rng) {
+  CnfFormula formula;
+  formula.num_variables = num_variables;
+  formula.clauses.reserve(num_clauses);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::set<int> variables;
+    while (static_cast<int>(variables.size()) < k) {
+      variables.insert(
+          static_cast<int>(rng->UniformInt(1, num_variables)));
+    }
+    Clause clause;
+    for (int variable : variables) {
+      clause.literals.push_back(rng->Bernoulli(0.5) ? variable : -variable);
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+CnfFormula PackageDependencyFormula(const PackageFormulaOptions& options) {
+  Rng rng(options.seed);
+  CnfFormula formula;
+  const int versions = options.versions_per_package;
+  formula.num_variables = options.num_packages * versions;
+  auto variable_of = [&](int package, int version) {
+    return package * versions + version + 1;
+  };
+
+  for (int package = 0; package < options.num_packages; ++package) {
+    // At-most-one version of each package.
+    for (int a = 0; a < versions; ++a) {
+      for (int b = a + 1; b < versions; ++b) {
+        formula.clauses.push_back(
+            {{-variable_of(package, a), -variable_of(package, b)}});
+      }
+    }
+    // Dependencies: each version may require some earlier package.
+    if (package == 0) continue;
+    for (int version = 0; version < versions; ++version) {
+      const double expected = options.dependencies_per_version;
+      int dependencies = static_cast<int>(expected);
+      if (rng.Bernoulli(expected - dependencies)) ++dependencies;
+      for (int d = 0; d < dependencies; ++d) {
+        int target;
+        const int hubs = std::min(options.num_hub_packages, package);
+        if (hubs > 0 && rng.Bernoulli(options.hub_dependency_fraction)) {
+          target = static_cast<int>(rng.UniformInt(0, hubs - 1));
+        } else {
+          const int lo = std::max(0, package - options.locality_window);
+          target = static_cast<int>(rng.UniformInt(lo, package - 1));
+        }
+        Clause clause;
+        clause.literals.push_back(-variable_of(package, version));
+        for (int tv = 0; tv < versions; ++tv) {
+          clause.literals.push_back(variable_of(target, tv));
+        }
+        formula.clauses.push_back(std::move(clause));
+      }
+    }
+  }
+  // Requirements: the highest-numbered packages are the "conda install"
+  // targets; some version of each must be present.
+  const int requested =
+      std::min(options.requested_packages, options.num_packages);
+  for (int r = 0; r < requested; ++r) {
+    const int package = options.num_packages - 1 - r;
+    Clause clause;
+    for (int version = 0; version < versions; ++version) {
+      clause.literals.push_back(variable_of(package, version));
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+CnfFormula TruncateClauses(const CnfFormula& formula, int num_clauses) {
+  CnfFormula truncated;
+  truncated.num_variables = formula.num_variables;
+  const int n = std::min<int>(num_clauses, formula.clauses.size());
+  truncated.clauses.assign(formula.clauses.begin(),
+                           formula.clauses.begin() + n);
+  return truncated;
+}
+
+}  // namespace einsql::sat

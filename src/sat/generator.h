@@ -1,0 +1,55 @@
+#ifndef EINSQL_SAT_GENERATOR_H_
+#define EINSQL_SAT_GENERATOR_H_
+
+#include "common/rng.h"
+#include "sat/cnf.h"
+
+namespace einsql::sat {
+
+/// Uniform random k-SAT: every clause draws k distinct variables and random
+/// polarities.
+CnfFormula RandomKSat(int num_variables, int num_clauses, int k, Rng* rng);
+
+/// Parameters of the package-dependency formula generator, the stand-in for
+/// the Anaconda `conda install sqlite` instance of §4.2 (718 clauses over
+/// 378 variables, at most 3 literals per clause).
+struct PackageFormulaOptions {
+  /// Number of packages; each contributes `versions_per_package` variables.
+  int num_packages = 50;
+  /// Versions per package (2 yields 3-literal dependency clauses).
+  int versions_per_package = 2;
+  /// Expected number of dependencies per package version.
+  double dependencies_per_version = 1.5;
+  /// Real package indexes are shallow: most packages depend either on a
+  /// handful of foundational packages ("libc"-style hubs) or on packages
+  /// released shortly before them. Hub edges and a small locality window
+  /// keep the formula's tensor network at low treewidth — random
+  /// long-range dependencies would make any contraction order blow up,
+  /// which real conda formulas (and the paper's) do not.
+  int num_hub_packages = 5;
+  double hub_dependency_fraction = 0.6;
+  int locality_window = 4;
+  /// Packages explicitly requested for installation (unit clauses).
+  int requested_packages = 1;
+  uint64_t seed = 1;
+};
+
+/// Generates a conda-style dependency CNF:
+///  * at-most-one clauses between versions of the same package
+///    (¬v_a ∨ ¬v_b),
+///  * dependency clauses (¬v ∨ d_1 ∨ ... ∨ d_k) requiring some version of a
+///    depended-on package — dependencies point from higher-numbered to
+///    lower-numbered packages, so the formula is cycle-free like a real
+///    package index,
+///  * requirement clauses (v_1 ∨ ... ∨ v_k) for the requested packages.
+/// With 2 versions per package, every clause has at most 3 literals
+/// (3-SAT), matching the Anaconda instance.
+CnfFormula PackageDependencyFormula(const PackageFormulaOptions& options);
+
+/// Truncates a formula to its first `num_clauses` clauses (the clause-count
+/// sweep of Figure 4 evaluates prefixes of one large formula).
+CnfFormula TruncateClauses(const CnfFormula& formula, int num_clauses);
+
+}  // namespace einsql::sat
+
+#endif  // EINSQL_SAT_GENERATOR_H_

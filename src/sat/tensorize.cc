@@ -1,0 +1,97 @@
+#include "sat/tensorize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace einsql::sat {
+
+std::vector<const CooTensor*> SatTensorNetwork::operands() const {
+  std::vector<const CooTensor*> ptrs;
+  ptrs.reserve(tensor_of_clause.size());
+  for (int index : tensor_of_clause) {
+    ptrs.push_back(&unique_tensors[index]);
+  }
+  return ptrs;
+}
+
+CooTensor ClauseTensor(int k, uint32_t falsifying_mask, bool tautology) {
+  Shape shape(k, 2);
+  CooTensor tensor(shape);
+  std::vector<int64_t> coords(k);
+  const uint32_t total = 1u << k;
+  for (uint32_t point = 0; point < total; ++point) {
+    if (!tautology && point == falsifying_mask) continue;
+    for (int d = 0; d < k; ++d) coords[d] = (point >> d) & 1u;
+    (void)tensor.Append(coords, 1.0);
+  }
+  return tensor;
+}
+
+Result<SatTensorNetwork> BuildTensorNetwork(const CnfFormula& formula) {
+  EINSQL_RETURN_IF_ERROR(Validate(formula));
+  SatTensorNetwork network;
+  // Key of a unique tensor: (k, falsifying_mask) with mask == 2^k marking a
+  // tautology (no falsifying point).
+  std::map<std::pair<int, uint32_t>, int> unique_index;
+  std::set<int> used_variables;
+
+  for (const Clause& clause : formula.clauses) {
+    // Distinct variables in ascending order define the tensor axes.
+    std::vector<int> variables;
+    for (Literal lit : clause.literals) variables.push_back(std::abs(lit));
+    std::sort(variables.begin(), variables.end());
+    variables.erase(std::unique(variables.begin(), variables.end()),
+                    variables.end());
+    const int k = static_cast<int>(variables.size());
+    if (k > 20) {
+      return Status::InvalidArgument(
+          "clause with ", k, " distinct variables exceeds the 2^k tensor "
+          "representation limit");
+    }
+    // The falsifying assignment makes every literal false: positive
+    // literals force variable=false (bit 0), negative force true (bit 1).
+    // A variable appearing with both polarities is a tautology.
+    bool tautology = false;
+    uint32_t mask = 0;
+    std::map<int, int> polarity;  // +1, -1, 0=both
+    for (Literal lit : clause.literals) {
+      const int variable = std::abs(lit);
+      const int sign = lit > 0 ? 1 : -1;
+      auto [it, inserted] = polarity.emplace(variable, sign);
+      if (!inserted && it->second != sign) tautology = true;
+    }
+    if (!tautology) {
+      for (int d = 0; d < k; ++d) {
+        if (polarity[variables[d]] < 0) mask |= 1u << d;
+      }
+    }
+    const std::pair<int, uint32_t> key = {k, tautology ? (1u << k) : mask};
+    auto [it, inserted] =
+        unique_index.emplace(key, static_cast<int>(network.unique_tensors.size()));
+    if (inserted) {
+      network.unique_tensors.push_back(ClauseTensor(k, mask, tautology));
+    }
+    network.tensor_of_clause.push_back(it->second);
+    // Index term: one label per variable. Labels start at 1 because
+    // char32_t 0 is the string terminator.
+    Term term;
+    for (int variable : variables) {
+      term.push_back(static_cast<Label>(variable));
+      used_variables.insert(variable);
+    }
+    network.spec.inputs.push_back(std::move(term));
+  }
+  network.spec.output.clear();
+  network.free_variables =
+      formula.num_variables - static_cast<int>(used_variables.size());
+  return network;
+}
+
+double ScaleByFreeVariables(const SatTensorNetwork& network, double count) {
+  return count * std::pow(2.0, network.free_variables);
+}
+
+}  // namespace einsql::sat

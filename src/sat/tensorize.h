@@ -1,0 +1,52 @@
+#ifndef EINSQL_SAT_TENSORIZE_H_
+#define EINSQL_SAT_TENSORIZE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/format.h"
+#include "sat/cnf.h"
+#include "tensor/coo.h"
+
+namespace einsql::sat {
+
+/// A CNF formula converted to an Einstein summation problem (§4.2, Figure
+/// 3): one {0,1}^{2^k} tensor per clause whose single zero marks the
+/// falsifying assignment, combined so that clause tensors share an index
+/// per variable. Contracting everything to a scalar counts the models over
+/// the variables that occur in clauses.
+///
+/// Following the paper, duplicate clause tensors are shared: a 3-SAT
+/// formula needs at most 14 unique tensors (2 + 4 + 8 for clause sizes
+/// 1..3), regardless of the clause count.
+struct SatTensorNetwork {
+  /// One input term per clause; output is the empty term (a scalar).
+  EinsumSpec spec;
+  /// The distinct clause tensors (at most 2^1 + 2^2 + ... unique shapes ×
+  /// polarity patterns; ≤14 for 3-SAT).
+  std::vector<CooTensor> unique_tensors;
+  /// For each clause, the index of its tensor in `unique_tensors`.
+  std::vector<int> tensor_of_clause;
+  /// Variables that appear in no clause; each doubles the model count.
+  int free_variables = 0;
+
+  /// Operand pointers aligned with spec.inputs (tensors are shared).
+  std::vector<const CooTensor*> operands() const;
+};
+
+/// The 2^k clause tensor for a clause over k distinct variables whose
+/// falsifying assignment is `falsifying_mask` (bit d set means the d-th
+/// variable is true in the falsifying point). `tautology` clauses (x ∨ ¬x)
+/// have no falsifying point and yield an all-ones tensor.
+CooTensor ClauseTensor(int k, uint32_t falsifying_mask, bool tautology);
+
+/// Converts a validated CNF formula to its tensor network.
+Result<SatTensorNetwork> BuildTensorNetwork(const CnfFormula& formula);
+
+/// Scales a tensor-network model count by the formula's free variables:
+/// count * 2^free_variables.
+double ScaleByFreeVariables(const SatTensorNetwork& network, double count);
+
+}  // namespace einsql::sat
+
+#endif  // EINSQL_SAT_TENSORIZE_H_

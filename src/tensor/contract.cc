@@ -1,0 +1,266 @@
+#include "tensor/contract.h"
+
+#include <algorithm>
+#include <complex>
+#include <map>
+
+namespace einsql {
+
+namespace {
+
+bool HasDuplicates(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
+int FindLabel(const Labels& labels, int label) {
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+template <typename V>
+Result<Dense<V>> Transpose(const Dense<V>& t, const std::vector<int>& perm) {
+  const int r = t.rank();
+  if (static_cast<int>(perm.size()) != r) {
+    return Status::InvalidArgument("permutation rank mismatch");
+  }
+  std::vector<bool> seen(r, false);
+  for (int p : perm) {
+    if (p < 0 || p >= r || seen[p]) {
+      return Status::InvalidArgument("invalid permutation");
+    }
+    seen[p] = true;
+  }
+  Shape out_shape(r);
+  for (int d = 0; d < r; ++d) out_shape[d] = t.shape()[perm[d]];
+  EINSQL_ASSIGN_OR_RETURN(Dense<V> out, Dense<V>::Zeros(out_shape));
+  // Walk the output in row-major order, computing the matching input offset
+  // incrementally (odometer pattern).
+  std::vector<int64_t> in_strides(r);
+  for (int d = 0; d < r; ++d) in_strides[d] = t.strides()[perm[d]];
+  std::vector<int64_t> coords(r, 0);
+  int64_t in_flat = 0;
+  const int64_t total = out.size();
+  for (int64_t out_flat = 0; out_flat < total; ++out_flat) {
+    out[out_flat] = t[in_flat];
+    for (int d = r - 1; d >= 0; --d) {
+      if (++coords[d] < out_shape[d]) {
+        in_flat += in_strides[d];
+        break;
+      }
+      in_flat -= in_strides[d] * (out_shape[d] - 1);
+      coords[d] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename V>
+Result<Dense<V>> ReduceLabels(const Dense<V>& t, const Labels& labels,
+                              const Labels& out_labels) {
+  const int r = t.rank();
+  if (static_cast<int>(labels.size()) != r) {
+    return Status::InvalidArgument("label count does not match tensor rank");
+  }
+  if (HasDuplicates(out_labels)) {
+    return Status::InvalidArgument("output labels must be unique");
+  }
+  // Determine output shape and the first input axis of each output label.
+  Shape out_shape;
+  std::vector<int> out_axis;  // input axis providing each output label
+  for (int label : out_labels) {
+    int axis = FindLabel(labels, label);
+    if (axis < 0) {
+      return Status::InvalidArgument("output label not present in input");
+    }
+    out_axis.push_back(axis);
+    out_shape.push_back(t.shape()[axis]);
+  }
+  // Extent consistency for repeated labels.
+  for (int d = 0; d < r; ++d) {
+    int first = FindLabel(labels, labels[d]);
+    if (t.shape()[d] != t.shape()[first]) {
+      return Status::InvalidArgument("repeated label with mismatched extents");
+    }
+  }
+  EINSQL_ASSIGN_OR_RETURN(Dense<V> out, Dense<V>::Zeros(out_shape));
+  const auto& out_strides = out.strides();
+  std::vector<int64_t> coords(r, 0);
+  const int64_t total = t.size();
+  for (int64_t flat = 0; flat < total; ++flat) {
+    // Keep only diagonal elements of repeated labels.
+    bool on_diagonal = true;
+    for (int d = 0; d < r && on_diagonal; ++d) {
+      int first = FindLabel(labels, labels[d]);
+      if (first != d && coords[first] != coords[d]) on_diagonal = false;
+    }
+    if (on_diagonal) {
+      int64_t out_flat = 0;
+      for (size_t k = 0; k < out_axis.size(); ++k) {
+        out_flat += coords[out_axis[k]] * out_strides[k];
+      }
+      out[out_flat] += t[flat];
+    }
+    for (int d = r - 1; d >= 0; --d) {
+      if (++coords[d] < t.shape()[d]) break;
+      coords[d] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename V>
+Result<Dense<V>> ContractPair(const Dense<V>& a, const Labels& a_labels,
+                              const Dense<V>& b, const Labels& b_labels,
+                              const Labels& out_labels) {
+  if (static_cast<int>(a_labels.size()) != a.rank() ||
+      static_cast<int>(b_labels.size()) != b.rank()) {
+    return Status::InvalidArgument("label count does not match tensor rank");
+  }
+  if (HasDuplicates(a_labels) || HasDuplicates(b_labels)) {
+    return Status::InvalidArgument(
+        "ContractPair requires unique labels per input; apply ReduceLabels "
+        "first");
+  }
+  if (HasDuplicates(out_labels)) {
+    return Status::InvalidArgument("output labels must be unique");
+  }
+  // Extent agreement for shared labels.
+  std::map<int, int64_t> extent;
+  for (size_t d = 0; d < a_labels.size(); ++d) {
+    extent[a_labels[d]] = a.shape()[d];
+  }
+  for (size_t d = 0; d < b_labels.size(); ++d) {
+    auto it = extent.find(b_labels[d]);
+    if (it != extent.end() && it->second != b.shape()[d]) {
+      return Status::InvalidArgument("label extent mismatch between operands");
+    }
+    extent[b_labels[d]] = b.shape()[d];
+  }
+  // Classify shared labels: batch dimensions stay in the output, contracted
+  // dimensions are summed over.
+  Labels batch, contracted, a_free, b_free;
+  for (int label : a_labels) {
+    if (FindLabel(b_labels, label) < 0) continue;
+    if (FindLabel(out_labels, label) >= 0) {
+      batch.push_back(label);
+    } else {
+      contracted.push_back(label);
+    }
+  }
+  for (int label : out_labels) {
+    if (FindLabel(a_labels, label) < 0 && FindLabel(b_labels, label) < 0) {
+      return Status::InvalidArgument("output label missing from both inputs");
+    }
+  }
+  // Pre-reduce labels that appear in exactly one input and not in the output
+  // (they can be summed before the pairwise product).
+  Labels a_keep, b_keep;
+  bool a_reduced = false, b_reduced = false;
+  for (int label : a_labels) {
+    if (FindLabel(b_labels, label) < 0 && FindLabel(out_labels, label) < 0) {
+      a_reduced = true;
+    } else {
+      a_keep.push_back(label);
+    }
+  }
+  for (int label : b_labels) {
+    if (FindLabel(a_labels, label) < 0 && FindLabel(out_labels, label) < 0) {
+      b_reduced = true;
+    } else {
+      b_keep.push_back(label);
+    }
+  }
+  if (a_reduced) {
+    EINSQL_ASSIGN_OR_RETURN(Dense<V> ra, ReduceLabels(a, a_labels, a_keep));
+    return ContractPair(ra, a_keep, b, b_labels, out_labels);
+  }
+  if (b_reduced) {
+    EINSQL_ASSIGN_OR_RETURN(Dense<V> rb, ReduceLabels(b, b_labels, b_keep));
+    return ContractPair(a, a_labels, rb, b_keep, out_labels);
+  }
+  // Free labels: unique to one operand (single-sided sums are gone by now).
+  for (int label : a_labels) {
+    if (FindLabel(b_labels, label) < 0) a_free.push_back(label);
+  }
+  for (int label : b_labels) {
+    if (FindLabel(a_labels, label) < 0) b_free.push_back(label);
+  }
+
+  auto perm_for = [](const Labels& from, const Labels& order) {
+    std::vector<int> perm;
+    for (int label : order) perm.push_back(FindLabel(from, label));
+    return perm;
+  };
+  // a -> [batch, a_free, contracted]; b -> [batch, contracted, b_free].
+  Labels a_order = batch;
+  a_order.insert(a_order.end(), a_free.begin(), a_free.end());
+  a_order.insert(a_order.end(), contracted.begin(), contracted.end());
+  Labels b_order = batch;
+  b_order.insert(b_order.end(), contracted.begin(), contracted.end());
+  b_order.insert(b_order.end(), b_free.begin(), b_free.end());
+  EINSQL_ASSIGN_OR_RETURN(Dense<V> ta, Transpose(a, perm_for(a_labels, a_order)));
+  EINSQL_ASSIGN_OR_RETURN(Dense<V> tb, Transpose(b, perm_for(b_labels, b_order)));
+
+  auto extent_product = [&](const Labels& labels) {
+    int64_t p = 1;
+    for (int label : labels) p *= extent[label];
+    return p;
+  };
+  const int64_t nbatch = extent_product(batch);
+  const int64_t m = extent_product(a_free);
+  const int64_t k = extent_product(contracted);
+  const int64_t n = extent_product(b_free);
+
+  // Batched GEMM: C[bt,i,j] = sum_k A[bt,i,k] * B[bt,k,j].
+  std::vector<V> c(static_cast<size_t>(nbatch * m * n), V(0));
+  const V* pa = ta.data().data();
+  const V* pb = tb.data().data();
+  for (int64_t bt = 0; bt < nbatch; ++bt) {
+    const V* ab = pa + bt * m * k;
+    const V* bb = pb + bt * k * n;
+    V* cb = c.data() + bt * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const V aval = ab[i * k + kk];
+        if (aval == V(0)) continue;
+        const V* brow = bb + kk * n;
+        V* crow = cb + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
+    }
+  }
+  // Current layout: [batch, a_free, b_free]; permute to out_labels.
+  Labels c_labels = batch;
+  c_labels.insert(c_labels.end(), a_free.begin(), a_free.end());
+  c_labels.insert(c_labels.end(), b_free.begin(), b_free.end());
+  Shape c_shape;
+  for (int label : c_labels) c_shape.push_back(extent[label]);
+  EINSQL_ASSIGN_OR_RETURN(Dense<V> dc, Dense<V>::FromData(c_shape, std::move(c)));
+  if (c_labels == out_labels) return dc;
+  return Transpose(dc, perm_for(c_labels, out_labels));
+}
+
+// Explicit instantiations for the two supported value types.
+template Result<Dense<double>> Transpose(const Dense<double>&,
+                                         const std::vector<int>&);
+template Result<Dense<std::complex<double>>> Transpose(
+    const Dense<std::complex<double>>&, const std::vector<int>&);
+template Result<Dense<double>> ReduceLabels(const Dense<double>&,
+                                            const Labels&, const Labels&);
+template Result<Dense<std::complex<double>>> ReduceLabels(
+    const Dense<std::complex<double>>&, const Labels&, const Labels&);
+template Result<Dense<double>> ContractPair(const Dense<double>&,
+                                            const Labels&,
+                                            const Dense<double>&,
+                                            const Labels&, const Labels&);
+template Result<Dense<std::complex<double>>> ContractPair(
+    const Dense<std::complex<double>>&, const Labels&,
+    const Dense<std::complex<double>>&, const Labels&, const Labels&);
+
+}  // namespace einsql

@@ -1,0 +1,43 @@
+#ifndef EINSQL_TENSOR_CONTRACT_H_
+#define EINSQL_TENSOR_CONTRACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/dense.h"
+
+namespace einsql {
+
+/// Axis labels for contraction kernels. Labels are opaque integers; the
+/// einsum core maps format-string index characters onto them.
+using Labels = std::vector<int>;
+
+/// Permutes the axes of `t`: axis `d` of the result is axis `perm[d]` of the
+/// input. `perm` must be a permutation of [0, rank).
+template <typename V>
+Result<Dense<V>> Transpose(const Dense<V>& t, const std::vector<int>& perm);
+
+/// Reduces a single tensor to the requested output labels:
+///  * repeated labels in `labels` are collapsed to their diagonal,
+///  * labels absent from `out_labels` are summed away.
+/// `out_labels` must be duplicate-free and a subset of `labels`.
+template <typename V>
+Result<Dense<V>> ReduceLabels(const Dense<V>& t, const Labels& labels,
+                              const Labels& out_labels);
+
+/// Contracts a pair of dense tensors, the workhorse of the dense reference
+/// backend: shared labels absent from `out_labels` are summed over; shared
+/// labels present in `out_labels` act as batch dimensions. Labels must be
+/// unique within each input (use ReduceLabels first otherwise); extents of
+/// equal labels must match. Internally the operands are transposed to
+/// [batch, free, contracted] layout and multiplied as batched matrices,
+/// mirroring how NumPy's einsum executes a pairwise contraction.
+template <typename V>
+Result<Dense<V>> ContractPair(const Dense<V>& a, const Labels& a_labels,
+                              const Dense<V>& b, const Labels& b_labels,
+                              const Labels& out_labels);
+
+}  // namespace einsql
+
+#endif  // EINSQL_TENSOR_CONTRACT_H_

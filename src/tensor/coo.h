@@ -1,0 +1,200 @@
+#ifndef EINSQL_TENSOR_COO_H_
+#define EINSQL_TENSOR_COO_H_
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/shape.h"
+
+namespace einsql {
+
+namespace internal {
+inline double AbsValue(double v) { return std::abs(v); }
+inline double AbsValue(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace internal
+
+/// Sparse tensor in coordinate (COO) format, the portable schema of §3.1:
+/// each stored entry is a coordinate tuple plus a value, exactly mirroring a
+/// SQL relation `T(i0 INT, ..., ik INT, val DOUBLE)`.
+///
+/// Entries are kept in insertion order until Coalesce() is called, which
+/// sorts them lexicographically by coordinates, merges duplicates by
+/// addition, and drops explicit zeros.  A scalar is a rank-0 tensor with at
+/// most one entry (an empty coordinate tuple).
+template <typename V>
+class Coo {
+ public:
+  /// Value type (double or std::complex<double>).
+  using value_type = V;
+
+  /// Creates an empty tensor of the given shape.
+  explicit Coo(Shape shape = {}) : shape_(std::move(shape)) {}
+
+  /// The tensor shape; rank == shape().size().
+  const Shape& shape() const { return shape_; }
+
+  /// The tensor rank (number of axes).
+  int rank() const { return static_cast<int>(shape_.size()); }
+
+  /// Number of stored entries (may include duplicates before Coalesce()).
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Appends an entry. Returns InvalidArgument if the coordinates are out of
+  /// bounds or of the wrong rank.
+  Status Append(const std::vector<int64_t>& coords, V value) {
+    if (!CoordsInBounds(shape_, coords)) {
+      return Status::InvalidArgument("coordinates out of bounds for shape ",
+                                     ShapeToString(shape_));
+    }
+    coords_.insert(coords_.end(), coords.begin(), coords.end());
+    values_.push_back(value);
+    return Status::OK();
+  }
+
+  /// Coordinates of the `n`-th stored entry.
+  std::vector<int64_t> CoordsAt(int64_t n) const {
+    const int r = rank();
+    return std::vector<int64_t>(coords_.begin() + n * r,
+                                coords_.begin() + (n + 1) * r);
+  }
+
+  /// Value of the `n`-th stored entry.
+  V ValueAt(int64_t n) const { return values_[n]; }
+
+  /// Raw flattened coordinate storage (nnz * rank entries, row-major).
+  const std::vector<int64_t>& raw_coords() const { return coords_; }
+
+  /// Raw value storage.
+  const std::vector<V>& raw_values() const { return values_; }
+
+  /// Sorts entries lexicographically, merges duplicate coordinates by
+  /// addition, and removes entries whose magnitude is below `epsilon`.
+  void Coalesce(double epsilon = 0.0) {
+    const int r = rank();
+    const int64_t n = nnz();
+    std::vector<int64_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      for (int d = 0; d < r; ++d) {
+        int64_t ca = coords_[a * r + d], cb = coords_[b * r + d];
+        if (ca != cb) return ca < cb;
+      }
+      return false;
+    });
+    std::vector<int64_t> new_coords;
+    std::vector<V> new_values;
+    new_coords.reserve(coords_.size());
+    new_values.reserve(values_.size());
+    for (int64_t k = 0; k < n; ++k) {
+      const int64_t src = order[k];
+      const bool same_as_prev =
+          !new_values.empty() &&
+          std::equal(coords_.begin() + src * r, coords_.begin() + (src + 1) * r,
+                     new_coords.end() - r);
+      if (same_as_prev) {
+        new_values.back() += values_[src];
+      } else {
+        new_coords.insert(new_coords.end(), coords_.begin() + src * r,
+                          coords_.begin() + (src + 1) * r);
+        new_values.push_back(values_[src]);
+      }
+    }
+    // Drop (near-)zeros.
+    std::vector<int64_t> final_coords;
+    std::vector<V> final_values;
+    for (size_t k = 0; k < new_values.size(); ++k) {
+      if (internal::AbsValue(new_values[k]) > epsilon) {
+        final_coords.insert(final_coords.end(), new_coords.begin() + k * r,
+                            new_coords.begin() + (k + 1) * r);
+        final_values.push_back(new_values[k]);
+      }
+    }
+    coords_ = std::move(final_coords);
+    values_ = std::move(final_values);
+  }
+
+  /// Looks up the value at `coords` by linear scan; 0 if absent.
+  /// Intended for tests and small tensors; O(nnz).
+  Result<V> At(const std::vector<int64_t>& coords) const {
+    if (!CoordsInBounds(shape_, coords)) {
+      return Status::InvalidArgument("coordinates out of bounds for shape ",
+                                     ShapeToString(shape_));
+    }
+    const int r = rank();
+    V sum = V(0);
+    for (int64_t k = 0; k < nnz(); ++k) {
+      if (std::equal(coords.begin(), coords.end(), coords_.begin() + k * r)) {
+        sum += values_[k];
+      }
+    }
+    return sum;
+  }
+
+  /// Fraction of non-zero entries relative to the dense element count.
+  Result<double> Density() const {
+    EINSQL_ASSIGN_OR_RETURN(int64_t total, NumElements(shape_));
+    return static_cast<double>(nnz()) / static_cast<double>(total);
+  }
+
+ private:
+  Shape shape_;
+  std::vector<int64_t> coords_;  // flattened, nnz * rank
+  std::vector<V> values_;
+};
+
+/// Real-valued COO tensor, the workhorse of the SQL mapping.
+using CooTensor = Coo<double>;
+/// Complex-valued COO tensor used by the quantum-circuit use case (§4.4).
+using ComplexCooTensor = Coo<std::complex<double>>;
+
+/// True iff both tensors have the same shape and every coordinate's
+/// (coalesced) value matches within `tolerance`.
+template <typename V>
+bool AllClose(const Coo<V>& a, const Coo<V>& b, double tolerance = 1e-9) {
+  if (a.shape() != b.shape()) return false;
+  Coo<V> ca = a, cb = b;
+  ca.Coalesce();
+  cb.Coalesce();
+  // Merge-compare the two sorted entry lists, treating absences as zero.
+  int64_t ia = 0, ib = 0;
+  const int r = ca.rank();
+  auto cmp = [&](int64_t ka, int64_t kb) {
+    for (int d = 0; d < r; ++d) {
+      int64_t va = ca.raw_coords()[ka * r + d];
+      int64_t vb = cb.raw_coords()[kb * r + d];
+      if (va != vb) return va < vb ? -1 : 1;
+    }
+    return 0;
+  };
+  while (ia < ca.nnz() && ib < cb.nnz()) {
+    int c = cmp(ia, ib);
+    if (c == 0) {
+      if (internal::AbsValue(ca.ValueAt(ia) - cb.ValueAt(ib)) > tolerance) {
+        return false;
+      }
+      ++ia, ++ib;
+    } else if (c < 0) {
+      if (internal::AbsValue(ca.ValueAt(ia)) > tolerance) return false;
+      ++ia;
+    } else {
+      if (internal::AbsValue(cb.ValueAt(ib)) > tolerance) return false;
+      ++ib;
+    }
+  }
+  for (; ia < ca.nnz(); ++ia) {
+    if (internal::AbsValue(ca.ValueAt(ia)) > tolerance) return false;
+  }
+  for (; ib < cb.nnz(); ++ib) {
+    if (internal::AbsValue(cb.ValueAt(ib)) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace einsql
+
+#endif  // EINSQL_TENSOR_COO_H_

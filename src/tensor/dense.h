@@ -1,0 +1,135 @@
+#ifndef EINSQL_TENSOR_DENSE_H_
+#define EINSQL_TENSOR_DENSE_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/coo.h"
+#include "tensor/shape.h"
+
+namespace einsql {
+
+/// Dense row-major tensor. This is the in-memory format of the dense
+/// reference backend (the stand-in for opt_einsum's NumPy backend).
+template <typename V>
+class Dense {
+ public:
+  using value_type = V;
+
+  /// Creates a zero-filled tensor; fails on overflow / bad extents.
+  static Result<Dense<V>> Zeros(Shape shape) {
+    EINSQL_ASSIGN_OR_RETURN(int64_t total, NumElements(shape));
+    Dense<V> t;
+    t.shape_ = std::move(shape);
+    t.strides_ = RowMajorStrides(t.shape_);
+    t.data_.assign(static_cast<size_t>(total), V(0));
+    return t;
+  }
+
+  /// Creates a tensor from explicit row-major data.
+  static Result<Dense<V>> FromData(Shape shape, std::vector<V> data) {
+    EINSQL_ASSIGN_OR_RETURN(int64_t total, NumElements(shape));
+    if (static_cast<int64_t>(data.size()) != total) {
+      return Status::InvalidArgument("data size ", data.size(),
+                                     " does not match shape ",
+                                     ShapeToString(shape));
+    }
+    Dense<V> t;
+    t.shape_ = std::move(shape);
+    t.strides_ = RowMajorStrides(t.shape_);
+    t.data_ = std::move(data);
+    return t;
+  }
+
+  /// Densifies a COO tensor (duplicates accumulate by addition).
+  static Result<Dense<V>> FromCoo(const Coo<V>& coo) {
+    EINSQL_ASSIGN_OR_RETURN(Dense<V> t, Zeros(coo.shape()));
+    const int r = coo.rank();
+    for (int64_t k = 0; k < coo.nnz(); ++k) {
+      int64_t flat = 0;
+      for (int d = 0; d < r; ++d) {
+        flat += coo.raw_coords()[k * r + d] * t.strides_[d];
+      }
+      t.data_[flat] += coo.ValueAt(k);
+    }
+    return t;
+  }
+
+  /// Sparsifies to COO, dropping values with magnitude <= epsilon.
+  Coo<V> ToCoo(double epsilon = 0.0) const {
+    Coo<V> coo(shape_);
+    std::vector<int64_t> coords(shape_.size(), 0);
+    for (int64_t flat = 0; flat < static_cast<int64_t>(data_.size()); ++flat) {
+      if (internal::AbsValue(data_[flat]) > epsilon) {
+        int64_t rem = flat;
+        for (size_t d = 0; d < shape_.size(); ++d) {
+          coords[d] = rem / strides_[d];
+          rem %= strides_[d];
+        }
+        (void)coo.Append(coords, data_[flat]);
+      }
+    }
+    return coo;
+  }
+
+  const Shape& shape() const { return shape_; }
+  const std::vector<int64_t>& strides() const { return strides_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  const std::vector<V>& data() const { return data_; }
+  std::vector<V>& data() { return data_; }
+
+  /// Unchecked flat accessors.
+  V& operator[](int64_t flat) { return data_[flat]; }
+  const V& operator[](int64_t flat) const { return data_[flat]; }
+
+  /// Flat index of a coordinate tuple (unchecked).
+  int64_t FlatIndex(const std::vector<int64_t>& coords) const {
+    int64_t flat = 0;
+    for (size_t d = 0; d < coords.size(); ++d) flat += coords[d] * strides_[d];
+    return flat;
+  }
+
+  /// Bounds-checked element access.
+  Result<V> At(const std::vector<int64_t>& coords) const {
+    if (!CoordsInBounds(shape_, coords)) {
+      return Status::InvalidArgument("coordinates out of bounds for shape ",
+                                     ShapeToString(shape_));
+    }
+    return data_[FlatIndex(coords)];
+  }
+
+  /// Bounds-checked element assignment.
+  Status Set(const std::vector<int64_t>& coords, V value) {
+    if (!CoordsInBounds(shape_, coords)) {
+      return Status::InvalidArgument("coordinates out of bounds for shape ",
+                                     ShapeToString(shape_));
+    }
+    data_[FlatIndex(coords)] = value;
+    return Status::OK();
+  }
+
+ private:
+  Shape shape_;
+  std::vector<int64_t> strides_;
+  std::vector<V> data_;
+};
+
+using DenseTensor = Dense<double>;
+using ComplexDenseTensor = Dense<std::complex<double>>;
+
+/// True iff shapes match and all elements agree within `tolerance`.
+template <typename V>
+bool AllClose(const Dense<V>& a, const Dense<V>& b, double tolerance = 1e-9) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (internal::AbsValue(a[i] - b[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace einsql
+
+#endif  // EINSQL_TENSOR_DENSE_H_

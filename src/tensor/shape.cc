@@ -1,0 +1,51 @@
+#include "tensor/shape.h"
+
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace einsql {
+
+Result<int64_t> NumElements(const Shape& shape) {
+  int64_t total = 1;
+  for (int64_t extent : shape) {
+    if (extent <= 0) {
+      return Status::InvalidArgument("non-positive axis extent in shape ",
+                                     ShapeToString(shape));
+    }
+    if (total > std::numeric_limits<int64_t>::max() / extent) {
+      return Status::OutOfRange("shape ", ShapeToString(shape),
+                                " overflows int64 element count");
+    }
+    total *= extent;
+  }
+  return total;
+}
+
+std::vector<int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::string out = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
+bool CoordsInBounds(const Shape& shape, const std::vector<int64_t>& coords) {
+  if (coords.size() != shape.size()) return false;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (coords[i] < 0 || coords[i] >= shape[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace einsql

@@ -1,0 +1,31 @@
+#ifndef EINSQL_TENSOR_SHAPE_H_
+#define EINSQL_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace einsql {
+
+/// A tensor shape: the extent of each axis. A scalar has an empty shape.
+using Shape = std::vector<int64_t>;
+
+/// Number of elements in a dense tensor of this shape (1 for a scalar).
+/// Returns an error on overflow or on a non-positive extent.
+Result<int64_t> NumElements(const Shape& shape);
+
+/// Row-major strides for `shape` (empty for a scalar).
+std::vector<int64_t> RowMajorStrides(const Shape& shape);
+
+/// Renders a shape as "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+/// True iff every coordinate is within [0, extent) of its axis and the
+/// number of coordinates matches the rank.
+bool CoordsInBounds(const Shape& shape, const std::vector<int64_t>& coords);
+
+}  // namespace einsql
+
+#endif  // EINSQL_TENSOR_SHAPE_H_

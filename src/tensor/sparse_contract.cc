@@ -1,0 +1,225 @@
+#include "tensor/sparse_contract.h"
+
+#include <algorithm>
+#include <complex>
+#include <map>
+#include <unordered_map>
+
+namespace einsql {
+
+namespace {
+
+bool HasDuplicates(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
+int FindLabel(const Labels& labels, int label) {
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// FNV-1a over a coordinate key.
+size_t HashCoords(const std::vector<int64_t>& coords) {
+  size_t h = 1469598103934665603ull;
+  for (int64_t c : coords) {
+    h ^= static_cast<size_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct CoordsHash {
+  size_t operator()(const std::vector<int64_t>& coords) const {
+    return HashCoords(coords);
+  }
+};
+
+}  // namespace
+
+template <typename V>
+Result<Coo<V>> SparseReduceLabels(const Coo<V>& t, const Labels& labels,
+                                  const Labels& out_labels) {
+  const int r = t.rank();
+  if (static_cast<int>(labels.size()) != r) {
+    return Status::InvalidArgument("label count does not match tensor rank");
+  }
+  if (HasDuplicates(out_labels)) {
+    return Status::InvalidArgument("output labels must be unique");
+  }
+  std::vector<int> out_axis;
+  Shape out_shape;
+  for (int label : out_labels) {
+    const int axis = FindLabel(labels, label);
+    if (axis < 0) {
+      return Status::InvalidArgument("output label not present in input");
+    }
+    out_axis.push_back(axis);
+    out_shape.push_back(t.shape()[axis]);
+  }
+  for (int d = 0; d < r; ++d) {
+    if (t.shape()[d] != t.shape()[FindLabel(labels, labels[d])]) {
+      return Status::InvalidArgument("repeated label with mismatched extents");
+    }
+  }
+  std::unordered_map<std::vector<int64_t>, V, CoordsHash> accumulator;
+  std::vector<int64_t> key(out_axis.size());
+  for (int64_t k = 0; k < t.nnz(); ++k) {
+    const int64_t* coords = t.raw_coords().data() + k * r;
+    bool on_diagonal = true;
+    for (int d = 0; d < r && on_diagonal; ++d) {
+      on_diagonal = coords[FindLabel(labels, labels[d])] == coords[d];
+    }
+    if (!on_diagonal) continue;
+    for (size_t a = 0; a < out_axis.size(); ++a) key[a] = coords[out_axis[a]];
+    accumulator[key] += t.ValueAt(k);
+  }
+  Coo<V> out(out_shape);
+  for (const auto& [coords, value] : accumulator) {
+    EINSQL_RETURN_IF_ERROR(out.Append(coords, value));
+  }
+  out.Coalesce();
+  return out;
+}
+
+template <typename V>
+Result<Coo<V>> SparseContractPair(const Coo<V>& a, const Labels& a_labels,
+                                  const Coo<V>& b, const Labels& b_labels,
+                                  const Labels& out_labels) {
+  if (static_cast<int>(a_labels.size()) != a.rank() ||
+      static_cast<int>(b_labels.size()) != b.rank()) {
+    return Status::InvalidArgument("label count does not match tensor rank");
+  }
+  if (HasDuplicates(a_labels) || HasDuplicates(b_labels)) {
+    return Status::InvalidArgument(
+        "SparseContractPair requires unique labels per input; apply "
+        "SparseReduceLabels first");
+  }
+  if (HasDuplicates(out_labels)) {
+    return Status::InvalidArgument("output labels must be unique");
+  }
+  // Label classification and extent checks.
+  std::map<int, int64_t> extent;
+  for (size_t d = 0; d < a_labels.size(); ++d) {
+    extent[a_labels[d]] = a.shape()[d];
+  }
+  for (size_t d = 0; d < b_labels.size(); ++d) {
+    auto it = extent.find(b_labels[d]);
+    if (it != extent.end() && it->second != b.shape()[d]) {
+      return Status::InvalidArgument("label extent mismatch between operands");
+    }
+    extent[b_labels[d]] = b.shape()[d];
+  }
+  for (int label : out_labels) {
+    if (FindLabel(a_labels, label) < 0 && FindLabel(b_labels, label) < 0) {
+      return Status::InvalidArgument("output label missing from both inputs");
+    }
+  }
+  // Pre-reduce labels that appear in exactly one input and not in the
+  // output (single-sided sums), as the dense kernel does.
+  Labels a_keep, b_keep;
+  for (int label : a_labels) {
+    if (FindLabel(b_labels, label) >= 0 || FindLabel(out_labels, label) >= 0) {
+      a_keep.push_back(label);
+    }
+  }
+  for (int label : b_labels) {
+    if (FindLabel(a_labels, label) >= 0 || FindLabel(out_labels, label) >= 0) {
+      b_keep.push_back(label);
+    }
+  }
+  if (a_keep.size() != a_labels.size()) {
+    EINSQL_ASSIGN_OR_RETURN(Coo<V> ra, SparseReduceLabels(a, a_labels, a_keep));
+    return SparseContractPair(ra, a_keep, b, b_labels, out_labels);
+  }
+  if (b_keep.size() != b_labels.size()) {
+    EINSQL_ASSIGN_OR_RETURN(Coo<V> rb, SparseReduceLabels(b, b_labels, b_keep));
+    return SparseContractPair(a, a_labels, rb, b_keep, out_labels);
+  }
+  // Join key: labels shared by both inputs (whether or not in the output).
+  std::vector<int> a_key_axes, b_key_axes;
+  for (size_t d = 0; d < a_labels.size(); ++d) {
+    const int in_b = FindLabel(b_labels, a_labels[d]);
+    if (in_b >= 0) {
+      a_key_axes.push_back(static_cast<int>(d));
+      b_key_axes.push_back(in_b);
+    }
+  }
+  // Output coordinate sources: (from_a?, axis).
+  struct OutputSource {
+    bool from_a;
+    int axis;
+  };
+  std::vector<OutputSource> sources;
+  Shape out_shape;
+  for (int label : out_labels) {
+    const int in_a = FindLabel(a_labels, label);
+    if (in_a >= 0) {
+      sources.push_back({true, in_a});
+    } else {
+      sources.push_back({false, FindLabel(b_labels, label)});
+    }
+    out_shape.push_back(extent[label]);
+  }
+
+  // Build the hash table on the smaller operand... on b, as the SQL plans
+  // do (the generated decomposed queries also build on the right input).
+  const int rb = b.rank();
+  std::unordered_map<std::vector<int64_t>, std::vector<int64_t>, CoordsHash>
+      buckets;
+  buckets.reserve(static_cast<size_t>(b.nnz()) * 2);
+  std::vector<int64_t> key(b_key_axes.size());
+  for (int64_t k = 0; k < b.nnz(); ++k) {
+    const int64_t* coords = b.raw_coords().data() + k * rb;
+    for (size_t d = 0; d < b_key_axes.size(); ++d) {
+      key[d] = coords[b_key_axes[d]];
+    }
+    buckets[key].push_back(k);
+  }
+  // Probe with a; aggregate products by output coordinates.
+  const int ra = a.rank();
+  std::unordered_map<std::vector<int64_t>, V, CoordsHash> accumulator;
+  std::vector<int64_t> out_coords(sources.size());
+  key.assign(a_key_axes.size(), 0);
+  for (int64_t ka = 0; ka < a.nnz(); ++ka) {
+    const int64_t* a_coords = a.raw_coords().data() + ka * ra;
+    for (size_t d = 0; d < a_key_axes.size(); ++d) {
+      key[d] = a_coords[a_key_axes[d]];
+    }
+    auto it = buckets.find(key);
+    if (it == buckets.end()) continue;
+    const V a_value = a.ValueAt(ka);
+    for (int64_t kb : it->second) {
+      const int64_t* b_coords = b.raw_coords().data() + kb * rb;
+      for (size_t s = 0; s < sources.size(); ++s) {
+        out_coords[s] =
+            sources[s].from_a ? a_coords[sources[s].axis]
+                              : b_coords[sources[s].axis];
+      }
+      accumulator[out_coords] += a_value * b.ValueAt(kb);
+    }
+  }
+  Coo<V> out(out_shape);
+  for (const auto& [coords, value] : accumulator) {
+    EINSQL_RETURN_IF_ERROR(out.Append(coords, value));
+  }
+  out.Coalesce();
+  return out;
+}
+
+template Result<Coo<double>> SparseReduceLabels(const Coo<double>&,
+                                                const Labels&, const Labels&);
+template Result<Coo<std::complex<double>>> SparseReduceLabels(
+    const Coo<std::complex<double>>&, const Labels&, const Labels&);
+template Result<Coo<double>> SparseContractPair(const Coo<double>&,
+                                                const Labels&,
+                                                const Coo<double>&,
+                                                const Labels&, const Labels&);
+template Result<Coo<std::complex<double>>> SparseContractPair(
+    const Coo<std::complex<double>>&, const Labels&,
+    const Coo<std::complex<double>>&, const Labels&, const Labels&);
+
+}  // namespace einsql

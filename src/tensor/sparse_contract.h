@@ -1,0 +1,34 @@
+#ifndef EINSQL_TENSOR_SPARSE_CONTRACT_H_
+#define EINSQL_TENSOR_SPARSE_CONTRACT_H_
+
+#include "common/result.h"
+#include "tensor/contract.h"
+
+namespace einsql {
+
+/// Sparse pairwise contraction kernels operating directly on COO storage —
+/// the in-memory analog of what the generated SQL makes a DBMS do: a hash
+/// join on the shared indices followed by hash aggregation on the output
+/// indices. This is the contraction strategy of tensor-based triplestores
+/// (Tentris, cited in §4.1/§6), where inputs are hypersparse and a dense
+/// kernel would be infeasible.
+
+/// Reduces a single sparse tensor to `out_labels`: repeated labels keep
+/// only diagonal entries, labels absent from `out_labels` are summed away.
+/// Same contract as the dense ReduceLabels.
+template <typename V>
+Result<Coo<V>> SparseReduceLabels(const Coo<V>& t, const Labels& labels,
+                                  const Labels& out_labels);
+
+/// Contracts two sparse tensors: hash-join on the shared labels, then
+/// aggregate products by output coordinate. Labels must be unique within
+/// each input; extents of shared labels must agree; every output label must
+/// come from some input (same contract as the dense ContractPair).
+template <typename V>
+Result<Coo<V>> SparseContractPair(const Coo<V>& a, const Labels& a_labels,
+                                  const Coo<V>& b, const Labels& b_labels,
+                                  const Labels& out_labels);
+
+}  // namespace einsql
+
+#endif  // EINSQL_TENSOR_SPARSE_CONTRACT_H_

@@ -1,0 +1,27 @@
+#include "triplestore/dictionary.h"
+
+namespace einsql::triplestore {
+
+int64_t Dictionary::Intern(const std::string& term) {
+  auto [it, inserted] =
+      ids_.emplace(term, static_cast<int64_t>(terms_.size()));
+  if (inserted) terms_.push_back(term);
+  return it->second;
+}
+
+Result<int64_t> Dictionary::Lookup(const std::string& term) const {
+  auto it = ids_.find(term);
+  if (it == ids_.end()) {
+    return Status::NotFound("term '", term, "' not in dictionary");
+  }
+  return it->second;
+}
+
+Result<std::string> Dictionary::TermOf(int64_t id) const {
+  if (id < 0 || id >= size()) {
+    return Status::OutOfRange("term id ", id, " out of range");
+  }
+  return terms_[id];
+}
+
+}  // namespace einsql::triplestore

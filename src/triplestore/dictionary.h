@@ -1,0 +1,36 @@
+#ifndef EINSQL_TRIPLESTORE_DICTIONARY_H_
+#define EINSQL_TRIPLESTORE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace einsql::triplestore {
+
+/// Bidirectional term dictionary: RDF terms (IRIs, literals) ↔ dense
+/// integer ids. Ids index the axes of the one-hot triple tensor T (§4.1).
+class Dictionary {
+ public:
+  /// Id of `term`, interning it on first sight.
+  int64_t Intern(const std::string& term);
+
+  /// Id of `term`, or NotFound if it was never interned.
+  Result<int64_t> Lookup(const std::string& term) const;
+
+  /// Term of `id`, or OutOfRange.
+  Result<std::string> TermOf(int64_t id) const;
+
+  /// Number of distinct terms (== the extent n of every axis of T).
+  int64_t size() const { return static_cast<int64_t>(terms_.size()); }
+
+ private:
+  std::unordered_map<std::string, int64_t> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace einsql::triplestore
+
+#endif  // EINSQL_TRIPLESTORE_DICTIONARY_H_

@@ -1,0 +1,42 @@
+#include "triplestore/generator.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace einsql::triplestore {
+
+TripleStore GenerateOlympics(const OlympicsOptions& options) {
+  Rng rng(options.seed);
+  TripleStore store;
+  // Pre-intern predicates and medal terms (mirrors the wallscope/rdfs
+  // vocabulary of the paper's Listing 7).
+  const std::string kAthlete = "walls:athlete";
+  const std::string kMedal = "walls:medal";
+  const std::string kGames = "walls:games";
+  const std::string kEvent = "walls:event";
+  const std::string kLabel = "rdfs:label";
+  const std::string kMedals[3] = {"medal:Gold", "medal:Silver",
+                                  "medal:Bronze"};
+
+  int64_t instance_counter = 0;
+  for (int athlete = 0; athlete < options.num_athletes; ++athlete) {
+    const std::string athlete_term = StrCat("athlete:", athlete);
+    store.Add(athlete_term, kLabel, StrCat("\"Athlete ", athlete, "\""));
+    for (int result = 0; result < options.results_per_athlete; ++result) {
+      const std::string instance =
+          StrCat("instance:", instance_counter++);
+      store.Add(instance, kAthlete, athlete_term);
+      store.Add(instance, kGames,
+                StrCat("games:", rng.UniformInt(0, options.num_games - 1)));
+      store.Add(instance, kEvent,
+                StrCat("event:", rng.UniformInt(0, options.num_events - 1)));
+      if (rng.Bernoulli(options.medal_fraction)) {
+        store.Add(instance, kMedal,
+                  kMedals[rng.UniformInt(0, 2)]);
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace einsql::triplestore

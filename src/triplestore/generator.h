@@ -1,0 +1,33 @@
+#ifndef EINSQL_TRIPLESTORE_GENERATOR_H_
+#define EINSQL_TRIPLESTORE_GENERATOR_H_
+
+#include "triplestore/store.h"
+
+namespace einsql::triplestore {
+
+/// Parameters of the synthetic Olympic-history generator, the stand-in for
+/// the 120-years-of-Olympics Kaggle dump (§4.1: 1,781,625 triples and
+/// 544,171 distinct terms at full scale). The generator reproduces the
+/// dataset's *shape* — medal-result instances linked to athletes, medals,
+/// games and events, plus athlete labels — so the gold-medal query
+/// exercises the same slicing and contraction pattern.
+struct OlympicsOptions {
+  /// Number of athletes; each gets a rdfs:label triple.
+  int num_athletes = 1000;
+  /// Result instances per athlete (each instance yields ~5 triples).
+  int results_per_athlete = 3;
+  /// Fraction of results that are medals, split evenly into
+  /// Gold/Silver/Bronze.
+  double medal_fraction = 0.15;
+  /// Distinct games (e.g. "games:1996-Summer") and events.
+  int num_games = 50;
+  int num_events = 600;
+  uint64_t seed = 7;
+};
+
+/// Generates the synthetic dataset. Deterministic for a fixed seed.
+TripleStore GenerateOlympics(const OlympicsOptions& options);
+
+}  // namespace einsql::triplestore
+
+#endif  // EINSQL_TRIPLESTORE_GENERATOR_H_

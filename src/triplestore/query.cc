@@ -1,0 +1,398 @@
+#include "triplestore/query.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "backends/einsum_engine.h"
+#include "common/str_util.h"
+#include "core/program.h"
+#include "core/sqlgen.h"
+
+namespace einsql::triplestore {
+
+namespace {
+
+bool IsVariable(const std::string& position) {
+  return !position.empty() && position[0] == '?';
+}
+
+struct CompiledPatterns {
+  EinsumSpec spec;
+  std::string prelude;                  // slice CTE definitions
+  std::vector<std::string> slice_names;
+  int64_t n = 0;                        // axis extent
+};
+
+// Builds slice CTEs and the einsum spec from the patterns.
+Result<CompiledPatterns> Compile(const TripleStore& store,
+                                 const std::vector<TriplePattern>& patterns,
+                                 const std::vector<std::string>& select,
+                                 const std::string& table) {
+  if (patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  if (select.empty()) {
+    return Status::InvalidArgument("query selects no variables");
+  }
+  for (const std::string& variable : select) {
+    if (!IsVariable(variable)) {
+      return Status::InvalidArgument("select variable must start with '?'");
+    }
+  }
+  CompiledPatterns compiled;
+  compiled.n = std::max<int64_t>(store.num_terms(), 1);
+  std::map<std::string, Label> label_of;
+  auto label_for = [&](const std::string& variable) {
+    auto [it, inserted] = label_of.emplace(
+        variable, static_cast<Label>('a' + label_of.size()));
+    return it->second;
+  };
+
+  std::vector<std::string> ctes;
+  for (size_t k = 0; k < patterns.size(); ++k) {
+    const TriplePattern& pattern = patterns[k];
+    const std::string positions[3] = {pattern.s, pattern.p, pattern.o};
+    Term term;
+    std::vector<std::string> projected;
+    std::vector<std::string> conditions;
+    for (int axis = 0; axis < 3; ++axis) {
+      if (IsVariable(positions[axis])) {
+        term.push_back(label_for(positions[axis]));
+        projected.push_back(StrCat(table, ".i", axis));
+      } else {
+        // Unknown terms slice to an empty relation (id -1 never matches).
+        const int64_t id =
+            store.dictionary().Lookup(positions[axis]).value_or(-1);
+        conditions.push_back(StrCat(table, ".i", axis, "=", id));
+      }
+    }
+    const std::string name = StrCat("S", k);
+    std::string cte = name + "(";
+    for (size_t c = 0; c < projected.size(); ++c) {
+      cte += StrCat("i", c, ", ");
+    }
+    cte += "val) AS (SELECT ";
+    for (const std::string& column : projected) cte += column + ", ";
+    cte += StrCat(table, ".val FROM ", table);
+    if (!conditions.empty()) cte += " WHERE " + Join(conditions, " AND ");
+    cte += ")";
+    ctes.push_back(std::move(cte));
+    compiled.slice_names.push_back(name);
+    compiled.spec.inputs.push_back(std::move(term));
+  }
+  for (const std::string& variable : select) {
+    auto it = label_of.find(variable);
+    if (it == label_of.end()) {
+      return Status::InvalidArgument("select variable ", variable,
+                                     " does not occur in any pattern");
+    }
+    if (compiled.spec.output.find(it->second) != Term::npos) {
+      return Status::InvalidArgument("select variable ", variable,
+                                     " listed twice");
+    }
+    compiled.spec.output.push_back(it->second);
+  }
+  compiled.prelude = Join(ctes, ",\n");
+  return compiled;
+}
+
+// Shared core of the SQL compilation for 1..k selected variables.
+Result<std::string> CompileToSql(const TripleStore& store,
+                                 const std::vector<TriplePattern>& patterns,
+                                 const std::vector<std::string>& select,
+                                 PathAlgorithm path,
+                                 const std::string& table) {
+  EINSQL_ASSIGN_OR_RETURN(CompiledPatterns compiled,
+                          Compile(store, patterns, select, table));
+  std::vector<Shape> shapes;
+  for (const Term& term : compiled.spec.inputs) {
+    shapes.push_back(Shape(term.size(), compiled.n));
+  }
+  EINSQL_ASSIGN_OR_RETURN(ContractionProgram program,
+                          BuildProgram(compiled.spec, shapes, path));
+  SqlGenOptions options;
+  options.input_names = compiled.slice_names;
+  options.prelude_ctes = compiled.prelude;
+  options.order_by = "val DESC";
+  return GenerateEinsumSqlForTables(program, options);
+}
+
+}  // namespace
+
+Result<std::string> CompileQueryToSql(const TripleStore& store,
+                                      const PatternQuery& query,
+                                      PathAlgorithm path,
+                                      const std::string& table) {
+  return CompileToSql(store, query.patterns, {query.select_variable}, path,
+                      table);
+}
+
+Result<std::string> CompileMultiQueryToSql(const TripleStore& store,
+                                           const MultiPatternQuery& query,
+                                           PathAlgorithm path,
+                                           const std::string& table) {
+  return CompileToSql(store, query.patterns, query.select_variables, path,
+                      table);
+}
+
+Result<std::vector<CountedRow>> AnswerMultiWithSql(
+    SqlBackend* backend, const TripleStore& store,
+    const MultiPatternQuery& query, PathAlgorithm path,
+    const std::string& table) {
+  EINSQL_ASSIGN_OR_RETURN(std::string sql,
+                          CompileMultiQueryToSql(store, query, path, table));
+  EINSQL_ASSIGN_OR_RETURN(minidb::Relation relation, backend->Query(sql));
+  const size_t k = query.select_variables.size();
+  std::vector<CountedRow> rows;
+  rows.reserve(relation.rows.size());
+  for (const minidb::Row& row : relation.rows) {
+    if (row.size() != k + 1) {
+      return Status::Internal("expected (ids..., count) result rows");
+    }
+    CountedRow out;
+    for (size_t c = 0; c < k; ++c) {
+      EINSQL_ASSIGN_OR_RETURN(int64_t id, minidb::AsInt(row[c]));
+      EINSQL_ASSIGN_OR_RETURN(std::string term,
+                              store.dictionary().TermOf(id));
+      out.terms.push_back(std::move(term));
+    }
+    EINSQL_ASSIGN_OR_RETURN(out.count, minidb::AsDouble(row[k]));
+    rows.push_back(std::move(out));
+  }
+  return rows;
+}
+
+Result<std::vector<CountedTerm>> AnswerWithSql(SqlBackend* backend,
+                                               const TripleStore& store,
+                                               const PatternQuery& query,
+                                               PathAlgorithm path,
+                                               const std::string& table) {
+  EINSQL_ASSIGN_OR_RETURN(std::string sql,
+                          CompileQueryToSql(store, query, path, table));
+  EINSQL_ASSIGN_OR_RETURN(minidb::Relation relation, backend->Query(sql));
+  std::vector<CountedTerm> rows;
+  rows.reserve(relation.rows.size());
+  for (const minidb::Row& row : relation.rows) {
+    if (row.size() != 2) {
+      return Status::Internal("expected (id, count) result rows");
+    }
+    EINSQL_ASSIGN_OR_RETURN(int64_t id, minidb::AsInt(row[0]));
+    EINSQL_ASSIGN_OR_RETURN(std::string term, store.dictionary().TermOf(id));
+    EINSQL_ASSIGN_OR_RETURN(double count, minidb::AsDouble(row[1]));
+    rows.push_back({std::move(term), count});
+  }
+  return rows;
+}
+
+Result<std::vector<CountedTerm>> AnswerNaive(const TripleStore& store,
+                                             const PatternQuery& query) {
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  // Backtracking join with a predicate index, RDFLib-style (RDFLib keeps
+  // per-position indexes; scanning the full triple list per pattern would
+  // be an unfair strawman).
+  std::map<int64_t, std::vector<const Triple*>> by_predicate;
+  for (const Triple& triple : store.triples()) {
+    by_predicate[triple.p].push_back(&triple);
+  }
+  static const std::vector<const Triple*> kEmpty;
+  std::map<std::string, int64_t> bindings;
+  std::map<int64_t, double> counts;
+  bool select_seen = false;
+  for (const TriplePattern& pattern : query.patterns) {
+    for (const std::string* position : {&pattern.s, &pattern.p, &pattern.o}) {
+      if (*position == query.select_variable) select_seen = true;
+    }
+  }
+  if (!IsVariable(query.select_variable) || !select_seen) {
+    return Status::InvalidArgument("select variable ", query.select_variable,
+                                   " does not occur in any pattern");
+  }
+
+  std::function<void(size_t)> match = [&](size_t k) {
+    if (k == query.patterns.size()) {
+      counts[bindings[query.select_variable]] += 1.0;
+      return;
+    }
+    const TriplePattern& pattern = query.patterns[k];
+    const std::string positions[3] = {pattern.s, pattern.p, pattern.o};
+    // Restrict candidates via the predicate index when the predicate is a
+    // fixed term or an already-bound variable.
+    const std::vector<const Triple*>* candidates = nullptr;
+    std::vector<const Triple*> all;
+    int64_t predicate_id = -1;
+    if (!IsVariable(pattern.p)) {
+      predicate_id = store.dictionary().Lookup(pattern.p).value_or(-1);
+    } else if (bindings.count(pattern.p) > 0) {
+      predicate_id = bindings[pattern.p];
+    }
+    if (predicate_id >= 0) {
+      auto it = by_predicate.find(predicate_id);
+      candidates = it == by_predicate.end() ? &kEmpty : &it->second;
+    } else if (predicate_id == -1 && !IsVariable(pattern.p)) {
+      candidates = &kEmpty;  // unknown fixed term matches nothing
+    } else {
+      all.reserve(store.triples().size());
+      for (const Triple& triple : store.triples()) all.push_back(&triple);
+      candidates = &all;
+    }
+    for (const Triple* candidate : *candidates) {
+      const Triple& triple = *candidate;
+      const int64_t ids[3] = {triple.s, triple.p, triple.o};
+      std::vector<std::string> newly_bound;
+      bool ok = true;
+      for (int axis = 0; axis < 3 && ok; ++axis) {
+        if (IsVariable(positions[axis])) {
+          auto it = bindings.find(positions[axis]);
+          if (it == bindings.end()) {
+            bindings[positions[axis]] = ids[axis];
+            newly_bound.push_back(positions[axis]);
+          } else if (it->second != ids[axis]) {
+            ok = false;
+          }
+        } else {
+          auto id = store.dictionary().Lookup(positions[axis]);
+          ok = id.ok() && id.value() == ids[axis];
+        }
+      }
+      if (ok) match(k + 1);
+      for (const std::string& variable : newly_bound) {
+        bindings.erase(variable);
+      }
+    }
+  };
+  match(0);
+
+  std::vector<CountedTerm> rows;
+  for (const auto& [id, count] : counts) {
+    EINSQL_ASSIGN_OR_RETURN(std::string term, store.dictionary().TermOf(id));
+    rows.push_back({std::move(term), count});
+  }
+  std::sort(rows.begin(), rows.end(), [](const CountedTerm& a,
+                                         const CountedTerm& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.term < b.term;
+  });
+  return rows;
+}
+
+
+Result<std::vector<CountedRow>> AnswerMultiNaive(
+    const TripleStore& store, const MultiPatternQuery& query) {
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  if (query.select_variables.empty()) {
+    return Status::InvalidArgument("query selects no variables");
+  }
+  for (const std::string& variable : query.select_variables) {
+    bool seen = false;
+    for (const TriplePattern& pattern : query.patterns) {
+      if (pattern.s == variable || pattern.p == variable ||
+          pattern.o == variable) {
+        seen = true;
+      }
+    }
+    if (!IsVariable(variable) || !seen) {
+      return Status::InvalidArgument("select variable ", variable,
+                                     " does not occur in any pattern");
+    }
+  }
+  // Predicate index, as in AnswerNaive.
+  std::map<int64_t, std::vector<const Triple*>> by_predicate;
+  for (const Triple& triple : store.triples()) {
+    by_predicate[triple.p].push_back(&triple);
+  }
+  static const std::vector<const Triple*> kEmpty;
+  std::map<std::string, int64_t> bindings;
+  std::map<std::vector<int64_t>, double> counts;
+
+  std::function<void(size_t)> match = [&](size_t k) {
+    if (k == query.patterns.size()) {
+      std::vector<int64_t> key;
+      key.reserve(query.select_variables.size());
+      for (const std::string& variable : query.select_variables) {
+        key.push_back(bindings[variable]);
+      }
+      counts[key] += 1.0;
+      return;
+    }
+    const TriplePattern& pattern = query.patterns[k];
+    const std::string positions[3] = {pattern.s, pattern.p, pattern.o};
+    const std::vector<const Triple*>* candidates = nullptr;
+    std::vector<const Triple*> all;
+    int64_t predicate_id = -1;
+    if (!IsVariable(pattern.p)) {
+      predicate_id = store.dictionary().Lookup(pattern.p).value_or(-1);
+    } else if (bindings.count(pattern.p) > 0) {
+      predicate_id = bindings[pattern.p];
+    }
+    if (predicate_id >= 0) {
+      auto it = by_predicate.find(predicate_id);
+      candidates = it == by_predicate.end() ? &kEmpty : &it->second;
+    } else if (predicate_id == -1 && !IsVariable(pattern.p)) {
+      candidates = &kEmpty;
+    } else {
+      all.reserve(store.triples().size());
+      for (const Triple& triple : store.triples()) all.push_back(&triple);
+      candidates = &all;
+    }
+    for (const Triple* candidate : *candidates) {
+      const Triple& triple = *candidate;
+      const int64_t ids[3] = {triple.s, triple.p, triple.o};
+      std::vector<std::string> newly_bound;
+      bool ok = true;
+      for (int axis = 0; axis < 3 && ok; ++axis) {
+        if (IsVariable(positions[axis])) {
+          auto it = bindings.find(positions[axis]);
+          if (it == bindings.end()) {
+            bindings[positions[axis]] = ids[axis];
+            newly_bound.push_back(positions[axis]);
+          } else if (it->second != ids[axis]) {
+            ok = false;
+          }
+        } else {
+          auto id = store.dictionary().Lookup(positions[axis]);
+          ok = id.ok() && id.value() == ids[axis];
+        }
+      }
+      if (ok) match(k + 1);
+      for (const std::string& variable : newly_bound) {
+        bindings.erase(variable);
+      }
+    }
+  };
+  match(0);
+
+  std::vector<CountedRow> rows;
+  for (const auto& [key, count] : counts) {
+    CountedRow row;
+    for (int64_t id : key) {
+      EINSQL_ASSIGN_OR_RETURN(std::string term, store.dictionary().TermOf(id));
+      row.terms.push_back(std::move(term));
+    }
+    row.count = count;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CountedRow& a, const CountedRow& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.terms < b.terms;
+            });
+  return rows;
+}
+
+PatternQuery GoldMedalQuery() {
+  PatternQuery query;
+  query.patterns = {
+      {"?instance", "walls:athlete", "?athlete"},   // TP1
+      {"?instance", "walls:medal", "medal:Gold"},   // TP2
+      {"?athlete", "rdfs:label", "?name"},          // TP3
+  };
+  query.select_variable = "?name";
+  return query;
+}
+
+}  // namespace einsql::triplestore

@@ -1,0 +1,87 @@
+#ifndef EINSQL_TRIPLESTORE_QUERY_H_
+#define EINSQL_TRIPLESTORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "backends/backend.h"
+#include "core/path.h"
+#include "triplestore/store.h"
+
+namespace einsql::triplestore {
+
+/// A SPARQL-style triple pattern: each position is either a term or a
+/// variable marked by a leading '?'.
+struct TriplePattern {
+  std::string s, p, o;
+};
+
+/// One result row of an aggregation query: a term and its count.
+struct CountedTerm {
+  std::string term;
+  double count = 0.0;
+};
+
+/// The SPARQL query of Listing 7 as triple patterns plus a selected
+/// variable: "list all athletes who have won a gold medal and the number of
+/// gold medals they have won, in descending order."
+struct PatternQuery {
+  std::vector<TriplePattern> patterns;
+  std::string select_variable;  // with '?', e.g. "?name"
+};
+
+/// Compiles a basic-graph-pattern query to a single portable einsum SQL
+/// query over the triple table (§4.1, Listing 8): each pattern becomes a
+/// slice CTE of T, shared variables become shared einsum indices, and the
+/// selected variable is the output index whose SUM(val) is the match count.
+/// Terms absent from the dictionary yield a slice that matches nothing.
+Result<std::string> CompileQueryToSql(const TripleStore& store,
+                                      const PatternQuery& query,
+                                      PathAlgorithm path = PathAlgorithm::kAuto,
+                                      const std::string& table = "T");
+
+/// Runs the compiled query on a backend (the triple table must already be
+/// loaded via TripleStore::LoadInto) and maps ids back to terms; rows come
+/// back ordered by descending count.
+Result<std::vector<CountedTerm>> AnswerWithSql(
+    SqlBackend* backend, const TripleStore& store, const PatternQuery& query,
+    PathAlgorithm path = PathAlgorithm::kAuto, const std::string& table = "T");
+
+/// Interpreted baseline standing in for RDFLib: backtracking pattern
+/// matching over the raw triple list with no indexes.
+Result<std::vector<CountedTerm>> AnswerNaive(const TripleStore& store,
+                                             const PatternQuery& query);
+
+/// A query projecting several variables at once (SPARQL SELECT with
+/// multiple variables): each result row binds every selected variable plus
+/// the match count. The einsum output term simply grows one index per
+/// selected variable.
+struct MultiPatternQuery {
+  std::vector<TriplePattern> patterns;
+  std::vector<std::string> select_variables;  // each with '?'
+};
+
+/// One multi-select result row.
+struct CountedRow {
+  std::vector<std::string> terms;  // parallel to select_variables
+  double count = 0.0;
+};
+
+/// Compiles/answers multi-variable queries; same machinery as the
+/// single-variable forms, with a rank-k output tensor.
+Result<std::string> CompileMultiQueryToSql(
+    const TripleStore& store, const MultiPatternQuery& query,
+    PathAlgorithm path = PathAlgorithm::kAuto, const std::string& table = "T");
+Result<std::vector<CountedRow>> AnswerMultiWithSql(
+    SqlBackend* backend, const TripleStore& store,
+    const MultiPatternQuery& query, PathAlgorithm path = PathAlgorithm::kAuto,
+    const std::string& table = "T");
+Result<std::vector<CountedRow>> AnswerMultiNaive(
+    const TripleStore& store, const MultiPatternQuery& query);
+
+/// The gold-medal query of Listing 7 over the synthetic Olympic dataset.
+PatternQuery GoldMedalQuery();
+
+}  // namespace einsql::triplestore
+
+#endif  // EINSQL_TRIPLESTORE_QUERY_H_

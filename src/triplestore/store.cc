@@ -1,0 +1,33 @@
+#include "triplestore/store.h"
+
+namespace einsql::triplestore {
+
+void TripleStore::Add(const std::string& s, const std::string& p,
+                      const std::string& o) {
+  triples_.push_back({dictionary_.Intern(s), dictionary_.Intern(p),
+                      dictionary_.Intern(o)});
+}
+
+void TripleStore::AddIds(int64_t s, int64_t p, int64_t o) {
+  triples_.push_back({s, p, o});
+}
+
+double TripleStore::Sparsity() const {
+  const double n = static_cast<double>(num_terms());
+  if (n == 0.0) return 0.0;
+  return static_cast<double>(num_triples()) / (n * n * n);
+}
+
+Status TripleStore::LoadInto(SqlBackend* backend,
+                             const std::string& table) const {
+  const int64_t n = std::max<int64_t>(num_terms(), 1);
+  CooTensor tensor({n, n, n});
+  for (const Triple& triple : triples_) {
+    EINSQL_RETURN_IF_ERROR(
+        tensor.Append({triple.s, triple.p, triple.o}, 1.0));
+  }
+  EINSQL_RETURN_IF_ERROR(backend->CreateCooTable(table, 3, false));
+  return backend->LoadCooTensor(table, tensor);
+}
+
+}  // namespace einsql::triplestore

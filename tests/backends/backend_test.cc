@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+
+namespace einsql {
+namespace {
+
+using minidb::AsDouble;
+using minidb::AsInt;
+
+// Both backends must behave identically on the portable SQL subset; this
+// suite runs every case against each.
+class BackendConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "sqlite") {
+      sqlite_ = SqliteBackend::Open().value();
+      backend_ = sqlite_.get();
+    } else {
+      minidb_ = std::make_unique<MiniDbBackend>();
+      backend_ = minidb_.get();
+    }
+  }
+
+  SqlBackend* backend_ = nullptr;
+  std::unique_ptr<SqliteBackend> sqlite_;
+  std::unique_ptr<MiniDbBackend> minidb_;
+};
+
+TEST_P(BackendConformance, SimpleSelect) {
+  auto r = backend_->Query("SELECT 1 + 2 AS x").value();
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(AsInt(r.rows[0][0]).value(), 3);
+}
+
+TEST_P(BackendConformance, CreateLoadQueryCooTable) {
+  CooTensor t({2, 3});
+  ASSERT_TRUE(t.Append({0, 1}, 2.5).ok());
+  ASSERT_TRUE(t.Append({1, 2}, -1.0).ok());
+  ASSERT_TRUE(backend_->CreateCooTable("t", 2, false).ok());
+  ASSERT_TRUE(backend_->LoadCooTensor("t", t).ok());
+  auto r = backend_
+               ->Query("SELECT i0, i1, val FROM t ORDER BY i0, i1")
+               .value();
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(AsInt(r.rows[0][0]).value(), 0);
+  EXPECT_DOUBLE_EQ(AsDouble(r.rows[0][2]).value(), 2.5);
+  EXPECT_DOUBLE_EQ(AsDouble(r.rows[1][2]).value(), -1.0);
+}
+
+TEST_P(BackendConformance, CreateCooTableReplacesExisting) {
+  ASSERT_TRUE(backend_->CreateCooTable("t", 1, false).ok());
+  CooTensor t({4});
+  ASSERT_TRUE(t.Append({0}, 1.0).ok());
+  ASSERT_TRUE(backend_->LoadCooTensor("t", t).ok());
+  // Re-creating must drop the old contents.
+  ASSERT_TRUE(backend_->CreateCooTable("t", 1, false).ok());
+  auto r = backend_->Query("SELECT COUNT(*) AS c FROM t").value();
+  EXPECT_EQ(AsInt(r.rows[0][0]).value(), 0);
+}
+
+TEST_P(BackendConformance, ComplexCooTable) {
+  ComplexCooTensor t({2});
+  ASSERT_TRUE(t.Append({0}, {1.5, -0.5}).ok());
+  ASSERT_TRUE(backend_->CreateCooTable("q", 1, true).ok());
+  ASSERT_TRUE(backend_->LoadComplexCooTensor("q", t).ok());
+  auto r = backend_->Query("SELECT i0, re, im FROM q").value();
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(AsDouble(r.rows[0][1]).value(), 1.5);
+  EXPECT_DOUBLE_EQ(AsDouble(r.rows[0][2]).value(), -0.5);
+}
+
+TEST_P(BackendConformance, PaperListing4RunsIdentically) {
+  auto r = backend_
+               ->Query(
+                   "WITH A(i, j, val) AS (VALUES (0, 0, 1.0), (1, 1, 2.0)), "
+                   "B(i, j, val) AS (VALUES (0, 0, 3.0), (0, 1, 4.0), "
+                   "(1, 0, 5.0), (1, 1, 6.0), (2, 1, 7.0)), "
+                   "v(i, val) AS (VALUES (0, 8.0), (2, 9.0)) "
+                   "SELECT A.i AS i, SUM(A.val * B.val * v.val) AS val "
+                   "FROM A, B, v WHERE A.j=B.j AND B.i=v.i "
+                   "GROUP BY A.i ORDER BY A.i")
+               .value();
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(AsDouble(r.rows[0][1]).value(), 24.0);
+  EXPECT_DOUBLE_EQ(AsDouble(r.rows[1][1]).value(), 190.0);
+}
+
+TEST_P(BackendConformance, EmptyCteViaWhereFalse) {
+  auto r = backend_
+               ->Query("WITH e(i0, val) AS (SELECT 0, 0.0 WHERE 1=0) "
+                       "SELECT COUNT(*) AS c FROM e")
+               .value();
+  EXPECT_EQ(AsInt(r.rows[0][0]).value(), 0);
+}
+
+TEST_P(BackendConformance, StatsPopulatedAfterQuery) {
+  (void)backend_->Query("SELECT 1 AS x").value();
+  BackendStats stats = backend_->last_stats();
+  EXPECT_GE(stats.planning_seconds, 0.0);
+  EXPECT_GE(stats.execution_seconds, 0.0);
+}
+
+TEST_P(BackendConformance, QueryErrorSurfaces) {
+  EXPECT_FALSE(backend_->Query("SELECT * FROM does_not_exist").ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendConformance,
+                         ::testing::Values("sqlite", "minidb"),
+                         [](const auto& info) { return info.param; });
+
+TEST(SqliteBackendTest, ReportsVersionAndName) {
+  auto backend = SqliteBackend::Open().value();
+  EXPECT_EQ(backend->name(), "sqlite");
+  EXPECT_FALSE(SqliteBackend::LibraryVersion().empty());
+}
+
+TEST(MiniDbBackendTest, NameIncludesOptimizerMode) {
+  MiniDbBackend backend;
+  EXPECT_EQ(backend.name(), "minidb-greedy");
+  minidb::PlannerOptions options;
+  options.mode = minidb::OptimizerMode::kNone;
+  MiniDbBackend noopt(options);
+  EXPECT_EQ(noopt.name(), "minidb-none");
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,263 @@
+#include "backends/einsum_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+#include "common/rng.h"
+#include "core/reference.h"
+
+namespace einsql {
+namespace {
+
+// Random sparse tensor with roughly `density` non-zeros.
+CooTensor RandomSparse(const Shape& shape, double density, uint64_t seed) {
+  CooTensor t(shape);
+  Rng rng(seed);
+  std::vector<int64_t> coords(shape.size());
+  const int64_t total = NumElements(shape).value();
+  std::vector<int64_t> strides = RowMajorStrides(shape);
+  for (int64_t flat = 0; flat < total; ++flat) {
+    if (!rng.Bernoulli(density)) continue;
+    int64_t rem = flat;
+    for (size_t d = 0; d < shape.size(); ++d) {
+      coords[d] = rem / strides[d];
+      rem %= strides[d];
+    }
+    (void)t.Append(coords, rng.UniformDouble(-2.0, 2.0));
+  }
+  return t;
+}
+
+struct EngineFactory {
+  std::string label;
+  std::function<std::unique_ptr<EinsumEngine>(
+      std::vector<std::unique_ptr<SqlBackend>>*)>
+      make;
+};
+
+std::vector<EngineFactory> AllEngines() {
+  auto sql_engine = [](std::unique_ptr<SqlBackend> backend,
+                       std::vector<std::unique_ptr<SqlBackend>>* keep) {
+    SqlBackend* raw = backend.get();
+    keep->push_back(std::move(backend));
+    return std::make_unique<SqlEinsumEngine>(raw);
+  };
+  return {
+      {"dense",
+       [](std::vector<std::unique_ptr<SqlBackend>>*)
+           -> std::unique_ptr<EinsumEngine> {
+         return std::make_unique<DenseEinsumEngine>();
+       }},
+      {"sparse",
+       [](std::vector<std::unique_ptr<SqlBackend>>*)
+           -> std::unique_ptr<EinsumEngine> {
+         return std::make_unique<SparseEinsumEngine>();
+       }},
+      {"sqlite",
+       [sql_engine](std::vector<std::unique_ptr<SqlBackend>>* keep)
+           -> std::unique_ptr<EinsumEngine> {
+         return sql_engine(SqliteBackend::Open().value(), keep);
+       }},
+      {"minidb_greedy",
+       [sql_engine](std::vector<std::unique_ptr<SqlBackend>>* keep)
+           -> std::unique_ptr<EinsumEngine> {
+         return sql_engine(std::make_unique<MiniDbBackend>(), keep);
+       }},
+      {"minidb_none",
+       [sql_engine](std::vector<std::unique_ptr<SqlBackend>>* keep)
+           -> std::unique_ptr<EinsumEngine> {
+         minidb::PlannerOptions options;
+         options.mode = minidb::OptimizerMode::kNone;
+         return sql_engine(std::make_unique<MiniDbBackend>(options), keep);
+       }},
+      {"minidb_aggressive",
+       [sql_engine](std::vector<std::unique_ptr<SqlBackend>>* keep)
+           -> std::unique_ptr<EinsumEngine> {
+         minidb::PlannerOptions options;
+         options.mode = minidb::OptimizerMode::kAggressive;
+         return sql_engine(std::make_unique<MiniDbBackend>(options), keep);
+       }},
+  };
+}
+
+struct SweepCase {
+  const char* format;
+  std::vector<Shape> shapes;
+};
+
+// The cross-backend conformance sweep: every engine, decomposed and flat,
+// must match the brute-force oracle on every format.
+class EnginesMatchReference
+    : public ::testing::TestWithParam<std::tuple<SweepCase, int, bool>> {};
+
+TEST_P(EnginesMatchReference, Agrees) {
+  const auto& [c, engine_index, decompose] = GetParam();
+  std::vector<CooTensor> tensors;
+  std::vector<const CooTensor*> ptrs;
+  for (size_t t = 0; t < c.shapes.size(); ++t) {
+    tensors.push_back(RandomSparse(c.shapes[t], 0.6, 42 + t));
+  }
+  for (const auto& t : tensors) ptrs.push_back(&t);
+
+  std::vector<std::unique_ptr<SqlBackend>> keep;
+  auto engine = AllEngines()[engine_index].make(&keep);
+  EinsumOptions options;
+  options.decompose = decompose;
+  auto got = engine->Einsum(c.format, ptrs, options);
+  ASSERT_TRUE(got.ok()) << got.status() << " for " << c.format << " on "
+                        << engine->name();
+  auto expected = ReferenceEinsumCoo<double>(c.format, ptrs).value();
+  EXPECT_TRUE(AllClose(*got, expected, 1e-9))
+      << c.format << " on " << engine->name()
+      << (decompose ? " decomposed" : " flat");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnginesMatchReference,
+    ::testing::Combine(
+        ::testing::Values(
+            SweepCase{"ik,jk,j->i", {{3, 4}, {5, 4}, {5}}},
+            SweepCase{"ik,kj->ij", {{3, 4}, {4, 2}}},
+            SweepCase{"ii->i", {{4, 4}}},
+            SweepCase{"ii->", {{4, 4}}},
+            SweepCase{"ij->ji", {{3, 4}}},
+            SweepCase{"i,j->ij", {{3}, {4}}},
+            SweepCase{"i,ij,j->", {{3}, {3, 4}, {4}}},
+            SweepCase{"d,d,d->d", {{5}, {5}, {5}}},
+            SweepCase{"bik,bkj->bij", {{2, 3, 2}, {2, 2, 3}}},
+            SweepCase{"ik,kl,lm,mn,nj->ij",
+                      {{2, 3}, {3, 2}, {2, 3}, {3, 2}, {2, 3}}},
+            SweepCase{"ijkl,ijkl->ijkl", {{2, 2, 2, 2}, {2, 2, 2, 2}}},
+            SweepCase{"ijk->j", {{3, 4, 2}}},
+            SweepCase{"ij,k->i", {{3, 4}, {3}}}),
+        ::testing::Range(0, 6),  // engine index
+        ::testing::Bool()),      // decompose
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param).format;
+      for (char& ch : name) {
+        if (ch == ',') ch = '_';
+        if (ch == '-' || ch == '>') ch = 'X';
+      }
+      return name + "_" + AllEngines()[std::get<1>(info.param)].label +
+             (std::get<2>(info.param) ? "_cte" : "_flat");
+    });
+
+// Complex einsum across engines (decomposed only; the flat complex query is
+// rejected beyond two factors by design).
+class ComplexEnginesMatchReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplexEnginesMatchReference, TwoQubitCircuitExpression) {
+  // The paper's two-qubit example: a,b,ca,dbc,ed->ce (Figure 7).
+  Rng rng(7);
+  auto random_complex = [&](const Shape& shape) {
+    ComplexCooTensor t(shape);
+    std::vector<int64_t> coords(shape.size());
+    std::vector<int64_t> strides = RowMajorStrides(shape);
+    const int64_t total = NumElements(shape).value();
+    for (int64_t flat = 0; flat < total; ++flat) {
+      int64_t rem = flat;
+      for (size_t d = 0; d < shape.size(); ++d) {
+        coords[d] = rem / strides[d];
+        rem %= strides[d];
+      }
+      (void)t.Append(coords, {rng.UniformDouble(-1, 1),
+                              rng.UniformDouble(-1, 1)});
+    }
+    return t;
+  };
+  std::vector<ComplexCooTensor> tensors;
+  tensors.push_back(random_complex({2}));
+  tensors.push_back(random_complex({2}));
+  tensors.push_back(random_complex({2, 2}));
+  tensors.push_back(random_complex({2, 2, 2}));
+  tensors.push_back(random_complex({2, 2}));
+  std::vector<const ComplexCooTensor*> ptrs;
+  for (const auto& t : tensors) ptrs.push_back(&t);
+
+  std::vector<std::unique_ptr<SqlBackend>> keep;
+  auto engine = AllEngines()[GetParam()].make(&keep);
+  auto got = engine->ComplexEinsum("a,b,ca,dbc,ed->ce", ptrs);
+  ASSERT_TRUE(got.ok()) << got.status() << " on " << engine->name();
+  auto expected =
+      ReferenceEinsumCoo<std::complex<double>>("a,b,ca,dbc,ed->ce", ptrs)
+          .value();
+  EXPECT_TRUE(AllClose(*got, expected, 1e-9)) << engine->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnginesComplex, ComplexEnginesMatchReference,
+                         ::testing::Range(0, 6), [](const auto& info) {
+                           return AllEngines()[info.param].label;
+                         });
+
+TEST(SqlEinsumEngineTest, EmptyInputTensorYieldsEmptyResult) {
+  auto backend = SqliteBackend::Open().value();
+  SqlEinsumEngine engine(backend.get());
+  CooTensor a({2, 2});  // all zeros
+  CooTensor b({2, 2});
+  ASSERT_TRUE(b.Append({0, 0}, 1.0).ok());
+  auto result = engine.Einsum("ik,kj->ij", {&a, &b}).value();
+  EXPECT_EQ(result.nnz(), 0);
+}
+
+TEST(SqlEinsumEngineTest, ScalarOutputOverEmptyInputIsZero) {
+  auto backend = SqliteBackend::Open().value();
+  SqlEinsumEngine engine(backend.get());
+  CooTensor a({3});
+  CooTensor b({3});
+  auto result = engine.Einsum("i,i->", {&a, &b}).value();
+  EXPECT_EQ(result.nnz(), 0);  // empty scalar == 0
+  EXPECT_TRUE(result.shape().empty());
+}
+
+TEST(SqlEinsumEngineTest, EpsilonPrunesSmallValues) {
+  MiniDbBackend backend;
+  SqlEinsumEngine engine(&backend);
+  CooTensor a({2});
+  ASSERT_TRUE(a.Append({0}, 1.0).ok());
+  ASSERT_TRUE(a.Append({1}, 1e-15).ok());
+  CooTensor b({2});
+  ASSERT_TRUE(b.Append({0}, 1.0).ok());
+  ASSERT_TRUE(b.Append({1}, 1.0).ok());
+  EinsumOptions options;
+  options.epsilon = 1e-12;
+  auto result = engine.Einsum("i,i->i", {&a, &b}, options).value();
+  EXPECT_EQ(result.nnz(), 1);
+}
+
+TEST(SqlEinsumEngineTest, TensorCountMismatchFails) {
+  MiniDbBackend backend;
+  SqlEinsumEngine engine(&backend);
+  CooTensor a({2});
+  EXPECT_FALSE(engine.Einsum("i,i->", {&a}).ok());
+}
+
+TEST(SqlEinsumEngineTest, BadFormatFails) {
+  MiniDbBackend backend;
+  SqlEinsumEngine engine(&backend);
+  CooTensor a({2});
+  EXPECT_FALSE(engine.Einsum("i->>j", {&a}).ok());
+}
+
+TEST(DenseEinsumEngineTest, NamedDense) {
+  DenseEinsumEngine engine;
+  EXPECT_EQ(engine.name(), "dense");
+}
+
+TEST(ParseCooResultTest, NullValueRowsSkipped) {
+  minidb::Relation relation;
+  relation.columns = {{"val", minidb::ValueType::kDouble}};
+  relation.rows.push_back({minidb::Value(minidb::Null{})});
+  auto result = ParseCooResult(relation, {}, 0.0).value();
+  EXPECT_EQ(result.nnz(), 0);
+}
+
+TEST(ParseCooResultTest, ColumnCountMismatchRejected) {
+  minidb::Relation relation;
+  relation.columns = {{"i0", minidb::ValueType::kInt},
+                      {"val", minidb::ValueType::kDouble}};
+  EXPECT_FALSE(ParseCooResult(relation, {2, 2}, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,81 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace einsql {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<std::string> good = std::string("x");
+  Result<std::string> bad = Status::Internal("no");
+  EXPECT_EQ(good.value_or("y"), "x");
+  EXPECT_EQ(bad.value_or("y"), "y");
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return Status::OutOfRange("nope"); };
+  auto wrapper = [&]() -> Result<int> {
+    EINSQL_ASSIGN_OR_RETURN(int v, fails());
+    return v + 1;
+  };
+  EXPECT_EQ(wrapper().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnAssignsValue) {
+  auto succeeds = []() -> Result<int> { return 41; };
+  auto wrapper = [&]() -> Result<int> {
+    EINSQL_ASSIGN_OR_RETURN(int v, succeeds());
+    return v + 1;
+  };
+  ASSERT_TRUE(wrapper().ok());
+  EXPECT_EQ(wrapper().value(), 42);
+}
+
+TEST(ResultTest, AssignOrReturnWorksTwiceInOneFunction) {
+  auto succeeds = [](int x) -> Result<int> { return x; };
+  auto wrapper = [&]() -> Result<int> {
+    EINSQL_ASSIGN_OR_RETURN(int a, succeeds(1));
+    EINSQL_ASSIGN_OR_RETURN(int b, succeeds(2));
+    return a + b;
+  };
+  EXPECT_EQ(wrapper().value(), 3);
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,99 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputIsSingleEmptyPiece) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> pieces = {"ik", "jk", "j"};
+  EXPECT_EQ(Join(pieces, ","), "ik,jk,j");
+  EXPECT_EQ(Split(Join(pieces, ","), ','), pieces);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hello\t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(CaseTest, ToLowerToUpper) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP", "group"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("group", "groupby"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("SELECT 1", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+}
+
+TEST(ParseInt64Test, ParsesValid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("  13 ").value(), 13);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(ParseDoubleTest, ParsesValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("7").value(), 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.0junk").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(DoubleToSqlLiteralTest, RoundTripsExactly) {
+  for (double v : {0.0, 1.0, -2.5, 0.1, 1e-300, 3.141592653589793,
+                   123456789.123456789}) {
+    EXPECT_DOUBLE_EQ(ParseDouble(DoubleToSqlLiteral(v)).value(), v) << v;
+  }
+}
+
+TEST(DoubleToSqlLiteralTest, AlwaysLooksLikeAFloat) {
+  EXPECT_EQ(DoubleToSqlLiteral(1.0), "1.0");
+  EXPECT_EQ(DoubleToSqlLiteral(-3.0), "-3.0");
+  EXPECT_NE(DoubleToSqlLiteral(1e30).find('e'), std::string::npos);
+}
+
+TEST(StrCatTest, MixesTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+}  // namespace
+}  // namespace einsql

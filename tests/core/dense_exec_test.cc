@@ -1,0 +1,136 @@
+#include "core/dense_exec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/reference.h"
+
+namespace einsql {
+namespace {
+
+DenseTensor RandomTensor(const Shape& shape, uint64_t seed) {
+  auto t = DenseTensor::Zeros(shape).value();
+  Rng rng(seed);
+  for (int64_t i = 0; i < t.size(); ++i) t[i] = rng.UniformDouble(-1.0, 1.0);
+  return t;
+}
+
+// Property-style sweep: every format string must produce the same result as
+// the brute-force nested-loop oracle, for every path algorithm.
+struct Case {
+  const char* format;
+  std::vector<Shape> shapes;
+};
+
+class DenseExecAgreesWithReference
+    : public ::testing::TestWithParam<std::tuple<Case, PathAlgorithm>> {};
+
+TEST_P(DenseExecAgreesWithReference, Agrees) {
+  const auto& [c, algorithm] = GetParam();
+  std::vector<DenseTensor> tensors;
+  std::vector<const DenseTensor*> ptrs;
+  for (size_t t = 0; t < c.shapes.size(); ++t) {
+    tensors.push_back(RandomTensor(c.shapes[t], 100 + t));
+  }
+  for (const auto& t : tensors) ptrs.push_back(&t);
+  auto program = BuildProgram(c.format, c.shapes, algorithm).value();
+  auto got = ExecuteProgramDense(program, ptrs).value();
+  auto expected = ReferenceEinsum<double>(c.format, ptrs).value();
+  EXPECT_TRUE(AllClose(got, expected, 1e-9))
+      << c.format << " with " << PathAlgorithmToString(algorithm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FormatSweep, DenseExecAgreesWithReference,
+    ::testing::Combine(
+        ::testing::Values(
+            Case{"ik,kj->ij", {{3, 4}, {4, 5}}},
+            Case{"ik,jk,j->i", {{3, 4}, {5, 4}, {5}}},
+            Case{"ii->i", {{4, 4}}},
+            Case{"ii->", {{4, 4}}},
+            Case{"ij->ji", {{3, 5}}},
+            Case{"ijk->j", {{2, 3, 4}}},
+            Case{"i,j->ij", {{3}, {4}}},
+            Case{"i,ij,j->", {{3}, {3, 4}, {4}}},
+            Case{"bik,bkj->bij", {{2, 3, 4}, {2, 4, 5}}},
+            Case{"ik,klj,il->ij", {{2, 3}, {3, 4, 5}, {2, 4}}},
+            Case{"ijkl,ijkl->ijkl", {{2, 2, 2, 2}, {2, 2, 2, 2}}},
+            Case{"ik,kl,lm,mn,nj->ij",
+                 {{2, 3}, {3, 2}, {2, 3}, {3, 2}, {2, 3}}},
+            Case{"ij,iml,lo,jk,kmn,no->",
+                 {{2, 2}, {2, 2, 2}, {2, 2}, {2, 2}, {2, 2, 2}, {2, 2}}},
+            Case{"ijkl,ai,bj,ck,dl->abcd",
+                 {{2, 2, 2, 2}, {3, 2}, {3, 2}, {3, 2}, {3, 2}}},
+            Case{"d,d,d->d", {{5}, {5}, {5}}},
+            Case{"ij,k->i", {{3, 4}, {5}}},
+            Case{"iij->ij", {{3, 3, 2}}},
+            Case{"ab,cd->", {{2, 3}, {4, 5}}},
+            Case{",i->i", {{}, {4}}},
+            Case{"ijklmno->m",
+                 {{2, 2, 2, 2, 2, 2, 2}}}),
+        ::testing::Values(PathAlgorithm::kNaive, PathAlgorithm::kGreedy,
+                          PathAlgorithm::kElimination,
+                          PathAlgorithm::kAuto)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param).format;
+      for (char& c : name) {
+        if (c == ',') c = '_';
+        if (c == '-' || c == '>') c = 'X';
+      }
+      return name + "_" +
+             PathAlgorithmToString(std::get<1>(info.param));
+    });
+
+TEST(DenseExecTest, ComplexProgram) {
+  using C = std::complex<double>;
+  auto a = ComplexDenseTensor::FromData({2, 2},
+                                        {C{1, 1}, C{0, 0}, C{0, 0}, C{0, 1}})
+               .value();
+  auto b = ComplexDenseTensor::FromData({2, 2},
+                                        {C{1, 0}, C{0, 1}, C{1, 0}, C{2, 0}})
+               .value();
+  auto program =
+      BuildProgram("ik,kj->ij", {{2, 2}, {2, 2}}, PathAlgorithm::kAuto)
+          .value();
+  auto got = ExecuteProgramDense<std::complex<double>>(program, {&a, &b}).value();
+  auto expected =
+      ReferenceEinsum<std::complex<double>>("ik,kj->ij", {&a, &b}).value();
+  EXPECT_TRUE(AllClose(got, expected));
+}
+
+TEST(DenseExecTest, CooRoundTrip) {
+  CooTensor A({2, 2}), B({2, 2});
+  ASSERT_TRUE(A.Append({0, 0}, 2.0).ok());
+  ASSERT_TRUE(B.Append({0, 1}, 3.0).ok());
+  auto program =
+      BuildProgram("ik,kj->ij", {{2, 2}, {2, 2}}, PathAlgorithm::kAuto)
+          .value();
+  auto result = ExecuteProgramDenseCoo<double>(program, {&A, &B}).value();
+  EXPECT_EQ(result.nnz(), 1);
+  EXPECT_DOUBLE_EQ(result.At({0, 1}).value(), 6.0);
+}
+
+TEST(DenseExecTest, InputCountMismatchRejected) {
+  auto program =
+      BuildProgram("i,i->", {{3}, {3}}, PathAlgorithm::kAuto).value();
+  auto a = RandomTensor({3}, 1);
+  EXPECT_FALSE(ExecuteProgramDense<double>(program, {&a}).ok());
+}
+
+TEST(DenseExecTest, RankMismatchRejected) {
+  auto program =
+      BuildProgram("ij->ij", {{2, 2}}, PathAlgorithm::kAuto).value();
+  auto a = RandomTensor({2}, 2);
+  EXPECT_FALSE(ExecuteProgramDense<double>(program, {&a}).ok());
+}
+
+TEST(DenseExecTest, IdentityReturnsInputCopy) {
+  auto program =
+      BuildProgram("ij->ij", {{2, 3}}, PathAlgorithm::kAuto).value();
+  auto a = RandomTensor({2, 3}, 3);
+  auto out = ExecuteProgramDense<double>(program, {&a}).value();
+  EXPECT_TRUE(AllClose(a, out));
+}
+
+}  // namespace
+}  // namespace einsql

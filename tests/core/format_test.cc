@@ -1,0 +1,153 @@
+#include "core/format.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql {
+namespace {
+
+TEST(ParseFormatTest, ModernNotation) {
+  auto spec = ParseEinsumFormat("ik,jk,j->i").value();
+  EXPECT_EQ(spec.inputs,
+            (std::vector<Term>{ToTerm("ik"), ToTerm("jk"), ToTerm("j")}));
+  EXPECT_EQ(spec.output, ToTerm("i"));
+  EXPECT_EQ(spec.num_inputs(), 3);
+}
+
+TEST(ParseFormatTest, ScalarOutput) {
+  auto spec = ParseEinsumFormat("i,ij,j->").value();
+  EXPECT_TRUE(spec.output.empty());
+}
+
+TEST(ParseFormatTest, WhitespaceIgnored) {
+  auto spec = ParseEinsumFormat(" ik , jk , j -> i ").value();
+  EXPECT_EQ(spec.ToString(), "ik,jk,j->i");
+}
+
+TEST(ParseFormatTest, ClassicImplicitMode) {
+  // Repeated indices are summed; survivors appear alphabetically.
+  auto spec = ParseEinsumFormat("ik,jk").value();
+  EXPECT_EQ(spec.output, ToTerm("ij"));
+}
+
+TEST(ParseFormatTest, ClassicModeMatrixTraceHasScalarOutput) {
+  auto spec = ParseEinsumFormat("ii").value();
+  EXPECT_TRUE(spec.output.empty());
+}
+
+TEST(ParseFormatTest, ClassicModeAlphabeticalOrder) {
+  auto spec = ParseEinsumFormat("ba").value();
+  EXPECT_EQ(spec.output, ToTerm("ab"));  // NumPy convention
+}
+
+TEST(ParseFormatTest, ScalarInputTerm) {
+  auto spec = ParseEinsumFormat(",i->i").value();
+  EXPECT_EQ(spec.inputs, (std::vector<Term>{ToTerm(""), ToTerm("i")}));
+}
+
+TEST(ParseFormatTest, RepeatedIndexWithinTerm) {
+  auto spec = ParseEinsumFormat("ii->i").value();
+  EXPECT_EQ(spec.inputs[0], ToTerm("ii"));
+  EXPECT_EQ(spec.output, ToTerm("i"));
+}
+
+TEST(ParseFormatTest, UpperAndLowerCaseAreDistinct) {
+  auto spec = ParseEinsumFormat("aA->aA").value();
+  EXPECT_EQ(spec.output, ToTerm("aA"));
+}
+
+TEST(ParseFormatTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseEinsumFormat("").ok());
+  EXPECT_FALSE(ParseEinsumFormat("  ").ok());
+}
+
+TEST(ParseFormatTest, RejectsDigitsAndSymbols) {
+  EXPECT_FALSE(ParseEinsumFormat("i1->i").ok());
+  EXPECT_FALSE(ParseEinsumFormat("i*j->ij").ok());
+}
+
+TEST(ParseFormatTest, RejectsDoubleArrow) {
+  EXPECT_FALSE(ParseEinsumFormat("i->i->i").ok());
+}
+
+TEST(ParseFormatTest, RejectsMissingInputs) {
+  EXPECT_FALSE(ParseEinsumFormat("->i").ok());
+}
+
+TEST(ParseFormatTest, RejectsRepeatedOutputIndex) {
+  EXPECT_FALSE(ParseEinsumFormat("ij->ii").ok());
+}
+
+TEST(ParseFormatTest, RejectsUnknownOutputIndex) {
+  EXPECT_FALSE(ParseEinsumFormat("ij->k").ok());
+}
+
+TEST(ParseFormatTest, Table1Examples) {
+  // All format strings from Table 1 of the paper must parse.
+  for (const char* fmt :
+       {"ii->i", "i,j->ij", "i,ij,j->", "ijklmno->m", "bik,bkj->bij",
+        "ik,klj,il->ij", "ijkl,ijkl->ijkl", "ik,kl,lm,mn,nj->ij",
+        "ij,iml,lo,jk,kmn,no->", "ijkl,ai,bj,ck,dl->abcd"}) {
+    EXPECT_TRUE(ParseEinsumFormat(fmt).ok()) << fmt;
+  }
+}
+
+TEST(IndexExtentsTest, DerivesExtents) {
+  auto spec = ParseEinsumFormat("ik,jk,j->i").value();
+  auto extents = IndexExtents(spec, {{4, 3}, {5, 3}, {5}}).value();
+  EXPECT_EQ(extents.at('i'), 4);
+  EXPECT_EQ(extents.at('j'), 5);
+  EXPECT_EQ(extents.at('k'), 3);
+}
+
+TEST(IndexExtentsTest, RejectsRankMismatch) {
+  auto spec = ParseEinsumFormat("ik->i").value();
+  EXPECT_FALSE(IndexExtents(spec, {{4}}).ok());
+}
+
+TEST(IndexExtentsTest, RejectsWrongTensorCount) {
+  auto spec = ParseEinsumFormat("i,j->ij").value();
+  EXPECT_FALSE(IndexExtents(spec, {{4}}).ok());
+}
+
+TEST(IndexExtentsTest, RejectsConflictingExtents) {
+  auto spec = ParseEinsumFormat("ik,jk->ij").value();
+  EXPECT_FALSE(IndexExtents(spec, {{4, 3}, {5, 7}}).ok());
+}
+
+TEST(IndexExtentsTest, RepeatedIndexWithinTensorMustAgree) {
+  auto spec = ParseEinsumFormat("ii->i").value();
+  EXPECT_TRUE(IndexExtents(spec, {{3, 3}}).ok());
+  EXPECT_FALSE(IndexExtents(spec, {{3, 4}}).ok());
+}
+
+TEST(OutputShapeTest, Basic) {
+  auto spec = ParseEinsumFormat("ik,kj->ij").value();
+  auto extents = IndexExtents(spec, {{2, 3}, {3, 5}}).value();
+  EXPECT_EQ(OutputShape(spec, extents).value(), (Shape{2, 5}));
+}
+
+TEST(OutputShapeTest, ScalarOutputIsEmptyShape) {
+  auto spec = ParseEinsumFormat("i,i->").value();
+  auto extents = IndexExtents(spec, {{3}, {3}}).value();
+  EXPECT_TRUE(OutputShape(spec, extents).value().empty());
+}
+
+TEST(SummationIndicesTest, FindsSummedIndices) {
+  auto spec = ParseEinsumFormat("ik,jk,j->i").value();
+  EXPECT_EQ(SummationIndices(spec), ToTerm("kj"));
+}
+
+TEST(SummationIndicesTest, NoneWhenAllSurvive) {
+  auto spec = ParseEinsumFormat("i,j->ij").value();
+  EXPECT_TRUE(SummationIndices(spec).empty());
+}
+
+TEST(ToStringTest, RoundTrip) {
+  for (const char* fmt : {"ik,jk,j->i", "ii->i", "i,ij,j->", "ij->ij"}) {
+    auto spec = ParseEinsumFormat(fmt).value();
+    EXPECT_EQ(spec.ToString(), fmt);
+  }
+}
+
+}  // namespace
+}  // namespace einsql

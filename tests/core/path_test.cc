@@ -1,0 +1,284 @@
+#include "core/path.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cost.h"
+
+namespace einsql {
+namespace {
+
+Term T(const char* s) { return ToTerm(s); }
+std::vector<Term> Ts(std::initializer_list<const char*> list) {
+  std::vector<Term> terms;
+  for (const char* s : list) terms.push_back(ToTerm(s));
+  return terms;
+}
+
+einsql::Extents MakeExtents(
+    std::initializer_list<std::pair<char, int64_t>> list) {
+  einsql::Extents m;
+  for (auto [c, e] : list) m[c] = e;
+  return m;
+}
+
+TEST(CostTest, TermSizeIsProductOfUniqueExtents) {
+  auto ext = MakeExtents({{'i', 2}, {'j', 3}, {'k', 4}});
+  EXPECT_DOUBLE_EQ(TermSize(T("ij"), ext), 6.0);
+  EXPECT_DOUBLE_EQ(TermSize(T("iij"), ext), 6.0);  // unique chars only
+  EXPECT_DOUBLE_EQ(TermSize(T(""), ext), 1.0);
+}
+
+TEST(CostTest, PairCostIsUnionProduct) {
+  auto ext = MakeExtents({{'i', 2}, {'j', 3}, {'k', 4}});
+  EXPECT_DOUBLE_EQ(PairContractionCost(T("ij"), T("jk"), T("ik"), ext), 24.0);
+}
+
+TEST(IntermediateTermTest, KeepsOutputAndPendingIndices) {
+  EXPECT_EQ(IntermediateTerm(T("ik"), T("kj"), {}, T("ij")), T("ij"));
+  EXPECT_EQ(IntermediateTerm(T("ik"), T("kj"), Ts({"jm"}), T("im")), T("ij"));
+  EXPECT_EQ(IntermediateTerm(T("ij"), T("jk"), {}, T("")), T(""));
+}
+
+TEST(IntermediateTermTest, OrderFollowsFirstOccurrence) {
+  EXPECT_EQ(IntermediateTerm(T("ba"), T("ac"), {}, T("abc")), T("bac"));
+}
+
+TEST(FindPathTest, RequiresTwoOperands) {
+  EXPECT_FALSE(
+      FindPath(Ts({"ij"}), T("ij"), MakeExtents({{'i', 2}, {'j', 2}}),
+               PathAlgorithm::kGreedy)
+          .ok());
+}
+
+TEST(FindPathTest, TwoOperandsSinglePair) {
+  auto path = FindPath(Ts({"ik", "kj"}), T("ij"),
+                       MakeExtents({{'i', 2}, {'j', 2}, {'k', 2}}),
+                       PathAlgorithm::kAuto)
+                  .value();
+  ASSERT_EQ(path.pairs.size(), 1u);
+  EXPECT_EQ(path.pairs[0], (std::pair<int, int>{0, 1}));
+}
+
+TEST(FindPathTest, NaiveIsLeftToRight) {
+  auto path = FindPath(Ts({"ik", "kl", "lj"}), T("ij"),
+                       MakeExtents({{'i', 2}, {'k', 2}, {'l', 2}, {'j', 2}}),
+                       PathAlgorithm::kNaive)
+                  .value();
+  ASSERT_EQ(path.pairs.size(), 2u);
+  EXPECT_EQ(path.pairs[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(path.pairs[1], (std::pair<int, int>{0, 1}));
+}
+
+TEST(FindPathTest, PaperExamplePrefersMatrixVectorOrder) {
+  // A_ik B_jk v_j -> r_i (§2, Listing 3): contracting j first avoids the
+  // matrix-matrix product. With large extents the optimal path must contract
+  // B with v first (operands 1 and 2).
+  auto ext = MakeExtents({{'i', 100}, {'j', 100}, {'k', 100}});
+  auto path =
+      FindPath(Ts({"ik", "jk", "j"}), T("i"), ext, PathAlgorithm::kOptimal).value();
+  ASSERT_EQ(path.pairs.size(), 2u);
+  EXPECT_EQ(path.pairs[0], (std::pair<int, int>{1, 2}));
+  // Cost: Bv = 100*100, then A*tmp = 100*100 => 2e4, far below the 1e6+1e4
+  // of the matrix-matrix order.
+  EXPECT_DOUBLE_EQ(path.est_flops, 2e4);
+}
+
+TEST(FindPathTest, GreedyMatchesOptimalOnPaperExample) {
+  auto ext = MakeExtents({{'i', 100}, {'j', 100}, {'k', 100}});
+  auto greedy =
+      FindPath(Ts({"ik", "jk", "j"}), T("i"), ext, PathAlgorithm::kGreedy).value();
+  auto optimal =
+      FindPath(Ts({"ik", "jk", "j"}), T("i"), ext, PathAlgorithm::kOptimal).value();
+  EXPECT_DOUBLE_EQ(greedy.est_flops, optimal.est_flops);
+}
+
+TEST(FindPathTest, OptimalNeverWorseThanNaiveOrGreedy) {
+  // Matrix chain "ik,kl,lm,mn,nj->ij" with skewed extents.
+  auto ext = MakeExtents(
+      {{'i', 2}, {'k', 30}, {'l', 2}, {'m', 40}, {'n', 2}, {'j', 25}});
+  std::vector<Term> terms = Ts({"ik", "kl", "lm", "mn", "nj"});
+  auto naive = FindPath(terms, T("ij"), ext, PathAlgorithm::kNaive).value();
+  auto greedy = FindPath(terms, T("ij"), ext, PathAlgorithm::kGreedy).value();
+  auto optimal = FindPath(terms, T("ij"), ext, PathAlgorithm::kOptimal).value();
+  EXPECT_LE(optimal.est_flops, naive.est_flops);
+  EXPECT_LE(optimal.est_flops, greedy.est_flops);
+}
+
+TEST(FindPathTest, OptimalBeatsNaiveOnSkewedChain) {
+  auto ext = MakeExtents(
+      {{'i', 100}, {'k', 100}, {'l', 100}, {'m', 1}, {'n', 100}, {'j', 1}});
+  std::vector<Term> terms = Ts({"ik", "kl", "lm", "mn", "nj"});
+  auto naive = FindPath(terms, T("ij"), ext, PathAlgorithm::kNaive).value();
+  auto optimal = FindPath(terms, T("ij"), ext, PathAlgorithm::kOptimal).value();
+  EXPECT_LT(optimal.est_flops, naive.est_flops);
+}
+
+TEST(FindPathTest, OptimalRejectsTooManyOperands) {
+  std::vector<Term> terms(17, T("i"));
+  EXPECT_FALSE(
+      FindPath(terms, T(""), MakeExtents({{'i', 2}}), PathAlgorithm::kOptimal).ok());
+}
+
+TEST(FindPathTest, GreedyScalesToManyOperands) {
+  // A long chain a0-a1-a2-...; greedy must handle 60 operands quickly.
+  std::vector<Term> terms;
+  einsql::Extents ext;
+  std::string chars =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  for (int t = 0; t + 1 < 52; ++t) {
+    terms.push_back(ToTerm(std::string() + chars[t] + chars[t + 1]));
+  }
+  for (char c : chars) ext[c] = 2;
+  auto path = FindPath(terms, ToTerm(std::string() + chars[0] + chars[51]), ext,
+                       PathAlgorithm::kGreedy)
+                  .value();
+  EXPECT_EQ(path.pairs.size(), terms.size() - 1);
+  EXPECT_GT(path.est_flops, 0.0);
+}
+
+TEST(FindPathTest, DisconnectedNetworkFallsBackToOuterProducts) {
+  auto ext = MakeExtents({{'i', 2}, {'j', 3}});
+  auto path =
+      FindPath(Ts({"i", "j"}), T("ij"), ext, PathAlgorithm::kGreedy).value();
+  EXPECT_EQ(path.pairs.size(), 1u);
+}
+
+TEST(FindPathTest, AutoSelectsOptimalForSmall) {
+  auto ext = MakeExtents({{'i', 4}, {'j', 4}, {'k', 4}});
+  auto path =
+      FindPath(Ts({"ik", "jk", "j"}), T("i"), ext, PathAlgorithm::kAuto).value();
+  EXPECT_EQ(path.algorithm, PathAlgorithm::kOptimal);
+}
+
+TEST(FindPathTest, AutoSelectsHeuristicForLarge) {
+  std::vector<Term> terms;
+  einsql::Extents ext;
+  std::string chars = "abcdefghijklm";
+  for (size_t t = 0; t + 1 < chars.size(); ++t) {
+    terms.push_back(ToTerm(std::string() + chars[t] + chars[t + 1]));
+  }
+  for (char c : chars) ext[c] = 2;
+  auto path = FindPath(terms, T(""), ext, PathAlgorithm::kAuto).value();
+  EXPECT_TRUE(path.algorithm == PathAlgorithm::kGreedy ||
+              path.algorithm == PathAlgorithm::kElimination);
+}
+
+TEST(FindPathTest, LargestIntermediateTracked) {
+  auto ext = MakeExtents({{'i', 10}, {'j', 10}, {'k', 10}});
+  auto path =
+      FindPath(Ts({"ik", "kj"}), T("ij"), ext, PathAlgorithm::kGreedy).value();
+  EXPECT_DOUBLE_EQ(path.largest_intermediate, 100.0);
+}
+
+
+TEST(EliminationPathTest, MatchesOptimalCostClassOnSmallChain) {
+  auto ext = MakeExtents({{'i', 4}, {'k', 4}, {'l', 4}, {'j', 4}});
+  auto path = FindPath(Ts({"ik", "kl", "lj"}), T("ij"), ext,
+                       PathAlgorithm::kElimination)
+                  .value();
+  EXPECT_EQ(path.pairs.size(), 2u);
+  EXPECT_EQ(path.algorithm, PathAlgorithm::kElimination);
+}
+
+TEST(EliminationPathTest, BeatsGreedyOnHubNetwork) {
+  // A hub label h shared by many operands plus local chain links; greedy
+  // pairwise merging is known to degrade on such networks.
+  std::vector<Term> terms;
+  einsql::Extents ext;
+  ext['h'] = 2;
+  for (int k = 0; k < 24; ++k) {
+    Label local = static_cast<Label>(1000 + k);
+    Label next = static_cast<Label>(1000 + k + 1);
+    ext[local] = 2;
+    ext[next] = 2;
+    terms.push_back(Term{static_cast<Label>('h'), local, next});
+  }
+  auto greedy =
+      FindPath(terms, T(""), ext, PathAlgorithm::kGreedy).value();
+  auto elimination =
+      FindPath(terms, T(""), ext, PathAlgorithm::kElimination).value();
+  EXPECT_LE(elimination.est_flops, greedy.est_flops);
+  EXPECT_LE(elimination.largest_intermediate, 1 << 12);
+}
+
+TEST(EliminationPathTest, HandlesDisconnectedComponents) {
+  auto ext = MakeExtents({{'a', 2}, {'b', 2}, {'c', 2}, {'d', 2}});
+  auto path = FindPath(Ts({"ab", "ab", "cd", "cd"}), T(""), ext,
+                       PathAlgorithm::kElimination)
+                  .value();
+  EXPECT_EQ(path.pairs.size(), 3u);
+}
+
+TEST(EliminationPathTest, AutoPicksCheaperOfGreedyAndElimination) {
+  // Large operand count forces the heuristic branch of kAuto.
+  std::vector<Term> terms;
+  einsql::Extents ext;
+  for (int k = 0; k < 14; ++k) {
+    Label a = static_cast<Label>(100 + k), b = static_cast<Label>(101 + k);
+    ext[a] = 3;
+    ext[b] = 3;
+    terms.push_back(Term{a, b});
+  }
+  auto auto_path = FindPath(terms, T(""), ext, PathAlgorithm::kAuto).value();
+  auto greedy = FindPath(terms, T(""), ext, PathAlgorithm::kGreedy).value();
+  auto elim =
+      FindPath(terms, T(""), ext, PathAlgorithm::kElimination).value();
+  EXPECT_LE(auto_path.est_flops, std::max(greedy.est_flops, elim.est_flops));
+  EXPECT_DOUBLE_EQ(auto_path.est_flops,
+                   std::min(greedy.est_flops, elim.est_flops));
+}
+
+
+TEST(BranchPathTest, MatchesOptimalOnSmallChain) {
+  auto ext = MakeExtents(
+      {{'i', 2}, {'k', 30}, {'l', 2}, {'m', 40}, {'n', 2}, {'j', 25}});
+  std::vector<Term> terms = Ts({"ik", "kl", "lm", "mn", "nj"});
+  auto optimal = FindPath(terms, T("ij"), ext, PathAlgorithm::kOptimal).value();
+  auto branch = FindPath(terms, T("ij"), ext, PathAlgorithm::kBranch).value();
+  EXPECT_DOUBLE_EQ(branch.est_flops, optimal.est_flops);
+}
+
+TEST(BranchPathTest, NeverWorseThanItsSeeds) {
+  Rng rng(91);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Term> terms;
+    einsql::Extents ext;
+    const int n = 8 + trial * 3;
+    for (int t = 0; t < n; ++t) {
+      Term term;
+      for (int d = 0; d < 2; ++d) {
+        const Label label = static_cast<Label>(500 + rng.UniformInt(0, n));
+        if (term.find(label) == Term::npos) term.push_back(label);
+        ext[label] = 2 + rng.UniformInt(0, 6);
+      }
+      terms.push_back(std::move(term));
+    }
+    auto greedy = FindPath(terms, T(""), ext, PathAlgorithm::kGreedy).value();
+    auto elim =
+        FindPath(terms, T(""), ext, PathAlgorithm::kElimination).value();
+    auto branch = FindPath(terms, T(""), ext, PathAlgorithm::kBranch).value();
+    EXPECT_LE(branch.est_flops, greedy.est_flops) << "trial " << trial;
+    EXPECT_LE(branch.est_flops, elim.est_flops) << "trial " << trial;
+  }
+}
+
+TEST(BranchPathTest, HandlesTwoOperands) {
+  auto ext = MakeExtents({{'i', 3}, {'k', 3}, {'j', 3}});
+  auto path =
+      FindPath(Ts({"ik", "kj"}), T("ij"), ext, PathAlgorithm::kBranch).value();
+  EXPECT_EQ(path.pairs.size(), 1u);
+}
+
+TEST(PathAlgorithmToStringTest, Names) {
+  EXPECT_STREQ(PathAlgorithmToString(PathAlgorithm::kNaive), "naive");
+  EXPECT_STREQ(PathAlgorithmToString(PathAlgorithm::kGreedy), "greedy");
+  EXPECT_STREQ(PathAlgorithmToString(PathAlgorithm::kBranch), "branch");
+  EXPECT_STREQ(PathAlgorithmToString(PathAlgorithm::kElimination),
+               "elimination");
+  EXPECT_STREQ(PathAlgorithmToString(PathAlgorithm::kOptimal), "optimal");
+  EXPECT_STREQ(PathAlgorithmToString(PathAlgorithm::kAuto), "auto");
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,137 @@
+#include "core/program.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql {
+namespace {
+
+TEST(BuildProgramTest, PairwiseChain) {
+  auto program =
+      BuildProgram("ik,jk,j->i", {{2, 3}, {4, 3}, {4}}, PathAlgorithm::kAuto)
+          .value();
+  EXPECT_EQ(program.num_inputs, 3);
+  EXPECT_EQ(program.steps.size(), 2u);
+  for (const ProgramStep& step : program.steps) {
+    EXPECT_EQ(step.args.size(), 2u);
+  }
+  EXPECT_EQ(program.steps.back().result_term, ToTerm("i"));
+  EXPECT_EQ(program.result_slot, program.steps.back().result_slot);
+}
+
+TEST(BuildProgramTest, IdentityHasNoSteps) {
+  auto program = BuildProgram("ij->ij", {{2, 3}}, PathAlgorithm::kAuto).value();
+  EXPECT_TRUE(program.steps.empty());
+  EXPECT_EQ(program.result_slot, 0);
+}
+
+TEST(BuildProgramTest, TransposeIsOneUnaryStep) {
+  auto program = BuildProgram("ij->ji", {{2, 3}}, PathAlgorithm::kAuto).value();
+  ASSERT_EQ(program.steps.size(), 1u);
+  EXPECT_EQ(program.steps[0].args.size(), 1u);
+  EXPECT_EQ(program.steps[0].result_term, ToTerm("ji"));
+}
+
+TEST(BuildProgramTest, DiagonalIsPreReduced) {
+  auto program = BuildProgram("ii->i", {{3, 3}}, PathAlgorithm::kAuto).value();
+  ASSERT_EQ(program.steps.size(), 1u);
+  EXPECT_EQ(program.steps[0].arg_terms[0], ToTerm("ii"));
+  EXPECT_EQ(program.steps[0].result_term, ToTerm("i"));
+}
+
+TEST(BuildProgramTest, MarginalizationSingleInput) {
+  auto program =
+      BuildProgram("ijk->j", {{2, 3, 4}}, PathAlgorithm::kAuto).value();
+  ASSERT_EQ(program.steps.size(), 1u);
+  EXPECT_EQ(program.steps[0].result_term, ToTerm("j"));
+}
+
+TEST(BuildProgramTest, ImmediatelySummableIndexIsPreReduced) {
+  // "ij,k->i": k appears in no other operand and not in the output, so the
+  // second input is reduced to a scalar before the pairwise phase.
+  auto program =
+      BuildProgram("ij,k->i", {{2, 3}, {4}}, PathAlgorithm::kAuto).value();
+  bool has_unary = false;
+  for (const ProgramStep& step : program.steps) {
+    if (step.args.size() == 1 && step.arg_terms[0] == ToTerm("k")) {
+      has_unary = true;
+      EXPECT_EQ(step.result_term, ToTerm(""));
+    }
+  }
+  EXPECT_TRUE(has_unary);
+}
+
+TEST(BuildProgramTest, RepeatedIndexAcrossInputsIsKept) {
+  auto program =
+      BuildProgram("i,i->", {{3}, {3}}, PathAlgorithm::kAuto).value();
+  ASSERT_EQ(program.steps.size(), 1u);
+  EXPECT_EQ(program.steps[0].args.size(), 2u);
+  EXPECT_EQ(program.steps[0].result_term, ToTerm(""));
+}
+
+TEST(BuildProgramTest, FinalStepUsesExactOutputOrder) {
+  auto program =
+      BuildProgram("ik,kj->ji", {{2, 3}, {3, 4}}, PathAlgorithm::kAuto)
+          .value();
+  EXPECT_EQ(program.steps.back().result_term, ToTerm("ji"));
+}
+
+TEST(BuildProgramTest, TermOfSlotResolvesInputsAndSteps) {
+  auto program =
+      BuildProgram("ik,jk,j->i", {{2, 3}, {4, 3}, {4}}, PathAlgorithm::kAuto)
+          .value();
+  EXPECT_EQ(program.TermOfSlot(0), ToTerm("ik"));
+  EXPECT_EQ(program.TermOfSlot(1), ToTerm("jk"));
+  EXPECT_EQ(program.TermOfSlot(2), ToTerm("j"));
+  EXPECT_EQ(program.TermOfSlot(program.steps[0].result_slot),
+            program.steps[0].result_term);
+}
+
+TEST(BuildProgramTest, ExtentsPropagated) {
+  auto program =
+      BuildProgram("ik,kj->ij", {{2, 3}, {3, 5}}, PathAlgorithm::kAuto)
+          .value();
+  EXPECT_EQ(program.extents.at('i'), 2);
+  EXPECT_EQ(program.extents.at('k'), 3);
+  EXPECT_EQ(program.extents.at('j'), 5);
+}
+
+TEST(BuildProgramTest, EstimatedFlopsPositive) {
+  auto program =
+      BuildProgram("ik,kj->ij", {{8, 8}, {8, 8}}, PathAlgorithm::kAuto)
+          .value();
+  EXPECT_DOUBLE_EQ(program.est_flops, 512.0);
+}
+
+TEST(BuildProgramTest, ShapeMismatchRejected) {
+  EXPECT_FALSE(BuildProgram("ik,kj->ij", {{2, 3}, {4, 5}},
+                            PathAlgorithm::kAuto)
+                   .ok());
+}
+
+TEST(BuildProgramTest, BadFormatRejected) {
+  EXPECT_FALSE(BuildProgram("ij->>i", {{2, 2}}, PathAlgorithm::kAuto).ok());
+}
+
+TEST(BuildProgramTest, TensorNetworkFromTable1) {
+  // "ij,iml,lo,jk,kmn,no->" — the 2x3 tensor network example.
+  Shape d2 = {2, 2};
+  auto program = BuildProgram("ij,iml,lo,jk,kmn,no->",
+                              {d2, {2, 2, 2}, d2, d2, {2, 2, 2}, d2},
+                              PathAlgorithm::kOptimal)
+                     .value();
+  EXPECT_EQ(program.steps.size(), 5u);
+  EXPECT_EQ(program.steps.back().result_term, ToTerm(""));
+}
+
+TEST(BuildProgramTest, SlotNumberingIsSequential) {
+  auto program =
+      BuildProgram("ab,bc,cd->ad", {{2, 2}, {2, 2}, {2, 2}},
+                   PathAlgorithm::kNaive)
+          .value();
+  ASSERT_EQ(program.steps.size(), 2u);
+  EXPECT_EQ(program.steps[0].result_slot, 3);
+  EXPECT_EQ(program.steps[1].result_slot, 4);
+}
+
+}  // namespace
+}  // namespace einsql

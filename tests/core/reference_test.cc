@@ -1,0 +1,92 @@
+#include "core/reference.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql {
+namespace {
+
+TEST(ReferenceEinsumTest, PaperListing1) {
+  // r_i = sum_j sum_k A_ik B_jk v_j with the Listing 4 data.
+  auto A = DenseTensor::FromData({2, 2}, {1.0, 0.0, 0.0, 2.0}).value();
+  auto B =
+      DenseTensor::FromData({3, 2}, {3.0, 4.0, 5.0, 6.0, 0.0, 7.0}).value();
+  auto v = DenseTensor::FromData({3}, {8.0, 0.0, 9.0}).value();
+  auto r = ReferenceEinsum<double>("ik,jk,j->i", {&A, &B, &v}).value();
+  // NumPy: np.einsum("ac,bc,b->a", A, B, v) == [24., 190.]
+  EXPECT_DOUBLE_EQ(r.At({0}).value(), 24.0);
+  EXPECT_DOUBLE_EQ(r.At({1}).value(), 190.0);
+}
+
+TEST(ReferenceEinsumTest, MatrixMultiply) {
+  auto A = DenseTensor::FromData({2, 2}, {1, 2, 3, 4}).value();
+  auto B = DenseTensor::FromData({2, 2}, {5, 6, 7, 8}).value();
+  auto C = ReferenceEinsum<double>("ik,kj->ij", {&A, &B}).value();
+  EXPECT_DOUBLE_EQ(C.At({0, 0}).value(), 19.0);
+  EXPECT_DOUBLE_EQ(C.At({1, 1}).value(), 50.0);
+}
+
+TEST(ReferenceEinsumTest, Trace) {
+  auto A = DenseTensor::FromData({2, 2}, {1, 2, 3, 4}).value();
+  auto t = ReferenceEinsum<double>("ii->", {&A}).value();
+  EXPECT_DOUBLE_EQ(t.At({}).value(), 5.0);
+}
+
+TEST(ReferenceEinsumTest, Diagonal) {
+  auto A = DenseTensor::FromData({2, 2}, {1, 2, 3, 4}).value();
+  auto d = ReferenceEinsum<double>("ii->i", {&A}).value();
+  EXPECT_DOUBLE_EQ(d.At({0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(d.At({1}).value(), 4.0);
+}
+
+TEST(ReferenceEinsumTest, ThirdOrderOutput) {
+  // Listing 2: A_ik B_jk v_j -> R_ijk.
+  auto A = DenseTensor::FromData({2, 2}, {1.0, 0.0, 0.0, 2.0}).value();
+  auto B =
+      DenseTensor::FromData({3, 2}, {3.0, 4.0, 5.0, 6.0, 0.0, 7.0}).value();
+  auto v = DenseTensor::FromData({3}, {8.0, 0.0, 9.0}).value();
+  auto R = ReferenceEinsum<double>("ik,jk,j->ijk", {&A, &B, &v}).value();
+  EXPECT_EQ(R.shape(), (Shape{2, 3, 2}));
+  // R[0,0,0] = A[0,0]*B[0,0]*v[0] = 1*3*8 = 24.
+  EXPECT_DOUBLE_EQ(R.At({0, 0, 0}).value(), 24.0);
+  // Scalar output variant sums everything.
+  auto s = ReferenceEinsum<double>("ik,jk,j->", {&A, &B, &v}).value();
+  double total = 0.0;
+  for (int64_t i = 0; i < R.size(); ++i) total += R[i];
+  EXPECT_DOUBLE_EQ(s.At({}).value(), total);
+}
+
+TEST(ReferenceEinsumTest, ScalarTimesScalar) {
+  auto a = DenseTensor::FromData({}, {3.0}).value();
+  auto b = DenseTensor::FromData({}, {4.0}).value();
+  auto r = ReferenceEinsum<double>(",->", {&a, &b}).value();
+  EXPECT_DOUBLE_EQ(r.At({}).value(), 12.0);
+}
+
+TEST(ReferenceEinsumTest, ComplexValues) {
+  using C = std::complex<double>;
+  auto a = ComplexDenseTensor::FromData({2}, {C{0, 1}, C{1, 0}}).value();
+  auto b = ComplexDenseTensor::FromData({2}, {C{0, 1}, C{2, 0}}).value();
+  auto r = ReferenceEinsum<std::complex<double>>("i,i->", {&a, &b}).value();
+  // i*i + 1*2 = -1 + 2 = 1.
+  EXPECT_DOUBLE_EQ(r.At({}).value().real(), 1.0);
+  EXPECT_DOUBLE_EQ(r.At({}).value().imag(), 0.0);
+}
+
+TEST(ReferenceEinsumTest, CooWrapper) {
+  CooTensor A({2, 2});
+  ASSERT_TRUE(A.Append({0, 1}, 2.0).ok());
+  CooTensor v({2});
+  ASSERT_TRUE(v.Append({1}, 3.0).ok());
+  auto r = ReferenceEinsumCoo<double>("ij,j->i", {&A, &v}).value();
+  EXPECT_DOUBLE_EQ(r.At({0}).value(), 6.0);
+  EXPECT_DOUBLE_EQ(r.At({1}).value(), 0.0);
+}
+
+TEST(ReferenceEinsumTest, RejectsBadShapes) {
+  auto A = DenseTensor::Zeros({2, 3}).value();
+  auto B = DenseTensor::Zeros({4, 2}).value();
+  EXPECT_FALSE(ReferenceEinsum<double>("ik,kj->ij", {&A, &B}).ok());
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,275 @@
+#include "core/sqlgen.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql {
+namespace {
+
+CooTensor Matrix22(double a, double b, double c, double d) {
+  CooTensor t({2, 2});
+  if (a != 0) (void)t.Append({0, 0}, a);
+  if (b != 0) (void)t.Append({0, 1}, b);
+  if (c != 0) (void)t.Append({1, 0}, c);
+  if (d != 0) (void)t.Append({1, 1}, d);
+  return t;
+}
+
+TEST(CooToValuesCteTest, RealTensor) {
+  CooTensor t({2, 2});
+  ASSERT_TRUE(t.Append({0, 0}, 1.0).ok());
+  ASSERT_TRUE(t.Append({1, 1}, 2.0).ok());
+  EXPECT_EQ(CooToValuesCte("T0", t),
+            "T0(i0, i1, val) AS (VALUES (0, 0, 1.0), (1, 1, 2.0))");
+}
+
+TEST(CooToValuesCteTest, EmptyTensorUsesZeroRowSelect) {
+  CooTensor t({2});
+  EXPECT_EQ(CooToValuesCte("T0", t),
+            "T0(i0, val) AS (SELECT 0, 0.0 WHERE 1=0)");
+}
+
+TEST(CooToValuesCteTest, ScalarTensor) {
+  CooTensor t((Shape{}));
+  ASSERT_TRUE(t.Append({}, 2.5).ok());
+  EXPECT_EQ(CooToValuesCte("S", t), "S(val) AS (VALUES (2.5))");
+}
+
+TEST(CooToValuesCteTest, ComplexTensorHasReImColumns) {
+  ComplexCooTensor t({2});
+  ASSERT_TRUE(t.Append({1}, {1.0, -2.0}).ok());
+  EXPECT_EQ(CooToValuesCte("Q", t),
+            "Q(i0, re, im) AS (VALUES (1, 1.0, -2.0))");
+}
+
+TEST(GenerateSqlTest, FlatQueryAppliesAllFourRules) {
+  // Listing 4's expression ac,bc,b->a.
+  auto program = BuildProgram("ac,bc,b->a", {{2, 2}, {3, 2}, {3}},
+                              PathAlgorithm::kAuto)
+                     .value();
+  CooTensor A = Matrix22(1.0, 0.0, 0.0, 2.0);
+  CooTensor B({3, 2});
+  ASSERT_TRUE(B.Append({0, 0}, 3.0).ok());
+  CooTensor v({3});
+  ASSERT_TRUE(v.Append({0}, 8.0).ok());
+  SqlGenOptions options;
+  options.decompose = false;
+  auto sql = GenerateEinsumSql(program, {&A, &B, &v}, options).value();
+  // R1: all three tensors in FROM; R2: output index selected and grouped;
+  // R3: SUM of the product; R4: transitive equalities.
+  EXPECT_NE(sql.find("FROM T0 a0, T1 a1, T2 a2"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("SUM(a0.val * a1.val * a2.val)"), std::string::npos);
+  EXPECT_NE(sql.find("WHERE a0.i1=a1.i1 AND a1.i0=a2.i0"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY a0.i0"), std::string::npos);
+}
+
+TEST(GenerateSqlTest, ScalarOutputSkipsGroupBy) {
+  // R2 skipped: no output indices.
+  auto program =
+      BuildProgram("i,i->", {{3}, {3}}, PathAlgorithm::kAuto).value();
+  CooTensor u({3}), v({3});
+  ASSERT_TRUE(u.Append({0}, 1.0).ok());
+  ASSERT_TRUE(v.Append({0}, 2.0).ok());
+  auto sql = GenerateEinsumSql(program, {&u, &v}).value();
+  EXPECT_EQ(sql.find("GROUP BY"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("SUM("), std::string::npos);
+}
+
+TEST(GenerateSqlTest, NoSummationSkipsWhere) {
+  // R4 skipped: outer product has no repeated indices.
+  auto program =
+      BuildProgram("i,j->ij", {{2}, {3}}, PathAlgorithm::kAuto).value();
+  CooTensor u({2}), v({3});
+  ASSERT_TRUE(u.Append({0}, 1.0).ok());
+  ASSERT_TRUE(v.Append({0}, 2.0).ok());
+  auto sql = GenerateEinsumSql(program, {&u, &v}).value();
+  EXPECT_EQ(sql.find("WHERE"), std::string::npos) << sql;
+}
+
+TEST(GenerateSqlTest, SimplifyOmitsRedundantSum) {
+  auto program =
+      BuildProgram("i,j->ij", {{2}, {3}}, PathAlgorithm::kAuto).value();
+  CooTensor u({2}), v({3});
+  ASSERT_TRUE(u.Append({0}, 1.0).ok());
+  ASSERT_TRUE(v.Append({0}, 2.0).ok());
+  SqlGenOptions options;
+  options.simplify = true;
+  auto sql = GenerateEinsumSql(program, {&u, &v}, options).value();
+  EXPECT_EQ(sql.find("SUM"), std::string::npos) << sql;
+  options.simplify = false;
+  sql = GenerateEinsumSql(program, {&u, &v}, options).value();
+  EXPECT_NE(sql.find("SUM"), std::string::npos) << sql;
+}
+
+TEST(GenerateSqlTest, DecomposedQueryHasIntermediateCtes) {
+  auto program = BuildProgram("ik,kl,lj->ij", {{2, 2}, {2, 2}, {2, 2}},
+                              PathAlgorithm::kNaive)
+                     .value();
+  CooTensor A = Matrix22(1, 2, 3, 4);
+  CooTensor B = Matrix22(5, 6, 7, 8);
+  CooTensor C = Matrix22(9, 1, 2, 3);
+  auto sql = GenerateEinsumSql(program, {&A, &B, &C}).value();
+  // Two pairwise steps: K1 as a CTE, the final step as the main SELECT.
+  EXPECT_NE(sql.find("K1(i0, i1, val) AS ("), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("K2"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("WITH "), std::string::npos);
+}
+
+TEST(GenerateSqlTest, TransitiveEqualityForTripleIndex) {
+  // Listing 5: element-wise product of three vectors d,d,d->d.
+  auto program =
+      BuildProgram("d,d,d->d", {{3}, {3}, {3}}, PathAlgorithm::kNaive)
+          .value();
+  CooTensor u({3}), v({3}), w({3});
+  for (auto* t : {&u, &v, &w}) ASSERT_TRUE(t->Append({1}, 2.0).ok());
+  SqlGenOptions options;
+  options.decompose = false;
+  auto sql = GenerateEinsumSql(program, {&u, &v, &w}, options).value();
+  EXPECT_NE(sql.find("a0.i0=a1.i0 AND a1.i0=a2.i0"), std::string::npos) << sql;
+}
+
+TEST(GenerateSqlTest, DiagonalUsesSameTableEquality) {
+  auto program = BuildProgram("ii->i", {{3, 3}}, PathAlgorithm::kAuto).value();
+  CooTensor t({3, 3});
+  ASSERT_TRUE(t.Append({1, 1}, 5.0).ok());
+  auto sql = GenerateEinsumSql(program, {&t}).value();
+  EXPECT_NE(sql.find("a0.i0=a0.i1"), std::string::npos) << sql;
+}
+
+TEST(GenerateSqlTest, IdentityExpressionIsPlainSelect) {
+  auto program = BuildProgram("ij->ij", {{2, 2}}, PathAlgorithm::kAuto).value();
+  CooTensor t = Matrix22(1, 2, 3, 4);
+  auto sql = GenerateEinsumSql(program, {&t}).value();
+  EXPECT_EQ(sql.find("GROUP BY"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("SUM"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("SELECT a0.i0 AS i0, a0.i1 AS i1, a0.val AS val"),
+            std::string::npos)
+      << sql;
+}
+
+TEST(GenerateSqlTest, StoredTablesMode) {
+  auto program =
+      BuildProgram("ik,kj->ij", {{2, 2}, {2, 2}}, PathAlgorithm::kAuto)
+          .value();
+  SqlGenOptions options;
+  options.input_names = {"matrix_a", "matrix_b"};
+  auto sql = GenerateEinsumSqlForTables(program, options).value();
+  EXPECT_NE(sql.find("FROM matrix_a a0, matrix_b a1"), std::string::npos)
+      << sql;
+  EXPECT_EQ(sql.find("WITH"), std::string::npos) << sql;
+}
+
+TEST(GenerateSqlTest, StoredTablesModeRequiresNames) {
+  auto program =
+      BuildProgram("ik,kj->ij", {{2, 2}, {2, 2}}, PathAlgorithm::kAuto)
+          .value();
+  SqlGenOptions options;  // no names
+  EXPECT_FALSE(GenerateEinsumSqlForTables(program, options).ok());
+}
+
+TEST(GenerateSqlTest, OrderByAppended) {
+  auto program =
+      BuildProgram("ik,kj->ij", {{2, 2}, {2, 2}}, PathAlgorithm::kAuto)
+          .value();
+  SqlGenOptions options;
+  options.input_names = {"a", "b"};
+  options.order_by = "val DESC";
+  auto sql = GenerateEinsumSqlForTables(program, options).value();
+  EXPECT_TRUE(sql.ends_with(" ORDER BY val DESC")) << sql;
+}
+
+TEST(GenerateSqlTest, PreludeCtesComeFirst) {
+  auto program =
+      BuildProgram("i,i->", {{3}, {3}}, PathAlgorithm::kAuto).value();
+  SqlGenOptions options;
+  options.input_names = {"S1", "S2"};
+  options.prelude_ctes = "S1(i0, val) AS (SELECT s, val FROM T WHERE p=1),\n"
+                         "S2(i0, val) AS (SELECT s, val FROM T WHERE p=2)";
+  auto sql = GenerateEinsumSqlForTables(program, options).value();
+  EXPECT_TRUE(sql.starts_with("WITH S1(i0, val)")) << sql;
+}
+
+TEST(GenerateSqlTest, ComplexPairUsesHardcodedFormula) {
+  auto program =
+      BuildProgram("ik,kj->ij", {{2, 2}, {2, 2}}, PathAlgorithm::kAuto)
+          .value();
+  ComplexCooTensor A({2, 2}), B({2, 2});
+  ASSERT_TRUE(A.Append({0, 0}, {1.0, 1.0}).ok());
+  ASSERT_TRUE(B.Append({0, 0}, {2.0, -1.0}).ok());
+  auto sql = GenerateComplexEinsumSql(program, {&A, &B}).value();
+  EXPECT_NE(sql.find("SUM(a0.re * a1.re - a0.im * a1.im) AS re"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("SUM(a0.re * a1.im + a0.im * a1.re) AS im"),
+            std::string::npos)
+      << sql;
+}
+
+TEST(GenerateSqlTest, ComplexFlatQueryWithThreeInputsRejected) {
+  auto program = BuildProgram("i,i,i->i", {{2}, {2}, {2}},
+                              PathAlgorithm::kNaive)
+                     .value();
+  ComplexCooTensor u({2}), v({2}), w({2});
+  for (auto* t : {&u, &v, &w}) ASSERT_TRUE(t->Append({0}, {1.0, 0.0}).ok());
+  SqlGenOptions options;
+  options.decompose = false;
+  EXPECT_FALSE(GenerateComplexEinsumSql(program, {&u, &v, &w}, options).ok());
+  // With decomposition (pairwise steps), the same expression is fine.
+  options.decompose = true;
+  EXPECT_TRUE(GenerateComplexEinsumSql(program, {&u, &v, &w}, options).ok());
+}
+
+
+TEST(GenerateSqlTest, ComplexUnaryStepSumsBothColumns) {
+  // "ijk->j" on a complex tensor: the unary reduction must aggregate re and
+  // im separately without the product expansion.
+  auto program =
+      BuildProgram("ijk->j", {{2, 2, 2}}, PathAlgorithm::kAuto).value();
+  ComplexCooTensor t({2, 2, 2});
+  ASSERT_TRUE(t.Append({0, 1, 0}, {1.0, -2.0}).ok());
+  auto sql = GenerateComplexEinsumSql(program, {&t}).value();
+  EXPECT_NE(sql.find("SUM(a0.re) AS re"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("SUM(a0.im) AS im"), std::string::npos) << sql;
+}
+
+TEST(GenerateSqlTest, ComplexIntermediateCteHeaderUsesReIm) {
+  auto program = BuildProgram("ab,bc,cd->ad", {{2, 2}, {2, 2}, {2, 2}},
+                              PathAlgorithm::kNaive)
+                     .value();
+  ComplexCooTensor x({2, 2}), y({2, 2}), z({2, 2});
+  for (auto* t : {&x, &y, &z}) ASSERT_TRUE(t->Append({0, 0}, {1.0, 0.5}).ok());
+  auto sql = GenerateComplexEinsumSql(program, {&x, &y, &z}).value();
+  EXPECT_NE(sql.find("K1(i0, i1, re, im) AS ("), std::string::npos) << sql;
+}
+
+TEST(GenerateSqlTest, EmptyComplexTensorCte) {
+  auto program =
+      BuildProgram("i,i->", {{2}, {2}}, PathAlgorithm::kAuto).value();
+  ComplexCooTensor u({2});  // empty
+  ComplexCooTensor v({2});
+  ASSERT_TRUE(v.Append({0}, {1.0, 0.0}).ok());
+  auto sql = GenerateComplexEinsumSql(program, {&u, &v}).value();
+  EXPECT_NE(sql.find("SELECT 0, 0.0, 0.0 WHERE 1=0"), std::string::npos)
+      << sql;
+}
+
+TEST(GenerateSqlTest, TensorCountMismatchRejected) {
+  auto program =
+      BuildProgram("i,i->", {{3}, {3}}, PathAlgorithm::kAuto).value();
+  CooTensor u({3});
+  EXPECT_FALSE(GenerateEinsumSql(program, {&u}).ok());
+}
+
+TEST(GenerateSqlTest, ReusedTableGetsDistinctAliases) {
+  // The same physical table can be used for both operands (SAT reuses clause
+  // tensors); aliases a0/a1 must disambiguate.
+  auto program =
+      BuildProgram("ij,jk->ik", {{2, 2}, {2, 2}}, PathAlgorithm::kAuto)
+          .value();
+  SqlGenOptions options;
+  options.input_names = {"C2", "C2"};
+  auto sql = GenerateEinsumSqlForTables(program, options).value();
+  EXPECT_NE(sql.find("FROM C2 a0, C2 a1"), std::string::npos) << sql;
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+#include "graphical/generator.h"
+#include "graphical/inference.h"
+
+namespace einsql::graphical {
+namespace {
+
+// A three-variable chain A - B - C with hand-written potentials.
+PairwiseModel ChainModel() {
+  PairwiseModel model;
+  model.variables = {{"A", 2}, {"B", 3}, {"C", 2}};
+  model.edges.push_back(
+      {0, 1,
+       DenseTensor::FromData({2, 3}, {1.0, 2.0, 0.5, 0.25, 1.5, 3.0})
+           .value()});
+  model.edges.push_back(
+      {1, 2,
+       DenseTensor::FromData({3, 2}, {2.0, 1.0, 0.5, 0.5, 1.0, 4.0})
+           .value()});
+  return model;
+}
+
+TEST(ModelTest, ValidateAcceptsChain) {
+  EXPECT_TRUE(Validate(ChainModel()).ok());
+}
+
+TEST(ModelTest, ValidateRejectsBadEdges) {
+  PairwiseModel model = ChainModel();
+  model.edges[0].v = 7;
+  EXPECT_FALSE(Validate(model).ok());
+  model = ChainModel();
+  model.edges[0].u = model.edges[0].v;
+  EXPECT_FALSE(Validate(model).ok());
+}
+
+TEST(ModelTest, ValidateRejectsShapeMismatch) {
+  PairwiseModel model = ChainModel();
+  model.edges[0].table = DenseTensor::Zeros({2, 2}).value();
+  EXPECT_FALSE(Validate(model).ok());
+}
+
+TEST(ModelTest, ValidateRejectsNegativePotential) {
+  PairwiseModel model = ChainModel();
+  model.edges[0].table[0] = -1.0;
+  EXPECT_FALSE(Validate(model).ok());
+}
+
+TEST(ModelTest, FromInteractionMatrix) {
+  // Two binary variables; a single non-zero block between them.
+  std::vector<Variable> variables = {{"x", 2}, {"y", 2}};
+  auto q = DenseTensor::Zeros({4, 4}).value();
+  // Block (x, y): rows 0..1, columns 2..3.
+  ASSERT_TRUE(q.Set({0, 2}, 0.5).ok());
+  ASSERT_TRUE(q.Set({2, 0}, 0.5).ok());  // symmetry
+  auto model = FromInteractionMatrix(variables, q).value();
+  ASSERT_EQ(model.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(model.edges[0].table.At({0, 0}).value(), std::exp(0.5));
+  EXPECT_DOUBLE_EQ(model.edges[0].table.At({1, 1}).value(), 1.0);
+}
+
+TEST(ModelTest, FromInteractionMatrixRejectsAsymmetry) {
+  std::vector<Variable> variables = {{"x", 2}, {"y", 2}};
+  auto q = DenseTensor::Zeros({4, 4}).value();
+  ASSERT_TRUE(q.Set({0, 2}, 1.0).ok());
+  EXPECT_FALSE(FromInteractionMatrix(variables, q).ok());
+}
+
+TEST(ModelTest, FromInteractionMatrixRejectsWrongSize) {
+  std::vector<Variable> variables = {{"x", 2}, {"y", 2}};
+  auto q = DenseTensor::Zeros({3, 3}).value();
+  EXPECT_FALSE(FromInteractionMatrix(variables, q).ok());
+}
+
+TEST(InferenceTest, NetworkStructure) {
+  PairwiseModel model = ChainModel();
+  InferenceQuery query;
+  query.query_variable = 0;
+  query.evidence_variables = {1, 2};
+  query.evidence_values = {{0, 1}, {2, 0}};
+  auto network = BuildInferenceNetwork(model, query).value();
+  // 2 edges + 2 evidence matrices.
+  EXPECT_EQ(network.tensors.size(), 4u);
+  EXPECT_EQ(network.spec.output.size(), 2u);  // (batch, query)
+}
+
+TEST(InferenceTest, RejectsBadQueries) {
+  PairwiseModel model = ChainModel();
+  InferenceQuery query;
+  query.query_variable = 9;
+  query.evidence_variables = {1};
+  query.evidence_values = {{0}};
+  EXPECT_FALSE(BuildInferenceNetwork(model, query).ok());
+  query.query_variable = 0;
+  query.evidence_variables = {0};
+  EXPECT_FALSE(BuildInferenceNetwork(model, query).ok());  // query==evidence
+  query.evidence_variables = {1, 1};
+  query.evidence_values = {{0, 0}};
+  EXPECT_FALSE(BuildInferenceNetwork(model, query).ok());  // duplicate
+  query.evidence_variables = {1};
+  query.evidence_values = {{5}};
+  EXPECT_FALSE(BuildInferenceNetwork(model, query).ok());  // out of range
+  query.evidence_values = {};
+  EXPECT_FALSE(BuildInferenceNetwork(model, query).ok());  // empty batch
+}
+
+TEST(InferenceTest, BruteForceChainByHand) {
+  // P(A | B=0, C=1) ∝ Σ over nothing: ψAB[a][0] * ψBC[0][1].
+  PairwiseModel model = ChainModel();
+  InferenceQuery query;
+  query.query_variable = 0;
+  query.evidence_variables = {1, 2};
+  query.evidence_values = {{0, 1}};
+  auto posterior = PosteriorBruteForce(model, query).value();
+  const double w0 = 1.0 * 1.0;   // a=0: ψAB[0][0]=1, ψBC[0][1]=1
+  const double w1 = 0.25 * 1.0;  // a=1: ψAB[1][0]=0.25
+  EXPECT_NEAR(posterior.At({0, 0}).value(), w0 / (w0 + w1), 1e-12);
+  EXPECT_NEAR(posterior.At({0, 1}).value(), w1 / (w0 + w1), 1e-12);
+}
+
+class PosteriorEngines : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<EinsumEngine> MakeEngine() {
+    if (GetParam() == "dense") return std::make_unique<DenseEinsumEngine>();
+    if (GetParam() == "sparse") return std::make_unique<SparseEinsumEngine>();
+    if (GetParam() == "sqlite") {
+      sqlite_ = SqliteBackend::Open().value();
+      return std::make_unique<SqlEinsumEngine>(sqlite_.get());
+    }
+    minidb_ = std::make_unique<MiniDbBackend>();
+    return std::make_unique<SqlEinsumEngine>(minidb_.get());
+  }
+
+  std::unique_ptr<SqliteBackend> sqlite_;
+  std::unique_ptr<MiniDbBackend> minidb_;
+};
+
+TEST_P(PosteriorEngines, ChainMatchesBruteForce) {
+  auto engine = MakeEngine();
+  PairwiseModel model = ChainModel();
+  InferenceQuery query;
+  query.query_variable = 0;
+  query.evidence_variables = {1, 2};
+  query.evidence_values = {{0, 1}, {2, 0}, {1, 1}};
+  auto expected = PosteriorBruteForce(model, query).value();
+  auto got = Posterior(engine.get(), model, query).value();
+  EXPECT_TRUE(AllClose(got, expected, 1e-9));
+}
+
+TEST_P(PosteriorEngines, BreastCancerModelMatchesBruteForce) {
+  auto engine = MakeEngine();
+  PairwiseModel model = BreastCancerLikeModel();
+  Rng rng(77);
+  InferenceQuery query = RandomQuery(model, /*query_variable=*/0,
+                                     /*batch_size=*/4, &rng);
+  auto expected = PosteriorBruteForce(model, query).value();
+  auto got = Posterior(engine.get(), model, query).value();
+  EXPECT_TRUE(AllClose(got, expected, 1e-8));
+}
+
+TEST_P(PosteriorEngines, PartialEvidence) {
+  auto engine = MakeEngine();
+  PairwiseModel model = ChainModel();
+  InferenceQuery query;
+  query.query_variable = 2;
+  query.evidence_variables = {0};  // B marginalized out
+  query.evidence_values = {{1}};
+  auto expected = PosteriorBruteForce(model, query).value();
+  auto got = Posterior(engine.get(), model, query).value();
+  EXPECT_TRUE(AllClose(got, expected, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, PosteriorEngines,
+                         ::testing::Values("dense", "sparse", "sqlite", "minidb"),
+                         [](const auto& info) { return info.param; });
+
+
+TEST(MostLikelyStateTest, AgreesWithPosteriorArgmax) {
+  DenseEinsumEngine dense;
+  PairwiseModel model = BreastCancerLikeModel();
+  Rng rng(88);
+  InferenceQuery query = RandomQuery(model, /*query_variable=*/3,
+                                     /*batch_size=*/3, &rng);
+  auto posterior = Posterior(&dense, model, query).value();
+  auto best = MostLikelyState(&dense, model, query).value();
+  ASSERT_EQ(best.size(), 3u);
+  for (int b = 0; b < 3; ++b) {
+    const int64_t states = posterior.shape()[1];
+    for (int64_t x = 0; x < states; ++x) {
+      EXPECT_LE(posterior.At({b, x}).value(),
+                posterior.At({b, best[b]}).value() + 1e-12);
+    }
+  }
+}
+
+TEST(GeneratorTest, BreastCancerShapeMatchesPaper) {
+  PairwiseModel model = BreastCancerLikeModel();
+  EXPECT_TRUE(Validate(model).ok());
+  EXPECT_EQ(model.num_variables(), 10);
+  EXPECT_EQ(model.edges.size(), 21u);
+  // The extreme edge shapes the paper reports: 2×3 and 11×7.
+  bool has_2x3 = false, has_11x7 = false;
+  for (const EdgeFactor& edge : model.edges) {
+    if (edge.table.shape() == Shape{2, 3}) has_2x3 = true;
+    if (edge.table.shape() == Shape{11, 7}) has_11x7 = true;
+  }
+  EXPECT_TRUE(has_2x3);
+  EXPECT_TRUE(has_11x7);
+}
+
+TEST(GeneratorTest, RandomModelConnectedAndValid) {
+  Rng rng(13);
+  PairwiseModel model = RandomPairwiseModel(6, 2, 4, 9, &rng);
+  EXPECT_TRUE(Validate(model).ok());
+  EXPECT_EQ(model.edges.size(), 9u);
+}
+
+TEST(GeneratorTest, RandomQueryShape) {
+  PairwiseModel model = ChainModel();
+  Rng rng(14);
+  InferenceQuery query = RandomQuery(model, 1, 5, &rng);
+  EXPECT_EQ(query.query_variable, 1);
+  EXPECT_EQ(query.evidence_variables, (std::vector<int>{0, 2}));
+  EXPECT_EQ(query.batch_size(), 5);
+}
+
+}  // namespace
+}  // namespace einsql::graphical

@@ -1,0 +1,460 @@
+#include <gtest/gtest.h>
+
+#include "minidb/database.h"
+
+namespace einsql::minidb {
+namespace {
+
+// Convenience: run a query and return the relation, failing the test on
+// error.
+Relation RunSql(Database* db, std::string_view sql) {
+  auto result = db->Execute(sql);
+  EXPECT_TRUE(result.ok()) << result.status() << "\nSQL: " << sql;
+  return result.ok() ? result->relation : Relation{};
+}
+
+double D(const Value& v) { return AsDouble(v).value(); }
+int64_t I(const Value& v) { return AsInt(v).value(); }
+
+TEST(DatabaseTest, SelectConstant) {
+  Database db;
+  Relation r = RunSql(&db, "SELECT 1 + 2 AS x, 'abc' AS s");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(I(r.rows[0][0]), 3);
+  EXPECT_EQ(std::get<std::string>(r.rows[0][1]), "abc");
+  EXPECT_EQ(r.columns[0].name, "x");
+}
+
+TEST(DatabaseTest, SelectWithoutFromWhereFalse) {
+  Database db;
+  Relation r = RunSql(&db, "SELECT 1 WHERE 1=0");
+  EXPECT_EQ(r.num_rows(), 0);
+}
+
+TEST(DatabaseTest, CreateInsertSelect) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT, val DOUBLE)");
+  RunSql(&db, "INSERT INTO t VALUES (0, 1.5), (1, 2.5), (2, 4.0)");
+  Relation r = RunSql(&db, "SELECT i, val FROM t ORDER BY i");
+  ASSERT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(I(r.rows[2][0]), 2);
+  EXPECT_DOUBLE_EQ(D(r.rows[2][1]), 4.0);
+}
+
+TEST(DatabaseTest, InsertWithColumnListReorders) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT, j INT)");
+  RunSql(&db, "INSERT INTO t (j, i) VALUES (20, 10)");
+  Relation r = RunSql(&db, "SELECT i, j FROM t");
+  EXPECT_EQ(I(r.rows[0][0]), 10);
+  EXPECT_EQ(I(r.rows[0][1]), 20);
+}
+
+TEST(DatabaseTest, InsertArityMismatchFails) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT, j INT)");
+  EXPECT_FALSE(db.Execute("INSERT INTO t VALUES (1)").ok());
+}
+
+TEST(DatabaseTest, DropTable) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  RunSql(&db, "DROP TABLE t");
+  EXPECT_FALSE(db.Execute("SELECT * FROM t").ok());
+  EXPECT_FALSE(db.Execute("DROP TABLE t").ok());
+  RunSql(&db, "DROP TABLE IF EXISTS t");
+}
+
+TEST(DatabaseTest, DeleteWithWhere) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (2), (3), (4)");
+  RunSql(&db, "DELETE FROM t WHERE i % 2 = 0");
+  Relation r = RunSql(&db, "SELECT i FROM t ORDER BY i");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][0]), 1);
+  EXPECT_EQ(I(r.rows[1][0]), 3);
+}
+
+TEST(DatabaseTest, WhereFilters) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT, val DOUBLE)");
+  RunSql(&db, "INSERT INTO t VALUES (0, 1.0), (1, -2.0), (2, 3.0)");
+  Relation r = RunSql(&db, "SELECT i FROM t WHERE val > 0 ORDER BY i");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][0]), 0);
+  EXPECT_EQ(I(r.rows[1][0]), 2);
+}
+
+TEST(DatabaseTest, HashJoinOnEquality) {
+  Database db;
+  RunSql(&db, "CREATE TABLE a (i INT, x DOUBLE)");
+  RunSql(&db, "CREATE TABLE b (i INT, y DOUBLE)");
+  RunSql(&db, "INSERT INTO a VALUES (1, 10.0), (2, 20.0), (3, 30.0)");
+  RunSql(&db, "INSERT INTO b VALUES (2, 200.0), (3, 300.0), (4, 400.0)");
+  Relation r =
+      RunSql(&db, "SELECT a.i, a.x + b.y AS s FROM a, b WHERE a.i = b.i "
+               "ORDER BY a.i");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][0]), 2);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][1]), 220.0);
+  EXPECT_DOUBLE_EQ(D(r.rows[1][1]), 330.0);
+}
+
+TEST(DatabaseTest, CrossJoinWithoutPredicate) {
+  Database db;
+  RunSql(&db, "CREATE TABLE a (i INT)");
+  RunSql(&db, "CREATE TABLE b (j INT)");
+  RunSql(&db, "INSERT INTO a VALUES (1), (2)");
+  RunSql(&db, "INSERT INTO b VALUES (10), (20), (30)");
+  Relation r = RunSql(&db, "SELECT a.i, b.j FROM a, b");
+  EXPECT_EQ(r.num_rows(), 6);
+}
+
+TEST(DatabaseTest, SelfJoinWithAliases) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT, v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (0, 1), (1, 2), (2, 4)");
+  Relation r = RunSql(&db,
+                   "SELECT x.i, x.v * y.v AS p FROM t x, t y "
+                   "WHERE x.i = y.i ORDER BY x.i");
+  ASSERT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(I(r.rows[2][1]), 16);
+}
+
+TEST(DatabaseTest, ThreeWayJoinTransitive) {
+  Database db;
+  RunSql(&db, "CREATE TABLE u (i INT, v INT)");
+  RunSql(&db, "CREATE TABLE v (i INT, v INT)");
+  RunSql(&db, "CREATE TABLE w (i INT, v INT)");
+  for (const char* t : {"u", "v", "w"}) {
+    RunSql(&db, std::string("INSERT INTO ") + t + " VALUES (0, 2), (1, 3)");
+  }
+  Relation r = RunSql(&db,
+                   "SELECT u.i, u.v * v.v * w.v AS p FROM u, v, w "
+                   "WHERE u.i = v.i AND v.i = w.i ORDER BY u.i");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][1]), 8);
+  EXPECT_EQ(I(r.rows[1][1]), 27);
+}
+
+TEST(DatabaseTest, GroupByWithSum) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (g INT, v DOUBLE)");
+  RunSql(&db, "INSERT INTO t VALUES (0, 1.0), (0, 2.0), (1, 5.0)");
+  Relation r = RunSql(&db, "SELECT g, SUM(v) AS s FROM t GROUP BY g ORDER BY g");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][1]), 3.0);
+  EXPECT_DOUBLE_EQ(D(r.rows[1][1]), 5.0);
+}
+
+TEST(DatabaseTest, AggregatesOverWholeTable) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (4), (1), (3)");
+  Relation r = RunSql(&db,
+                   "SELECT SUM(v) AS s, COUNT(*) AS c, AVG(v) AS a, "
+                   "MIN(v) AS lo, MAX(v) AS hi FROM t");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(I(r.rows[0][0]), 8);
+  EXPECT_EQ(I(r.rows[0][1]), 3);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][2]), 8.0 / 3.0);
+  EXPECT_EQ(I(r.rows[0][3]), 1);
+  EXPECT_EQ(I(r.rows[0][4]), 4);
+}
+
+TEST(DatabaseTest, SumOverEmptyTableIsNullCountZero) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  Relation r = RunSql(&db, "SELECT SUM(v) AS s, COUNT(*) AS c FROM t");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_TRUE(IsNull(r.rows[0][0]));
+  EXPECT_EQ(I(r.rows[0][1]), 0);
+}
+
+TEST(DatabaseTest, GroupByOnEmptyTableIsEmpty) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (g INT, v INT)");
+  Relation r = RunSql(&db, "SELECT g, SUM(v) FROM t GROUP BY g");
+  EXPECT_EQ(r.num_rows(), 0);
+}
+
+TEST(DatabaseTest, AggregateSkipsNulls) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (NULL), (3)");
+  Relation r = RunSql(&db, "SELECT SUM(v) AS s, COUNT(v) AS c FROM t");
+  EXPECT_EQ(I(r.rows[0][0]), 4);
+  EXPECT_EQ(I(r.rows[0][1]), 2);
+}
+
+TEST(DatabaseTest, SumOfProductInsideGroups) {
+  Database db;
+  RunSql(&db, "CREATE TABLE a (k INT, v DOUBLE)");
+  RunSql(&db, "CREATE TABLE b (k INT, v DOUBLE)");
+  RunSql(&db, "INSERT INTO a VALUES (0, 2.0), (1, 3.0)");
+  RunSql(&db, "INSERT INTO b VALUES (0, 10.0), (0, 20.0), (1, 5.0)");
+  Relation r = RunSql(&db,
+                   "SELECT a.k, SUM(a.v * b.v) AS s FROM a, b "
+                   "WHERE a.k = b.k GROUP BY a.k ORDER BY a.k");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][1]), 60.0);
+  EXPECT_DOUBLE_EQ(D(r.rows[1][1]), 15.0);
+}
+
+TEST(DatabaseTest, DistinctRemovesDuplicates) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (1), (2), (2), (2)");
+  Relation r = RunSql(&db, "SELECT DISTINCT v FROM t ORDER BY v");
+  ASSERT_EQ(r.num_rows(), 2);
+}
+
+TEST(DatabaseTest, OrderByDescendingAndLimit) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (3), (1), (4), (1), (5)");
+  Relation r = RunSql(&db, "SELECT v FROM t ORDER BY v DESC LIMIT 2");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][0]), 5);
+  EXPECT_EQ(I(r.rows[1][0]), 4);
+}
+
+TEST(DatabaseTest, OrderByPosition) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (a INT, b INT)");
+  RunSql(&db, "INSERT INTO t VALUES (2, 9), (1, 8)");
+  Relation r = RunSql(&db, "SELECT a, b FROM t ORDER BY 1");
+  EXPECT_EQ(I(r.rows[0][0]), 1);
+}
+
+TEST(DatabaseTest, StarExpansion) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (a INT, b INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1, 2)");
+  Relation r = RunSql(&db, "SELECT * FROM t");
+  ASSERT_EQ(r.num_columns(), 2);
+  EXPECT_EQ(r.columns[0].name, "a");
+}
+
+TEST(DatabaseTest, CteBasic) {
+  Database db;
+  Relation r = RunSql(&db,
+                   "WITH nums(n) AS (VALUES (1), (2), (3)) "
+                   "SELECT SUM(n) AS total FROM nums");
+  EXPECT_EQ(I(r.rows[0][0]), 6);
+}
+
+TEST(DatabaseTest, CteChainReferencesEarlierCte) {
+  Database db;
+  Relation r = RunSql(&db,
+                   "WITH a(x) AS (VALUES (1), (2)), "
+                   "b(y) AS (SELECT x * 10 FROM a) "
+                   "SELECT SUM(y) AS s FROM b");
+  EXPECT_EQ(I(r.rows[0][0]), 30);
+}
+
+TEST(DatabaseTest, CteReferencedTwice) {
+  Database db;
+  Relation r = RunSql(&db,
+                   "WITH a(x) AS (VALUES (1), (2)) "
+                   "SELECT SUM(l.x * r.x) AS s FROM a l, a r");
+  EXPECT_EQ(I(r.rows[0][0]), 9);  // (1+2)*(1+2)
+}
+
+TEST(DatabaseTest, PaperListing4EinsumQuery) {
+  // The complete example from the paper (Listing 4): ac,bc,b->a.
+  Database db;
+  Relation r = RunSql(&db,
+                   "WITH A(i, j, val) AS ("
+                   "  VALUES (0, 0, 1.0), (1, 1, 2.0)"
+                   "), B(i, j, val) AS ("
+                   "  VALUES (0, 0, 3.0), (0, 1, 4.0), (1, 0, 5.0),"
+                   "         (1, 1, 6.0), (2, 1, 7.0)"
+                   "), v(i, val) AS ("
+                   "  VALUES (0, 8.0), (2, 9.0)"
+                   ") SELECT A.i AS i,"
+                   "         SUM(A.val * B.val * v.val) AS val"
+                   "  FROM   A, B, v"
+                   "  WHERE  A.j=B.j AND B.i=v.i"
+                   "  GROUP  BY A.i ORDER BY A.i");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][1]), 24.0);
+  EXPECT_DOUBLE_EQ(D(r.rows[1][1]), 190.0);
+}
+
+TEST(DatabaseTest, PaperListing6DecomposedQuery) {
+  Database db;
+  Relation r = RunSql(&db,
+                   "WITH A(i, j, val) AS ("
+                   "  VALUES (0, 0, 1.0), (1, 1, 2.0)"
+                   "), B(i, j, val) AS ("
+                   "  VALUES (0, 0, 3.0), (0, 1, 4.0), (1, 0, 5.0),"
+                   "         (1, 1, 6.0), (2, 1, 7.0)"
+                   "), v(i, val) AS ("
+                   "  VALUES (0, 8.0), (2, 9.0)"
+                   "), k(i, val) AS ("
+                   "  SELECT B.j, SUM(v.val * B.val)"
+                   "  FROM v, B WHERE v.i=B.i GROUP BY B.j"
+                   ") SELECT A.i AS i, SUM(k.val * A.val) AS val"
+                   "  FROM k, A WHERE k.i=A.j GROUP BY A.i ORDER BY A.i");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][1]), 24.0);
+  EXPECT_DOUBLE_EQ(D(r.rows[1][1]), 190.0);
+}
+
+TEST(DatabaseTest, EmptyValuesBranchViaWhereFalse) {
+  Database db;
+  Relation r = RunSql(&db,
+                   "WITH e(i, val) AS (SELECT 0, 0.0 WHERE 1=0) "
+                   "SELECT COUNT(*) AS c FROM e");
+  EXPECT_EQ(I(r.rows[0][0]), 0);
+}
+
+TEST(DatabaseTest, ScalarFunctions) {
+  Database db;
+  Relation r = RunSql(&db,
+                   "SELECT abs(-3) AS a, coalesce(NULL, 7) AS c, "
+                   "length('abcd') AS l, mod(7, 3) AS m, floor(2.7) AS f, "
+                   "sqrt(9.0) AS q, pow(2, 10) AS p");
+  EXPECT_EQ(I(r.rows[0][0]), 3);
+  EXPECT_EQ(I(r.rows[0][1]), 7);
+  EXPECT_EQ(I(r.rows[0][2]), 4);
+  EXPECT_EQ(I(r.rows[0][3]), 1);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][4]), 2.0);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][5]), 3.0);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][6]), 1024.0);
+}
+
+TEST(DatabaseTest, NullComparisonsAreNotTrue) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (NULL)");
+  Relation eq = RunSql(&db, "SELECT COUNT(*) AS c FROM t WHERE v = v");
+  EXPECT_EQ(I(eq.rows[0][0]), 1);  // NULL = NULL is not true
+  Relation is_null = RunSql(&db, "SELECT COUNT(*) AS c FROM t WHERE v IS NULL");
+  EXPECT_EQ(I(is_null.rows[0][0]), 1);
+}
+
+
+TEST(DatabaseTest, NullJoinKeysNeverMatch) {
+  Database db;
+  RunSql(&db, "CREATE TABLE a (k INT, x INT)");
+  RunSql(&db, "CREATE TABLE b (k INT, y INT)");
+  RunSql(&db, "INSERT INTO a VALUES (NULL, 1), (2, 2)");
+  RunSql(&db, "INSERT INTO b VALUES (NULL, 10), (2, 20)");
+  Relation r = RunSql(&db,
+                      "SELECT a.x, b.y FROM a, b WHERE a.k = b.k");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(I(r.rows[0][0]), 2);
+}
+
+TEST(DatabaseTest, DistinctTreatsNullsAsEqual) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (NULL), (NULL), (1)");
+  Relation r = RunSql(&db, "SELECT DISTINCT v FROM t");
+  EXPECT_EQ(r.num_rows(), 2);
+}
+
+TEST(DatabaseTest, GroupByNullGroupsTogether) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (g INT, v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (NULL, 1), (NULL, 2), (3, 4)");
+  Relation r = RunSql(&db, "SELECT g, SUM(v) AS s FROM t GROUP BY g "
+                           "ORDER BY s");
+  ASSERT_EQ(r.num_rows(), 2);
+  // NULL group sums 1+2=3; group 3 sums 4.
+  EXPECT_EQ(I(r.rows[0][1]), 3);
+  EXPECT_EQ(I(r.rows[1][1]), 4);
+}
+
+TEST(DatabaseTest, OrderBySortsNullsFirst) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (2), (NULL), (1)");
+  Relation r = RunSql(&db, "SELECT v FROM t ORDER BY v");
+  EXPECT_TRUE(IsNull(r.rows[0][0]));
+  EXPECT_EQ(I(r.rows[1][0]), 1);
+}
+
+TEST(DatabaseTest, UnknownTableError) {
+  Database db;
+  auto result = db.Execute("SELECT * FROM missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, UnknownColumnError) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (a INT)");
+  EXPECT_FALSE(db.Execute("SELECT b FROM t").ok());
+}
+
+TEST(DatabaseTest, AmbiguousColumnError) {
+  Database db;
+  RunSql(&db, "CREATE TABLE a (x INT)");
+  RunSql(&db, "CREATE TABLE b (x INT)");
+  RunSql(&db, "INSERT INTO a VALUES (1)");
+  RunSql(&db, "INSERT INTO b VALUES (1)");
+  EXPECT_FALSE(db.Execute("SELECT x FROM a, b").ok());
+}
+
+TEST(DatabaseTest, DuplicateAliasRejected) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (x INT)");
+  EXPECT_FALSE(db.Execute("SELECT * FROM t a, t a").ok());
+}
+
+TEST(DatabaseTest, AggregateOutsideAggregationFailsInWhere) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1)");
+  EXPECT_FALSE(db.Execute("SELECT v FROM t WHERE SUM(v) > 0").ok());
+}
+
+TEST(DatabaseTest, StatsArePopulated) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (2)");
+  auto result = db.Execute("SELECT SUM(v) FROM t").value();
+  EXPECT_GE(result.stats.parse_seconds, 0.0);
+  EXPECT_GE(result.stats.plan_seconds, 0.0);
+  EXPECT_GT(result.stats.total_seconds(), 0.0);
+}
+
+TEST(DatabaseTest, PrepareReturnsPlanWithoutExecuting) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (v INT)");
+  QueryStats stats;
+  auto plan = db.Prepare("SELECT SUM(v) AS s FROM t", &stats).value();
+  EXPECT_TRUE(plan.root != nullptr);
+  EXPECT_GE(stats.planning_seconds(), 0.0);
+  EXPECT_FALSE(db.Prepare("CREATE TABLE u (v INT)").ok());
+}
+
+TEST(DatabaseTest, BulkInsertFastPath) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", {{"i", ValueType::kInt},
+                                   {"val", ValueType::kDouble}})
+                  .ok());
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 1000; ++i) {
+    rows.push_back({Value(i), Value(static_cast<double>(i) * 0.5)});
+  }
+  ASSERT_TRUE(db.BulkInsert("t", std::move(rows)).ok());
+  Relation r = RunSql(&db, "SELECT COUNT(*) AS c, SUM(val) AS s FROM t");
+  EXPECT_EQ(I(r.rows[0][0]), 1000);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][1]), 0.5 * 999.0 * 1000.0 / 2.0);
+}
+
+TEST(DatabaseTest, CaseInsensitiveNames) {
+  Database db;
+  RunSql(&db, "CREATE TABLE Tensor (I INT, Val DOUBLE)");
+  RunSql(&db, "INSERT INTO tensor VALUES (1, 2.0)");
+  Relation r = RunSql(&db, "SELECT i, VAL FROM TENSOR");
+  EXPECT_EQ(r.num_rows(), 1);
+}
+
+}  // namespace
+}  // namespace einsql::minidb

@@ -1,0 +1,107 @@
+#include "minidb/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql::minidb {
+namespace {
+
+std::vector<TokenKind> Kinds(std::string_view sql) {
+  auto tokens = Tokenize(sql).value();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputIsJustEof) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEof}));
+  EXPECT_EQ(Kinds("  \n\t "), (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  EXPECT_EQ(Kinds("SELECT select SeLeCt"),
+            (std::vector<TokenKind>{TokenKind::kSelect, TokenKind::kSelect,
+                                    TokenKind::kSelect, TokenKind::kEof}));
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  auto tokens = Tokenize("FooBar _x a1").value();
+  EXPECT_EQ(tokens[0].text, "FooBar");
+  EXPECT_EQ(tokens[1].text, "_x");
+  EXPECT_EQ(tokens[2].text, "a1");
+}
+
+TEST(LexerTest, IntegerLiteral) {
+  auto tokens = Tokenize("12345").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 12345);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto tokens = Tokenize("1.5 .25 2e3 1.5e-2").value();
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.015);
+}
+
+TEST(LexerTest, HugeIntegerFallsBackToDouble) {
+  auto tokens = Tokenize("99999999999999999999999").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloatLiteral);
+  EXPECT_GT(tokens[0].double_value, 1e22);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = Tokenize("'it''s'").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'abc").ok());
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto tokens = Tokenize("\"weird name\"").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "weird name");
+}
+
+TEST(LexerTest, LineComments) {
+  EXPECT_EQ(Kinds("SELECT -- comment here\n 1"),
+            (std::vector<TokenKind>{TokenKind::kSelect,
+                                    TokenKind::kIntLiteral, TokenKind::kEof}));
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(Kinds("= != <> < <= > >= + - * / % ( ) , . ;"),
+            (std::vector<TokenKind>{
+                TokenKind::kEq, TokenKind::kNotEq, TokenKind::kNotEq,
+                TokenKind::kLt, TokenKind::kLtEq, TokenKind::kGt,
+                TokenKind::kGtEq, TokenKind::kPlus, TokenKind::kMinus,
+                TokenKind::kStar, TokenKind::kSlash, TokenKind::kPercent,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+                TokenKind::kDot, TokenKind::kSemicolon, TokenKind::kEof}));
+}
+
+TEST(LexerTest, BadCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT #").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Tokenize("SELECT\n  x").value();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, QualifiedColumnTokens) {
+  EXPECT_EQ(Kinds("A.i0"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kDot,
+                                    TokenKind::kIdentifier, TokenKind::kEof}));
+}
+
+}  // namespace
+}  // namespace einsql::minidb

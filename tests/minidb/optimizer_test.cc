@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "minidb/database.h"
+
+namespace einsql::minidb {
+namespace {
+
+PlannerOptions Mode(OptimizerMode mode) {
+  PlannerOptions options;
+  options.mode = mode;
+  return options;
+}
+
+void Seed(Database* db) {
+  ASSERT_TRUE(db->Execute("CREATE TABLE small (k INT, v DOUBLE)").ok());
+  ASSERT_TRUE(db->Execute("CREATE TABLE big (k INT, v DOUBLE)").ok());
+  ASSERT_TRUE(db->Execute("INSERT INTO small VALUES (0, 1.0), (1, 2.0)").ok());
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 500; ++i) {
+    rows.push_back({Value(i % 2), Value(1.0)});
+  }
+  ASSERT_TRUE(db->BulkInsert("big", std::move(rows)).ok());
+}
+
+// All optimizer modes must compute identical results.
+class OptimizerModesAgree : public ::testing::TestWithParam<OptimizerMode> {};
+
+TEST_P(OptimizerModesAgree, JoinAggregate) {
+  Database db(Mode(GetParam()));
+  Seed(&db);
+  auto result = db.Execute(
+      "SELECT small.k, SUM(small.v * big.v) AS s FROM small, big "
+      "WHERE small.k = big.k GROUP BY small.k ORDER BY small.k");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->relation.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(AsDouble(result->relation.rows[0][1]).value(), 250.0);
+  EXPECT_DOUBLE_EQ(AsDouble(result->relation.rows[1][1]).value(), 500.0);
+}
+
+TEST_P(OptimizerModesAgree, CteChain) {
+  Database db(Mode(GetParam()));
+  auto result = db.Execute(
+      "WITH a(x, v) AS (VALUES (0, 2.0), (1, 3.0)), "
+      "b(x, v) AS (SELECT x, v * 10 FROM a), "
+      "c(x, v) AS (SELECT a.x, SUM(a.v * b.v) FROM a, b WHERE a.x = b.x "
+      "GROUP BY a.x) "
+      "SELECT SUM(v) AS s FROM c");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(AsDouble(result->relation.rows[0][0]).value(),
+                   2.0 * 20.0 + 3.0 * 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, OptimizerModesAgree,
+                         ::testing::Values(OptimizerMode::kNone,
+                                           OptimizerMode::kGreedy,
+                                           OptimizerMode::kAggressive),
+                         [](const auto& info) {
+                           return OptimizerModeToString(info.param);
+                         });
+
+TEST(OptimizerTest, GreedyStartsJoinFromSmallRelation) {
+  Database db(Mode(OptimizerMode::kGreedy));
+  Seed(&db);
+  auto plan = db.Prepare(
+                    "SELECT COUNT(*) AS c FROM big, small "
+                    "WHERE big.k = small.k")
+                  .value();
+  // The left-deep tree should place `small` first despite FROM order.
+  const PlanNode* node = plan.root.get();
+  while (!node->children.empty()) node = node->children[0].get();
+  EXPECT_EQ(node->table_name, "small");
+}
+
+TEST(OptimizerTest, NoneModeKeepsFromOrder) {
+  Database db(Mode(OptimizerMode::kNone));
+  Seed(&db);
+  auto plan = db.Prepare(
+                    "SELECT COUNT(*) AS c FROM big, small "
+                    "WHERE big.k = small.k")
+                  .value();
+  const PlanNode* node = plan.root.get();
+  while (!node->children.empty()) node = node->children[0].get();
+  EXPECT_EQ(node->table_name, "big");
+}
+
+TEST(OptimizerTest, AggressiveDeduplicatesIdenticalCtes) {
+  Database db(Mode(OptimizerMode::kAggressive));
+  auto plan = db.Prepare(
+                    "WITH t1(i, val) AS (VALUES (0, 1.0), (1, 1.0)), "
+                    "t2(i, val) AS (VALUES (0, 1.0), (1, 1.0)), "
+                    "t3(i, val) AS (VALUES (0, 2.0)) "
+                    "SELECT SUM(t1.val * t2.val * t3.val) AS s "
+                    "FROM t1, t2, t3 "
+                    "WHERE t1.i = t2.i AND t2.i = t3.i")
+                  .value();
+  // t1 and t2 are structurally identical and must collapse into one CTE.
+  EXPECT_EQ(plan.ctes.size(), 2u);
+  // Result must be unaffected.
+  Database db2(Mode(OptimizerMode::kAggressive));
+  auto result = db2.Execute(
+      "WITH t1(i, val) AS (VALUES (0, 1.0), (1, 1.0)), "
+      "t2(i, val) AS (VALUES (0, 1.0), (1, 1.0)), "
+      "t3(i, val) AS (VALUES (0, 2.0)) "
+      "SELECT SUM(t1.val * t2.val * t3.val) AS s "
+      "FROM t1, t2, t3 "
+      "WHERE t1.i = t2.i AND t2.i = t3.i");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(AsDouble(result->relation.rows[0][0]).value(), 2.0);
+}
+
+TEST(OptimizerTest, GreedyDoesNotDeduplicateCtes) {
+  Database db(Mode(OptimizerMode::kGreedy));
+  auto plan = db.Prepare(
+                    "WITH t1(i) AS (VALUES (0)), t2(i) AS (VALUES (0)) "
+                    "SELECT COUNT(*) AS c FROM t1, t2")
+                  .value();
+  EXPECT_EQ(plan.ctes.size(), 2u);
+}
+
+TEST(OptimizerTest, ExhaustiveModeExceedsBudgetOnLargeCteChains) {
+  PlannerOptions options = Mode(OptimizerMode::kExhaustive);
+  options.optimizer_budget = 100'000;
+  Database db(options);
+  // Build a WITH chain of 40 CTEs: 2^40 enumeration leaves >> budget.
+  std::string sql = "WITH c0(x) AS (VALUES (1))";
+  for (int i = 1; i < 40; ++i) {
+    sql += ", c" + std::to_string(i) + "(x) AS (SELECT x + 1 FROM c" +
+           std::to_string(i - 1) + ")";
+  }
+  sql += " SELECT x FROM c39";
+  auto result = db.Execute(sql);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(OptimizerTest, ExhaustiveModeFinishesSmallQueries) {
+  Database db(Mode(OptimizerMode::kExhaustive));
+  auto result = db.Execute(
+      "WITH a(x) AS (VALUES (1), (2)), b(y) AS (SELECT x * 2 FROM a) "
+      "SELECT SUM(y) AS s FROM b");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(AsInt(result->relation.rows[0][0]).value(), 6);
+}
+
+TEST(OptimizerTest, PlanToStringMentionsOperators) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT, b DOUBLE)").ok());
+  auto plan =
+      db.Prepare("SELECT a, SUM(b) AS s FROM t GROUP BY a ORDER BY s DESC")
+          .value();
+  const std::string dump = plan.ToString();
+  EXPECT_NE(dump.find("HashAggregate"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("Sort"), std::string::npos);
+  EXPECT_NE(dump.find("Scan t"), std::string::npos);
+}
+
+TEST(OptimizerTest, ModeNames) {
+  EXPECT_STREQ(OptimizerModeToString(OptimizerMode::kNone), "none");
+  EXPECT_STREQ(OptimizerModeToString(OptimizerMode::kGreedy), "greedy");
+  EXPECT_STREQ(OptimizerModeToString(OptimizerMode::kAggressive),
+               "aggressive");
+  EXPECT_STREQ(OptimizerModeToString(OptimizerMode::kExhaustive),
+               "exhaustive");
+}
+
+}  // namespace
+}  // namespace einsql::minidb

@@ -1,0 +1,244 @@
+#include "minidb/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql::minidb {
+namespace {
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = ParseStatement("SELECT 1").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kSelect);
+  const QueryBody& body = stmt.select->body;
+  ASSERT_EQ(body.select_list.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(body.select_list[0].expr->literal), 1);
+  EXPECT_TRUE(body.from.empty());
+}
+
+TEST(ParserTest, SelectWithAllClauses) {
+  auto stmt = ParseStatement(
+                  "SELECT a.i AS x, SUM(a.val * b.val) AS v "
+                  "FROM t1 a, t2 b WHERE a.j = b.j AND a.i > 0 "
+                  "GROUP BY a.i ORDER BY v DESC LIMIT 10")
+                  .value();
+  const QueryBody& body = stmt.select->body;
+  EXPECT_EQ(body.select_list.size(), 2u);
+  EXPECT_EQ(body.select_list[0].alias, "x");
+  EXPECT_EQ(body.from.size(), 2u);
+  EXPECT_EQ(body.from[0].name, "t1");
+  EXPECT_EQ(body.from[0].effective_alias(), "a");
+  ASSERT_TRUE(body.where != nullptr);
+  EXPECT_EQ(body.group_by.size(), 1u);
+  ASSERT_EQ(body.order_by.size(), 1u);
+  EXPECT_TRUE(body.order_by[0].descending);
+  EXPECT_EQ(body.limit, 10);
+}
+
+TEST(ParserTest, WithClause) {
+  auto stmt = ParseStatement(
+                  "WITH k(i, val) AS (SELECT j, SUM(v) FROM t GROUP BY j), "
+                  "m AS (VALUES (1, 2.0)) "
+                  "SELECT * FROM k, m")
+                  .value();
+  ASSERT_EQ(stmt.select->ctes.size(), 2u);
+  EXPECT_EQ(stmt.select->ctes[0].name, "k");
+  EXPECT_EQ(stmt.select->ctes[0].column_names,
+            (std::vector<std::string>{"i", "val"}));
+  EXPECT_TRUE(stmt.select->ctes[1].body->is_values);
+  EXPECT_TRUE(stmt.select->body.select_list[0].is_star);
+}
+
+TEST(ParserTest, ValuesAsTopLevel) {
+  auto stmt = ParseStatement("VALUES (1, 'a'), (2, 'b')").value();
+  const QueryBody& body = stmt.select->body;
+  EXPECT_TRUE(body.is_values);
+  ASSERT_EQ(body.values_rows.size(), 2u);
+  EXPECT_EQ(body.values_rows[0].size(), 2u);
+}
+
+TEST(ParserTest, NegativeNumberLiteralFolded) {
+  auto stmt = ParseStatement("VALUES (-3, -2.5)").value();
+  const auto& row = stmt.select->body.values_rows[0];
+  EXPECT_EQ(std::get<int64_t>(row[0]->literal), -3);
+  EXPECT_DOUBLE_EQ(std::get<double>(row[1]->literal), -2.5);
+}
+
+TEST(ParserTest, JoinSyntaxFoldsOnIntoWhere) {
+  auto stmt = ParseStatement(
+                  "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y > 1")
+                  .value();
+  const QueryBody& body = stmt.select->body;
+  EXPECT_EQ(body.from.size(), 2u);
+  ASSERT_TRUE(body.where != nullptr);
+  // (a.x = b.x) AND (a.y > 1)
+  EXPECT_EQ(body.where->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, CrossJoin) {
+  auto stmt = ParseStatement("SELECT * FROM a CROSS JOIN b").value();
+  EXPECT_EQ(stmt.select->body.from.size(), 2u);
+  EXPECT_FALSE(ParseStatement("SELECT * FROM a CROSS JOIN b ON a.x=b.x").ok());
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt =
+      ParseStatement("CREATE TABLE T (i INT, j INTEGER, val DOUBLE, s TEXT)")
+          .value();
+  ASSERT_EQ(stmt.kind, StatementKind::kCreateTable);
+  const CreateTableStmt& create = *stmt.create_table;
+  EXPECT_EQ(create.table, "T");
+  ASSERT_EQ(create.columns.size(), 4u);
+  EXPECT_EQ(create.columns[0].second, ValueType::kInt);
+  EXPECT_EQ(create.columns[2].second, ValueType::kDouble);
+  EXPECT_EQ(create.columns[3].second, ValueType::kText);
+}
+
+TEST(ParserTest, CreateTableVarcharLength) {
+  auto stmt = ParseStatement("CREATE TABLE T (s VARCHAR(100))").value();
+  EXPECT_EQ(stmt.create_table->columns[0].second, ValueType::kText);
+}
+
+TEST(ParserTest, CreateTableUnknownTypeFails) {
+  EXPECT_FALSE(ParseStatement("CREATE TABLE T (x BLOB)").ok());
+}
+
+TEST(ParserTest, InsertRows) {
+  auto stmt =
+      ParseStatement("INSERT INTO T VALUES (1, 2.0), (3, 4.0)").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kInsert);
+  EXPECT_EQ(stmt.insert->rows.size(), 2u);
+}
+
+TEST(ParserTest, InsertWithColumnList) {
+  auto stmt = ParseStatement("INSERT INTO T (j, i) VALUES (2, 1)").value();
+  EXPECT_EQ(stmt.insert->columns, (std::vector<std::string>{"j", "i"}));
+}
+
+TEST(ParserTest, DropTable) {
+  auto stmt = ParseStatement("DROP TABLE T").value();
+  EXPECT_EQ(stmt.kind, StatementKind::kDropTable);
+  EXPECT_FALSE(stmt.drop_table->if_exists);
+  auto stmt2 = ParseStatement("DROP TABLE IF EXISTS T").value();
+  EXPECT_TRUE(stmt2.drop_table->if_exists);
+}
+
+TEST(ParserTest, DeleteWithWhere) {
+  auto stmt = ParseStatement("DELETE FROM T WHERE i = 3").value();
+  EXPECT_EQ(stmt.kind, StatementKind::kDelete);
+  EXPECT_TRUE(stmt.delete_stmt->where != nullptr);
+}
+
+
+TEST(ParserTest, UnionAllChain) {
+  auto stmt = ParseStatement(
+                  "SELECT a FROM t UNION ALL SELECT b FROM u "
+                  "UNION ALL SELECT c FROM v ORDER BY a LIMIT 5")
+                  .value();
+  const QueryBody& body = stmt.select->body;
+  EXPECT_EQ(body.union_all.size(), 2u);
+  // ORDER BY / LIMIT hoisted to the outermost body.
+  EXPECT_EQ(body.order_by.size(), 1u);
+  EXPECT_EQ(body.limit, 5);
+  for (const auto& member : body.union_all) {
+    EXPECT_TRUE(member->order_by.empty());
+    EXPECT_FALSE(member->limit.has_value());
+  }
+}
+
+TEST(ParserTest, UnionRequiresAll) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 UNION SELECT 2").ok());
+}
+
+TEST(ParserTest, UnionAllRejectsValuesMember) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 UNION ALL VALUES (2)").ok());
+}
+
+TEST(ParserTest, ExplainFlag) {
+  auto stmt = ParseStatement("EXPLAIN SELECT 1").value();
+  EXPECT_TRUE(stmt.select->explain);
+  auto plain = ParseStatement("SELECT 1").value();
+  EXPECT_FALSE(plain.select->explain);
+  EXPECT_FALSE(ParseStatement("EXPLAIN DROP TABLE t").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(ParseStatement("SELECT 1;").ok());
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 SELECT 2").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1; SELECT 2").ok());
+}
+
+TEST(ParserTest, ErrorsIncludePosition) {
+  auto result = ParseStatement("SELECT FROM");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParseExpressionTest, Precedence) {
+  auto e = ParseExpression("1 + 2 * 3").value();
+  // Must parse as 1 + (2 * 3).
+  EXPECT_EQ(e->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(e->right->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParseExpressionTest, ComparisonBindsLooserThanArithmetic) {
+  auto e = ParseExpression("a + 1 = b * 2").value();
+  EXPECT_EQ(e->binary_op, BinaryOp::kEq);
+  EXPECT_EQ(e->left->binary_op, BinaryOp::kAdd);
+}
+
+TEST(ParseExpressionTest, AndOrPrecedence) {
+  auto e = ParseExpression("a = 1 OR b = 2 AND c = 3").value();
+  // OR at the top, AND beneath.
+  EXPECT_EQ(e->binary_op, BinaryOp::kOr);
+  EXPECT_EQ(e->right->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParseExpressionTest, NotAndIsNull) {
+  auto e = ParseExpression("NOT x IS NULL").value();
+  EXPECT_EQ(e->kind, ExprKind::kUnary);
+  EXPECT_EQ(e->unary_op, UnaryOp::kNot);
+  EXPECT_EQ(e->left->kind, ExprKind::kIsNull);
+  auto e2 = ParseExpression("x IS NOT NULL").value();
+  EXPECT_TRUE(e2->is_null_negated);
+}
+
+TEST(ParseExpressionTest, FunctionCalls) {
+  auto e = ParseExpression("SUM(a.val * b.val)").value();
+  EXPECT_EQ(e->kind, ExprKind::kFunction);
+  EXPECT_EQ(e->function, "sum");
+  ASSERT_EQ(e->args.size(), 1u);
+  auto star = ParseExpression("COUNT(*)").value();
+  EXPECT_TRUE(star->star_argument);
+}
+
+TEST(ParseExpressionTest, Parentheses) {
+  auto e = ParseExpression("(1 + 2) * 3").value();
+  EXPECT_EQ(e->binary_op, BinaryOp::kMul);
+  EXPECT_EQ(e->left->binary_op, BinaryOp::kAdd);
+}
+
+TEST(ParseExpressionTest, QualifiedAndUnqualifiedColumns) {
+  auto q = ParseExpression("t.col").value();
+  EXPECT_EQ(q->table, "t");
+  EXPECT_EQ(q->column, "col");
+  auto u = ParseExpression("col").value();
+  EXPECT_EQ(u->table, "");
+}
+
+TEST(ParseExpressionTest, CloneIsDeep) {
+  auto e = ParseExpression("a + SUM(b)").value();
+  auto clone = e->Clone();
+  EXPECT_EQ(e->ToString(), clone->ToString());
+  EXPECT_NE(e->left.get(), clone->left.get());
+}
+
+TEST(ParseExpressionTest, ContainsAggregate) {
+  EXPECT_TRUE(ContainsAggregate(*ParseExpression("1 + SUM(x)").value()));
+  EXPECT_TRUE(ContainsAggregate(*ParseExpression("COUNT(*)").value()));
+  EXPECT_FALSE(ContainsAggregate(*ParseExpression("abs(x) + 1").value()));
+}
+
+}  // namespace
+}  // namespace einsql::minidb

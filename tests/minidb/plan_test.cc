@@ -1,0 +1,105 @@
+#include "minidb/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "minidb/database.h"
+
+namespace einsql::minidb {
+namespace {
+
+TEST(ResolveColumnTest, Unqualified) {
+  Schema schema = {{"a", "i"}, {"a", "val"}, {"b", "j"}};
+  EXPECT_EQ(ResolveColumn(schema, "", "val").value(), 1);
+  EXPECT_EQ(ResolveColumn(schema, "", "j").value(), 2);
+}
+
+TEST(ResolveColumnTest, Qualified) {
+  Schema schema = {{"a", "i"}, {"b", "i"}};
+  EXPECT_EQ(ResolveColumn(schema, "a", "i").value(), 0);
+  EXPECT_EQ(ResolveColumn(schema, "b", "i").value(), 1);
+}
+
+TEST(ResolveColumnTest, AmbiguousUnqualified) {
+  Schema schema = {{"a", "i"}, {"b", "i"}};
+  auto result = ResolveColumn(schema, "", "i");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST(ResolveColumnTest, NotFound) {
+  Schema schema = {{"a", "i"}};
+  EXPECT_EQ(ResolveColumn(schema, "", "zzz").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(ResolveColumn(schema, "wrong", "i").ok());
+}
+
+TEST(ResolveColumnTest, CaseInsensitive) {
+  Schema schema = {{"Table", "Col"}};
+  EXPECT_EQ(ResolveColumn(schema, "TABLE", "col").value(), 0);
+}
+
+TEST(PlanKindTest, Names) {
+  EXPECT_STREQ(PlanKindToString(PlanKind::kScan), "Scan");
+  EXPECT_STREQ(PlanKindToString(PlanKind::kJoin), "HashJoin");
+  EXPECT_STREQ(PlanKindToString(PlanKind::kAggregate), "HashAggregate");
+}
+
+class PlanFromQuery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE a (i INT, x DOUBLE)").ok());
+    ASSERT_TRUE(db_.Execute("CREATE TABLE b (i INT, y DOUBLE)").ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO a VALUES (1, 2.0)").ok());
+  }
+  Database db_;
+};
+
+TEST_F(PlanFromQuery, CloneIsStructurallyIdentical) {
+  auto plan = db_.Prepare(
+                    "SELECT a.i, SUM(a.x * b.y) AS s FROM a, b "
+                    "WHERE a.i = b.i AND a.x > 0 GROUP BY a.i "
+                    "ORDER BY s DESC LIMIT 3")
+                  .value();
+  auto clone = plan.root->Clone();
+  EXPECT_EQ(plan.root->Fingerprint(), clone->Fingerprint());
+  EXPECT_EQ(plan.root->ToString(), clone->ToString());
+}
+
+TEST_F(PlanFromQuery, FingerprintDistinguishesPlans) {
+  auto p1 = db_.Prepare("SELECT i FROM a WHERE x > 1").value();
+  auto p2 = db_.Prepare("SELECT i FROM a WHERE x > 2").value();
+  auto p3 = db_.Prepare("SELECT i FROM a WHERE x > 1").value();
+  EXPECT_NE(p1.root->Fingerprint(), p2.root->Fingerprint());
+  EXPECT_EQ(p1.root->Fingerprint(), p3.root->Fingerprint());
+}
+
+TEST_F(PlanFromQuery, ToStringShowsOperatorsAndEstimates) {
+  auto plan = db_.Prepare(
+                    "WITH c(i) AS (VALUES (1), (2)) "
+                    "SELECT COUNT(*) AS n FROM a, c WHERE a.i = c.i")
+                  .value();
+  const std::string dump = plan.ToString();
+  EXPECT_NE(dump.find("CTE c"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("Values (2 rows)"), std::string::npos);
+  EXPECT_NE(dump.find("HashJoin"), std::string::npos);
+  EXPECT_NE(dump.find("rows"), std::string::npos);
+}
+
+TEST_F(PlanFromQuery, EstimatedRowsReflectTableSizes) {
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO a VALUES (2, 1.0), (3, 1.0), (4, 1.0)").ok());
+  auto plan = db_.Prepare("SELECT i FROM a").value();
+  // Scan of 4 rows propagates through the projection estimate.
+  EXPECT_DOUBLE_EQ(plan.root->est_rows, 4.0);
+}
+
+TEST(RelationToStringTest, TruncatesLongOutput) {
+  Relation r;
+  r.columns = {{"v", ValueType::kInt}};
+  for (int64_t i = 0; i < 30; ++i) r.rows.push_back({Value(i)});
+  const std::string text = r.ToString(5);
+  EXPECT_NE(text.find("25 more rows"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace einsql::minidb

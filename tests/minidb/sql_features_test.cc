@@ -1,0 +1,273 @@
+// Tests for the extended SQL surface: HAVING, BETWEEN, IN, CASE WHEN.
+// Every behaviour is cross-checked against SQLite through the backend
+// layer, since both engines must execute the same portable SQL.
+
+#include <gtest/gtest.h>
+
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+#include "minidb/database.h"
+
+namespace einsql::minidb {
+namespace {
+
+Relation RunSql(Database* db, std::string_view sql) {
+  auto result = db->Execute(sql);
+  EXPECT_TRUE(result.ok()) << result.status() << "\nSQL: " << sql;
+  return result.ok() ? result->relation : Relation{};
+}
+
+int64_t I(const Value& v) { return AsInt(v).value(); }
+
+Database WithNumbers() {
+  Database db;
+  (void)db.Execute("CREATE TABLE t (g INT, v INT)");
+  (void)db.Execute(
+      "INSERT INTO t VALUES (0, 1), (0, 2), (1, 5), (1, 6), (2, 100)");
+  return db;
+}
+
+TEST(HavingTest, FiltersGroups) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "SELECT g, SUM(v) AS s FROM t GROUP BY g "
+                      "HAVING SUM(v) > 5 ORDER BY g");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][0]), 1);
+  EXPECT_EQ(I(r.rows[1][0]), 2);
+}
+
+TEST(HavingTest, CanReferenceGroupColumns) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "SELECT g, COUNT(*) AS c FROM t GROUP BY g "
+                      "HAVING g < 2 ORDER BY g");
+  EXPECT_EQ(r.num_rows(), 2);
+}
+
+TEST(HavingTest, AggregateNotInSelectList) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "SELECT g FROM t GROUP BY g HAVING MIN(v) >= 5 "
+                      "ORDER BY g");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][0]), 1);
+}
+
+TEST(HavingTest, RequiresGroupBy) {
+  Database db = WithNumbers();
+  EXPECT_FALSE(db.Execute("SELECT SUM(v) FROM t HAVING SUM(v) > 0").ok());
+}
+
+TEST(BetweenTest, InclusiveBounds) {
+  Database db = WithNumbers();
+  Relation r =
+      RunSql(&db, "SELECT v FROM t WHERE v BETWEEN 2 AND 5 ORDER BY v");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][0]), 2);
+  EXPECT_EQ(I(r.rows[1][0]), 5);
+}
+
+TEST(BetweenTest, NotBetween) {
+  Database db = WithNumbers();
+  Relation r = RunSql(
+      &db, "SELECT v FROM t WHERE NOT (v BETWEEN 2 AND 99) ORDER BY v");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][0]), 1);
+  EXPECT_EQ(I(r.rows[1][0]), 100);
+}
+
+TEST(InTest, LiteralList) {
+  Database db = WithNumbers();
+  Relation r =
+      RunSql(&db, "SELECT v FROM t WHERE v IN (1, 5, 100) ORDER BY v");
+  ASSERT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(I(r.rows[2][0]), 100);
+}
+
+TEST(InTest, NotIn) {
+  Database db = WithNumbers();
+  Relation r =
+      RunSql(&db, "SELECT v FROM t WHERE NOT v IN (1, 2) ORDER BY v");
+  EXPECT_EQ(r.num_rows(), 3);
+}
+
+TEST(CaseTest, SearchedCase) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "SELECT v, CASE WHEN v < 3 THEN 'small' "
+                      "WHEN v < 10 THEN 'medium' ELSE 'large' END AS bucket "
+                      "FROM t ORDER BY v");
+  ASSERT_EQ(r.num_rows(), 5);
+  EXPECT_EQ(std::get<std::string>(r.rows[0][1]), "small");
+  EXPECT_EQ(std::get<std::string>(r.rows[2][1]), "medium");
+  EXPECT_EQ(std::get<std::string>(r.rows[4][1]), "large");
+}
+
+TEST(CaseTest, MissingElseYieldsNull) {
+  Database db;
+  Relation r = RunSql(&db, "SELECT CASE WHEN 1 = 2 THEN 7 END AS x");
+  EXPECT_TRUE(IsNull(r.rows[0][0]));
+}
+
+TEST(CaseTest, InsideAggregate) {
+  // Conditional counting: the classic pivot idiom.
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "SELECT SUM(CASE WHEN v < 10 THEN 1 ELSE 0 END) AS "
+                      "small_count FROM t");
+  EXPECT_EQ(I(r.rows[0][0]), 4);
+}
+
+TEST(CaseTest, SimpleCaseRejected) {
+  Database db;
+  EXPECT_FALSE(db.Execute("SELECT CASE 1 WHEN 1 THEN 2 END").ok());
+}
+
+TEST(CaseTest, InWhereClause) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "SELECT v FROM t WHERE CASE WHEN g = 0 THEN v ELSE 0 "
+                      "END > 1");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(I(r.rows[0][0]), 2);
+}
+
+
+TEST(ExplainTest, ReturnsPlanText) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db, "EXPLAIN SELECT g, SUM(v) FROM t GROUP BY g");
+  ASSERT_GT(r.num_rows(), 1);
+  ASSERT_EQ(r.num_columns(), 1);
+  std::string all;
+  for (const Row& row : r.rows) all += std::get<std::string>(row[0]) + "\n";
+  EXPECT_NE(all.find("HashAggregate"), std::string::npos) << all;
+  EXPECT_NE(all.find("Scan t"), std::string::npos);
+}
+
+TEST(ExplainTest, DoesNotExecute) {
+  Database db;
+  // EXPLAIN of a query over a missing column fails at plan time — but a
+  // valid plan is never executed, so an expensive query explains instantly.
+  RunSql(&db, "CREATE TABLE big (v INT)");
+  auto result = db.Execute("EXPLAIN SELECT a.v FROM big a, big b, big c");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->stats.exec_seconds, 0.0);
+}
+
+TEST(ExplainTest, RejectsNonSelect) {
+  Database db;
+  EXPECT_FALSE(db.Execute("EXPLAIN CREATE TABLE t (v INT)").ok());
+}
+
+
+TEST(UnionAllTest, ConcatenatesRows) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "SELECT v FROM t WHERE v < 3 "
+                      "UNION ALL SELECT v FROM t WHERE v > 50 "
+                      "ORDER BY v");
+  ASSERT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(I(r.rows[0][0]), 1);
+  EXPECT_EQ(I(r.rows[2][0]), 100);
+}
+
+TEST(UnionAllTest, KeepsDuplicates) {
+  Database db;
+  Relation r = RunSql(&db, "SELECT 1 AS x UNION ALL SELECT 1 ORDER BY x");
+  EXPECT_EQ(r.num_rows(), 2);
+}
+
+TEST(UnionAllTest, ThreeWayChainWithAggregates) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "SELECT SUM(v) AS s FROM t WHERE g = 0 "
+                      "UNION ALL SELECT SUM(v) FROM t WHERE g = 1 "
+                      "UNION ALL SELECT SUM(v) FROM t WHERE g = 2 "
+                      "ORDER BY s");
+  ASSERT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(I(r.rows[0][0]), 3);
+  EXPECT_EQ(I(r.rows[1][0]), 11);
+  EXPECT_EQ(I(r.rows[2][0]), 100);
+}
+
+TEST(UnionAllTest, LimitAppliesToWholeUnion) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "SELECT v FROM t UNION ALL SELECT v FROM t "
+                      "ORDER BY v DESC LIMIT 3");
+  ASSERT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(I(r.rows[0][0]), 100);
+  EXPECT_EQ(I(r.rows[1][0]), 100);
+}
+
+TEST(UnionAllTest, RejectsColumnCountMismatch) {
+  Database db = WithNumbers();
+  EXPECT_FALSE(
+      db.Execute("SELECT v FROM t UNION ALL SELECT g, v FROM t").ok());
+}
+
+TEST(UnionAllTest, RejectsBareUnion) {
+  Database db = WithNumbers();
+  EXPECT_FALSE(db.Execute("SELECT v FROM t UNION SELECT v FROM t").ok());
+}
+
+TEST(UnionAllTest, WorksInsideCte) {
+  Database db = WithNumbers();
+  Relation r = RunSql(&db,
+                      "WITH u(v) AS (SELECT v FROM t WHERE g = 0 "
+                      "UNION ALL SELECT v FROM t WHERE g = 1) "
+                      "SELECT SUM(v) AS s FROM u");
+  EXPECT_EQ(I(r.rows[0][0]), 14);
+}
+
+// Cross-engine conformance: the same feature queries must produce identical
+// results on SQLite.
+class FeatureConformance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FeatureConformance, MatchesSqlite) {
+  const std::string setup =
+      "CREATE TABLE t (g INT, v DOUBLE);";
+  const std::string inserts =
+      "INSERT INTO t VALUES (0, 1.0), (0, 2.5), (1, 5.0), (1, -6.0), "
+      "(2, 100.0), (2, 0.0);";
+  MiniDbBackend minidb;
+  auto sqlite = SqliteBackend::Open().value();
+  for (SqlBackend* backend :
+       std::initializer_list<SqlBackend*>{&minidb, sqlite.get()}) {
+    ASSERT_TRUE(backend->Execute(setup).ok());
+    ASSERT_TRUE(backend->Execute(inserts).ok());
+  }
+  auto a = minidb.Query(GetParam());
+  auto b = sqlite->Query(GetParam());
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a->num_rows(), b->num_rows()) << GetParam();
+  ASSERT_EQ(a->num_columns(), b->num_columns());
+  for (int64_t r = 0; r < a->num_rows(); ++r) {
+    for (int c = 0; c < a->num_columns(); ++c) {
+      EXPECT_EQ(CompareValues(a->rows[r][c], b->rows[r][c]), 0)
+          << GetParam() << " row " << r << " col " << c << ": "
+          << ValueToString(a->rows[r][c]) << " vs "
+          << ValueToString(b->rows[r][c]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, FeatureConformance,
+    ::testing::Values(
+        "SELECT g, SUM(v) AS s FROM t GROUP BY g HAVING SUM(v) > 1 "
+        "ORDER BY g",
+        "SELECT v FROM t WHERE v BETWEEN 0 AND 5 ORDER BY v",
+        "SELECT v FROM t WHERE v IN (1.0, 100.0) ORDER BY v",
+        "SELECT CASE WHEN v < 0 THEN 0 - v ELSE v END AS m FROM t "
+        "ORDER BY m",
+        "SELECT g, COUNT(*) AS c, MIN(v) AS lo, MAX(v) AS hi FROM t "
+        "GROUP BY g HAVING COUNT(*) = 2 ORDER BY g",
+        "SELECT SUM(CASE WHEN v > 0 THEN 1 ELSE 0 END) AS p FROM t",
+        "SELECT v FROM t WHERE g = 0 UNION ALL SELECT v FROM t WHERE g = 2 "
+        "ORDER BY v"));
+
+}  // namespace
+}  // namespace einsql::minidb

@@ -1,0 +1,117 @@
+#include "minidb/value.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql::minidb {
+namespace {
+
+TEST(ValueTest, TypeOf) {
+  EXPECT_EQ(TypeOf(Value(Null{})), ValueType::kNull);
+  EXPECT_EQ(TypeOf(Value(int64_t{4})), ValueType::kInt);
+  EXPECT_EQ(TypeOf(Value(2.5)), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(Value(std::string("x"))), ValueType::kText);
+}
+
+TEST(ValueTest, IsNull) {
+  EXPECT_TRUE(IsNull(Value(Null{})));
+  EXPECT_FALSE(IsNull(Value(int64_t{0})));
+}
+
+TEST(ValueTest, AsDoubleAndAsInt) {
+  EXPECT_DOUBLE_EQ(AsDouble(Value(int64_t{3})).value(), 3.0);
+  EXPECT_DOUBLE_EQ(AsDouble(Value(2.5)).value(), 2.5);
+  EXPECT_FALSE(AsDouble(Value(std::string("x"))).ok());
+  EXPECT_FALSE(AsDouble(Value(Null{})).ok());
+  EXPECT_EQ(AsInt(Value(2.9)).value(), 2);
+  EXPECT_EQ(AsInt(Value(int64_t{-5})).value(), -5);
+}
+
+TEST(ValueTest, ValueToString) {
+  EXPECT_EQ(ValueToString(Value(Null{})), "NULL");
+  EXPECT_EQ(ValueToString(Value(int64_t{42})), "42");
+  EXPECT_EQ(ValueToString(Value(std::string("hi"))), "hi");
+}
+
+TEST(CompareValuesTest, NumericCrossType) {
+  EXPECT_EQ(CompareValues(Value(int64_t{2}), Value(2.0)), 0);
+  EXPECT_LT(CompareValues(Value(int64_t{1}), Value(1.5)), 0);
+  EXPECT_GT(CompareValues(Value(3.5), Value(int64_t{3})), 0);
+}
+
+TEST(CompareValuesTest, SortClasses) {
+  // NULL < numbers < text.
+  EXPECT_LT(CompareValues(Value(Null{}), Value(int64_t{0})), 0);
+  EXPECT_LT(CompareValues(Value(int64_t{999}), Value(std::string(""))), 0);
+  EXPECT_EQ(CompareValues(Value(Null{}), Value(Null{})), 0);
+}
+
+TEST(CompareValuesTest, Text) {
+  EXPECT_LT(CompareValues(Value(std::string("a")), Value(std::string("b"))),
+            0);
+  EXPECT_EQ(CompareValues(Value(std::string("a")), Value(std::string("a"))),
+            0);
+}
+
+TEST(SqlEqualsTest, NullNeverEquals) {
+  EXPECT_FALSE(SqlEquals(Value(Null{}), Value(Null{})));
+  EXPECT_FALSE(SqlEquals(Value(Null{}), Value(int64_t{1})));
+}
+
+TEST(SqlEqualsTest, CrossTypeNumeric) {
+  EXPECT_TRUE(SqlEquals(Value(int64_t{7}), Value(7.0)));
+  EXPECT_FALSE(SqlEquals(Value(int64_t{7}), Value(std::string("7"))));
+}
+
+TEST(ArithmeticTest, IntStaysInt) {
+  EXPECT_EQ(std::get<int64_t>(Add(Value(int64_t{2}), Value(int64_t{3})).value()),
+            5);
+  EXPECT_EQ(std::get<int64_t>(
+                Multiply(Value(int64_t{4}), Value(int64_t{5})).value()),
+            20);
+}
+
+TEST(ArithmeticTest, PromotionToDouble) {
+  Value v = Add(Value(int64_t{2}), Value(0.5)).value();
+  EXPECT_EQ(TypeOf(v), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 2.5);
+}
+
+TEST(ArithmeticTest, NullPropagates) {
+  EXPECT_TRUE(IsNull(Add(Value(Null{}), Value(int64_t{1})).value()));
+  EXPECT_TRUE(IsNull(Multiply(Value(2.0), Value(Null{})).value()));
+}
+
+TEST(ArithmeticTest, DivisionByZeroIsNull) {
+  EXPECT_TRUE(IsNull(Divide(Value(int64_t{1}), Value(int64_t{0})).value()));
+  EXPECT_TRUE(IsNull(Divide(Value(1.0), Value(0.0)).value()));
+}
+
+TEST(ArithmeticTest, IntegerDivisionTruncates) {
+  EXPECT_EQ(std::get<int64_t>(
+                Divide(Value(int64_t{7}), Value(int64_t{2})).value()),
+            3);
+}
+
+TEST(ArithmeticTest, TextIsRejected) {
+  EXPECT_FALSE(Add(Value(std::string("a")), Value(int64_t{1})).ok());
+  EXPECT_FALSE(Negate(Value(std::string("a"))).ok());
+}
+
+TEST(ArithmeticTest, Negate) {
+  EXPECT_EQ(std::get<int64_t>(Negate(Value(int64_t{5})).value()), -5);
+  EXPECT_DOUBLE_EQ(std::get<double>(Negate(Value(2.5)).value()), -2.5);
+  EXPECT_TRUE(IsNull(Negate(Value(Null{})).value()));
+}
+
+TEST(HashValueTest, IntAndDoubleHashAlike) {
+  EXPECT_EQ(HashValue(Value(int64_t{42})), HashValue(Value(42.0)));
+}
+
+TEST(HashValueTest, RowKeyOrderMatters) {
+  std::vector<Value> ab = {Value(int64_t{1}), Value(int64_t{2})};
+  std::vector<Value> ba = {Value(int64_t{2}), Value(int64_t{1})};
+  EXPECT_NE(HashRowKey(ab), HashRowKey(ba));
+}
+
+}  // namespace
+}  // namespace einsql::minidb

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+#include "quantum/sycamore.h"
+#include "quantum/to_einsum.h"
+
+namespace einsql::quantum {
+namespace {
+
+bool StatesClose(const std::vector<Amplitude>& a,
+                 const std::vector<Amplitude>& b, double tolerance = 1e-9) {
+  if (a.size() != b.size()) return false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (std::abs(a[k] - b[k]) > tolerance) return false;
+  }
+  return true;
+}
+
+double Norm(const std::vector<Amplitude>& state) {
+  double total = 0.0;
+  for (const Amplitude& amplitude : state) total += std::norm(amplitude);
+  return total;
+}
+
+TEST(GatesTest, AllGatesAreUnitary) {
+  for (const Gate& gate :
+       {H(0), X(0), Y(0), Z(0), S(0), T(0), SqrtX(0), SqrtY(0), SqrtW(0),
+        Rz(0, 0.7), CX(0, 1), CZ(0, 1), FSim(0, 1, 1.1, 0.4), Swap(0, 1),
+        Toffoli(0, 1, 2)}) {
+    EXPECT_TRUE(IsUnitary(gate).value()) << gate.name;
+  }
+}
+
+TEST(GatesTest, SqrtGatesSquareToTheirBase) {
+  // Apply √X twice to |0>: must equal X|0> = |1>.
+  Circuit circuit;
+  circuit.num_qubits = 1;
+  circuit.gates = {SqrtX(0), SqrtX(0)};
+  auto state = SimulateStatevector(circuit, {0}).value();
+  EXPECT_NEAR(std::abs(state[1]), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(state[0]), 0.0, 1e-12);
+}
+
+TEST(CircuitTest, ValidateChecksQubits) {
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  circuit.gates = {H(5)};
+  EXPECT_FALSE(Validate(circuit).ok());
+  circuit.gates = {CX(1, 1)};
+  EXPECT_FALSE(Validate(circuit).ok());
+  circuit.gates = {H(0), CX(0, 1)};
+  EXPECT_TRUE(Validate(circuit).ok());
+}
+
+TEST(StatevectorTest, BellState) {
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  circuit.gates = {H(0), CX(0, 1)};
+  auto state = SimulateStatevector(circuit, {0, 0}).value();
+  const double inv_sqrt2 = 0.7071067811865475244;
+  EXPECT_NEAR(state[0].real(), inv_sqrt2, 1e-12);  // |00>
+  EXPECT_NEAR(std::abs(state[1]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(state[2]), 0.0, 1e-12);
+  EXPECT_NEAR(state[3].real(), inv_sqrt2, 1e-12);  // |11>
+}
+
+TEST(StatevectorTest, InitialStateRespected) {
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  auto state = SimulateStatevector(circuit, {1, 0}).value();
+  EXPECT_NEAR(std::abs(state[1]), 1.0, 1e-12);  // qubit0 = 1 => index 1
+}
+
+TEST(StatevectorTest, CzAppliesPhase) {
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  circuit.gates = {CZ(0, 1)};
+  auto state = SimulateStatevector(circuit, {1, 1}).value();
+  EXPECT_NEAR(state[3].real(), -1.0, 1e-12);
+}
+
+TEST(StatevectorTest, NormPreservedOnRandomCircuit) {
+  Circuit circuit = SycamoreLikeCircuit(6, 8, /*seed=*/3);
+  auto state = SimulateStatevector(circuit, std::vector<int>(6, 0)).value();
+  EXPECT_NEAR(Norm(state), 1.0, 1e-9);
+}
+
+TEST(NetworkTest, PaperTwoQubitExampleStructure) {
+  // Figure 7: two H gates and a CX — format a,b,ca,dbc,ed->ce.
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  circuit.gates = {H(0), CX(0, 1), H(1)};
+  auto network = BuildCircuitNetwork(circuit, {0, 0}).value();
+  // 2 inputs + 3 gate tensors.
+  ASSERT_EQ(network.spec.inputs.size(), 5u);
+  EXPECT_EQ(network.spec.inputs[2].size(), 2u);  // H on qubit 0
+  EXPECT_EQ(network.spec.inputs[3].size(), 3u);  // CX as rank-3 tensor
+  EXPECT_EQ(network.spec.output.size(), 2u);
+}
+
+TEST(NetworkTest, DiagonalGateDoesNotRenameWires) {
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  circuit.gates = {CZ(0, 1)};
+  auto network = BuildCircuitNetwork(circuit, {0, 0}).value();
+  // Output wires are still the input labels.
+  EXPECT_EQ(network.spec.output[0], network.spec.inputs[0][0]);
+  EXPECT_EQ(network.spec.output[1], network.spec.inputs[1][0]);
+}
+
+TEST(NetworkTest, RejectsBadInitialState) {
+  Circuit circuit;
+  circuit.num_qubits = 1;
+  EXPECT_FALSE(BuildCircuitNetwork(circuit, {2}).ok());
+  EXPECT_FALSE(BuildCircuitNetwork(circuit, {0, 0}).ok());
+}
+
+class EinsumSimulationEngines : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<EinsumEngine> MakeEngine() {
+    if (GetParam() == "dense") return std::make_unique<DenseEinsumEngine>();
+    if (GetParam() == "sparse") return std::make_unique<SparseEinsumEngine>();
+    if (GetParam() == "sqlite") {
+      sqlite_ = SqliteBackend::Open().value();
+      return std::make_unique<SqlEinsumEngine>(sqlite_.get());
+    }
+    minidb_ = std::make_unique<MiniDbBackend>();
+    return std::make_unique<SqlEinsumEngine>(minidb_.get());
+  }
+
+  void ExpectMatchesStatevector(const Circuit& circuit,
+                                const std::vector<int>& initial) {
+    auto engine = MakeEngine();
+    auto amplitudes = SimulateEinsum(engine.get(), circuit, initial);
+    ASSERT_TRUE(amplitudes.ok()) << amplitudes.status();
+    auto got = AmplitudesToStatevector(*amplitudes).value();
+    auto expected = SimulateStatevector(circuit, initial).value();
+    EXPECT_TRUE(StatesClose(got, expected)) << "on " << engine->name();
+  }
+
+  std::unique_ptr<SqliteBackend> sqlite_;
+  std::unique_ptr<MiniDbBackend> minidb_;
+};
+
+TEST_P(EinsumSimulationEngines, BellCircuit) {
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  circuit.gates = {H(0), CX(0, 1)};
+  ExpectMatchesStatevector(circuit, {0, 0});
+}
+
+TEST_P(EinsumSimulationEngines, PaperFigure7AllInitialStates) {
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  circuit.gates = {H(0), CX(0, 1), H(1)};
+  for (int s = 0; s < 4; ++s) {
+    ExpectMatchesStatevector(circuit, {s & 1, (s >> 1) & 1});
+  }
+}
+
+TEST_P(EinsumSimulationEngines, GateZoo) {
+  Circuit circuit;
+  circuit.num_qubits = 3;
+  circuit.gates = {H(0),      T(1),          SqrtW(2), CX(0, 2),
+                   CZ(1, 2),  FSim(0, 1, 0.9, 0.3),    S(0),
+                   SqrtY(1),  Rz(2, 1.234),  CX(2, 0), Y(1)};
+  ExpectMatchesStatevector(circuit, {0, 1, 0});
+}
+
+TEST_P(EinsumSimulationEngines, SycamoreLikeSmall) {
+  Circuit circuit = SycamoreLikeCircuit(5, 4, /*seed=*/19);
+  ExpectMatchesStatevector(circuit, std::vector<int>(5, 0));
+}
+
+TEST_P(EinsumSimulationEngines, NormIsOne) {
+  auto engine = MakeEngine();
+  Circuit circuit = SycamoreLikeCircuit(4, 6, /*seed=*/23);
+  auto amplitudes =
+      SimulateEinsum(engine.get(), circuit, {0, 0, 0, 0}).value();
+  auto state = AmplitudesToStatevector(amplitudes).value();
+  EXPECT_NEAR(Norm(state), 1.0, 1e-9);
+}
+
+
+TEST_P(EinsumSimulationEngines, SingleAmplitudeMatchesStatevector) {
+  auto engine = MakeEngine();
+  Circuit circuit = SycamoreLikeCircuit(6, 4, /*seed=*/31);
+  const std::vector<int> zeros(6, 0);
+  auto oracle = SimulateStatevector(circuit, zeros).value();
+  for (int pattern : {0, 1, 21, 63}) {
+    std::vector<int> bits(6);
+    int64_t index = 0;
+    for (int q = 0; q < 6; ++q) {
+      bits[q] = (pattern >> q) & 1;
+      index |= static_cast<int64_t>(bits[q]) << q;
+    }
+    auto amplitude =
+        SimulateAmplitudeEinsum(engine.get(), circuit, zeros, bits);
+    ASSERT_TRUE(amplitude.ok()) << amplitude.status();
+    EXPECT_NEAR(std::abs(*amplitude - oracle[index]), 0.0, 1e-9)
+        << "pattern " << pattern << " on " << engine->name();
+  }
+}
+
+TEST(AmplitudeTest, RejectsBadOutputBits) {
+  DenseEinsumEngine dense;
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  circuit.gates = {H(0)};
+  EXPECT_FALSE(SimulateAmplitudeEinsum(&dense, circuit, {0, 0}, {0}).ok());
+  EXPECT_FALSE(
+      SimulateAmplitudeEinsum(&dense, circuit, {0, 0}, {0, 2}).ok());
+}
+
+
+TEST(StatevectorTest, SwapExchangesQubits) {
+  Circuit circuit;
+  circuit.num_qubits = 2;
+  circuit.gates = {Swap(0, 1)};
+  auto state = SimulateStatevector(circuit, {1, 0}).value();
+  EXPECT_NEAR(std::abs(state[2]), 1.0, 1e-12);  // qubit1 now set
+}
+
+TEST(StatevectorTest, ToffoliFlipsOnlyWhenBothControlsSet) {
+  Circuit circuit;
+  circuit.num_qubits = 3;
+  circuit.gates = {Toffoli(0, 1, 2)};
+  auto flipped = SimulateStatevector(circuit, {1, 1, 0}).value();
+  EXPECT_NEAR(std::abs(flipped[0b111]), 1.0, 1e-12);
+  auto unchanged = SimulateStatevector(circuit, {1, 0, 0}).value();
+  EXPECT_NEAR(std::abs(unchanged[0b001]), 1.0, 1e-12);
+}
+
+TEST_P(EinsumSimulationEngines, SwapAndToffoliThroughEinsum) {
+  Circuit circuit;
+  circuit.num_qubits = 3;
+  circuit.gates = {H(0), H(1), Swap(0, 2), Toffoli(0, 1, 2), T(2),
+                   Toffoli(2, 1, 0), Swap(1, 2)};
+  ExpectMatchesStatevector(circuit, {0, 0, 1});
+}
+
+TEST(CircuitTest, ToffoliValidation) {
+  Circuit circuit;
+  circuit.num_qubits = 3;
+  circuit.gates = {Toffoli(0, 1, 1)};  // duplicate qubit
+  EXPECT_FALSE(Validate(circuit).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EinsumSimulationEngines,
+                         ::testing::Values("dense", "sparse", "sqlite", "minidb"),
+                         [](const auto& info) { return info.param; });
+
+TEST(SycamoreTest, GateCountsScaleWithDepth) {
+  Circuit a = SycamoreLikeCircuit(9, 2);
+  Circuit b = SycamoreLikeCircuit(9, 8);
+  EXPECT_TRUE(Validate(a).ok());
+  EXPECT_TRUE(Validate(b).ok());
+  EXPECT_GT(b.gates.size(), a.gates.size());
+  // Every cycle contributes one single-qubit gate per qubit.
+  EXPECT_GE(a.gates.size(), 2u * 9u);
+}
+
+TEST(SycamoreTest, DeterministicForSeed) {
+  Circuit a = SycamoreLikeCircuit(7, 5, 42);
+  Circuit b = SycamoreLikeCircuit(7, 5, 42);
+  ASSERT_EQ(a.gates.size(), b.gates.size());
+  for (size_t g = 0; g < a.gates.size(); ++g) {
+    EXPECT_EQ(a.gates[g].name, b.gates[g].name);
+    EXPECT_EQ(a.gates[g].qubits, b.gates[g].qubits);
+  }
+}
+
+TEST(SycamoreTest, NeverRepeatsSingleQubitGate) {
+  Circuit circuit = SycamoreLikeCircuit(4, 10, 5);
+  std::vector<std::string> last(4);
+  for (const Gate& gate : circuit.gates) {
+    if (gate.kind != GateKind::kOneQubit) continue;
+    const int q = gate.qubits[0];
+    EXPECT_NE(gate.name, last[q]);
+    last[q] = gate.name;
+  }
+}
+
+TEST(AmplitudesToStatevectorTest, RejectsNonQubitAxes) {
+  ComplexCooTensor tensor({3});
+  EXPECT_FALSE(AmplitudesToStatevector(tensor).ok());
+}
+
+}  // namespace
+}  // namespace einsql::quantum

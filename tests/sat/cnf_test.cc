@@ -1,0 +1,179 @@
+#include "sat/cnf.h"
+
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.h"
+#include "sat/generator.h"
+
+namespace einsql::sat {
+namespace {
+
+CnfFormula Example() {
+  // (¬a ∨ ¬d) ∧ (a ∨ b ∨ ¬c) — Figure 3 / Listing 9 of the paper.
+  CnfFormula formula;
+  formula.num_variables = 4;
+  formula.clauses = {{{-1, -4}}, {{1, 2, -3}}};
+  return formula;
+}
+
+TEST(CnfTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(Validate(Example()).ok());
+}
+
+TEST(CnfTest, ValidateRejectsZeroLiteral) {
+  CnfFormula formula;
+  formula.num_variables = 2;
+  formula.clauses = {{{1, 0}}};
+  EXPECT_FALSE(Validate(formula).ok());
+}
+
+TEST(CnfTest, ValidateRejectsOutOfRange) {
+  CnfFormula formula;
+  formula.num_variables = 2;
+  formula.clauses = {{{3}}};
+  EXPECT_FALSE(Validate(formula).ok());
+}
+
+TEST(CnfTest, ValidateRejectsEmptyClause) {
+  CnfFormula formula;
+  formula.num_variables = 1;
+  formula.clauses = {{{}}};
+  EXPECT_FALSE(Validate(formula).ok());
+}
+
+TEST(CnfTest, EvaluateClause) {
+  Clause clause{{1, -2}};
+  EXPECT_TRUE(EvaluateClause(clause, {true, true}));
+  EXPECT_TRUE(EvaluateClause(clause, {false, false}));
+  EXPECT_FALSE(EvaluateClause(clause, {false, true}));
+}
+
+TEST(CnfTest, MaxClauseSize) {
+  EXPECT_EQ(Example().max_clause_size(), 3);
+  EXPECT_EQ(CnfFormula{}.max_clause_size(), 0);
+}
+
+TEST(CountExactTest, PaperExampleFormula) {
+  // Enumerate by hand: 16 assignments; count satisfying.
+  const CnfFormula formula = Example();
+  double expected = 0.0;
+  for (int mask = 0; mask < 16; ++mask) {
+    std::vector<bool> assignment;
+    for (int v = 0; v < 4; ++v) assignment.push_back((mask >> v) & 1);
+    if (Evaluate(formula, assignment)) expected += 1.0;
+  }
+  EXPECT_DOUBLE_EQ(CountSolutionsExact(formula).value(), expected);
+}
+
+TEST(CountExactTest, EmptyFormulaCountsAllAssignments) {
+  CnfFormula formula;
+  formula.num_variables = 5;
+  EXPECT_DOUBLE_EQ(CountSolutionsExact(formula).value(), 32.0);
+}
+
+TEST(CountExactTest, UnsatisfiableFormula) {
+  CnfFormula formula;
+  formula.num_variables = 1;
+  formula.clauses = {{{1}}, {{-1}}};
+  EXPECT_DOUBLE_EQ(CountSolutionsExact(formula).value(), 0.0);
+}
+
+TEST(CountExactTest, MatchesEnumerationOnRandomFormulas) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int variables = 3 + trial % 6;
+    CnfFormula formula =
+        RandomKSat(variables, 2 + trial, 1 + trial % 3, &rng);
+    double expected = 0.0;
+    for (int mask = 0; mask < (1 << variables); ++mask) {
+      std::vector<bool> assignment;
+      for (int v = 0; v < variables; ++v) {
+        assignment.push_back((mask >> v) & 1);
+      }
+      if (Evaluate(formula, assignment)) expected += 1.0;
+    }
+    EXPECT_DOUBLE_EQ(CountSolutionsExact(formula).value(), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST(DimacsTest, RoundTrip) {
+  const CnfFormula formula = Example();
+  auto parsed = ParseDimacs(ToDimacs(formula)).value();
+  EXPECT_EQ(parsed.num_variables, 4);
+  ASSERT_EQ(parsed.clauses.size(), 2u);
+  EXPECT_EQ(parsed.clauses[1].literals, (std::vector<int>{1, 2, -3}));
+}
+
+TEST(DimacsTest, ParsesCommentsAndHeader) {
+  auto formula = ParseDimacs("c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n").value();
+  EXPECT_EQ(formula.num_variables, 3);
+  EXPECT_EQ(formula.clauses.size(), 2u);
+}
+
+TEST(DimacsTest, AcceptsMissingTrailingZero) {
+  auto formula = ParseDimacs("p cnf 2 1\n1 2").value();
+  EXPECT_EQ(formula.clauses.size(), 1u);
+}
+
+TEST(DimacsTest, RejectsMissingHeader) {
+  EXPECT_FALSE(ParseDimacs("1 2 0\n").ok());
+}
+
+TEST(DimacsTest, RejectsClauseCountMismatch) {
+  EXPECT_FALSE(ParseDimacs("p cnf 2 5\n1 0\n").ok());
+}
+
+TEST(DimacsTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n1 x 0\n").ok());
+}
+
+TEST(GeneratorTest, RandomKSatShape) {
+  Rng rng(9);
+  CnfFormula formula = RandomKSat(10, 30, 3, &rng);
+  EXPECT_EQ(formula.num_variables, 10);
+  EXPECT_EQ(formula.clauses.size(), 30u);
+  for (const Clause& clause : formula.clauses) {
+    EXPECT_EQ(clause.literals.size(), 3u);
+  }
+  EXPECT_TRUE(Validate(formula).ok());
+}
+
+TEST(GeneratorTest, PackageFormulaIs3Sat) {
+  PackageFormulaOptions options;
+  options.num_packages = 40;
+  CnfFormula formula = PackageDependencyFormula(options);
+  EXPECT_TRUE(Validate(formula).ok());
+  EXPECT_LE(formula.max_clause_size(), 3);
+  EXPECT_GT(formula.clauses.size(), 40u);
+}
+
+TEST(GeneratorTest, PackageFormulaIsSatisfiable) {
+  // Dependencies point downward, so installing the requested packages and
+  // everything they require is always possible.
+  PackageFormulaOptions options;
+  options.num_packages = 12;
+  CnfFormula formula = PackageDependencyFormula(options);
+  EXPECT_GT(CountSolutionsExact(formula).value(), 0.0);
+}
+
+TEST(GeneratorTest, PackageFormulaDeterministicForSeed) {
+  PackageFormulaOptions options;
+  options.seed = 123;
+  const std::string a = ToDimacs(PackageDependencyFormula(options));
+  const std::string b = ToDimacs(PackageDependencyFormula(options));
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorTest, TruncateClauses) {
+  PackageFormulaOptions options;
+  CnfFormula formula = PackageDependencyFormula(options);
+  CnfFormula prefix = TruncateClauses(formula, 5);
+  EXPECT_EQ(prefix.clauses.size(), 5u);
+  EXPECT_EQ(prefix.num_variables, formula.num_variables);
+  CnfFormula all = TruncateClauses(formula, 1 << 30);
+  EXPECT_EQ(all.clauses.size(), formula.clauses.size());
+}
+
+}  // namespace
+}  // namespace einsql::sat

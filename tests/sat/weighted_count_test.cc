@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+#include "sat/count.h"
+#include "sat/generator.h"
+
+namespace einsql::sat {
+namespace {
+
+CnfFormula Example() {
+  CnfFormula formula;
+  formula.num_variables = 3;
+  formula.clauses = {{{1, -2}}, {{2, 3}}};
+  return formula;
+}
+
+TEST(LiteralWeightsTest, UniformIsAllOnes) {
+  LiteralWeights weights = LiteralWeights::Uniform(3);
+  EXPECT_EQ(weights.negative, (std::vector<double>{1, 1, 1}));
+  EXPECT_EQ(weights.positive, (std::vector<double>{1, 1, 1}));
+}
+
+TEST(WeightedCountTest, UniformWeightsEqualPlainCounting) {
+  DenseEinsumEngine dense;
+  const CnfFormula formula = Example();
+  const double plain = CountSolutionsEinsum(&dense, formula).value();
+  const double weighted =
+      WeightedCountEinsum(&dense, formula, LiteralWeights::Uniform(3))
+          .value();
+  EXPECT_DOUBLE_EQ(weighted, plain);
+}
+
+TEST(WeightedCountTest, ExactOracleByHand) {
+  // Single clause (x1) over one variable: only x1 = true satisfies.
+  CnfFormula formula;
+  formula.num_variables = 1;
+  formula.clauses = {{{1}}};
+  LiteralWeights weights;
+  weights.negative = {0.3};
+  weights.positive = {0.7};
+  EXPECT_DOUBLE_EQ(WeightedCountExact(formula, weights).value(), 0.7);
+}
+
+TEST(WeightedCountTest, FreeVariablesContributeWeightSums) {
+  // Variable 2 appears in no clause: every model is scaled by (w_f + w_t).
+  CnfFormula formula;
+  formula.num_variables = 2;
+  formula.clauses = {{{1}}};
+  LiteralWeights weights;
+  weights.negative = {0.25, 0.5};
+  weights.positive = {0.75, 2.0};
+  DenseEinsumEngine dense;
+  const double expected = 0.75 * (0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(WeightedCountEinsum(&dense, formula, weights).value(),
+                   expected);
+  EXPECT_DOUBLE_EQ(WeightedCountExact(formula, weights).value(), expected);
+}
+
+class WeightedCountEngines : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WeightedCountEngines, MatchesExactOnRandomFormulas) {
+  std::unique_ptr<SqliteBackend> sqlite;
+  std::unique_ptr<MiniDbBackend> minidb;
+  std::unique_ptr<EinsumEngine> engine;
+  if (GetParam() == "dense") {
+    engine = std::make_unique<DenseEinsumEngine>();
+  } else if (GetParam() == "sparse") {
+    engine = std::make_unique<SparseEinsumEngine>();
+  } else if (GetParam() == "sqlite") {
+    sqlite = SqliteBackend::Open().value();
+    engine = std::make_unique<SqlEinsumEngine>(sqlite.get());
+  } else {
+    minidb = std::make_unique<MiniDbBackend>();
+    engine = std::make_unique<SqlEinsumEngine>(minidb.get());
+  }
+  Rng rng(101);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int variables = 4 + trial;
+    CnfFormula formula = RandomKSat(variables, 5 + trial * 2, 3, &rng);
+    LiteralWeights weights;
+    for (int v = 0; v < variables; ++v) {
+      weights.negative.push_back(rng.UniformDouble(0.1, 2.0));
+      weights.positive.push_back(rng.UniformDouble(0.1, 2.0));
+    }
+    const double expected = WeightedCountExact(formula, weights).value();
+    auto got = WeightedCountEinsum(engine.get(), formula, weights);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_NEAR(*got, expected, 1e-9 * (1.0 + expected)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, WeightedCountEngines,
+                         ::testing::Values("dense", "sparse", "sqlite",
+                                           "minidb"),
+                         [](const auto& info) { return info.param; });
+
+TEST(WeightedCountTest, RejectsWrongWeightArity) {
+  DenseEinsumEngine dense;
+  const CnfFormula formula = Example();
+  LiteralWeights weights = LiteralWeights::Uniform(2);
+  EXPECT_FALSE(WeightedCountEinsum(&dense, formula, weights).ok());
+  EXPECT_FALSE(WeightedCountExact(formula, weights).ok());
+}
+
+}  // namespace
+}  // namespace einsql::sat

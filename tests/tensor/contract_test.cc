@@ -1,0 +1,219 @@
+#include "tensor/contract.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace einsql {
+namespace {
+
+DenseTensor RandomTensor(const Shape& shape, uint64_t seed) {
+  auto t = DenseTensor::Zeros(shape).value();
+  Rng rng(seed);
+  for (int64_t i = 0; i < t.size(); ++i) t[i] = rng.UniformDouble(-1.0, 1.0);
+  return t;
+}
+
+TEST(TransposeTest, MatrixTranspose) {
+  auto t = DenseTensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6}).value();
+  auto tt = Transpose(t, {1, 0}).value();
+  EXPECT_EQ(tt.shape(), (Shape{3, 2}));
+  EXPECT_DOUBLE_EQ(tt.At({0, 1}).value(), 4.0);
+  EXPECT_DOUBLE_EQ(tt.At({2, 0}).value(), 3.0);
+}
+
+TEST(TransposeTest, IdentityPermutation) {
+  auto t = RandomTensor({2, 3, 4}, 1);
+  auto tt = Transpose(t, {0, 1, 2}).value();
+  EXPECT_TRUE(AllClose(t, tt));
+}
+
+TEST(TransposeTest, ThreeDimCycle) {
+  auto t = RandomTensor({2, 3, 4}, 2);
+  auto tt = Transpose(t, {2, 0, 1}).value();
+  EXPECT_EQ(tt.shape(), (Shape{4, 2, 3}));
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      for (int64_t k = 0; k < 4; ++k) {
+        EXPECT_DOUBLE_EQ(tt.At({k, i, j}).value(), t.At({i, j, k}).value());
+      }
+    }
+  }
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  auto t = RandomTensor({3, 4, 5}, 3);
+  auto tt = Transpose(Transpose(t, {1, 2, 0}).value(), {2, 0, 1}).value();
+  EXPECT_TRUE(AllClose(t, tt));
+}
+
+TEST(TransposeTest, RejectsBadPermutation) {
+  auto t = RandomTensor({2, 2}, 4);
+  EXPECT_FALSE(Transpose(t, {0}).ok());
+  EXPECT_FALSE(Transpose(t, {0, 0}).ok());
+  EXPECT_FALSE(Transpose(t, {0, 2}).ok());
+}
+
+TEST(ReduceLabelsTest, MatrixDiagonal) {
+  auto t = DenseTensor::FromData({3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9}).value();
+  auto diag = ReduceLabels(t, {0, 0}, {0}).value();  // "ii->i"
+  EXPECT_EQ(diag.shape(), (Shape{3}));
+  EXPECT_DOUBLE_EQ(diag.At({0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(diag.At({1}).value(), 5.0);
+  EXPECT_DOUBLE_EQ(diag.At({2}).value(), 9.0);
+}
+
+TEST(ReduceLabelsTest, Trace) {
+  auto t = DenseTensor::FromData({2, 2}, {1, 2, 3, 4}).value();
+  auto trace = ReduceLabels(t, {0, 0}, {}).value();  // "ii->"
+  EXPECT_DOUBLE_EQ(trace.At({}).value(), 5.0);
+}
+
+TEST(ReduceLabelsTest, AxisSum) {
+  auto t = DenseTensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6}).value();
+  auto rows = ReduceLabels(t, {0, 1}, {0}).value();  // "ij->i"
+  EXPECT_DOUBLE_EQ(rows.At({0}).value(), 6.0);
+  EXPECT_DOUBLE_EQ(rows.At({1}).value(), 15.0);
+  auto cols = ReduceLabels(t, {0, 1}, {1}).value();  // "ij->j"
+  EXPECT_DOUBLE_EQ(cols.At({0}).value(), 5.0);
+}
+
+TEST(ReduceLabelsTest, PermutesOutput) {
+  auto t = RandomTensor({2, 3}, 5);
+  auto tt = ReduceLabels(t, {0, 1}, {1, 0}).value();  // "ij->ji"
+  EXPECT_TRUE(AllClose(tt, Transpose(t, {1, 0}).value()));
+}
+
+TEST(ReduceLabelsTest, RejectsUnknownOutputLabel) {
+  auto t = RandomTensor({2}, 6);
+  EXPECT_FALSE(ReduceLabels(t, {0}, {1}).ok());
+}
+
+TEST(ReduceLabelsTest, RejectsDuplicateOutput) {
+  auto t = RandomTensor({2, 2}, 7);
+  EXPECT_FALSE(ReduceLabels(t, {0, 1}, {0, 0}).ok());
+}
+
+TEST(ReduceLabelsTest, RejectsMismatchedDiagonalExtents) {
+  auto t = RandomTensor({2, 3}, 8);
+  EXPECT_FALSE(ReduceLabels(t, {0, 0}, {0}).ok());
+}
+
+TEST(ContractPairTest, MatrixMatrixMultiply) {
+  auto a = DenseTensor::FromData({2, 2}, {1, 2, 3, 4}).value();
+  auto b = DenseTensor::FromData({2, 2}, {5, 6, 7, 8}).value();
+  // "ij,jk->ik"
+  auto c = ContractPair(a, {'i', 'j'}, b, {'j', 'k'}, {'i', 'k'}).value();
+  EXPECT_DOUBLE_EQ(c.At({0, 0}).value(), 19.0);
+  EXPECT_DOUBLE_EQ(c.At({0, 1}).value(), 22.0);
+  EXPECT_DOUBLE_EQ(c.At({1, 0}).value(), 43.0);
+  EXPECT_DOUBLE_EQ(c.At({1, 1}).value(), 50.0);
+}
+
+TEST(ContractPairTest, MatrixVector) {
+  auto a = DenseTensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6}).value();
+  auto v = DenseTensor::FromData({3}, {1, 0, -1}).value();
+  auto r = ContractPair(a, {0, 1}, v, {1}, {0}).value();  // "ij,j->i"
+  EXPECT_DOUBLE_EQ(r.At({0}).value(), -2.0);
+  EXPECT_DOUBLE_EQ(r.At({1}).value(), -2.0);
+}
+
+TEST(ContractPairTest, InnerProduct) {
+  auto u = DenseTensor::FromData({3}, {1, 2, 3}).value();
+  auto v = DenseTensor::FromData({3}, {4, 5, 6}).value();
+  auto r = ContractPair(u, {0}, v, {0}, {}).value();  // "i,i->"
+  EXPECT_DOUBLE_EQ(r.At({}).value(), 32.0);
+}
+
+TEST(ContractPairTest, OuterProduct) {
+  auto u = DenseTensor::FromData({2}, {1, 2}).value();
+  auto v = DenseTensor::FromData({3}, {3, 4, 5}).value();
+  auto r = ContractPair(u, {0}, v, {1}, {0, 1}).value();  // "i,j->ij"
+  EXPECT_EQ(r.shape(), (Shape{2, 3}));
+  EXPECT_DOUBLE_EQ(r.At({1, 2}).value(), 10.0);
+}
+
+TEST(ContractPairTest, ElementwiseProductAsBatch) {
+  auto u = DenseTensor::FromData({3}, {1, 2, 3}).value();
+  auto v = DenseTensor::FromData({3}, {4, 5, 6}).value();
+  auto r = ContractPair(u, {0}, v, {0}, {0}).value();  // "i,i->i"
+  EXPECT_DOUBLE_EQ(r.At({0}).value(), 4.0);
+  EXPECT_DOUBLE_EQ(r.At({1}).value(), 10.0);
+  EXPECT_DOUBLE_EQ(r.At({2}).value(), 18.0);
+}
+
+TEST(ContractPairTest, BatchMatmul) {
+  // "bik,bkj->bij" with b=2, i=k=j=2.
+  auto a = RandomTensor({2, 2, 2}, 9);
+  auto b = RandomTensor({2, 2, 2}, 10);
+  auto c = ContractPair(a, {'b', 'i', 'k'}, b, {'b', 'k', 'j'},
+                        {'b', 'i', 'j'})
+               .value();
+  for (int64_t bt = 0; bt < 2; ++bt) {
+    for (int64_t i = 0; i < 2; ++i) {
+      for (int64_t j = 0; j < 2; ++j) {
+        double expected = 0.0;
+        for (int64_t k = 0; k < 2; ++k) {
+          expected += a.At({bt, i, k}).value() * b.At({bt, k, j}).value();
+        }
+        EXPECT_NEAR(c.At({bt, i, j}).value(), expected, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ContractPairTest, SingleSidedSumIsPreReduced) {
+  // "ij,k->i": j summed inside a, k summed inside b.
+  auto a = DenseTensor::FromData({2, 2}, {1, 2, 3, 4}).value();
+  auto b = DenseTensor::FromData({3}, {1, 1, 1}).value();
+  auto r = ContractPair(a, {'i', 'j'}, b, {'k'}, {'i'}).value();
+  EXPECT_DOUBLE_EQ(r.At({0}).value(), 9.0);   // (1+2) * 3
+  EXPECT_DOUBLE_EQ(r.At({1}).value(), 21.0);  // (3+4) * 3
+}
+
+TEST(ContractPairTest, OutputPermutation) {
+  auto a = RandomTensor({2, 3}, 11);
+  auto b = RandomTensor({3, 4}, 12);
+  auto c1 = ContractPair(a, {'i', 'j'}, b, {'j', 'k'}, {'i', 'k'}).value();
+  auto c2 = ContractPair(a, {'i', 'j'}, b, {'j', 'k'}, {'k', 'i'}).value();
+  EXPECT_TRUE(AllClose(c2, Transpose(c1, {1, 0}).value()));
+}
+
+TEST(ContractPairTest, ScalarOperand) {
+  auto s = DenseTensor::FromData({}, {3.0}).value();
+  auto v = DenseTensor::FromData({2}, {1.0, 2.0}).value();
+  auto r = ContractPair(s, {}, v, {0}, {0}).value();  // ",i->i"
+  EXPECT_DOUBLE_EQ(r.At({0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(r.At({1}).value(), 6.0);
+}
+
+TEST(ContractPairTest, RejectsDuplicateLabelsWithinInput) {
+  auto a = RandomTensor({2, 2}, 13);
+  auto v = RandomTensor({2}, 14);
+  EXPECT_FALSE(ContractPair(a, {0, 0}, v, {0}, {0}).ok());
+}
+
+TEST(ContractPairTest, RejectsExtentMismatch) {
+  auto a = RandomTensor({2, 3}, 15);
+  auto b = RandomTensor({4, 2}, 16);
+  EXPECT_FALSE(ContractPair(a, {'i', 'j'}, b, {'j', 'k'}, {'i', 'k'}).ok());
+}
+
+TEST(ContractPairTest, RejectsUnknownOutputLabel) {
+  auto a = RandomTensor({2}, 17);
+  auto b = RandomTensor({2}, 18);
+  EXPECT_FALSE(ContractPair(a, {'i'}, b, {'i'}, {'z'}).ok());
+}
+
+TEST(ContractPairComplexTest, ComplexInnerProduct) {
+  using C = std::complex<double>;
+  auto u = ComplexDenseTensor::FromData({2}, {C{1, 1}, C{0, 2}}).value();
+  auto v = ComplexDenseTensor::FromData({2}, {C{2, 0}, C{0, -1}}).value();
+  auto r = ContractPair(u, {0}, v, {0}, {}).value();
+  // (1+i)*2 + (2i)*(-i) = 2+2i + 2 = 4+2i
+  EXPECT_DOUBLE_EQ(r.At({}).value().real(), 4.0);
+  EXPECT_DOUBLE_EQ(r.At({}).value().imag(), 2.0);
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,151 @@
+#include "tensor/coo.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql {
+namespace {
+
+TEST(CooTest, EmptyTensor) {
+  CooTensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.nnz(), 0);
+  EXPECT_DOUBLE_EQ(t.At({1, 2}).value(), 0.0);
+}
+
+TEST(CooTest, AppendAndLookup) {
+  CooTensor t({2, 2});
+  ASSERT_TRUE(t.Append({0, 1}, 3.5).ok());
+  ASSERT_TRUE(t.Append({1, 0}, -1.0).ok());
+  EXPECT_EQ(t.nnz(), 2);
+  EXPECT_DOUBLE_EQ(t.At({0, 1}).value(), 3.5);
+  EXPECT_DOUBLE_EQ(t.At({1, 0}).value(), -1.0);
+  EXPECT_DOUBLE_EQ(t.At({0, 0}).value(), 0.0);
+}
+
+TEST(CooTest, AppendRejectsOutOfBounds) {
+  CooTensor t({2, 2});
+  EXPECT_FALSE(t.Append({2, 0}, 1.0).ok());
+  EXPECT_FALSE(t.Append({0}, 1.0).ok());
+  EXPECT_FALSE(t.Append({0, 0, 0}, 1.0).ok());
+}
+
+TEST(CooTest, AtRejectsBadCoords) {
+  CooTensor t({2});
+  EXPECT_FALSE(t.At({5}).ok());
+  EXPECT_FALSE(t.At({0, 0}).ok());
+}
+
+TEST(CooTest, ScalarTensor) {
+  CooTensor t((Shape{}));
+  EXPECT_EQ(t.rank(), 0);
+  ASSERT_TRUE(t.Append({}, 2.5).ok());
+  EXPECT_DOUBLE_EQ(t.At({}).value(), 2.5);
+}
+
+TEST(CooTest, CoalesceSortsAndMerges) {
+  CooTensor t({3, 3});
+  ASSERT_TRUE(t.Append({2, 1}, 1.0).ok());
+  ASSERT_TRUE(t.Append({0, 0}, 2.0).ok());
+  ASSERT_TRUE(t.Append({2, 1}, 3.0).ok());
+  t.Coalesce();
+  EXPECT_EQ(t.nnz(), 2);
+  EXPECT_EQ(t.CoordsAt(0), (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(t.CoordsAt(1), (std::vector<int64_t>{2, 1}));
+  EXPECT_DOUBLE_EQ(t.ValueAt(1), 4.0);
+}
+
+TEST(CooTest, CoalesceDropsZeros) {
+  CooTensor t({2});
+  ASSERT_TRUE(t.Append({0}, 1.0).ok());
+  ASSERT_TRUE(t.Append({0}, -1.0).ok());
+  ASSERT_TRUE(t.Append({1}, 5.0).ok());
+  t.Coalesce();
+  EXPECT_EQ(t.nnz(), 1);
+  EXPECT_DOUBLE_EQ(t.At({1}).value(), 5.0);
+}
+
+TEST(CooTest, CoalesceEpsilonThreshold) {
+  CooTensor t({2});
+  ASSERT_TRUE(t.Append({0}, 1e-12).ok());
+  ASSERT_TRUE(t.Append({1}, 1.0).ok());
+  t.Coalesce(1e-9);
+  EXPECT_EQ(t.nnz(), 1);
+}
+
+TEST(CooTest, DuplicatesAccumulateInAt) {
+  CooTensor t({2});
+  ASSERT_TRUE(t.Append({0}, 1.0).ok());
+  ASSERT_TRUE(t.Append({0}, 2.0).ok());
+  EXPECT_DOUBLE_EQ(t.At({0}).value(), 3.0);
+}
+
+TEST(CooTest, Density) {
+  CooTensor t({2, 5});
+  ASSERT_TRUE(t.Append({0, 0}, 1.0).ok());
+  ASSERT_TRUE(t.Append({1, 4}, 1.0).ok());
+  EXPECT_DOUBLE_EQ(t.Density().value(), 0.2);
+}
+
+TEST(CooTest, ComplexValues) {
+  ComplexCooTensor t({2});
+  ASSERT_TRUE(t.Append({0}, {1.0, -2.0}).ok());
+  auto v = t.At({0}).value();
+  EXPECT_DOUBLE_EQ(v.real(), 1.0);
+  EXPECT_DOUBLE_EQ(v.imag(), -2.0);
+}
+
+TEST(CooTest, ComplexCoalesceMagnitude) {
+  ComplexCooTensor t({2});
+  ASSERT_TRUE(t.Append({0}, {1.0, 0.0}).ok());
+  ASSERT_TRUE(t.Append({0}, {-1.0, 0.0}).ok());
+  ASSERT_TRUE(t.Append({1}, {0.0, 1.0}).ok());
+  t.Coalesce();
+  EXPECT_EQ(t.nnz(), 1);
+}
+
+TEST(AllCloseCooTest, EqualTensors) {
+  CooTensor a({2, 2}), b({2, 2});
+  ASSERT_TRUE(a.Append({0, 1}, 2.0).ok());
+  ASSERT_TRUE(b.Append({0, 1}, 2.0).ok());
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+TEST(AllCloseCooTest, DifferentEntryOrderStillEqual) {
+  CooTensor a({2, 2}), b({2, 2});
+  ASSERT_TRUE(a.Append({0, 1}, 2.0).ok());
+  ASSERT_TRUE(a.Append({1, 0}, 3.0).ok());
+  ASSERT_TRUE(b.Append({1, 0}, 3.0).ok());
+  ASSERT_TRUE(b.Append({0, 1}, 2.0).ok());
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+TEST(AllCloseCooTest, ExplicitZeroEqualsAbsent) {
+  CooTensor a({2}), b({2});
+  ASSERT_TRUE(a.Append({0}, 0.0).ok());
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+TEST(AllCloseCooTest, DetectsValueDifference) {
+  CooTensor a({2}), b({2});
+  ASSERT_TRUE(a.Append({0}, 1.0).ok());
+  ASSERT_TRUE(b.Append({0}, 1.5).ok());
+  EXPECT_FALSE(AllClose(a, b));
+  EXPECT_TRUE(AllClose(a, b, 0.6));
+}
+
+TEST(AllCloseCooTest, DetectsShapeMismatch) {
+  CooTensor a({2}), b({3});
+  EXPECT_FALSE(AllClose(a, b));
+}
+
+TEST(AllCloseCooTest, DetectsExtraEntry) {
+  CooTensor a({3}), b({3});
+  ASSERT_TRUE(a.Append({0}, 1.0).ok());
+  ASSERT_TRUE(b.Append({0}, 1.0).ok());
+  ASSERT_TRUE(b.Append({2}, 4.0).ok());
+  EXPECT_FALSE(AllClose(a, b));
+  EXPECT_FALSE(AllClose(b, a));
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,102 @@
+#include "tensor/dense.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql {
+namespace {
+
+TEST(DenseTest, ZerosInitializes) {
+  auto t = DenseTensor::Zeros({2, 3}).value();
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(t[i], 0.0);
+}
+
+TEST(DenseTest, ZerosRejectsBadShape) {
+  EXPECT_FALSE(DenseTensor::Zeros({0}).ok());
+  EXPECT_FALSE(DenseTensor::Zeros({-2, 3}).ok());
+}
+
+TEST(DenseTest, FromDataValidatesSize) {
+  EXPECT_TRUE(DenseTensor::FromData({2, 2}, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(DenseTensor::FromData({2, 2}, {1, 2, 3}).ok());
+}
+
+TEST(DenseTest, RowMajorAddressing) {
+  auto t = DenseTensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6}).value();
+  EXPECT_DOUBLE_EQ(t.At({0, 0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(t.At({0, 2}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(t.At({1, 0}).value(), 4.0);
+  EXPECT_DOUBLE_EQ(t.At({1, 2}).value(), 6.0);
+}
+
+TEST(DenseTest, SetAndAtBoundsChecked) {
+  auto t = DenseTensor::Zeros({2}).value();
+  EXPECT_TRUE(t.Set({1}, 9.0).ok());
+  EXPECT_DOUBLE_EQ(t.At({1}).value(), 9.0);
+  EXPECT_FALSE(t.Set({2}, 1.0).ok());
+  EXPECT_FALSE(t.At({2}).ok());
+}
+
+TEST(DenseTest, ScalarTensor) {
+  auto t = DenseTensor::Zeros({}).value();
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_TRUE(t.Set({}, 5.0).ok());
+  EXPECT_DOUBLE_EQ(t.At({}).value(), 5.0);
+}
+
+TEST(DenseCooConversionTest, RoundTrip) {
+  auto d = DenseTensor::FromData({2, 2}, {1.0, 0.0, 0.0, 2.0}).value();
+  CooTensor coo = d.ToCoo();
+  EXPECT_EQ(coo.nnz(), 2);
+  auto back = DenseTensor::FromCoo(coo).value();
+  EXPECT_TRUE(AllClose(d, back));
+}
+
+TEST(DenseCooConversionTest, FromCooAccumulatesDuplicates) {
+  CooTensor coo({2});
+  ASSERT_TRUE(coo.Append({0}, 1.0).ok());
+  ASSERT_TRUE(coo.Append({0}, 2.0).ok());
+  auto d = DenseTensor::FromCoo(coo).value();
+  EXPECT_DOUBLE_EQ(d.At({0}).value(), 3.0);
+}
+
+TEST(DenseCooConversionTest, ToCooEpsilon) {
+  auto d = DenseTensor::FromData({2}, {1e-12, 1.0}).value();
+  EXPECT_EQ(d.ToCoo(1e-9).nnz(), 1);
+  EXPECT_EQ(d.ToCoo(0.0).nnz(), 2);
+}
+
+TEST(DenseCooConversionTest, ScalarRoundTrip) {
+  CooTensor coo((Shape{}));
+  ASSERT_TRUE(coo.Append({}, 7.0).ok());
+  auto d = DenseTensor::FromCoo(coo).value();
+  EXPECT_DOUBLE_EQ(d.At({}).value(), 7.0);
+  EXPECT_EQ(d.ToCoo().nnz(), 1);
+}
+
+TEST(DenseComplexTest, ComplexRoundTrip) {
+  auto d = ComplexDenseTensor::FromData(
+               {2}, {{1.0, 2.0}, {0.0, 0.0}})
+               .value();
+  ComplexCooTensor coo = d.ToCoo();
+  EXPECT_EQ(coo.nnz(), 1);
+  auto back = ComplexDenseTensor::FromCoo(coo).value();
+  EXPECT_TRUE(AllClose(d, back));
+}
+
+TEST(AllCloseDenseTest, Tolerance) {
+  auto a = DenseTensor::FromData({2}, {1.0, 2.0}).value();
+  auto b = DenseTensor::FromData({2}, {1.0, 2.0 + 1e-12}).value();
+  auto c = DenseTensor::FromData({2}, {1.0, 3.0}).value();
+  EXPECT_TRUE(AllClose(a, b));
+  EXPECT_FALSE(AllClose(a, c));
+}
+
+TEST(AllCloseDenseTest, ShapeMismatch) {
+  auto a = DenseTensor::Zeros({2}).value();
+  auto b = DenseTensor::Zeros({2, 1}).value();
+  EXPECT_FALSE(AllClose(a, b));
+}
+
+}  // namespace
+}  // namespace einsql

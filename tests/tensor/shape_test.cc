@@ -1,0 +1,46 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace einsql {
+namespace {
+
+TEST(NumElementsTest, ScalarIsOne) {
+  EXPECT_EQ(NumElements({}).value(), 1);
+}
+
+TEST(NumElementsTest, ProductOfExtents) {
+  EXPECT_EQ(NumElements({2, 3, 4}).value(), 24);
+  EXPECT_EQ(NumElements({7}).value(), 7);
+}
+
+TEST(NumElementsTest, RejectsNonPositiveExtent) {
+  EXPECT_FALSE(NumElements({2, 0}).ok());
+  EXPECT_FALSE(NumElements({-1}).ok());
+}
+
+TEST(NumElementsTest, DetectsOverflow) {
+  EXPECT_FALSE(NumElements({1'000'000'000, 1'000'000'000, 1'000'000'000}).ok());
+}
+
+TEST(RowMajorStridesTest, Basic) {
+  EXPECT_EQ(RowMajorStrides({2, 3, 4}), (std::vector<int64_t>{12, 4, 1}));
+  EXPECT_EQ(RowMajorStrides({5}), (std::vector<int64_t>{1}));
+  EXPECT_TRUE(RowMajorStrides({}).empty());
+}
+
+TEST(ShapeToStringTest, Renders) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(CoordsInBoundsTest, ChecksRankAndRange) {
+  EXPECT_TRUE(CoordsInBounds({2, 3}, {1, 2}));
+  EXPECT_TRUE(CoordsInBounds({}, {}));
+  EXPECT_FALSE(CoordsInBounds({2, 3}, {1}));       // wrong rank
+  EXPECT_FALSE(CoordsInBounds({2, 3}, {2, 0}));    // out of range
+  EXPECT_FALSE(CoordsInBounds({2, 3}, {0, -1}));   // negative
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,153 @@
+#include "tensor/sparse_contract.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace einsql {
+namespace {
+
+CooTensor RandomSparse(const Shape& shape, double density, uint64_t seed) {
+  CooTensor t(shape);
+  Rng rng(seed);
+  std::vector<int64_t> coords(shape.size());
+  const auto strides = RowMajorStrides(shape);
+  const int64_t total = NumElements(shape).value();
+  for (int64_t flat = 0; flat < total; ++flat) {
+    if (!rng.Bernoulli(density)) continue;
+    int64_t rem = flat;
+    for (size_t d = 0; d < shape.size(); ++d) {
+      coords[d] = rem / strides[d];
+      rem %= strides[d];
+    }
+    (void)t.Append(coords, rng.UniformDouble(-1.0, 1.0));
+  }
+  return t;
+}
+
+// Every sparse kernel must agree with its dense counterpart.
+void ExpectMatchesDenseReduce(const CooTensor& t, const Labels& labels,
+                              const Labels& out_labels) {
+  auto sparse = SparseReduceLabels(t, labels, out_labels).value();
+  auto dense_in = DenseTensor::FromCoo(t).value();
+  auto dense = ReduceLabels(dense_in, labels, out_labels).value();
+  EXPECT_TRUE(AllClose(sparse, dense.ToCoo(), 1e-9));
+}
+
+void ExpectMatchesDensePair(const CooTensor& a, const Labels& a_labels,
+                            const CooTensor& b, const Labels& b_labels,
+                            const Labels& out_labels) {
+  auto sparse =
+      SparseContractPair(a, a_labels, b, b_labels, out_labels).value();
+  auto da = DenseTensor::FromCoo(a).value();
+  auto db = DenseTensor::FromCoo(b).value();
+  auto dense = ContractPair(da, a_labels, db, b_labels, out_labels).value();
+  EXPECT_TRUE(AllClose(sparse, dense.ToCoo(), 1e-9));
+}
+
+TEST(SparseReduceTest, Diagonal) {
+  CooTensor t({3, 3});
+  ASSERT_TRUE(t.Append({0, 0}, 1.0).ok());
+  ASSERT_TRUE(t.Append({1, 2}, 5.0).ok());  // off-diagonal, dropped
+  ASSERT_TRUE(t.Append({2, 2}, 3.0).ok());
+  auto diag = SparseReduceLabels(t, {0, 0}, {0}).value();
+  EXPECT_EQ(diag.nnz(), 2);
+  EXPECT_DOUBLE_EQ(diag.At({0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(diag.At({2}).value(), 3.0);
+}
+
+TEST(SparseReduceTest, AxisSumMatchesDense) {
+  ExpectMatchesDenseReduce(RandomSparse({4, 5}, 0.4, 1), {0, 1}, {0});
+  ExpectMatchesDenseReduce(RandomSparse({4, 5}, 0.4, 2), {0, 1}, {1});
+  ExpectMatchesDenseReduce(RandomSparse({4, 5}, 0.4, 3), {0, 1}, {1, 0});
+  ExpectMatchesDenseReduce(RandomSparse({3, 3}, 0.8, 4), {0, 0}, {});
+}
+
+TEST(SparseReduceTest, RejectsBadArguments) {
+  CooTensor t({2, 2});
+  EXPECT_FALSE(SparseReduceLabels(t, {0}, {0}).ok());       // rank mismatch
+  EXPECT_FALSE(SparseReduceLabels(t, {0, 1}, {0, 0}).ok()); // dup output
+  EXPECT_FALSE(SparseReduceLabels(t, {0, 1}, {7}).ok());    // unknown label
+}
+
+TEST(SparseContractTest, MatrixMultiply) {
+  CooTensor a({2, 2}), b({2, 2});
+  ASSERT_TRUE(a.Append({0, 0}, 2.0).ok());
+  ASSERT_TRUE(a.Append({1, 1}, 3.0).ok());
+  ASSERT_TRUE(b.Append({0, 1}, 4.0).ok());
+  ASSERT_TRUE(b.Append({1, 0}, 5.0).ok());
+  auto c = SparseContractPair(a, {'i', 'k'}, b, {'k', 'j'}, {'i', 'j'})
+               .value();
+  EXPECT_DOUBLE_EQ(c.At({0, 1}).value(), 8.0);
+  EXPECT_DOUBLE_EQ(c.At({1, 0}).value(), 15.0);
+  EXPECT_EQ(c.nnz(), 2);
+}
+
+TEST(SparseContractTest, RandomAgreementWithDenseKernels) {
+  // A grid of pairwise contractions at several sparsity levels.
+  struct PairCase {
+    Shape a, b;
+    Labels la, lb, lo;
+  };
+  const std::vector<PairCase> cases = {
+      {{4, 5}, {5, 3}, {'i', 'k'}, {'k', 'j'}, {'i', 'j'}},      // matmul
+      {{4, 5}, {5}, {'i', 'k'}, {'k'}, {'i'}},                    // mat-vec
+      {{6}, {6}, {'i'}, {'i'}, {}},                               // inner
+      {{6}, {4}, {'i'}, {'j'}, {'i', 'j'}},                       // outer
+      {{3, 4}, {3, 4}, {'i', 'j'}, {'i', 'j'}, {'i', 'j'}},       // hadamard
+      {{2, 3, 4}, {2, 4, 5}, {'b', 'i', 'k'}, {'b', 'k', 'j'},
+       {'b', 'i', 'j'}},                                          // batch
+      {{3, 4}, {5}, {'i', 'j'}, {'z'}, {'i'}},  // single-sided sums
+  };
+  uint64_t seed = 100;
+  for (const PairCase& c : cases) {
+    for (double density : {0.1, 0.5, 1.0}) {
+      const uint64_t seed_a = ++seed;
+      const uint64_t seed_b = ++seed;
+      ExpectMatchesDensePair(RandomSparse(c.a, density, seed_a), c.la,
+                             RandomSparse(c.b, density, seed_b), c.lb, c.lo);
+    }
+  }
+}
+
+TEST(SparseContractTest, HypersparseStaysSparse) {
+  // 1e6-element matrices with ~40 entries each: the dense kernel would
+  // touch 1e6 cells, the sparse kernel only the stored ones.
+  CooTensor a = RandomSparse({1000, 1000}, 0.00004, 42);
+  CooTensor b = RandomSparse({1000, 1000}, 0.00004, 43);
+  auto c = SparseContractPair(a, {'i', 'k'}, b, {'k', 'j'}, {'i', 'j'})
+               .value();
+  EXPECT_LE(c.nnz(), a.nnz() * b.nnz());
+}
+
+TEST(SparseContractTest, EmptyOperandYieldsEmptyResult) {
+  CooTensor a({3, 3});
+  CooTensor b = RandomSparse({3, 3}, 0.5, 9);
+  auto c = SparseContractPair(a, {'i', 'k'}, b, {'k', 'j'}, {'i', 'j'})
+               .value();
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(SparseContractTest, RejectsBadArguments) {
+  CooTensor a({2, 2}), v({2}), w({3});
+  EXPECT_FALSE(SparseContractPair(a, {0, 0}, v, {0}, {0}).ok());  // dup label
+  EXPECT_FALSE(
+      SparseContractPair(v, {'i'}, w, {'i'}, {}).ok());  // extent clash
+  EXPECT_FALSE(
+      SparseContractPair(v, {'i'}, v, {'i'}, {'z'}).ok());  // unknown out
+}
+
+TEST(SparseContractTest, ComplexValues) {
+  using C = std::complex<double>;
+  ComplexCooTensor u({2}), v({2});
+  ASSERT_TRUE(u.Append({0}, C{1, 1}).ok());
+  ASSERT_TRUE(u.Append({1}, C{0, 2}).ok());
+  ASSERT_TRUE(v.Append({0}, C{2, 0}).ok());
+  ASSERT_TRUE(v.Append({1}, C{0, -1}).ok());
+  auto r = SparseContractPair(u, {0}, v, {0}, {}).value();
+  EXPECT_DOUBLE_EQ(r.At({}).value().real(), 4.0);  // (1+i)2 + 2i(-i)
+  EXPECT_DOUBLE_EQ(r.At({}).value().imag(), 2.0);
+}
+
+}  // namespace
+}  // namespace einsql

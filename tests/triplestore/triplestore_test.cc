@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+#include "triplestore/generator.h"
+#include "triplestore/query.h"
+
+namespace einsql::triplestore {
+namespace {
+
+TripleStore SmallStore() {
+  // Alice-knows-Bob, Bob-plays-piano from the paper's intro, plus gold
+  // medal data for the Listing 7 query.
+  TripleStore store;
+  store.Add("alice", "knows", "bob");
+  store.Add("bob", "plays", "piano");
+  store.Add("instance:0", "walls:athlete", "athlete:0");
+  store.Add("instance:0", "walls:medal", "medal:Gold");
+  store.Add("instance:1", "walls:athlete", "athlete:0");
+  store.Add("instance:1", "walls:medal", "medal:Gold");
+  store.Add("instance:2", "walls:athlete", "athlete:1");
+  store.Add("instance:2", "walls:medal", "medal:Gold");
+  store.Add("instance:3", "walls:athlete", "athlete:1");
+  store.Add("instance:3", "walls:medal", "medal:Silver");
+  store.Add("athlete:0", "rdfs:label", "\"Ada\"");
+  store.Add("athlete:1", "rdfs:label", "\"Bob\"");
+  return store;
+}
+
+TEST(DictionaryTest, InternAndLookup) {
+  Dictionary dictionary;
+  const int64_t a = dictionary.Intern("a");
+  const int64_t b = dictionary.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dictionary.Intern("a"), a);
+  EXPECT_EQ(dictionary.Lookup("b").value(), b);
+  EXPECT_EQ(dictionary.TermOf(a).value(), "a");
+  EXPECT_FALSE(dictionary.Lookup("missing").ok());
+  EXPECT_FALSE(dictionary.TermOf(99).ok());
+  EXPECT_EQ(dictionary.size(), 2);
+}
+
+TEST(TripleStoreTest, AddAndCount) {
+  TripleStore store = SmallStore();
+  EXPECT_EQ(store.num_triples(), 12);
+  EXPECT_GT(store.num_terms(), 10);
+  EXPECT_GT(store.Sparsity(), 0.0);
+  EXPECT_LT(store.Sparsity(), 1.0);
+}
+
+TEST(TripleStoreTest, LoadIntoBackend) {
+  TripleStore store = SmallStore();
+  MiniDbBackend backend;
+  ASSERT_TRUE(store.LoadInto(&backend).ok());
+  auto count = backend.Query("SELECT COUNT(*) AS c FROM T").value();
+  EXPECT_EQ(minidb::AsInt(count.rows[0][0]).value(), store.num_triples());
+}
+
+TEST(QueryCompileTest, GoldQuerySqlShape) {
+  TripleStore store = SmallStore();
+  auto sql = CompileQueryToSql(store, GoldMedalQuery()).value();
+  // Three slice CTEs over T, an einsum over them, descending order.
+  EXPECT_NE(sql.find("S0(i0, i1, val)"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("S1(i0, val)"), std::string::npos);
+  EXPECT_NE(sql.find("S2(i0, i1, val)"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY val DESC"), std::string::npos);
+  EXPECT_NE(sql.find("FROM T"), std::string::npos);
+}
+
+TEST(QueryCompileTest, RejectsUnboundSelectVariable) {
+  TripleStore store = SmallStore();
+  PatternQuery query = GoldMedalQuery();
+  query.select_variable = "?nowhere";
+  EXPECT_FALSE(CompileQueryToSql(store, query).ok());
+  query.select_variable = "name";  // missing '?'
+  EXPECT_FALSE(CompileQueryToSql(store, query).ok());
+}
+
+TEST(QueryCompileTest, RejectsEmptyPatternList) {
+  TripleStore store = SmallStore();
+  PatternQuery query;
+  query.select_variable = "?x";
+  EXPECT_FALSE(CompileQueryToSql(store, query).ok());
+}
+
+class GoldQueryBackends : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<SqlBackend> MakeBackend() {
+    if (GetParam() == "sqlite") {
+      return SqliteBackend::Open().value();
+    }
+    return std::make_unique<MiniDbBackend>();
+  }
+};
+
+TEST_P(GoldQueryBackends, MatchesNaiveMatcher) {
+  TripleStore store = SmallStore();
+  auto backend = MakeBackend();
+  ASSERT_TRUE(store.LoadInto(backend.get()).ok());
+  auto sql_rows =
+      AnswerWithSql(backend.get(), store, GoldMedalQuery()).value();
+  auto naive_rows = AnswerNaive(store, GoldMedalQuery()).value();
+  ASSERT_EQ(sql_rows.size(), naive_rows.size());
+  // Ada has 2 golds, Bob has 1.
+  ASSERT_EQ(sql_rows.size(), 2u);
+  EXPECT_EQ(sql_rows[0].term, "\"Ada\"");
+  EXPECT_DOUBLE_EQ(sql_rows[0].count, 2.0);
+  EXPECT_EQ(sql_rows[1].term, "\"Bob\"");
+  EXPECT_DOUBLE_EQ(sql_rows[1].count, 1.0);
+}
+
+TEST_P(GoldQueryBackends, SyntheticOlympicsAgreesWithNaive) {
+  OlympicsOptions options;
+  options.num_athletes = 40;
+  options.results_per_athlete = 4;
+  options.medal_fraction = 0.5;
+  TripleStore store = GenerateOlympics(options);
+  auto backend = MakeBackend();
+  ASSERT_TRUE(store.LoadInto(backend.get()).ok());
+  auto sql_rows =
+      AnswerWithSql(backend.get(), store, GoldMedalQuery()).value();
+  auto naive_rows = AnswerNaive(store, GoldMedalQuery()).value();
+  ASSERT_EQ(sql_rows.size(), naive_rows.size());
+  // Compare as multisets of (term, count): SQL tie order is unspecified.
+  auto key = [](const CountedTerm& row) {
+    return row.term + "#" + std::to_string(row.count);
+  };
+  std::multiset<std::string> sql_set, naive_set;
+  for (const auto& row : sql_rows) sql_set.insert(key(row));
+  for (const auto& row : naive_rows) naive_set.insert(key(row));
+  EXPECT_EQ(sql_set, naive_set);
+  // And the descending order is respected.
+  for (size_t k = 1; k < sql_rows.size(); ++k) {
+    EXPECT_GE(sql_rows[k - 1].count, sql_rows[k].count);
+  }
+}
+
+TEST_P(GoldQueryBackends, UnknownTermYieldsEmptyResult) {
+  TripleStore store = SmallStore();
+  auto backend = MakeBackend();
+  ASSERT_TRUE(store.LoadInto(backend.get()).ok());
+  PatternQuery query;
+  query.patterns = {{"?instance", "walls:medal", "medal:Platinum"},
+                    {"?instance", "walls:athlete", "?athlete"}};
+  query.select_variable = "?athlete";
+  auto rows = AnswerWithSql(backend.get(), store, query).value();
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_P(GoldQueryBackends, RepeatedVariableWithinPattern) {
+  TripleStore store;
+  store.Add("x", "self", "x");
+  store.Add("x", "self", "y");
+  store.Add("y", "p", "z");
+  auto backend = MakeBackend();
+  ASSERT_TRUE(store.LoadInto(backend.get()).ok());
+  PatternQuery query;
+  query.patterns = {{"?a", "self", "?a"}};
+  query.select_variable = "?a";
+  auto rows = AnswerWithSql(backend.get(), store, query).value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].term, "x");
+}
+
+
+TEST_P(GoldQueryBackends, MultiVariableSelect) {
+  TripleStore store = SmallStore();
+  auto backend = MakeBackend();
+  ASSERT_TRUE(store.LoadInto(backend.get()).ok());
+  // Athlete and medal per instance: SELECT ?athlete ?medal.
+  MultiPatternQuery query;
+  query.patterns = {{"?instance", "walls:athlete", "?athlete"},
+                    {"?instance", "walls:medal", "?medal"}};
+  query.select_variables = {"?athlete", "?medal"};
+  auto sql_rows = AnswerMultiWithSql(backend.get(), store, query).value();
+  auto naive_rows = AnswerMultiNaive(store, query).value();
+  ASSERT_EQ(sql_rows.size(), naive_rows.size());
+  auto key = [](const CountedRow& row) {
+    std::string k;
+    for (const std::string& term : row.terms) k += term + "|";
+    return k + std::to_string(row.count);
+  };
+  std::multiset<std::string> sql_set, naive_set;
+  for (const auto& row : sql_rows) sql_set.insert(key(row));
+  for (const auto& row : naive_rows) naive_set.insert(key(row));
+  EXPECT_EQ(sql_set, naive_set);
+  // athlete:0 won 2 golds — the top row.
+  bool found = false;
+  for (const auto& row : sql_rows) {
+    if (row.terms == std::vector<std::string>{"athlete:0", "medal:Gold"}) {
+      EXPECT_DOUBLE_EQ(row.count, 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_P(GoldQueryBackends, MultiSelectRejectsDuplicates) {
+  TripleStore store = SmallStore();
+  MultiPatternQuery query;
+  query.patterns = {{"?a", "walls:medal", "?m"}};
+  query.select_variables = {"?a", "?a"};
+  EXPECT_FALSE(CompileMultiQueryToSql(store, query).ok());
+  query.select_variables = {};
+  EXPECT_FALSE(CompileMultiQueryToSql(store, query).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GoldQueryBackends,
+                         ::testing::Values("sqlite", "minidb"),
+                         [](const auto& info) { return info.param; });
+
+TEST(GeneratorTest, DeterministicAndShaped) {
+  OlympicsOptions options;
+  options.num_athletes = 25;
+  TripleStore a = GenerateOlympics(options);
+  TripleStore b = GenerateOlympics(options);
+  EXPECT_EQ(a.num_triples(), b.num_triples());
+  EXPECT_EQ(a.num_terms(), b.num_terms());
+  // Each athlete: 1 label + results×(athlete, games, event) + some medals.
+  EXPECT_GE(a.num_triples(), 25 * (1 + 3 * 3));
+}
+
+}  // namespace
+}  // namespace einsql::triplestore

@@ -1,0 +1,130 @@
+// minidb_shell — a small SQL shell for the bundled MiniDB engine.
+//
+// Reads semicolon-terminated SQL statements from stdin (or from files given
+// on the command line), executes them, and prints results with the
+// planning/execution timing split of Table 2.
+//
+// Usage:
+//   minidb_shell [--optimizer=none|greedy|aggressive|exhaustive]
+//                [--explain] [file.sql ...]
+//
+// Example session:
+//   $ ./minidb_shell
+//   CREATE TABLE A (i INT, j INT, val DOUBLE);
+//   INSERT INTO A VALUES (0, 0, 1.0), (1, 1, 2.0);
+//   SELECT i, SUM(val) FROM A GROUP BY i;
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "minidb/database.h"
+
+namespace {
+
+using namespace einsql;          // NOLINT
+using namespace einsql::minidb;  // NOLINT
+
+// Splits a script on top-level semicolons (quotes respected).
+std::vector<std::string> SplitStatements(const std::string& script) {
+  std::vector<std::string> statements;
+  std::string current;
+  bool in_string = false;
+  for (size_t k = 0; k < script.size(); ++k) {
+    const char c = script[k];
+    if (c == '\'' ) in_string = !in_string;
+    if (c == ';' && !in_string) {
+      statements.push_back(current);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  statements.push_back(current);
+  return statements;
+}
+
+bool IsBlank(const std::string& statement) {
+  for (char c : statement) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  PlannerOptions options;
+  bool explain = false;
+  std::vector<std::string> files;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--optimizer=none") {
+      options.mode = OptimizerMode::kNone;
+    } else if (arg == "--optimizer=greedy") {
+      options.mode = OptimizerMode::kGreedy;
+    } else if (arg == "--optimizer=aggressive") {
+      options.mode = OptimizerMode::kAggressive;
+    } else if (arg == "--optimizer=exhaustive") {
+      options.mode = OptimizerMode::kExhaustive;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::string script;
+  if (files.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    script = buffer.str();
+  } else {
+    for (const std::string& file : files) {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      script += buffer.str();
+      script += "\n";
+    }
+  }
+
+  Database db(options);
+  int failures = 0;
+  for (const std::string& statement : SplitStatements(script)) {
+    if (IsBlank(statement)) continue;
+    if (explain) {
+      auto plan = db.Prepare(statement);
+      if (plan.ok()) {
+        std::printf("%s\n", plan->ToString().c_str());
+        continue;
+      }
+      // Not a SELECT (or an error): fall through to execution.
+    }
+    auto result = db.Execute(statement);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (result->relation.num_columns() > 0) {
+      std::printf("%s", result->relation.ToString(100).c_str());
+    }
+    std::printf("-- ok (%lld rows, plan %.3f ms, exec %.3f ms)\n",
+                static_cast<long long>(result->relation.num_rows()),
+                result->stats.planning_seconds() * 1e3,
+                result->stats.exec_seconds * 1e3);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

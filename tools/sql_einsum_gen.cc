@@ -1,0 +1,187 @@
+// sql_einsum_gen — the command-line counterpart of the paper's SQL
+// Einstein summation generator (https://sql-einsum.ti2.uni-jena.de):
+// translate a format string in Einstein notation into a portable SQL query.
+//
+// Usage:
+//   sql_einsum_gen FORMAT SHAPES [options]
+//
+//   FORMAT   einsum format string, e.g. "ik,jk,j->i"
+//   SHAPES   one shape per tensor, e.g. "2x2,3x2,3" (a lone comma-separated
+//            entry with no 'x' is a vector; "" denotes a scalar)
+//
+// Options:
+//   --tables=a,b,c     reference existing tables instead of inlining
+//                      random VALUES (COO schema i0..ik-1, val)
+//   --path=ALGO        naive | greedy | elimination | optimal | auto
+//   --flat             single query (R1-R4 only), no CTE decomposition
+//   --no-simplify      keep redundant SUM/GROUP BY
+//   --density=D        fill density of the inlined random tensors (0..1)
+//   --seed=N           PRNG seed for the inlined tensors
+//   --execute          also run the query on SQLite and print the result
+//
+// Examples:
+//   sql_einsum_gen "ik,kj->ij" "4x3,3x2"
+//   sql_einsum_gen "ij,jk,kl->il" "8x8,8x8,8x8" --tables=A,B,C --path=optimal
+//   sql_einsum_gen "i,i->" "5,5" --execute
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "backends/einsum_engine.h"
+#include "backends/sqlite_backend.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/program.h"
+#include "core/sqlgen.h"
+
+namespace {
+
+using namespace einsql;  // NOLINT
+
+Result<Shape> ParseShape(const std::string& text) {
+  Shape shape;
+  if (text.empty()) return shape;  // scalar
+  for (const std::string& piece : Split(text, 'x')) {
+    EINSQL_ASSIGN_OR_RETURN(int64_t extent, ParseInt64(piece));
+    if (extent <= 0) {
+      return Status::InvalidArgument("non-positive extent in '", text, "'");
+    }
+    shape.push_back(extent);
+  }
+  return shape;
+}
+
+Result<PathAlgorithm> ParsePath(const std::string& name) {
+  if (name == "naive") return PathAlgorithm::kNaive;
+  if (name == "greedy") return PathAlgorithm::kGreedy;
+  if (name == "elimination") return PathAlgorithm::kElimination;
+  if (name == "optimal") return PathAlgorithm::kOptimal;
+  if (name == "auto") return PathAlgorithm::kAuto;
+  return Status::InvalidArgument("unknown path algorithm '", name, "'");
+}
+
+CooTensor RandomTensor(const Shape& shape, double density, Rng* rng) {
+  CooTensor t(shape);
+  std::vector<int64_t> coords(shape.size());
+  const auto strides = RowMajorStrides(shape);
+  const int64_t total = NumElements(shape).value_or(1);
+  for (int64_t flat = 0; flat < total; ++flat) {
+    if (!rng->Bernoulli(density)) continue;
+    int64_t rem = flat;
+    for (size_t d = 0; d < shape.size(); ++d) {
+      coords[d] = rem / strides[d];
+      rem %= strides[d];
+    }
+    (void)t.Append(coords, rng->UniformDouble(-1.0, 1.0));
+  }
+  return t;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: sql_einsum_gen FORMAT SHAPES [--tables=..] "
+                 "[--path=auto] [--flat] [--no-simplify] [--density=0.5] "
+                 "[--seed=1] [--execute]\n");
+    return 2;
+  }
+  const std::string format = argv[1];
+  std::vector<Shape> shapes;
+  for (const std::string& piece : Split(argv[2], ',')) {
+    auto shape = ParseShape(std::string(Trim(piece)));
+    if (!shape.ok()) return Fail(shape.status());
+    shapes.push_back(std::move(shape).value());
+  }
+
+  SqlGenOptions options;
+  PathAlgorithm path = PathAlgorithm::kAuto;
+  double density = 0.5;
+  uint64_t seed = 1;
+  bool execute = false;
+  std::vector<std::string> tables;
+  for (int a = 3; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--tables=", 0) == 0) {
+      tables = Split(arg.substr(9), ',');
+    } else if (arg.rfind("--path=", 0) == 0) {
+      auto parsed = ParsePath(arg.substr(7));
+      if (!parsed.ok()) return Fail(parsed.status());
+      path = parsed.value();
+    } else if (arg == "--flat") {
+      options.decompose = false;
+    } else if (arg == "--no-simplify") {
+      options.simplify = false;
+    } else if (arg.rfind("--density=", 0) == 0) {
+      auto parsed = ParseDouble(arg.substr(10));
+      if (!parsed.ok()) return Fail(parsed.status());
+      density = parsed.value();
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      auto parsed = ParseInt64(arg.substr(7));
+      if (!parsed.ok()) return Fail(parsed.status());
+      seed = static_cast<uint64_t>(parsed.value());
+    } else if (arg == "--execute") {
+      execute = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto program = BuildProgram(format, shapes, path);
+  if (!program.ok()) return Fail(program.status());
+  std::fprintf(stderr, "-- expression: %s\n",
+               program->spec.ToString().c_str());
+  std::fprintf(stderr, "-- path: %s, estimated flops: %.6g, steps: %zu\n",
+               PathAlgorithmToString(program->algorithm), program->est_flops,
+               program->steps.size());
+
+  std::string sql;
+  std::vector<CooTensor> tensors;
+  if (!tables.empty()) {
+    if (static_cast<int>(tables.size()) != program->num_inputs) {
+      return Fail(Status::InvalidArgument(
+          "--tables needs one name per tensor"));
+    }
+    options.input_names = tables;
+    auto generated = GenerateEinsumSqlForTables(*program, options);
+    if (!generated.ok()) return Fail(generated.status());
+    sql = std::move(generated).value();
+  } else {
+    Rng rng(seed);
+    std::vector<const CooTensor*> ptrs;
+    for (const Shape& shape : shapes) {
+      tensors.push_back(RandomTensor(shape, density, &rng));
+    }
+    for (const CooTensor& t : tensors) ptrs.push_back(&t);
+    auto generated = GenerateEinsumSql(*program, ptrs, options);
+    if (!generated.ok()) return Fail(generated.status());
+    sql = std::move(generated).value();
+  }
+  std::printf("%s\n", sql.c_str());
+
+  if (execute) {
+    if (!tables.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--execute requires inlined tensors (omit --tables)"));
+    }
+    auto backend = SqliteBackend::Open();
+    if (!backend.ok()) return Fail(backend.status());
+    auto relation = (*backend)->Query(sql);
+    if (!relation.ok()) return Fail(relation.status());
+    std::fprintf(stderr, "\n-- result (%lld rows):\n%s",
+                 static_cast<long long>(relation->num_rows()),
+                 relation->ToString(50).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
