@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decomposition.dir/bench_ablation_decomposition.cc.o"
+  "CMakeFiles/bench_ablation_decomposition.dir/bench_ablation_decomposition.cc.o.d"
+  "bench_ablation_decomposition"
+  "bench_ablation_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

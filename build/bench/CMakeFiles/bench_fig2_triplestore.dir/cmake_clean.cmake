@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_triplestore.dir/bench_fig2_triplestore.cc.o"
+  "CMakeFiles/bench_fig2_triplestore.dir/bench_fig2_triplestore.cc.o.d"
+  "bench_fig2_triplestore"
+  "bench_fig2_triplestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_triplestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

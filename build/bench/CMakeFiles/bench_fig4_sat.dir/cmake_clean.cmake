@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sat.dir/bench_fig4_sat.cc.o"
+  "CMakeFiles/bench_fig4_sat.dir/bench_fig4_sat.cc.o.d"
+  "bench_fig4_sat"
+  "bench_fig4_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_graphical.dir/bench_fig6_graphical.cc.o"
+  "CMakeFiles/bench_fig6_graphical.dir/bench_fig6_graphical.cc.o.d"
+  "bench_fig6_graphical"
+  "bench_fig6_graphical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_graphical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

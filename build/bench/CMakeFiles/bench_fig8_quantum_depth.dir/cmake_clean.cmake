@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_quantum_depth.dir/bench_fig8_quantum_depth.cc.o"
+  "CMakeFiles/bench_fig8_quantum_depth.dir/bench_fig8_quantum_depth.cc.o.d"
+  "bench_fig8_quantum_depth"
+  "bench_fig8_quantum_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_quantum_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

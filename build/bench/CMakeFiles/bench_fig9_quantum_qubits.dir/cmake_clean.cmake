@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_quantum_qubits.dir/bench_fig9_quantum_qubits.cc.o"
+  "CMakeFiles/bench_fig9_quantum_qubits.dir/bench_fig9_quantum_qubits.cc.o.d"
+  "bench_fig9_quantum_qubits"
+  "bench_fig9_quantum_qubits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_quantum_qubits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_planning.dir/bench_table2_planning.cc.o"
+  "CMakeFiles/bench_table2_planning.dir/bench_table2_planning.cc.o.d"
+  "bench_table2_planning"
+  "bench_table2_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphical_inference.dir/graphical_inference.cpp.o"
+  "CMakeFiles/graphical_inference.dir/graphical_inference.cpp.o.d"
+  "graphical_inference"
+  "graphical_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphical_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triplestore_query.dir/triplestore_query.cpp.o"
+  "CMakeFiles/triplestore_query.dir/triplestore_query.cpp.o.d"
+  "triplestore_query"
+  "triplestore_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triplestore_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

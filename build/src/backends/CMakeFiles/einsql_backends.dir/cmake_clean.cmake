@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_backends.dir/einsum_engine.cc.o"
+  "CMakeFiles/einsql_backends.dir/einsum_engine.cc.o.d"
+  "CMakeFiles/einsql_backends.dir/minidb_backend.cc.o"
+  "CMakeFiles/einsql_backends.dir/minidb_backend.cc.o.d"
+  "CMakeFiles/einsql_backends.dir/sqlite_backend.cc.o"
+  "CMakeFiles/einsql_backends.dir/sqlite_backend.cc.o.d"
+  "libeinsql_backends.a"
+  "libeinsql_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_common.dir/rng.cc.o"
+  "CMakeFiles/einsql_common.dir/rng.cc.o.d"
+  "CMakeFiles/einsql_common.dir/status.cc.o"
+  "CMakeFiles/einsql_common.dir/status.cc.o.d"
+  "CMakeFiles/einsql_common.dir/str_util.cc.o"
+  "CMakeFiles/einsql_common.dir/str_util.cc.o.d"
+  "libeinsql_common.a"
+  "libeinsql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

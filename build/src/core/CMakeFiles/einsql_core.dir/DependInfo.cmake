@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost.cc" "src/core/CMakeFiles/einsql_core.dir/cost.cc.o" "gcc" "src/core/CMakeFiles/einsql_core.dir/cost.cc.o.d"
+  "/root/repo/src/core/dense_exec.cc" "src/core/CMakeFiles/einsql_core.dir/dense_exec.cc.o" "gcc" "src/core/CMakeFiles/einsql_core.dir/dense_exec.cc.o.d"
+  "/root/repo/src/core/format.cc" "src/core/CMakeFiles/einsql_core.dir/format.cc.o" "gcc" "src/core/CMakeFiles/einsql_core.dir/format.cc.o.d"
+  "/root/repo/src/core/path.cc" "src/core/CMakeFiles/einsql_core.dir/path.cc.o" "gcc" "src/core/CMakeFiles/einsql_core.dir/path.cc.o.d"
+  "/root/repo/src/core/program.cc" "src/core/CMakeFiles/einsql_core.dir/program.cc.o" "gcc" "src/core/CMakeFiles/einsql_core.dir/program.cc.o.d"
+  "/root/repo/src/core/reference.cc" "src/core/CMakeFiles/einsql_core.dir/reference.cc.o" "gcc" "src/core/CMakeFiles/einsql_core.dir/reference.cc.o.d"
+  "/root/repo/src/core/sparse_exec.cc" "src/core/CMakeFiles/einsql_core.dir/sparse_exec.cc.o" "gcc" "src/core/CMakeFiles/einsql_core.dir/sparse_exec.cc.o.d"
+  "/root/repo/src/core/sqlgen.cc" "src/core/CMakeFiles/einsql_core.dir/sqlgen.cc.o" "gcc" "src/core/CMakeFiles/einsql_core.dir/sqlgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/einsql_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/einsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_core.dir/cost.cc.o"
+  "CMakeFiles/einsql_core.dir/cost.cc.o.d"
+  "CMakeFiles/einsql_core.dir/dense_exec.cc.o"
+  "CMakeFiles/einsql_core.dir/dense_exec.cc.o.d"
+  "CMakeFiles/einsql_core.dir/format.cc.o"
+  "CMakeFiles/einsql_core.dir/format.cc.o.d"
+  "CMakeFiles/einsql_core.dir/path.cc.o"
+  "CMakeFiles/einsql_core.dir/path.cc.o.d"
+  "CMakeFiles/einsql_core.dir/program.cc.o"
+  "CMakeFiles/einsql_core.dir/program.cc.o.d"
+  "CMakeFiles/einsql_core.dir/reference.cc.o"
+  "CMakeFiles/einsql_core.dir/reference.cc.o.d"
+  "CMakeFiles/einsql_core.dir/sparse_exec.cc.o"
+  "CMakeFiles/einsql_core.dir/sparse_exec.cc.o.d"
+  "CMakeFiles/einsql_core.dir/sqlgen.cc.o"
+  "CMakeFiles/einsql_core.dir/sqlgen.cc.o.d"
+  "libeinsql_core.a"
+  "libeinsql_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

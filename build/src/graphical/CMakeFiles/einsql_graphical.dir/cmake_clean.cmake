@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_graphical.dir/generator.cc.o"
+  "CMakeFiles/einsql_graphical.dir/generator.cc.o.d"
+  "CMakeFiles/einsql_graphical.dir/inference.cc.o"
+  "CMakeFiles/einsql_graphical.dir/inference.cc.o.d"
+  "CMakeFiles/einsql_graphical.dir/model.cc.o"
+  "CMakeFiles/einsql_graphical.dir/model.cc.o.d"
+  "libeinsql_graphical.a"
+  "libeinsql_graphical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_graphical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/ast.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/ast.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/ast.cc.o.d"
+  "/root/repo/src/minidb/database.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/database.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/database.cc.o.d"
+  "/root/repo/src/minidb/executor.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/executor.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/executor.cc.o.d"
+  "/root/repo/src/minidb/expr_eval.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/expr_eval.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/expr_eval.cc.o.d"
+  "/root/repo/src/minidb/lexer.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/lexer.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/lexer.cc.o.d"
+  "/root/repo/src/minidb/parser.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/parser.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/parser.cc.o.d"
+  "/root/repo/src/minidb/plan.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/plan.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/plan.cc.o.d"
+  "/root/repo/src/minidb/planner.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/planner.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/planner.cc.o.d"
+  "/root/repo/src/minidb/table.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/table.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/table.cc.o.d"
+  "/root/repo/src/minidb/value.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/value.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/einsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

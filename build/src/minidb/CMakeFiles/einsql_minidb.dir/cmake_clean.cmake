@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_minidb.dir/ast.cc.o"
+  "CMakeFiles/einsql_minidb.dir/ast.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/database.cc.o"
+  "CMakeFiles/einsql_minidb.dir/database.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/executor.cc.o"
+  "CMakeFiles/einsql_minidb.dir/executor.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/expr_eval.cc.o"
+  "CMakeFiles/einsql_minidb.dir/expr_eval.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/lexer.cc.o"
+  "CMakeFiles/einsql_minidb.dir/lexer.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/parser.cc.o"
+  "CMakeFiles/einsql_minidb.dir/parser.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/plan.cc.o"
+  "CMakeFiles/einsql_minidb.dir/plan.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/planner.cc.o"
+  "CMakeFiles/einsql_minidb.dir/planner.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/table.cc.o"
+  "CMakeFiles/einsql_minidb.dir/table.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/value.cc.o"
+  "CMakeFiles/einsql_minidb.dir/value.cc.o.d"
+  "libeinsql_minidb.a"
+  "libeinsql_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

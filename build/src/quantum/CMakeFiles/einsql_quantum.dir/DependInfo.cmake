@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quantum/circuit.cc" "src/quantum/CMakeFiles/einsql_quantum.dir/circuit.cc.o" "gcc" "src/quantum/CMakeFiles/einsql_quantum.dir/circuit.cc.o.d"
+  "/root/repo/src/quantum/gates.cc" "src/quantum/CMakeFiles/einsql_quantum.dir/gates.cc.o" "gcc" "src/quantum/CMakeFiles/einsql_quantum.dir/gates.cc.o.d"
+  "/root/repo/src/quantum/sycamore.cc" "src/quantum/CMakeFiles/einsql_quantum.dir/sycamore.cc.o" "gcc" "src/quantum/CMakeFiles/einsql_quantum.dir/sycamore.cc.o.d"
+  "/root/repo/src/quantum/to_einsum.cc" "src/quantum/CMakeFiles/einsql_quantum.dir/to_einsum.cc.o" "gcc" "src/quantum/CMakeFiles/einsql_quantum.dir/to_einsum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backends/CMakeFiles/einsql_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/einsql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/einsql_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/einsql_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/einsql_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

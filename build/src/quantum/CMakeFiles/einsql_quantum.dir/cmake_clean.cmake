@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_quantum.dir/circuit.cc.o"
+  "CMakeFiles/einsql_quantum.dir/circuit.cc.o.d"
+  "CMakeFiles/einsql_quantum.dir/gates.cc.o"
+  "CMakeFiles/einsql_quantum.dir/gates.cc.o.d"
+  "CMakeFiles/einsql_quantum.dir/sycamore.cc.o"
+  "CMakeFiles/einsql_quantum.dir/sycamore.cc.o.d"
+  "CMakeFiles/einsql_quantum.dir/to_einsum.cc.o"
+  "CMakeFiles/einsql_quantum.dir/to_einsum.cc.o.d"
+  "libeinsql_quantum.a"
+  "libeinsql_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

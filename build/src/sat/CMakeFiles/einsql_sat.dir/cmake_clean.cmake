@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_sat.dir/cnf.cc.o"
+  "CMakeFiles/einsql_sat.dir/cnf.cc.o.d"
+  "CMakeFiles/einsql_sat.dir/count.cc.o"
+  "CMakeFiles/einsql_sat.dir/count.cc.o.d"
+  "CMakeFiles/einsql_sat.dir/dimacs.cc.o"
+  "CMakeFiles/einsql_sat.dir/dimacs.cc.o.d"
+  "CMakeFiles/einsql_sat.dir/generator.cc.o"
+  "CMakeFiles/einsql_sat.dir/generator.cc.o.d"
+  "CMakeFiles/einsql_sat.dir/tensorize.cc.o"
+  "CMakeFiles/einsql_sat.dir/tensorize.cc.o.d"
+  "libeinsql_sat.a"
+  "libeinsql_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_tensor.dir/contract.cc.o"
+  "CMakeFiles/einsql_tensor.dir/contract.cc.o.d"
+  "CMakeFiles/einsql_tensor.dir/shape.cc.o"
+  "CMakeFiles/einsql_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/einsql_tensor.dir/sparse_contract.cc.o"
+  "CMakeFiles/einsql_tensor.dir/sparse_contract.cc.o.d"
+  "libeinsql_tensor.a"
+  "libeinsql_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_triplestore.dir/dictionary.cc.o"
+  "CMakeFiles/einsql_triplestore.dir/dictionary.cc.o.d"
+  "CMakeFiles/einsql_triplestore.dir/generator.cc.o"
+  "CMakeFiles/einsql_triplestore.dir/generator.cc.o.d"
+  "CMakeFiles/einsql_triplestore.dir/query.cc.o"
+  "CMakeFiles/einsql_triplestore.dir/query.cc.o.d"
+  "CMakeFiles/einsql_triplestore.dir/store.cc.o"
+  "CMakeFiles/einsql_triplestore.dir/store.cc.o.d"
+  "libeinsql_triplestore.a"
+  "libeinsql_triplestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_triplestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

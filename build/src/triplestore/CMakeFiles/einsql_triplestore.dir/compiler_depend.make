@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for einsql_triplestore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsum_engine_test.dir/einsum_engine_test.cc.o"
+  "CMakeFiles/einsum_engine_test.dir/einsum_engine_test.cc.o.d"
+  "einsum_engine_test"
+  "einsum_engine_test.pdb"
+  "einsum_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsum_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsum_fuzz_test.dir/einsum_fuzz_test.cc.o"
+  "CMakeFiles/einsum_fuzz_test.dir/einsum_fuzz_test.cc.o.d"
+  "einsum_fuzz_test"
+  "einsum_fuzz_test.pdb"
+  "einsum_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsum_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/backends
+# Build directory: /root/repo/build/tests/backends
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/backends/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/einsum_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/einsum_fuzz_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgen_roundtrip_test.dir/sqlgen_roundtrip_test.cc.o"
+  "CMakeFiles/sqlgen_roundtrip_test.dir/sqlgen_roundtrip_test.cc.o.d"
+  "sqlgen_roundtrip_test"
+  "sqlgen_roundtrip_test.pdb"
+  "sqlgen_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgen_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

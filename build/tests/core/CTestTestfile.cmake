@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/format_test[1]_include.cmake")
+include("/root/repo/build/tests/core/path_test[1]_include.cmake")
+include("/root/repo/build/tests/core/program_test[1]_include.cmake")
+include("/root/repo/build/tests/core/sqlgen_test[1]_include.cmake")
+include("/root/repo/build/tests/core/reference_test[1]_include.cmake")
+include("/root/repo/build/tests/core/dense_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/core/sqlgen_roundtrip_test[1]_include.cmake")

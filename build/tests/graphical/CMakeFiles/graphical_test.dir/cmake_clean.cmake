@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphical_test.dir/graphical_test.cc.o"
+  "CMakeFiles/graphical_test.dir/graphical_test.cc.o.d"
+  "graphical_test"
+  "graphical_test.pdb"
+  "graphical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listings_test.dir/listings_test.cc.o"
+  "CMakeFiles/listings_test.dir/listings_test.cc.o.d"
+  "listings_test"
+  "listings_test.pdb"
+  "listings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

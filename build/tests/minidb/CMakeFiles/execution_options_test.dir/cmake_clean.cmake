@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_options_test.dir/execution_options_test.cc.o"
+  "CMakeFiles/execution_options_test.dir/execution_options_test.cc.o.d"
+  "execution_options_test"
+  "execution_options_test.pdb"
+  "execution_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_executor_test.dir/executor_test.cc.o"
+  "CMakeFiles/minidb_executor_test.dir/executor_test.cc.o.d"
+  "minidb_executor_test"
+  "minidb_executor_test.pdb"
+  "minidb_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_lexer_test.dir/lexer_test.cc.o"
+  "CMakeFiles/minidb_lexer_test.dir/lexer_test.cc.o.d"
+  "minidb_lexer_test"
+  "minidb_lexer_test.pdb"
+  "minidb_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_optimizer_test.dir/optimizer_test.cc.o"
+  "CMakeFiles/minidb_optimizer_test.dir/optimizer_test.cc.o.d"
+  "minidb_optimizer_test"
+  "minidb_optimizer_test.pdb"
+  "minidb_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_parser_test.dir/parser_test.cc.o"
+  "CMakeFiles/minidb_parser_test.dir/parser_test.cc.o.d"
+  "minidb_parser_test"
+  "minidb_parser_test.pdb"
+  "minidb_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/minidb
+# Build directory: /root/repo/build/tests/minidb
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/minidb/value_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb/minidb_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb/minidb_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb/minidb_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb/minidb_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb/sql_features_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb/execution_options_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_test.dir/quantum_test.cc.o"
+  "CMakeFiles/quantum_test.dir/quantum_test.cc.o.d"
+  "quantum_test"
+  "quantum_test.pdb"
+  "quantum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

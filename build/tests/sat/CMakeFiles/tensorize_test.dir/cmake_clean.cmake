@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensorize_test.dir/tensorize_test.cc.o"
+  "CMakeFiles/tensorize_test.dir/tensorize_test.cc.o.d"
+  "tensorize_test"
+  "tensorize_test.pdb"
+  "tensorize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensorize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

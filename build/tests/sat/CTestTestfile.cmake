@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sat
+# Build directory: /root/repo/build/tests/sat
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sat/cnf_test[1]_include.cmake")
+include("/root/repo/build/tests/sat/tensorize_test[1]_include.cmake")
+include("/root/repo/build/tests/sat/weighted_count_test[1]_include.cmake")

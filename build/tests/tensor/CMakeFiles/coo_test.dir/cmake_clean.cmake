@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coo_test.dir/coo_test.cc.o"
+  "CMakeFiles/coo_test.dir/coo_test.cc.o.d"
+  "coo_test"
+  "coo_test.pdb"
+  "coo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

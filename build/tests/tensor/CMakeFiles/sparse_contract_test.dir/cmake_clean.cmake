@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_contract_test.dir/sparse_contract_test.cc.o"
+  "CMakeFiles/sparse_contract_test.dir/sparse_contract_test.cc.o.d"
+  "sparse_contract_test"
+  "sparse_contract_test.pdb"
+  "sparse_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

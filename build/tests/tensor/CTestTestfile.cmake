@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tensor
+# Build directory: /root/repo/build/tests/tensor
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tensor/shape_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor/coo_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor/dense_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor/contract_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor/sparse_contract_test[1]_include.cmake")

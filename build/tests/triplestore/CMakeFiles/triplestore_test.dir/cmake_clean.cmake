@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triplestore_test.dir/triplestore_test.cc.o"
+  "CMakeFiles/triplestore_test.dir/triplestore_test.cc.o.d"
+  "triplestore_test"
+  "triplestore_test.pdb"
+  "triplestore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triplestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

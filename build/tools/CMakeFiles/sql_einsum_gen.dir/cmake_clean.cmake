@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_einsum_gen.dir/sql_einsum_gen.cc.o"
+  "CMakeFiles/sql_einsum_gen.dir/sql_einsum_gen.cc.o.d"
+  "sql_einsum_gen"
+  "sql_einsum_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_einsum_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
