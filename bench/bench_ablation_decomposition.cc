@@ -46,7 +46,7 @@ AblationCase BuildCase(int clauses) {
 void RunCase(benchmark::State& state, EinsumEngine* engine,
              const AblationCase* c, bool decompose) {
   const auto operands = c->network.operands();
-  EinsumOptions options;
+  EinsumOptions options = bench::BenchSession::Get().Traced();
   options.decompose = decompose;
   for (auto _ : state) {
     auto result = engine->RunProgram(c->program, operands, options);
@@ -57,11 +57,16 @@ void RunCase(benchmark::State& state, EinsumEngine* engine,
     benchmark::DoNotOptimize(result->nnz());
   }
   state.SetItemsProcessed(state.iterations());
+  bench::BenchSession::Get().RecordPhases(
+      decompose ? "ablation_decomposition/decomposed"
+                : "ablation_decomposition/flat",
+      engine);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchSession::Get().ConsumeFlags(&argc, argv);
   auto c = std::make_shared<AblationCase>(BuildCase(40));
   auto engines = std::make_shared<std::vector<bench::NamedEngine>>();
   engines->push_back(bench::MakeSqliteEngine());

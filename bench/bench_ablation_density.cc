@@ -56,7 +56,8 @@ void RunCase(benchmark::State& state, EinsumEngine* engine,
              const DensityCase* c) {
   const std::vector<const CooTensor*> operands = {&c->a, &c->b};
   for (auto _ : state) {
-    auto result = engine->RunProgram(c->program, operands, EinsumOptions{});
+    auto result = engine->RunProgram(c->program, operands,
+                                     bench::BenchSession::Get().Traced());
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;
@@ -64,12 +65,14 @@ void RunCase(benchmark::State& state, EinsumEngine* engine,
     benchmark::DoNotOptimize(result->nnz());
   }
   state.SetItemsProcessed(state.iterations());
+  bench::BenchSession::Get().RecordPhases("ablation_density", engine);
   state.counters["density"] = c->density;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchSession::Get().ConsumeFlags(&argc, argv);
   constexpr int64_t kN = 128;
   auto engines = std::make_shared<std::vector<bench::NamedEngine>>();
   engines->push_back(bench::MakeDenseEngine());

@@ -40,6 +40,7 @@ std::string BuildQuery() {
 
 void FullPipeline(benchmark::State& state, const std::string* sql) {
   Database db;
+  db.set_trace(bench::BenchSession::Get().trace());
   for (auto _ : state) {
     auto result = db.Execute(*sql);
     if (!result.ok()) {
@@ -54,6 +55,7 @@ void FullPipeline(benchmark::State& state, const std::string* sql) {
 void CachedPlan(benchmark::State& state, const std::string* sql,
                 bool parallel) {
   Database db;
+  db.set_trace(bench::BenchSession::Get().trace());
   if (parallel) db.executor_options().parallel_ctes = true;
   auto plan = db.Prepare(*sql);
   if (!plan.ok()) {
@@ -74,6 +76,7 @@ void CachedPlan(benchmark::State& state, const std::string* sql,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchSession::Get().ConsumeFlags(&argc, argv);
   auto sql = std::make_shared<std::string>(BuildQuery());
   benchmark::RegisterBenchmark(
       "ablation_engine/parse_plan_execute",

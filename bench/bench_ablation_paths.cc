@@ -60,7 +60,8 @@ void RunWithPath(benchmark::State& state, const PathCase* c,
   }
   DenseEinsumEngine dense;
   for (auto _ : state) {
-    auto result = dense.RunProgram(*program, c->operands, EinsumOptions{});
+    auto result = dense.RunProgram(*program, c->operands,
+                                   bench::BenchSession::Get().Traced());
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;
@@ -79,6 +80,7 @@ void RunWithPath(benchmark::State& state, const PathCase* c,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchSession::Get().ConsumeFlags(&argc, argv);
   auto cases = std::make_shared<std::vector<PathCase>>();
   cases->push_back(SatCase(60));
   cases->push_back(SatCase(160));

@@ -38,6 +38,8 @@ void RunSqlQuery(benchmark::State& state, SqlBackend* backend,
     benchmark::DoNotOptimize(rows->size());
   }
   state.SetItemsProcessed(state.iterations());
+  bench::BenchSession::Get().RecordPhases("fig2_triplestore", backend->name(),
+                                          backend->last_stats());
 }
 
 void RunNaiveQuery(benchmark::State& state, const TripleStore* store) {
@@ -56,6 +58,7 @@ void RunNaiveQuery(benchmark::State& state, const TripleStore* store) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchSession::Get().ConsumeFlags(&argc, argv);
   auto store = std::make_shared<TripleStore>(MakeDataset());
   auto engines = std::make_shared<std::vector<bench::NamedEngine>>();
   engines->push_back(bench::MakeSqliteEngine());

@@ -54,7 +54,7 @@ Fig4Case BuildCase(const CnfFormula& formula, int clauses) {
 void RunSolve(benchmark::State& state, EinsumEngine* engine,
               const Fig4Case* c) {
   const auto operands = c->network.operands();
-  EinsumOptions options;
+  EinsumOptions options = bench::BenchSession::Get().Traced();
   for (auto _ : state) {
     auto result = engine->RunProgram(c->program, operands, options);
     if (!result.ok()) {
@@ -64,12 +64,14 @@ void RunSolve(benchmark::State& state, EinsumEngine* engine,
     benchmark::DoNotOptimize(result->nnz());
   }
   state.SetItemsProcessed(state.iterations());
+  bench::BenchSession::Get().RecordPhases("fig4_sat", engine);
   state.counters["clauses"] = static_cast<double>(c->network.spec.inputs.size());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchSession::Get().ConsumeFlags(&argc, argv);
   const CnfFormula formula = FullFormula();
   auto engines = std::make_shared<std::vector<bench::NamedEngine>>(
       bench::StandardEngines());

@@ -38,7 +38,7 @@ Fig6Case BuildCase(const PairwiseModel& model, int batch) {
 
 void RunInference(benchmark::State& state, EinsumEngine* engine,
                   const PairwiseModel* model, const Fig6Case* c) {
-  EinsumOptions options;
+  EinsumOptions options = bench::BenchSession::Get().Traced();
   for (auto _ : state) {
     // A full solve embeds the (fresh) evidence and contracts; the
     // contraction path is precomputed, as in the paper.
@@ -55,12 +55,14 @@ void RunInference(benchmark::State& state, EinsumEngine* engine,
     benchmark::DoNotOptimize(raw->nnz());
   }
   state.SetItemsProcessed(state.iterations());
+  bench::BenchSession::Get().RecordPhases("fig6_graphical", engine);
   state.counters["batch"] = static_cast<double>(c->query.batch_size());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchSession::Get().ConsumeFlags(&argc, argv);
   auto model = std::make_shared<PairwiseModel>(BreastCancerLikeModel());
   auto engines = std::make_shared<std::vector<bench::NamedEngine>>(
       bench::StandardEngines());

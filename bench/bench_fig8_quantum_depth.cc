@@ -44,7 +44,7 @@ QuantumCase BuildCase(int qubits, int depth) {
 void RunSimulation(benchmark::State& state, EinsumEngine* engine,
                    const QuantumCase* c, const char* counter) {
   const auto operands = c->network.operands();
-  EinsumOptions options;
+  EinsumOptions options = bench::BenchSession::Get().Traced();
   for (auto _ : state) {
     auto amplitudes = engine->RunComplexProgram(c->program, operands, options);
     if (!amplitudes.ok()) {
@@ -54,12 +54,14 @@ void RunSimulation(benchmark::State& state, EinsumEngine* engine,
     benchmark::DoNotOptimize(amplitudes->nnz());
   }
   state.SetItemsProcessed(state.iterations());
+  bench::BenchSession::Get().RecordPhases("fig8_quantum_depth", engine);
   state.counters[counter] = static_cast<double>(c->parameter);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchSession::Get().ConsumeFlags(&argc, argv);
   constexpr int kQubits = 10;
   auto engines = std::make_shared<std::vector<einsql::bench::NamedEngine>>(
       einsql::bench::StandardEngines());

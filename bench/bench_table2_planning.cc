@@ -41,7 +41,8 @@ std::string Seconds(double value) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchSession::Get().ConsumeFlags(&argc, argv);
   // A formula of the same size class as the paper's 952-clause instance.
   PackageFormulaOptions options;
   options.num_packages = 252;
@@ -93,6 +94,8 @@ int main() {
       continue;
     }
     const BackendStats stats = engine.backend->last_stats();
+    bench::BenchSession::Get().RecordPhases("table2_planning", engine.label,
+                                            stats);
     PrintRow(engine.label, Seconds(stats.planning_seconds),
              Seconds(stats.execution_seconds));
   }

@@ -1,15 +1,111 @@
 #ifndef EINSQL_BENCH_BENCH_UTIL_H_
 #define EINSQL_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "backends/einsum_engine.h"
 #include "backends/minidb_backend.h"
 #include "backends/sqlite_backend.h"
+#include "common/trace.h"
 
 namespace einsql::bench {
+
+/// Session-wide benchmark instrumentation, driven by harness flags that the
+/// benchmark mains strip from argv *before* benchmark::Initialize:
+///
+///   --trace=<file>.json   collect spans from every engine (pipeline phases,
+///                         per-CTE materialization, per-operator metrics)
+///                         and write Chrome trace_event JSON at exit
+///   --phase-log=<file>    append one JSON object per recorded measurement:
+///                         {"bench", "engine", "planning_seconds",
+///                          "execution_seconds", "rows"}
+class BenchSession {
+ public:
+  static BenchSession& Get() {
+    static BenchSession session;
+    return session;
+  }
+
+  /// Removes the flags above from argv (call before benchmark::Initialize,
+  /// which rejects unknown options).
+  void ConsumeFlags(int* argc, char** argv) {
+    int out = 1;
+    for (int a = 1; a < *argc; ++a) {
+      const std::string arg = argv[a];
+      if (arg.rfind("--trace=", 0) == 0) {
+        trace_file_ = arg.substr(8);
+      } else if (arg.rfind("--phase-log=", 0) == 0) {
+        phase_log_file_ = arg.substr(12);
+      } else {
+        argv[out++] = argv[a];
+      }
+    }
+    *argc = out;
+    argv[*argc] = nullptr;
+  }
+
+  /// The session span sink, or null when --trace was not given.
+  Trace* trace() { return trace_file_.empty() ? nullptr : &trace_; }
+
+  /// `base` with the session trace attached (no-op when tracing is off).
+  EinsumOptions Traced(EinsumOptions base = {}) {
+    base.trace = trace();
+    return base;
+  }
+
+  /// Appends one phase record to the phase log (no-op when disabled).
+  void RecordPhases(const std::string& bench, const std::string& engine,
+                    const BackendStats& stats) {
+    if (phase_log_file_.empty()) return;
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "{\"bench\": \"%s\", \"engine\": \"%s\", "
+                  "\"planning_seconds\": %.9f, \"execution_seconds\": %.9f, "
+                  "\"rows\": %lld}\n",
+                  JsonEscape(bench).c_str(), JsonEscape(engine).c_str(),
+                  stats.planning_seconds, stats.execution_seconds,
+                  static_cast<long long>(stats.result_rows));
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::FILE* f = std::fopen(phase_log_file_.c_str(), "a");
+    if (f == nullptr) return;
+    std::fputs(line, f);
+    std::fclose(f);
+  }
+
+  /// Convenience for measurement loops that only hold an EinsumEngine*:
+  /// records the backend's last stats when the engine is SQL-based.
+  void RecordPhases(const std::string& bench, EinsumEngine* engine) {
+    if (phase_log_file_.empty() || engine == nullptr) return;
+    if (auto* sql = dynamic_cast<SqlEinsumEngine*>(engine)) {
+      RecordPhases(bench, sql->backend()->name(),
+                   sql->backend()->last_stats());
+    }
+  }
+
+  ~BenchSession() {
+    if (trace_file_.empty()) return;
+    const Status status = trace_.WriteJsonFile(trace_file_);
+    if (status.ok()) {
+      std::fprintf(stderr, "trace written to %s (%zu spans)\n",
+                   trace_file_.c_str(), trace_.span_count());
+    } else {
+      std::fprintf(stderr, "cannot write trace: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+
+ private:
+  BenchSession() = default;
+
+  std::string trace_file_;
+  std::string phase_log_file_;
+  Trace trace_;
+  std::mutex mutex_;
+};
 
 /// One engine under benchmark, with the backend it owns (if any).
 ///
@@ -44,6 +140,7 @@ inline NamedEngine MakeSqliteEngine() {
   NamedEngine named;
   named.label = "sqlite";
   named.backend = SqliteBackend::Open().value();
+  named.backend->set_trace(BenchSession::Get().trace());
   named.engine = std::make_unique<SqlEinsumEngine>(named.backend.get());
   return named;
 }
@@ -55,6 +152,7 @@ inline NamedEngine MakeMiniDbEngine(minidb::OptimizerMode mode) {
   auto backend = std::make_unique<MiniDbBackend>(options);
   named.label = backend->name();
   named.backend = std::move(backend);
+  named.backend->set_trace(BenchSession::Get().trace());
   named.engine = std::make_unique<SqlEinsumEngine>(named.backend.get());
   return named;
 }

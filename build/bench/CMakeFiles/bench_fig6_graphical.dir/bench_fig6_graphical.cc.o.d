@@ -211,15 +211,30 @@ bench/CMakeFiles/bench_fig6_graphical.dir/bench_fig6_graphical.cc.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/backends/einsum_engine.h \
  /root/repo/src/backends/backend.h /root/repo/src/common/result.h \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/status.h \
- /root/repo/src/minidb/table.h /root/repo/src/minidb/value.h \
- /root/repo/src/tensor/coo.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/status.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/minidb/table.h \
+ /root/repo/src/minidb/value.h /root/repo/src/tensor/coo.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -240,18 +255,15 @@ bench/CMakeFiles/bench_fig6_graphical.dir/bench_fig6_graphical.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/complex \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tensor/shape.h /root/repo/src/core/path.h \
  /root/repo/src/core/format.h /root/repo/src/core/program.h \
  /root/repo/src/core/sqlgen.h /root/repo/src/backends/minidb_backend.h \
  /root/repo/src/minidb/database.h /root/repo/src/minidb/executor.h \
  /root/repo/src/minidb/plan.h /root/repo/src/minidb/ast.h \
- /usr/include/c++/12/optional /root/repo/src/minidb/planner.h \
- /root/repo/src/backends/sqlite_backend.h \
+ /usr/include/c++/12/optional /root/repo/src/minidb/profile.h \
+ /root/repo/src/minidb/planner.h /root/repo/src/backends/sqlite_backend.h \
  /root/repo/src/graphical/generator.h /root/repo/src/common/rng.h \
  /root/repo/src/graphical/inference.h /root/repo/src/graphical/model.h \
  /root/repo/src/tensor/dense.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/einsql_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/einsql_common.dir/rng.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/einsql_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/einsql_common.dir/status.cc.o.d"
   "/root/repo/src/common/str_util.cc" "src/common/CMakeFiles/einsql_common.dir/str_util.cc.o" "gcc" "src/common/CMakeFiles/einsql_common.dir/str_util.cc.o.d"
+  "/root/repo/src/common/trace.cc" "src/common/CMakeFiles/einsql_common.dir/trace.cc.o" "gcc" "src/common/CMakeFiles/einsql_common.dir/trace.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/einsql_common.dir/status.cc.o.d"
   "CMakeFiles/einsql_common.dir/str_util.cc.o"
   "CMakeFiles/einsql_common.dir/str_util.cc.o.d"
+  "CMakeFiles/einsql_common.dir/trace.cc.o"
+  "CMakeFiles/einsql_common.dir/trace.cc.o.d"
   "libeinsql_common.a"
   "libeinsql_common.pdb"
 )

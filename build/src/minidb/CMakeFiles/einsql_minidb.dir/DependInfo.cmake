@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/minidb/parser.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/parser.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/parser.cc.o.d"
   "/root/repo/src/minidb/plan.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/plan.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/plan.cc.o.d"
   "/root/repo/src/minidb/planner.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/planner.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/planner.cc.o.d"
+  "/root/repo/src/minidb/profile.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/profile.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/profile.cc.o.d"
   "/root/repo/src/minidb/table.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/table.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/table.cc.o.d"
   "/root/repo/src/minidb/value.cc" "src/minidb/CMakeFiles/einsql_minidb.dir/value.cc.o" "gcc" "src/minidb/CMakeFiles/einsql_minidb.dir/value.cc.o.d"
   )

@@ -15,6 +15,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/einsql_minidb.dir/plan.cc.o.d"
   "CMakeFiles/einsql_minidb.dir/planner.cc.o"
   "CMakeFiles/einsql_minidb.dir/planner.cc.o.d"
+  "CMakeFiles/einsql_minidb.dir/profile.cc.o"
+  "CMakeFiles/einsql_minidb.dir/profile.cc.o.d"
   "CMakeFiles/einsql_minidb.dir/table.cc.o"
   "CMakeFiles/einsql_minidb.dir/table.cc.o.d"
   "CMakeFiles/einsql_minidb.dir/value.cc.o"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_trace_test.dir/engine_trace_test.cc.o"
+  "CMakeFiles/engine_trace_test.dir/engine_trace_test.cc.o.d"
+  "engine_trace_test"
+  "engine_trace_test.pdb"
+  "engine_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

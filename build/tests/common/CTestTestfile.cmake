@@ -8,3 +8,4 @@ include("/root/repo/build/tests/common/status_test[1]_include.cmake")
 include("/root/repo/build/tests/common/result_test[1]_include.cmake")
 include("/root/repo/build/tests/common/str_util_test[1]_include.cmake")
 include("/root/repo/build/tests/common/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/common/trace_test[1]_include.cmake")

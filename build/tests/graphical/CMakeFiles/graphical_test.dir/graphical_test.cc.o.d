@@ -295,9 +295,19 @@ tests/graphical/CMakeFiles/graphical_test.dir/graphical_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/backends/minidb_backend.h \
  /root/repo/src/backends/backend.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/minidb/table.h \
- /root/repo/src/minidb/value.h /root/repo/src/tensor/coo.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/status.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/minidb/table.h /root/repo/src/minidb/value.h \
+ /root/repo/src/tensor/coo.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -325,8 +335,8 @@ tests/graphical/CMakeFiles/graphical_test.dir/graphical_test.cc.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tensor/shape.h /root/repo/src/minidb/database.h \
  /root/repo/src/minidb/executor.h /root/repo/src/minidb/plan.h \
- /root/repo/src/minidb/ast.h /root/repo/src/minidb/planner.h \
- /root/repo/src/backends/sqlite_backend.h \
+ /root/repo/src/minidb/ast.h /root/repo/src/minidb/profile.h \
+ /root/repo/src/minidb/planner.h /root/repo/src/backends/sqlite_backend.h \
  /root/repo/src/graphical/generator.h /root/repo/src/common/rng.h \
  /root/repo/src/graphical/inference.h \
  /root/repo/src/backends/einsum_engine.h /root/repo/src/core/path.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_analyze_test.dir/explain_analyze_test.cc.o"
+  "CMakeFiles/explain_analyze_test.dir/explain_analyze_test.cc.o.d"
+  "explain_analyze_test"
+  "explain_analyze_test.pdb"
+  "explain_analyze_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_analyze_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

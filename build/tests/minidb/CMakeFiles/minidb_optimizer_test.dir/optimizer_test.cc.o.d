@@ -294,7 +294,17 @@ tests/minidb/CMakeFiles/minidb_optimizer_test.dir/optimizer_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/minidb/database.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/minidb/executor.h \
- /root/repo/src/minidb/plan.h /root/repo/src/minidb/ast.h \
- /root/repo/src/minidb/value.h /root/repo/src/minidb/table.h \
+ /root/repo/src/common/status.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/minidb/executor.h /root/repo/src/minidb/plan.h \
+ /root/repo/src/minidb/ast.h /root/repo/src/minidb/value.h \
+ /root/repo/src/minidb/table.h /root/repo/src/minidb/profile.h \
  /root/repo/src/minidb/planner.h

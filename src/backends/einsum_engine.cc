@@ -5,10 +5,30 @@
 
 namespace einsql {
 
+namespace {
+
+// Spans "path optimization" around BuildProgram, recording the chosen
+// algorithm and its predicted cost as attributes.
+Result<ContractionProgram> BuildProgramTraced(const EinsumSpec& spec,
+                                              const std::vector<Shape>& shapes,
+                                              const EinsumOptions& options) {
+  ScopedSpan span(options.trace, "path optimization");
+  EINSQL_ASSIGN_OR_RETURN(ContractionProgram program,
+                          BuildProgram(spec, shapes, options.path));
+  span.SetAttribute("algorithm", PathAlgorithmToString(program.algorithm));
+  span.SetAttribute("est_flops", program.est_flops);
+  span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
+  return program;
+}
+
+}  // namespace
+
 Result<CooTensor> EinsumEngine::Einsum(
     const std::string& format, const std::vector<const CooTensor*>& tensors,
     const EinsumOptions& options) {
+  ScopedSpan parse_span(options.trace, "parse format");
   EINSQL_ASSIGN_OR_RETURN(EinsumSpec spec, ParseEinsumFormat(format));
+  parse_span.End();
   return EinsumSpecified(spec, tensors, options);
 }
 
@@ -16,7 +36,9 @@ Result<ComplexCooTensor> EinsumEngine::ComplexEinsum(
     const std::string& format,
     const std::vector<const ComplexCooTensor*>& tensors,
     const EinsumOptions& options) {
+  ScopedSpan parse_span(options.trace, "parse format");
   EINSQL_ASSIGN_OR_RETURN(EinsumSpec spec, ParseEinsumFormat(format));
+  parse_span.End();
   return ComplexEinsumSpecified(spec, tensors, options);
 }
 
@@ -30,7 +52,7 @@ Result<CooTensor> EinsumEngine::EinsumSpecified(
     shapes.push_back(t->shape());
   }
   EINSQL_ASSIGN_OR_RETURN(ContractionProgram program,
-                          BuildProgram(spec, shapes, options.path));
+                          BuildProgramTraced(spec, shapes, options));
   return RunProgram(program, tensors, options);
 }
 
@@ -45,7 +67,7 @@ Result<ComplexCooTensor> EinsumEngine::ComplexEinsumSpecified(
     shapes.push_back(t->shape());
   }
   EINSQL_ASSIGN_OR_RETURN(ContractionProgram program,
-                          BuildProgram(spec, shapes, options.path));
+                          BuildProgramTraced(spec, shapes, options));
   return RunComplexProgram(program, tensors, options);
 }
 
@@ -134,11 +156,25 @@ Result<CooTensor> SqlEinsumEngine::RunProgram(
     const ContractionProgram& program,
     const std::vector<const CooTensor*>& tensors,
     const EinsumOptions& options) {
+  ScopedSpan validate_span(options.trace, "validate");
   EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  validate_span.End();
+  ScopedSpan gen_span(options.trace, "sql generation");
   EINSQL_ASSIGN_OR_RETURN(
       std::string sql,
       GenerateEinsumSql(program, tensors, ToSqlGenOptions(options)));
+  gen_span.SetAttribute("sql_bytes", static_cast<int64_t>(sql.size()));
+  gen_span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
+  gen_span.End();
+  // A null options.trace leaves any sink installed directly on the backend
+  // (e.g. by the benchmark harness) in effect.
+  if (options.trace != nullptr) backend_->set_trace(options.trace);
+  ScopedSpan query_span(options.trace, "backend query");
+  query_span.SetAttribute("backend", backend_->name());
   EINSQL_ASSIGN_OR_RETURN(minidb::Relation relation, backend_->Query(sql));
+  query_span.SetAttribute("rows", backend_->last_stats().result_rows);
+  query_span.End();
+  ScopedSpan parse_span(options.trace, "parse result");
   EINSQL_ASSIGN_OR_RETURN(Shape output_shape,
                           OutputShape(program.spec, program.extents));
   return ParseCooResult(relation, output_shape, options.epsilon);
@@ -148,11 +184,25 @@ Result<ComplexCooTensor> SqlEinsumEngine::RunComplexProgram(
     const ContractionProgram& program,
     const std::vector<const ComplexCooTensor*>& tensors,
     const EinsumOptions& options) {
+  ScopedSpan validate_span(options.trace, "validate");
   EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  validate_span.End();
+  ScopedSpan gen_span(options.trace, "sql generation");
   EINSQL_ASSIGN_OR_RETURN(
       std::string sql,
       GenerateComplexEinsumSql(program, tensors, ToSqlGenOptions(options)));
+  gen_span.SetAttribute("sql_bytes", static_cast<int64_t>(sql.size()));
+  gen_span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
+  gen_span.End();
+  // A null options.trace leaves any sink installed directly on the backend
+  // (e.g. by the benchmark harness) in effect.
+  if (options.trace != nullptr) backend_->set_trace(options.trace);
+  ScopedSpan query_span(options.trace, "backend query");
+  query_span.SetAttribute("backend", backend_->name());
   EINSQL_ASSIGN_OR_RETURN(minidb::Relation relation, backend_->Query(sql));
+  query_span.SetAttribute("rows", backend_->last_stats().result_rows);
+  query_span.End();
+  ScopedSpan parse_span(options.trace, "parse result");
   EINSQL_ASSIGN_OR_RETURN(Shape output_shape,
                           OutputShape(program.spec, program.extents));
   return ParseComplexCooResult(relation, output_shape, options.epsilon);
@@ -163,6 +213,8 @@ Result<CooTensor> DenseEinsumEngine::RunProgram(
     const std::vector<const CooTensor*>& tensors,
     const EinsumOptions& options) {
   EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  ScopedSpan span(options.trace, "dense contraction");
+  span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
   return ExecuteProgramDenseCoo<double>(program, tensors, options.epsilon);
 }
 
@@ -171,6 +223,8 @@ Result<ComplexCooTensor> DenseEinsumEngine::RunComplexProgram(
     const std::vector<const ComplexCooTensor*>& tensors,
     const EinsumOptions& options) {
   EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  ScopedSpan span(options.trace, "dense contraction");
+  span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
   return ExecuteProgramDenseCoo<std::complex<double>>(program, tensors,
                                                       options.epsilon);
 }
@@ -180,6 +234,8 @@ Result<CooTensor> SparseEinsumEngine::RunProgram(
     const std::vector<const CooTensor*>& tensors,
     const EinsumOptions& options) {
   EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  ScopedSpan span(options.trace, "sparse contraction");
+  span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
   return ExecuteProgramSparse<double>(program, tensors, options.epsilon);
 }
 
@@ -188,6 +244,8 @@ Result<ComplexCooTensor> SparseEinsumEngine::RunComplexProgram(
     const std::vector<const ComplexCooTensor*>& tensors,
     const EinsumOptions& options) {
   EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
+  ScopedSpan span(options.trace, "sparse contraction");
+  span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
   return ExecuteProgramSparse<std::complex<double>>(program, tensors,
                                                     options.epsilon);
 }

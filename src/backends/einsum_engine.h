@@ -23,6 +23,12 @@ struct EinsumOptions {
   bool simplify = true;
   /// Result entries with magnitude <= epsilon are dropped.
   double epsilon = 0.0;
+  /// Optional span sink: when set, the pipeline emits nested spans for
+  /// format parsing, shape validation, path optimization (chosen algorithm
+  /// and predicted flop cost as attributes), SQL generation, backend
+  /// execution (per-CTE materialization where observable), and result
+  /// parsing. Not owned; may be null.
+  Trace* trace = nullptr;
 };
 
 /// A complete Einstein summation engine: give it a format string and COO

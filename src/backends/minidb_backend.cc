@@ -32,6 +32,7 @@ std::string MiniDbBackend::name() const {
 
 Status MiniDbBackend::Execute(const std::string& sql) {
   EINSQL_ASSIGN_OR_RETURN(minidb::QueryResult result, db_.Execute(sql));
+  stats_ = BackendStats{};
   stats_.planning_seconds = result.stats.planning_seconds();
   stats_.execution_seconds = result.stats.exec_seconds;
   return Status::OK();
@@ -39,8 +40,17 @@ Status MiniDbBackend::Execute(const std::string& sql) {
 
 Result<minidb::Relation> MiniDbBackend::Query(const std::string& sql) {
   EINSQL_ASSIGN_OR_RETURN(minidb::QueryResult result, db_.Execute(sql));
+  stats_ = BackendStats{};
   stats_.planning_seconds = result.stats.planning_seconds();
   stats_.execution_seconds = result.stats.exec_seconds;
+  stats_.result_rows = static_cast<int64_t>(result.relation.rows.size());
+  if (const minidb::QueryProfile* profile = db_.last_profile()) {
+    stats_.cte_timings.reserve(profile->ctes.size());
+    for (const auto& cte : profile->ctes) {
+      stats_.cte_timings.push_back(
+          {cte.name, cte.wall_seconds, cte.rows, cte.est_rows});
+    }
+  }
   return result.relation;
 }
 

@@ -23,6 +23,9 @@ class MiniDbBackend : public SqlBackend {
   Status Execute(const std::string& sql) override;
   Result<minidb::Relation> Query(const std::string& sql) override;
   BackendStats last_stats() const override { return stats_; }
+  /// Forwards the sink to the engine: parse/plan/execute phases, per-CTE
+  /// materialization, and per-operator spans all land in `trace`.
+  void set_trace(Trace* trace) override { db_.set_trace(trace); }
   Status CreateCooTable(const std::string& name, int rank,
                         bool complex_values) override;
   Status LoadCooTensor(const std::string& name,

@@ -48,15 +48,20 @@ Status SqliteBackend::Execute(const std::string& sql) {
 }
 
 Result<minidb::Relation> SqliteBackend::Query(const std::string& sql) {
+  stats_ = BackendStats{};
   Stopwatch watch;
+  ScopedSpan prepare_span(trace_, "sqlite prepare");
   sqlite3_stmt* raw = nullptr;
   if (sqlite3_prepare_v2(db_, sql.c_str(), -1, &raw, nullptr) != SQLITE_OK) {
     return SqliteError(db_, "prepare");
   }
   StmtPtr stmt(raw);
+  prepare_span.SetAttribute("sql_bytes", static_cast<int64_t>(sql.size()));
+  prepare_span.End();
   stats_.planning_seconds = watch.ElapsedSeconds();
 
   watch.Restart();
+  ScopedSpan step_span(trace_, "sqlite step");
   minidb::Relation relation;
   const int columns = sqlite3_column_count(stmt.get());
   for (int c = 0; c < columns; ++c) {
@@ -93,6 +98,8 @@ Result<minidb::Relation> SqliteBackend::Query(const std::string& sql) {
     relation.rows.push_back(std::move(row));
   }
   stats_.execution_seconds = watch.ElapsedSeconds();
+  stats_.result_rows = static_cast<int64_t>(relation.rows.size());
+  step_span.SetAttribute("rows", stats_.result_rows);
   return relation;
 }
 

@@ -27,6 +27,10 @@ class SqliteBackend : public SqlBackend {
   Status Execute(const std::string& sql) override;
   Result<minidb::Relation> Query(const std::string& sql) override;
   BackendStats last_stats() const override { return stats_; }
+  /// Emits "sqlite prepare" / "sqlite step" spans per Query. SQLite hides
+  /// CTE materialization inside its planner, so no per-CTE spans (and
+  /// cte_timings stays empty).
+  void set_trace(Trace* trace) override { trace_ = trace; }
   Status CreateCooTable(const std::string& name, int rank,
                         bool complex_values) override;
   Status LoadCooTensor(const std::string& name,
@@ -42,6 +46,7 @@ class SqliteBackend : public SqlBackend {
 
   sqlite3* db_ = nullptr;
   BackendStats stats_;
+  Trace* trace_ = nullptr;
 };
 
 }  // namespace einsql

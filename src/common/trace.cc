@@ -1,0 +1,241 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace einsql {
+
+namespace {
+
+/// Per-thread stack of open spans, shared across traces: entries carry the
+/// owning trace so nested instrumented layers with distinct Trace objects
+/// never cross wires.
+thread_local std::vector<std::pair<const Trace*, Trace::SpanId>>
+    tls_open_spans;
+
+std::string NumberToJson(double value) {
+  // Emit integers without a fractional part; everything else with enough
+  // digits to round-trip.
+  if (value == static_cast<int64_t>(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char c : input) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
+Trace::~Trace() {
+  // Drop any dangling thread-local references to this trace (spans never
+  // ended, e.g. after an error propagated through instrumented code).
+  auto& stack = tls_open_spans;
+  stack.erase(std::remove_if(stack.begin(), stack.end(),
+                             [this](const auto& entry) {
+                               return entry.first == this;
+                             }),
+              stack.end());
+}
+
+int64_t Trace::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Trace::ThreadIndexLocked() {
+  const auto id = std::this_thread::get_id();
+  auto it = thread_indices_.find(id);
+  if (it != thread_indices_.end()) return it->second;
+  const int index = static_cast<int>(thread_indices_.size());
+  thread_indices_.emplace(id, index);
+  return index;
+}
+
+Trace::SpanId Trace::BeginSpan(std::string_view name, SpanId parent) {
+  if (parent == kInheritParent) {
+    parent = kNoParent;
+    for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend();
+         ++it) {
+      if (it->first == this) {
+        parent = it->second;
+        break;
+      }
+    }
+  }
+  const int64_t now = NowUs();
+  SpanId id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = static_cast<SpanId>(spans_.size());
+    SpanRecord record;
+    record.parent = parent;
+    record.name = std::string(name);
+    record.tid = ThreadIndexLocked();
+    record.start_us = now;
+    spans_.push_back(std::move(record));
+  }
+  tls_open_spans.emplace_back(this, id);
+  return id;
+}
+
+void Trace::EndSpan(SpanId id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+    SpanRecord& record = spans_[id];
+    if (record.end_us >= 0) return;  // already closed
+    record.end_us = NowUs();
+  }
+  // Pop the matching entry from this thread's open-span stack (searched
+  // from the top: well-nested scopes hit the last element).
+  auto& stack = tls_open_spans;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->first == this && it->second == id) {
+      stack.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+void Trace::SetAttributeJson(SpanId id, std::string_view key,
+                             std::string json_value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  SpanRecord& record = spans_[id];
+  for (Attribute& attr : record.attributes) {
+    if (attr.key == key) {
+      attr.json_value = std::move(json_value);
+      return;
+    }
+  }
+  record.attributes.push_back({std::string(key), std::move(json_value)});
+}
+
+void Trace::SetAttribute(SpanId id, std::string_view key,
+                         std::string_view value) {
+  SetAttributeJson(id, key, "\"" + JsonEscape(value) + "\"");
+}
+
+void Trace::SetAttribute(SpanId id, std::string_view key, double value) {
+  SetAttributeJson(id, key, NumberToJson(value));
+}
+
+void Trace::SetAttribute(SpanId id, std::string_view key, int64_t value) {
+  SetAttributeJson(id, key, std::to_string(value));
+}
+
+void Trace::AddCounter(std::string_view name, double value) {
+  const int64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.push_back({std::string(name), now, value});
+}
+
+size_t Trace::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::string Trace::ToChromeJson() const {
+  const int64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (size_t k = 0; k < spans_.size(); ++k) {
+    const SpanRecord& span = spans_[k];
+    const int64_t end = span.end_us >= 0 ? span.end_us : now;
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\": \"" << JsonEscape(span.name)
+       << "\", \"cat\": \"einsql\", \"ph\": \"X\", \"ts\": " << span.start_us
+       << ", \"dur\": " << (end - span.start_us)
+       << ", \"pid\": 1, \"tid\": " << span.tid << ", \"args\": {"
+       << "\"span_id\": " << k << ", \"parent_id\": " << span.parent;
+    for (const Attribute& attr : span.attributes) {
+      os << ", \"" << JsonEscape(attr.key) << "\": " << attr.json_value;
+    }
+    os << "}}";
+  }
+  for (const CounterRecord& counter : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\": \"" << JsonEscape(counter.name)
+       << "\", \"cat\": \"einsql\", \"ph\": \"C\", \"ts\": " << counter.ts_us
+       << ", \"pid\": 1, \"tid\": 0, \"args\": {\"value\": "
+       << NumberToJson(counter.value) << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string Trace::ToString() const {
+  const int64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Index children by parent, preserving begin order.
+  std::vector<std::vector<size_t>> children(spans_.size());
+  std::vector<size_t> roots;
+  for (size_t k = 0; k < spans_.size(); ++k) {
+    const SpanId parent = spans_[k].parent;
+    if (parent >= 0 && parent < static_cast<SpanId>(spans_.size())) {
+      children[parent].push_back(k);
+    } else {
+      roots.push_back(k);
+    }
+  }
+  std::ostringstream os;
+  // Recursive lambda over the forest.
+  auto dump = [&](auto&& self, size_t index, int depth) -> void {
+    const SpanRecord& span = spans_[index];
+    const int64_t end = span.end_us >= 0 ? span.end_us : now;
+    os << std::string(depth * 2, ' ') << span.name << "  "
+       << (end - span.start_us) / 1000.0 << " ms";
+    if (span.end_us < 0) os << " (open)";
+    for (const Attribute& attr : span.attributes) {
+      os << " " << attr.key << "=" << attr.json_value;
+    }
+    os << "\n";
+    for (size_t child : children[index]) self(self, child, depth + 1);
+  };
+  for (size_t root : roots) dump(dump, root, 0);
+  return os.str();
+}
+
+Status Trace::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open trace file '", path, "'");
+  out << ToChromeJson();
+  if (!out) return Status::Internal("error writing trace file '", path, "'");
+  return Status::OK();
+}
+
+}  // namespace einsql

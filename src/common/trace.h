@@ -1,0 +1,153 @@
+#ifndef EINSQL_COMMON_TRACE_H_
+#define EINSQL_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace einsql {
+
+/// A thread-safe collection of timed, nested spans and counter samples —
+/// the measurement backbone behind EXPLAIN ANALYZE, the einsum pipeline
+/// instrumentation, and the benchmark `--trace=<file>.json` option.
+///
+/// Spans are identified by dense integer ids. Parent/child nesting is
+/// tracked two ways:
+///   * implicitly: each thread keeps a stack of its open spans, so a span
+///     begun without an explicit parent nests under the innermost open span
+///     of the *same trace* on the *same thread*;
+///   * explicitly: cross-thread children (e.g. parallel CTE materialization
+///     workers) pass the parent span id captured on the spawning thread.
+///
+/// Timestamps come from a monotonic clock and are stored as microseconds
+/// relative to the trace's construction, which keeps the JSON small and
+/// makes traces diffable. Serialization targets the Chrome `trace_event`
+/// format (load in chrome://tracing or https://ui.perfetto.dev), plus a
+/// compact human-readable tree for terminals and golden tests.
+class Trace {
+ public:
+  using SpanId = int64_t;
+  /// Explicit "top-level span" parent.
+  static constexpr SpanId kNoParent = -1;
+  /// Default: inherit the innermost open span of this trace on the calling
+  /// thread (kNoParent if the thread has none open).
+  static constexpr SpanId kInheritParent = -2;
+
+  Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+  ~Trace();
+
+  /// Opens a span. Never fails; returns the new span's id.
+  SpanId BeginSpan(std::string_view name, SpanId parent = kInheritParent);
+
+  /// Closes a span. Closing an unknown or already-closed id is a no-op.
+  void EndSpan(SpanId id);
+
+  /// Attaches a key/value attribute to an open or closed span. Numeric
+  /// overloads serialize as JSON numbers, the string overload as a JSON
+  /// string. Re-setting a key overwrites the previous value.
+  void SetAttribute(SpanId id, std::string_view key, std::string_view value);
+  void SetAttribute(SpanId id, std::string_view key, double value);
+  void SetAttribute(SpanId id, std::string_view key, int64_t value);
+
+  /// Records an instantaneous counter sample (Chrome "C" event).
+  void AddCounter(std::string_view name, double value);
+
+  /// Number of spans recorded so far (open + closed).
+  size_t span_count() const;
+
+  /// Serializes to the Chrome trace_event JSON object format:
+  /// {"traceEvents": [...]}. Spans still open are closed at "now" for the
+  /// purpose of serialization (their records are not mutated).
+  std::string ToChromeJson() const;
+
+  /// Indented human-readable tree: one line per span with duration and
+  /// attributes, children below their parents.
+  std::string ToString() const;
+
+  /// Writes ToChromeJson() to `path`.
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  struct Attribute {
+    std::string key;
+    std::string json_value;  // pre-rendered JSON fragment (quoted or not)
+  };
+
+  struct SpanRecord {
+    SpanId parent = kNoParent;
+    std::string name;
+    int tid = 0;            // dense per-trace thread index
+    int64_t start_us = 0;   // relative to trace epoch
+    int64_t end_us = -1;    // -1 while open
+    std::vector<Attribute> attributes;
+  };
+
+  struct CounterRecord {
+    std::string name;
+    int64_t ts_us = 0;
+    double value = 0.0;
+  };
+
+  int64_t NowUs() const;
+  int ThreadIndexLocked();
+  void SetAttributeJson(SpanId id, std::string_view key,
+                        std::string json_value);
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::vector<CounterRecord> counters_;
+  std::unordered_map<std::thread::id, int> thread_indices_;
+};
+
+/// RAII span handle. Null-trace tolerant: every operation is a no-op when
+/// constructed with a null trace, so instrumented code needs no branches.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, std::string_view name,
+             Trace::SpanId parent = Trace::kInheritParent)
+      : trace_(trace),
+        id_(trace != nullptr ? trace->BeginSpan(name, parent)
+                             : Trace::kNoParent) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { End(); }
+
+  /// Ends the span early (idempotent).
+  void End() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+    trace_ = nullptr;
+  }
+
+  /// The underlying span id, e.g. to pass as an explicit parent to worker
+  /// threads. kNoParent when tracing is disabled.
+  Trace::SpanId id() const { return id_; }
+
+  template <typename V>
+  void SetAttribute(std::string_view key, V&& value) {
+    if (trace_ != nullptr) {
+      trace_->SetAttribute(id_, key, std::forward<V>(value));
+    }
+  }
+
+ private:
+  Trace* trace_;
+  Trace::SpanId id_;
+};
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes not
+/// added). Exposed for the JSON emitters in bench_util and tests.
+std::string JsonEscape(std::string_view input);
+
+}  // namespace einsql
+
+#endif  // EINSQL_COMMON_TRACE_H_

@@ -144,6 +144,9 @@ struct SelectStmt {
   /// EXPLAIN prefix: plan the query and return the plan text instead of
   /// executing it.
   bool explain = false;
+  /// EXPLAIN ANALYZE: plan *and* execute the query, returning the plan text
+  /// annotated with per-operator actual row counts and wall time.
+  bool explain_analyze = false;
 };
 
 /// CREATE TABLE name (col TYPE, ...).

@@ -9,36 +9,63 @@ namespace einsql::minidb {
 
 Database::Database(PlannerOptions options) : options_(options) {}
 
+namespace {
+
+// Renders a multi-line dump as a one-text-column relation, one row per
+// line, the result shape of EXPLAIN and EXPLAIN ANALYZE.
+Relation TextDumpRelation(const std::string& dump) {
+  Relation relation;
+  relation.columns = {{"plan", ValueType::kText}};
+  size_t start = 0;
+  while (start < dump.size()) {
+    size_t end = dump.find('\n', start);
+    if (end == std::string::npos) end = dump.size();
+    relation.rows.push_back({Value(dump.substr(start, end - start))});
+    start = end + 1;
+  }
+  return relation;
+}
+
+}  // namespace
+
 Result<QueryResult> Database::Execute(std::string_view sql) {
   QueryResult result;
   Stopwatch watch;
+  ScopedSpan parse_span(trace_, "parse");
   EINSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  parse_span.End();
   result.stats.parse_seconds = watch.ElapsedSeconds();
 
   switch (stmt.kind) {
     case StatementKind::kSelect: {
+      has_last_profile_ = false;  // invalidated even if planning fails
       watch.Restart();
+      ScopedSpan plan_span(trace_, "plan");
       EINSQL_ASSIGN_OR_RETURN(
           QueryPlan plan, PlanSelect(*stmt.select, catalog_, options_));
+      plan_span.SetAttribute("ctes", static_cast<int64_t>(plan.ctes.size()));
+      plan_span.End();
       result.stats.plan_seconds = watch.ElapsedSeconds();
-      if (stmt.select->explain) {
+      if (stmt.select->explain && !stmt.select->explain_analyze) {
         // EXPLAIN: one text row per plan line, no execution.
-        result.relation.columns = {{"plan", ValueType::kText}};
-        std::string dump = plan.ToString();
-        size_t start = 0;
-        while (start < dump.size()) {
-          size_t end = dump.find('\n', start);
-          if (end == std::string::npos) end = dump.size();
-          result.relation.rows.push_back(
-              {Value(dump.substr(start, end - start))});
-          start = end + 1;
-        }
+        result.relation = TextDumpRelation(plan.ToString());
         return result;
       }
       watch.Restart();
-      EINSQL_ASSIGN_OR_RETURN(result.relation,
-                              ExecutePlan(plan, executor_options_));
+      ExecutorOptions exec_options = executor_options_;
+      exec_options.trace = trace_;
+      EINSQL_ASSIGN_OR_RETURN(
+          Relation relation,
+          ExecutePlan(plan, exec_options, &last_profile_));
+      has_last_profile_ = true;
       result.stats.exec_seconds = watch.ElapsedSeconds();
+      if (stmt.select->explain_analyze) {
+        // EXPLAIN ANALYZE: the annotated plan text replaces the result
+        // rows; the profile stays queryable via last_profile().
+        result.relation = TextDumpRelation(last_profile_.ToString());
+      } else {
+        result.relation = std::move(relation);
+      }
       return result;
     }
     case StatementKind::kCreateTable: {
@@ -160,8 +187,12 @@ Result<QueryPlan> Database::Prepare(std::string_view sql, QueryStats* stats) {
 Result<QueryResult> Database::ExecutePrepared(const QueryPlan& plan) {
   QueryResult result;
   Stopwatch watch;
-  EINSQL_ASSIGN_OR_RETURN(result.relation,
-                              ExecutePlan(plan, executor_options_));
+  ExecutorOptions exec_options = executor_options_;
+  exec_options.trace = trace_;
+  has_last_profile_ = false;  // invalidated even if execution fails
+  EINSQL_ASSIGN_OR_RETURN(
+      result.relation, ExecutePlan(plan, exec_options, &last_profile_));
+  has_last_profile_ = true;
   result.stats.exec_seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -4,9 +4,11 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "minidb/executor.h"
 #include "minidb/plan.h"
 #include "minidb/planner.h"
+#include "minidb/profile.h"
 #include "minidb/table.h"
 
 namespace einsql::minidb {
@@ -70,10 +72,25 @@ class Database {
   const PlannerOptions& options() const { return options_; }
   ExecutorOptions& executor_options() { return executor_options_; }
 
+  /// Per-operator runtime profile of the most recent executed SELECT
+  /// (including EXPLAIN ANALYZE and ExecutePrepared), or null if no SELECT
+  /// has executed yet. Invalidated by the next Execute/ExecutePrepared.
+  const QueryProfile* last_profile() const {
+    return has_last_profile_ ? &last_profile_ : nullptr;
+  }
+
+  /// Span sink for parse/plan/execute phases and executor operators. Not
+  /// owned; pass null to disable. The trace must outlive all queries.
+  void set_trace(Trace* trace) { trace_ = trace; }
+  Trace* trace() const { return trace_; }
+
  private:
   Catalog catalog_;
   PlannerOptions options_;
   ExecutorOptions executor_options_;
+  QueryProfile last_profile_;
+  bool has_last_profile_ = false;
+  Trace* trace_ = nullptr;
 };
 
 }  // namespace einsql::minidb

@@ -5,6 +5,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/stopwatch.h"
+#include "common/str_util.h"
 #include "minidb/expr_eval.h"
 
 namespace einsql::minidb {
@@ -17,19 +19,35 @@ using RelationPtr = std::shared_ptr<const Relation>;
 
 class Executor {
  public:
-  Executor(const QueryPlan& plan, const ExecutorOptions& options)
-      : plan_(plan), options_(options) {}
+  Executor(const QueryPlan& plan, const ExecutorOptions& options,
+           QueryProfile* profile)
+      : plan_(plan),
+        options_(options),
+        trace_(options.trace),
+        profile_(profile) {}
 
   Result<Relation> Run() {
+    Stopwatch total;
+    ScopedSpan exec_span(trace_, "minidb execute");
+    if (profile_ != nullptr) profile_->ctes.resize(plan_.ctes.size());
     if (options_.parallel_ctes && plan_.ctes.size() > 1) {
-      EINSQL_RETURN_IF_ERROR(MaterializeCtesInParallel());
+      EINSQL_RETURN_IF_ERROR(MaterializeCtesInParallel(exec_span.id()));
     } else {
-      for (const QueryPlan::Cte& cte : plan_.ctes) {
-        EINSQL_ASSIGN_OR_RETURN(RelationPtr result, Execute(*cte.plan));
+      cte_results_.reserve(plan_.ctes.size());
+      for (size_t i = 0; i < plan_.ctes.size(); ++i) {
+        EINSQL_ASSIGN_OR_RETURN(RelationPtr result,
+                                MaterializeCte(static_cast<int>(i),
+                                               Trace::kInheritParent));
         cte_results_.push_back(std::move(result));
       }
     }
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr result, Execute(*plan_.root));
+    ScopedSpan root_span(trace_, "root evaluation");
+    EINSQL_ASSIGN_OR_RETURN(
+        RelationPtr result,
+        Execute(*plan_.root, profile_ != nullptr ? &profile_->root : nullptr));
+    root_span.SetAttribute("rows", result->num_rows());
+    root_span.End();
+    if (profile_ != nullptr) profile_->exec_seconds = total.ElapsedSeconds();
     return *result;  // copy out the final relation
   }
 
@@ -40,10 +58,36 @@ class Executor {
     for (const auto& child : node.children) CollectCteRefs(*child, refs);
   }
 
+  // Materializes one CTE, recording its span (under `parent`, which must be
+  // explicit when running on a worker thread) and its profile slot. With a
+  // pre-sized profile->ctes vector, each index is written by exactly one
+  // thread.
+  Result<RelationPtr> MaterializeCte(int index, Trace::SpanId parent) {
+    const QueryPlan::Cte& cte = plan_.ctes[index];
+    Stopwatch watch;
+    ScopedSpan span(trace_, StrCat("cte ", cte.name), parent);
+    OperatorProfile* prof = nullptr;
+    if (profile_ != nullptr) {
+      QueryProfile::CteProfile& slot = profile_->ctes[index];
+      slot.name = cte.name;
+      slot.est_rows = cte.plan->est_rows;
+      prof = &slot.root;
+    }
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr result, Execute(*cte.plan, prof));
+    if (profile_ != nullptr) {
+      QueryProfile::CteProfile& slot = profile_->ctes[index];
+      slot.rows = result->num_rows();
+      slot.wall_seconds = watch.ElapsedSeconds();
+    }
+    span.SetAttribute("est_rows", cte.plan->est_rows);
+    span.SetAttribute("actual_rows", result->num_rows());
+    return result;
+  }
+
   // Levels the CTE dependency graph and materializes each level on a
   // thread pool: all CTEs of a level depend only on earlier levels, so they
   // can run concurrently (each worker writes its own pre-sized slot).
-  Status MaterializeCtesInParallel() {
+  Status MaterializeCtesInParallel(Trace::SpanId parent_span) {
     const int n = static_cast<int>(plan_.ctes.size());
     std::vector<int> level(n, 0);
     for (int i = 0; i < n; ++i) {
@@ -70,7 +114,9 @@ class Executor {
         while (true) {
           const size_t k = next.fetch_add(1);
           if (k >= batch.size()) return;
-          auto result = Execute(*plan_.ctes[batch[k]].plan);
+          // Worker threads have no open spans of their own: parent the CTE
+          // span explicitly under the executor's top-level span.
+          auto result = MaterializeCte(batch[k], parent_span);
           if (result.ok()) {
             cte_results_[batch[k]] = std::move(result).value();
           } else {
@@ -95,7 +141,50 @@ class Executor {
     return Status::OK();
   }
 
-  Result<RelationPtr> Execute(const PlanNode& node) {
+  // Evaluates one operator, recording its metrics into `prof` (may be
+  // null) and, when tracing, emitting a span with est-vs-actual
+  // cardinality attributes. Wall time is inclusive of the subtree.
+  Result<RelationPtr> Execute(const PlanNode& node, OperatorProfile* prof) {
+    // When tracing without an external profile, collect into a scratch so
+    // span attributes (hash-table sizes, input rows) are still available.
+    OperatorProfile scratch;
+    if (prof == nullptr && trace_ != nullptr) prof = &scratch;
+    Stopwatch watch;
+    ScopedSpan span(trace_, PlanKindToString(node.kind));
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr out, Dispatch(node, prof));
+    if (prof != nullptr) {
+      prof->kind = node.kind;
+      prof->label = node.HeadLine();
+      prof->est_rows = node.est_rows;
+      prof->actual_rows = out->num_rows();
+      prof->input_rows = 0;
+      for (const OperatorProfile& child : prof->children) {
+        prof->input_rows += child.actual_rows;
+      }
+      prof->wall_seconds = watch.ElapsedSeconds();
+      if (trace_ != nullptr) {
+        span.SetAttribute("est_rows", node.est_rows);
+        span.SetAttribute("actual_rows", prof->actual_rows);
+        if (node.kind == PlanKind::kJoin ||
+            node.kind == PlanKind::kAggregate) {
+          span.SetAttribute("hash_entries", prof->hash_entries);
+          span.SetAttribute("est_error", prof->est_error());
+        }
+      }
+    }
+    return out;
+  }
+
+  // Executes the k-th child, appending its profile to `prof->children` so
+  // the profile tree mirrors the plan tree.
+  Result<RelationPtr> ExecuteChild(const PlanNode& node, size_t k,
+                                   OperatorProfile* prof) {
+    if (prof == nullptr) return Execute(*node.children[k], nullptr);
+    prof->children.emplace_back();
+    return Execute(*node.children[k], &prof->children.back());
+  }
+
+  Result<RelationPtr> Dispatch(const PlanNode& node, OperatorProfile* prof) {
     switch (node.kind) {
       case PlanKind::kScan:
         return RelationPtr(node.table);
@@ -109,24 +198,24 @@ class Executor {
       case PlanKind::kValues:
         return ExecuteValues(node);
       case PlanKind::kFilter:
-        return ExecuteFilter(node);
+        return ExecuteFilter(node, prof);
       case PlanKind::kProject:
-        return ExecuteProject(node);
+        return ExecuteProject(node, prof);
       case PlanKind::kJoin:
-        return ExecuteJoin(node);
+        return ExecuteJoin(node, prof);
       case PlanKind::kAggregate:
-        return ExecuteAggregate(node);
+        return ExecuteAggregate(node, prof);
       case PlanKind::kSort:
-        return ExecuteSort(node);
+        return ExecuteSort(node, prof);
       case PlanKind::kLimit:
-        return ExecuteLimit(node);
+        return ExecuteLimit(node, prof);
       case PlanKind::kDistinct:
-        return ExecuteDistinct(node);
+        return ExecuteDistinct(node, prof);
       case PlanKind::kAppend: {
         auto out = std::make_shared<Relation>();
         for (size_t child = 0; child < node.children.size(); ++child) {
           EINSQL_ASSIGN_OR_RETURN(RelationPtr input,
-                                  Execute(*node.children[child]));
+                                  ExecuteChild(node, child, prof));
           if (child == 0) out->columns = input->columns;
           out->rows.insert(out->rows.end(), input->rows.begin(),
                            input->rows.end());
@@ -153,8 +242,9 @@ class Executor {
     return RelationPtr(out);
   }
 
-  Result<RelationPtr> ExecuteFilter(const PlanNode& node) {
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+  Result<RelationPtr> ExecuteFilter(const PlanNode& node,
+                                    OperatorProfile* prof) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = input->columns;
     for (const Row& row : input->rows) {
@@ -165,8 +255,9 @@ class Executor {
     return RelationPtr(out);
   }
 
-  Result<RelationPtr> ExecuteProject(const PlanNode& node) {
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+  Result<RelationPtr> ExecuteProject(const PlanNode& node,
+                                     OperatorProfile* prof) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = SchemaColumns(node.schema);
     out->rows.reserve(input->rows.size());
@@ -182,9 +273,10 @@ class Executor {
     return RelationPtr(out);
   }
 
-  Result<RelationPtr> ExecuteJoin(const PlanNode& node) {
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr left, Execute(*node.children[0]));
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr right, Execute(*node.children[1]));
+  Result<RelationPtr> ExecuteJoin(const PlanNode& node,
+                                  OperatorProfile* prof) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr left, ExecuteChild(node, 0, prof));
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr right, ExecuteChild(node, 1, prof));
     auto out = std::make_shared<Relation>();
     out->columns = left->columns;
     out->columns.insert(out->columns.end(), right->columns.begin(),
@@ -212,6 +304,7 @@ class Executor {
     // Hash join: build on the right input.
     std::unordered_map<size_t, std::vector<int64_t>> buckets;
     buckets.reserve(right->rows.size() * 2);
+    int64_t build_entries = 0;
     std::vector<Value> key;
     auto extract = [&](const Row& row, const std::vector<int>& slots) {
       key.clear();
@@ -223,7 +316,9 @@ class Executor {
       for (const Value& v : key) has_null |= IsNull(v);
       if (has_null) continue;  // NULL keys never join
       buckets[HashRowKey(key)].push_back(r);
+      ++build_entries;
     }
+    if (prof != nullptr) prof->hash_entries = build_entries;
     for (const Row& l : left->rows) {
       extract(l, node.left_keys);
       bool has_null = false;
@@ -272,8 +367,9 @@ class Executor {
     Value max_value = Null{};
   };
 
-  Result<RelationPtr> ExecuteAggregate(const PlanNode& node) {
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+  Result<RelationPtr> ExecuteAggregate(const PlanNode& node,
+                                       OperatorProfile* prof) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     // The distinct aggregate calls across all output expressions.
     std::vector<const Expr*> agg_calls;
     for (const auto& expr : node.exprs) CollectAggregates(*expr, &agg_calls);
@@ -366,6 +462,9 @@ class Executor {
       group.accumulators.resize(agg_calls.size());
       groups.push_back(std::move(group));
     }
+    if (prof != nullptr) {
+      prof->hash_entries = static_cast<int64_t>(groups.size());
+    }
     // Produce output rows.
     auto out = std::make_shared<Relation>();
     out->columns = SchemaColumns(node.schema);
@@ -421,8 +520,9 @@ class Executor {
     return RelationPtr(out);
   }
 
-  Result<RelationPtr> ExecuteSort(const PlanNode& node) {
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+  Result<RelationPtr> ExecuteSort(const PlanNode& node,
+                                  OperatorProfile* prof) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     // Precompute sort keys.
     std::vector<std::pair<std::vector<Value>, int64_t>> keyed;
     keyed.reserve(input->rows.size());
@@ -451,8 +551,9 @@ class Executor {
     return RelationPtr(out);
   }
 
-  Result<RelationPtr> ExecuteLimit(const PlanNode& node) {
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+  Result<RelationPtr> ExecuteLimit(const PlanNode& node,
+                                   OperatorProfile* prof) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = input->columns;
     const int64_t n =
@@ -461,8 +562,9 @@ class Executor {
     return RelationPtr(out);
   }
 
-  Result<RelationPtr> ExecuteDistinct(const PlanNode& node) {
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, Execute(*node.children[0]));
+  Result<RelationPtr> ExecuteDistinct(const PlanNode& node,
+                                      OperatorProfile* prof) {
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = input->columns;
     auto row_less = [](const Row& a, const Row& b) {
@@ -481,14 +583,18 @@ class Executor {
 
   const QueryPlan& plan_;
   ExecutorOptions options_;
+  Trace* trace_ = nullptr;
+  QueryProfile* profile_ = nullptr;
   std::vector<RelationPtr> cte_results_;
 };
 
 }  // namespace
 
 Result<Relation> ExecutePlan(const QueryPlan& plan,
-                             const ExecutorOptions& options) {
-  Executor executor(plan, options);
+                             const ExecutorOptions& options,
+                             QueryProfile* profile) {
+  if (profile != nullptr) *profile = QueryProfile{};
+  Executor executor(plan, options, profile);
   return executor.Run();
 }
 

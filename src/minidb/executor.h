@@ -4,7 +4,9 @@
 #include <memory>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "minidb/plan.h"
+#include "minidb/profile.h"
 
 namespace einsql::minidb {
 
@@ -19,6 +21,10 @@ struct ExecutorOptions {
   /// Worker threads for parallel CTE materialization (0 = hardware
   /// concurrency).
   int num_threads = 0;
+  /// Optional span sink: when set, the executor emits one span per CTE
+  /// materialization and per operator evaluation, carrying est-vs-actual
+  /// cardinalities as attributes. Not owned; may be null.
+  Trace* trace = nullptr;
 };
 
 /// Executes a query plan: materializes every CTE once (respecting
@@ -26,8 +32,13 @@ struct ExecutorOptions {
 /// fully materialized (hash joins, hash aggregation, sorts), matching the
 /// paper's observation that Einstein summation queries are
 /// computation-heavy pipelines of join + GROUP BY stages.
+///
+/// When `profile` is non-null it is filled with per-operator runtime
+/// metrics (wall time, input/output rows, hash-table sizes) mirroring the
+/// plan tree — the data behind EXPLAIN ANALYZE.
 Result<Relation> ExecutePlan(const QueryPlan& plan,
-                             const ExecutorOptions& options = {});
+                             const ExecutorOptions& options = {},
+                             QueryProfile* profile = nullptr);
 
 }  // namespace einsql::minidb
 

@@ -51,6 +51,8 @@ const char* TokenKindToString(TokenKind kind) {
     case TokenKind::kIs: return "IS";
     case TokenKind::kUnion: return "UNION";
     case TokenKind::kAll: return "ALL";
+    case TokenKind::kExplain: return "EXPLAIN";
+    case TokenKind::kAnalyze: return "ANALYZE";
     case TokenKind::kLParen: return "(";
     case TokenKind::kRParen: return ")";
     case TokenKind::kComma: return ",";
@@ -93,7 +95,8 @@ const std::map<std::string, TokenKind>& KeywordMap() {
       {"else", TokenKind::kElse},       {"end", TokenKind::kEnd},
       {"between", TokenKind::kBetween}, {"in", TokenKind::kIn},
       {"is", TokenKind::kIs},         {"union", TokenKind::kUnion},
-      {"all", TokenKind::kAll},
+      {"all", TokenKind::kAll},       {"explain", TokenKind::kExplain},
+      {"analyze", TokenKind::kAnalyze},
   };
   return kKeywords;
 }

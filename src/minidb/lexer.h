@@ -12,6 +12,10 @@ namespace einsql::minidb {
 /// SQL token kinds. Keywords are recognized case-insensitively; anything
 /// alphabetic that is not a keyword is an identifier (so aggregate function
 /// names like SUM arrive as identifiers and are resolved by the parser).
+/// EXPLAIN and ANALYZE are *non-reserved* keywords: the lexer tags them so
+/// the parser can recognize `EXPLAIN [ANALYZE] SELECT ...` without an
+/// identifier-text peek, but the parser still accepts them wherever an
+/// identifier is expected (so `SELECT explain FROM t` works).
 enum class TokenKind {
   kEof,
   kIdentifier,
@@ -22,7 +26,7 @@ enum class TokenKind {
   kSelect, kFrom, kWhere, kGroup, kBy, kOrder, kAsc, kDesc, kLimit, kAs,
   kWith, kValues, kAnd, kOr, kNot, kCreate, kTable, kInsert, kInto, kDrop,
   kNull, kDistinct, kCross, kJoin, kInner, kOn, kDelete, kCase, kWhen,
-  kThen, kElse, kEnd, kBetween, kIn, kIs, kUnion, kAll,
+  kThen, kElse, kEnd, kBetween, kIn, kIs, kUnion, kAll, kExplain, kAnalyze,
   // Punctuation and operators.
   kLParen, kRParen, kComma, kDot, kStar, kPlus, kMinus, kSlash, kPercent,
   kEq, kNotEq, kLt, kLtEq, kGt, kGtEq, kSemicolon,

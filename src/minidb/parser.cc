@@ -14,15 +14,16 @@ class Parser {
   Result<Statement> ParseStatement() {
     Statement stmt;
     bool explain = false;
-    if (Peek().kind == TokenKind::kIdentifier &&
-        EqualsIgnoreCase(Peek().text, "explain")) {
-      Advance();
+    bool analyze = false;
+    if (Accept(TokenKind::kExplain)) {
       explain = true;
+      analyze = Accept(TokenKind::kAnalyze);
     }
     const Token& t = Peek();
     if (explain && t.kind != TokenKind::kWith &&
         t.kind != TokenKind::kSelect && t.kind != TokenKind::kValues) {
-      return Error("EXPLAIN requires a SELECT statement");
+      return Error(analyze ? "EXPLAIN ANALYZE requires a SELECT statement"
+                           : "EXPLAIN requires a SELECT statement");
     }
     if (t.kind == TokenKind::kWith || t.kind == TokenKind::kSelect ||
         t.kind == TokenKind::kValues) {
@@ -30,6 +31,7 @@ class Parser {
       stmt.kind = StatementKind::kSelect;
       stmt.select = std::move(select);
       stmt.select->explain = explain;
+      stmt.select->explain_analyze = analyze;
     } else if (t.kind == TokenKind::kCreate) {
       EINSQL_ASSIGN_OR_RETURN(auto create, ParseCreateTable());
       stmt.kind = StatementKind::kCreateTable;
@@ -89,8 +91,20 @@ class Parser {
     return Status::OK();
   }
 
+  // Non-reserved keywords: tokens the lexer tags for statement-level
+  // dispatch but that remain usable wherever an identifier is expected
+  // (column, table, or alias names).
+  static bool IsNonReservedKeyword(TokenKind kind) {
+    return kind == TokenKind::kExplain || kind == TokenKind::kAnalyze;
+  }
+
+  bool PeekIdentifier(int ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kIdentifier ||
+           IsNonReservedKeyword(Peek(ahead).kind);
+  }
+
   Result<std::string> ExpectIdentifier() {
-    if (Peek().kind != TokenKind::kIdentifier) {
+    if (!PeekIdentifier()) {
       return Error(StrCat("expected identifier, found ",
                           TokenKindToString(Peek().kind)));
     }
@@ -159,7 +173,7 @@ class Parser {
         EINSQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
         if (Accept(TokenKind::kAs)) {
           EINSQL_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
-        } else if (Peek().kind == TokenKind::kIdentifier) {
+        } else if (PeekIdentifier()) {
           item.alias = Advance().text;
         }
       }
@@ -263,7 +277,7 @@ class Parser {
     EINSQL_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
     if (Accept(TokenKind::kAs)) {
       EINSQL_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
-    } else if (Peek().kind == TokenKind::kIdentifier) {
+    } else if (PeekIdentifier()) {
       ref.alias = Advance().text;
     }
     body->from.push_back(std::move(ref));
@@ -537,6 +551,8 @@ class Parser {
         EINSQL_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
         return e;
       }
+      case TokenKind::kExplain:
+      case TokenKind::kAnalyze:
       case TokenKind::kIdentifier: {
         std::string name = Advance().text;
         if (Accept(TokenKind::kLParen)) {

@@ -107,9 +107,9 @@ std::string PlanNode::Fingerprint() const {
   return os.str();
 }
 
-std::string PlanNode::ToString(int indent) const {
+std::string PlanNode::HeadLine() const {
   std::ostringstream os;
-  os << std::string(indent * 2, ' ') << PlanKindToString(kind);
+  os << PlanKindToString(kind);
   switch (kind) {
     case PlanKind::kScan:
       os << " " << table_name;
@@ -128,6 +128,12 @@ std::string PlanNode::ToString(int indent) const {
       break;
   }
   if (predicate) os << " [" << predicate->ToString() << "]";
+  return os.str();
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  os << std::string(indent * 2, ' ') << HeadLine();
   os << "  ~" << static_cast<int64_t>(est_rows) << " rows\n";
   for (const auto& child : children) os << child->ToString(indent + 1);
   return os.str();
@@ -136,7 +142,9 @@ std::string PlanNode::ToString(int indent) const {
 std::string QueryPlan::ToString() const {
   std::ostringstream os;
   for (const auto& cte : ctes) {
-    os << "CTE " << cte.name << ":\n" << cte.plan->ToString(1);
+    os << "CTE " << cte.name << " (~"
+       << static_cast<int64_t>(cte.plan->est_rows) << " rows):\n"
+       << cte.plan->ToString(1);
   }
   os << "Main:\n" << root->ToString(1);
   return os.str();

@@ -94,6 +94,12 @@ struct PlanNode {
   /// same relation. Used by the common-subplan (CTE deduplication) pass.
   std::string Fingerprint() const;
 
+  /// One-line operator description without indentation or cardinality,
+  /// e.g. "Scan A", "HashJoin (cross) [a.i=b.j]". EXPLAIN and EXPLAIN
+  /// ANALYZE both render operator lines from this, so their dumps line up
+  /// column-for-column.
+  std::string HeadLine() const;
+
   /// Multi-line indented plan dump for EXPLAIN-style output.
   std::string ToString(int indent = 0) const;
 };

@@ -1,0 +1,61 @@
+#include "minidb/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace einsql::minidb {
+
+namespace {
+
+std::string Millis(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f ms", seconds * 1e3);
+  return buffer;
+}
+
+std::string ErrorFactor(double q) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2fx", q);
+  return buffer;
+}
+
+}  // namespace
+
+double OperatorProfile::est_error() const {
+  const double est = std::max(est_rows, 1.0);
+  const double actual = std::max(static_cast<double>(actual_rows), 1.0);
+  return std::max(est, actual) / std::min(est, actual);
+}
+
+std::string OperatorProfile::ToString(int indent) const {
+  std::ostringstream os;
+  os << std::string(indent * 2, ' ') << label << "  ~"
+     << static_cast<int64_t>(est_rows) << " rows (actual=" << actual_rows
+     << " rows, in=" << input_rows << " rows, time=" << Millis(wall_seconds);
+  if (kind == PlanKind::kJoin && hash_entries > 0) {
+    os << ", build=" << hash_entries;
+  } else if (kind == PlanKind::kAggregate) {
+    os << ", groups=" << hash_entries;
+  }
+  os << ", err=" << ErrorFactor(est_error()) << ")\n";
+  for (const OperatorProfile& child : children) {
+    os << child.ToString(indent + 1);
+  }
+  return os.str();
+}
+
+std::string QueryProfile::ToString() const {
+  std::ostringstream os;
+  for (const CteProfile& cte : ctes) {
+    os << "CTE " << cte.name << " (~" << static_cast<int64_t>(cte.est_rows)
+       << " rows, actual=" << cte.rows
+       << " rows, time=" << Millis(cte.wall_seconds) << "):\n"
+       << cte.root.ToString(1);
+  }
+  os << "Main:\n" << root.ToString(1);
+  os << "Execution: " << Millis(exec_seconds) << "\n";
+  return os.str();
+}
+
+}  // namespace einsql::minidb

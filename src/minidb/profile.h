@@ -1,0 +1,66 @@
+#ifndef EINSQL_MINIDB_PROFILE_H_
+#define EINSQL_MINIDB_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minidb/plan.h"
+
+namespace einsql::minidb {
+
+/// Runtime metrics of one executed plan operator. The tree mirrors the plan
+/// tree exactly: children[k] profiles the operator's k-th child.
+struct OperatorProfile {
+  PlanKind kind = PlanKind::kScan;
+  /// PlanNode::HeadLine() of the profiled node, so EXPLAIN ANALYZE renders
+  /// the same operator text as EXPLAIN.
+  std::string label;
+  /// Optimizer cardinality estimate of the node.
+  double est_rows = 0.0;
+  /// Rows consumed (sum over the children's outputs).
+  int64_t input_rows = 0;
+  /// Rows produced.
+  int64_t actual_rows = 0;
+  /// Hash-table build size: build-side entries for HashJoin, group count
+  /// for HashAggregate, 0 elsewhere.
+  int64_t hash_entries = 0;
+  /// Inclusive wall time (operator plus its subtree).
+  double wall_seconds = 0.0;
+  std::vector<OperatorProfile> children;
+
+  /// Cardinality q-error of the estimate: max(est, actual) / min(est,
+  /// actual), clamping both sides to >= 1. 1.0 means a perfect estimate.
+  double est_error() const;
+
+  /// EXPLAIN ANALYZE rendering of this subtree.
+  std::string ToString(int indent = 0) const;
+};
+
+/// Full runtime profile of one query: per-CTE materialization metrics plus
+/// the root operator tree. Collected by ExecutePlan and retained by
+/// Database as the profile of the last executed SELECT.
+struct QueryProfile {
+  struct CteProfile {
+    std::string name;
+    /// Wall time of materializing this CTE. With parallel_ctes enabled,
+    /// these overlap, so they can sum to more than exec_seconds.
+    double wall_seconds = 0.0;
+    int64_t rows = 0;
+    double est_rows = 0.0;
+    OperatorProfile root;
+  };
+
+  std::vector<CteProfile> ctes;
+  OperatorProfile root;
+  /// Total ExecutePlan wall time.
+  double exec_seconds = 0.0;
+
+  /// EXPLAIN ANALYZE text: the plan dump annotated with actual rows, wall
+  /// time, and est-vs-actual error per operator.
+  std::string ToString() const;
+};
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_PROFILE_H_

@@ -1,0 +1,156 @@
+// Einsum pipeline observability: spans emitted by the SQL einsum engines,
+// and the extended BackendStats (result rows, per-CTE timings).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "backends/einsum_engine.h"
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+#include "common/trace.h"
+#include "tensor/coo.h"
+
+namespace einsql {
+namespace {
+
+CooTensor MatrixA() {
+  CooTensor t(Shape{2, 3});
+  EXPECT_TRUE(t.Append({0, 0}, 1.0).ok());
+  EXPECT_TRUE(t.Append({0, 2}, 2.0).ok());
+  EXPECT_TRUE(t.Append({1, 1}, 3.0).ok());
+  return t;
+}
+
+CooTensor MatrixB() {
+  CooTensor t(Shape{3, 2});
+  EXPECT_TRUE(t.Append({0, 1}, 4.0).ok());
+  EXPECT_TRUE(t.Append({1, 0}, 5.0).ok());
+  EXPECT_TRUE(t.Append({2, 1}, 6.0).ok());
+  return t;
+}
+
+TEST(EngineTraceTest, MiniDbPipelineEmitsAllPhaseSpans) {
+  MiniDbBackend backend;
+  SqlEinsumEngine engine(&backend);
+  Trace trace;
+  EinsumOptions options;
+  options.trace = &trace;
+  options.decompose = true;
+
+  const CooTensor a = MatrixA();
+  const CooTensor b = MatrixB();
+  auto result = engine.Einsum("ij,jk->ik", {&a, &b}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const std::string tree = trace.ToString();
+  EXPECT_NE(tree.find("parse format"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("path optimization"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("sql generation"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("backend query"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("parse result"), std::string::npos) << tree;
+  // The MiniDB backend nests its own execution under the query span,
+  // including one span per materialized CTE of the decomposed query.
+  EXPECT_NE(tree.find("minidb execute"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("cte "), std::string::npos) << tree;
+  EXPECT_NE(tree.find("root evaluation"), std::string::npos) << tree;
+
+  const std::string json = trace.ToChromeJson();
+  // Path optimization carries the chosen algorithm and predicted cost.
+  EXPECT_NE(json.find("\"algorithm\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"est_flops\""), std::string::npos) << json;
+  // Operator spans carry est-vs-actual cardinalities.
+  EXPECT_NE(json.find("\"est_rows\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"actual_rows\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"est_error\""), std::string::npos) << json;
+}
+
+TEST(EngineTraceTest, MiniDbStatsReportRowsAndCteTimings) {
+  MiniDbBackend backend;
+  SqlEinsumEngine engine(&backend);
+  EinsumOptions options;
+  options.decompose = true;
+
+  const CooTensor a = MatrixA();
+  const CooTensor b = MatrixB();
+  auto result = engine.Einsum("ij,jk->ik", {&a, &b}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const BackendStats stats = backend.last_stats();
+  EXPECT_GT(stats.result_rows, 0);
+  ASSERT_FALSE(stats.cte_timings.empty());
+  for (const auto& cte : stats.cte_timings) {
+    EXPECT_FALSE(cte.name.empty());
+    EXPECT_GE(cte.seconds, 0.0);
+    EXPECT_GE(cte.rows, 0);
+  }
+}
+
+TEST(EngineTraceTest, SqlitePipelineEmitsPrepareAndStepSpans) {
+  auto backend = SqliteBackend::Open().value();
+  SqlEinsumEngine engine(backend.get());
+  Trace trace;
+  EinsumOptions options;
+  options.trace = &trace;
+
+  const CooTensor a = MatrixA();
+  const CooTensor b = MatrixB();
+  auto result = engine.Einsum("ij,jk->ik", {&a, &b}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const std::string tree = trace.ToString();
+  EXPECT_NE(tree.find("path optimization"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("sql generation"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("sqlite prepare"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("sqlite step"), std::string::npos) << tree;
+
+  const BackendStats stats = backend->last_stats();
+  EXPECT_GT(stats.result_rows, 0);
+  // SQLite hides CTE materialization inside its own planner.
+  EXPECT_TRUE(stats.cte_timings.empty());
+}
+
+TEST(EngineTraceTest, InMemoryEnginesEmitContractionSpan) {
+  Trace trace;
+  EinsumOptions options;
+  options.trace = &trace;
+  const CooTensor a = MatrixA();
+  const CooTensor b = MatrixB();
+
+  DenseEinsumEngine dense;
+  ASSERT_TRUE(dense.Einsum("ij,jk->ik", {&a, &b}, options).ok());
+  SparseEinsumEngine sparse;
+  ASSERT_TRUE(sparse.Einsum("ij,jk->ik", {&a, &b}, options).ok());
+
+  const std::string tree = trace.ToString();
+  EXPECT_NE(tree.find("dense contraction"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("sparse contraction"), std::string::npos) << tree;
+}
+
+TEST(EngineTraceTest, NullTraceIsZeroOverheadPath) {
+  MiniDbBackend backend;
+  SqlEinsumEngine engine(&backend);
+  const CooTensor a = MatrixA();
+  const CooTensor b = MatrixB();
+  auto result = engine.Einsum("ij,jk->ik", {&a, &b}, EinsumOptions{});
+  ASSERT_TRUE(result.ok()) << result.status();
+}
+
+TEST(EngineTraceTest, TracedAndUntracedResultsAgree) {
+  MiniDbBackend backend;
+  SqlEinsumEngine engine(&backend);
+  const CooTensor a = MatrixA();
+  const CooTensor b = MatrixB();
+  Trace trace;
+  EinsumOptions traced;
+  traced.trace = &trace;
+  auto with = engine.Einsum("ij,jk->ik", {&a, &b}, traced);
+  auto without = engine.Einsum("ij,jk->ik", {&a, &b}, EinsumOptions{});
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->nnz(), without->nnz());
+}
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,322 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace einsql {
+namespace {
+
+// Minimal recursive-descent JSON validator — enough to assert that
+// ToChromeJson emits syntactically valid JSON without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+TEST(TraceTest, EmptyTraceSerializes) {
+  Trace trace;
+  EXPECT_EQ(trace.span_count(), 0u);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceTest, ImplicitNestingFollowsOpenSpans) {
+  Trace trace;
+  const auto outer = trace.BeginSpan("outer");
+  const auto inner = trace.BeginSpan("inner");
+  trace.EndSpan(inner);
+  trace.EndSpan(outer);
+  const auto sibling = trace.BeginSpan("sibling");
+  trace.EndSpan(sibling);
+
+  const std::string tree = trace.ToString();
+  // "inner" is indented below "outer"; "sibling" is back at top level.
+  const size_t outer_pos = tree.find("outer");
+  const size_t inner_pos = tree.find("inner");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  EXPECT_LT(outer_pos, inner_pos);
+  const size_t inner_line = tree.rfind('\n', inner_pos);
+  EXPECT_NE(tree.substr(inner_line + 1, inner_pos - inner_line - 1), "");
+
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"parent_id\": 0"), std::string::npos) << json;
+}
+
+TEST(TraceTest, ExplicitParentOverridesThreadStack) {
+  Trace trace;
+  const auto parent = trace.BeginSpan("parent");
+  trace.EndSpan(parent);
+  // "parent" is closed, so implicit nesting would yield a top-level span.
+  const auto child = trace.BeginSpan("child", parent);
+  trace.EndSpan(child);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"parent_id\": 0"), std::string::npos) << json;
+}
+
+TEST(TraceTest, AttributesSerialize) {
+  Trace trace;
+  const auto span = trace.BeginSpan("work");
+  trace.SetAttribute(span, "rows", static_cast<int64_t>(42));
+  trace.SetAttribute(span, "cost", 1.5);
+  trace.SetAttribute(span, "note", "say \"hi\"");
+  trace.EndSpan(span);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"rows\": 42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"note\": \"say \\\"hi\\\"\""), std::string::npos)
+      << json;
+}
+
+TEST(TraceTest, ReSettingAttributeOverwrites) {
+  Trace trace;
+  const auto span = trace.BeginSpan("work");
+  trace.SetAttribute(span, "rows", static_cast<int64_t>(1));
+  trace.SetAttribute(span, "rows", static_cast<int64_t>(2));
+  trace.EndSpan(span);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_EQ(json.find("\"rows\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rows\": 2"), std::string::npos) << json;
+}
+
+TEST(TraceTest, EndingUnknownSpanIsNoop) {
+  Trace trace;
+  trace.EndSpan(123);
+  trace.EndSpan(Trace::kNoParent);
+  const auto span = trace.BeginSpan("work");
+  trace.EndSpan(span);
+  trace.EndSpan(span);  // double close
+  EXPECT_EQ(trace.span_count(), 1u);
+}
+
+TEST(TraceTest, CountersEmitCounterEvents) {
+  Trace trace;
+  trace.AddCounter("queue_depth", 3.0);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos) << json;
+  EXPECT_NE(json.find("queue_depth"), std::string::npos) << json;
+}
+
+TEST(TraceTest, OpenSpansSerializeWithoutMutation) {
+  Trace trace;
+  (void)trace.BeginSpan("still-open");
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("still-open"), std::string::npos);
+}
+
+TEST(TraceTest, ScopedSpanToleratesNullTrace) {
+  ScopedSpan span(nullptr, "nothing");
+  span.SetAttribute("rows", static_cast<int64_t>(1));
+  span.End();
+  EXPECT_EQ(span.id(), Trace::kNoParent);
+}
+
+TEST(TraceTest, ScopedSpanEndsOnDestruction) {
+  Trace trace;
+  {
+    ScopedSpan span(&trace, "scoped");
+    span.SetAttribute("rows", static_cast<int64_t>(7));
+  }
+  EXPECT_EQ(trace.span_count(), 1u);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("scoped"), std::string::npos);
+}
+
+TEST(TraceTest, CrossThreadChildrenNestUnderExplicitParent) {
+  Trace trace;
+  const auto parent = trace.BeginSpan("spawn");
+  std::vector<std::thread> workers;
+  for (int k = 0; k < 4; ++k) {
+    workers.emplace_back([&trace, parent, k] {
+      const auto span = trace.BeginSpan("worker", parent);
+      trace.SetAttribute(span, "index", static_cast<int64_t>(k));
+      trace.EndSpan(span);
+    });
+  }
+  for (auto& w : workers) w.join();
+  trace.EndSpan(parent);
+  EXPECT_EQ(trace.span_count(), 5u);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+TEST(TraceTest, ThreadSafetySmoke) {
+  Trace trace;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trace] {
+      for (int k = 0; k < kSpansPerThread; ++k) {
+        const auto outer = trace.BeginSpan("outer");
+        const auto inner = trace.BeginSpan("inner");
+        trace.SetAttribute(inner, "k", static_cast<int64_t>(k));
+        trace.EndSpan(inner);
+        trace.EndSpan(outer);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(trace.span_count(),
+            static_cast<size_t>(kThreads * kSpansPerThread * 2));
+  EXPECT_TRUE(JsonChecker(trace.ToChromeJson()).Valid());
+}
+
+TEST(TraceTest, WriteJsonFileRoundTrips) {
+  Trace trace;
+  const auto span = trace.BeginSpan("io");
+  trace.EndSpan(span);
+  const std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  ASSERT_TRUE(trace.WriteJsonFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(JsonChecker(buffer.str()).Valid());
+  EXPECT_NE(buffer.str().find("io"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string_view("a\x01""b", 3)), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace einsql

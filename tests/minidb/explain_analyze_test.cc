@@ -1,0 +1,221 @@
+// EXPLAIN ANALYZE and QueryProfile: the annotated plan dump, per-operator
+// runtime metrics, and their agreement with hand-computed cardinalities.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "minidb/database.h"
+
+namespace einsql::minidb {
+namespace {
+
+Database WithJoinTables() {
+  Database db;
+  EXPECT_TRUE(db.Execute("CREATE TABLE l (k INT, v INT)").ok());
+  EXPECT_TRUE(db.Execute("CREATE TABLE r (k INT, w INT)").ok());
+  // l: keys 1,1,2,3 — r: keys 1,2,2 — join on k yields 2+1+2 = ... per key:
+  // k=1 matches 2x1=2 rows, k=2 matches 1x2=2 rows, k=3 matches 0. Total 4.
+  EXPECT_TRUE(
+      db.Execute("INSERT INTO l VALUES (1,10), (1,11), (2,20), (3,30)").ok());
+  EXPECT_TRUE(db.Execute("INSERT INTO r VALUES (1,100), (2,200), (2,201)")
+                  .ok());
+  return db;
+}
+
+std::string DumpText(const Relation& relation) {
+  std::string text;
+  for (const Row& row : relation.rows) {
+    text += std::get<std::string>(row[0]);
+    text += "\n";
+  }
+  return text;
+}
+
+TEST(ExplainAnalyzeTest, AnnotatesOperatorsWithActualRows) {
+  Database db = WithJoinTables();
+  auto result =
+      db.Execute("EXPLAIN ANALYZE SELECT l.k, SUM(r.w) FROM l, r "
+                 "WHERE l.k = r.k GROUP BY l.k");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string text = DumpText(result->relation);
+  EXPECT_NE(text.find("Main:"), std::string::npos) << text;
+  EXPECT_NE(text.find("HashAggregate"), std::string::npos) << text;
+  EXPECT_NE(text.find("HashJoin"), std::string::npos) << text;
+  EXPECT_NE(text.find("actual="), std::string::npos) << text;
+  EXPECT_NE(text.find("time="), std::string::npos) << text;
+  EXPECT_NE(text.find("err="), std::string::npos) << text;
+  EXPECT_NE(text.find("Execution:"), std::string::npos) << text;
+  // The join really produced 4 rows and the aggregate 2 groups.
+  EXPECT_NE(text.find("actual=4 rows"), std::string::npos) << text;
+  EXPECT_NE(text.find("groups=2"), std::string::npos) << text;
+}
+
+TEST(ExplainAnalyzeTest, OperatorTextMatchesExplain) {
+  Database db = WithJoinTables();
+  auto plain = db.Execute(
+      "EXPLAIN SELECT l.k, SUM(r.w) FROM l, r WHERE l.k = r.k GROUP BY l.k");
+  auto analyze = db.Execute(
+      "EXPLAIN ANALYZE SELECT l.k, SUM(r.w) FROM l, r "
+      "WHERE l.k = r.k GROUP BY l.k");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(analyze.ok());
+
+  // Every operator head line of EXPLAIN ("<indent>HeadLine  ~N rows")
+  // appears verbatim in the ANALYZE dump up to and including the estimate,
+  // so the two renderings line up column-for-column.
+  const std::string analyzed = DumpText(analyze->relation);
+  for (const Row& row : plain->relation.rows) {
+    const std::string line = std::get<std::string>(row[0]);
+    const size_t est = line.find("  ~");
+    if (est == std::string::npos) continue;  // "Main:" etc.
+    const std::string head =
+        line.substr(line.find_first_not_of(' '),
+                    line.find(" rows", est) - line.find_first_not_of(' '));
+    EXPECT_NE(analyzed.find(head), std::string::npos)
+        << "missing operator: " << head << "\nin:\n" << analyzed;
+  }
+}
+
+TEST(ExplainAnalyzeTest, RequiresSelect) {
+  Database db;
+  auto result = db.Execute("EXPLAIN ANALYZE DROP TABLE t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("EXPLAIN ANALYZE requires"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(QueryProfileTest, RowCountsMatchHandComputedJoin) {
+  Database db = WithJoinTables();
+  auto result = db.Execute(
+      "SELECT l.k, SUM(r.w) FROM l, r WHERE l.k = r.k GROUP BY l.k");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->relation.num_rows(), 2);
+
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_GT(profile->exec_seconds, 0.0);
+
+  // Root: HashAggregate over the join. 2 groups out, 4 join rows in.
+  const OperatorProfile& agg = profile->root;
+  EXPECT_EQ(agg.kind, PlanKind::kAggregate);
+  EXPECT_EQ(agg.actual_rows, 2);
+  EXPECT_EQ(agg.input_rows, 4);
+  EXPECT_EQ(agg.hash_entries, 2);
+  ASSERT_EQ(agg.children.size(), 1u);
+
+  const OperatorProfile& join = agg.children[0];
+  EXPECT_EQ(join.kind, PlanKind::kJoin);
+  EXPECT_EQ(join.actual_rows, 4);
+  // Join consumed both scans: 4 left rows + 3 right rows.
+  EXPECT_EQ(join.input_rows, 7);
+  ASSERT_EQ(join.children.size(), 2u);
+  EXPECT_EQ(join.children[0].actual_rows + join.children[1].actual_rows, 7);
+  // The build side is the right input (the optimizer picks the join order,
+  // so it may be either table).
+  EXPECT_EQ(join.hash_entries, join.children[1].actual_rows);
+
+  EXPECT_GE(agg.est_error(), 1.0);
+  EXPECT_GE(join.est_error(), 1.0);
+}
+
+TEST(QueryProfileTest, ScanAndFilterCounts) {
+  Database db = WithJoinTables();
+  auto result = db.Execute("SELECT v FROM l WHERE v >= 20");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->relation.num_rows(), 2);
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+  // Project <- Filter <- Scan (exact shape may fold the filter into the
+  // scan depending on the planner; just check the leaf saw all 4 rows and
+  // the root produced 2).
+  EXPECT_EQ(profile->root.actual_rows, 2);
+  const OperatorProfile* leaf = &profile->root;
+  while (!leaf->children.empty()) leaf = &leaf->children[0];
+  EXPECT_EQ(leaf->actual_rows, 4);
+}
+
+TEST(QueryProfileTest, CteProfilesMirrorPlan) {
+  Database db = WithJoinTables();
+  auto result = db.Execute(
+      "WITH a AS (SELECT k FROM l), b AS (SELECT k FROM r) "
+      "SELECT a.k FROM a, b WHERE a.k = b.k");
+  ASSERT_TRUE(result.ok());
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+  ASSERT_EQ(profile->ctes.size(), 2u);
+  EXPECT_EQ(profile->ctes[0].name, "a");
+  EXPECT_EQ(profile->ctes[1].name, "b");
+  EXPECT_EQ(profile->ctes[0].rows, 4);
+  EXPECT_EQ(profile->ctes[1].rows, 3);
+}
+
+TEST(QueryProfileTest, ParallelCtesFillEverySlot) {
+  Database db = WithJoinTables();
+  db.executor_options().parallel_ctes = true;
+  db.executor_options().num_threads = 4;
+  Trace trace;
+  db.set_trace(&trace);
+  auto result = db.Execute(
+      "WITH a AS (SELECT k FROM l), b AS (SELECT k FROM r), "
+      "c AS (SELECT k FROM l WHERE k > 1), d AS (SELECT k FROM r WHERE k < 2) "
+      "SELECT (SELECT COUNT(*) FROM a) + (SELECT COUNT(*) FROM b) + "
+      "(SELECT COUNT(*) FROM c) + (SELECT COUNT(*) FROM d)");
+  if (!result.ok()) {
+    // Scalar subqueries may be unsupported; fall back to a join query.
+    result = db.Execute(
+        "WITH a AS (SELECT k FROM l), b AS (SELECT k FROM r), "
+        "c AS (SELECT k FROM l WHERE k > 1) "
+        "SELECT a.k FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  }
+  ASSERT_TRUE(result.ok()) << result.status();
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+  ASSERT_GE(profile->ctes.size(), 3u);
+  for (const auto& cte : profile->ctes) {
+    EXPECT_FALSE(cte.name.empty());
+    EXPECT_GE(cte.wall_seconds, 0.0);
+  }
+  // Every CTE materialization produced a span nested under the execute
+  // span, even from worker threads.
+  const std::string tree = trace.ToString();
+  for (const auto& cte : profile->ctes) {
+    EXPECT_NE(tree.find("cte " + cte.name), std::string::npos) << tree;
+  }
+}
+
+TEST(QueryProfileTest, InvalidatedOnFailedExecution) {
+  Database db = WithJoinTables();
+  ASSERT_TRUE(db.Execute("SELECT k FROM l").ok());
+  ASSERT_NE(db.last_profile(), nullptr);
+  ASSERT_FALSE(db.Execute("SELECT nope FROM l").ok());
+  // Planning failed before execution: profile no longer valid.
+  EXPECT_EQ(db.last_profile(), nullptr);
+}
+
+TEST(QueryProfileTest, ExecutePreparedCollectsProfile) {
+  Database db = WithJoinTables();
+  auto plan = db.Prepare("SELECT k FROM l");
+  ASSERT_TRUE(plan.ok());
+  auto result = db.ExecutePrepared(*plan);
+  ASSERT_TRUE(result.ok());
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->root.actual_rows, 4);
+}
+
+TEST(ExplainTest, PlanShowsPerCteEstimates) {
+  Database db = WithJoinTables();
+  auto result = db.Execute(
+      "EXPLAIN WITH a AS (SELECT k FROM l) SELECT k FROM a");
+  ASSERT_TRUE(result.ok());
+  const std::string text = DumpText(result->relation);
+  EXPECT_NE(text.find("CTE a (~"), std::string::npos) << text;
+  EXPECT_NE(text.find("rows):"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace einsql::minidb

@@ -103,5 +103,17 @@ TEST(LexerTest, QualifiedColumnTokens) {
                                     TokenKind::kIdentifier, TokenKind::kEof}));
 }
 
+TEST(LexerTest, ExplainAnalyzeAreKeywords) {
+  EXPECT_EQ(Kinds("EXPLAIN ANALYZE"),
+            (std::vector<TokenKind>{TokenKind::kExplain, TokenKind::kAnalyze,
+                                    TokenKind::kEof}));
+  // Case-insensitive like every other keyword.
+  EXPECT_EQ(Kinds("explain Analyze"),
+            (std::vector<TokenKind>{TokenKind::kExplain, TokenKind::kAnalyze,
+                                    TokenKind::kEof}));
+  auto tokens = Tokenize("explain").value();
+  EXPECT_EQ(tokens[0].text, "explain");  // spelling preserved for identifiers
+}
+
 }  // namespace
 }  // namespace einsql::minidb

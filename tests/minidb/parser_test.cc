@@ -155,9 +155,48 @@ TEST(ParserTest, UnionAllRejectsValuesMember) {
 TEST(ParserTest, ExplainFlag) {
   auto stmt = ParseStatement("EXPLAIN SELECT 1").value();
   EXPECT_TRUE(stmt.select->explain);
+  EXPECT_FALSE(stmt.select->explain_analyze);
   auto plain = ParseStatement("SELECT 1").value();
   EXPECT_FALSE(plain.select->explain);
   EXPECT_FALSE(ParseStatement("EXPLAIN DROP TABLE t").ok());
+}
+
+TEST(ParserTest, ExplainAnalyzeFlag) {
+  auto stmt = ParseStatement("EXPLAIN ANALYZE SELECT 1").value();
+  EXPECT_TRUE(stmt.select->explain);
+  EXPECT_TRUE(stmt.select->explain_analyze);
+  auto with = ParseStatement("EXPLAIN ANALYZE WITH c AS (SELECT 1) "
+                             "SELECT * FROM c")
+                  .value();
+  EXPECT_TRUE(with.select->explain_analyze);
+}
+
+TEST(ParserTest, ExplainOnNonSelectReportsPreciseError) {
+  auto result = ParseStatement("EXPLAIN ANALYZE INSERT INTO t VALUES (1)");
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find("EXPLAIN ANALYZE requires a SELECT"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+
+  auto plain = ParseStatement("EXPLAIN CREATE TABLE t (x INT)");
+  ASSERT_FALSE(plain.ok());
+  EXPECT_NE(plain.status().ToString().find("EXPLAIN requires a SELECT"),
+            std::string::npos)
+      << plain.status();
+}
+
+TEST(ParserTest, ExplainAndAnalyzeRemainValidIdentifiers) {
+  // Non-reserved keywords: usable wherever an identifier is expected.
+  auto stmt = ParseStatement("SELECT explain FROM t").value();
+  ASSERT_EQ(stmt.select->body.select_list.size(), 1u);
+  auto aliased =
+      ParseStatement("SELECT 1 AS analyze FROM explain AS explain").value();
+  EXPECT_EQ(aliased.select->body.select_list[0].alias, "analyze");
+  EXPECT_TRUE(ParseStatement("SELECT t.explain, analyze FROM t").ok());
+  EXPECT_TRUE(
+      ParseStatement("EXPLAIN SELECT explain FROM analyze").ok());
 }
 
 TEST(ParserTest, TrailingSemicolonAccepted) {

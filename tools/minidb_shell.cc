@@ -2,11 +2,20 @@
 //
 // Reads semicolon-terminated SQL statements from stdin (or from files given
 // on the command line), executes them, and prints results with the
-// planning/execution timing split of Table 2.
+// planning/execution timing split of Table 2. EXPLAIN and EXPLAIN ANALYZE
+// prefixes on a SELECT print the plan (annotated with per-operator runtime
+// metrics in the ANALYZE case) instead of the result rows.
+//
+// Dot commands (on their own line, no semicolon):
+//   .timer on|off   toggle the "-- ok (...)" timing footer (default on)
 //
 // Usage:
 //   minidb_shell [--optimizer=none|greedy|aggressive|exhaustive]
-//                [--explain] [file.sql ...]
+//                [--explain] [--trace=<file>.json] [file.sql ...]
+//
+// --trace writes a Chrome trace_event JSON file covering every statement
+// (parse/plan/execute phases, per-CTE materialization, per-operator spans);
+// load it in chrome://tracing or https://ui.perfetto.dev.
 //
 // Example session:
 //   $ ./minidb_shell
@@ -20,6 +29,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/trace.h"
 #include "minidb/database.h"
 
 namespace {
@@ -27,24 +37,12 @@ namespace {
 using namespace einsql;          // NOLINT
 using namespace einsql::minidb;  // NOLINT
 
-// Splits a script on top-level semicolons (quotes respected).
-std::vector<std::string> SplitStatements(const std::string& script) {
-  std::vector<std::string> statements;
-  std::string current;
-  bool in_string = false;
-  for (size_t k = 0; k < script.size(); ++k) {
-    const char c = script[k];
-    if (c == '\'' ) in_string = !in_string;
-    if (c == ';' && !in_string) {
-      statements.push_back(current);
-      current.clear();
-      continue;
-    }
-    current.push_back(c);
-  }
-  statements.push_back(current);
-  return statements;
-}
+// One piece of the input script: either a dot command (a line starting
+// with '.') or a SQL statement.
+struct ScriptItem {
+  bool is_dot_command = false;
+  std::string text;
+};
 
 bool IsBlank(const std::string& statement) {
   for (char c : statement) {
@@ -53,9 +51,39 @@ bool IsBlank(const std::string& statement) {
   return true;
 }
 
+// Splits a script into dot-command lines and SQL statements terminated by
+// top-level semicolons (quotes respected). A dot command is only recognized
+// at a statement boundary.
+std::vector<ScriptItem> SplitScript(const std::string& script) {
+  std::vector<ScriptItem> items;
+  std::string current;
+  bool in_string = false;
+  for (size_t k = 0; k < script.size(); ++k) {
+    const char c = script[k];
+    if (c == '.' && !in_string && IsBlank(current)) {
+      size_t end = script.find('\n', k);
+      if (end == std::string::npos) end = script.size();
+      items.push_back({true, script.substr(k, end - k)});
+      current.clear();
+      k = end;
+      continue;
+    }
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      items.push_back({false, current});
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!IsBlank(current)) items.push_back({false, current});
+  return items;
+}
+
 int Run(int argc, char** argv) {
   PlannerOptions options;
   bool explain = false;
+  std::string trace_file;
   std::vector<std::string> files;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -69,6 +97,8 @@ int Run(int argc, char** argv) {
       options.mode = OptimizerMode::kExhaustive;
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_file = arg.substr(8);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -97,8 +127,24 @@ int Run(int argc, char** argv) {
   }
 
   Database db(options);
+  Trace trace;
+  if (!trace_file.empty()) db.set_trace(&trace);
+  bool timer = true;
   int failures = 0;
-  for (const std::string& statement : SplitStatements(script)) {
+  for (const ScriptItem& item : SplitScript(script)) {
+    if (item.is_dot_command) {
+      std::istringstream in(item.text);
+      std::string command, argument;
+      in >> command >> argument;
+      if (command == ".timer") {
+        timer = argument != "off";
+      } else {
+        std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+        ++failures;
+      }
+      continue;
+    }
+    const std::string& statement = item.text;
     if (IsBlank(statement)) continue;
     if (explain) {
       auto plan = db.Prepare(statement);
@@ -117,10 +163,25 @@ int Run(int argc, char** argv) {
     if (result->relation.num_columns() > 0) {
       std::printf("%s", result->relation.ToString(100).c_str());
     }
-    std::printf("-- ok (%lld rows, plan %.3f ms, exec %.3f ms)\n",
-                static_cast<long long>(result->relation.num_rows()),
-                result->stats.planning_seconds() * 1e3,
-                result->stats.exec_seconds * 1e3);
+    if (timer) {
+      std::printf("-- ok (%lld rows, plan %.3f ms, exec %.3f ms)\n",
+                  static_cast<long long>(result->relation.num_rows()),
+                  result->stats.planning_seconds() * 1e3,
+                  result->stats.exec_seconds * 1e3);
+    } else {
+      std::printf("-- ok (%lld rows)\n",
+                  static_cast<long long>(result->relation.num_rows()));
+    }
+  }
+  if (!trace_file.empty()) {
+    const Status status = trace.WriteJsonFile(trace_file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "-- trace written to %s (%zu spans)\n",
+                 trace_file.c_str(), trace.span_count());
   }
   return failures == 0 ? 0 : 1;
 }
