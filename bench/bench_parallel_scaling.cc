@@ -1,0 +1,159 @@
+// Scaling smoke benchmark for morsel-driven intra-operator parallelism:
+// one synthetic einsum-shaped workload (hash join + GROUP BY SUM over COO
+// operands), executed with 1 worker thread and with N worker threads on the
+// same prepared plan and the same morsel size.
+//
+// Writes a small JSON report (default BENCH_parallel.json, or the path
+// given by --out=<file>) with both timings, the speedup, and whether the
+// two results were identical — which they must be: for a fixed morsel size
+// the thread count never changes query output, including double SUMs.
+//
+// Usage: bench_parallel_scaling [--threads=N] [--rows=R] [--out=file.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "minidb/database.h"
+
+namespace {
+
+using namespace einsql;          // NOLINT
+using namespace einsql::minidb;  // NOLINT
+
+// Deterministic LCG so both tables are reproducible across runs.
+uint64_t NextRand(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return *state >> 33;
+}
+
+// A COO matrix table name(i, j, val) with `rows` random entries.
+Status LoadMatrix(Database* db, const std::string& name, int64_t rows,
+                  int64_t i_dim, int64_t j_dim, uint64_t seed) {
+  EINSQL_RETURN_IF_ERROR(db->CreateTable(
+      name, {{"i", ValueType::kInt}, {"j", ValueType::kInt},
+             {"val", ValueType::kDouble}}));
+  uint64_t state = seed;
+  std::vector<Row> data;
+  data.reserve(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t i = static_cast<int64_t>(NextRand(&state) % i_dim);
+    const int64_t j = static_cast<int64_t>(NextRand(&state) % j_dim);
+    const double val =
+        static_cast<double>(NextRand(&state) % 1000) / 1000.0 - 0.5;
+    data.push_back({Value(i), Value(j), Value(val)});
+  }
+  return db->BulkInsert(name, std::move(data));
+}
+
+// Executes the prepared plan `reps` times with the given worker count and
+// returns the fastest execution time; `result` receives the last result.
+Result<double> TimedRun(Database* db, const QueryPlan& plan, int threads,
+                        int reps, Relation* result) {
+  db->executor_options().parallel_operators = true;
+  db->executor_options().num_threads = threads;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    EINSQL_ASSIGN_OR_RETURN(QueryResult query, db->ExecutePrepared(plan));
+    best = std::min(best, query.stats.exec_seconds);
+    *result = std::move(query.relation);
+  }
+  return best;
+}
+
+bool SameRelation(const Relation& a, const Relation& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    if (a.rows[r] != b.rows[r]) return false;
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  int threads = 0;  // 0 = hardware concurrency
+  int64_t rows = 65536;
+  std::string out_file = "BENCH_parallel.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      rows = std::atoll(arg.c_str() + 7);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_file = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  Database db;
+  // Matmul-shaped contraction: ~rows/2048 entries share each inner index,
+  // so the join fans out to roughly rows * rows/2048 intermediate rows —
+  // enough work for the probe and aggregation morsels to matter.
+  Status status = LoadMatrix(&db, "A", rows, 64, 2048, 1);
+  if (status.ok()) status = LoadMatrix(&db, "B", rows, 2048, 64, 2);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const std::string sql =
+      "SELECT A.i AS i, B.j AS j, SUM(A.val * B.val) AS val "
+      "FROM A, B WHERE A.j = B.i GROUP BY A.i, B.j";
+  auto plan = db.Prepare(sql);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "prepare: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  Relation sequential_result, parallel_result;
+  auto sequential =
+      TimedRun(&db, *plan, /*threads=*/1, /*reps=*/3, &sequential_result);
+  auto parallel = TimedRun(&db, *plan, threads, /*reps=*/3, &parallel_result);
+  if (!sequential.ok() || !parallel.ok()) {
+    const Status& failed =
+        !sequential.ok() ? sequential.status() : parallel.status();
+    std::fprintf(stderr, "execute: %s\n", failed.ToString().c_str());
+    return 1;
+  }
+  const bool identical = SameRelation(sequential_result, parallel_result);
+  const double speedup = *parallel > 0.0 ? *sequential / *parallel : 0.0;
+
+  std::FILE* f = std::fopen(out_file.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s'\n", out_file.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"parallel_scaling\",\n"
+               "  \"rows_per_operand\": %lld,\n"
+               "  \"result_rows\": %lld,\n"
+               "  \"threads\": %d,\n"
+               "  \"seconds_1_thread\": %.9f,\n"
+               "  \"seconds_n_threads\": %.9f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"identical_results\": %s\n"
+               "}\n",
+               static_cast<long long>(rows),
+               static_cast<long long>(parallel_result.num_rows()), threads,
+               *sequential, *parallel, speedup,
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("1 thread: %.3f ms, %d threads: %.3f ms, speedup %.2fx, %s\n",
+              *sequential * 1e3, threads, *parallel * 1e3, speedup,
+              identical ? "results identical" : "RESULTS DIFFER");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -2,6 +2,7 @@
 #define EINSQL_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,6 +24,10 @@ namespace einsql::bench {
 ///   --phase-log=<file>    append one JSON object per recorded measurement:
 ///                         {"bench", "engine", "planning_seconds",
 ///                          "execution_seconds", "rows"}
+///   --threads=<n>         run every MiniDB engine with morsel-driven
+///                         intra-operator parallelism on n workers (0 =
+///                         hardware concurrency); omit for sequential
+///                         execution
 class BenchSession {
  public:
   static BenchSession& Get() {
@@ -40,6 +45,9 @@ class BenchSession {
         trace_file_ = arg.substr(8);
       } else if (arg.rfind("--phase-log=", 0) == 0) {
         phase_log_file_ = arg.substr(12);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        threads_ = std::atoi(arg.c_str() + 10);
+        use_threads_ = true;
       } else {
         argv[out++] = argv[a];
       }
@@ -50,6 +58,11 @@ class BenchSession {
 
   /// The session span sink, or null when --trace was not given.
   Trace* trace() { return trace_file_.empty() ? nullptr : &trace_; }
+
+  /// True when --threads was given; `threads` is its value (0 = hardware
+  /// concurrency).
+  bool use_threads() const { return use_threads_; }
+  int threads() const { return threads_; }
 
   /// `base` with the session trace attached (no-op when tracing is off).
   EinsumOptions Traced(EinsumOptions base = {}) {
@@ -103,6 +116,8 @@ class BenchSession {
 
   std::string trace_file_;
   std::string phase_log_file_;
+  bool use_threads_ = false;
+  int threads_ = 0;
   Trace trace_;
   std::mutex mutex_;
 };
@@ -150,6 +165,9 @@ inline NamedEngine MakeMiniDbEngine(minidb::OptimizerMode mode) {
   minidb::PlannerOptions options;
   options.mode = mode;
   auto backend = std::make_unique<MiniDbBackend>(options);
+  if (BenchSession::Get().use_threads()) {
+    backend->set_threads(BenchSession::Get().threads());
+  }
   named.label = backend->name();
   named.backend = std::move(backend);
   named.backend->set_trace(BenchSession::Get().trace());

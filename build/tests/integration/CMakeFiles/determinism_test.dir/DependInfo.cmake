@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/determinism_test.cc" "tests/integration/CMakeFiles/determinism_test.dir/determinism_test.cc.o" "gcc" "tests/integration/CMakeFiles/determinism_test.dir/determinism_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/einsql_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/einsql_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/einsql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/einsql_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/einsql_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/einsql_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/triplestore/CMakeFiles/einsql_triplestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphical/CMakeFiles/einsql_graphical.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/einsql_quantum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

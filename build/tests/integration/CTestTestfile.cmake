@@ -5,3 +5,4 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/integration/listings_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/determinism_test[1]_include.cmake")

@@ -14,3 +14,4 @@ include("/root/repo/build/tests/minidb/differential_test[1]_include.cmake")
 include("/root/repo/build/tests/minidb/plan_test[1]_include.cmake")
 include("/root/repo/build/tests/minidb/execution_options_test[1]_include.cmake")
 include("/root/repo/build/tests/minidb/explain_analyze_test[1]_include.cmake")
+include("/root/repo/build/tests/minidb/parallel_executor_test[1]_include.cmake")

@@ -45,6 +45,7 @@ Result<minidb::Relation> MiniDbBackend::Query(const std::string& sql) {
   stats_.execution_seconds = result.stats.exec_seconds;
   stats_.result_rows = static_cast<int64_t>(result.relation.rows.size());
   if (const minidb::QueryProfile* profile = db_.last_profile()) {
+    stats_.threads_used = profile->max_threads_used();
     stats_.cte_timings.reserve(profile->ctes.size());
     for (const auto& cte : profile->ctes) {
       stats_.cte_timings.push_back(

@@ -33,6 +33,16 @@ class MiniDbBackend : public SqlBackend {
   Status LoadComplexCooTensor(const std::string& name,
                               const ComplexCooTensor& tensor) override;
 
+  /// Enables morsel-driven intra-operator parallelism (and parallel CTE
+  /// materialization) on `threads` workers; 0 means hardware concurrency.
+  /// Results stay deterministic: for a fixed morsel size, the thread count
+  /// never changes query output.
+  void set_threads(int threads) {
+    db_.executor_options().parallel_operators = true;
+    db_.executor_options().parallel_ctes = true;
+    db_.executor_options().num_threads = threads;
+  }
+
   /// Direct access to the underlying engine (tests, plan inspection).
   minidb::Database& database() { return db_; }
 

@@ -1,5 +1,7 @@
 #include "minidb/database.h"
 
+#include <cstdlib>
+
 #include "common/stopwatch.h"
 #include "minidb/executor.h"
 #include "minidb/expr_eval.h"
@@ -7,7 +9,24 @@
 
 namespace einsql::minidb {
 
-Database::Database(PlannerOptions options) : options_(options) {}
+Database::Database(PlannerOptions options) : options_(options) {
+  // MINIDB_PARALLEL=<threads> force-enables morsel-driven execution for
+  // every Database instance — the hook CI uses to run the whole test suite
+  // under ThreadSanitizer with parallelism on. MINIDB_MORSEL_ROWS
+  // optionally shrinks morsels so small test inputs still split.
+  if (const char* env = std::getenv("MINIDB_PARALLEL")) {
+    const int threads = std::atoi(env);
+    if (threads > 0) {
+      executor_options_.parallel_operators = true;
+      executor_options_.parallel_ctes = true;
+      executor_options_.num_threads = threads;
+    }
+  }
+  if (const char* env = std::getenv("MINIDB_MORSEL_ROWS")) {
+    const long long rows = std::atoll(env);
+    if (rows > 0) executor_options_.morsel_rows = rows;
+  }
+}
 
 namespace {
 

@@ -52,6 +52,142 @@ class Executor {
   }
 
  private:
+  // ---------------------------------------------------------------------
+  // Morsel infrastructure
+  // ---------------------------------------------------------------------
+
+  // How an operator's input rows are split across workers. Sequential
+  // execution (parallel_operators off) is the degenerate case of the same
+  // machinery — one morsel spanning the whole input on one thread — so
+  // both modes share one code path per operator.
+  struct MorselPlan {
+    int64_t morsel_rows = 0;
+    int64_t num_morsels = 0;
+    int threads = 1;
+  };
+
+  int WorkerCount() const {
+    return options_.num_threads > 0
+               ? options_.num_threads
+               : static_cast<int>(
+                     std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  MorselPlan PlanMorsels(int64_t num_rows) const {
+    MorselPlan plan;
+    plan.morsel_rows = options_.parallel_operators
+                           ? std::max<int64_t>(1, options_.morsel_rows)
+                           : std::max<int64_t>(1, num_rows);
+    plan.num_morsels =
+        num_rows == 0 ? 0
+                      : (num_rows + plan.morsel_rows - 1) / plan.morsel_rows;
+    plan.threads =
+        options_.parallel_operators
+            ? static_cast<int>(std::min<int64_t>(
+                  WorkerCount(), std::max<int64_t>(1, plan.num_morsels)))
+            : 1;
+    return plan;
+  }
+
+  // Runs body(morsel_index, begin_row, end_row) over every morsel of
+  // [0, num_rows). Workers pull the next morsel index from an atomic
+  // counter; per-morsel statuses keep error reporting deterministic (the
+  // lowest failing morsel wins regardless of scheduling).
+  template <typename Body>
+  Status RunMorsels(int64_t num_rows, const MorselPlan& plan,
+                    const char* span_name, Trace::SpanId parent,
+                    const Body& body) {
+    if (plan.num_morsels == 0) return Status::OK();
+    std::vector<Status> statuses(plan.num_morsels);
+    std::atomic<int64_t> next{0};
+    // Per-morsel spans only make sense when the splitter is actually on;
+    // gate on parallel_operators so sequential traces stay one span per
+    // operator.
+    const bool morsel_spans =
+        trace_ != nullptr && options_.parallel_operators;
+    auto worker = [&]() {
+      while (true) {
+        const int64_t m = next.fetch_add(1);
+        if (m >= plan.num_morsels) return;
+        const int64_t begin = m * plan.morsel_rows;
+        const int64_t end = std::min(num_rows, begin + plan.morsel_rows);
+        if (morsel_spans) {
+          // Workers have no open spans of their own: parent explicitly
+          // under the operator's span.
+          ScopedSpan span(trace_, span_name, parent);
+          span.SetAttribute("morsel", m);
+          span.SetAttribute("rows", end - begin);
+          statuses[m] = body(m, begin, end);
+        } else {
+          statuses[m] = body(m, begin, end);
+        }
+      }
+    };
+    if (plan.threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(plan.threads);
+      for (int t = 0; t < plan.threads; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
+    for (const Status& status : statuses) {
+      EINSQL_RETURN_IF_ERROR(status);
+    }
+    return Status::OK();
+  }
+
+  // Concatenates per-morsel output buffers in morsel order — the
+  // determinism guarantee: output order matches sequential execution no
+  // matter which worker ran which morsel.
+  static void ConcatParts(std::vector<Row>* out,
+                          std::vector<std::vector<Row>>* parts) {
+    size_t total = out->size();
+    for (const auto& part : *parts) total += part.size();
+    out->reserve(total);
+    for (auto& part : *parts) {
+      out->insert(out->end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+      part.clear();
+    }
+  }
+
+  // Only recorded under parallel execution: sequential runs keep
+  // `morsels == 0` so EXPLAIN ANALYZE output is unchanged from before
+  // morsel-driven execution existed.
+  void RecordMorsels(OperatorProfile* prof, const MorselPlan& plan) const {
+    if (prof == nullptr || !options_.parallel_operators) return;
+    prof->threads_used = plan.threads;
+    prof->morsels = plan.num_morsels;
+  }
+
+  // ---------------------------------------------------------------------
+  // Typed key extraction (the int64 fast path)
+  // ---------------------------------------------------------------------
+
+  enum class KeyClass {
+    kInts,     // all key values are int64; `out` is filled
+    kHasNull,  // a key is NULL: skip the row (never joins / typed-groups)
+    kUntyped,  // a non-NULL, non-int value: abandon the typed path
+  };
+
+  static KeyClass ClassifyIntKey(const Row& row, const std::vector<int>& slots,
+                                 int64_t* out) {
+    for (size_t k = 0; k < slots.size(); ++k) {
+      const Value& v = row[slots[k]];
+      if (const int64_t* i = std::get_if<int64_t>(&v)) {
+        out[k] = *i;
+        continue;
+      }
+      return IsNull(v) ? KeyClass::kHasNull : KeyClass::kUntyped;
+    }
+    return KeyClass::kInts;
+  }
+
+  // ---------------------------------------------------------------------
+  // CTE materialization (unchanged: one task per CTE level)
+  // ---------------------------------------------------------------------
+
   // Collects the CTE indices a plan subtree references.
   static void CollectCteRefs(const PlanNode& node, std::vector<int>* refs) {
     if (node.kind == PlanKind::kCteScan) refs->push_back(node.cte_index);
@@ -99,10 +235,7 @@ class Executor {
     }
     const int max_level = *std::max_element(level.begin(), level.end());
     cte_results_.assign(n, nullptr);
-    const int workers =
-        options_.num_threads > 0
-            ? options_.num_threads
-            : std::max(1u, std::thread::hardware_concurrency());
+    const int workers = WorkerCount();
     for (int current = 0; current <= max_level; ++current) {
       std::vector<int> batch;
       for (int i = 0; i < n; ++i) {
@@ -141,6 +274,10 @@ class Executor {
     return Status::OK();
   }
 
+  // ---------------------------------------------------------------------
+  // Operator evaluation
+  // ---------------------------------------------------------------------
+
   // Evaluates one operator, recording its metrics into `prof` (may be
   // null) and, when tracing, emitting a span with est-vs-actual
   // cardinality attributes. Wall time is inclusive of the subtree.
@@ -151,7 +288,7 @@ class Executor {
     if (prof == nullptr && trace_ != nullptr) prof = &scratch;
     Stopwatch watch;
     ScopedSpan span(trace_, PlanKindToString(node.kind));
-    EINSQL_ASSIGN_OR_RETURN(RelationPtr out, Dispatch(node, prof));
+    EINSQL_ASSIGN_OR_RETURN(RelationPtr out, Dispatch(node, prof, span.id()));
     if (prof != nullptr) {
       prof->kind = node.kind;
       prof->label = node.HeadLine();
@@ -170,6 +307,11 @@ class Executor {
           span.SetAttribute("hash_entries", prof->hash_entries);
           span.SetAttribute("est_error", prof->est_error());
         }
+        if (prof->morsels > 0) {
+          span.SetAttribute("threads_used",
+                            static_cast<int64_t>(prof->threads_used));
+          span.SetAttribute("morsels", prof->morsels);
+        }
       }
     }
     return out;
@@ -184,7 +326,8 @@ class Executor {
     return Execute(*node.children[k], &prof->children.back());
   }
 
-  Result<RelationPtr> Dispatch(const PlanNode& node, OperatorProfile* prof) {
+  Result<RelationPtr> Dispatch(const PlanNode& node, OperatorProfile* prof,
+                               Trace::SpanId op_span) {
     switch (node.kind) {
       case PlanKind::kScan:
         return RelationPtr(node.table);
@@ -198,13 +341,13 @@ class Executor {
       case PlanKind::kValues:
         return ExecuteValues(node);
       case PlanKind::kFilter:
-        return ExecuteFilter(node, prof);
+        return ExecuteFilter(node, prof, op_span);
       case PlanKind::kProject:
-        return ExecuteProject(node, prof);
+        return ExecuteProject(node, prof, op_span);
       case PlanKind::kJoin:
-        return ExecuteJoin(node, prof);
+        return ExecuteJoin(node, prof, op_span);
       case PlanKind::kAggregate:
-        return ExecuteAggregate(node, prof);
+        return ExecuteAggregate(node, prof, op_span);
       case PlanKind::kSort:
         return ExecuteSort(node, prof);
       case PlanKind::kLimit:
@@ -230,7 +373,11 @@ class Executor {
     std::vector<Column> columns;
     columns.reserve(schema.size());
     for (const SchemaColumn& col : schema) {
-      columns.push_back({col.name, ValueType::kDouble});
+      // kNull means "type unknown at plan time"; keep the historical
+      // kDouble default for display.
+      columns.push_back({col.name, col.type == ValueType::kNull
+                                       ? ValueType::kDouble
+                                       : col.type});
     }
     return columns;
   }
@@ -243,100 +390,237 @@ class Executor {
   }
 
   Result<RelationPtr> ExecuteFilter(const PlanNode& node,
-                                    OperatorProfile* prof) {
+                                    OperatorProfile* prof,
+                                    Trace::SpanId op_span) {
     EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = input->columns;
-    for (const Row& row : input->rows) {
-      EINSQL_ASSIGN_OR_RETURN(Value keep,
-                              EvaluateExpr(*node.predicate, row));
-      if (IsTrue(keep)) out->rows.push_back(row);
-    }
+    const MorselPlan plan = PlanMorsels(input->num_rows());
+    std::vector<std::vector<Row>> parts(plan.num_morsels);
+    EINSQL_RETURN_IF_ERROR(RunMorsels(
+        input->num_rows(), plan, "filter morsel", op_span,
+        [&](int64_t m, int64_t begin, int64_t end) -> Status {
+          std::vector<Row>& local = parts[m];
+          for (int64_t r = begin; r < end; ++r) {
+            const Row& row = input->rows[r];
+            EINSQL_ASSIGN_OR_RETURN(Value keep,
+                                    EvaluateExpr(*node.predicate, row));
+            if (IsTrue(keep)) local.push_back(row);
+          }
+          return Status::OK();
+        }));
+    ConcatParts(&out->rows, &parts);
+    RecordMorsels(prof, plan);
     return RelationPtr(out);
   }
 
   Result<RelationPtr> ExecuteProject(const PlanNode& node,
-                                     OperatorProfile* prof) {
+                                     OperatorProfile* prof,
+                                     Trace::SpanId op_span) {
     EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = SchemaColumns(node.schema);
-    out->rows.reserve(input->rows.size());
-    for (const Row& row : input->rows) {
-      Row projected;
-      projected.reserve(node.exprs.size());
-      for (const auto& expr : node.exprs) {
-        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, row));
-        projected.push_back(std::move(v));
-      }
-      out->rows.push_back(std::move(projected));
-    }
+    const MorselPlan plan = PlanMorsels(input->num_rows());
+    std::vector<std::vector<Row>> parts(plan.num_morsels);
+    EINSQL_RETURN_IF_ERROR(RunMorsels(
+        input->num_rows(), plan, "project morsel", op_span,
+        [&](int64_t m, int64_t begin, int64_t end) -> Status {
+          std::vector<Row>& local = parts[m];
+          local.reserve(end - begin);
+          for (int64_t r = begin; r < end; ++r) {
+            const Row& row = input->rows[r];
+            Row projected;
+            projected.reserve(node.exprs.size());
+            for (const auto& expr : node.exprs) {
+              EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, row));
+              projected.push_back(std::move(v));
+            }
+            local.push_back(std::move(projected));
+          }
+          return Status::OK();
+        }));
+    ConcatParts(&out->rows, &parts);
+    RecordMorsels(prof, plan);
     return RelationPtr(out);
   }
 
   Result<RelationPtr> ExecuteJoin(const PlanNode& node,
-                                  OperatorProfile* prof) {
+                                  OperatorProfile* prof,
+                                  Trace::SpanId op_span) {
     EINSQL_ASSIGN_OR_RETURN(RelationPtr left, ExecuteChild(node, 0, prof));
     EINSQL_ASSIGN_OR_RETURN(RelationPtr right, ExecuteChild(node, 1, prof));
     auto out = std::make_shared<Relation>();
     out->columns = left->columns;
     out->columns.insert(out->columns.end(), right->columns.begin(),
                         right->columns.end());
-    auto emit = [&](const Row& l, const Row& r) -> Status {
-      Row combined = l;
+    const MorselPlan plan = PlanMorsels(left->num_rows());
+    std::vector<std::vector<Row>> parts(plan.num_morsels);
+
+    // Emits l⋈r into the morsel-local buffer when the residual predicate
+    // passes. Safe to call concurrently: each worker owns its buffer.
+    auto emit = [&](const Row& l, const Row& r,
+                    std::vector<Row>* local) -> Status {
+      Row combined;
+      combined.reserve(l.size() + r.size());
+      combined.insert(combined.end(), l.begin(), l.end());
       combined.insert(combined.end(), r.begin(), r.end());
       if (node.predicate) {
         EINSQL_ASSIGN_OR_RETURN(Value keep,
                                 EvaluateExpr(*node.predicate, combined));
         if (!IsTrue(keep)) return Status::OK();
       }
-      out->rows.push_back(std::move(combined));
+      local->push_back(std::move(combined));
       return Status::OK();
     };
+
     if (node.left_keys.empty()) {
-      // Cross join.
-      for (const Row& l : left->rows) {
-        for (const Row& r : right->rows) {
-          EINSQL_RETURN_IF_ERROR(emit(l, r));
-        }
-      }
+      // Cross join, morselized over the left input.
+      EINSQL_RETURN_IF_ERROR(RunMorsels(
+          left->num_rows(), plan, "join morsel", op_span,
+          [&](int64_t m, int64_t begin, int64_t end) -> Status {
+            for (int64_t lr = begin; lr < end; ++lr) {
+              for (const Row& r : right->rows) {
+                EINSQL_RETURN_IF_ERROR(emit(left->rows[lr], r, &parts[m]));
+              }
+            }
+            return Status::OK();
+          }));
+      ConcatParts(&out->rows, &parts);
+      RecordMorsels(prof, plan);
       return RelationPtr(out);
     }
-    // Hash join: build on the right input.
+
+    // Hash join: sequential build on the right input, morsel-parallel
+    // probe over the left. Two key representations share the two-level
+    // bucket scheme (hash -> candidates, then an exact key check):
+    //   * typed: packed int64 keys, chosen at plan time when every key
+    //     column is declared kInt (einsum index columns) and verified per
+    //     row — any non-int non-NULL value abandons the path;
+    //   * generic: Value keys through HashRowKey/SqlEquals.
+    const size_t arity = node.left_keys.size();
+
+    // --- typed path ---
+    if (node.typed_int_keys) {
+      std::unordered_map<size_t, std::vector<int64_t>> buckets;
+      buckets.reserve(right->rows.size() * 2);
+      std::vector<int64_t> build_keys;   // arity ints per entry
+      std::vector<int64_t> build_rows;   // right-row index per entry
+      build_keys.reserve(right->rows.size() * arity);
+      build_rows.reserve(right->rows.size());
+      bool typed_ok = true;
+      std::vector<int64_t> key(arity);
+      for (int64_t r = 0; r < right->num_rows(); ++r) {
+        const KeyClass cls =
+            ClassifyIntKey(right->rows[r], node.right_keys, key.data());
+        if (cls == KeyClass::kHasNull) continue;  // NULL keys never join
+        if (cls == KeyClass::kUntyped) {
+          typed_ok = false;
+          break;
+        }
+        buckets[HashIntKey(key.data(), arity)].push_back(
+            static_cast<int64_t>(build_rows.size()));
+        build_keys.insert(build_keys.end(), key.begin(), key.end());
+        build_rows.push_back(r);
+      }
+      if (typed_ok) {
+        std::atomic<bool> probe_untyped{false};
+        EINSQL_RETURN_IF_ERROR(RunMorsels(
+            left->num_rows(), plan, "join morsel", op_span,
+            [&](int64_t m, int64_t begin, int64_t end) -> Status {
+              std::vector<int64_t> probe(arity);
+              for (int64_t lr = begin; lr < end; ++lr) {
+                if (probe_untyped.load(std::memory_order_relaxed)) {
+                  return Status::OK();
+                }
+                const Row& l = left->rows[lr];
+                const KeyClass cls =
+                    ClassifyIntKey(l, node.left_keys, probe.data());
+                if (cls == KeyClass::kHasNull) continue;
+                if (cls == KeyClass::kUntyped) {
+                  probe_untyped.store(true, std::memory_order_relaxed);
+                  return Status::OK();
+                }
+                auto it = buckets.find(HashIntKey(probe.data(), arity));
+                if (it == buckets.end()) continue;
+                for (int64_t entry : it->second) {
+                  const int64_t* ek = build_keys.data() + entry * arity;
+                  bool match = true;
+                  for (size_t k = 0; k < arity && match; ++k) {
+                    match = ek[k] == probe[k];
+                  }
+                  if (match) {
+                    EINSQL_RETURN_IF_ERROR(
+                        emit(l, right->rows[build_rows[entry]], &parts[m]));
+                  }
+                }
+              }
+              return Status::OK();
+            }));
+        if (!probe_untyped.load()) {
+          if (prof != nullptr) {
+            prof->hash_entries = static_cast<int64_t>(build_rows.size());
+          }
+          ConcatParts(&out->rows, &parts);
+          RecordMorsels(prof, plan);
+          return RelationPtr(out);
+        }
+        // A probe row defeated the typed assumption (e.g. a double in a
+        // declared-int column, which must still join numerically): discard
+        // partial output and redo generically.
+        for (auto& part : parts) part.clear();
+      }
+    }
+
+    // --- generic path ---
     std::unordered_map<size_t, std::vector<int64_t>> buckets;
     buckets.reserve(right->rows.size() * 2);
     int64_t build_entries = 0;
-    std::vector<Value> key;
-    auto extract = [&](const Row& row, const std::vector<int>& slots) {
-      key.clear();
-      for (int slot : slots) key.push_back(row[slot]);
-    };
-    for (int64_t r = 0; r < right->num_rows(); ++r) {
-      extract(right->rows[r], node.right_keys);
-      bool has_null = false;
-      for (const Value& v : key) has_null |= IsNull(v);
-      if (has_null) continue;  // NULL keys never join
-      buckets[HashRowKey(key)].push_back(r);
-      ++build_entries;
-    }
-    if (prof != nullptr) prof->hash_entries = build_entries;
-    for (const Row& l : left->rows) {
-      extract(l, node.left_keys);
-      bool has_null = false;
-      for (const Value& v : key) has_null |= IsNull(v);
-      if (has_null) continue;
-      auto it = buckets.find(HashRowKey(key));
-      if (it == buckets.end()) continue;
-      for (int64_t r : it->second) {
-        const Row& rr = right->rows[r];
-        bool match = true;
-        for (size_t k = 0; k < node.left_keys.size() && match; ++k) {
-          match = SqlEquals(l[node.left_keys[k]], rr[node.right_keys[k]]);
-        }
-        if (match) EINSQL_RETURN_IF_ERROR(emit(l, rr));
+    {
+      std::vector<Value> key;
+      for (int64_t r = 0; r < right->num_rows(); ++r) {
+        key.clear();
+        for (int slot : node.right_keys) key.push_back(right->rows[r][slot]);
+        bool has_null = false;
+        for (const Value& v : key) has_null |= IsNull(v);
+        if (has_null) continue;  // NULL keys never join
+        buckets[HashRowKey(key)].push_back(r);
+        ++build_entries;
       }
     }
+    if (prof != nullptr) prof->hash_entries = build_entries;
+    EINSQL_RETURN_IF_ERROR(RunMorsels(
+        left->num_rows(), plan, "join morsel", op_span,
+        [&](int64_t m, int64_t begin, int64_t end) -> Status {
+          std::vector<Value> key;
+          for (int64_t lr = begin; lr < end; ++lr) {
+            const Row& l = left->rows[lr];
+            key.clear();
+            for (int slot : node.left_keys) key.push_back(l[slot]);
+            bool has_null = false;
+            for (const Value& v : key) has_null |= IsNull(v);
+            if (has_null) continue;
+            auto it = buckets.find(HashRowKey(key));
+            if (it == buckets.end()) continue;
+            for (int64_t r : it->second) {
+              const Row& rr = right->rows[r];
+              bool match = true;
+              for (size_t k = 0; k < arity && match; ++k) {
+                match = SqlEquals(l[node.left_keys[k]],
+                                  rr[node.right_keys[k]]);
+              }
+              if (match) EINSQL_RETURN_IF_ERROR(emit(l, rr, &parts[m]));
+            }
+          }
+          return Status::OK();
+        }));
+    ConcatParts(&out->rows, &parts);
+    RecordMorsels(prof, plan);
     return RelationPtr(out);
   }
+
+  // ---------------------------------------------------------------------
+  // Aggregation
+  // ---------------------------------------------------------------------
 
   // Collects aggregate call nodes within an expression tree.
   static void CollectAggregates(const Expr& expr,
@@ -367,113 +651,281 @@ class Executor {
     Value max_value = Null{};
   };
 
+  // Folds one input row into the group's accumulators.
+  static Status UpdateAccumulators(const std::vector<const Expr*>& agg_calls,
+                                   const Row& row,
+                                   std::vector<Accumulator>* accumulators) {
+    for (size_t a = 0; a < agg_calls.size(); ++a) {
+      const Expr& call = *agg_calls[a];
+      Accumulator& acc = (*accumulators)[a];
+      if (call.star_argument) {
+        ++acc.count;
+        acc.saw_value = true;
+        continue;
+      }
+      if (call.args.size() != 1) {
+        return Status::InvalidArgument("aggregate ", call.function,
+                                       "() expects one argument");
+      }
+      EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*call.args[0], row));
+      if (IsNull(v)) continue;  // aggregates skip NULLs
+      ++acc.count;
+      acc.saw_value = true;
+      if (call.function == "sum" || call.function == "avg") {
+        if (TypeOf(v) == ValueType::kInt && !acc.saw_double) {
+          acc.int_sum += std::get<int64_t>(v);
+        } else {
+          EINSQL_ASSIGN_OR_RETURN(double d, AsDouble(v));
+          if (!acc.saw_double) {
+            acc.double_sum = static_cast<double>(acc.int_sum);
+            acc.saw_double = true;
+          }
+          acc.double_sum += d;
+        }
+      } else if (call.function == "min") {
+        if (IsNull(acc.min_value) || CompareValues(v, acc.min_value) < 0) {
+          acc.min_value = v;
+        }
+      } else if (call.function == "max") {
+        if (IsNull(acc.max_value) || CompareValues(v, acc.max_value) > 0) {
+          acc.max_value = v;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // Combines a morsel-local accumulator into the merged one. All supported
+  // aggregates merge associatively: counts add, sums add (with the same
+  // int->double promotion as row-at-a-time folding), min/max compare.
+  static void MergeAccumulator(Accumulator* into, const Accumulator& from) {
+    if (into->count == 0 && !into->saw_value) {
+      // Fresh (or all-NULL) target: adopting `from` wholesale keeps the
+      // merged state bit-identical to the morsel's own fold.
+      *into = from;
+      return;
+    }
+    if (from.count == 0 && !from.saw_value) return;
+    into->count += from.count;
+    into->saw_value = true;
+    if (into->saw_double || from.saw_double) {
+      if (!into->saw_double) {
+        into->double_sum = static_cast<double>(into->int_sum);
+        into->saw_double = true;
+      }
+      into->double_sum += from.saw_double
+                              ? from.double_sum
+                              : static_cast<double>(from.int_sum);
+    } else {
+      into->int_sum += from.int_sum;
+    }
+    if (!IsNull(from.min_value) &&
+        (IsNull(into->min_value) ||
+         CompareValues(from.min_value, into->min_value) < 0)) {
+      into->min_value = from.min_value;
+    }
+    if (!IsNull(from.max_value) &&
+        (IsNull(into->max_value) ||
+         CompareValues(from.max_value, into->max_value) > 0)) {
+      into->max_value = from.max_value;
+    }
+  }
+
+  // Partial aggregation state of one morsel (or, after merging, of the
+  // whole input). Groups are stored in first-occurrence order; `buckets`
+  // maps a key hash to candidate group indices. Exactly one of
+  // `keys`/`int_keys` is populated depending on the key representation.
+  struct GroupTable {
+    std::unordered_map<size_t, std::vector<int64_t>> buckets;
+    std::vector<std::vector<Value>> keys;  // generic path
+    std::vector<int64_t> int_keys;         // typed path, arity per group
+    std::vector<Row> representatives;
+    std::vector<std::vector<Accumulator>> accumulators;
+
+    size_t size() const { return representatives.size(); }
+  };
+
+  // Group lookup with GROUP BY semantics (NULLs compare equal); creates the
+  // group with empty accumulators when absent.
+  static int64_t FindOrCreateGroup(GroupTable* table,
+                                   const std::vector<Value>& key,
+                                   const Row& representative,
+                                   size_t num_accumulators) {
+    std::vector<int64_t>& bucket = table->buckets[HashRowKey(key)];
+    for (int64_t candidate : bucket) {
+      const std::vector<Value>& existing = table->keys[candidate];
+      bool same = existing.size() == key.size();
+      for (size_t k = 0; k < key.size() && same; ++k) {
+        same = CompareValues(existing[k], key[k]) == 0;
+      }
+      if (same) return candidate;
+    }
+    const int64_t index = static_cast<int64_t>(table->size());
+    bucket.push_back(index);
+    table->keys.push_back(key);
+    table->representatives.push_back(representative);
+    table->accumulators.emplace_back(num_accumulators);
+    return index;
+  }
+
+  static int64_t FindOrCreateTypedGroup(GroupTable* table, const int64_t* key,
+                                        size_t arity,
+                                        const Row& representative,
+                                        size_t num_accumulators) {
+    std::vector<int64_t>& bucket = table->buckets[HashIntKey(key, arity)];
+    for (int64_t candidate : bucket) {
+      const int64_t* existing = table->int_keys.data() + candidate * arity;
+      bool same = true;
+      for (size_t k = 0; k < arity && same; ++k) same = existing[k] == key[k];
+      if (same) return candidate;
+    }
+    const int64_t index = static_cast<int64_t>(table->size());
+    bucket.push_back(index);
+    table->int_keys.insert(table->int_keys.end(), key, key + arity);
+    table->representatives.push_back(representative);
+    table->accumulators.emplace_back(num_accumulators);
+    return index;
+  }
+
+  // Generic per-morsel aggregation build (Value keys).
+  Status BuildGroupsGeneric(const PlanNode& node, const Relation& input,
+                            const std::vector<const Expr*>& agg_calls,
+                            int64_t begin, int64_t end, GroupTable* table) {
+    std::vector<Value> key;
+    for (int64_t r = begin; r < end; ++r) {
+      const Row& row = input.rows[r];
+      key.clear();
+      for (const auto& expr : node.group_exprs) {
+        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, row));
+        key.push_back(std::move(v));
+      }
+      const int64_t g = FindOrCreateGroup(table, key, row, agg_calls.size());
+      EINSQL_RETURN_IF_ERROR(
+          UpdateAccumulators(agg_calls, row, &table->accumulators[g]));
+    }
+    return Status::OK();
+  }
+
+  // Typed per-morsel build: packed int64 group keys. Returns false
+  // (without error) when a group key evaluates to anything but an int64 —
+  // including NULL, which must group with other NULLs — so the caller
+  // falls back to the generic build.
+  Result<bool> BuildGroupsTyped(const PlanNode& node, const Relation& input,
+                                const std::vector<const Expr*>& agg_calls,
+                                int64_t begin, int64_t end,
+                                GroupTable* table) {
+    const size_t arity = node.group_exprs.size();
+    std::vector<int64_t> key(arity);
+    for (int64_t r = begin; r < end; ++r) {
+      const Row& row = input.rows[r];
+      for (size_t k = 0; k < arity; ++k) {
+        EINSQL_ASSIGN_OR_RETURN(Value v,
+                                EvaluateExpr(*node.group_exprs[k], row));
+        const int64_t* i = std::get_if<int64_t>(&v);
+        if (i == nullptr) return false;
+        key[k] = *i;
+      }
+      const int64_t g = FindOrCreateTypedGroup(table, key.data(), arity, row,
+                                               agg_calls.size());
+      EINSQL_RETURN_IF_ERROR(
+          UpdateAccumulators(agg_calls, row, &table->accumulators[g]));
+    }
+    return true;
+  }
+
   Result<RelationPtr> ExecuteAggregate(const PlanNode& node,
-                                       OperatorProfile* prof) {
+                                       OperatorProfile* prof,
+                                       Trace::SpanId op_span) {
     EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     // The distinct aggregate calls across all output expressions.
     std::vector<const Expr*> agg_calls;
     for (const auto& expr : node.exprs) CollectAggregates(*expr, &agg_calls);
     if (node.predicate) CollectAggregates(*node.predicate, &agg_calls);
 
-    struct Group {
-      Row representative;
-      std::vector<Accumulator> accumulators;
-    };
-    std::unordered_map<size_t, std::vector<int64_t>> buckets;
-    std::vector<std::vector<Value>> group_keys;
-    std::vector<Group> groups;
+    const MorselPlan plan = PlanMorsels(input->num_rows());
+    const size_t arity = node.group_exprs.size();
+    std::vector<GroupTable> parts(plan.num_morsels);
 
-    std::vector<Value> key;
-    for (const Row& row : input->rows) {
-      key.clear();
-      for (const auto& expr : node.group_exprs) {
-        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, row));
-        key.push_back(std::move(v));
-      }
-      // Find or create the group (GROUP BY treats NULLs as equal).
-      const size_t hash = HashRowKey(key);
-      int64_t group_index = -1;
-      for (int64_t candidate : buckets[hash]) {
-        const std::vector<Value>& existing = group_keys[candidate];
-        bool same = existing.size() == key.size();
-        for (size_t k = 0; k < key.size() && same; ++k) {
-          same = CompareValues(existing[k], key[k]) == 0;
-        }
-        if (same) {
-          group_index = candidate;
-          break;
-        }
-      }
-      if (group_index < 0) {
-        group_index = static_cast<int64_t>(groups.size());
-        buckets[hash].push_back(group_index);
-        group_keys.push_back(key);
-        Group group;
-        group.representative = row;
-        group.accumulators.resize(agg_calls.size());
-        groups.push_back(std::move(group));
-      }
-      // Update accumulators.
-      Group& group = groups[group_index];
-      for (size_t a = 0; a < agg_calls.size(); ++a) {
-        const Expr& call = *agg_calls[a];
-        Accumulator& acc = group.accumulators[a];
-        if (call.star_argument) {
-          ++acc.count;
-          acc.saw_value = true;
-          continue;
-        }
-        if (call.args.size() != 1) {
-          return Status::InvalidArgument("aggregate ", call.function,
-                                         "() expects one argument");
-        }
-        EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*call.args[0], row));
-        if (IsNull(v)) continue;  // aggregates skip NULLs
-        ++acc.count;
-        acc.saw_value = true;
-        if (call.function == "sum" || call.function == "avg") {
-          if (TypeOf(v) == ValueType::kInt && !acc.saw_double) {
-            acc.int_sum += std::get<int64_t>(v);
-          } else {
-            EINSQL_ASSIGN_OR_RETURN(double d, AsDouble(v));
-            if (!acc.saw_double) {
-              acc.double_sum = static_cast<double>(acc.int_sum);
-              acc.saw_double = true;
+    // Phase 1: thread-local (per-morsel) group tables.
+    bool typed = node.typed_int_keys && arity > 0;
+    if (typed) {
+      std::atomic<bool> typed_failed{false};
+      EINSQL_RETURN_IF_ERROR(RunMorsels(
+          input->num_rows(), plan, "aggregate morsel", op_span,
+          [&](int64_t m, int64_t begin, int64_t end) -> Status {
+            if (typed_failed.load(std::memory_order_relaxed)) {
+              return Status::OK();
             }
-            acc.double_sum += d;
-          }
-        } else if (call.function == "min") {
-          if (IsNull(acc.min_value) ||
-              CompareValues(v, acc.min_value) < 0) {
-            acc.min_value = v;
-          }
-        } else if (call.function == "max") {
-          if (IsNull(acc.max_value) ||
-              CompareValues(v, acc.max_value) > 0) {
-            acc.max_value = v;
-          }
+            EINSQL_ASSIGN_OR_RETURN(
+                bool ok, BuildGroupsTyped(node, *input, agg_calls, begin,
+                                          end, &parts[m]));
+            if (!ok) typed_failed.store(true, std::memory_order_relaxed);
+            return Status::OK();
+          }));
+      if (typed_failed.load()) {
+        parts.assign(plan.num_morsels, GroupTable{});
+        typed = false;
+      }
+    }
+    if (!typed) {
+      EINSQL_RETURN_IF_ERROR(RunMorsels(
+          input->num_rows(), plan, "aggregate morsel", op_span,
+          [&](int64_t m, int64_t begin, int64_t end) -> Status {
+            return BuildGroupsGeneric(node, *input, agg_calls, begin, end,
+                                      &parts[m]);
+          }));
+    }
+
+    // Phase 2: merge morsel tables *in morsel order*. Each morsel's groups
+    // are in local first-occurrence order, so ordered merging reproduces
+    // the global first-occurrence order of sequential execution, and
+    // accumulator merging is associative — the result depends on the
+    // morsel boundaries but never on the thread count.
+    GroupTable merged;
+    bool have_merged = false;
+    for (GroupTable& part : parts) {
+      if (!have_merged) {
+        merged = std::move(part);
+        have_merged = true;
+        continue;
+      }
+      for (size_t g = 0; g < part.size(); ++g) {
+        const int64_t target =
+            typed ? FindOrCreateTypedGroup(&merged,
+                                           part.int_keys.data() + g * arity,
+                                           arity, part.representatives[g],
+                                           agg_calls.size())
+                  : FindOrCreateGroup(&merged, part.keys[g],
+                                      part.representatives[g],
+                                      agg_calls.size());
+        for (size_t a = 0; a < agg_calls.size(); ++a) {
+          MergeAccumulator(&merged.accumulators[target][a],
+                           part.accumulators[g][a]);
         }
       }
     }
+
     // A global aggregation over an empty input still produces one row.
-    if (groups.empty() && node.group_exprs.empty()) {
-      Group group;
-      group.representative.assign(input->num_columns(), Value(Null{}));
-      group.accumulators.resize(agg_calls.size());
-      groups.push_back(std::move(group));
+    if (merged.size() == 0 && node.group_exprs.empty()) {
+      merged.representatives.emplace_back(input->num_columns(),
+                                          Value(Null{}));
+      merged.accumulators.emplace_back(agg_calls.size());
     }
     if (prof != nullptr) {
-      prof->hash_entries = static_cast<int64_t>(groups.size());
+      prof->hash_entries = static_cast<int64_t>(merged.size());
     }
-    // Produce output rows.
+    RecordMorsels(prof, plan);
+
+    // Phase 3: produce output rows (HAVING + projection per group).
     auto out = std::make_shared<Relation>();
     out->columns = SchemaColumns(node.schema);
-    out->rows.reserve(groups.size());
-    for (const Group& group : groups) {
+    out->rows.reserve(merged.size());
+    for (size_t g = 0; g < merged.size(); ++g) {
+      const Row& representative = merged.representatives[g];
       AggregateValues agg_values;
       for (size_t a = 0; a < agg_calls.size(); ++a) {
         const Expr& call = *agg_calls[a];
-        const Accumulator& acc = group.accumulators[a];
+        const Accumulator& acc = merged.accumulators[g][a];
         Value v;
         if (call.function == "count") {
           v = Value(acc.count);
@@ -505,14 +957,14 @@ class Executor {
         // HAVING: filter groups before projecting them.
         EINSQL_ASSIGN_OR_RETURN(
             Value keep,
-            EvaluateExpr(*node.predicate, group.representative, &agg_values));
+            EvaluateExpr(*node.predicate, representative, &agg_values));
         if (!IsTrue(keep)) continue;
       }
       Row out_row;
       out_row.reserve(node.exprs.size());
       for (const auto& expr : node.exprs) {
         EINSQL_ASSIGN_OR_RETURN(
-            Value v, EvaluateExpr(*expr, group.representative, &agg_values));
+            Value v, EvaluateExpr(*expr, representative, &agg_values));
         out_row.push_back(std::move(v));
       }
       out->rows.push_back(std::move(out_row));
@@ -556,8 +1008,11 @@ class Executor {
     EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = input->columns;
+    // Clamp to [0, num_rows]: a plan constructed with a negative limit
+    // (the parser rejects negative literals, but plans can be built
+    // programmatically) must not form an iterator before begin().
     const int64_t n =
-        std::min<int64_t>(node.limit, input->num_rows());
+        std::clamp<int64_t>(node.limit, 0, input->num_rows());
     out->rows.assign(input->rows.begin(), input->rows.begin() + n);
     return RelationPtr(out);
   }
@@ -567,16 +1022,69 @@ class Executor {
     EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = input->columns;
-    auto row_less = [](const Row& a, const Row& b) {
-      for (size_t k = 0; k < a.size() && k < b.size(); ++k) {
-        int c = CompareValues(a[k], b[k]);
-        if (c != 0) return c < 0;
+
+    // Typed path: all columns declared kInt — dedup on packed int64 rows.
+    if (node.typed_int_keys) {
+      std::unordered_map<size_t, std::vector<int64_t>> seen;
+      seen.reserve(input->rows.size() * 2);
+      std::vector<int64_t> kept_keys;  // num_columns ints per kept row
+      const size_t arity = input->columns.size();
+      std::vector<int64_t> key(arity);
+      bool typed_ok = true;
+      for (const Row& row : input->rows) {
+        bool ints = row.size() == arity;
+        for (size_t k = 0; k < arity && ints; ++k) {
+          const int64_t* i = std::get_if<int64_t>(&row[k]);
+          ints = i != nullptr;
+          if (ints) key[k] = *i;
+        }
+        if (!ints) {
+          // A NULL or non-int value: DISTINCT needs NULL-equal and
+          // cross-type numeric equality — generic path below.
+          typed_ok = false;
+          break;
+        }
+        std::vector<int64_t>& bucket = seen[HashIntKey(key.data(), arity)];
+        bool duplicate = false;
+        for (int64_t candidate : bucket) {
+          const int64_t* existing = kept_keys.data() + candidate * arity;
+          bool same = true;
+          for (size_t k = 0; k < arity && same; ++k) {
+            same = existing[k] == key[k];
+          }
+          duplicate = same;
+          if (duplicate) break;
+        }
+        if (duplicate) continue;
+        bucket.push_back(static_cast<int64_t>(out->rows.size()));
+        kept_keys.insert(kept_keys.end(), key.begin(), key.end());
+        out->rows.push_back(row);
       }
-      return a.size() < b.size();
-    };
-    std::map<Row, bool, decltype(row_less)> seen(row_less);
+      if (typed_ok) return RelationPtr(out);
+      out->rows.clear();
+    }
+
+    // Generic path: hash set keyed by HashRowKey with a full-row equality
+    // chain (NULLs compare equal, int/double compare numerically — the
+    // same semantics as the former ordered-map implementation, without its
+    // O(n log n) variant comparisons).
+    std::unordered_map<size_t, std::vector<int64_t>> seen;
+    seen.reserve(input->rows.size() * 2);
     for (const Row& row : input->rows) {
-      if (seen.emplace(row, true).second) out->rows.push_back(row);
+      std::vector<int64_t>& bucket = seen[HashRowKey(row)];
+      bool duplicate = false;
+      for (int64_t candidate : bucket) {
+        const Row& existing = out->rows[candidate];
+        bool same = existing.size() == row.size();
+        for (size_t k = 0; k < row.size() && same; ++k) {
+          same = CompareValues(existing[k], row[k]) == 0;
+        }
+        duplicate = same;
+        if (duplicate) break;
+      }
+      if (duplicate) continue;
+      bucket.push_back(static_cast<int64_t>(out->rows.size()));
+      out->rows.push_back(row);
     }
     return RelationPtr(out);
   }

@@ -18,9 +18,23 @@ struct ExecutorOptions {
   /// optimization": the executor levels the CTE dependency graph and runs
   /// each level on a thread pool.
   bool parallel_ctes = false;
-  /// Worker threads for parallel CTE materialization (0 = hardware
-  /// concurrency).
+  /// Worker threads for parallel CTE materialization and intra-operator
+  /// morsel execution (0 = hardware concurrency).
   int num_threads = 0;
+  /// Morsel-driven parallelism *inside* operators: hash-join probe, hash
+  /// aggregation, filter, and projection split their input into fixed-size
+  /// morsels processed by a worker pool. Output buffers are per-morsel and
+  /// concatenated in morsel order, and merged aggregation state is combined
+  /// in morsel order too, so results are deterministic: for a fixed
+  /// `morsel_rows` the result is identical regardless of the thread count.
+  /// (Hash-join builds stay sequential; they are the small side by
+  /// construction in einsum plans.)
+  bool parallel_operators = false;
+  /// Rows per morsel when `parallel_operators` is set. Part of the query's
+  /// deterministic result contract: floating-point aggregation combines
+  /// per-morsel partial sums, so changing morsel_rows (unlike num_threads)
+  /// may perturb double SUM/AVG results in the last ulp.
+  int64_t morsel_rows = 16384;
   /// Optional span sink: when set, the executor emits one span per CTE
   /// materialization and per operator evaluation, carrying est-vs-actual
   /// cardinalities as attributes. Not owned; may be null.

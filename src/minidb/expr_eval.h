@@ -18,6 +18,11 @@ using AggregateValues = std::map<const Expr*, Value>;
 /// Internal error to hit one that is absent). Supports three-valued logic
 /// for comparisons/AND/OR/NOT and the scalar functions abs, coalesce,
 /// length, mod, floor, ceil, sqrt, pow, exp, ln.
+///
+/// Thread safety: evaluation is re-entrant and takes `expr`, `row`, and
+/// `aggregates` as read-only — concurrent calls over a shared expression
+/// tree are safe, which the executor's morsel workers rely on. Expressions
+/// must not be mutated while a query runs.
 Result<Value> EvaluateExpr(const Expr& expr, const Row& row,
                            const AggregateValues* aggregates = nullptr);
 

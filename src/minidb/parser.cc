@@ -264,6 +264,9 @@ class Parser {
       } while (Accept(TokenKind::kComma));
     }
     if (Accept(TokenKind::kLimit)) {
+      if (Accept(TokenKind::kMinus)) {
+        return Error("LIMIT must be non-negative");
+      }
       if (Peek().kind != TokenKind::kIntLiteral) {
         return Error("LIMIT requires an integer literal");
       }

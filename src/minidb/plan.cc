@@ -63,6 +63,7 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   if (predicate) copy->predicate = predicate->Clone();
   copy->left_keys = left_keys;
   copy->right_keys = right_keys;
+  copy->typed_int_keys = typed_int_keys;
   for (const auto& e : exprs) copy->exprs.push_back(e->Clone());
   for (const auto& e : group_exprs) copy->group_exprs.push_back(e->Clone());
   for (const auto& e : sort_exprs) copy->sort_exprs.push_back(e->Clone());

@@ -11,10 +11,17 @@
 namespace einsql::minidb {
 
 /// One column of an operator's output schema: an optional qualifier (the
-/// table alias it came from) and the column name.
+/// table alias it came from), the column name, and the planner's best
+/// knowledge of the column's storage class. `kNull` means "unknown" —
+/// MiniDB is dynamically typed at the storage layer, so the type is a
+/// plan-time hint (propagated from CREATE TABLE declarations and literal
+/// analysis), used to select typed execution fast paths, never to reject
+/// rows. The executor re-validates it against actual values and falls back
+/// to generic evaluation on any mismatch.
 struct SchemaColumn {
   std::string qualifier;
   std::string name;
+  ValueType type = ValueType::kNull;
 };
 
 /// An operator output schema.
@@ -72,6 +79,12 @@ struct PlanNode {
   // kJoin: key slots into left/right child schemas; empty => cross join.
   std::vector<int> left_keys;
   std::vector<int> right_keys;
+  /// kJoin / kAggregate / kDistinct: every key (join key, group expression,
+  /// or DISTINCT column) is a plan-time `kInt` column, so the executor may
+  /// hash packed int64 keys directly instead of going through the Value
+  /// variant — the common case for einsum index columns. Chosen at plan
+  /// time; the executor still verifies actual values and falls back.
+  bool typed_int_keys = false;
 
   // kProject / kAggregate output expressions (bound against child schema).
   std::vector<std::unique_ptr<Expr>> exprs;

@@ -90,6 +90,36 @@ std::string OutputName(const SelectItem& item, int position) {
   return StrCat("col", position);
 }
 
+// Plan-time type of a bound expression against its input schema: the
+// declared column type for plain references, the literal's storage class
+// for constants, kInt for COUNT, and kNull ("unknown") for everything
+// else. Conservative on purpose — this only gates typed fast paths, and
+// the executor re-validates actual values anyway.
+ValueType ExprPlanType(const Expr& expr, const Schema& schema) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return TypeOf(expr.literal);
+    case ExprKind::kColumnRef:
+      if (expr.bound_slot >= 0 &&
+          expr.bound_slot < static_cast<int>(schema.size())) {
+        return schema[expr.bound_slot].type;
+      }
+      return ValueType::kNull;
+    case ExprKind::kFunction:
+      if (EqualsIgnoreCase(expr.function, "count")) return ValueType::kInt;
+      return ValueType::kNull;
+    default:
+      return ValueType::kNull;
+  }
+}
+
+// True when the schema slot is declared kInt — the precondition for the
+// executor's packed-int64 key fast path.
+bool SlotIsInt(const Schema& schema, int slot) {
+  return slot >= 0 && slot < static_cast<int>(schema.size()) &&
+         schema[slot].type == ValueType::kInt;
+}
+
 /// Per-statement planning state.
 class Planner {
  public:
@@ -166,6 +196,12 @@ class Planner {
               append->schema.size(), " vs ", plan->schema.size(), ")");
         }
         append->est_rows += plan->est_rows;
+        // Column types must agree across all members to stay known.
+        for (size_t c = 0; c < append->schema.size(); ++c) {
+          if (append->schema[c].type != plan->schema[c].type) {
+            append->schema[c].type = ValueType::kNull;
+          }
+        }
         append->children.push_back(std::move(plan));
       }
       current = std::move(append);
@@ -253,7 +289,21 @@ class Planner {
       node->literal_rows.push_back(std::move(values));
     }
     for (size_t c = 0; c < arity; ++c) {
-      node->schema.push_back({"", StrCat("c", c)});
+      // Infer the column type from the folded literals: a single storage
+      // class across all rows (NULLs are wildcards) types the column;
+      // anything mixed stays unknown.
+      ValueType type = ValueType::kNull;
+      for (const Row& row : node->literal_rows) {
+        const ValueType vt = TypeOf(row[c]);
+        if (vt == ValueType::kNull) continue;
+        if (type == ValueType::kNull) {
+          type = vt;
+        } else if (type != vt) {
+          type = ValueType::kNull;
+          break;
+        }
+      }
+      node->schema.push_back({"", StrCat("c", c), type});
     }
     node->est_rows = static_cast<double>(node->literal_rows.size());
     return node;
@@ -462,6 +512,15 @@ class Planner {
         }
       }
       join->predicate = CombineConjuncts(std::move(applicable));
+      // Typed fast path: every join key is a declared-int column on both
+      // sides (the shape of every einsum index equi-join).
+      join->typed_int_keys = !join->left_keys.empty();
+      for (size_t e = 0; e < join->left_keys.size(); ++e) {
+        join->typed_int_keys =
+            join->typed_int_keys &&
+            SlotIsInt(current->schema, join->left_keys[e]) &&
+            SlotIsInt(next.plan->schema, join->right_keys[e]);
+      }
       // Cardinality estimate.
       const double l = current->est_rows, r = next.plan->est_rows;
       join->est_rows = join->left_keys.empty() ? l * r : std::max(l, r);
@@ -527,14 +586,19 @@ class Planner {
     for (size_t i = 0; i < items.size(); ++i) {
       auto clone = items[i].expr->Clone();
       EINSQL_RETURN_IF_ERROR(BindExpr(clone.get(), current->schema));
+      const ValueType type = ExprPlanType(*clone, current->schema);
       shaped->exprs.push_back(std::move(clone));
       shaped->schema.push_back(
-          {"", OutputName(items[i], static_cast<int>(i))});
+          {"", OutputName(items[i], static_cast<int>(i)), type});
     }
     if (has_aggregate) {
+      shaped->typed_int_keys = !body.group_by.empty();
       for (const auto& group : body.group_by) {
         auto clone = group->Clone();
         EINSQL_RETURN_IF_ERROR(BindExpr(clone.get(), current->schema));
+        shaped->typed_int_keys =
+            shaped->typed_int_keys &&
+            ExprPlanType(*clone, current->schema) == ValueType::kInt;
         shaped->group_exprs.push_back(std::move(clone));
       }
       if (body.having) {
@@ -560,6 +624,11 @@ class Planner {
       auto distinct = std::make_unique<PlanNode>();
       distinct->kind = PlanKind::kDistinct;
       distinct->schema = current->schema;
+      distinct->typed_int_keys = !current->schema.empty();
+      for (const SchemaColumn& col : current->schema) {
+        distinct->typed_int_keys =
+            distinct->typed_int_keys && col.type == ValueType::kInt;
+      }
       distinct->est_rows = current->est_rows * 0.7;
       distinct->children.push_back(std::move(current));
       current = std::move(distinct);
@@ -588,7 +657,7 @@ class Planner {
       node->alias = ref.effective_alias();
       node->est_rows = static_cast<double>(table->num_rows());
       for (const Column& col : table->columns) {
-        node->schema.push_back({"", col.name});
+        node->schema.push_back({"", col.name, col.type});
       }
     }
     // Qualify every output column with the alias.

@@ -38,11 +38,34 @@ std::string OperatorProfile::ToString(int indent) const {
   } else if (kind == PlanKind::kAggregate) {
     os << ", groups=" << hash_entries;
   }
+  if (morsels > 0) {
+    os << ", threads=" << threads_used << ", morsels=" << morsels;
+  }
   os << ", err=" << ErrorFactor(est_error()) << ")\n";
   for (const OperatorProfile& child : children) {
     os << child.ToString(indent + 1);
   }
   return os.str();
+}
+
+namespace {
+
+int MaxThreads(const OperatorProfile& op) {
+  int max = op.threads_used;
+  for (const OperatorProfile& child : op.children) {
+    max = std::max(max, MaxThreads(child));
+  }
+  return max;
+}
+
+}  // namespace
+
+int QueryProfile::max_threads_used() const {
+  int max = MaxThreads(root);
+  for (const CteProfile& cte : ctes) {
+    max = std::max(max, MaxThreads(cte.root));
+  }
+  return max;
 }
 
 std::string QueryProfile::ToString() const {

@@ -27,6 +27,11 @@ struct OperatorProfile {
   int64_t hash_entries = 0;
   /// Inclusive wall time (operator plus its subtree).
   double wall_seconds = 0.0;
+  /// Worker threads this operator ran on (1 for sequential execution).
+  int threads_used = 1;
+  /// Input morsels processed by the morsel splitter; 0 when the operator
+  /// ran without it (sequential execution, or a non-morselized operator).
+  int64_t morsels = 0;
   std::vector<OperatorProfile> children;
 
   /// Cardinality q-error of the estimate: max(est, actual) / min(est,
@@ -55,6 +60,10 @@ struct QueryProfile {
   OperatorProfile root;
   /// Total ExecutePlan wall time.
   double exec_seconds = 0.0;
+
+  /// Maximum `threads_used` across all operators (CTE subtrees included):
+  /// the intra-operator parallelism the query actually exercised.
+  int max_threads_used() const;
 
   /// EXPLAIN ANALYZE text: the plan dump annotated with actual rows, wall
   /// time, and est-vs-actual error per operator.

@@ -192,4 +192,18 @@ size_t HashRowKey(const std::vector<Value>& key) {
   return h;
 }
 
+size_t HashIntKey(const int64_t* key, size_t n) {
+  // splitmix64-style finalizer per component, combined with the same
+  // polynomial scheme as HashRowKey.
+  uint64_t h = 0x345678u;
+  for (size_t k = 0; k < n; ++k) {
+    uint64_t x = static_cast<uint64_t>(key[k]) + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    h = h * 1000003u ^ x;
+  }
+  return static_cast<size_t>(h);
+}
+
 }  // namespace einsql::minidb

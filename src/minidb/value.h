@@ -61,6 +61,14 @@ size_t HashValue(const Value& v);
 /// Hash of a composite key.
 size_t HashRowKey(const std::vector<Value>& key);
 
+/// Hash of a packed all-integer composite key — the typed fast path for
+/// join/group/distinct keys whose columns are all declared `kInt` (einsum
+/// index columns). Mixes raw int64 values without the Value variant
+/// dispatch or the int-through-double normalization of HashValue; only
+/// valid when every key value really is an int64, which the executor
+/// verifies before switching to this path.
+size_t HashIntKey(const int64_t* key, size_t n);
+
 }  // namespace einsql::minidb
 
 #endif  // EINSQL_MINIDB_VALUE_H_

@@ -1,0 +1,176 @@
+// Determinism of morsel-driven parallel execution across all four
+// application domains (graphical models, #SAT, triple store, quantum
+// simulation): the full einsum pipeline must produce identical results —
+// every coordinate and every double bit-for-bit — when intra-operator
+// parallelism is toggled, and when the worker count changes at a fixed
+// morsel size.
+//
+// The two comparisons pin down the two halves of the contract:
+//   * sequential vs parallel (default morsel size): tier-1 workloads fit
+//     in one morsel, so turning parallelism on cannot change anything;
+//   * 1 thread vs 8 threads (tiny morsel size, many morsels): morsel
+//     boundaries fix the floating-point summation order, so the thread
+//     count never changes the result even when partial sums are merged.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "backends/einsum_engine.h"
+#include "backends/minidb_backend.h"
+#include "common/rng.h"
+#include "graphical/generator.h"
+#include "graphical/inference.h"
+#include "quantum/sycamore.h"
+#include "quantum/to_einsum.h"
+#include "sat/count.h"
+#include "sat/generator.h"
+#include "triplestore/generator.h"
+#include "triplestore/query.h"
+
+namespace einsql {
+namespace {
+
+struct EngineConfig {
+  bool parallel = false;
+  int threads = 0;
+  int64_t morsel_rows = 0;  // 0 = keep the default
+};
+
+struct ComparisonCase {
+  std::string name;
+  EngineConfig a;
+  EngineConfig b;
+};
+
+// The two contract checks described in the file comment.
+const std::vector<ComparisonCase>& Cases() {
+  static const std::vector<ComparisonCase> kCases = {
+      {"sequential_vs_parallel", {false, 0, 0}, {true, 8, 0}},
+      {"threads1_vs_8", {true, 1, 64}, {true, 8, 64}},
+  };
+  return kCases;
+}
+
+std::unique_ptr<MiniDbBackend> MakeBackend(const EngineConfig& config) {
+  auto backend = std::make_unique<MiniDbBackend>();
+  if (config.parallel) backend->set_threads(config.threads);
+  if (config.morsel_rows > 0) {
+    backend->database().executor_options().morsel_rows = config.morsel_rows;
+  }
+  return backend;
+}
+
+// Bit-exact COO equality: same nonzeros in the same order with the same
+// doubles (EXPECT_EQ on double is exact equality, not a tolerance).
+void ExpectSameTensor(const CooTensor& a, const CooTensor& b) {
+  ASSERT_EQ(a.nnz(), b.nnz());
+  ASSERT_EQ(a.rank(), b.rank());
+  for (int64_t k = 0; k < a.nnz(); ++k) {
+    for (int d = 0; d < a.rank(); ++d) {
+      EXPECT_EQ(a.raw_coords()[k * a.rank() + d],
+                b.raw_coords()[k * b.rank() + d])
+          << "entry " << k << " axis " << d;
+    }
+    EXPECT_EQ(a.ValueAt(k), b.ValueAt(k)) << "entry " << k;
+  }
+}
+
+void ExpectSameTensor(const ComplexCooTensor& a, const ComplexCooTensor& b) {
+  ASSERT_EQ(a.nnz(), b.nnz());
+  ASSERT_EQ(a.rank(), b.rank());
+  for (int64_t k = 0; k < a.nnz(); ++k) {
+    for (int d = 0; d < a.rank(); ++d) {
+      EXPECT_EQ(a.raw_coords()[k * a.rank() + d],
+                b.raw_coords()[k * b.rank() + d])
+          << "entry " << k << " axis " << d;
+    }
+    EXPECT_EQ(a.ValueAt(k).real(), b.ValueAt(k).real()) << "entry " << k;
+    EXPECT_EQ(a.ValueAt(k).imag(), b.ValueAt(k).imag()) << "entry " << k;
+  }
+}
+
+class DeterminismTest : public ::testing::TestWithParam<int> {
+ protected:
+  const ComparisonCase& Case() const { return Cases()[GetParam()]; }
+};
+
+TEST_P(DeterminismTest, GraphicalInference) {
+  auto model = graphical::BreastCancerLikeModel();
+  Rng rng(42);
+  auto query = graphical::RandomQuery(model, /*query_variable=*/0,
+                                      /*batch=*/8, &rng);
+  auto network = graphical::BuildInferenceNetwork(model, query).value();
+
+  auto backend_a = MakeBackend(Case().a);
+  auto backend_b = MakeBackend(Case().b);
+  SqlEinsumEngine engine_a(backend_a.get()), engine_b(backend_b.get());
+  auto result_a =
+      engine_a.EinsumSpecified(network.spec, network.operands(), {});
+  auto result_b =
+      engine_b.EinsumSpecified(network.spec, network.operands(), {});
+  ASSERT_TRUE(result_a.ok()) << result_a.status();
+  ASSERT_TRUE(result_b.ok()) << result_b.status();
+  ExpectSameTensor(*result_a, *result_b);
+}
+
+TEST_P(DeterminismTest, SatModelCounting) {
+  Rng rng(7);
+  auto formula = sat::RandomKSat(/*num_variables=*/12, /*num_clauses=*/30,
+                                 /*k=*/3, &rng);
+  auto backend_a = MakeBackend(Case().a);
+  auto backend_b = MakeBackend(Case().b);
+  SqlEinsumEngine engine_a(backend_a.get()), engine_b(backend_b.get());
+  auto count_a = sat::CountSolutionsEinsum(&engine_a, formula);
+  auto count_b = sat::CountSolutionsEinsum(&engine_b, formula);
+  ASSERT_TRUE(count_a.ok()) << count_a.status();
+  ASSERT_TRUE(count_b.ok()) << count_b.status();
+  EXPECT_EQ(*count_a, *count_b);  // exact, not a tolerance
+}
+
+TEST_P(DeterminismTest, TriplestoreGoldMedalQuery) {
+  triplestore::OlympicsOptions options;
+  options.num_athletes = 60;
+  options.results_per_athlete = 3;
+  options.num_games = 8;
+  options.num_events = 40;
+  auto store = triplestore::GenerateOlympics(options);
+  auto query = triplestore::GoldMedalQuery();
+
+  auto backend_a = MakeBackend(Case().a);
+  auto backend_b = MakeBackend(Case().b);
+  ASSERT_TRUE(store.LoadInto(backend_a.get()).ok());
+  ASSERT_TRUE(store.LoadInto(backend_b.get()).ok());
+  auto rows_a = triplestore::AnswerWithSql(backend_a.get(), store, query);
+  auto rows_b = triplestore::AnswerWithSql(backend_b.get(), store, query);
+  ASSERT_TRUE(rows_a.ok()) << rows_a.status();
+  ASSERT_TRUE(rows_b.ok()) << rows_b.status();
+  ASSERT_EQ(rows_a->size(), rows_b->size());
+  for (size_t k = 0; k < rows_a->size(); ++k) {
+    EXPECT_EQ((*rows_a)[k].term, (*rows_b)[k].term) << "row " << k;
+    EXPECT_EQ((*rows_a)[k].count, (*rows_b)[k].count) << "row " << k;
+  }
+}
+
+TEST_P(DeterminismTest, QuantumCircuitSimulation) {
+  auto circuit = quantum::SycamoreLikeCircuit(/*num_qubits=*/6, /*depth=*/4);
+  const std::vector<int> initial_bits(6, 0);
+
+  auto backend_a = MakeBackend(Case().a);
+  auto backend_b = MakeBackend(Case().b);
+  SqlEinsumEngine engine_a(backend_a.get()), engine_b(backend_b.get());
+  auto state_a = quantum::SimulateEinsum(&engine_a, circuit, initial_bits);
+  auto state_b = quantum::SimulateEinsum(&engine_b, circuit, initial_bits);
+  ASSERT_TRUE(state_a.ok()) << state_a.status();
+  ASSERT_TRUE(state_b.ok()) << state_b.status();
+  ExpectSameTensor(*state_a, *state_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Contracts, DeterminismTest,
+                         ::testing::Range(0, 2), [](const auto& info) {
+                           return Cases()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace einsql

@@ -1,0 +1,451 @@
+// Unit tests for morsel-driven intra-operator parallelism: morsel boundary
+// cases, accumulator merging, the typed int-key fast path (and its generic
+// fallback), the hash-based DISTINCT, LIMIT clamping, and the
+// threads/morsels runtime metrics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "minidb/database.h"
+
+namespace einsql::minidb {
+namespace {
+
+Relation RunSql(Database* db, std::string_view sql) {
+  auto result = db->Execute(sql);
+  EXPECT_TRUE(result.ok()) << result.status() << "\nSQL: " << sql;
+  return result.ok() ? result->relation : Relation{};
+}
+
+double D(const Value& v) { return AsDouble(v).value(); }
+int64_t I(const Value& v) { return AsInt(v).value(); }
+
+// Enables morsel parallelism with a tiny morsel size so even small test
+// inputs split into many morsels.
+void EnableParallel(Database* db, int threads = 4, int64_t morsel_rows = 2) {
+  db->executor_options().parallel_operators = true;
+  db->executor_options().num_threads = threads;
+  db->executor_options().morsel_rows = morsel_rows;
+}
+
+// Exact relation equality: same shape, every value identical (doubles
+// compared by value, not by tolerance).
+void ExpectSameRelation(const Relation& a, const Relation& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.rows[r], b.rows[r]) << "row " << r;
+  }
+}
+
+// Runs `sql` against a fresh database loaded by `load`, sequentially and
+// with parallel operators, and expects identical results.
+void ExpectParallelMatchesSequential(
+    const std::vector<std::string>& load, std::string_view sql,
+    int64_t morsel_rows = 2) {
+  Database sequential, parallel;
+  // Pin the baseline to sequential even when MINIDB_PARALLEL is set in the
+  // environment (the TSan CI job forces it on).
+  sequential.executor_options().parallel_operators = false;
+  EnableParallel(&parallel, /*threads=*/4, morsel_rows);
+  for (const std::string& statement : load) {
+    RunSql(&sequential, statement);
+    RunSql(&parallel, statement);
+  }
+  ExpectSameRelation(RunSql(&sequential, sql), RunSql(&parallel, sql));
+}
+
+// ---------------------------------------------------------------------
+// Morsel boundary cases
+// ---------------------------------------------------------------------
+
+TEST(MorselBoundaryTest, EmptyInput) {
+  ExpectParallelMatchesSequential(
+      {"CREATE TABLE t (i INT, val DOUBLE)"},
+      "SELECT i, val FROM t WHERE val > 0");
+}
+
+TEST(MorselBoundaryTest, SingleRow) {
+  ExpectParallelMatchesSequential(
+      {"CREATE TABLE t (i INT, val DOUBLE)",
+       "INSERT INTO t VALUES (7, 1.5)"},
+      "SELECT i, val * 2 FROM t WHERE val > 0");
+}
+
+TEST(MorselBoundaryTest, ExactlyOneMorsel) {
+  // Four input rows with morsel_rows=4: one morsel, begin/end at the edge.
+  ExpectParallelMatchesSequential(
+      {"CREATE TABLE t (i INT, val DOUBLE)",
+       "INSERT INTO t VALUES (0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)"},
+      "SELECT i, val FROM t WHERE i >= 1", /*morsel_rows=*/4);
+}
+
+TEST(MorselBoundaryTest, MorselRowsOne) {
+  ExpectParallelMatchesSequential(
+      {"CREATE TABLE t (i INT, val DOUBLE)",
+       "INSERT INTO t VALUES (0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0), "
+       "(4, 5.0)"},
+      "SELECT i + 1, val * val FROM t", /*morsel_rows=*/1);
+}
+
+TEST(MorselBoundaryTest, FilterPreservesInputOrder) {
+  Database db;
+  EnableParallel(&db);
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  RunSql(&db, "INSERT INTO t VALUES (5), (3), (9), (1), (7), (2), (8)");
+  Relation r = RunSql(&db, "SELECT i FROM t WHERE i > 2");
+  ASSERT_EQ(r.num_rows(), 5);
+  // Morsel-order concatenation keeps the sequential row order.
+  EXPECT_EQ(I(r.rows[0][0]), 5);
+  EXPECT_EQ(I(r.rows[1][0]), 3);
+  EXPECT_EQ(I(r.rows[2][0]), 9);
+  EXPECT_EQ(I(r.rows[3][0]), 7);
+  EXPECT_EQ(I(r.rows[4][0]), 8);
+}
+
+// ---------------------------------------------------------------------
+// Aggregation: accumulator merge across morsels
+// ---------------------------------------------------------------------
+
+TEST(AccumulatorMergeTest, EmptyInputGlobalAggregate) {
+  Database db;
+  EnableParallel(&db);
+  RunSql(&db, "CREATE TABLE t (i INT, val DOUBLE)");
+  Relation r = RunSql(&db,
+                      "SELECT COUNT(*), SUM(val), MIN(val), MAX(val), "
+                      "AVG(val) FROM t");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(I(r.rows[0][0]), 0);
+  EXPECT_TRUE(IsNull(r.rows[0][1]));
+  EXPECT_TRUE(IsNull(r.rows[0][2]));
+  EXPECT_TRUE(IsNull(r.rows[0][3]));
+  EXPECT_TRUE(IsNull(r.rows[0][4]));
+}
+
+TEST(AccumulatorMergeTest, NullsSkippedAcrossMorsels) {
+  // With morsel_rows=2 the NULL rows land in different morsels than the
+  // values; COUNT/SUM/AVG must skip them, COUNT(*) must not.
+  ExpectParallelMatchesSequential(
+      {"CREATE TABLE t (g INT, v INT)",
+       "INSERT INTO t VALUES (1, NULL), (1, 10), (2, NULL), (2, NULL), "
+       "(1, 20), (2, 5), (1, NULL), (2, 7)"},
+      "SELECT g, COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v), AVG(v) "
+      "FROM t GROUP BY g ORDER BY g");
+  Database db;
+  EnableParallel(&db);
+  RunSql(&db, "CREATE TABLE t (g INT, v INT)");
+  RunSql(&db,
+         "INSERT INTO t VALUES (1, NULL), (1, 10), (2, NULL), (2, NULL), "
+         "(1, 20), (2, 5), (1, NULL), (2, 7)");
+  Relation r = RunSql(&db,
+                      "SELECT g, COUNT(*), COUNT(v), SUM(v) FROM t "
+                      "GROUP BY g ORDER BY g");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(I(r.rows[0][1]), 4);
+  EXPECT_EQ(I(r.rows[0][2]), 2);
+  EXPECT_EQ(I(r.rows[0][3]), 30);
+  EXPECT_EQ(I(r.rows[1][3]), 12);
+}
+
+TEST(AccumulatorMergeTest, IntToDoublePromotionAcrossMorsels) {
+  // The first morsels sum ints, a later one hits a double: the merged sum
+  // must promote exactly like the sequential row-at-a-time fold.
+  Database db;
+  EnableParallel(&db, /*threads=*/4, /*morsel_rows=*/2);
+  RunSql(&db, "CREATE TABLE t (v DOUBLE)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (2), (3), (4), (5), (0.5)");
+  Relation r = RunSql(&db, "SELECT SUM(v) FROM t");
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(TypeOf(r.rows[0][0]), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(D(r.rows[0][0]), 15.5);
+  // All-int stays an int sum even when split across morsels.
+  Relation s = RunSql(&db, "SELECT SUM(v) FROM t WHERE v > 0.6");
+  EXPECT_EQ(TypeOf(s.rows[0][0]), ValueType::kInt);
+  EXPECT_EQ(I(s.rows[0][0]), 15);
+}
+
+TEST(AccumulatorMergeTest, GroupOrderIsFirstOccurrence) {
+  // Merging morsel tables in morsel order must reproduce the global
+  // first-occurrence group order of sequential execution.
+  Database db;
+  EnableParallel(&db, /*threads=*/4, /*morsel_rows=*/2);
+  RunSql(&db, "CREATE TABLE t (g INT)");
+  RunSql(&db, "INSERT INTO t VALUES (3), (1), (4), (1), (5), (3), (2)");
+  Relation r = RunSql(&db, "SELECT g, COUNT(*) FROM t GROUP BY g");
+  ASSERT_EQ(r.num_rows(), 5);
+  EXPECT_EQ(I(r.rows[0][0]), 3);
+  EXPECT_EQ(I(r.rows[1][0]), 1);
+  EXPECT_EQ(I(r.rows[2][0]), 4);
+  EXPECT_EQ(I(r.rows[3][0]), 5);
+  EXPECT_EQ(I(r.rows[4][0]), 2);
+}
+
+TEST(AccumulatorMergeTest, HavingAndNullGroupKeys) {
+  // NULL group keys must group together (forcing the typed fallback), and
+  // HAVING runs after the merge.
+  ExpectParallelMatchesSequential(
+      {"CREATE TABLE t (g INT, v INT)",
+       "INSERT INTO t VALUES (NULL, 1), (1, 2), (NULL, 3), (1, 4), "
+       "(2, 5), (NULL, 6)"},
+      "SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) > 5");
+}
+
+// ---------------------------------------------------------------------
+// Joins: parallel probe, typed fast path, generic fallback
+// ---------------------------------------------------------------------
+
+TEST(ParallelJoinTest, HashJoinMatchesSequential) {
+  ExpectParallelMatchesSequential(
+      {"CREATE TABLE a (i INT, j INT, val DOUBLE)",
+       "CREATE TABLE b (j INT, k INT, val DOUBLE)",
+       "INSERT INTO a VALUES (0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), "
+       "(1, 1, 4.0), (2, 2, 5.0), (3, 9, 6.0)",
+       "INSERT INTO b VALUES (0, 0, 10.0), (0, 1, 20.0), (1, 0, 30.0), "
+       "(2, 1, 40.0)"},
+      "SELECT a.i, b.k, a.val * b.val FROM a, b WHERE a.j = b.j");
+}
+
+TEST(ParallelJoinTest, JoinOutputOrderDeterministic) {
+  Database db;
+  EnableParallel(&db);
+  RunSql(&db, "CREATE TABLE a (i INT)");
+  RunSql(&db, "CREATE TABLE b (i INT, tag INT)");
+  RunSql(&db, "INSERT INTO a VALUES (2), (1), (2), (3), (1), (2)");
+  RunSql(&db, "INSERT INTO b VALUES (1, 100), (2, 200), (2, 201), (3, 300)");
+  Relation r = RunSql(&db,
+                      "SELECT a.i, b.tag FROM a, b WHERE a.i = b.i");
+  ASSERT_EQ(r.num_rows(), 9);
+  // Probe order (probe-side input order), build order within a key. The
+  // optimizer probes with b here, so rows follow b's input order.
+  const int64_t expected[] = {100, 100, 200, 200, 200, 201, 201, 201, 300};
+  for (int64_t r_idx = 0; r_idx < 9; ++r_idx) {
+    EXPECT_EQ(I(r.rows[r_idx][1]), expected[r_idx]) << "row " << r_idx;
+  }
+}
+
+TEST(ParallelJoinTest, NullKeysNeverJoin) {
+  ExpectParallelMatchesSequential(
+      {"CREATE TABLE a (i INT)", "CREATE TABLE b (i INT)",
+       "INSERT INTO a VALUES (1), (NULL), (2), (NULL)",
+       "INSERT INTO b VALUES (NULL), (1), (2)"},
+      "SELECT a.i, b.i FROM a, b WHERE a.i = b.i");
+}
+
+TEST(ParallelJoinTest, CrossJoinMatchesSequential) {
+  ExpectParallelMatchesSequential(
+      {"CREATE TABLE a (i INT)", "CREATE TABLE b (j INT)",
+       "INSERT INTO a VALUES (0), (1), (2), (3), (4)",
+       "INSERT INTO b VALUES (10), (20), (30)"},
+      "SELECT a.i, b.j FROM a, b");
+}
+
+TEST(ParallelJoinTest, TypedFallbackOnDoubleInIntColumn) {
+  // MiniDB is dynamically typed at storage: a double can land in a
+  // declared-INT key column via BulkInsert, and 1.0 must still join with
+  // 1. The typed path detects the mismatch at runtime and the operator
+  // redoes the work generically.
+  for (const bool parallel : {false, true}) {
+    Database db;
+    if (parallel) EnableParallel(&db);
+    RunSql(&db, "CREATE TABLE a (i INT, atag INT)");
+    RunSql(&db, "CREATE TABLE b (i INT, btag INT)");
+    ASSERT_TRUE(db.BulkInsert("a", {{Value(int64_t{1}), Value(int64_t{11})},
+                                    {Value(2.0), Value(int64_t{12})},
+                                    {Value(int64_t{3}), Value(int64_t{13})}})
+                    .ok());
+    ASSERT_TRUE(db.BulkInsert("b", {{Value(1.0), Value(int64_t{21})},
+                                    {Value(int64_t{2}), Value(int64_t{22})}})
+                    .ok());
+    Relation r = RunSql(
+        &db, "SELECT a.atag, b.btag FROM a, b WHERE a.i = b.i ORDER BY a.atag");
+    ASSERT_EQ(r.num_rows(), 2) << (parallel ? "parallel" : "sequential");
+    EXPECT_EQ(I(r.rows[0][0]), 11);
+    EXPECT_EQ(I(r.rows[0][1]), 21);
+    EXPECT_EQ(I(r.rows[1][0]), 12);
+    EXPECT_EQ(I(r.rows[1][1]), 22);
+  }
+}
+
+TEST(ParallelJoinTest, TypedGroupByFallbackOnDoubleKey) {
+  for (const bool parallel : {false, true}) {
+    Database db;
+    if (parallel) EnableParallel(&db);
+    RunSql(&db, "CREATE TABLE t (g INT, v INT)");
+    // 1 and 1.0 are the same group under SQL numeric equality.
+    ASSERT_TRUE(db.BulkInsert("t", {{Value(int64_t{1}), Value(int64_t{5})},
+                                    {Value(1.0), Value(int64_t{6})},
+                                    {Value(int64_t{2}), Value(int64_t{7})}})
+                    .ok());
+    Relation r =
+        RunSql(&db, "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g");
+    ASSERT_EQ(r.num_rows(), 2) << (parallel ? "parallel" : "sequential");
+    EXPECT_EQ(I(r.rows[0][1]), 11);
+    EXPECT_EQ(I(r.rows[1][1]), 7);
+  }
+}
+
+// ---------------------------------------------------------------------
+// LIMIT: parser rejection and executor clamping
+// ---------------------------------------------------------------------
+
+TEST(LimitTest, NegativeLimitRejectedByParser) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  auto result = db.Execute("SELECT i FROM t LIMIT -1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("LIMIT must be non-negative"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(LimitTest, ExecutorClampsOutOfRangeLimit) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (2), (3)");
+  // LIMIT larger than the input returns everything.
+  EXPECT_EQ(RunSql(&db, "SELECT i FROM t LIMIT 99").num_rows(), 3);
+  EXPECT_EQ(RunSql(&db, "SELECT i FROM t LIMIT 0").num_rows(), 0);
+  // A plan constructed with a negative limit (bypassing the parser) is
+  // clamped instead of forming an invalid iterator range.
+  auto plan = db.Prepare("SELECT i FROM t LIMIT 2");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  PlanNode* node = plan->root.get();
+  while (node != nullptr && node->kind != PlanKind::kLimit) {
+    node = node->children.empty() ? nullptr : node->children[0].get();
+  }
+  ASSERT_NE(node, nullptr);
+  node->limit = -5;
+  auto result = db.ExecutePrepared(*plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->relation.num_rows(), 0);
+}
+
+// ---------------------------------------------------------------------
+// DISTINCT: hash-based duplicate elimination
+// ---------------------------------------------------------------------
+
+TEST(DistinctTest, FirstOccurrenceOrder) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  RunSql(&db, "INSERT INTO t VALUES (3), (1), (3), (2), (1), (3)");
+  Relation r = RunSql(&db, "SELECT DISTINCT i FROM t");
+  ASSERT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(I(r.rows[0][0]), 3);
+  EXPECT_EQ(I(r.rows[1][0]), 1);
+  EXPECT_EQ(I(r.rows[2][0]), 2);
+}
+
+TEST(DistinctTest, NullsAreDuplicates) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  RunSql(&db, "INSERT INTO t VALUES (NULL), (1), (NULL), (1), (NULL)");
+  Relation r = RunSql(&db, "SELECT DISTINCT i FROM t");
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_TRUE(IsNull(r.rows[0][0]));
+  EXPECT_EQ(I(r.rows[1][0]), 1);
+}
+
+TEST(DistinctTest, IntAndDoubleAreEqualKeys) {
+  // 1 and 1.0 dedup to one row, even in a declared-INT column (typed-path
+  // fallback).
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  ASSERT_TRUE(db.BulkInsert("t", {{Value(int64_t{1})},
+                                  {Value(1.0)},
+                                  {Value(int64_t{2})}})
+                  .ok());
+  Relation r = RunSql(&db, "SELECT DISTINCT i FROM t");
+  EXPECT_EQ(r.num_rows(), 2);
+}
+
+TEST(DistinctTest, MultiColumnTypedKeys) {
+  Database db;
+  RunSql(&db, "CREATE TABLE t (i INT, j INT)");
+  RunSql(&db,
+         "INSERT INTO t VALUES (1, 1), (1, 2), (1, 1), (2, 1), (2, 1), "
+         "(1, 2)");
+  Relation r = RunSql(&db, "SELECT DISTINCT i, j FROM t");
+  ASSERT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(I(r.rows[0][0]), 1);
+  EXPECT_EQ(I(r.rows[0][1]), 1);
+  EXPECT_EQ(I(r.rows[1][1]), 2);
+  EXPECT_EQ(I(r.rows[2][0]), 2);
+}
+
+// ---------------------------------------------------------------------
+// Runtime metrics: threads/morsels in profiles and EXPLAIN ANALYZE
+// ---------------------------------------------------------------------
+
+TEST(ParallelMetricsTest, ProfileRecordsThreadsAndMorsels) {
+  Database db;
+  EnableParallel(&db, /*threads=*/3, /*morsel_rows=*/2);
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (2), (3), (4), (5), (6)");
+  RunSql(&db, "SELECT i FROM t WHERE i > 0");
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->max_threads_used(), 3);
+  // Project over Filter: both morselized, 6 rows / 2 per morsel = 3.
+  EXPECT_EQ(profile->root.morsels, 3);
+  EXPECT_EQ(profile->root.threads_used, 3);
+}
+
+TEST(ParallelMetricsTest, SequentialProfileReportsOneThread) {
+  Database db;
+  db.executor_options().parallel_operators = false;  // defeat MINIDB_PARALLEL
+  db.executor_options().parallel_ctes = false;
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (2), (3)");
+  RunSql(&db, "SELECT i FROM t WHERE i > 1");
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->max_threads_used(), 1);
+  // Sequential execution never records morsels, so EXPLAIN ANALYZE output
+  // is unchanged from pre-parallelism builds.
+  EXPECT_EQ(profile->root.morsels, 0);
+}
+
+TEST(ParallelMetricsTest, ExplainAnalyzeShowsThreads) {
+  Database db;
+  EnableParallel(&db, /*threads=*/2, /*morsel_rows=*/2);
+  RunSql(&db, "CREATE TABLE t (i INT)");
+  RunSql(&db, "INSERT INTO t VALUES (1), (2), (3), (4)");
+  Relation r = RunSql(&db, "EXPLAIN ANALYZE SELECT i FROM t WHERE i > 1");
+  std::string dump;
+  for (const Row& row : r.rows) {
+    dump += std::get<std::string>(row[0]);
+    dump += "\n";
+  }
+  EXPECT_NE(dump.find("threads=2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("morsels=2"), std::string::npos) << dump;
+}
+
+// ---------------------------------------------------------------------
+// Thread-count invariance: results are a function of morsel_rows only
+// ---------------------------------------------------------------------
+
+TEST(ThreadInvarianceTest, SameResultForOneAndManyThreads) {
+  auto run = [](int threads) {
+    Database db;
+    EnableParallel(&db, threads, /*morsel_rows=*/3);
+    RunSql(&db, "CREATE TABLE t (g INT, v DOUBLE)");
+    RunSql(&db,
+           "INSERT INTO t VALUES (0, 0.1), (1, 0.2), (0, 0.3), (1, 0.4), "
+           "(0, 0.5), (1, 0.6), (0, 0.7), (1, 0.8), (0, 0.9), (1, 1.1), "
+           "(0, 1.3), (1, 1.7)");
+    return RunSql(&db,
+                  "SELECT g, SUM(v), AVG(v), MIN(v), MAX(v) FROM t "
+                  "GROUP BY g");
+  };
+  Relation one = run(1);
+  Relation eight = run(8);
+  ASSERT_EQ(one.num_rows(), eight.num_rows());
+  for (int64_t r = 0; r < one.num_rows(); ++r) {
+    EXPECT_EQ(one.rows[r], eight.rows[r]) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace einsql::minidb

@@ -8,10 +8,17 @@
 //
 // Dot commands (on their own line, no semicolon):
 //   .timer on|off   toggle the "-- ok (...)" timing footer (default on)
+//   .threads N      run subsequent queries with morsel-driven parallelism
+//                   on N worker threads (0 = hardware concurrency, off =
+//                   back to sequential execution)
 //
 // Usage:
 //   minidb_shell [--optimizer=none|greedy|aggressive|exhaustive]
-//                [--explain] [--trace=<file>.json] [file.sql ...]
+//                [--explain] [--threads=N] [--trace=<file>.json]
+//                [file.sql ...]
+//
+// --threads enables intra-operator parallelism from the first statement;
+// for a fixed morsel size results are identical to sequential execution.
 //
 // --trace writes a Chrome trace_event JSON file covering every statement
 // (parse/plan/execute phases, per-CTE materialization, per-operator spans);
@@ -24,6 +31,7 @@
 //   SELECT i, SUM(val) FROM A GROUP BY i;
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -83,6 +91,8 @@ std::vector<ScriptItem> SplitScript(const std::string& script) {
 int Run(int argc, char** argv) {
   PlannerOptions options;
   bool explain = false;
+  bool use_threads = false;
+  int threads = 0;
   std::string trace_file;
   std::vector<std::string> files;
   for (int a = 1; a < argc; ++a) {
@@ -99,6 +109,9 @@ int Run(int argc, char** argv) {
       explain = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_file = arg.substr(8);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+      use_threads = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -127,6 +140,15 @@ int Run(int argc, char** argv) {
   }
 
   Database db(options);
+  // Applies a thread setting to the executor: "off" restores sequential
+  // execution, a number enables morsel-driven parallelism (0 = hardware
+  // concurrency). Shared by --threads and .threads.
+  auto apply_threads = [&db](bool on, int n) {
+    db.executor_options().parallel_operators = on;
+    db.executor_options().parallel_ctes = on;
+    db.executor_options().num_threads = on ? n : 0;
+  };
+  if (use_threads) apply_threads(true, threads);
   Trace trace;
   if (!trace_file.empty()) db.set_trace(&trace);
   bool timer = true;
@@ -138,6 +160,12 @@ int Run(int argc, char** argv) {
       in >> command >> argument;
       if (command == ".timer") {
         timer = argument != "off";
+      } else if (command == ".threads") {
+        if (argument == "off") {
+          apply_threads(false, 0);
+        } else {
+          apply_threads(true, std::atoi(argument.c_str()));
+        }
       } else {
         std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
         ++failures;
