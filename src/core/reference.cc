@@ -15,6 +15,12 @@ Result<Dense<V>> ReferenceEinsum(const EinsumSpec& spec,
   EINSQL_ASSIGN_OR_RETURN(Shape out_shape, OutputShape(spec, extents));
   EINSQL_ASSIGN_OR_RETURN(Dense<V> out, Dense<V>::Zeros(out_shape));
 
+  // A degenerate (size-0) index makes the joint index space empty: nothing
+  // is summed, the output stays all zeros (and may itself be empty).
+  for (const auto& [c, extent] : extents) {
+    if (extent == 0) return out;
+  }
+
   // Enumerate all distinct index characters; the joint assignment is an
   // odometer over their extents.
   std::vector<Label> chars;

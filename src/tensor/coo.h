@@ -136,8 +136,10 @@ class Coo {
   }
 
   /// Fraction of non-zero entries relative to the dense element count.
+  /// A tensor with a degenerate (size-0) axis has density 0.
   Result<double> Density() const {
     EINSQL_ASSIGN_OR_RETURN(int64_t total, NumElements(shape_));
+    if (total == 0) return 0.0;
     return static_cast<double>(nnz()) / static_cast<double>(total);
   }
 

@@ -9,9 +9,15 @@ namespace einsql {
 Result<int64_t> NumElements(const Shape& shape) {
   int64_t total = 1;
   for (int64_t extent : shape) {
-    if (extent <= 0) {
-      return Status::InvalidArgument("non-positive axis extent in shape ",
+    if (extent < 0) {
+      return Status::InvalidArgument("negative axis extent in shape ",
                                      ShapeToString(shape));
+    }
+    if (extent == 0) {
+      // A degenerate axis yields an empty tensor; keep scanning so negative
+      // extents elsewhere in the shape are still rejected.
+      total = 0;
+      continue;
     }
     if (total > std::numeric_limits<int64_t>::max() / extent) {
       return Status::OutOfRange("shape ", ShapeToString(shape),

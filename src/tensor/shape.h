@@ -12,8 +12,9 @@ namespace einsql {
 /// A tensor shape: the extent of each axis. A scalar has an empty shape.
 using Shape = std::vector<int64_t>;
 
-/// Number of elements in a dense tensor of this shape (1 for a scalar).
-/// Returns an error on overflow or on a non-positive extent.
+/// Number of elements in a dense tensor of this shape (1 for a scalar, 0
+/// when any axis is degenerate). Returns an error on overflow or on a
+/// negative extent.
 Result<int64_t> NumElements(const Shape& shape);
 
 /// Row-major strides for `shape` (empty for a scalar).

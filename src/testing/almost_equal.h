@@ -1,0 +1,174 @@
+#ifndef EINSQL_TESTING_ALMOST_EQUAL_H_
+#define EINSQL_TESTING_ALMOST_EQUAL_H_
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "tensor/coo.h"
+#include "tensor/dense.h"
+
+namespace einsql::testing {
+
+/// Centralized numeric comparison policy for every differential and unit
+/// test in the repository. Two floating point pipelines that sum the same
+/// products in different orders (SQL GROUP BY vs. dense GEMM vs. sparse
+/// hash aggregation) legitimately differ by a few ULPs per accumulation —
+/// and by far more after catastrophic cancellation — so tests must never
+/// hand-roll a bare epsilon. Values compare equal when ANY of the three
+/// criteria holds:
+///   - absolute:  |a - b| <= abs_tolerance   (anchors comparisons near 0)
+///   - relative:  |a - b| <= rel_tolerance * max(|a|, |b|)
+///   - ULP:       a and b are within max_ulps representable doubles
+struct Tolerance {
+  double abs_tolerance = 1e-9;
+  double rel_tolerance = 1e-9;
+  int64_t max_ulps = 16;
+};
+
+/// Distance in representable doubles between a and b; a large sentinel for
+/// NaNs or mismatched signs (ULP distance across 0 is meaningless — the
+/// absolute criterion covers that region).
+inline int64_t UlpDistance(double a, double b) {
+  constexpr int64_t kFar = std::numeric_limits<int64_t>::max();
+  if (std::isnan(a) || std::isnan(b)) return kFar;
+  if (a == b) return 0;  // covers +0 vs -0
+  if (std::signbit(a) != std::signbit(b)) return kFar;
+  int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+/// True iff `a` and `b` agree under `tolerance` (see the criteria above).
+inline bool AlmostEqual(double a, double b, const Tolerance& tolerance = {}) {
+  if (a == b) return true;
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (std::isinf(a) || std::isinf(b)) return false;  // == handled both-inf
+  const double diff = std::abs(a - b);
+  if (diff <= tolerance.abs_tolerance) return true;
+  const double scale = std::max(std::abs(a), std::abs(b));
+  if (diff <= tolerance.rel_tolerance * scale) return true;
+  return UlpDistance(a, b) <= tolerance.max_ulps;
+}
+
+/// Complex values agree iff both components do.
+inline bool AlmostEqual(const std::complex<double>& a,
+                        const std::complex<double>& b,
+                        const Tolerance& tolerance = {}) {
+  return AlmostEqual(a.real(), b.real(), tolerance) &&
+         AlmostEqual(a.imag(), b.imag(), tolerance);
+}
+
+/// Entry-wise COO comparison under `tolerance`: shapes must match exactly;
+/// coordinates absent from one side compare as zero. When `mismatch` is
+/// non-null and the tensors differ, it receives a human-readable description
+/// of the first diverging entry.
+template <typename V>
+bool AllCloseTol(const Coo<V>& a, const Coo<V>& b,
+                 const Tolerance& tolerance = {},
+                 std::string* mismatch = nullptr) {
+  auto describe = [&](const std::vector<int64_t>& coords, V va, V vb) {
+    if (mismatch == nullptr) return;
+    std::string at = "(";
+    for (size_t d = 0; d < coords.size(); ++d) {
+      if (d > 0) at += ",";
+      at += std::to_string(coords[d]);
+    }
+    at += ")";
+    std::ostringstream os;
+    os << "value mismatch at " << at << ": " << va << " vs " << vb;
+    *mismatch = os.str();
+  };
+  if (a.shape() != b.shape()) {
+    if (mismatch != nullptr) {
+      *mismatch = "shape mismatch: " + ShapeToString(a.shape()) + " vs " +
+                  ShapeToString(b.shape());
+    }
+    return false;
+  }
+  Coo<V> ca = a, cb = b;
+  ca.Coalesce();
+  cb.Coalesce();
+  const int r = ca.rank();
+  auto cmp = [&](int64_t ka, int64_t kb) {
+    for (int d = 0; d < r; ++d) {
+      const int64_t va = ca.raw_coords()[ka * r + d];
+      const int64_t vb = cb.raw_coords()[kb * r + d];
+      if (va != vb) return va < vb ? -1 : 1;
+    }
+    return 0;
+  };
+  int64_t ia = 0, ib = 0;
+  while (ia < ca.nnz() && ib < cb.nnz()) {
+    const int c = cmp(ia, ib);
+    if (c == 0) {
+      if (!AlmostEqual(ca.ValueAt(ia), cb.ValueAt(ib), tolerance)) {
+        describe(ca.CoordsAt(ia), ca.ValueAt(ia), cb.ValueAt(ib));
+        return false;
+      }
+      ++ia, ++ib;
+    } else if (c < 0) {
+      if (!AlmostEqual(ca.ValueAt(ia), V(0), tolerance)) {
+        describe(ca.CoordsAt(ia), ca.ValueAt(ia), V(0));
+        return false;
+      }
+      ++ia;
+    } else {
+      if (!AlmostEqual(cb.ValueAt(ib), V(0), tolerance)) {
+        describe(cb.CoordsAt(ib), V(0), cb.ValueAt(ib));
+        return false;
+      }
+      ++ib;
+    }
+  }
+  for (; ia < ca.nnz(); ++ia) {
+    if (!AlmostEqual(ca.ValueAt(ia), V(0), tolerance)) {
+      describe(ca.CoordsAt(ia), ca.ValueAt(ia), V(0));
+      return false;
+    }
+  }
+  for (; ib < cb.nnz(); ++ib) {
+    if (!AlmostEqual(cb.ValueAt(ib), V(0), tolerance)) {
+      describe(cb.CoordsAt(ib), V(0), cb.ValueAt(ib));
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Element-wise dense comparison under the same policy. When `mismatch` is
+/// non-null and the tensors differ, it receives the flat index and values of
+/// the first diverging element.
+template <typename V>
+bool AllCloseTol(const Dense<V>& a, const Dense<V>& b,
+                 const Tolerance& tolerance = {},
+                 std::string* mismatch = nullptr) {
+  if (a.shape() != b.shape()) {
+    if (mismatch != nullptr) {
+      *mismatch = "shape mismatch: " + ShapeToString(a.shape()) + " vs " +
+                  ShapeToString(b.shape());
+    }
+    return false;
+  }
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (!AlmostEqual(a[i], b[i], tolerance)) {
+      if (mismatch != nullptr) {
+        std::ostringstream os;
+        os << "value mismatch at flat index " << i << ": " << a[i] << " vs "
+           << b[i];
+        *mismatch = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace einsql::testing
+
+#endif  // EINSQL_TESTING_ALMOST_EQUAL_H_

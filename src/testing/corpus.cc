@@ -1,0 +1,55 @@
+#include "testing/corpus.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace einsql::testing {
+
+Result<std::vector<EinsumInstance>> ParseCorpus(std::string_view text) {
+  std::vector<EinsumInstance> instances;
+  int line_number = 0;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto instance = EinsumInstance::Deserialize(trimmed);
+    if (!instance.ok()) {
+      return Status::ParseError("corpus line ", line_number, ": ",
+                                instance.status().ToString());
+    }
+    instances.push_back(std::move(instance).value());
+  }
+  return instances;
+}
+
+Result<std::vector<EinsumInstance>> LoadCorpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open corpus file '", path, "'");
+  std::ostringstream content;
+  content << in.rdbuf();
+  return ParseCorpus(content.str());
+}
+
+Status SaveCorpus(const std::string& path,
+                  const std::vector<EinsumInstance>& instances,
+                  const std::string& header_comment) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write corpus file '", path, "'");
+  if (!header_comment.empty()) {
+    for (const std::string& line : Split(header_comment, '\n')) {
+      out << "# " << line << "\n";
+    }
+  }
+  for (const EinsumInstance& instance : instances) {
+    out << instance.Serialize() << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to '", path, "' failed");
+  return Status::OK();
+}
+
+}  // namespace einsql::testing

@@ -1,0 +1,27 @@
+#ifndef EINSQL_TESTING_CORPUS_H_
+#define EINSQL_TESTING_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "testing/instance.h"
+
+namespace einsql::testing {
+
+/// Loads a corpus file: one serialized instance per line (see
+/// EinsumInstance::Serialize), '#' comment lines and blank lines ignored.
+/// Fails on the first malformed line, naming its line number.
+Result<std::vector<EinsumInstance>> LoadCorpus(const std::string& path);
+
+/// Parses corpus-format text that is already in memory.
+Result<std::vector<EinsumInstance>> ParseCorpus(std::string_view text);
+
+/// Writes instances in corpus format, with a leading comment header.
+Status SaveCorpus(const std::string& path,
+                  const std::vector<EinsumInstance>& instances,
+                  const std::string& header_comment = "");
+
+}  // namespace einsql::testing
+
+#endif  // EINSQL_TESTING_CORPUS_H_

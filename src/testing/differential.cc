@@ -1,0 +1,265 @@
+#include "testing/differential.h"
+
+#include <optional>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace einsql::testing {
+
+namespace {
+
+template <typename V>
+const std::vector<Coo<V>>& TensorsOf(const EinsumInstance& instance);
+
+template <>
+const std::vector<Coo<double>>& TensorsOf(const EinsumInstance& instance) {
+  return instance.real_tensors;
+}
+
+template <>
+const std::vector<Coo<std::complex<double>>>& TensorsOf(
+    const EinsumInstance& instance) {
+  return instance.complex_tensors;
+}
+
+template <typename V>
+std::vector<const Coo<V>*> Pointers(const std::vector<Coo<V>>& tensors) {
+  std::vector<const Coo<V>*> ptrs;
+  ptrs.reserve(tensors.size());
+  for (const Coo<V>& t : tensors) ptrs.push_back(&t);
+  return ptrs;
+}
+
+template <typename V>
+Result<Coo<V>> Eval(Oracle* oracle, const ContractionProgram& program,
+                    const std::vector<const Coo<V>*>& tensors,
+                    const EinsumOptions& options) {
+  if constexpr (std::is_same_v<V, double>) {
+    return oracle->EvalReal(program, tensors, options);
+  } else {
+    return oracle->EvalComplex(program, tensors, options);
+  }
+}
+
+template <typename V>
+Coo<V> MapValues(const Coo<V>& tensor, V factor, bool conjugate) {
+  Coo<V> out(tensor.shape());
+  const int r = tensor.rank();
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    V value = tensor.ValueAt(k);
+    if constexpr (!std::is_same_v<V, double>) {
+      if (conjugate) value = std::conj(value);
+    }
+    (void)out.Append(std::vector<int64_t>(
+                         tensor.raw_coords().begin() + k * r,
+                         tensor.raw_coords().begin() + (k + 1) * r),
+                     value * factor);
+  }
+  return out;
+}
+
+// Flat (single-SELECT) queries cross-join every operand; beyond a handful
+// of tensors that is intentionally catastrophic, so the flat variant is
+// only cross-checked on small instances.
+constexpr int kMaxFlatOperands = 6;
+// kOptimal (exact DP) and kBranch (branch-and-bound) do not scale past the
+// opt_einsum operand limit; larger instances skip them by design.
+constexpr int kMaxExactPathOperands = 16;
+
+template <typename V>
+void CheckTyped(const EinsumInstance& instance,
+                const std::vector<Oracle*>& oracles,
+                const DifferentialOptions& options, CheckReport* report) {
+  const std::vector<Coo<V>>& tensors = TensorsOf<V>(instance);
+  const std::vector<const Coo<V>*> ptrs = Pointers(tensors);
+  const std::vector<Shape> shapes = instance.shapes();
+  const int n = instance.num_operands();
+
+  std::optional<Coo<V>> baseline;
+  std::string baseline_desc = "<none>";
+
+  auto run_pass = [&](const ContractionProgram& program,
+                      const EinsumOptions& eopts, PathAlgorithm path,
+                      const char* variant) {
+    for (Oracle* oracle : oracles) {
+      if (!oracle->Supports(instance)) {
+        ++report->skips;
+        continue;
+      }
+      Result<Coo<V>> got = Eval<V>(oracle, program, ptrs, eopts);
+      ++report->evaluations;
+      if (!got.ok()) {
+        if (oracle->MayRefuse(got.status())) {
+          ++report->skips;
+          continue;
+        }
+        report->divergences.push_back(
+            {oracle->name(), baseline_desc, "status",
+             StrCat(variant, ": ", got.status().ToString()), path});
+        continue;
+      }
+      if (!baseline.has_value()) {
+        baseline = std::move(got).value();
+        baseline_desc = StrCat(oracle->name(), "/",
+                               PathAlgorithmToString(path));
+        continue;
+      }
+      std::string mismatch;
+      if (!AllCloseTol(*got, *baseline, options.tolerance, &mismatch)) {
+        report->divergences.push_back(
+            {oracle->name(), baseline_desc, "value",
+             StrCat(variant, ": ", mismatch), path});
+      }
+    }
+  };
+
+  bool first_path = true;
+  for (PathAlgorithm path : options.paths) {
+    if (n > kMaxExactPathOperands &&
+        (path == PathAlgorithm::kOptimal || path == PathAlgorithm::kBranch)) {
+      continue;
+    }
+    auto program = BuildProgram(instance.spec, shapes, path);
+    if (!program.ok()) {
+      report->divergences.push_back(
+          {"<planner>", baseline_desc, "plan",
+           program.status().ToString(), path});
+      continue;
+    }
+    EinsumOptions eopts;
+    eopts.path = path;
+    run_pass(*program, eopts, path, "decomposed");
+    if (first_path) {
+      // Variant passes ride on the first path only: the flat §3.2 query and
+      // the no-simplify form (redundant SUM/GROUP BY kept).
+      if (options.check_flat && n <= kMaxFlatOperands &&
+          !(instance.complex_values && n > 2)) {
+        EinsumOptions flat = eopts;
+        flat.decompose = false;
+        run_pass(*program, flat, path, "flat");
+      }
+      EinsumOptions no_simplify = eopts;
+      no_simplify.simplify = false;
+      run_pass(*program, no_simplify, path, "no-simplify");
+      first_path = false;
+    }
+  }
+
+  if (!baseline.has_value() || !options.metamorphic) return;
+
+  // Metamorphic subjects: one backend-less engine of each family. They are
+  // cheap, deterministic, and already cross-checked against the SQL oracles
+  // above, so a metamorphic divergence localizes to the property itself.
+  DenseEinsumEngine dense;
+  SparseEinsumEngine sparse;
+  EinsumOptions eopts;
+
+  auto check_expected = [&](Result<Coo<V>> got, const Coo<V>& expected,
+                            const char* kind, const char* detail_prefix) {
+    ++report->evaluations;
+    if (!got.ok()) {
+      report->divergences.push_back({"metamorphic", baseline_desc, kind,
+                                     StrCat(detail_prefix, ": ",
+                                            got.status().ToString()),
+                                     PathAlgorithm::kAuto});
+      return;
+    }
+    std::string mismatch;
+    if (!AllCloseTol(*got, expected, options.tolerance, &mismatch)) {
+      report->divergences.push_back({"metamorphic", baseline_desc, kind,
+                                     StrCat(detail_prefix, ": ", mismatch),
+                                     PathAlgorithm::kAuto});
+    }
+  };
+
+  // Operand-permutation invariance: rotating the operand list (and the
+  // input terms with it) must not change the result.
+  if (n >= 2) {
+    EinsumSpec rotated_spec;
+    rotated_spec.output = instance.spec.output;
+    std::vector<const Coo<V>*> rotated_ptrs;
+    for (int t = 0; t < n; ++t) {
+      const int src = (t + 1) % n;
+      rotated_spec.inputs.push_back(instance.spec.inputs[src]);
+      rotated_ptrs.push_back(ptrs[src]);
+    }
+    check_expected(
+        [&]() -> Result<Coo<V>> {
+          if constexpr (std::is_same_v<V, double>) {
+            return sparse.EinsumSpecified(rotated_spec, rotated_ptrs, eopts);
+          } else {
+            return sparse.ComplexEinsumSpecified(rotated_spec, rotated_ptrs,
+                                                 eopts);
+          }
+        }(),
+        *baseline, "metamorphic-permutation", "rotated operands");
+  }
+
+  // Scaling linearity: scaling one operand by c scales the result by c.
+  {
+    const V factor = V(2.5);
+    Coo<V> scaled0 = MapValues(tensors[0], factor, /*conjugate=*/false);
+    std::vector<const Coo<V>*> scaled_ptrs = ptrs;
+    scaled_ptrs[0] = &scaled0;
+    const Coo<V> expected =
+        MapValues(*baseline, factor, /*conjugate=*/false);
+    check_expected(
+        [&]() -> Result<Coo<V>> {
+          if constexpr (std::is_same_v<V, double>) {
+            return dense.EinsumSpecified(instance.spec, scaled_ptrs, eopts);
+          } else {
+            return dense.ComplexEinsumSpecified(instance.spec, scaled_ptrs,
+                                                eopts);
+          }
+        }(),
+        expected, "metamorphic-scaling", "operand 0 scaled by 2.5");
+  }
+
+  // Conjugation symmetry: einsum(conj(inputs)) == conj(einsum(inputs)),
+  // because conjugation distributes over both + and *.
+  if constexpr (!std::is_same_v<V, double>) {
+    std::vector<Coo<V>> conjugated;
+    conjugated.reserve(tensors.size());
+    for (const Coo<V>& t : tensors) {
+      conjugated.push_back(MapValues(t, V(1), /*conjugate=*/true));
+    }
+    const Coo<V> expected = MapValues(*baseline, V(1), /*conjugate=*/true);
+    check_expected(
+        dense.ComplexEinsumSpecified(instance.spec, Pointers(conjugated),
+                                     eopts),
+        expected, "metamorphic-conjugation", "conjugated operands");
+  }
+}
+
+}  // namespace
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  os << evaluations << " evaluations, " << skips << " skips, "
+     << divergences.size() << " divergences";
+  for (const Divergence& d : divergences) {
+    os << "\n  [" << d.kind << "] " << d.oracle << " vs " << d.baseline
+       << " (path=" << PathAlgorithmToString(d.path) << "): " << d.detail;
+  }
+  return os.str();
+}
+
+CheckReport CheckInstance(const EinsumInstance& instance,
+                          const std::vector<Oracle*>& oracles,
+                          const DifferentialOptions& options) {
+  CheckReport report;
+  if (Status status = instance.Validate(); !status.ok()) {
+    report.divergences.push_back({"<instance>", "<none>", "invalid-instance",
+                                  status.ToString(), PathAlgorithm::kAuto});
+    return report;
+  }
+  if (instance.complex_values) {
+    CheckTyped<std::complex<double>>(instance, oracles, options, &report);
+  } else {
+    CheckTyped<double>(instance, oracles, options, &report);
+  }
+  return report;
+}
+
+}  // namespace einsql::testing

@@ -1,0 +1,69 @@
+#ifndef EINSQL_TESTING_DIFFERENTIAL_H_
+#define EINSQL_TESTING_DIFFERENTIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "testing/almost_equal.h"
+#include "testing/oracles.h"
+
+namespace einsql::testing {
+
+/// Configuration of one differential check.
+struct DifferentialOptions {
+  /// Contraction-path algorithms to cross-check. Paths that cannot handle
+  /// the operand count (kOptimal/kBranch beyond 16 operands) are skipped
+  /// automatically.
+  std::vector<PathAlgorithm> paths = {
+      PathAlgorithm::kNaive,   PathAlgorithm::kGreedy,
+      PathAlgorithm::kElimination, PathAlgorithm::kBranch,
+      PathAlgorithm::kOptimal, PathAlgorithm::kAuto};
+  /// Numeric agreement policy.
+  Tolerance tolerance;
+  /// Also run every oracle on the flat (non-decomposed, §3.2) query for the
+  /// first path. Skipped for complex instances with more than two operands,
+  /// where the flat form is undefined.
+  bool check_flat = true;
+  /// Metamorphic properties on top of cross-oracle agreement:
+  /// operand-permutation invariance, scaling linearity, and (for complex
+  /// instances) conjugation symmetry.
+  bool metamorphic = true;
+};
+
+/// One observed violation.
+struct Divergence {
+  /// Oracle that disagreed (or failed), e.g. "minidb-aggressive".
+  std::string oracle;
+  /// What it was compared against, e.g. "reference".
+  std::string baseline;
+  /// "value" | "status" | "plan" | "metamorphic-permutation" |
+  /// "metamorphic-scaling" | "metamorphic-conjugation" | "invalid-instance"
+  std::string kind;
+  /// Human-readable specifics (mismatching entry, error message, ...).
+  std::string detail;
+  /// The path algorithm in effect.
+  PathAlgorithm path = PathAlgorithm::kAuto;
+};
+
+/// Outcome of checking one instance.
+struct CheckReport {
+  /// Number of oracle evaluations performed.
+  int evaluations = 0;
+  /// Oracle x path combinations skipped (unsupported or documented refusal).
+  int skips = 0;
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return divergences.empty(); }
+  /// Multi-line description of every divergence.
+  std::string summary() const;
+};
+
+/// Evaluates `instance` through every oracle under every path algorithm,
+/// asserts toleranced agreement, and checks the metamorphic properties.
+CheckReport CheckInstance(const EinsumInstance& instance,
+                          const std::vector<Oracle*>& oracles,
+                          const DifferentialOptions& options = {});
+
+}  // namespace einsql::testing
+
+#endif  // EINSQL_TESTING_DIFFERENTIAL_H_

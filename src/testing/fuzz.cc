@@ -1,0 +1,186 @@
+#include "testing/fuzz.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace einsql::testing {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendDivergences(const CheckReport& report, std::ostringstream* out) {
+  *out << "[";
+  for (size_t k = 0; k < report.divergences.size(); ++k) {
+    const Divergence& d = report.divergences[k];
+    if (k > 0) *out << ",";
+    *out << "{\"oracle\":\"" << JsonEscape(d.oracle) << "\","
+         << "\"baseline\":\"" << JsonEscape(d.baseline) << "\","
+         << "\"kind\":\"" << JsonEscape(d.kind) << "\","
+         << "\"path\":\"" << PathAlgorithmToString(d.path) << "\","
+         << "\"detail\":\"" << JsonEscape(d.detail) << "\"}";
+  }
+  *out << "]";
+}
+
+// Runs one instance through the check; on failure shrinks it and appends a
+// FuzzFailure. Returns true when the failure budget allows continuing.
+void CheckOne(const EinsumInstance& instance, int iteration,
+              const FuzzOptions& options, const std::vector<Oracle*>& oracles,
+              FuzzReport* report, std::ostream* log) {
+  CheckReport check = CheckInstance(instance, oracles, options.differential);
+  report->evaluations += check.evaluations;
+  report->skips += check.skips;
+  if (check.ok()) return;
+
+  FuzzFailure failure;
+  failure.iteration = iteration;
+  failure.original = instance;
+  failure.original_report = check;
+  if (log != nullptr) {
+    *log << "FAIL [" << iteration << "] " << instance.DebugString() << "\n"
+         << check.summary() << "\n";
+  }
+
+  failure.shrunk = instance;
+  failure.shrunk_report = check;
+  if (options.shrink) {
+    StillFailsFn still_fails = [&](const EinsumInstance& candidate) {
+      return !CheckInstance(candidate, oracles, options.differential).ok();
+    };
+    failure.shrunk = ShrinkInstance(instance, still_fails,
+                                    options.shrink_options,
+                                    &failure.shrink_stats);
+    failure.shrunk_report =
+        CheckInstance(failure.shrunk, oracles, options.differential);
+    if (log != nullptr) {
+      *log << "shrunk (" << failure.shrink_stats.accepted << "/"
+           << failure.shrink_stats.attempts << " accepted/tried) to: "
+           << failure.shrunk.DebugString() << "\n"
+           << failure.shrunk_report.summary() << "\nrepro:\n"
+           << failure.shrunk.ToCppSnippet() << "\n";
+    }
+  }
+  report->failures.push_back(std::move(failure));
+}
+
+}  // namespace
+
+std::string FuzzReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"seed\":" << seed << ","
+      << "\"iterations_run\":" << iterations_run << ","
+      << "\"evaluations\":" << evaluations << ","
+      << "\"skips\":" << skips << ","
+      << "\"elapsed_seconds\":" << elapsed_seconds << ","
+      << "\"ok\":" << (ok() ? "true" : "false") << ","
+      << "\"failures\":[";
+  for (size_t i = 0; i < failures.size(); ++i) {
+    const FuzzFailure& f = failures[i];
+    if (i > 0) out << ",";
+    out << "{\"iteration\":" << f.iteration << ","
+        << "\"original\":{\"corpus\":\"" << JsonEscape(f.original.Serialize())
+        << "\",\"debug\":\"" << JsonEscape(f.original.DebugString())
+        << "\",\"divergences\":";
+    AppendDivergences(f.original_report, &out);
+    out << "},\"shrunk\":{\"corpus\":\"" << JsonEscape(f.shrunk.Serialize())
+        << "\",\"debug\":\"" << JsonEscape(f.shrunk.DebugString())
+        << "\",\"repro_cc\":\"" << JsonEscape(f.shrunk.ToCppSnippet())
+        << "\",\"divergences\":";
+    AppendDivergences(f.shrunk_report, &out);
+    out << "},\"shrink_attempts\":" << f.shrink_stats.attempts << ","
+        << "\"shrink_accepted\":" << f.shrink_stats.accepted << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+FuzzReport RunFuzz(const FuzzOptions& options,
+                   const std::vector<Oracle*>& oracles, std::ostream* log) {
+  FuzzReport report;
+  report.seed = options.seed;
+  Rng rng(options.seed);
+  Stopwatch watch;
+  for (int i = 0;; ++i) {
+    if (options.iterations > 0 && i >= options.iterations) break;
+    if (options.duration_seconds > 0 &&
+        watch.ElapsedSeconds() >= options.duration_seconds) {
+      break;
+    }
+    if (options.iterations <= 0 && options.duration_seconds <= 0) break;
+    EinsumInstance instance = GenerateInstance(&rng, options.generator);
+    instance.name = "seed" + std::to_string(options.seed) + "-iter" +
+                    std::to_string(i);
+    ++report.iterations_run;
+    CheckOne(instance, i, options, oracles, &report, log);
+    if (!report.failures.empty() && options.stop_on_failure) break;
+  }
+  report.elapsed_seconds = watch.ElapsedSeconds();
+  if (log != nullptr) {
+    *log << "fuzz: " << report.iterations_run << " instances, "
+         << report.evaluations << " oracle evaluations, " << report.skips
+         << " skips, " << report.failures.size() << " failure(s) in "
+         << report.elapsed_seconds << "s\n";
+  }
+  return report;
+}
+
+FuzzReport ReplayInstances(const std::vector<EinsumInstance>& instances,
+                           const FuzzOptions& options,
+                           const std::vector<Oracle*>& oracles,
+                           std::ostream* log) {
+  FuzzReport report;
+  report.seed = options.seed;
+  Stopwatch watch;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    ++report.iterations_run;
+    CheckOne(instances[i], static_cast<int>(i), options, oracles, &report,
+             log);
+    if (!report.failures.empty() && options.stop_on_failure) break;
+  }
+  report.elapsed_seconds = watch.ElapsedSeconds();
+  if (log != nullptr) {
+    *log << "replay: " << report.iterations_run << " instances, "
+         << report.evaluations << " oracle evaluations, " << report.skips
+         << " skips, " << report.failures.size() << " failure(s) in "
+         << report.elapsed_seconds << "s\n";
+  }
+  return report;
+}
+
+}  // namespace einsql::testing

@@ -1,0 +1,73 @@
+#ifndef EINSQL_TESTING_FUZZ_H_
+#define EINSQL_TESTING_FUZZ_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "testing/differential.h"
+#include "testing/generator.h"
+#include "testing/shrink.h"
+
+namespace einsql::testing {
+
+/// Configuration of one fuzzing session.
+struct FuzzOptions {
+  uint64_t seed = 1;
+  /// Stop after this many instances (0 = no iteration bound).
+  int iterations = 100;
+  /// Stop after this many seconds (0 = no time box). With both bounds set,
+  /// whichever trips first ends the run; at least one must be set.
+  double duration_seconds = 0.0;
+  GeneratorOptions generator;
+  DifferentialOptions differential;
+  /// Minimize failures before reporting them.
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  /// Stop the whole session at the first failure.
+  bool stop_on_failure = false;
+};
+
+/// One (possibly shrunk) failing instance.
+struct FuzzFailure {
+  int iteration = 0;
+  EinsumInstance original;
+  CheckReport original_report;
+  /// Equal to `original` when shrinking is disabled or made no progress.
+  EinsumInstance shrunk;
+  CheckReport shrunk_report;
+  ShrinkStats shrink_stats;
+};
+
+/// Aggregate outcome of a session.
+struct FuzzReport {
+  uint64_t seed = 0;
+  int iterations_run = 0;
+  int64_t evaluations = 0;
+  int64_t skips = 0;
+  double elapsed_seconds = 0.0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// Machine-readable run report (schema documented in docs/fuzzing.md).
+  std::string ToJson() const;
+};
+
+/// Runs a generate -> differential-check -> shrink loop. Progress and
+/// failure repros are streamed to `log` when non-null.
+FuzzReport RunFuzz(const FuzzOptions& options,
+                   const std::vector<Oracle*>& oracles,
+                   std::ostream* log = nullptr);
+
+/// Replays pre-built instances (a corpus) through the differential check;
+/// shrinks failures exactly like RunFuzz. `options.iterations` and the time
+/// box are ignored — every instance is checked.
+FuzzReport ReplayInstances(const std::vector<EinsumInstance>& instances,
+                           const FuzzOptions& options,
+                           const std::vector<Oracle*>& oracles,
+                           std::ostream* log = nullptr);
+
+}  // namespace einsql::testing
+
+#endif  // EINSQL_TESTING_FUZZ_H_

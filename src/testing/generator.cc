@@ -1,0 +1,174 @@
+#include "testing/generator.h"
+
+#include <algorithm>
+
+namespace einsql::testing {
+
+namespace {
+
+// First label of the wide (non-ASCII) pools. Chain-mode instances use
+// kChainBase so their labels never collide with format-string letters.
+constexpr Label kWidePoolBase = 500;
+constexpr Label kChainBase = 1000;
+
+void Shuffle(Rng* rng, Term* term) {
+  for (size_t k = term->size(); k > 1; --k) {
+    const size_t j = static_cast<size_t>(rng->UniformInt(0, k - 1));
+    std::swap((*term)[k - 1], (*term)[j]);
+  }
+}
+
+double DrawValue(Rng* rng, bool integer_values) {
+  if (integer_values) {
+    return static_cast<double>(rng->UniformInt(-3, 3));
+  }
+  return rng->UniformDouble(-2.0, 2.0);
+}
+
+// Fills one operand tensor. Some operands are forced fully empty or fully
+// dense so the harness covers the zero-row VALUES CTE and the dense regime.
+template <typename V>
+Coo<V> DrawTensor(Rng* rng, const Shape& shape, double density,
+                  bool integer_values) {
+  Coo<V> tensor(shape);
+  const auto total_or = NumElements(shape);
+  if (!total_or.ok()) return tensor;
+  const int64_t total = total_or.value();
+  double fill = density;
+  if (rng->Bernoulli(0.08)) fill = 0.0;
+  if (rng->Bernoulli(0.12)) fill = 1.0;
+  const auto strides = RowMajorStrides(shape);
+  std::vector<int64_t> coords(shape.size());
+  for (int64_t flat = 0; flat < total; ++flat) {
+    if (!rng->Bernoulli(fill)) continue;
+    int64_t rem = flat;
+    for (size_t d = 0; d < shape.size(); ++d) {
+      coords[d] = rem / strides[d];
+      rem %= strides[d];
+    }
+    V value;
+    if constexpr (std::is_same_v<V, double>) {
+      value = DrawValue(rng, integer_values);
+    } else {
+      value = V(DrawValue(rng, integer_values), DrawValue(rng, integer_values));
+    }
+    if (value == V(0)) continue;
+    (void)tensor.Append(coords, value);
+  }
+  return tensor;
+}
+
+void MaterializeTensors(Rng* rng, EinsumInstance* instance,
+                        const Extents& extents, double density) {
+  // Integer-valued instances make every oracle's arithmetic exact; they
+  // separate true logic bugs from floating-point accumulation noise.
+  const bool integer_values = rng->Bernoulli(0.35);
+  for (const Term& term : instance->spec.inputs) {
+    Shape shape;
+    for (Label c : term) shape.push_back(extents.at(c));
+    if (instance->complex_values) {
+      instance->complex_tensors.push_back(
+          DrawTensor<std::complex<double>>(rng, shape, density,
+                                           integer_values));
+    } else {
+      instance->real_tensors.push_back(
+          DrawTensor<double>(rng, shape, density, integer_values));
+    }
+  }
+}
+
+// A long matrix chain: hundreds of distinct labels, two per operand. The
+// joint index space is astronomically large, so the differential runner
+// skips the brute-force oracle and cross-checks the engines against each
+// other (pairwise contraction keeps every intermediate tiny).
+EinsumInstance DrawChain(Rng* rng, const GeneratorOptions& options) {
+  EinsumInstance instance;
+  instance.complex_values = rng->Bernoulli(options.complex_probability);
+  const int length = static_cast<int>(
+      rng->UniformInt(options.chain_min_length, options.chain_max_length));
+  Extents extents;
+  for (int t = 0; t <= length; ++t) {
+    extents[kChainBase + t] = rng->Bernoulli(0.15) ? 1 : 2;
+  }
+  for (int t = 0; t < length; ++t) {
+    instance.spec.inputs.push_back(
+        Term{kChainBase + t, static_cast<Label>(kChainBase + t + 1)});
+  }
+  instance.spec.output =
+      Term{kChainBase, static_cast<Label>(kChainBase + length)};
+  // Dense-ish chains keep the product from collapsing to all zeros.
+  MaterializeTensors(rng, &instance, extents, 0.9);
+  return instance;
+}
+
+}  // namespace
+
+EinsumInstance GenerateInstance(Rng* rng, const GeneratorOptions& options) {
+  if (rng->Bernoulli(options.chain_probability)) {
+    return DrawChain(rng, options);
+  }
+
+  EinsumInstance instance;
+  instance.complex_values = rng->Bernoulli(options.complex_probability);
+
+  // Label pool: mostly ASCII letters, occasionally wide labels to exercise
+  // the programmatic (beyond-52-letter) spec path on small expressions too.
+  const int pool_size = 6;
+  const bool wide_pool = rng->Bernoulli(0.10);
+  std::vector<Label> pool;
+  for (int k = 0; k < pool_size; ++k) {
+    pool.push_back(wide_pool ? static_cast<Label>(kWidePoolBase + k)
+                             : static_cast<Label>('a' + k));
+  }
+
+  // Draw the input terms; repeated labels within a term (diagonals) and
+  // shared labels across terms (joins/batch indices) arise naturally.
+  const int operands = static_cast<int>(
+      rng->UniformInt(options.min_operands, options.max_operands));
+  Term used;
+  for (int t = 0; t < operands; ++t) {
+    const int rank =
+        static_cast<int>(rng->UniformInt(t == 0 ? 1 : 0, options.max_rank));
+    Term term;
+    for (int d = 0; d < rank; ++d) {
+      term.push_back(pool[rng->UniformInt(0, pool_size - 1)]);
+    }
+    for (Label c : term) {
+      if (used.find(c) == Term::npos) used.push_back(c);
+    }
+    instance.spec.inputs.push_back(std::move(term));
+  }
+
+  // Extents, capped so the joint index space stays brute-forceable. Size-1
+  // and size-0 extents cover broadcasting-adjacent and empty-tensor
+  // degeneracies.
+  Extents extents;
+  int64_t space = 1;
+  for (Label c : used) {
+    int64_t extent;
+    if (rng->Bernoulli(options.zero_extent_probability)) {
+      extent = 0;
+    } else if (rng->Bernoulli(options.one_extent_probability)) {
+      extent = 1;
+    } else {
+      extent = rng->UniformInt(2, options.max_extent);
+    }
+    if (extent > 0 && space * extent > options.max_joint_space) extent = 1;
+    if (extent > 0) space *= extent;
+    extents[c] = extent;
+  }
+
+  // Output: a random duplicate-free subset of the used labels, in random
+  // order (the SQL result column order follows it).
+  Term output;
+  for (Label c : used) {
+    if (rng->Bernoulli(0.4)) output.push_back(c);
+  }
+  Shuffle(rng, &output);
+  instance.spec.output = std::move(output);
+
+  MaterializeTensors(rng, &instance, extents, options.density);
+  return instance;
+}
+
+}  // namespace einsql::testing

@@ -1,0 +1,45 @@
+#ifndef EINSQL_TESTING_GENERATOR_H_
+#define EINSQL_TESTING_GENERATOR_H_
+
+#include "common/rng.h"
+#include "testing/instance.h"
+
+namespace einsql::testing {
+
+/// Knobs of the random einsum instance generator. The defaults aim at the
+/// regime where every oracle (including the exponential brute-force
+/// reference) stays fast, while still covering diagonals, batch indices,
+/// degenerate size-0/1 dimensions, empty tensors, complex values, and —
+/// through occasional "chain mode" draws — expressions with hundreds of
+/// labels, far beyond the 52-letter format alphabet.
+struct GeneratorOptions {
+  int min_operands = 1;
+  int max_operands = 5;
+  int max_rank = 4;
+  /// Extents are drawn from [2, max_extent], except for degenerate draws.
+  int64_t max_extent = 4;
+  /// Probability that a label's extent is 1 / is 0 (degenerate cases).
+  double one_extent_probability = 0.12;
+  double zero_extent_probability = 0.04;
+  /// Probability that an instance is complex-valued.
+  double complex_probability = 0.25;
+  /// Expected fraction of stored entries per operand; individual operands
+  /// are occasionally forced fully dense or fully empty regardless.
+  double density = 0.55;
+  /// Probability that an instance is a long matrix chain over wide labels
+  /// (#1000, #1001, ...) instead of a small random expression.
+  double chain_probability = 0.04;
+  int chain_min_length = 60;
+  int chain_max_length = 160;
+  /// Hard cap on the joint index space so the brute-force oracle is instant
+  /// (chain-mode instances ignore it; they skip the brute-force oracle).
+  int64_t max_joint_space = 4096;
+};
+
+/// Draws one random, internally consistent instance. Deterministic in the
+/// RNG state: the same seed and options always produce the same instance.
+EinsumInstance GenerateInstance(Rng* rng, const GeneratorOptions& options = {});
+
+}  // namespace einsql::testing
+
+#endif  // EINSQL_TESTING_GENERATOR_H_

@@ -1,0 +1,368 @@
+#include "testing/instance.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace einsql::testing {
+
+namespace {
+
+// Renders one label in the corpus syntax: an ASCII letter prints as itself,
+// anything else as "#<value>" (matching TermToString).
+void AppendLabel(std::string* out, Label label) {
+  if (label < 128 && std::isalpha(static_cast<int>(label))) {
+    out->push_back(static_cast<char>(label));
+  } else {
+    *out += "#" + std::to_string(static_cast<uint32_t>(label));
+  }
+}
+
+Result<Term> ParseTerm(std::string_view text) {
+  Term term;
+  size_t k = 0;
+  while (k < text.size()) {
+    const char c = text[k];
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      term.push_back(static_cast<unsigned char>(c));
+      ++k;
+      continue;
+    }
+    if (c == '#') {
+      size_t end = k + 1;
+      while (end < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[end]))) {
+        ++end;
+      }
+      if (end == k + 1) {
+        return Status::ParseError("'#' without digits in term '", text, "'");
+      }
+      EINSQL_ASSIGN_OR_RETURN(int64_t value,
+                              ParseInt64(text.substr(k + 1, end - k - 1)));
+      term.push_back(static_cast<Label>(value));
+      k = end;
+      continue;
+    }
+    return Status::ParseError("invalid character '", std::string(1, c),
+                              "' in term '", text, "'");
+  }
+  return term;
+}
+
+std::string TermToCorpusString(const Term& term) {
+  std::string out;
+  for (Label label : term) AppendLabel(&out, label);
+  return out;
+}
+
+template <typename V>
+std::string SerializeTensor(const Coo<V>& tensor) {
+  constexpr bool kComplex = !std::is_same_v<V, double>;
+  std::string out;
+  const int r = tensor.rank();
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    out += "(";
+    for (int d = 0; d < r; ++d) {
+      if (d > 0) out += ",";
+      out += std::to_string(tensor.raw_coords()[k * r + d]);
+    }
+    out += ":";
+    if constexpr (kComplex) {
+      const std::complex<double> v = tensor.ValueAt(k);
+      out += DoubleToSqlLiteral(v.real()) + ":" + DoubleToSqlLiteral(v.imag());
+    } else {
+      out += DoubleToSqlLiteral(tensor.ValueAt(k));
+    }
+    out += ")";
+  }
+  return out;
+}
+
+template <typename V>
+Result<Coo<V>> ParseTensor(const Shape& shape, std::string_view text) {
+  constexpr bool kComplex = !std::is_same_v<V, double>;
+  Coo<V> tensor(shape);
+  size_t k = 0;
+  while (k < text.size()) {
+    if (text[k] != '(') {
+      return Status::ParseError("expected '(' in tensor entries '", text, "'");
+    }
+    const size_t close = text.find(')', k);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated tensor entry in '", text, "'");
+    }
+    const std::string entry(text.substr(k + 1, close - k - 1));
+    const std::vector<std::string> parts = Split(entry, ':');
+    const size_t value_parts = kComplex ? 2 : 1;
+    if (parts.size() != 1 + value_parts) {
+      return Status::ParseError("malformed tensor entry '", entry, "'");
+    }
+    std::vector<int64_t> coords;
+    if (!parts[0].empty()) {
+      for (const std::string& piece : Split(parts[0], ',')) {
+        EINSQL_ASSIGN_OR_RETURN(int64_t coord, ParseInt64(piece));
+        coords.push_back(coord);
+      }
+    }
+    V value;
+    if constexpr (kComplex) {
+      EINSQL_ASSIGN_OR_RETURN(double re, ParseDouble(parts[1]));
+      EINSQL_ASSIGN_OR_RETURN(double im, ParseDouble(parts[2]));
+      value = V(re, im);
+    } else {
+      EINSQL_ASSIGN_OR_RETURN(double v, ParseDouble(parts[1]));
+      value = v;
+    }
+    EINSQL_RETURN_IF_ERROR(tensor.Append(coords, value));
+    k = close + 1;
+  }
+  return tensor;
+}
+
+template <typename V>
+void EmitTensorSnippet(std::ostream& os, const Coo<V>& tensor,
+                       const char* type_name, const char* list_name) {
+  constexpr bool kComplex = !std::is_same_v<V, double>;
+  os << "  {\n    " << type_name << " t({";
+  for (size_t d = 0; d < tensor.shape().size(); ++d) {
+    if (d > 0) os << ", ";
+    os << tensor.shape()[d];
+  }
+  os << "});\n";
+  const int r = tensor.rank();
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    os << "    (void)t.Append({";
+    for (int d = 0; d < r; ++d) {
+      if (d > 0) os << ", ";
+      os << tensor.raw_coords()[k * r + d];
+    }
+    if constexpr (kComplex) {
+      const std::complex<double> v = tensor.ValueAt(k);
+      os << "}, {" << DoubleToSqlLiteral(v.real()) << ", "
+         << DoubleToSqlLiteral(v.imag()) << "});\n";
+    } else {
+      os << "}, " << DoubleToSqlLiteral(tensor.ValueAt(k)) << ");\n";
+    }
+  }
+  os << "    instance." << list_name << ".push_back(std::move(t));\n  }\n";
+}
+
+}  // namespace
+
+std::vector<Shape> EinsumInstance::shapes() const {
+  std::vector<Shape> out;
+  if (complex_values) {
+    for (const ComplexCooTensor& t : complex_tensors) out.push_back(t.shape());
+  } else {
+    for (const CooTensor& t : real_tensors) out.push_back(t.shape());
+  }
+  return out;
+}
+
+int64_t EinsumInstance::total_nnz() const {
+  int64_t total = 0;
+  if (complex_values) {
+    for (const ComplexCooTensor& t : complex_tensors) total += t.nnz();
+  } else {
+    for (const CooTensor& t : real_tensors) total += t.nnz();
+  }
+  return total;
+}
+
+double EinsumInstance::joint_space() const {
+  auto extents = IndexExtents(spec, shapes());
+  if (!extents.ok()) return 0.0;
+  double space = 1.0;
+  for (const auto& [label, extent] : *extents) {
+    space *= static_cast<double>(extent);
+  }
+  return space;
+}
+
+Status EinsumInstance::Validate() const {
+  if (complex_values && !real_tensors.empty()) {
+    return Status::InvalidArgument(
+        "complex instance must not carry real tensors");
+  }
+  if (!complex_values && !complex_tensors.empty()) {
+    return Status::InvalidArgument(
+        "real instance must not carry complex tensors");
+  }
+  EINSQL_RETURN_IF_ERROR(ValidateSpec(spec));
+  return IndexExtents(spec, shapes()).status();
+}
+
+std::string EinsumInstance::DebugString() const {
+  std::ostringstream os;
+  os << spec.ToString() << " shapes=" << ShapesToString(shapes())
+     << " dtype=" << (complex_values ? "complex" : "real")
+     << " nnz=" << total_nnz();
+  if (!name.empty()) os << " name=" << name;
+  return os.str();
+}
+
+std::string EinsumInstance::Serialize() const {
+  std::string out;
+  if (!name.empty()) out += "name=" + name + "|";
+  out += "spec=";
+  for (size_t t = 0; t < spec.inputs.size(); ++t) {
+    if (t > 0) out += ",";
+    out += TermToCorpusString(spec.inputs[t]);
+  }
+  out += "->" + TermToCorpusString(spec.output);
+  out += "|shapes=" + ShapesToString(shapes());
+  out += complex_values ? "|dtype=complex" : "|dtype=real";
+  for (int t = 0; t < num_operands(); ++t) {
+    out += "|t" + std::to_string(t) + "=";
+    out += complex_values ? SerializeTensor(complex_tensors[t])
+                          : SerializeTensor(real_tensors[t]);
+  }
+  return out;
+}
+
+Result<EinsumInstance> EinsumInstance::Deserialize(std::string_view line) {
+  EinsumInstance instance;
+  std::vector<Shape> shapes;
+  bool have_spec = false, have_shapes = false;
+  std::vector<std::string> tensor_fields;
+  for (const std::string& field : Split(std::string(Trim(line)), '|')) {
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("corpus field without '=': '", field, "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "name") {
+      instance.name = value;
+    } else if (key == "spec") {
+      EINSQL_ASSIGN_OR_RETURN(instance.spec, ParseSpecString(value));
+      have_spec = true;
+    } else if (key == "shapes") {
+      EINSQL_ASSIGN_OR_RETURN(shapes, ParseShapesString(value));
+      have_shapes = true;
+    } else if (key == "dtype") {
+      if (value != "real" && value != "complex") {
+        return Status::ParseError("unknown dtype '", value, "'");
+      }
+      instance.complex_values = value == "complex";
+    } else if (key.size() >= 2 && key[0] == 't') {
+      EINSQL_ASSIGN_OR_RETURN(int64_t index, ParseInt64(key.substr(1)));
+      if (index != static_cast<int64_t>(tensor_fields.size())) {
+        return Status::ParseError("tensor fields out of order at '", key, "'");
+      }
+      tensor_fields.push_back(value);
+    } else {
+      return Status::ParseError("unknown corpus field '", key, "'");
+    }
+  }
+  if (!have_spec || !have_shapes) {
+    return Status::ParseError("corpus line missing spec= or shapes=");
+  }
+  if (shapes.size() != tensor_fields.size()) {
+    return Status::ParseError("corpus line has ", shapes.size(),
+                              " shapes but ", tensor_fields.size(),
+                              " tensors");
+  }
+  for (size_t t = 0; t < tensor_fields.size(); ++t) {
+    if (instance.complex_values) {
+      EINSQL_ASSIGN_OR_RETURN(
+          ComplexCooTensor tensor,
+          ParseTensor<std::complex<double>>(shapes[t], tensor_fields[t]));
+      instance.complex_tensors.push_back(std::move(tensor));
+    } else {
+      EINSQL_ASSIGN_OR_RETURN(CooTensor tensor,
+                              ParseTensor<double>(shapes[t], tensor_fields[t]));
+      instance.real_tensors.push_back(std::move(tensor));
+    }
+  }
+  EINSQL_RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+std::string EinsumInstance::ToCppSnippet() const {
+  std::ostringstream os;
+  os << "// einsum-fuzz repro: " << DebugString() << "\n";
+  os << "// corpus line: " << Serialize() << "\n";
+  os << "einsql::testing::EinsumInstance instance;\n";
+  os << "instance.spec = einsql::testing::ParseSpecString(\"";
+  for (size_t t = 0; t < spec.inputs.size(); ++t) {
+    if (t > 0) os << ",";
+    os << TermToCorpusString(spec.inputs[t]);
+  }
+  os << "->" << TermToCorpusString(spec.output) << "\").value();\n";
+  if (complex_values) {
+    os << "instance.complex_values = true;\n";
+    for (const ComplexCooTensor& t : complex_tensors) {
+      EmitTensorSnippet(os, t, "einsql::ComplexCooTensor", "complex_tensors");
+    }
+  } else {
+    for (const CooTensor& t : real_tensors) {
+      EmitTensorSnippet(os, t, "einsql::CooTensor", "real_tensors");
+    }
+  }
+  os << "auto oracles = einsql::testing::MakeDefaultOracles();\n";
+  os << "einsql::testing::CheckReport report = einsql::testing::CheckInstance"
+        "(\n    instance, einsql::testing::OraclePointers(oracles), {});\n";
+  os << "// report.ok() is false while the bug reproduces; see\n";
+  os << "// report.summary() for the diverging oracle.\n";
+  return os.str();
+}
+
+Result<EinsumSpec> ParseSpecString(std::string_view text) {
+  const std::string clean(Trim(text));
+  const size_t arrow = clean.find("->");
+  if (arrow == std::string::npos) {
+    return Status::ParseError("spec '", clean, "' lacks '->'");
+  }
+  EinsumSpec spec;
+  const std::string lhs = clean.substr(0, arrow);
+  if (lhs.empty()) return Status::ParseError("spec has no input terms");
+  for (const std::string& piece : Split(lhs, ',')) {
+    EINSQL_ASSIGN_OR_RETURN(Term term, ParseTerm(piece));
+    spec.inputs.push_back(std::move(term));
+  }
+  EINSQL_ASSIGN_OR_RETURN(spec.output, ParseTerm(clean.substr(arrow + 2)));
+  EINSQL_RETURN_IF_ERROR(ValidateSpec(spec));
+  return spec;
+}
+
+std::string ShapesToString(const std::vector<Shape>& shapes) {
+  std::string out;
+  for (const Shape& shape : shapes) {
+    out += "[";
+    for (size_t d = 0; d < shape.size(); ++d) {
+      if (d > 0) out += ",";
+      out += std::to_string(shape[d]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+Result<std::vector<Shape>> ParseShapesString(std::string_view text) {
+  std::vector<Shape> shapes;
+  size_t k = 0;
+  while (k < text.size()) {
+    if (text[k] != '[') {
+      return Status::ParseError("expected '[' in shapes '", text, "'");
+    }
+    const size_t close = text.find(']', k);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated shape in '", text, "'");
+    }
+    Shape shape;
+    const std::string body(text.substr(k + 1, close - k - 1));
+    if (!body.empty()) {
+      for (const std::string& piece : Split(body, ',')) {
+        EINSQL_ASSIGN_OR_RETURN(int64_t extent, ParseInt64(piece));
+        shape.push_back(extent);
+      }
+    }
+    shapes.push_back(std::move(shape));
+    k = close + 1;
+  }
+  return shapes;
+}
+
+}  // namespace einsql::testing

@@ -1,0 +1,77 @@
+#ifndef EINSQL_TESTING_INSTANCE_H_
+#define EINSQL_TESTING_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/format.h"
+#include "tensor/coo.h"
+
+namespace einsql::testing {
+
+/// One concrete Einstein summation test case: a spec plus fully materialized
+/// operand tensors (real or complex). This is the unit the fuzzer generates,
+/// the differential runner checks, the shrinker minimizes, and the corpus
+/// stores.
+struct EinsumInstance {
+  /// Optional corpus identifier (diagnostics only).
+  std::string name;
+  /// The expression. May use labels beyond the 52-letter alphabet; such
+  /// labels render as "#<value>" (see TermToString).
+  EinsumSpec spec;
+  /// Exactly one of the two tensor lists is populated, selected by
+  /// `complex_values`.
+  bool complex_values = false;
+  std::vector<CooTensor> real_tensors;
+  std::vector<ComplexCooTensor> complex_tensors;
+
+  int num_operands() const {
+    return static_cast<int>(complex_values ? complex_tensors.size()
+                                           : real_tensors.size());
+  }
+
+  /// Operand shapes, in operand order.
+  std::vector<Shape> shapes() const;
+
+  /// Total stored entries across all operands.
+  int64_t total_nnz() const;
+
+  /// Product of the extents of all distinct index labels — the size of the
+  /// joint index space the brute-force oracle iterates (0 when any label is
+  /// degenerate).
+  double joint_space() const;
+
+  /// Checks internal consistency: spec arity matches the tensor count,
+  /// shapes are rank-compatible with the terms, and shared labels agree on
+  /// extents.
+  Status Validate() const;
+
+  /// One-line human-readable summary: spec, shapes, dtype, nnz.
+  std::string DebugString() const;
+
+  /// Serializes to a single line of the corpus format (see corpus.h).
+  std::string Serialize() const;
+
+  /// Parses a line produced by Serialize().
+  static Result<EinsumInstance> Deserialize(std::string_view line);
+
+  /// Emits a self-contained C++ snippet that rebuilds this instance and
+  /// re-runs the differential check — the repro the shrinker attaches to a
+  /// minimized failure.
+  std::string ToCppSnippet() const;
+};
+
+/// Parses a spec string in the extended syntax accepted by corpus files:
+/// the modern arrow form where each label is either one ASCII letter or
+/// "#<decimal>" for wide labels, e.g. "#1000#1001,#1001->#1000".
+Result<EinsumSpec> ParseSpecString(std::string_view text);
+
+/// Renders/parses a shape list in the compact corpus syntax, e.g.
+/// "[2,3][3,4][]" ([] is a scalar).
+std::string ShapesToString(const std::vector<Shape>& shapes);
+Result<std::vector<Shape>> ParseShapesString(std::string_view text);
+
+}  // namespace einsql::testing
+
+#endif  // EINSQL_TESTING_INSTANCE_H_

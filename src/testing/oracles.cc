@@ -1,0 +1,130 @@
+#include "testing/oracles.h"
+
+#include "backends/minidb_backend.h"
+#include "backends/sqlite_backend.h"
+#include "common/str_util.h"
+#include "core/reference.h"
+
+namespace einsql::testing {
+
+namespace {
+
+template <typename V>
+Result<Coo<V>> ReferenceEval(const ContractionProgram& program,
+                             const std::vector<const Coo<V>*>& tensors,
+                             const EinsumOptions& options) {
+  std::vector<Dense<V>> dense;
+  dense.reserve(tensors.size());
+  for (const Coo<V>* t : tensors) {
+    EINSQL_ASSIGN_OR_RETURN(Dense<V> d, Dense<V>::FromCoo(*t));
+    dense.push_back(std::move(d));
+  }
+  std::vector<const Dense<V>*> ptrs;
+  ptrs.reserve(dense.size());
+  for (const Dense<V>& d : dense) ptrs.push_back(&d);
+  EINSQL_ASSIGN_OR_RETURN(Dense<V> result,
+                          ReferenceEinsum(program.spec, ptrs));
+  return result.ToCoo(options.epsilon);
+}
+
+}  // namespace
+
+bool ReferenceOracle::Supports(const EinsumInstance& instance) const {
+  return instance.joint_space() <= max_joint_space_;
+}
+
+Result<CooTensor> ReferenceOracle::EvalReal(
+    const ContractionProgram& program,
+    const std::vector<const CooTensor*>& tensors,
+    const EinsumOptions& options) {
+  return ReferenceEval(program, tensors, options);
+}
+
+Result<ComplexCooTensor> ReferenceOracle::EvalComplex(
+    const ContractionProgram& program,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const EinsumOptions& options) {
+  return ReferenceEval(program, tensors, options);
+}
+
+EngineOracle::EngineOracle(std::string name,
+                           std::unique_ptr<SqlBackend> backend,
+                           bool refuse_out_of_range)
+    : name_(std::move(name)),
+      backend_(std::move(backend)),
+      engine_(std::make_unique<SqlEinsumEngine>(backend_.get())),
+      refuse_out_of_range_(refuse_out_of_range) {}
+
+Result<CooTensor> EngineOracle::EvalReal(
+    const ContractionProgram& program,
+    const std::vector<const CooTensor*>& tensors,
+    const EinsumOptions& options) {
+  return engine_->RunProgram(program, tensors, options);
+}
+
+Result<ComplexCooTensor> EngineOracle::EvalComplex(
+    const ContractionProgram& program,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const EinsumOptions& options) {
+  return engine_->RunComplexProgram(program, tensors, options);
+}
+
+std::vector<std::unique_ptr<Oracle>> MakeDefaultOracles(
+    const std::string& name_filter) {
+  std::vector<std::unique_ptr<Oracle>> oracles;
+  // The reference comes first: the runner prefers the earliest successful
+  // oracle as the comparison baseline.
+  oracles.push_back(std::make_unique<ReferenceOracle>());
+  oracles.push_back(std::make_unique<EngineOracle>(
+      "dense", std::make_unique<DenseEinsumEngine>()));
+  oracles.push_back(std::make_unique<EngineOracle>(
+      "sparse", std::make_unique<SparseEinsumEngine>()));
+
+  const minidb::OptimizerMode kModes[] = {
+      minidb::OptimizerMode::kNone, minidb::OptimizerMode::kGreedy,
+      minidb::OptimizerMode::kAggressive, minidb::OptimizerMode::kExhaustive};
+  for (minidb::OptimizerMode mode : kModes) {
+    minidb::PlannerOptions planner;
+    planner.mode = mode;
+    oracles.push_back(std::make_unique<EngineOracle>(
+        StrCat("minidb-", minidb::OptimizerModeToString(mode)),
+        std::make_unique<MiniDbBackend>(planner),
+        /*refuse_out_of_range=*/mode == minidb::OptimizerMode::kExhaustive));
+  }
+  {
+    auto backend = std::make_unique<MiniDbBackend>();
+    backend->set_threads(4);
+    oracles.push_back(std::make_unique<EngineOracle>(
+        "minidb-parallel", std::move(backend), /*refuse_out_of_range=*/false));
+  }
+  if (auto sqlite = SqliteBackend::Open(); sqlite.ok()) {
+    oracles.push_back(std::make_unique<EngineOracle>(
+        "sqlite", std::move(sqlite).value(), /*refuse_out_of_range=*/false));
+  }
+
+  if (!name_filter.empty()) {
+    const std::vector<std::string> wanted = Split(name_filter, ',');
+    std::vector<std::unique_ptr<Oracle>> kept;
+    for (auto& oracle : oracles) {
+      for (const std::string& piece : wanted) {
+        if (!piece.empty() &&
+            oracle->name().find(piece) != std::string::npos) {
+          kept.push_back(std::move(oracle));
+          break;
+        }
+      }
+    }
+    return kept;
+  }
+  return oracles;
+}
+
+std::vector<Oracle*> OraclePointers(
+    const std::vector<std::unique_ptr<Oracle>>& oracles) {
+  std::vector<Oracle*> ptrs;
+  ptrs.reserve(oracles.size());
+  for (const auto& oracle : oracles) ptrs.push_back(oracle.get());
+  return ptrs;
+}
+
+}  // namespace einsql::testing

@@ -1,0 +1,123 @@
+#ifndef EINSQL_TESTING_ORACLES_H_
+#define EINSQL_TESTING_ORACLES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backends/einsum_engine.h"
+#include "minidb/planner.h"
+#include "testing/instance.h"
+
+namespace einsql::testing {
+
+/// One way of evaluating an einsum instance. The differential runner
+/// evaluates every instance through every oracle and demands agreement; a
+/// divergence is a correctness bug in (at least) one of them.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Stable identifier, e.g. "reference", "minidb-aggressive", "sqlite".
+  virtual std::string name() const = 0;
+
+  /// False when the oracle cannot evaluate this instance at all (the
+  /// brute-force reference bows out of huge joint index spaces). Skipped
+  /// oracles are not divergences.
+  virtual bool Supports(const EinsumInstance& instance) const {
+    (void)instance;
+    return true;
+  }
+
+  /// True when `status` is a documented refusal rather than a bug — e.g.
+  /// MiniDB's exhaustive optimizer aborting with OutOfRange once its
+  /// planning budget is exhausted (the paper's DuckDB "N/A" row).
+  virtual bool MayRefuse(const Status& status) const {
+    (void)status;
+    return false;
+  }
+
+  /// Evaluates a prebuilt contraction program. The program is built once
+  /// per path algorithm and shared across oracles, so every oracle sees the
+  /// exact same pairwise plan.
+  virtual Result<CooTensor> EvalReal(
+      const ContractionProgram& program,
+      const std::vector<const CooTensor*>& tensors,
+      const EinsumOptions& options) = 0;
+  virtual Result<ComplexCooTensor> EvalComplex(
+      const ContractionProgram& program,
+      const std::vector<const ComplexCooTensor*>& tensors,
+      const EinsumOptions& options) = 0;
+};
+
+/// Brute-force nested-loop oracle (the paper's Listing 1/2 semantics).
+/// Ground truth, but exponential in the number of distinct labels; refuses
+/// instances whose joint index space exceeds `max_joint_space`.
+class ReferenceOracle : public Oracle {
+ public:
+  explicit ReferenceOracle(double max_joint_space = 1 << 16)
+      : max_joint_space_(max_joint_space) {}
+  std::string name() const override { return "reference"; }
+  bool Supports(const EinsumInstance& instance) const override;
+  Result<CooTensor> EvalReal(const ContractionProgram& program,
+                             const std::vector<const CooTensor*>& tensors,
+                             const EinsumOptions& options) override;
+  Result<ComplexCooTensor> EvalComplex(
+      const ContractionProgram& program,
+      const std::vector<const ComplexCooTensor*>& tensors,
+      const EinsumOptions& options) override;
+
+ private:
+  double max_joint_space_;
+};
+
+/// Oracle over any EinsumEngine (dense, sparse, or SQL-backed). Owns the
+/// engine and, optionally, the backend it runs on.
+class EngineOracle : public Oracle {
+ public:
+  /// Engine with no backing store (dense / sparse).
+  EngineOracle(std::string name, std::unique_ptr<EinsumEngine> engine)
+      : name_(std::move(name)), engine_(std::move(engine)) {}
+
+  /// SQL engine over an owned backend; `refuse_out_of_range` marks
+  /// planner-budget aborts as documented refusals.
+  EngineOracle(std::string name, std::unique_ptr<SqlBackend> backend,
+               bool refuse_out_of_range);
+
+  std::string name() const override { return name_; }
+  bool MayRefuse(const Status& status) const override {
+    return refuse_out_of_range_ && status.code() == StatusCode::kOutOfRange;
+  }
+  Result<CooTensor> EvalReal(const ContractionProgram& program,
+                             const std::vector<const CooTensor*>& tensors,
+                             const EinsumOptions& options) override;
+  Result<ComplexCooTensor> EvalComplex(
+      const ContractionProgram& program,
+      const std::vector<const ComplexCooTensor*>& tensors,
+      const EinsumOptions& options) override;
+
+ private:
+  std::string name_;
+  std::unique_ptr<SqlBackend> backend_;  // null for backend-less engines
+  std::unique_ptr<EinsumEngine> engine_;
+  bool refuse_out_of_range_ = false;
+};
+
+/// The full default oracle battery:
+///   reference, dense, sparse,
+///   minidb-none / minidb-greedy / minidb-aggressive / minidb-exhaustive
+///   (all four optimizer-effort levels, sequential),
+///   minidb-parallel (greedy optimizer, morsel-driven execution),
+///   sqlite.
+/// `name_filter`, when non-empty, keeps only oracles whose name contains it
+/// as a substring (comma-separated alternatives allowed).
+std::vector<std::unique_ptr<Oracle>> MakeDefaultOracles(
+    const std::string& name_filter = "");
+
+/// Borrowed-pointer view of an owned oracle list.
+std::vector<Oracle*> OraclePointers(
+    const std::vector<std::unique_ptr<Oracle>>& oracles);
+
+}  // namespace einsql::testing
+
+#endif  // EINSQL_TESTING_ORACLES_H_

@@ -1,0 +1,296 @@
+#include "testing/shrink.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace einsql::testing {
+
+namespace {
+
+// Removes output labels that no longer occur in any input (a candidate that
+// dropped their last occurrence would otherwise be invalid).
+void PruneOutput(EinsumSpec* spec) {
+  Term pruned;
+  for (Label c : spec->output) {
+    for (const Term& term : spec->inputs) {
+      if (term.find(c) != Term::npos) {
+        pruned.push_back(c);
+        break;
+      }
+    }
+  }
+  spec->output = std::move(pruned);
+}
+
+template <typename V>
+Coo<V> SliceAxis(const Coo<V>& tensor, int axis) {
+  Shape shape = tensor.shape();
+  shape.erase(shape.begin() + axis);
+  Coo<V> out(shape);
+  const int r = tensor.rank();
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    if (tensor.raw_coords()[k * r + axis] != 0) continue;
+    std::vector<int64_t> coords;
+    for (int d = 0; d < r; ++d) {
+      if (d != axis) coords.push_back(tensor.raw_coords()[k * r + d]);
+    }
+    (void)out.Append(coords, tensor.ValueAt(k));
+  }
+  return out;
+}
+
+template <typename V>
+Coo<V> ClampAxes(const Coo<V>& tensor, const Shape& new_shape) {
+  Coo<V> out(new_shape);
+  const int r = tensor.rank();
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    std::vector<int64_t> coords = tensor.CoordsAt(k);
+    bool keep = true;
+    for (int d = 0; d < r && keep; ++d) {
+      if (coords[d] >= new_shape[d]) keep = false;
+    }
+    if (keep) (void)out.Append(coords, tensor.ValueAt(k));
+  }
+  return out;
+}
+
+template <typename V>
+Coo<V> KeepEntryRange(const Coo<V>& tensor, int64_t begin, int64_t end) {
+  Coo<V> out(tensor.shape());
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    if (k >= begin && k < end) continue;  // this range is dropped
+    (void)out.Append(tensor.CoordsAt(k), tensor.ValueAt(k));
+  }
+  return out;
+}
+
+template <typename V>
+Coo<V> UnitValues(const Coo<V>& tensor) {
+  Coo<V> out(tensor.shape());
+  for (int64_t k = 0; k < tensor.nnz(); ++k) {
+    (void)out.Append(tensor.CoordsAt(k), V(1));
+  }
+  return out;
+}
+
+// Applies `fn` to the operand tensor list of whichever dtype is active.
+template <typename Fn>
+void ForEachDtype(EinsumInstance* instance, int operand, const Fn& fn) {
+  if (instance->complex_values) {
+    instance->complex_tensors[operand] =
+        fn(instance->complex_tensors[operand]);
+  } else {
+    instance->real_tensors[operand] = fn(instance->real_tensors[operand]);
+  }
+}
+
+class Shrinker {
+ public:
+  Shrinker(const StillFailsFn& still_fails, const ShrinkOptions& options,
+           ShrinkStats* stats)
+      : still_fails_(still_fails), options_(options), stats_(stats) {}
+
+  EinsumInstance Run(EinsumInstance current) {
+    bool progress = true;
+    while (progress && !Exhausted()) {
+      progress = false;
+      progress |= TryDropOperands(&current);
+      progress |= TryDropAxes(&current);
+      progress |= TryShrinkExtents(&current);
+      progress |= TryDropEntries(&current);
+      progress |= TryUnitValues(&current);
+      progress |= TryRealify(&current);
+      progress |= TryAsciiLabels(&current);
+      progress |= TryDropOutputLabels(&current);
+    }
+    return current;
+  }
+
+ private:
+  bool Exhausted() const { return attempts_ >= options_.max_attempts; }
+
+  // Accepts `candidate` into `*current` iff it is valid and still failing.
+  bool Accept(EinsumInstance* current, EinsumInstance candidate) {
+    if (Exhausted()) return false;
+    if (!candidate.Validate().ok()) return false;
+    ++attempts_;
+    if (stats_ != nullptr) stats_->attempts = attempts_;
+    if (!still_fails_(candidate)) return false;
+    *current = std::move(candidate);
+    if (stats_ != nullptr) ++stats_->accepted;
+    return true;
+  }
+
+  bool TryDropOperands(EinsumInstance* current) {
+    bool progress = false;
+    for (int t = current->num_operands() - 1; t >= 0; --t) {
+      if (current->num_operands() <= 1) break;
+      EinsumInstance candidate = *current;
+      candidate.spec.inputs.erase(candidate.spec.inputs.begin() + t);
+      if (candidate.complex_values) {
+        candidate.complex_tensors.erase(candidate.complex_tensors.begin() + t);
+      } else {
+        candidate.real_tensors.erase(candidate.real_tensors.begin() + t);
+      }
+      PruneOutput(&candidate.spec);
+      progress |= Accept(current, std::move(candidate));
+    }
+    return progress;
+  }
+
+  bool TryDropAxes(EinsumInstance* current) {
+    bool progress = false;
+    for (int t = 0; t < current->num_operands(); ++t) {
+      for (int d = static_cast<int>(current->spec.inputs[t].size()) - 1;
+           d >= 0; --d) {
+        EinsumInstance candidate = *current;
+        candidate.spec.inputs[t].erase(candidate.spec.inputs[t].begin() + d);
+        ForEachDtype(&candidate, t,
+                     [&](const auto& tensor) { return SliceAxis(tensor, d); });
+        PruneOutput(&candidate.spec);
+        progress |= Accept(current, std::move(candidate));
+      }
+    }
+    return progress;
+  }
+
+  bool TryShrinkExtents(EinsumInstance* current) {
+    bool progress = false;
+    // Distinct labels with extent > 1, via the instance's own extents map.
+    auto extents = IndexExtents(current->spec, current->shapes());
+    if (!extents.ok()) return false;
+    for (const auto& [label, extent] : *extents) {
+      if (extent <= 1) continue;
+      for (int64_t target : {int64_t{1}, extent / 2, extent - 1}) {
+        if (target <= 0 || target >= extent) continue;
+        EinsumInstance candidate = *current;
+        for (int t = 0; t < candidate.num_operands(); ++t) {
+          const Term& term = candidate.spec.inputs[t];
+          Shape new_shape;
+          bool touched = false;
+          for (size_t d = 0; d < term.size(); ++d) {
+            const int64_t e = candidate.shapes()[t][d];
+            new_shape.push_back(term[d] == label ? target : e);
+            touched |= term[d] == label;
+          }
+          if (!touched) continue;
+          ForEachDtype(&candidate, t, [&](const auto& tensor) {
+            return ClampAxes(tensor, new_shape);
+          });
+        }
+        if (Accept(current, std::move(candidate))) {
+          progress = true;
+          break;  // extents changed; recompute before shrinking further
+        }
+      }
+      if (progress) break;
+    }
+    return progress;
+  }
+
+  bool TryDropEntries(EinsumInstance* current) {
+    bool progress = false;
+    for (int t = 0; t < current->num_operands(); ++t) {
+      const int64_t nnz = current->complex_values
+                              ? current->complex_tensors[t].nnz()
+                              : current->real_tensors[t].nnz();
+      if (nnz == 0) continue;
+      // Delta-debugging style: halves first, then single entries for small
+      // tensors.
+      std::vector<std::pair<int64_t, int64_t>> ranges;
+      if (nnz > 1) {
+        ranges.emplace_back(0, nnz / 2);
+        ranges.emplace_back(nnz / 2, nnz);
+      }
+      if (nnz <= 8) {
+        for (int64_t k = 0; k < nnz; ++k) ranges.emplace_back(k, k + 1);
+      }
+      for (const auto& [begin, end] : ranges) {
+        EinsumInstance candidate = *current;
+        ForEachDtype(&candidate, t, [&](const auto& tensor) {
+          return KeepEntryRange(tensor, begin, end);
+        });
+        if (Accept(current, std::move(candidate))) {
+          progress = true;
+          break;  // entry indices shifted; recompute ranges
+        }
+      }
+    }
+    return progress;
+  }
+
+  bool TryUnitValues(EinsumInstance* current) {
+    bool progress = false;
+    for (int t = 0; t < current->num_operands(); ++t) {
+      EinsumInstance candidate = *current;
+      ForEachDtype(&candidate, t,
+                   [&](const auto& tensor) { return UnitValues(tensor); });
+      progress |= Accept(current, std::move(candidate));
+    }
+    return progress;
+  }
+
+  bool TryRealify(EinsumInstance* current) {
+    if (!current->complex_values) return false;
+    EinsumInstance candidate = *current;
+    candidate.complex_values = false;
+    for (const ComplexCooTensor& t : candidate.complex_tensors) {
+      CooTensor real(t.shape());
+      for (int64_t k = 0; k < t.nnz(); ++k) {
+        if (t.ValueAt(k).real() == 0.0) continue;
+        (void)real.Append(t.CoordsAt(k), t.ValueAt(k).real());
+      }
+      candidate.real_tensors.push_back(std::move(real));
+    }
+    candidate.complex_tensors.clear();
+    return Accept(current, std::move(candidate));
+  }
+
+  bool TryAsciiLabels(EinsumInstance* current) {
+    bool wide = false;
+    Term distinct;
+    for (const Term& term : current->spec.inputs) {
+      for (Label c : term) {
+        wide |= c >= 128;
+        if (distinct.find(c) == Term::npos) distinct.push_back(c);
+      }
+    }
+    if (!wide || distinct.size() > 26) return false;
+    EinsumInstance candidate = *current;
+    auto remap = [&](Term* term) {
+      for (Label& c : *term) {
+        c = static_cast<Label>('a' + distinct.find(c));
+      }
+    };
+    for (Term& term : candidate.spec.inputs) remap(&term);
+    remap(&candidate.spec.output);
+    return Accept(current, std::move(candidate));
+  }
+
+  bool TryDropOutputLabels(EinsumInstance* current) {
+    bool progress = false;
+    for (int k = static_cast<int>(current->spec.output.size()) - 1; k >= 0;
+         --k) {
+      EinsumInstance candidate = *current;
+      candidate.spec.output.erase(candidate.spec.output.begin() + k);
+      progress |= Accept(current, std::move(candidate));
+    }
+    return progress;
+  }
+
+  const StillFailsFn& still_fails_;
+  const ShrinkOptions& options_;
+  ShrinkStats* stats_;
+  int attempts_ = 0;
+};
+
+}  // namespace
+
+EinsumInstance ShrinkInstance(const EinsumInstance& failing,
+                              const StillFailsFn& still_fails,
+                              const ShrinkOptions& options,
+                              ShrinkStats* stats) {
+  return Shrinker(still_fails, options, stats).Run(failing);
+}
+
+}  // namespace einsql::testing

@@ -1,0 +1,40 @@
+#ifndef EINSQL_TESTING_SHRINK_H_
+#define EINSQL_TESTING_SHRINK_H_
+
+#include <functional>
+
+#include "testing/instance.h"
+
+namespace einsql::testing {
+
+/// Predicate re-checking a candidate instance; returns true while the
+/// failure still reproduces. The fuzzer passes a closure re-running the
+/// differential check; unit tests pass synthetic predicates.
+using StillFailsFn = std::function<bool(const EinsumInstance&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate invocations (each one may re-run the whole
+  /// oracle battery, so the budget is the shrinker's time box).
+  int max_attempts = 600;
+};
+
+/// Statistics of one shrink run.
+struct ShrinkStats {
+  int attempts = 0;   // candidate instances tried
+  int accepted = 0;   // transformations that kept the failure alive
+};
+
+/// Greedily minimizes a failing instance while `still_fails` holds, trying
+/// (in order of impact): dropping whole operands, dropping term axes,
+/// shrinking index extents, deleting tensor entries, collapsing values to 1,
+/// converting complex instances to real, renaming wide labels to ASCII, and
+/// dropping output labels. Every accepted candidate is a valid instance;
+/// the original is returned unchanged when nothing smaller still fails.
+EinsumInstance ShrinkInstance(const EinsumInstance& failing,
+                              const StillFailsFn& still_fails,
+                              const ShrinkOptions& options = {},
+                              ShrinkStats* stats = nullptr);
+
+}  // namespace einsql::testing
+
+#endif  // EINSQL_TESTING_SHRINK_H_

@@ -6,9 +6,12 @@
 #include "backends/sqlite_backend.h"
 #include "common/rng.h"
 #include "core/reference.h"
+#include "testing/almost_equal.h"
 
 namespace einsql {
 namespace {
+
+using testing::AllCloseTol;
 
 // Random sparse tensor with roughly `density` non-zeros.
 CooTensor RandomSparse(const Shape& shape, double density, uint64_t seed) {
@@ -108,9 +111,10 @@ TEST_P(EnginesMatchReference, Agrees) {
   ASSERT_TRUE(got.ok()) << got.status() << " for " << c.format << " on "
                         << engine->name();
   auto expected = ReferenceEinsumCoo<double>(c.format, ptrs).value();
-  EXPECT_TRUE(AllClose(*got, expected, 1e-9))
+  std::string why;
+  EXPECT_TRUE(AllCloseTol(*got, expected, {}, &why))
       << c.format << " on " << engine->name()
-      << (decompose ? " decomposed" : " flat");
+      << (decompose ? " decomposed" : " flat") << ": " << why;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -182,7 +186,9 @@ TEST_P(ComplexEnginesMatchReference, TwoQubitCircuitExpression) {
   auto expected =
       ReferenceEinsumCoo<std::complex<double>>("a,b,ca,dbc,ed->ce", ptrs)
           .value();
-  EXPECT_TRUE(AllClose(*got, expected, 1e-9)) << engine->name();
+  std::string why;
+  EXPECT_TRUE(AllCloseTol(*got, expected, {}, &why))
+      << engine->name() << ": " << why;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEnginesComplex, ComplexEnginesMatchReference,

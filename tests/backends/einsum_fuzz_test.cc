@@ -9,9 +9,12 @@
 #include "backends/sqlite_backend.h"
 #include "common/rng.h"
 #include "core/reference.h"
+#include "testing/almost_equal.h"
 
 namespace einsql {
 namespace {
+
+using testing::AllCloseTol;
 
 struct RandomExpression {
   EinsumSpec spec;
@@ -111,8 +114,9 @@ TEST_P(EinsumFuzz, AllEnginesMatchOracle) {
       auto got = engine->EinsumSpecified(e.spec, e.operands(), options);
       ASSERT_TRUE(got.ok()) << e.spec.ToString() << " on " << engine->name()
                             << ": " << got.status();
-      EXPECT_TRUE(AllClose(*got, expected, 1e-9))
-          << e.spec.ToString() << " on " << engine->name();
+      std::string why;
+      EXPECT_TRUE(AllCloseTol(*got, expected, {}, &why))
+          << e.spec.ToString() << " on " << engine->name() << ": " << why;
     }
   }
 }
@@ -157,7 +161,9 @@ TEST(LargeLabelSpaceTest, MatrixChainWith151Labels) {
                                             &sparse}) {
     auto got = engine->EinsumSpecified(spec, ptrs, options);
     ASSERT_TRUE(got.ok()) << got.status() << " on " << engine->name();
-    EXPECT_TRUE(AllClose(*got, expected, 1e-9)) << engine->name();
+    std::string why;
+    EXPECT_TRUE(AllCloseTol(*got, expected, {}, &why))
+        << engine->name() << ": " << why;
   }
 }
 

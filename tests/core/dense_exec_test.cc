@@ -4,9 +4,12 @@
 
 #include "common/rng.h"
 #include "core/reference.h"
+#include "testing/almost_equal.h"
 
 namespace einsql {
 namespace {
+
+using testing::AllCloseTol;
 
 DenseTensor RandomTensor(const Shape& shape, uint64_t seed) {
   auto t = DenseTensor::Zeros(shape).value();
@@ -36,8 +39,10 @@ TEST_P(DenseExecAgreesWithReference, Agrees) {
   auto program = BuildProgram(c.format, c.shapes, algorithm).value();
   auto got = ExecuteProgramDense(program, ptrs).value();
   auto expected = ReferenceEinsum<double>(c.format, ptrs).value();
-  EXPECT_TRUE(AllClose(got, expected, 1e-9))
-      << c.format << " with " << PathAlgorithmToString(algorithm);
+  std::string why;
+  EXPECT_TRUE(AllCloseTol(got, expected, {}, &why))
+      << c.format << " with " << PathAlgorithmToString(algorithm) << ": "
+      << why;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -95,7 +100,7 @@ TEST(DenseExecTest, ComplexProgram) {
   auto got = ExecuteProgramDense<std::complex<double>>(program, {&a, &b}).value();
   auto expected =
       ReferenceEinsum<std::complex<double>>("ik,kj->ij", {&a, &b}).value();
-  EXPECT_TRUE(AllClose(got, expected));
+  EXPECT_TRUE(AllCloseTol(got, expected));
 }
 
 TEST(DenseExecTest, CooRoundTrip) {
@@ -129,7 +134,7 @@ TEST(DenseExecTest, IdentityReturnsInputCopy) {
       BuildProgram("ij->ij", {{2, 3}}, PathAlgorithm::kAuto).value();
   auto a = RandomTensor({2, 3}, 3);
   auto out = ExecuteProgramDense<double>(program, {&a}).value();
-  EXPECT_TRUE(AllClose(a, out));
+  EXPECT_TRUE(AllCloseTol(a, out));
 }
 
 }  // namespace

@@ -149,5 +149,76 @@ TEST(ToStringTest, RoundTrip) {
   }
 }
 
+// --- edge cases the fuzzer leans on --------------------------------------
+
+TEST(EdgeCaseTest, EmptyOutputAfterArrowIsAScalarSpec) {
+  auto spec = ParseEinsumFormat("ij->").value();
+  EXPECT_TRUE(spec.output.empty());
+  auto extents = IndexExtents(spec, {{2, 3}}).value();
+  EXPECT_TRUE(OutputShape(spec, extents).value().empty());
+  EXPECT_EQ(SummationIndices(spec), ToTerm("ij"));
+}
+
+TEST(EdgeCaseTest, SizeZeroDimsFlowThroughExtentsAndOutputShape) {
+  auto spec = ParseEinsumFormat("ij,jk->ik").value();
+  auto extents = IndexExtents(spec, {{0, 3}, {3, 2}}).value();
+  EXPECT_EQ(extents.at('i'), 0);
+  const Shape out = OutputShape(spec, extents).value();
+  EXPECT_EQ(out, (Shape{0, 2}));
+  EXPECT_EQ(NumElements(out).value(), 0);
+  // A zero extent still has to be consistent across tensors sharing it.
+  EXPECT_FALSE(IndexExtents(spec, {{2, 0}, {3, 2}}).ok());
+  EXPECT_TRUE(IndexExtents(spec, {{2, 0}, {0, 2}}).ok());
+}
+
+TEST(EdgeCaseTest, SizeOneDimsAreOrdinary) {
+  auto spec = ParseEinsumFormat("ij,jk->ik").value();
+  auto extents = IndexExtents(spec, {{1, 1}, {1, 1}}).value();
+  EXPECT_EQ(OutputShape(spec, extents).value(), (Shape{1, 1}));
+}
+
+TEST(EdgeCaseTest, DuplicateOutputLabelsRejected) {
+  EXPECT_FALSE(ParseEinsumFormat("ij->ii").ok());
+  EXPECT_FALSE(ParseEinsumFormat("ij,jk->ikk").ok());
+  // The same rule holds for programmatically built specs.
+  EinsumSpec spec;
+  spec.inputs = {ToTerm("ij")};
+  spec.output = ToTerm("ii");
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+}
+
+TEST(EdgeCaseTest, ProgrammaticSpecsRoundTripBeyondTheLetterAlphabet) {
+  // A chain with 100 distinct labels — far past the 52 ASCII letters a
+  // textual format string can name (§4.2's SAT networks do exactly this).
+  EinsumSpec spec;
+  constexpr int kLinks = 99;
+  for (int k = 0; k < kLinks; ++k) {
+    Term term;
+    term.push_back(static_cast<Label>(1000 + k));
+    term.push_back(static_cast<Label>(1000 + k + 1));
+    spec.inputs.push_back(std::move(term));
+  }
+  spec.output.push_back(static_cast<Label>(1000));
+  spec.output.push_back(static_cast<Label>(1000 + kLinks));
+  ASSERT_TRUE(ValidateSpec(spec).ok());
+
+  std::vector<Shape> shapes(kLinks, Shape{2, 2});
+  auto extents = IndexExtents(spec, shapes).value();
+  EXPECT_EQ(extents.size(), 100u);
+  EXPECT_EQ(OutputShape(spec, extents).value(), (Shape{2, 2}));
+
+  // ToString renders wide labels as "#<value>" and stays unambiguous.
+  const std::string rendered = spec.ToString();
+  EXPECT_NE(rendered.find("#1000#1001"), std::string::npos);
+  EXPECT_NE(rendered.find("->#1000#1099"), std::string::npos);
+}
+
+TEST(EdgeCaseTest, WideLabelTermToStringMixesAsciiAndHashes) {
+  Term term = ToTerm("a");
+  term.push_back(static_cast<Label>(500));
+  term.push_back('b');
+  EXPECT_EQ(TermToString(term), "a#500b");
+}
+
 }  // namespace
 }  // namespace einsql

@@ -20,6 +20,10 @@ class QueryGenerator {
   explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
 
   std::string Generate() {
+    // A third of the queries mirror the shape sqlgen emits for decomposed
+    // einsum programs (§3.3): a LEFT-join-free WITH chain of SUM/GROUP BY
+    // steps, each consuming the previous CTE.
+    if (rng_.Bernoulli(0.33)) return GenerateCteChain();
     std::ostringstream sql;
     const bool aggregate = rng_.Bernoulli(0.5);
     const bool join = rng_.Bernoulli(0.5);
@@ -70,6 +74,38 @@ class QueryGenerator {
   }
 
  private:
+  // WITH c0 AS (aggregate of ta), c1 AS (c0 joined against tb and
+  // re-aggregated), ... SELECT ... FROM cN ORDER BY ... [LIMIT ...] —
+  // the same chain-of-contractions shape the einsum SQL generator produces,
+  // with comma joins only (the portable subset has no LEFT JOIN).
+  std::string GenerateCteChain() {
+    std::ostringstream sql;
+    const int steps = 2 + static_cast<int>(rng_.UniformInt(0, 2));
+    sql << "WITH c0 AS (SELECT a.g AS k, SUM("
+        << (rng_.Bernoulli(0.5) ? "a.x" : "a.x * a.k")
+        << ") AS v FROM ta a";
+    if (rng_.Bernoulli(0.5)) sql << " WHERE a.k > " << rng_.UniformInt(0, 3);
+    sql << " GROUP BY a.g)";
+    for (int s = 1; s < steps; ++s) {
+      sql << ", c" << s << " AS (";
+      const std::string prev = "c" + std::to_string(s - 1);
+      if (rng_.Bernoulli(0.6)) {
+        // Contraction step: join the running CTE against a base relation on
+        // the shared index and SUM the product, exactly like R1-R4 per step.
+        sql << "SELECT p.k AS k, SUM(p.v * b.y) AS v FROM " << prev
+            << " p, tb b WHERE p.k = b.k GROUP BY p.k";
+      } else {
+        // Reduction-only step: no new relation, just re-aggregate.
+        sql << "SELECT p.k AS k, SUM(p.v) AS v FROM " << prev
+            << " p GROUP BY p.k";
+      }
+      sql << ")";
+    }
+    sql << " SELECT k, v FROM c" << steps - 1 << " ORDER BY k, v";
+    if (rng_.Bernoulli(0.4)) sql << " LIMIT " << rng_.UniformInt(1, 5);
+    return sql.str();
+  }
+
   std::string Column(bool join) {
     static const char* kA[] = {"a.g", "a.k", "a.x"};
     static const char* kB[] = {"b.k", "b.y"};

@@ -12,8 +12,12 @@ TEST(DenseTest, ZerosInitializes) {
 }
 
 TEST(DenseTest, ZerosRejectsBadShape) {
-  EXPECT_FALSE(DenseTensor::Zeros({0}).ok());
   EXPECT_FALSE(DenseTensor::Zeros({-2, 3}).ok());
+}
+
+TEST(DenseTest, ZerosAllowsDegenerateAxis) {
+  auto t = DenseTensor::Zeros({0, 3}).value();
+  EXPECT_EQ(t.size(), 0);
 }
 
 TEST(DenseTest, FromDataValidatesSize) {

@@ -14,9 +14,17 @@ TEST(NumElementsTest, ProductOfExtents) {
   EXPECT_EQ(NumElements({7}).value(), 7);
 }
 
-TEST(NumElementsTest, RejectsNonPositiveExtent) {
-  EXPECT_FALSE(NumElements({2, 0}).ok());
+TEST(NumElementsTest, DegenerateAxisYieldsEmptyTensor) {
+  EXPECT_EQ(NumElements({2, 0}).value(), 0);
+  EXPECT_EQ(NumElements({0}).value(), 0);
+  EXPECT_EQ(NumElements({0, 0, 3}).value(), 0);
+}
+
+TEST(NumElementsTest, RejectsNegativeExtent) {
   EXPECT_FALSE(NumElements({-1}).ok());
+  EXPECT_FALSE(NumElements({2, -3}).ok());
+  // A degenerate axis must not mask a negative one later in the shape.
+  EXPECT_FALSE(NumElements({0, -1}).ok());
 }
 
 TEST(NumElementsTest, DetectsOverflow) {

@@ -1,0 +1,106 @@
+#include "testing/almost_equal.h"
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+namespace einsql::testing {
+namespace {
+
+TEST(UlpDistance, AdjacentDoublesAreOneApart) {
+  const double a = 1.0;
+  const double b = std::nextafter(a, 2.0);
+  EXPECT_EQ(UlpDistance(a, a), 0);
+  EXPECT_EQ(UlpDistance(a, b), 1);
+  EXPECT_EQ(UlpDistance(b, a), 1);
+}
+
+TEST(UlpDistance, NanAndSignCrossingsAreFar) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(UlpDistance(nan, 1.0), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(UlpDistance(-1.0, 1.0), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(UlpDistance(0.0, -0.0), 0);  // +0 == -0
+}
+
+TEST(AlmostEqual, ExactAndAbsolute) {
+  EXPECT_TRUE(AlmostEqual(1.5, 1.5));
+  EXPECT_TRUE(AlmostEqual(0.0, 5e-10));        // inside abs_tolerance
+  EXPECT_FALSE(AlmostEqual(0.0, 1e-3));        // outside all criteria
+}
+
+TEST(AlmostEqual, RelativeScalesWithMagnitude) {
+  // 1e12 and 1e12*(1+1e-10): absolute difference is huge, relative is tiny.
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 * (1.0 + 1e-10)));
+  EXPECT_FALSE(AlmostEqual(1e12, 1.001e12));
+}
+
+TEST(AlmostEqual, UlpCriterionCatchesAccumulationNoise) {
+  double a = 0.1 + 0.2;  // 0.30000000000000004
+  Tolerance strict;
+  strict.abs_tolerance = 0;
+  strict.rel_tolerance = 0;
+  strict.max_ulps = 4;
+  EXPECT_TRUE(AlmostEqual(a, 0.3, strict));
+  strict.max_ulps = 0;
+  EXPECT_FALSE(AlmostEqual(a, 0.3, strict));
+}
+
+TEST(AlmostEqual, NanAndInfNeverAgree) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AlmostEqual(nan, nan));
+  EXPECT_FALSE(AlmostEqual(inf, 1e308));
+  EXPECT_TRUE(AlmostEqual(inf, inf));  // exact equality short-circuit
+}
+
+TEST(AlmostEqual, ComplexRequiresBothComponents) {
+  const std::complex<double> a(1.0, 2.0);
+  EXPECT_TRUE(AlmostEqual(a, std::complex<double>(1.0, 2.0)));
+  EXPECT_FALSE(AlmostEqual(a, std::complex<double>(1.0, 2.1)));
+  EXPECT_FALSE(AlmostEqual(a, std::complex<double>(1.1, 2.0)));
+}
+
+TEST(AllCloseTol, ShapeMismatchExplains) {
+  CooTensor a({2, 2}), b({2, 3});
+  std::string why;
+  EXPECT_FALSE(AllCloseTol(a, b, {}, &why));
+  EXPECT_NE(why.find("shape mismatch"), std::string::npos);
+}
+
+TEST(AllCloseTol, AbsentCoordinatesCompareAsZero) {
+  CooTensor a({2, 2}), b({2, 2});
+  ASSERT_TRUE(a.Append({0, 1}, 2.0).ok());
+  ASSERT_TRUE(b.Append({0, 1}, 2.0).ok());
+  ASSERT_TRUE(b.Append({1, 0}, 0.0).ok());  // explicit zero on one side only
+  EXPECT_TRUE(AllCloseTol(a, b));
+}
+
+TEST(AllCloseTol, DetectsValueMismatchWithLocation) {
+  CooTensor a({3}), b({3});
+  ASSERT_TRUE(a.Append({1}, 1.0).ok());
+  ASSERT_TRUE(b.Append({1}, 1.5).ok());
+  std::string why;
+  EXPECT_FALSE(AllCloseTol(a, b, {}, &why));
+  EXPECT_NE(why.find("(1)"), std::string::npos);
+}
+
+TEST(AllCloseTol, CoalescesDuplicateEntries) {
+  CooTensor a({2}), b({2});
+  ASSERT_TRUE(a.Append({0}, 1.0).ok());
+  ASSERT_TRUE(a.Append({0}, 2.0).ok());  // duplicates sum to 3
+  ASSERT_TRUE(b.Append({0}, 3.0).ok());
+  EXPECT_TRUE(AllCloseTol(a, b));
+}
+
+TEST(AllCloseTol, ComplexTensors) {
+  ComplexCooTensor a({2}), b({2});
+  ASSERT_TRUE(a.Append({0}, {1.0, -1.0}).ok());
+  ASSERT_TRUE(b.Append({0}, {1.0, -1.0}).ok());
+  EXPECT_TRUE(AllCloseTol(a, b));
+  ASSERT_TRUE(b.Append({1}, {0.0, 0.5}).ok());
+  EXPECT_FALSE(AllCloseTol(a, b));
+}
+
+}  // namespace
+}  // namespace einsql::testing

@@ -1,0 +1,88 @@
+// Replays the checked-in seed corpus through the full oracle battery. This
+// is the regression net for every bug the fuzzer has minimized (and for the
+// hand-picked regimes the random generator must keep covering): any corpus
+// entry diverging between oracles fails this test with a named repro.
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "testing/corpus.h"
+#include "testing/fuzz.h"
+#include "testing/oracles.h"
+
+namespace einsql::testing {
+namespace {
+
+std::vector<EinsumInstance> LoadSeedCorpus() {
+  auto corpus = LoadCorpus(std::string(EINSQL_CORPUS_DIR) + "/seed_corpus.txt");
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  return corpus.ok() ? *corpus : std::vector<EinsumInstance>{};
+}
+
+TEST(SeedCorpus, IsLargeAndSpansTheRegimes) {
+  const std::vector<EinsumInstance> corpus = LoadSeedCorpus();
+  EXPECT_GE(corpus.size(), 50u);
+  bool complex_values = false, degenerate = false, unit_extent = false;
+  bool sparse = false, dense = false, empty = false, batch = false;
+  bool wide_labels = false, repeated = false, scalar_output = false;
+  for (const EinsumInstance& instance : corpus) {
+    complex_values |= instance.complex_values;
+    scalar_output |= instance.spec.output.empty();
+    int64_t capacity = 1;
+    for (const Shape& shape : instance.shapes()) {
+      for (int64_t extent : shape) {
+        degenerate |= extent == 0;
+        unit_extent |= extent == 1;
+      }
+      auto n = NumElements(shape);
+      capacity += n.ok() ? *n : 0;
+    }
+    const int64_t nnz = instance.total_nnz();
+    empty |= nnz == 0 && instance.num_operands() > 0;
+    sparse |= nnz > 0 && nnz * 2 < capacity;
+    dense |= instance.num_operands() > 0 && nnz + 1 >= capacity;
+    for (const Term& term : instance.spec.inputs) {
+      std::set<Label> seen;
+      for (Label l : term) {
+        wide_labels |= l >= 128;
+        repeated |= !seen.insert(l).second;
+      }
+    }
+    // Batch index: a label shared by two inputs that also survives into the
+    // output (the "b" of bij,bjk->bik).
+    if (instance.num_operands() >= 2) {
+      for (Label l : instance.spec.output) {
+        int uses = 0;
+        for (const Term& term : instance.spec.inputs) {
+          uses += term.find(l) != Term::npos;
+        }
+        batch |= uses >= 2;
+      }
+    }
+  }
+  EXPECT_TRUE(complex_values);
+  EXPECT_TRUE(degenerate);
+  EXPECT_TRUE(unit_extent);
+  EXPECT_TRUE(sparse);
+  EXPECT_TRUE(dense);
+  EXPECT_TRUE(empty);
+  EXPECT_TRUE(batch);
+  EXPECT_TRUE(wide_labels);
+  EXPECT_TRUE(repeated);
+  EXPECT_TRUE(scalar_output);
+}
+
+TEST(SeedCorpus, AllOraclesAgreeOnEveryEntry) {
+  const std::vector<EinsumInstance> corpus = LoadSeedCorpus();
+  ASSERT_FALSE(corpus.empty());
+  auto owned = MakeDefaultOracles();
+  const std::vector<Oracle*> oracles = OraclePointers(owned);
+  FuzzOptions options;
+  options.shrink = false;  // corpus entries are already minimal
+  const FuzzReport report = ReplayInstances(corpus, options, oracles, nullptr);
+  EXPECT_EQ(report.iterations_run, static_cast<int>(corpus.size()));
+  EXPECT_TRUE(report.ok()) << report.ToJson();
+}
+
+}  // namespace
+}  // namespace einsql::testing

@@ -1,0 +1,152 @@
+#include "testing/fuzz.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "testing/corpus.h"
+
+namespace einsql::testing {
+namespace {
+
+// Fast configuration for unit tests: a couple of oracles, one path.
+struct SmallBattery {
+  SmallBattery() : owned(MakeDefaultOracles("reference,dense,sparse")) {
+    pointers = OraclePointers(owned);
+  }
+  std::vector<std::unique_ptr<Oracle>> owned;
+  std::vector<Oracle*> pointers;
+};
+
+TEST(RunFuzz, GreenRunReportsCounts) {
+  SmallBattery battery;
+  FuzzOptions options;
+  options.seed = 21;
+  options.iterations = 10;
+  std::ostringstream log;
+  const FuzzReport report = RunFuzz(options, battery.pointers, &log);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.iterations_run, 10);
+  EXPECT_GT(report.evaluations, 0);
+  EXPECT_GT(report.elapsed_seconds, 0.0);
+  EXPECT_NE(log.str().find("10 instances"), std::string::npos);
+}
+
+TEST(RunFuzz, DeterministicInSeed) {
+  SmallBattery battery;
+  FuzzOptions options;
+  options.seed = 33;
+  options.iterations = 6;
+  const FuzzReport a = RunFuzz(options, battery.pointers, nullptr);
+  const FuzzReport b = RunFuzz(options, battery.pointers, nullptr);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.skips, b.skips);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(RunFuzz, RefusesToRunUnbounded) {
+  SmallBattery battery;
+  FuzzOptions options;
+  options.iterations = 0;
+  options.duration_seconds = 0;
+  const FuzzReport report = RunFuzz(options, battery.pointers, nullptr);
+  EXPECT_EQ(report.iterations_run, 0);
+}
+
+TEST(RunFuzz, DurationBoxStopsTheRun) {
+  SmallBattery battery;
+  FuzzOptions options;
+  options.seed = 2;
+  options.iterations = 0;          // unbounded iterations...
+  options.duration_seconds = 0.2;  // ...but a tight time box
+  const FuzzReport report = RunFuzz(options, battery.pointers, nullptr);
+  EXPECT_GT(report.iterations_run, 0);
+  EXPECT_GE(report.elapsed_seconds, 0.2);
+}
+
+TEST(FuzzReport, JsonShapeOnGreenRun) {
+  SmallBattery battery;
+  FuzzOptions options;
+  options.seed = 5;
+  options.iterations = 3;
+  const FuzzReport report = RunFuzz(options, battery.pointers, nullptr);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"seed\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations_run\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"failures\":[]"), std::string::npos);
+}
+
+// Oracle that negates every real result: every instance with a nonzero
+// output diverges, exercising the failure/shrink/report path end to end.
+class NegatingOracle : public Oracle {
+ public:
+  std::string name() const override { return "negator"; }
+  Result<CooTensor> EvalReal(const ContractionProgram& program,
+                             const std::vector<const CooTensor*>& tensors,
+                             const EinsumOptions& options) override {
+    EINSQL_ASSIGN_OR_RETURN(CooTensor out,
+                            inner_.EvalReal(program, tensors, options));
+    CooTensor negated(out.shape());
+    for (int64_t k = 0; k < out.nnz(); ++k) {
+      (void)negated.Append(out.CoordsAt(k), -out.ValueAt(k));
+    }
+    return negated;
+  }
+  Result<ComplexCooTensor> EvalComplex(
+      const ContractionProgram& program,
+      const std::vector<const ComplexCooTensor*>& tensors,
+      const EinsumOptions& options) override {
+    return inner_.EvalComplex(program, tensors, options);
+  }
+
+ private:
+  ReferenceOracle inner_;
+};
+
+TEST(RunFuzz, CatchesShrinksAndReportsAnInjectedBug) {
+  ReferenceOracle reference;
+  NegatingOracle negator;
+  const std::vector<Oracle*> oracles = {&reference, &negator};
+  FuzzOptions options;
+  options.seed = 9;
+  options.iterations = 40;
+  options.stop_on_failure = true;
+  options.differential.paths = {PathAlgorithm::kGreedy};
+  options.differential.check_flat = false;
+  options.differential.metamorphic = false;
+  options.generator.complex_probability = 0.0;
+  options.generator.chain_probability = 0.0;
+  std::ostringstream log;
+  const FuzzReport report = RunFuzz(options, oracles, &log);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.failures.size(), 1u);  // stop_on_failure
+  const FuzzFailure& failure = report.failures.front();
+  EXPECT_FALSE(failure.original_report.ok());
+  EXPECT_FALSE(failure.shrunk_report.ok());
+  EXPECT_LE(failure.shrunk.total_nnz(), failure.original.total_nnz());
+  EXPECT_GT(failure.shrink_stats.attempts, 0);
+  // The log carries the repro snippet; the JSON names the lying oracle.
+  EXPECT_NE(log.str().find("repro:"), std::string::npos);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("negator"), std::string::npos);
+  EXPECT_NE(json.find("\"repro_cc\""), std::string::npos);
+}
+
+TEST(ReplayInstances, ChecksEveryCorpusEntry) {
+  SmallBattery battery;
+  // Build a tiny in-memory corpus from the generator.
+  Rng rng(17);
+  GeneratorOptions gen;
+  gen.chain_probability = 0.0;
+  std::vector<EinsumInstance> corpus;
+  for (int i = 0; i < 5; ++i) corpus.push_back(GenerateInstance(&rng, gen));
+  FuzzOptions options;
+  const FuzzReport report =
+      ReplayInstances(corpus, options, battery.pointers, nullptr);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.iterations_run, 5);
+}
+
+}  // namespace
+}  // namespace einsql::testing

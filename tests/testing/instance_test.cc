@@ -1,0 +1,159 @@
+#include "testing/instance.h"
+
+#include "gtest/gtest.h"
+#include "testing/almost_equal.h"
+#include "testing/corpus.h"
+
+namespace einsql::testing {
+namespace {
+
+EinsumInstance MatmulInstance() {
+  EinsumInstance instance;
+  instance.spec = ParseSpecString("ij,jk->ik").value();
+  CooTensor a({2, 3});
+  (void)a.Append({0, 0}, 1.5);
+  (void)a.Append({1, 2}, -0.25);
+  CooTensor b({3, 2});
+  (void)b.Append({0, 1}, 2.0);
+  (void)b.Append({2, 0}, 4.0);
+  instance.real_tensors.push_back(std::move(a));
+  instance.real_tensors.push_back(std::move(b));
+  return instance;
+}
+
+TEST(ParseSpecString, AsciiLetters) {
+  auto spec = ParseSpecString("ij,jk->ik");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->inputs.size(), 2u);
+  EXPECT_EQ(spec->inputs[0], Term{U"ij"});
+  EXPECT_EQ(spec->output, Term{U"ik"});
+}
+
+TEST(ParseSpecString, WideLabels) {
+  auto spec = ParseSpecString("#1000#1001,#1001->#1000");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->inputs[0].size(), 2u);
+  EXPECT_EQ(spec->inputs[0][0], static_cast<Label>(1000));
+  EXPECT_EQ(spec->inputs[0][1], static_cast<Label>(1001));
+  EXPECT_EQ(spec->output[0], static_cast<Label>(1000));
+}
+
+TEST(ParseSpecString, EmptyOutputAndScalars) {
+  auto spec = ParseSpecString("i,i->");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->output.empty());
+}
+
+TEST(ParseSpecString, Rejections) {
+  EXPECT_FALSE(ParseSpecString("ij,jk").ok());      // no arrow
+  EXPECT_FALSE(ParseSpecString("i#->i").ok());      // '#' without digits
+  EXPECT_FALSE(ParseSpecString("i!j->i").ok());     // invalid character
+  EXPECT_FALSE(ParseSpecString("i->ij").ok());      // output label not in input
+}
+
+TEST(Shapes, RoundTrip) {
+  const std::vector<Shape> shapes = {{2, 3}, {3, 4}, {}};
+  const std::string text = ShapesToString(shapes);
+  EXPECT_EQ(text, "[2,3][3,4][]");
+  auto parsed = ParseShapesString(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, shapes);
+}
+
+TEST(EinsumInstance, BasicProperties) {
+  EinsumInstance instance = MatmulInstance();
+  EXPECT_EQ(instance.num_operands(), 2);
+  EXPECT_EQ(instance.total_nnz(), 4);
+  EXPECT_DOUBLE_EQ(instance.joint_space(), 2 * 3 * 2);
+  EXPECT_TRUE(instance.Validate().ok());
+}
+
+TEST(EinsumInstance, ValidateCatchesExtentConflict) {
+  EinsumInstance instance = MatmulInstance();
+  // Rebuild the second operand with a 'j' extent disagreeing with the first.
+  instance.real_tensors[1] = CooTensor({4, 2});
+  EXPECT_FALSE(instance.Validate().ok());
+}
+
+TEST(EinsumInstance, SerializeRoundTripReal) {
+  EinsumInstance instance = MatmulInstance();
+  instance.name = "matmul";
+  const std::string line = instance.Serialize();
+  auto parsed = EinsumInstance::Deserialize(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name, "matmul");
+  EXPECT_EQ(parsed->Serialize(), line);  // byte-identical round trip
+  std::string why;
+  EXPECT_TRUE(AllCloseTol(parsed->real_tensors[0], instance.real_tensors[0],
+                          {}, &why))
+      << why;
+}
+
+TEST(EinsumInstance, SerializeRoundTripComplex) {
+  EinsumInstance instance;
+  instance.spec = ParseSpecString("i,i->").value();
+  instance.complex_values = true;
+  ComplexCooTensor a({2}), b({2});
+  (void)a.Append({0}, {0.5, -1.25});
+  (void)a.Append({1}, {0.0, 3.0});  // pure imaginary entry
+  (void)b.Append({1}, {2.0, 0.0});
+  instance.complex_tensors.push_back(std::move(a));
+  instance.complex_tensors.push_back(std::move(b));
+  const std::string line = instance.Serialize();
+  auto parsed = EinsumInstance::Deserialize(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->complex_values);
+  EXPECT_EQ(parsed->Serialize(), line);
+}
+
+TEST(EinsumInstance, SerializeRoundTripDegenerateAndWide) {
+  // Size-0 dims and wide labels both survive the corpus format.
+  EinsumInstance instance;
+  instance.spec = ParseSpecString("#77a,a->#77").value();
+  instance.real_tensors.emplace_back(Shape{0, 2});
+  CooTensor b({2});
+  (void)b.Append({0}, 1.0);
+  instance.real_tensors.push_back(std::move(b));
+  ASSERT_TRUE(instance.Validate().ok());
+  auto parsed = EinsumInstance::Deserialize(instance.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->shapes()[0], (Shape{0, 2}));
+  EXPECT_EQ(parsed->Serialize(), instance.Serialize());
+}
+
+TEST(EinsumInstance, DeserializeRejections) {
+  EXPECT_FALSE(EinsumInstance::Deserialize("spec=ij->i").ok());  // no shapes
+  EXPECT_FALSE(
+      EinsumInstance::Deserialize("spec=i->i|shapes=[2]|dtype=real").ok());
+  // ^ one shape, zero tensor fields
+  EXPECT_FALSE(EinsumInstance::Deserialize(
+                   "spec=i->i|shapes=[2]|dtype=real|t1=(0:1)")
+                   .ok());  // tensor index out of order
+  EXPECT_FALSE(EinsumInstance::Deserialize(
+                   "spec=i->i|shapes=[2]|dtype=quaternion|t0=(0:1)")
+                   .ok());  // unknown dtype
+}
+
+TEST(EinsumInstance, ToCppSnippetMentionsEverything) {
+  EinsumInstance instance = MatmulInstance();
+  const std::string snippet = instance.ToCppSnippet();
+  EXPECT_NE(snippet.find("ParseSpecString(\"ij,jk->ik\")"), std::string::npos);
+  EXPECT_NE(snippet.find("Append({0, 0}, 1.5)"), std::string::npos);
+  EXPECT_NE(snippet.find("CheckInstance"), std::string::npos);
+  EXPECT_NE(snippet.find(instance.Serialize()), std::string::npos);
+}
+
+TEST(Corpus, ParseSkipsCommentsAndNamesBadLine) {
+  EinsumInstance instance = MatmulInstance();
+  const std::string text =
+      "# header comment\n\n" + instance.Serialize() + "\nnot a corpus line\n";
+  auto bad = ParseCorpus(text);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("line 4"), std::string::npos);
+  auto good = ParseCorpus("# only\n" + instance.Serialize() + "\n");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->size(), 1u);
+}
+
+}  // namespace
+}  // namespace einsql::testing

@@ -1,0 +1,161 @@
+#include "testing/shrink.h"
+
+#include "gtest/gtest.h"
+#include "testing/differential.h"
+#include "testing/generator.h"
+#include "testing/oracles.h"
+
+namespace einsql::testing {
+namespace {
+
+// A deliberately messy failing instance: four operands, complex values,
+// wide labels, several entries each.
+EinsumInstance MessyInstance() {
+  EinsumInstance instance;
+  instance.spec = ParseSpecString("#600ab,bc,cd,d->#600d").value();
+  instance.complex_values = true;
+  const std::vector<Shape> shapes = {{2, 2, 3}, {3, 2}, {2, 3}, {3}};
+  for (const Shape& shape : shapes) {
+    ComplexCooTensor t(shape);
+    std::vector<int64_t> coords(shape.size(), 0);
+    // A handful of deterministic entries per tensor.
+    for (int k = 0; k < 4; ++k) {
+      for (size_t d = 0; d < shape.size(); ++d) {
+        coords[d] = (k + static_cast<int>(d)) % shape[d];
+      }
+      (void)t.Append(coords, {1.0 + k, -0.5 * k});
+    }
+    instance.complex_tensors.push_back(std::move(t));
+  }
+  EXPECT_TRUE(instance.Validate().ok());
+  return instance;
+}
+
+TEST(ShrinkInstance, DropsOperandsTheFailureDoesNotNeed) {
+  // "Bug": any instance whose first term contains label 'b' fails. Only one
+  // operand is essential; the shrinker should strip the rest.
+  const EinsumInstance failing = MessyInstance();
+  StillFailsFn still_fails = [](const EinsumInstance& candidate) {
+    for (const Term& term : candidate.spec.inputs) {
+      if (term.find(static_cast<Label>('b')) != Term::npos) return true;
+    }
+    return false;
+  };
+  ShrinkStats stats;
+  const EinsumInstance shrunk =
+      ShrinkInstance(failing, still_fails, {}, &stats);
+  EXPECT_TRUE(still_fails(shrunk));
+  EXPECT_TRUE(shrunk.Validate().ok()) << shrunk.DebugString();
+  EXPECT_LE(shrunk.num_operands(), 2);
+  EXPECT_GT(stats.accepted, 0);
+  EXPECT_GE(stats.attempts, stats.accepted);
+}
+
+TEST(ShrinkInstance, ShrinksExtentsEntriesAndValues) {
+  // "Bug" depends only on operand count >= 2: everything else should
+  // collapse — extents toward 1, entries dropped, values collapsed to 1,
+  // complex demoted to real, wide labels renamed to ASCII.
+  const EinsumInstance failing = MessyInstance();
+  StillFailsFn still_fails = [](const EinsumInstance& candidate) {
+    return candidate.num_operands() >= 2;
+  };
+  const EinsumInstance shrunk = ShrinkInstance(failing, still_fails);
+  EXPECT_EQ(shrunk.num_operands(), 2);
+  EXPECT_FALSE(shrunk.complex_values);
+  EXPECT_LE(shrunk.total_nnz(), 2);
+  for (const Shape& shape : shrunk.shapes()) {
+    for (int64_t extent : shape) EXPECT_LE(extent, 1);
+  }
+  for (const Term& term : shrunk.spec.inputs) {
+    for (Label l : term) EXPECT_LT(l, 128u);  // ASCII now
+  }
+}
+
+TEST(ShrinkInstance, ReturnsOriginalWhenNothingSmallerFails) {
+  EinsumInstance failing;
+  failing.spec = ParseSpecString("a->a").value();
+  CooTensor t({1});
+  (void)t.Append({0}, 2.0);
+  failing.real_tensors.push_back(std::move(t));
+  // Failure requires this exact instance; any transformation rescues it.
+  const std::string original = failing.Serialize();
+  StillFailsFn still_fails = [&](const EinsumInstance& candidate) {
+    return candidate.Serialize() == original;
+  };
+  const EinsumInstance shrunk = ShrinkInstance(failing, still_fails);
+  EXPECT_EQ(shrunk.Serialize(), failing.Serialize());
+}
+
+TEST(ShrinkInstance, RespectsAttemptBudget) {
+  const EinsumInstance failing = MessyInstance();
+  StillFailsFn always = [](const EinsumInstance&) { return true; };
+  ShrinkOptions options;
+  options.max_attempts = 5;
+  ShrinkStats stats;
+  (void)ShrinkInstance(failing, always, options, &stats);
+  EXPECT_LE(stats.attempts, 5);
+}
+
+// End-to-end mutation check: a deliberately buggy oracle (it scales every
+// result by 1.001) must be caught by the differential runner and shrunk to
+// a tiny repro — the workflow a real sqlgen bug would follow.
+class ScalingBugOracle : public Oracle {
+ public:
+  std::string name() const override { return "scaling-bug"; }
+  Result<CooTensor> EvalReal(const ContractionProgram& program,
+                             const std::vector<const CooTensor*>& tensors,
+                             const EinsumOptions& options) override {
+    EINSQL_ASSIGN_OR_RETURN(CooTensor out,
+                            inner_.EvalReal(program, tensors, options));
+    CooTensor scaled(out.shape());
+    for (int64_t k = 0; k < out.nnz(); ++k) {
+      (void)scaled.Append(out.CoordsAt(k), out.ValueAt(k) * 1.001);
+    }
+    return scaled;
+  }
+  Result<ComplexCooTensor> EvalComplex(
+      const ContractionProgram& program,
+      const std::vector<const ComplexCooTensor*>& tensors,
+      const EinsumOptions& options) override {
+    return inner_.EvalComplex(program, tensors, options);
+  }
+
+ private:
+  ReferenceOracle inner_;
+};
+
+TEST(ShrinkInstance, MinimizesARealDifferentialFailure) {
+  ReferenceOracle reference;
+  ScalingBugOracle buggy;
+  const std::vector<Oracle*> oracles = {&reference, &buggy};
+  DifferentialOptions options;
+  options.paths = {PathAlgorithm::kGreedy};
+  options.check_flat = false;
+  options.metamorphic = false;
+
+  // Find a failing draw (real-valued with a nonzero output somewhere).
+  GeneratorOptions gen;
+  gen.complex_probability = 0.0;
+  gen.chain_probability = 0.0;
+  Rng rng(5);
+  EinsumInstance failing;
+  bool found = false;
+  for (int i = 0; i < 50 && !found; ++i) {
+    EinsumInstance candidate = GenerateInstance(&rng, gen);
+    found = !CheckInstance(candidate, oracles, options).ok();
+    if (found) failing = std::move(candidate);
+  }
+  ASSERT_TRUE(found) << "no draw exercised the injected bug";
+
+  StillFailsFn still_fails = [&](const EinsumInstance& candidate) {
+    return !CheckInstance(candidate, oracles, options).ok();
+  };
+  const EinsumInstance shrunk = ShrinkInstance(failing, still_fails);
+  EXPECT_TRUE(still_fails(shrunk));
+  // The bug only needs one operand with one entry to show.
+  EXPECT_LE(shrunk.num_operands(), 3);
+  EXPECT_LE(shrunk.total_nnz(), 3);
+}
+
+}  // namespace
+}  // namespace einsql::testing

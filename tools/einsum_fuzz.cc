@@ -1,0 +1,172 @@
+// einsum_fuzz — property-based differential fuzzer for the einsum-to-SQL
+// pipeline. Draws random einsum instances (sparse/dense, real/complex,
+// degenerate dims, wide-label chains), evaluates each through every oracle
+// (brute-force reference, dense, sparse, MiniDB at all optimizer-effort
+// levels, MiniDB parallel, SQLite) under every contraction-path algorithm,
+// and demands toleranced agreement plus metamorphic invariances. Failures
+// are shrunk to minimal repros.
+//
+// Usage:
+//   einsum_fuzz [options]
+//
+// Options:
+//   --seed=N            PRNG seed (default 1)
+//   --iters=N           number of random instances (default 100; 0 = no
+//                       iteration bound, requires --duration)
+//   --duration=SECS     wall-clock time box; generation stops when it trips
+//   --corpus=FILE       replay a corpus file instead of generating
+//   --emit-corpus=FILE  write every generated instance to FILE and exit
+//                       without checking (corpus construction mode)
+//   --report=FILE       write the JSON run report to FILE ("-" = stdout)
+//   --oracles=FILTER    only run oracles whose name contains one of the
+//                       comma-separated substrings, e.g. "minidb,sqlite"
+//   --paths=LIST        comma-separated path algorithms to cross-check:
+//                       naive,greedy,elimination,branch,optimal,auto
+//   --max-operands=N    upper bound on operands per instance (default 5)
+//   --no-shrink         report failures without minimizing them
+//   --quiet             suppress per-failure progress on stderr
+//
+// Exit status: 0 all green, 1 divergences found, 2 usage/setup error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "testing/corpus.h"
+#include "testing/fuzz.h"
+#include "testing/oracles.h"
+
+namespace {
+
+using namespace einsql;           // NOLINT
+using namespace einsql::testing;  // NOLINT
+
+int Usage(const char* argv0, const std::string& error) {
+  std::fprintf(stderr, "error: %s\nusage: %s [--seed=N] [--iters=N]\n"
+               "  [--duration=SECS] [--corpus=FILE] [--emit-corpus=FILE]\n"
+               "  [--report=FILE] [--oracles=FILTER] [--paths=LIST]\n"
+               "  [--max-operands=N] [--no-shrink] [--quiet]\n",
+               error.c_str(), argv0);
+  return 2;
+}
+
+Result<std::vector<PathAlgorithm>> ParsePaths(const std::string& list) {
+  std::vector<PathAlgorithm> paths;
+  for (const std::string& name : Split(list, ',')) {
+    if (name == "naive") {
+      paths.push_back(PathAlgorithm::kNaive);
+    } else if (name == "greedy") {
+      paths.push_back(PathAlgorithm::kGreedy);
+    } else if (name == "elimination") {
+      paths.push_back(PathAlgorithm::kElimination);
+    } else if (name == "branch") {
+      paths.push_back(PathAlgorithm::kBranch);
+    } else if (name == "optimal") {
+      paths.push_back(PathAlgorithm::kOptimal);
+    } else if (name == "auto") {
+      paths.push_back(PathAlgorithm::kAuto);
+    } else {
+      return Status::InvalidArgument("unknown path algorithm '", name, "'");
+    }
+  }
+  if (paths.empty()) return Status::InvalidArgument("--paths list is empty");
+  return paths;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  std::string corpus_path, emit_corpus_path, report_path, oracle_filter;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--seed=")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--iters=")) {
+      options.iterations = std::atoi(v);
+    } else if (const char* v = value("--duration=")) {
+      options.duration_seconds = std::atof(v);
+    } else if (const char* v = value("--corpus=")) {
+      corpus_path = v;
+    } else if (const char* v = value("--emit-corpus=")) {
+      emit_corpus_path = v;
+    } else if (const char* v = value("--report=")) {
+      report_path = v;
+    } else if (const char* v = value("--oracles=")) {
+      oracle_filter = v;
+    } else if (const char* v = value("--paths=")) {
+      auto paths = ParsePaths(v);
+      if (!paths.ok()) return Usage(argv[0], paths.status().ToString());
+      options.differential.paths = std::move(paths).value();
+    } else if (const char* v = value("--max-operands=")) {
+      options.generator.max_operands = std::atoi(v);
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage(argv[0], "unknown option '" + arg + "'");
+    }
+  }
+  if (options.iterations <= 0 && options.duration_seconds <= 0 &&
+      corpus_path.empty() && emit_corpus_path.empty()) {
+    return Usage(argv[0], "need --iters, --duration, or --corpus");
+  }
+
+  // Corpus construction mode: write instances, check nothing.
+  if (!emit_corpus_path.empty()) {
+    Rng rng(options.seed);
+    std::vector<EinsumInstance> instances;
+    for (int i = 0; i < options.iterations; ++i) {
+      EinsumInstance instance = GenerateInstance(&rng, options.generator);
+      instance.name = "seed" + std::to_string(options.seed) + "-iter" +
+                      std::to_string(i);
+      instances.push_back(std::move(instance));
+    }
+    const Status saved = SaveCorpus(
+        emit_corpus_path, instances,
+        "einsum fuzz corpus (seed " + std::to_string(options.seed) + ", " +
+            std::to_string(options.iterations) + " instances)");
+    if (!saved.ok()) return Usage(argv[0], saved.ToString());
+    std::fprintf(stderr, "wrote %zu instances to %s\n", instances.size(),
+                 emit_corpus_path.c_str());
+    return 0;
+  }
+
+  auto owned = MakeDefaultOracles(oracle_filter);
+  if (owned.empty()) return Usage(argv[0], "oracle filter matched nothing");
+  const std::vector<Oracle*> oracles = OraclePointers(owned);
+
+  std::ostream* log = quiet ? nullptr : &std::cerr;
+  FuzzReport report;
+  if (!corpus_path.empty()) {
+    auto instances = LoadCorpus(corpus_path);
+    if (!instances.ok()) return Usage(argv[0], instances.status().ToString());
+    report = ReplayInstances(*instances, options, oracles, log);
+  } else {
+    report = RunFuzz(options, oracles, log);
+  }
+
+  if (!report_path.empty()) {
+    const std::string json = report.ToJson();
+    if (report_path == "-") {
+      std::cout << json << "\n";
+    } else {
+      std::ofstream out(report_path);
+      out << json << "\n";
+      if (!out) return Usage(argv[0], "cannot write report to " + report_path);
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
