@@ -9,6 +9,7 @@ subdirs("tensor")
 subdirs("core")
 subdirs("minidb")
 subdirs("backends")
+subdirs("testing")
 subdirs("triplestore")
 subdirs("sat")
 subdirs("graphical")

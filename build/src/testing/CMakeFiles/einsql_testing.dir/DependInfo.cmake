@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testing/corpus.cc" "src/testing/CMakeFiles/einsql_testing.dir/corpus.cc.o" "gcc" "src/testing/CMakeFiles/einsql_testing.dir/corpus.cc.o.d"
+  "/root/repo/src/testing/differential.cc" "src/testing/CMakeFiles/einsql_testing.dir/differential.cc.o" "gcc" "src/testing/CMakeFiles/einsql_testing.dir/differential.cc.o.d"
+  "/root/repo/src/testing/fuzz.cc" "src/testing/CMakeFiles/einsql_testing.dir/fuzz.cc.o" "gcc" "src/testing/CMakeFiles/einsql_testing.dir/fuzz.cc.o.d"
+  "/root/repo/src/testing/generator.cc" "src/testing/CMakeFiles/einsql_testing.dir/generator.cc.o" "gcc" "src/testing/CMakeFiles/einsql_testing.dir/generator.cc.o.d"
+  "/root/repo/src/testing/instance.cc" "src/testing/CMakeFiles/einsql_testing.dir/instance.cc.o" "gcc" "src/testing/CMakeFiles/einsql_testing.dir/instance.cc.o.d"
+  "/root/repo/src/testing/oracles.cc" "src/testing/CMakeFiles/einsql_testing.dir/oracles.cc.o" "gcc" "src/testing/CMakeFiles/einsql_testing.dir/oracles.cc.o.d"
+  "/root/repo/src/testing/shrink.cc" "src/testing/CMakeFiles/einsql_testing.dir/shrink.cc.o" "gcc" "src/testing/CMakeFiles/einsql_testing.dir/shrink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backends/CMakeFiles/einsql_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/einsql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/einsql_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/einsql_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/einsql_minidb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsql_testing.dir/corpus.cc.o"
+  "CMakeFiles/einsql_testing.dir/corpus.cc.o.d"
+  "CMakeFiles/einsql_testing.dir/differential.cc.o"
+  "CMakeFiles/einsql_testing.dir/differential.cc.o.d"
+  "CMakeFiles/einsql_testing.dir/fuzz.cc.o"
+  "CMakeFiles/einsql_testing.dir/fuzz.cc.o.d"
+  "CMakeFiles/einsql_testing.dir/generator.cc.o"
+  "CMakeFiles/einsql_testing.dir/generator.cc.o.d"
+  "CMakeFiles/einsql_testing.dir/instance.cc.o"
+  "CMakeFiles/einsql_testing.dir/instance.cc.o.d"
+  "CMakeFiles/einsql_testing.dir/oracles.cc.o"
+  "CMakeFiles/einsql_testing.dir/oracles.cc.o.d"
+  "CMakeFiles/einsql_testing.dir/shrink.cc.o"
+  "CMakeFiles/einsql_testing.dir/shrink.cc.o.d"
+  "libeinsql_testing.a"
+  "libeinsql_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsql_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

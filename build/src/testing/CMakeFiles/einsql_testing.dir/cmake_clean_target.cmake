@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeinsql_testing.a"
+)

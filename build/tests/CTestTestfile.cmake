@@ -9,6 +9,7 @@ subdirs("tensor")
 subdirs("core")
 subdirs("minidb")
 subdirs("backends")
+subdirs("testing")
 subdirs("sat")
 subdirs("triplestore")
 subdirs("graphical")

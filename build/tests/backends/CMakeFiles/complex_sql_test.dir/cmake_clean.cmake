@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_sql_test.dir/complex_sql_test.cc.o"
+  "CMakeFiles/complex_sql_test.dir/complex_sql_test.cc.o.d"
+  "complex_sql_test"
+  "complex_sql_test.pdb"
+  "complex_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -341,4 +341,5 @@ tests/backends/CMakeFiles/einsum_engine_test.dir/einsum_engine_test.cc.o: \
  /root/repo/src/minidb/plan.h /root/repo/src/minidb/ast.h \
  /root/repo/src/minidb/profile.h /root/repo/src/minidb/planner.h \
  /root/repo/src/backends/sqlite_backend.h /root/repo/src/common/rng.h \
- /root/repo/src/core/reference.h /root/repo/src/tensor/dense.h
+ /root/repo/src/core/reference.h /root/repo/src/tensor/dense.h \
+ /root/repo/src/testing/almost_equal.h /usr/include/c++/12/cstring

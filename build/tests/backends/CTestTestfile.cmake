@@ -8,3 +8,4 @@ include("/root/repo/build/tests/backends/backend_test[1]_include.cmake")
 include("/root/repo/build/tests/backends/einsum_engine_test[1]_include.cmake")
 include("/root/repo/build/tests/backends/einsum_fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/backends/engine_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/complex_sql_test[1]_include.cmake")

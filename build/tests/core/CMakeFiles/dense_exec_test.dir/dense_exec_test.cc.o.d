@@ -324,4 +324,5 @@ tests/core/CMakeFiles/dense_exec_test.dir/dense_exec_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/rng.h /root/repo/src/core/reference.h
+ /root/repo/src/common/rng.h /root/repo/src/core/reference.h \
+ /root/repo/src/testing/almost_equal.h /usr/include/c++/12/cstring

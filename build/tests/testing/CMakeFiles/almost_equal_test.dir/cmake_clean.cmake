@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/almost_equal_test.dir/almost_equal_test.cc.o"
+  "CMakeFiles/almost_equal_test.dir/almost_equal_test.cc.o.d"
+  "almost_equal_test"
+  "almost_equal_test.pdb"
+  "almost_equal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/almost_equal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for almost_equal_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_regression_test.dir/corpus_regression_test.cc.o"
+  "CMakeFiles/corpus_regression_test.dir/corpus_regression_test.cc.o.d"
+  "corpus_regression_test"
+  "corpus_regression_test.pdb"
+  "corpus_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/testing/instance_test.cc" "tests/testing/CMakeFiles/instance_test.dir/instance_test.cc.o" "gcc" "tests/testing/CMakeFiles/instance_test.dir/instance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/einsql_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/einsql_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/einsql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/einsql_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/einsql_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/einsql_backends.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrink_test.dir/shrink_test.cc.o"
+  "CMakeFiles/shrink_test.dir/shrink_test.cc.o.d"
+  "shrink_test"
+  "shrink_test.pdb"
+  "shrink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

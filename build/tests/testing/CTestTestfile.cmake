@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/testing
+# Build directory: /root/repo/build/tests/testing
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/testing/almost_equal_test[1]_include.cmake")
+include("/root/repo/build/tests/testing/instance_test[1]_include.cmake")
+include("/root/repo/build/tests/testing/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/testing/shrink_test[1]_include.cmake")
+include("/root/repo/build/tests/testing/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/testing/corpus_regression_test[1]_include.cmake")

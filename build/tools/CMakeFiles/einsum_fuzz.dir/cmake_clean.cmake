@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsum_fuzz.dir/einsum_fuzz.cc.o"
+  "CMakeFiles/einsum_fuzz.dir/einsum_fuzz.cc.o.d"
+  "einsum_fuzz"
+  "einsum_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsum_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

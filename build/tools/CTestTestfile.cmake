@@ -5,10 +5,14 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(sql_einsum_gen_smoke "/root/repo/build/tools/sql_einsum_gen" "ik,jk,j->i" "2x2,3x2,3" "--execute")
-set_tests_properties(sql_einsum_gen_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(sql_einsum_gen_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(sql_einsum_gen_stored_tables "/root/repo/build/tools/sql_einsum_gen" "ij,jk->ik" "4x4,4x4" "--tables=A,B" "--path=optimal")
-set_tests_properties(sql_einsum_gen_stored_tables PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(sql_einsum_gen_stored_tables PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(sql_einsum_gen_rejects_bad_format "/root/repo/build/tools/sql_einsum_gen" "i->>j" "2")
-set_tests_properties(sql_einsum_gen_rejects_bad_format PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(sql_einsum_gen_rejects_bad_format PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(minidb_shell_smoke "/root/repo/build/tools/minidb_shell" "--explain" "/root/repo/tools/testdata/smoke.sql")
-set_tests_properties(minidb_shell_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(minidb_shell_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(einsum_fuzz_smoke "/root/repo/build/tools/einsum_fuzz" "--seed=7" "--iters=12" "--quiet")
+set_tests_properties(einsum_fuzz_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(einsum_fuzz_rejects_unbounded "/root/repo/build/tools/einsum_fuzz" "--iters=0")
+set_tests_properties(einsum_fuzz_rejects_unbounded PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
