@@ -1,0 +1,182 @@
+// Row-vs-vectorized smoke benchmark: filter/aggregate-heavy einsum-shaped
+// queries executed on the same prepared plan by the tuple-at-a-time
+// interpreter and by the column-at-a-time kernels, sequentially and with
+// identical morsel settings, so the two results must be bit-identical
+// (see docs/vectorization.md).
+//
+// Writes a JSON report (default BENCH_vectorized.json, or --out=<file>)
+// with per-query timings, speedups, and the identity verdict. The exit
+// code flags correctness only: 0 when every query's vectorized result is
+// identical to the row result, 1 on any mismatch. Speedup is reported,
+// not gated, so slow CI machines can't turn a perf wobble into a red
+// build — the ≥2x expectation is asserted by humans reading the report.
+//
+// Usage: bench_vectorized [--rows=R] [--out=file.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "minidb/database.h"
+
+namespace {
+
+using namespace einsql;          // NOLINT
+using namespace einsql::minidb;  // NOLINT
+
+// Deterministic LCG so the tables are reproducible across runs.
+uint64_t NextRand(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return *state >> 33;
+}
+
+// A COO matrix table name(i, j, val) with `rows` random entries.
+Status LoadMatrix(Database* db, const std::string& name, int64_t rows,
+                  int64_t i_dim, int64_t j_dim, uint64_t seed) {
+  EINSQL_RETURN_IF_ERROR(db->CreateTable(
+      name, {{"i", ValueType::kInt}, {"j", ValueType::kInt},
+             {"val", ValueType::kDouble}}));
+  uint64_t state = seed;
+  std::vector<Row> data;
+  data.reserve(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t i = static_cast<int64_t>(NextRand(&state) % i_dim);
+    const int64_t j = static_cast<int64_t>(NextRand(&state) % j_dim);
+    const double val =
+        static_cast<double>(NextRand(&state) % 1000) / 1000.0 - 0.5;
+    data.push_back({Value(i), Value(j), Value(val)});
+  }
+  return db->BulkInsert(name, std::move(data));
+}
+
+// Executes the prepared plan `reps` times with the given executor flavor
+// and returns the fastest execution time; `result` receives the last
+// result. Both flavors stay sequential so the comparison isolates
+// vectorization.
+Result<double> TimedRun(Database* db, const QueryPlan& plan, bool vectorized,
+                        int reps, Relation* result) {
+  db->executor_options().vectorized = vectorized;
+  db->executor_options().parallel_operators = false;
+  db->executor_options().num_threads = 0;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    EINSQL_ASSIGN_OR_RETURN(QueryResult query, db->ExecutePrepared(plan));
+    best = std::min(best, query.stats.exec_seconds);
+    *result = std::move(query.relation);
+  }
+  return best;
+}
+
+bool SameRelation(const Relation& a, const Relation& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    if (a.rows[r] != b.rows[r]) return false;
+  }
+  return true;
+}
+
+struct BenchQuery {
+  const char* id;
+  const char* sql;
+};
+
+// Filter/aggregate-heavy shapes from the paper's workload: a diagonal
+// trace (selective filter feeding a global SUM), an arithmetic-dense
+// predicate with aggregate-of-expression, and a filtered GROUP BY.
+const BenchQuery kQueries[] = {
+    {"trace", "SELECT SUM(A.val) FROM A WHERE A.i = A.j"},
+    {"filter_sum",
+     "SELECT SUM(A.val * A.val), COUNT(*) FROM A "
+     "WHERE (A.i * 7 + A.j * 3) % 31 < 2 AND A.val > -0.4"},
+    {"filter_group",
+     "SELECT A.i, SUM(A.val), COUNT(*) FROM A "
+     "WHERE A.j % 4 = 1 GROUP BY A.i"},
+};
+
+int Run(int argc, char** argv) {
+  int64_t rows = 1 << 20;
+  std::string out_file = "BENCH_vectorized.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--rows=", 0) == 0) {
+      rows = std::atoll(arg.c_str() + 7);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_file = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  Database db;
+  Status status = LoadMatrix(&db, "A", rows, 4096, 4096, 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(out_file.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s'\n", out_file.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"vectorized\",\n"
+               "  \"rows\": %lld,\n"
+               "  \"queries\": [\n",
+               static_cast<long long>(rows));
+
+  bool all_identical = true;
+  bool first = true;
+  for (const BenchQuery& query : kQueries) {
+    auto plan = db.Prepare(query.sql);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "prepare %s: %s\n", query.id,
+                   plan.status().ToString().c_str());
+      std::fclose(f);
+      return 1;
+    }
+    Relation row_result, vec_result;
+    auto row_time =
+        TimedRun(&db, *plan, /*vectorized=*/false, /*reps=*/3, &row_result);
+    auto vec_time =
+        TimedRun(&db, *plan, /*vectorized=*/true, /*reps=*/3, &vec_result);
+    if (!row_time.ok() || !vec_time.ok()) {
+      const Status& failed =
+          !row_time.ok() ? row_time.status() : vec_time.status();
+      std::fprintf(stderr, "execute %s: %s\n", query.id,
+                   failed.ToString().c_str());
+      std::fclose(f);
+      return 1;
+    }
+    const bool identical = SameRelation(row_result, vec_result);
+    all_identical = all_identical && identical;
+    const double speedup = *vec_time > 0.0 ? *row_time / *vec_time : 0.0;
+    std::fprintf(f,
+                 "%s    {\"query\": \"%s\", \"result_rows\": %lld,\n"
+                 "     \"seconds_row\": %.9f, \"seconds_vectorized\": %.9f,\n"
+                 "     \"speedup\": %.3f, \"identical_results\": %s}",
+                 first ? "" : ",\n", query.id,
+                 static_cast<long long>(vec_result.num_rows()), *row_time,
+                 *vec_time, speedup, identical ? "true" : "false");
+    first = false;
+    std::printf("%-12s row %8.3f ms, vectorized %8.3f ms, speedup %5.2fx, %s\n",
+                query.id, *row_time * 1e3, *vec_time * 1e3, speedup,
+                identical ? "results identical" : "RESULTS DIFFER");
+  }
+  std::fprintf(f,
+               "\n  ],\n"
+               "  \"identical_results\": %s\n"
+               "}\n",
+               all_identical ? "true" : "false");
+  std::fclose(f);
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

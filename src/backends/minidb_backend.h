@@ -43,6 +43,13 @@ class MiniDbBackend : public SqlBackend {
     db_.executor_options().num_threads = threads;
   }
 
+  /// Enables column-at-a-time (vectorized) execution. Results are
+  /// identical to the row interpreter for fixed morsel/parallel settings;
+  /// unsupported expressions fall back per plan node.
+  void set_vectorized(bool on = true) {
+    db_.executor_options().vectorized = on;
+  }
+
   /// Direct access to the underlying engine (tests, plan inspection).
   minidb::Database& database() { return db_; }
 

@@ -1,0 +1,170 @@
+#include "minidb/column_batch.h"
+
+namespace einsql::minidb {
+
+Value ColumnVector::GetValue(int64_t i) const {
+  if (!valid[i]) return Value(Null{});
+  switch (kind) {
+    case Kind::kInt:
+      return Value(ints[i]);
+    case Kind::kDouble:
+      return Value(doubles[i]);
+    case Kind::kText:
+      return Value(texts[i]);
+    case Kind::kValue:
+      return values[i];
+  }
+  return Value(Null{});
+}
+
+ColumnVector ColumnVector::Constant(const Value& v, int64_t n) {
+  ColumnVector col;
+  switch (TypeOf(v)) {
+    case ValueType::kNull:
+      return Nulls(n);
+    case ValueType::kInt:
+      col.kind = Kind::kInt;
+      col.ints.assign(n, std::get<int64_t>(v));
+      break;
+    case ValueType::kDouble:
+      col.kind = Kind::kDouble;
+      col.doubles.assign(n, std::get<double>(v));
+      break;
+    case ValueType::kText:
+      col.kind = Kind::kText;
+      col.texts.assign(n, std::get<std::string>(v));
+      break;
+  }
+  col.valid.assign(n, 1);
+  return col;
+}
+
+ColumnVector ColumnVector::Nulls(int64_t n) {
+  ColumnVector col;
+  col.kind = Kind::kInt;
+  col.ints.assign(n, 0);
+  col.valid.assign(n, 0);
+  return col;
+}
+
+ColumnVector ColumnVector::FromInts(std::vector<int64_t> data) {
+  ColumnVector col;
+  col.kind = Kind::kInt;
+  col.valid.assign(data.size(), 1);
+  col.ints = std::move(data);
+  return col;
+}
+
+ColumnVector ColumnVector::FromRows(const std::vector<Row>& rows,
+                                    int64_t begin, int64_t end, int col) {
+  const int64_t n = end - begin;
+  // Optimistic single pass for the dominant case — an all-int64/NULL
+  // column (COO coordinates, join keys). Bails to the classifying
+  // two-pass build on the first other storage class; the re-read prefix is
+  // chunk-sized and already cache-hot, so the bail costs at most one extra
+  // warm pass.
+  {
+    ColumnVector out;
+    out.kind = Kind::kInt;
+    out.valid.assign(n, 1);
+    out.ints.resize(n);
+    int64_t r = begin;
+    for (; r < end; ++r) {
+      const Value& v = rows[r][col];
+      if (const int64_t* i = std::get_if<int64_t>(&v)) {
+        out.ints[r - begin] = *i;
+        continue;
+      }
+      if (IsNull(v)) {
+        out.ints[r - begin] = 0;
+        out.valid[r - begin] = 0;
+        continue;
+      }
+      break;
+    }
+    if (r == end) return out;
+  }
+  // First pass: classify the storage classes actually present.
+  bool has_int = false, has_double = false, has_text = false;
+  for (int64_t r = begin; r < end; ++r) {
+    switch (TypeOf(rows[r][col])) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+        has_int = true;
+        break;
+      case ValueType::kDouble:
+        has_double = true;
+        break;
+      case ValueType::kText:
+        has_text = true;
+        break;
+    }
+  }
+  ColumnVector out;
+  out.valid.assign(n, 1);
+  const int classes = (has_int ? 1 : 0) + (has_double ? 1 : 0) +
+                      (has_text ? 1 : 0);
+  if (classes > 1) {
+    // Mixed storage classes: keep the variants.
+    out.kind = Kind::kValue;
+    out.values.reserve(n);
+    for (int64_t r = begin; r < end; ++r) {
+      const Value& v = rows[r][col];
+      if (IsNull(v)) out.valid[r - begin] = 0;
+      out.values.push_back(v);
+    }
+    return out;
+  }
+  if (has_double) {
+    out.kind = Kind::kDouble;
+    out.doubles.assign(n, 0.0);
+    for (int64_t r = begin; r < end; ++r) {
+      const Value& v = rows[r][col];
+      if (const double* d = std::get_if<double>(&v)) {
+        out.doubles[r - begin] = *d;
+      } else {
+        out.valid[r - begin] = 0;
+      }
+    }
+    return out;
+  }
+  if (has_text) {
+    out.kind = Kind::kText;
+    out.texts.assign(n, std::string());
+    for (int64_t r = begin; r < end; ++r) {
+      const Value& v = rows[r][col];
+      if (const std::string* s = std::get_if<std::string>(&v)) {
+        out.texts[r - begin] = *s;
+      } else {
+        out.valid[r - begin] = 0;
+      }
+    }
+    return out;
+  }
+  // All int or all NULL.
+  out.kind = Kind::kInt;
+  out.ints.assign(n, 0);
+  for (int64_t r = begin; r < end; ++r) {
+    const Value& v = rows[r][col];
+    if (const int64_t* i = std::get_if<int64_t>(&v)) {
+      out.ints[r - begin] = *i;
+    } else {
+      out.valid[r - begin] = 0;
+    }
+  }
+  return out;
+}
+
+const ColumnVector& ColumnBatch::Column(int slot) const {
+  if (slot >= static_cast<int>(columns_.size())) {
+    columns_.resize(slot + 1);
+  }
+  if (columns_[slot] == nullptr) {
+    columns_[slot] = std::make_unique<ColumnVector>(
+        ColumnVector::FromRows(*rows_, begin_, end_, slot));
+  }
+  return *columns_[slot];
+}
+
+}  // namespace einsql::minidb

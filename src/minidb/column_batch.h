@@ -1,0 +1,91 @@
+#ifndef EINSQL_MINIDB_COLUMN_BATCH_H_
+#define EINSQL_MINIDB_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minidb/table.h"
+#include "minidb/value.h"
+
+namespace einsql::minidb {
+
+/// One column of a batch in columnar form: a typed data vector plus a
+/// validity byte-map (1 = non-NULL). The representation is chosen per batch
+/// from the values actually present, never from declared types alone:
+///   kInt    — every non-NULL value is an int64,
+///   kDouble — every non-NULL value is a double (pure, no int mixing: a
+///             mixed int/double column must stay kValue so int-vs-double
+///             identity of each element survives the round trip),
+///   kText   — every non-NULL value is text,
+///   kValue  — anything else (mixed storage classes); elements stay as
+///             Value variants and kernels fall back to element-wise
+///             Value operations.
+/// An all-NULL column is represented as kInt with an all-zero validity map.
+struct ColumnVector {
+  enum class Kind { kInt, kDouble, kText, kValue };
+
+  Kind kind = Kind::kInt;
+  /// 1 = non-NULL. Always sized to the column length, for every kind.
+  std::vector<uint8_t> valid;
+  std::vector<int64_t> ints;        // kInt
+  std::vector<double> doubles;      // kDouble
+  std::vector<std::string> texts;   // kText
+  std::vector<Value> values;        // kValue
+
+  int64_t size() const { return static_cast<int64_t>(valid.size()); }
+  bool IsValid(int64_t i) const { return valid[i] != 0; }
+
+  /// Materializes element `i` back into a row Value. The round trip
+  /// Value -> column -> Value is exact, including int-vs-double identity.
+  Value GetValue(int64_t i) const;
+
+  /// Constant columns: `n` copies of one value.
+  static ColumnVector Constant(const Value& v, int64_t n);
+  /// All-NULL column of length n.
+  static ColumnVector Nulls(int64_t n);
+  /// Non-null int column (e.g. the 0/1 output of a comparison kernel).
+  static ColumnVector FromInts(std::vector<int64_t> data);
+
+  /// Builds the column for slot `col` from rows [begin, end) of `rows`,
+  /// scanning the actual values to pick the tightest representation.
+  static ColumnVector FromRows(const std::vector<Row>& rows, int64_t begin,
+                               int64_t end, int col);
+};
+
+/// A columnar view of one morsel of a row relation: rows [begin, end) of
+/// the backing row vector, transposed into ColumnVectors on demand. Only
+/// the slots an expression actually references are ever converted — a
+/// filter touching 1 of 40 columns transposes exactly that one column.
+///
+/// One morsel becomes one batch: under morsel-driven parallel execution
+/// each worker builds a batch for its morsel; sequential execution is the
+/// degenerate one-batch-spanning-the-input case, mirroring the morsel
+/// model (docs/parallelism.md).
+class ColumnBatch {
+ public:
+  ColumnBatch(const std::vector<Row>& rows, int64_t begin, int64_t end)
+      : rows_(&rows), begin_(begin), end_(end) {}
+
+  int64_t num_rows() const { return end_ - begin_; }
+  int64_t begin_row() const { return begin_; }
+  const std::vector<Row>& rows() const { return *rows_; }
+
+  /// The column for input slot `slot`, transposing it on first use.
+  /// The reference stays valid for the lifetime of the batch. Logically
+  /// const (the cache is an implementation detail), but not thread-safe:
+  /// a batch belongs to exactly one morsel worker.
+  const ColumnVector& Column(int slot) const;
+
+ private:
+  const std::vector<Row>* rows_;
+  int64_t begin_;
+  int64_t end_;
+  // Per slot, lazily transposed.
+  mutable std::vector<std::unique_ptr<ColumnVector>> columns_;
+};
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_COLUMN_BATCH_H_

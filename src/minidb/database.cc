@@ -1,6 +1,7 @@
 #include "minidb/database.h"
 
 #include <cstdlib>
+#include <string_view>
 
 #include "common/stopwatch.h"
 #include "minidb/executor.h"
@@ -25,6 +26,12 @@ Database::Database(PlannerOptions options) : options_(options) {
   if (const char* env = std::getenv("MINIDB_MORSEL_ROWS")) {
     const long long rows = std::atoll(env);
     if (rows > 0) executor_options_.morsel_rows = rows;
+  }
+  // MINIDB_VECTORIZED=1 force-enables column-at-a-time execution — the CI
+  // hook that runs the whole test suite through the vectorized path.
+  // Any other value (including 0) leaves it off.
+  if (const char* env = std::getenv("MINIDB_VECTORIZED")) {
+    if (std::string_view(env) == "1") executor_options_.vectorized = true;
   }
 }
 

@@ -7,7 +7,10 @@
 
 #include "common/stopwatch.h"
 #include "common/str_util.h"
+#include "minidb/column_batch.h"
 #include "minidb/expr_eval.h"
+#include "minidb/expr_eval_vec.h"
+#include "minidb/vector_ops.h"
 
 namespace einsql::minidb {
 
@@ -16,6 +19,14 @@ namespace {
 /// Shared materialized relations; scans return their backing table without
 /// copying.
 using RelationPtr = std::shared_ptr<const Relation>;
+
+/// Vectorized operators process each morsel in fixed-size chunks so every
+/// pass (column materialization, kernel, selection) stays cache-resident
+/// even when the sequential "morsel" is the whole input. Chunks run in row
+/// order into the same output/accumulator state, so the chunk size never
+/// changes results — it is invisible to the morsel-level determinism
+/// contract.
+constexpr int64_t kVecChunkRows = 2048;
 
 class Executor {
  public:
@@ -397,10 +408,47 @@ class Executor {
     out->columns = input->columns;
     const MorselPlan plan = PlanMorsels(input->num_rows());
     std::vector<std::vector<Row>> parts(plan.num_morsels);
+    const bool vec = options_.vectorized && CanVectorizeExpr(*node.predicate);
+    std::atomic<int64_t> vec_fallbacks{0};
     EINSQL_RETURN_IF_ERROR(RunMorsels(
         input->num_rows(), plan, "filter morsel", op_span,
         [&](int64_t m, int64_t begin, int64_t end) -> Status {
           std::vector<Row>& local = parts[m];
+          if (vec) {
+            bool chunks_ok = true;
+            for (int64_t cb = begin; cb < end; cb += kVecChunkRows) {
+              const int64_t ce = std::min(end, cb + kVecChunkRows);
+              ColumnBatch batch(input->rows, cb, ce);
+              VecEvaluator eval(&batch);
+              auto cond = eval.Evaluate(*node.predicate);
+              if (!cond.ok()) {
+                chunks_ok = false;
+                break;
+              }
+              const ColumnVector& keep = **cond;
+              // The selection vector is fully known before any row is
+              // emitted, so the output buffer can be sized exactly — an
+              // advantage tuple-at-a-time evaluation cannot have.
+              int64_t selected = 0;
+              for (int64_t r = cb; r < ce; ++r) {
+                if (TruthyAt(keep, r - cb)) ++selected;
+              }
+              const size_t needed = local.size() + selected;
+              if (local.capacity() < needed) {
+                // Keep growth geometric: a bare reserve(needed) every chunk
+                // would reallocate per chunk.
+                local.reserve(std::max(needed, 2 * local.capacity()));
+              }
+              for (int64_t r = cb; r < ce; ++r) {
+                if (TruthyAt(keep, r - cb)) local.push_back(input->rows[r]);
+              }
+            }
+            if (chunks_ok) return Status::OK();
+            // Eager evaluation error: the row path decides whether it is
+            // a real error or one short-circuiting would have skipped.
+            vec_fallbacks.fetch_add(1, std::memory_order_relaxed);
+            local.clear();
+          }
           for (int64_t r = begin; r < end; ++r) {
             const Row& row = input->rows[r];
             EINSQL_ASSIGN_OR_RETURN(Value keep,
@@ -411,6 +459,7 @@ class Executor {
         }));
     ConcatParts(&out->rows, &parts);
     RecordMorsels(prof, plan);
+    if (prof != nullptr) prof->vectorized = vec && vec_fallbacks.load() == 0;
     return RelationPtr(out);
   }
 
@@ -422,11 +471,23 @@ class Executor {
     out->columns = SchemaColumns(node.schema);
     const MorselPlan plan = PlanMorsels(input->num_rows());
     std::vector<std::vector<Row>> parts(plan.num_morsels);
+    bool vec = options_.vectorized;
+    for (const auto& expr : node.exprs) {
+      vec = vec && CanVectorizeExpr(*expr);
+    }
+    std::atomic<int64_t> vec_fallbacks{0};
     EINSQL_RETURN_IF_ERROR(RunMorsels(
         input->num_rows(), plan, "project morsel", op_span,
         [&](int64_t m, int64_t begin, int64_t end) -> Status {
           std::vector<Row>& local = parts[m];
           local.reserve(end - begin);
+          if (vec && VecProjectMorsel(node, *input, begin, end, &local)) {
+            return Status::OK();
+          }
+          if (vec) {
+            vec_fallbacks.fetch_add(1, std::memory_order_relaxed);
+            local.clear();
+          }
           for (int64_t r = begin; r < end; ++r) {
             const Row& row = input->rows[r];
             Row projected;
@@ -441,7 +502,39 @@ class Executor {
         }));
     ConcatParts(&out->rows, &parts);
     RecordMorsels(prof, plan);
+    if (prof != nullptr) prof->vectorized = vec && vec_fallbacks.load() == 0;
     return RelationPtr(out);
+  }
+
+  // Column-at-a-time projection of one morsel. Returns false on any kernel
+  // error — the caller retries the morsel on the row path, which either
+  // reproduces the error or (for errors only eager evaluation hits)
+  // produces the rows the row semantics demand.
+  bool VecProjectMorsel(const PlanNode& node, const Relation& input,
+                        int64_t begin, int64_t end, std::vector<Row>* local) {
+    std::vector<const ColumnVector*> cols;
+    for (int64_t cb = begin; cb < end; cb += kVecChunkRows) {
+      const int64_t ce = std::min(end, cb + kVecChunkRows);
+      ColumnBatch batch(input.rows, cb, ce);
+      VecEvaluator eval(&batch);
+      cols.clear();
+      cols.reserve(node.exprs.size());
+      for (const auto& expr : node.exprs) {
+        auto col = eval.Evaluate(*expr);
+        if (!col.ok()) return false;
+        cols.push_back(*col);
+      }
+      const int64_t n = ce - cb;
+      for (int64_t i = 0; i < n; ++i) {
+        Row projected;
+        projected.reserve(cols.size());
+        for (const ColumnVector* col : cols) {
+          projected.push_back(col->GetValue(i));
+        }
+        local->push_back(std::move(projected));
+      }
+    }
+    return true;
   }
 
   Result<RelationPtr> ExecuteJoin(const PlanNode& node,
@@ -508,25 +601,85 @@ class Executor {
       build_keys.reserve(right->rows.size() * arity);
       build_rows.reserve(right->rows.size());
       bool typed_ok = true;
-      std::vector<int64_t> key(arity);
-      for (int64_t r = 0; r < right->num_rows(); ++r) {
-        const KeyClass cls =
-            ClassifyIntKey(right->rows[r], node.right_keys, key.data());
-        if (cls == KeyClass::kHasNull) continue;  // NULL keys never join
-        if (cls == KeyClass::kUntyped) {
-          typed_ok = false;
-          break;
+      // Vectorized execution extracts keys batch-at-a-time (one pass over
+      // the key columns into packed arrays); otherwise classify row by
+      // row. Either way the inserted entries are identical, so the built
+      // table — and the join result — does not depend on the mode.
+      if (options_.vectorized) {
+        const int64_t n = right->num_rows();
+        std::vector<int64_t> keys(n * arity);
+        std::vector<KeyRowClass> classes(n);
+        typed_ok = ExtractIntKeys(right->rows, 0, n, node.right_keys,
+                                  keys.data(), classes.data());
+        if (typed_ok) {
+          for (int64_t r = 0; r < n; ++r) {
+            if (classes[r] != KeyRowClass::kOk) continue;  // NULL key
+            const int64_t* key = keys.data() + r * arity;
+            buckets[HashIntKey(key, arity)].push_back(
+                static_cast<int64_t>(build_rows.size()));
+            build_keys.insert(build_keys.end(), key, key + arity);
+            build_rows.push_back(r);
+          }
         }
-        buckets[HashIntKey(key.data(), arity)].push_back(
-            static_cast<int64_t>(build_rows.size()));
-        build_keys.insert(build_keys.end(), key.begin(), key.end());
-        build_rows.push_back(r);
+      } else {
+        std::vector<int64_t> key(arity);
+        for (int64_t r = 0; r < right->num_rows(); ++r) {
+          const KeyClass cls =
+              ClassifyIntKey(right->rows[r], node.right_keys, key.data());
+          if (cls == KeyClass::kHasNull) continue;  // NULL keys never join
+          if (cls == KeyClass::kUntyped) {
+            typed_ok = false;
+            break;
+          }
+          buckets[HashIntKey(key.data(), arity)].push_back(
+              static_cast<int64_t>(build_rows.size()));
+          build_keys.insert(build_keys.end(), key.begin(), key.end());
+          build_rows.push_back(r);
+        }
       }
       if (typed_ok) {
         std::atomic<bool> probe_untyped{false};
+        // Emits every build match of probe key `probe` for left row `l`.
+        auto probe_one = [&](const Row& l, const int64_t* probe,
+                             std::vector<Row>* local) -> Status {
+          auto it = buckets.find(HashIntKey(probe, arity));
+          if (it == buckets.end()) return Status::OK();
+          for (int64_t entry : it->second) {
+            const int64_t* ek = build_keys.data() + entry * arity;
+            bool match = true;
+            for (size_t k = 0; k < arity && match; ++k) {
+              match = ek[k] == probe[k];
+            }
+            if (match) {
+              EINSQL_RETURN_IF_ERROR(
+                  emit(l, right->rows[build_rows[entry]], local));
+            }
+          }
+          return Status::OK();
+        };
         EINSQL_RETURN_IF_ERROR(RunMorsels(
             left->num_rows(), plan, "join morsel", op_span,
             [&](int64_t m, int64_t begin, int64_t end) -> Status {
+              if (probe_untyped.load(std::memory_order_relaxed)) {
+                return Status::OK();
+              }
+              if (options_.vectorized) {
+                const int64_t n = end - begin;
+                std::vector<int64_t> keys(n * arity);
+                std::vector<KeyRowClass> classes(n);
+                if (!ExtractIntKeys(left->rows, begin, end, node.left_keys,
+                                    keys.data(), classes.data())) {
+                  probe_untyped.store(true, std::memory_order_relaxed);
+                  return Status::OK();
+                }
+                for (int64_t i = 0; i < n; ++i) {
+                  if (classes[i] != KeyRowClass::kOk) continue;
+                  EINSQL_RETURN_IF_ERROR(probe_one(
+                      left->rows[begin + i], keys.data() + i * arity,
+                      &parts[m]));
+                }
+                return Status::OK();
+              }
               std::vector<int64_t> probe(arity);
               for (int64_t lr = begin; lr < end; ++lr) {
                 if (probe_untyped.load(std::memory_order_relaxed)) {
@@ -540,25 +693,14 @@ class Executor {
                   probe_untyped.store(true, std::memory_order_relaxed);
                   return Status::OK();
                 }
-                auto it = buckets.find(HashIntKey(probe.data(), arity));
-                if (it == buckets.end()) continue;
-                for (int64_t entry : it->second) {
-                  const int64_t* ek = build_keys.data() + entry * arity;
-                  bool match = true;
-                  for (size_t k = 0; k < arity && match; ++k) {
-                    match = ek[k] == probe[k];
-                  }
-                  if (match) {
-                    EINSQL_RETURN_IF_ERROR(
-                        emit(l, right->rows[build_rows[entry]], &parts[m]));
-                  }
-                }
+                EINSQL_RETURN_IF_ERROR(probe_one(l, probe.data(), &parts[m]));
               }
               return Status::OK();
             }));
         if (!probe_untyped.load()) {
           if (prof != nullptr) {
             prof->hash_entries = static_cast<int64_t>(build_rows.size());
+            prof->vectorized = options_.vectorized;
           }
           ConcatParts(&out->rows, &parts);
           RecordMorsels(prof, plan);
@@ -640,96 +782,9 @@ class Executor {
     if (expr.case_else) CollectAggregates(*expr.case_else, out);
   }
 
-  struct Accumulator {
-    // sum / avg
-    double double_sum = 0.0;
-    int64_t int_sum = 0;
-    bool saw_double = false;
-    bool saw_value = false;
-    int64_t count = 0;
-    Value min_value = Null{};
-    Value max_value = Null{};
-  };
-
-  // Folds one input row into the group's accumulators.
-  static Status UpdateAccumulators(const std::vector<const Expr*>& agg_calls,
-                                   const Row& row,
-                                   std::vector<Accumulator>* accumulators) {
-    for (size_t a = 0; a < agg_calls.size(); ++a) {
-      const Expr& call = *agg_calls[a];
-      Accumulator& acc = (*accumulators)[a];
-      if (call.star_argument) {
-        ++acc.count;
-        acc.saw_value = true;
-        continue;
-      }
-      if (call.args.size() != 1) {
-        return Status::InvalidArgument("aggregate ", call.function,
-                                       "() expects one argument");
-      }
-      EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*call.args[0], row));
-      if (IsNull(v)) continue;  // aggregates skip NULLs
-      ++acc.count;
-      acc.saw_value = true;
-      if (call.function == "sum" || call.function == "avg") {
-        if (TypeOf(v) == ValueType::kInt && !acc.saw_double) {
-          acc.int_sum += std::get<int64_t>(v);
-        } else {
-          EINSQL_ASSIGN_OR_RETURN(double d, AsDouble(v));
-          if (!acc.saw_double) {
-            acc.double_sum = static_cast<double>(acc.int_sum);
-            acc.saw_double = true;
-          }
-          acc.double_sum += d;
-        }
-      } else if (call.function == "min") {
-        if (IsNull(acc.min_value) || CompareValues(v, acc.min_value) < 0) {
-          acc.min_value = v;
-        }
-      } else if (call.function == "max") {
-        if (IsNull(acc.max_value) || CompareValues(v, acc.max_value) > 0) {
-          acc.max_value = v;
-        }
-      }
-    }
-    return Status::OK();
-  }
-
-  // Combines a morsel-local accumulator into the merged one. All supported
-  // aggregates merge associatively: counts add, sums add (with the same
-  // int->double promotion as row-at-a-time folding), min/max compare.
-  static void MergeAccumulator(Accumulator* into, const Accumulator& from) {
-    if (into->count == 0 && !into->saw_value) {
-      // Fresh (or all-NULL) target: adopting `from` wholesale keeps the
-      // merged state bit-identical to the morsel's own fold.
-      *into = from;
-      return;
-    }
-    if (from.count == 0 && !from.saw_value) return;
-    into->count += from.count;
-    into->saw_value = true;
-    if (into->saw_double || from.saw_double) {
-      if (!into->saw_double) {
-        into->double_sum = static_cast<double>(into->int_sum);
-        into->saw_double = true;
-      }
-      into->double_sum += from.saw_double
-                              ? from.double_sum
-                              : static_cast<double>(from.int_sum);
-    } else {
-      into->int_sum += from.int_sum;
-    }
-    if (!IsNull(from.min_value) &&
-        (IsNull(into->min_value) ||
-         CompareValues(from.min_value, into->min_value) < 0)) {
-      into->min_value = from.min_value;
-    }
-    if (!IsNull(from.max_value) &&
-        (IsNull(into->max_value) ||
-         CompareValues(from.max_value, into->max_value) > 0)) {
-      into->max_value = from.max_value;
-    }
-  }
+  // The accumulator state and its fold/merge/finalize rules live in
+  // vector_ops.{h,cc} (AggAccumulator), shared with the column-at-a-time
+  // aggregation kernels so the two paths cannot drift apart.
 
   // Partial aggregation state of one morsel (or, after merging, of the
   // whole input). Groups are stored in first-occurrence order; `buckets`
@@ -740,7 +795,7 @@ class Executor {
     std::vector<std::vector<Value>> keys;  // generic path
     std::vector<int64_t> int_keys;         // typed path, arity per group
     std::vector<Row> representatives;
-    std::vector<std::vector<Accumulator>> accumulators;
+    std::vector<std::vector<AggAccumulator>> accumulators;
 
     size_t size() const { return representatives.size(); }
   };
@@ -801,7 +856,7 @@ class Executor {
       }
       const int64_t g = FindOrCreateGroup(table, key, row, agg_calls.size());
       EINSQL_RETURN_IF_ERROR(
-          UpdateAccumulators(agg_calls, row, &table->accumulators[g]));
+          UpdateAggAccumulators(agg_calls, row, &table->accumulators[g]));
     }
     return Status::OK();
   }
@@ -828,9 +883,163 @@ class Executor {
       const int64_t g = FindOrCreateTypedGroup(table, key.data(), arity, row,
                                                agg_calls.size());
       EINSQL_RETURN_IF_ERROR(
-          UpdateAccumulators(agg_calls, row, &table->accumulators[g]));
+          UpdateAggAccumulators(agg_calls, row, &table->accumulators[g]));
     }
     return true;
+  }
+
+  // True when the whole aggregation (group keys and every aggregate
+  // argument) can run column-at-a-time.
+  static bool CanVectorizeAggregate(
+      const PlanNode& node, const std::vector<const Expr*>& agg_calls) {
+    for (const auto& expr : node.group_exprs) {
+      if (!CanVectorizeExpr(*expr)) return false;
+    }
+    for (const Expr* call : agg_calls) {
+      if (call->star_argument) continue;
+      if (call->args.size() != 1 || !CanVectorizeExpr(*call->args[0])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Folds the morsel's aggregate argument columns into `table` given the
+  // per-row group assignment. Any error aborts (the caller falls back to
+  // the row build, which reproduces real errors with row-path timing).
+  static Status VecAccumulate(const std::vector<const Expr*>& agg_calls,
+                              VecEvaluator* eval,
+                              const std::vector<int64_t>& group_ids,
+                              GroupTable* table) {
+    for (size_t a = 0; a < agg_calls.size(); ++a) {
+      const Expr& call = *agg_calls[a];
+      if (call.star_argument) {
+        AccumulateCountStar(group_ids, &table->accumulators, a);
+        continue;
+      }
+      EINSQL_ASSIGN_OR_RETURN(const ColumnVector* col,
+                              eval->Evaluate(*call.args[0]));
+      EINSQL_RETURN_IF_ERROR(
+          AccumulateColumn(call, *col, group_ids, &table->accumulators, a));
+    }
+    return Status::OK();
+  }
+
+  // Column-at-a-time typed morsel build. Same contract as BuildGroupsTyped
+  // (false = a non-int64 group key defeats the typed representation); any
+  // kernel error retries the morsel with the row build.
+  Result<bool> VecBuildGroupsTyped(const PlanNode& node, const Relation& input,
+                                   const std::vector<const Expr*>& agg_calls,
+                                   int64_t begin, int64_t end,
+                                   GroupTable* table,
+                                   std::atomic<int64_t>* vec_fallbacks) {
+    GroupTable attempt;
+    bool keys_typed = true;
+    const Status status = [&]() -> Status {
+      const size_t arity = node.group_exprs.size();
+      std::vector<const ColumnVector*> group_cols;
+      std::vector<int64_t> group_ids;
+      std::vector<int64_t> key(arity);
+      for (int64_t cb = begin; cb < end; cb += kVecChunkRows) {
+        const int64_t ce = std::min(end, cb + kVecChunkRows);
+        ColumnBatch batch(input.rows, cb, ce);
+        VecEvaluator eval(&batch);
+        group_cols.clear();
+        group_cols.reserve(arity);
+        for (const auto& expr : node.group_exprs) {
+          EINSQL_ASSIGN_OR_RETURN(const ColumnVector* col,
+                                  eval.Evaluate(*expr));
+          group_cols.push_back(col);
+        }
+        const int64_t n = ce - cb;
+        group_ids.assign(n, 0);
+        for (int64_t i = 0; i < n; ++i) {
+          for (size_t k = 0; k < arity; ++k) {
+            const ColumnVector& col = *group_cols[k];
+            if (col.kind == ColumnVector::Kind::kInt && col.valid[i]) {
+              key[k] = col.ints[i];
+              continue;
+            }
+            const Value v = col.GetValue(i);
+            const int64_t* p = std::get_if<int64_t>(&v);
+            if (p == nullptr) {
+              keys_typed = false;
+              return Status::OK();
+            }
+            key[k] = *p;
+          }
+          group_ids[i] = FindOrCreateTypedGroup(&attempt, key.data(), arity,
+                                                input.rows[cb + i],
+                                                agg_calls.size());
+        }
+        EINSQL_RETURN_IF_ERROR(
+            VecAccumulate(agg_calls, &eval, group_ids, &attempt));
+      }
+      return Status::OK();
+    }();
+    if (!status.ok()) {
+      vec_fallbacks->fetch_add(1, std::memory_order_relaxed);
+      return BuildGroupsTyped(node, input, agg_calls, begin, end, table);
+    }
+    if (!keys_typed) return false;
+    *table = std::move(attempt);
+    return true;
+  }
+
+  // Column-at-a-time generic morsel build (Value keys); kernel errors
+  // retry the morsel with the row build.
+  Status VecBuildGroupsGeneric(const PlanNode& node, const Relation& input,
+                               const std::vector<const Expr*>& agg_calls,
+                               int64_t begin, int64_t end, GroupTable* table,
+                               std::atomic<int64_t>* vec_fallbacks) {
+    GroupTable attempt;
+    const Status status = [&]() -> Status {
+      const size_t arity = node.group_exprs.size();
+      std::vector<const ColumnVector*> group_cols;
+      std::vector<int64_t> group_ids;
+      std::vector<Value> key(arity);
+      for (int64_t cb = begin; cb < end; cb += kVecChunkRows) {
+        const int64_t ce = std::min(end, cb + kVecChunkRows);
+        ColumnBatch batch(input.rows, cb, ce);
+        VecEvaluator eval(&batch);
+        group_cols.clear();
+        group_cols.reserve(arity);
+        for (const auto& expr : node.group_exprs) {
+          EINSQL_ASSIGN_OR_RETURN(const ColumnVector* col,
+                                  eval.Evaluate(*expr));
+          group_cols.push_back(col);
+        }
+        const int64_t n = ce - cb;
+        group_ids.assign(n, 0);
+        if (arity == 0) {
+          // Global aggregate: every row lands in the single all-rows
+          // group, so the per-row hash lookups of the keyed build are
+          // pure overhead. Creating the group once per chunk dedupes to
+          // the same group id (0) across chunks.
+          if (n > 0) {
+            FindOrCreateGroup(&attempt, key, input.rows[cb],
+                              agg_calls.size());
+          }
+        } else {
+          for (int64_t i = 0; i < n; ++i) {
+            for (size_t k = 0; k < arity; ++k) {
+              key[k] = group_cols[k]->GetValue(i);
+            }
+            group_ids[i] = FindOrCreateGroup(&attempt, key, input.rows[cb + i],
+                                             agg_calls.size());
+          }
+        }
+        EINSQL_RETURN_IF_ERROR(
+            VecAccumulate(agg_calls, &eval, group_ids, &attempt));
+      }
+      return Status::OK();
+    }();
+    if (!status.ok()) {
+      vec_fallbacks->fetch_add(1, std::memory_order_relaxed);
+      return BuildGroupsGeneric(node, input, agg_calls, begin, end, table);
+    }
+    *table = std::move(attempt);
+    return Status::OK();
   }
 
   Result<RelationPtr> ExecuteAggregate(const PlanNode& node,
@@ -845,6 +1054,9 @@ class Executor {
     const MorselPlan plan = PlanMorsels(input->num_rows());
     const size_t arity = node.group_exprs.size();
     std::vector<GroupTable> parts(plan.num_morsels);
+    const bool vec =
+        options_.vectorized && CanVectorizeAggregate(node, agg_calls);
+    std::atomic<int64_t> vec_fallbacks{0};
 
     // Phase 1: thread-local (per-morsel) group tables.
     bool typed = node.typed_int_keys && arity > 0;
@@ -857,13 +1069,17 @@ class Executor {
               return Status::OK();
             }
             EINSQL_ASSIGN_OR_RETURN(
-                bool ok, BuildGroupsTyped(node, *input, agg_calls, begin,
-                                          end, &parts[m]));
+                bool ok,
+                vec ? VecBuildGroupsTyped(node, *input, agg_calls, begin,
+                                          end, &parts[m], &vec_fallbacks)
+                    : BuildGroupsTyped(node, *input, agg_calls, begin, end,
+                                       &parts[m]));
             if (!ok) typed_failed.store(true, std::memory_order_relaxed);
             return Status::OK();
           }));
       if (typed_failed.load()) {
         parts.assign(plan.num_morsels, GroupTable{});
+        vec_fallbacks.store(0);
         typed = false;
       }
     }
@@ -871,8 +1087,11 @@ class Executor {
       EINSQL_RETURN_IF_ERROR(RunMorsels(
           input->num_rows(), plan, "aggregate morsel", op_span,
           [&](int64_t m, int64_t begin, int64_t end) -> Status {
-            return BuildGroupsGeneric(node, *input, agg_calls, begin, end,
-                                      &parts[m]);
+            return vec ? VecBuildGroupsGeneric(node, *input, agg_calls,
+                                               begin, end, &parts[m],
+                                               &vec_fallbacks)
+                       : BuildGroupsGeneric(node, *input, agg_calls, begin,
+                                            end, &parts[m]);
           }));
     }
 
@@ -899,7 +1118,7 @@ class Executor {
                                       part.representatives[g],
                                       agg_calls.size());
         for (size_t a = 0; a < agg_calls.size(); ++a) {
-          MergeAccumulator(&merged.accumulators[target][a],
+          MergeAggAccumulator(&merged.accumulators[target][a],
                            part.accumulators[g][a]);
         }
       }
@@ -913,6 +1132,7 @@ class Executor {
     }
     if (prof != nullptr) {
       prof->hash_entries = static_cast<int64_t>(merged.size());
+      prof->vectorized = vec && vec_fallbacks.load() == 0;
     }
     RecordMorsels(prof, plan);
 
@@ -925,33 +1145,7 @@ class Executor {
       AggregateValues agg_values;
       for (size_t a = 0; a < agg_calls.size(); ++a) {
         const Expr& call = *agg_calls[a];
-        const Accumulator& acc = merged.accumulators[g][a];
-        Value v;
-        if (call.function == "count") {
-          v = Value(acc.count);
-        } else if (call.function == "sum") {
-          if (!acc.saw_value) {
-            v = Value(Null{});
-          } else if (acc.saw_double) {
-            v = Value(acc.double_sum);
-          } else {
-            v = Value(acc.int_sum);
-          }
-        } else if (call.function == "avg") {
-          if (!acc.saw_value) {
-            v = Value(Null{});
-          } else {
-            const double total = acc.saw_double
-                                     ? acc.double_sum
-                                     : static_cast<double>(acc.int_sum);
-            v = Value(total / static_cast<double>(acc.count));
-          }
-        } else if (call.function == "min") {
-          v = acc.min_value;
-        } else {  // max
-          v = acc.max_value;
-        }
-        agg_values[&call] = std::move(v);
+        agg_values[&call] = FinalizeAggregate(call, merged.accumulators[g][a]);
       }
       if (node.predicate) {
         // HAVING: filter groups before projecting them.

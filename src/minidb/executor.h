@@ -35,6 +35,19 @@ struct ExecutorOptions {
   /// per-morsel partial sums, so changing morsel_rows (unlike num_threads)
   /// may perturb double SUM/AVG results in the last ulp.
   int64_t morsel_rows = 16384;
+  /// Column-at-a-time (vectorized) execution: filter predicates, projection
+  /// arithmetic, aggregation, and typed join-key extraction run as
+  /// column kernels over one batch per morsel instead of row-at-a-time
+  /// interpretation. Composes with `parallel_operators` (a morsel becomes
+  /// one batch; sequential execution is one batch spanning the input), so
+  /// for fixed `morsel_rows` and parallel settings results are identical
+  /// to the row interpreter — including float aggregation order. Operators
+  /// or expressions the kernels do not cover (scalar functions, CASE,
+  /// text-heavy paths) transparently fall back to the row interpreter; a
+  /// vectorized kernel error likewise retries the morsel on the row path,
+  /// because eager evaluation may surface errors that short-circuiting
+  /// row evaluation would skip.
+  bool vectorized = false;
   /// Optional span sink: when set, the executor emits one span per CTE
   /// materialization and per operator evaluation, carrying est-vs-actual
   /// cardinalities as attributes. Not owned; may be null.

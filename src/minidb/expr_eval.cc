@@ -4,10 +4,8 @@
 
 namespace einsql::minidb {
 
-namespace {
-
-// Three-valued comparison result: NULL when either side is NULL.
-Result<Value> Compare(BinaryOp op, const Value& a, const Value& b) {
+Result<Value> EvaluateComparison(BinaryOp op, const Value& a,
+                                 const Value& b) {
   if (IsNull(a) || IsNull(b)) return Value(Null{});
   const int c = CompareValues(a, b);
   bool result = false;
@@ -24,18 +22,7 @@ Result<Value> Compare(BinaryOp op, const Value& a, const Value& b) {
   return Value(static_cast<int64_t>(result ? 1 : 0));
 }
 
-Result<Value> Modulo(const Value& a, const Value& b) {
-  if (IsNull(a) || IsNull(b)) return Value(Null{});
-  if (TypeOf(a) == ValueType::kInt && TypeOf(b) == ValueType::kInt) {
-    const int64_t divisor = std::get<int64_t>(b);
-    if (divisor == 0) return Value(Null{});
-    return Value(std::get<int64_t>(a) % divisor);
-  }
-  EINSQL_ASSIGN_OR_RETURN(double da, AsDouble(a));
-  EINSQL_ASSIGN_OR_RETURN(double db, AsDouble(b));
-  if (db == 0.0) return Value(Null{});
-  return Value(std::fmod(da, db));
-}
+namespace {
 
 Result<Value> EvaluateScalarFunction(const Expr& expr,
                                      const std::vector<Value>& args) {
@@ -157,7 +144,7 @@ Result<Value> EvaluateExpr(const Expr& expr, const Row& row,
         case BinaryOp::kMul: return Multiply(lhs, rhs);
         case BinaryOp::kDiv: return Divide(lhs, rhs);
         case BinaryOp::kMod: return Modulo(lhs, rhs);
-        default: return Compare(expr.binary_op, lhs, rhs);
+        default: return EvaluateComparison(expr.binary_op, lhs, rhs);
       }
     }
     case ExprKind::kFunction: {

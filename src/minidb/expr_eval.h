@@ -32,6 +32,12 @@ Result<Value> EvaluateConstant(const Expr& expr);
 /// SQL condition truthiness: true iff the value is a non-NULL number != 0.
 bool IsTrue(const Value& v);
 
+/// Three-valued comparison: NULL when either side is NULL, else 0/1 per
+/// CompareValues ordering. `op` must be one of the six comparison
+/// operators. Shared by the row interpreter and the vectorized kernels so
+/// both paths cannot drift apart.
+Result<Value> EvaluateComparison(BinaryOp op, const Value& a, const Value& b);
+
 }  // namespace einsql::minidb
 
 #endif  // EINSQL_MINIDB_EXPR_EVAL_H_

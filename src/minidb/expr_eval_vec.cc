@@ -1,0 +1,89 @@
+#include "minidb/expr_eval_vec.h"
+
+#include "minidb/vector_ops.h"
+
+namespace einsql::minidb {
+
+bool CanVectorizeExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumnRef:
+      return expr.bound_slot >= 0;
+    case ExprKind::kUnary:
+      return CanVectorizeExpr(*expr.left);
+    case ExprKind::kBinary:
+      return CanVectorizeExpr(*expr.left) && CanVectorizeExpr(*expr.right);
+    case ExprKind::kIsNull:
+      return CanVectorizeExpr(*expr.left);
+    case ExprKind::kFunction:
+    case ExprKind::kCase:
+      return false;
+  }
+  return false;
+}
+
+const ColumnVector* VecEvaluator::Own(ColumnVector&& col) {
+  scratch_.push_back(std::make_unique<ColumnVector>(std::move(col)));
+  return scratch_.back().get();
+}
+
+Result<const ColumnVector*> VecEvaluator::Evaluate(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return Own(
+          ColumnVector::Constant(expr.literal, batch_->num_rows()));
+    case ExprKind::kColumnRef: {
+      if (expr.bound_slot < 0) {
+        return Status::Internal("unbound column reference '", expr.column,
+                                "'");
+      }
+      return &batch_->Column(expr.bound_slot);
+    }
+    case ExprKind::kUnary: {
+      EINSQL_ASSIGN_OR_RETURN(const ColumnVector* operand,
+                              Evaluate(*expr.left));
+      if (expr.unary_op == UnaryOp::kNegate) {
+        EINSQL_ASSIGN_OR_RETURN(ColumnVector out, VecNegate(*operand));
+        return Own(std::move(out));
+      }
+      return Own(VecNot(*operand));
+    }
+    case ExprKind::kBinary: {
+      EINSQL_ASSIGN_OR_RETURN(const ColumnVector* lhs, Evaluate(*expr.left));
+      EINSQL_ASSIGN_OR_RETURN(const ColumnVector* rhs,
+                              Evaluate(*expr.right));
+      switch (expr.binary_op) {
+        case BinaryOp::kAnd:
+          return Own(VecAnd(*lhs, *rhs));
+        case BinaryOp::kOr:
+          return Own(VecOr(*lhs, *rhs));
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          EINSQL_ASSIGN_OR_RETURN(ColumnVector out,
+                                  VecArith(expr.binary_op, *lhs, *rhs));
+          return Own(std::move(out));
+        }
+        default: {
+          EINSQL_ASSIGN_OR_RETURN(ColumnVector out,
+                                  VecCompare(expr.binary_op, *lhs, *rhs));
+          return Own(std::move(out));
+        }
+      }
+    }
+    case ExprKind::kIsNull: {
+      EINSQL_ASSIGN_OR_RETURN(const ColumnVector* operand,
+                              Evaluate(*expr.left));
+      return Own(VecIsNull(*operand, expr.is_null_negated));
+    }
+    case ExprKind::kFunction:
+    case ExprKind::kCase:
+      return Status::Internal("expression is not vectorizable");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace einsql::minidb

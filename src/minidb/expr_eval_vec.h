@@ -1,0 +1,50 @@
+#ifndef EINSQL_MINIDB_EXPR_EVAL_VEC_H_
+#define EINSQL_MINIDB_EXPR_EVAL_VEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "minidb/ast.h"
+#include "minidb/column_batch.h"
+
+namespace einsql::minidb {
+
+/// True when `expr` is expressible as column-at-a-time kernels: literals,
+/// bound column references, unary +/-/NOT, the binary arithmetic /
+/// comparison / AND / OR operators, and IS [NOT] NULL. Scalar function
+/// calls, CASE, and aggregate references stay on the row interpreter —
+/// the executor falls back per plan node, not per expression, so a single
+/// unsupported node keeps the whole operator on the row path.
+bool CanVectorizeExpr(const Expr& expr);
+
+/// Evaluates vectorizable expressions against one ColumnBatch. Returned
+/// pointers borrow either a batch column (column refs are zero-copy) or a
+/// scratch vector owned by this evaluator; they stay valid until the
+/// evaluator is destroyed or Reset(). Not thread-safe — the executor makes
+/// one evaluator per morsel worker.
+///
+/// Error timing caveat: evaluation is eager (no AND/OR short-circuit), so
+/// Evaluate can return an error the row interpreter would have skipped.
+/// Callers must treat any error as "retry this morsel on the row path",
+/// never as a query failure.
+class VecEvaluator {
+ public:
+  explicit VecEvaluator(const ColumnBatch* batch) : batch_(batch) {}
+
+  Result<const ColumnVector*> Evaluate(const Expr& expr);
+
+  /// Drops scratch columns (borrowed pointers from prior Evaluate calls
+  /// become dangling). Batch columns are unaffected.
+  void Reset() { scratch_.clear(); }
+
+ private:
+  const ColumnVector* Own(ColumnVector&& col);
+
+  const ColumnBatch* batch_;
+  std::vector<std::unique_ptr<ColumnVector>> scratch_;
+};
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_EXPR_EVAL_VEC_H_

@@ -41,6 +41,9 @@ std::string OperatorProfile::ToString(int indent) const {
   if (morsels > 0) {
     os << ", threads=" << threads_used << ", morsels=" << morsels;
   }
+  // Only printed when on, so row-path output is unchanged from before
+  // vectorized execution existed.
+  if (vectorized) os << ", vectorized=on";
   os << ", err=" << ErrorFactor(est_error()) << ")\n";
   for (const OperatorProfile& child : children) {
     os << child.ToString(indent + 1);

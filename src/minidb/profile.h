@@ -32,6 +32,10 @@ struct OperatorProfile {
   /// Input morsels processed by the morsel splitter; 0 when the operator
   /// ran without it (sequential execution, or a non-morselized operator).
   int64_t morsels = 0;
+  /// True when every morsel of this operator ran on the vectorized
+  /// (column-at-a-time) path. False when the operator is not vectorizable,
+  /// vectorization is off, or any morsel fell back to the row interpreter.
+  bool vectorized = false;
   std::vector<OperatorProfile> children;
 
   /// Cardinality q-error of the estimate: max(est, actual) / min(est,

@@ -162,6 +162,19 @@ Result<Value> Divide(const Value& a, const Value& b) {
       });
 }
 
+Result<Value> Modulo(const Value& a, const Value& b) {
+  if (IsNull(a) || IsNull(b)) return Value(Null{});
+  if (TypeOf(a) == ValueType::kInt && TypeOf(b) == ValueType::kInt) {
+    const int64_t divisor = std::get<int64_t>(b);
+    if (divisor == 0) return Value(Null{});
+    return Value(std::get<int64_t>(a) % divisor);
+  }
+  EINSQL_ASSIGN_OR_RETURN(double da, AsDouble(a));
+  EINSQL_ASSIGN_OR_RETURN(double db, AsDouble(b));
+  if (db == 0.0) return Value(Null{});
+  return Value(std::fmod(da, db));
+}
+
 Result<Value> Negate(const Value& a) {
   if (IsNull(a)) return Value(Null{});
   if (TypeOf(a) == ValueType::kInt) return Value(-std::get<int64_t>(a));

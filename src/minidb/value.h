@@ -53,6 +53,9 @@ Result<Value> Add(const Value& a, const Value& b);
 Result<Value> Subtract(const Value& a, const Value& b);
 Result<Value> Multiply(const Value& a, const Value& b);
 Result<Value> Divide(const Value& a, const Value& b);
+/// MOD: int % int when both sides are ints, fmod otherwise; a zero divisor
+/// yields NULL. Shared by the row interpreter and the vectorized kernels.
+Result<Value> Modulo(const Value& a, const Value& b);
 Result<Value> Negate(const Value& a);
 
 /// Hash for join/aggregation keys; numerically equal int/double hash alike.

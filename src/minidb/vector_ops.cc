@@ -1,0 +1,521 @@
+#include "minidb/vector_ops.h"
+
+#include <cmath>
+
+#include "minidb/expr_eval.h"
+
+namespace einsql::minidb {
+
+namespace {
+
+using Kind = ColumnVector::Kind;
+
+bool IsNumericKind(Kind k) { return k == Kind::kInt || k == Kind::kDouble; }
+
+double NumericAt(const ColumnVector& col, int64_t i) {
+  return col.kind == Kind::kInt ? static_cast<double>(col.ints[i])
+                                : col.doubles[i];
+}
+
+// Element truth state for three-valued AND/OR.
+enum class Truth : uint8_t { kFalse, kTrue, kNull };
+
+Truth TruthAt(const ColumnVector& col, int64_t i) {
+  if (!col.valid[i]) return Truth::kNull;
+  return TruthyAt(col, i) ? Truth::kTrue : Truth::kFalse;
+}
+
+// Generic element-wise arithmetic through the scalar Value operations —
+// exact row semantics for text errors and mixed-class columns.
+Result<ColumnVector> GenericArith(BinaryOp op, const ColumnVector& a,
+                                  const ColumnVector& b) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kValue;
+  out.valid.assign(n, 1);
+  out.values.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const Value va = a.GetValue(i);
+    const Value vb = b.GetValue(i);
+    Result<Value> r = Status::OK();
+    switch (op) {
+      case BinaryOp::kAdd: r = Add(va, vb); break;
+      case BinaryOp::kSub: r = Subtract(va, vb); break;
+      case BinaryOp::kMul: r = Multiply(va, vb); break;
+      case BinaryOp::kDiv: r = Divide(va, vb); break;
+      case BinaryOp::kMod: r = Modulo(va, vb); break;
+      default:
+        return Status::Internal("VecArith called with non-arithmetic op");
+    }
+    EINSQL_RETURN_IF_ERROR(r.status());
+    if (IsNull(*r)) out.valid[i] = 0;
+    out.values.push_back(std::move(*r));
+  }
+  return out;
+}
+
+bool CompareHolds(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq: return c == 0;
+    case BinaryOp::kNotEq: return c != 0;
+    case BinaryOp::kLt: return c < 0;
+    case BinaryOp::kLtEq: return c <= 0;
+    case BinaryOp::kGt: return c > 0;
+    case BinaryOp::kGtEq: return c >= 0;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+Result<ColumnVector> VecArith(BinaryOp op, const ColumnVector& a,
+                              const ColumnVector& b) {
+  const int64_t n = a.size();
+  // int64 (.) int64 stays exact int arithmetic; a zero divisor turns the
+  // element NULL, mirroring Divide/Modulo.
+  if (a.kind == Kind::kInt && b.kind == Kind::kInt) {
+    ColumnVector out;
+    out.kind = Kind::kInt;
+    out.ints.assign(n, 0);
+    out.valid.assign(n, 0);
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) {
+          if (a.valid[i] & b.valid[i]) {
+            out.ints[i] = a.ints[i] + b.ints[i];
+            out.valid[i] = 1;
+          }
+        }
+        break;
+      case BinaryOp::kSub:
+        for (int64_t i = 0; i < n; ++i) {
+          if (a.valid[i] & b.valid[i]) {
+            out.ints[i] = a.ints[i] - b.ints[i];
+            out.valid[i] = 1;
+          }
+        }
+        break;
+      case BinaryOp::kMul:
+        for (int64_t i = 0; i < n; ++i) {
+          if (a.valid[i] & b.valid[i]) {
+            out.ints[i] = a.ints[i] * b.ints[i];
+            out.valid[i] = 1;
+          }
+        }
+        break;
+      case BinaryOp::kDiv:
+        for (int64_t i = 0; i < n; ++i) {
+          if ((a.valid[i] & b.valid[i]) && b.ints[i] != 0) {
+            out.ints[i] = a.ints[i] / b.ints[i];
+            out.valid[i] = 1;
+          }
+        }
+        break;
+      case BinaryOp::kMod:
+        for (int64_t i = 0; i < n; ++i) {
+          if ((a.valid[i] & b.valid[i]) && b.ints[i] != 0) {
+            out.ints[i] = a.ints[i] % b.ints[i];
+            out.valid[i] = 1;
+          }
+        }
+        break;
+      default:
+        return Status::Internal("VecArith called with non-arithmetic op");
+    }
+    return out;
+  }
+  // Any other numeric pairing promotes to double, like Arith in value.cc.
+  if (IsNumericKind(a.kind) && IsNumericKind(b.kind)) {
+    ColumnVector out;
+    out.kind = Kind::kDouble;
+    out.doubles.assign(n, 0.0);
+    out.valid.assign(n, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      if (!(a.valid[i] & b.valid[i])) continue;
+      const double x = NumericAt(a, i);
+      const double y = NumericAt(b, i);
+      switch (op) {
+        case BinaryOp::kAdd: out.doubles[i] = x + y; break;
+        case BinaryOp::kSub: out.doubles[i] = x - y; break;
+        case BinaryOp::kMul: out.doubles[i] = x * y; break;
+        case BinaryOp::kDiv:
+          if (y == 0.0) continue;  // NULL, SQLite behaviour
+          out.doubles[i] = x / y;
+          break;
+        case BinaryOp::kMod:
+          if (y == 0.0) continue;
+          out.doubles[i] = std::fmod(x, y);
+          break;
+        default:
+          return Status::Internal("VecArith called with non-arithmetic op");
+      }
+      out.valid[i] = 1;
+    }
+    return out;
+  }
+  return GenericArith(op, a, b);
+}
+
+Result<ColumnVector> VecCompare(BinaryOp op, const ColumnVector& a,
+                                const ColumnVector& b) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kInt;
+  out.ints.assign(n, 0);
+  out.valid.assign(n, 0);
+  if (IsNumericKind(a.kind) && IsNumericKind(b.kind)) {
+    // CompareValues compares numbers through double, including int64
+    // operands — the casts here are not an approximation, they are the
+    // row semantics.
+    for (int64_t i = 0; i < n; ++i) {
+      if (!(a.valid[i] & b.valid[i])) continue;
+      const double x = NumericAt(a, i);
+      const double y = NumericAt(b, i);
+      const int c = x < y ? -1 : (x > y ? 1 : 0);
+      out.ints[i] = CompareHolds(op, c) ? 1 : 0;
+      out.valid[i] = 1;
+    }
+    return out;
+  }
+  if (a.kind == Kind::kText && b.kind == Kind::kText) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (!(a.valid[i] & b.valid[i])) continue;
+      const int c = a.texts[i].compare(b.texts[i]);
+      out.ints[i] = CompareHolds(op, c < 0 ? -1 : (c > 0 ? 1 : 0)) ? 1 : 0;
+      out.valid[i] = 1;
+    }
+    return out;
+  }
+  // Mixed ranks (number vs text) or kValue columns: element-wise through
+  // the shared three-valued comparison.
+  for (int64_t i = 0; i < n; ++i) {
+    EINSQL_ASSIGN_OR_RETURN(
+        Value r, EvaluateComparison(op, a.GetValue(i), b.GetValue(i)));
+    if (IsNull(r)) continue;
+    out.ints[i] = std::get<int64_t>(r);
+    out.valid[i] = 1;
+  }
+  return out;
+}
+
+ColumnVector VecAnd(const ColumnVector& a, const ColumnVector& b) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kInt;
+  out.ints.assign(n, 0);
+  out.valid.assign(n, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    const Truth ta = TruthAt(a, i), tb = TruthAt(b, i);
+    if (ta == Truth::kFalse || tb == Truth::kFalse) {
+      out.ints[i] = 0;
+    } else if (ta == Truth::kNull || tb == Truth::kNull) {
+      out.valid[i] = 0;
+    } else {
+      out.ints[i] = 1;
+    }
+  }
+  return out;
+}
+
+ColumnVector VecOr(const ColumnVector& a, const ColumnVector& b) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kInt;
+  out.ints.assign(n, 0);
+  out.valid.assign(n, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    const Truth ta = TruthAt(a, i), tb = TruthAt(b, i);
+    if (ta == Truth::kTrue || tb == Truth::kTrue) {
+      out.ints[i] = 1;
+    } else if (ta == Truth::kNull || tb == Truth::kNull) {
+      out.valid[i] = 0;
+    }
+  }
+  return out;
+}
+
+ColumnVector VecNot(const ColumnVector& a) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kInt;
+  out.ints.assign(n, 0);
+  out.valid.assign(n, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!a.valid[i]) {
+      out.valid[i] = 0;
+    } else {
+      out.ints[i] = TruthyAt(a, i) ? 0 : 1;
+    }
+  }
+  return out;
+}
+
+Result<ColumnVector> VecNegate(const ColumnVector& a) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  switch (a.kind) {
+    case Kind::kInt:
+      out.kind = Kind::kInt;
+      out.valid = a.valid;
+      out.ints.assign(n, 0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (a.valid[i]) out.ints[i] = -a.ints[i];
+      }
+      return out;
+    case Kind::kDouble:
+      out.kind = Kind::kDouble;
+      out.valid = a.valid;
+      out.doubles.assign(n, 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        if (a.valid[i]) out.doubles[i] = -a.doubles[i];
+      }
+      return out;
+    case Kind::kText:
+    case Kind::kValue: {
+      out.kind = Kind::kValue;
+      out.valid.assign(n, 1);
+      out.values.reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        EINSQL_ASSIGN_OR_RETURN(Value v, Negate(a.GetValue(i)));
+        if (IsNull(v)) out.valid[i] = 0;
+        out.values.push_back(std::move(v));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled column kind");
+}
+
+ColumnVector VecIsNull(const ColumnVector& a, bool negated) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kInt;
+  out.valid.assign(n, 1);
+  out.ints.assign(n, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const bool is_null = !a.valid[i];
+    out.ints[i] = (is_null != negated) ? 1 : 0;
+  }
+  return out;
+}
+
+bool ExtractIntKeys(const std::vector<Row>& rows, int64_t begin, int64_t end,
+                    const std::vector<int>& slots, int64_t* keys,
+                    KeyRowClass* classes) {
+  const size_t arity = slots.size();
+  bool all_typed = true;
+  for (int64_t r = begin; r < end; ++r) {
+    const Row& row = rows[r];
+    int64_t* out = keys + (r - begin) * arity;
+    KeyRowClass cls = KeyRowClass::kOk;
+    for (size_t k = 0; k < arity; ++k) {
+      const Value& v = row[slots[k]];
+      if (const int64_t* i = std::get_if<int64_t>(&v)) {
+        out[k] = *i;
+        continue;
+      }
+      cls = IsNull(v) ? KeyRowClass::kNull : KeyRowClass::kUntyped;
+      break;
+    }
+    classes[r - begin] = cls;
+    all_typed &= cls != KeyRowClass::kUntyped;
+  }
+  return all_typed;
+}
+
+Status UpdateAggAccumulators(const std::vector<const Expr*>& agg_calls,
+                             const Row& row,
+                             std::vector<AggAccumulator>* accumulators) {
+  for (size_t a = 0; a < agg_calls.size(); ++a) {
+    const Expr& call = *agg_calls[a];
+    AggAccumulator& acc = (*accumulators)[a];
+    if (call.star_argument) {
+      ++acc.count;
+      acc.saw_value = true;
+      continue;
+    }
+    if (call.args.size() != 1) {
+      return Status::InvalidArgument("aggregate ", call.function,
+                                     "() expects one argument");
+    }
+    EINSQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*call.args[0], row));
+    if (IsNull(v)) continue;  // aggregates skip NULLs
+    ++acc.count;
+    acc.saw_value = true;
+    if (call.function == "sum" || call.function == "avg") {
+      if (TypeOf(v) == ValueType::kInt && !acc.saw_double) {
+        acc.int_sum += std::get<int64_t>(v);
+      } else {
+        EINSQL_ASSIGN_OR_RETURN(double d, AsDouble(v));
+        if (!acc.saw_double) {
+          acc.double_sum = static_cast<double>(acc.int_sum);
+          acc.saw_double = true;
+        }
+        acc.double_sum += d;
+      }
+    } else if (call.function == "min") {
+      if (IsNull(acc.min_value) || CompareValues(v, acc.min_value) < 0) {
+        acc.min_value = v;
+      }
+    } else if (call.function == "max") {
+      if (IsNull(acc.max_value) || CompareValues(v, acc.max_value) > 0) {
+        acc.max_value = v;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status AccumulateColumn(const Expr& call, const ColumnVector& col,
+                        const std::vector<int64_t>& group_ids,
+                        std::vector<std::vector<AggAccumulator>>* accumulators,
+                        size_t call_index) {
+  const int64_t n = col.size();
+  const std::string& f = call.function;
+  if (f == "sum" || f == "avg") {
+    switch (col.kind) {
+      case Kind::kInt:
+        for (int64_t r = 0; r < n; ++r) {
+          if (!col.valid[r]) continue;
+          AggAccumulator& acc = (*accumulators)[group_ids[r]][call_index];
+          ++acc.count;
+          acc.saw_value = true;
+          if (!acc.saw_double) {
+            acc.int_sum += col.ints[r];
+          } else {
+            acc.double_sum += static_cast<double>(col.ints[r]);
+          }
+        }
+        return Status::OK();
+      case Kind::kDouble:
+        for (int64_t r = 0; r < n; ++r) {
+          if (!col.valid[r]) continue;
+          AggAccumulator& acc = (*accumulators)[group_ids[r]][call_index];
+          ++acc.count;
+          acc.saw_value = true;
+          if (!acc.saw_double) {
+            acc.double_sum = static_cast<double>(acc.int_sum);
+            acc.saw_double = true;
+          }
+          acc.double_sum += col.doubles[r];
+        }
+        return Status::OK();
+      case Kind::kText:
+      case Kind::kValue:
+        // Element-wise: mixed int/double columns must hit the exact same
+        // promotion point as the row fold, and text raises the row path's
+        // AsDouble error.
+        for (int64_t r = 0; r < n; ++r) {
+          if (!col.valid[r]) continue;
+          const Value v = col.GetValue(r);
+          AggAccumulator& acc = (*accumulators)[group_ids[r]][call_index];
+          ++acc.count;
+          acc.saw_value = true;
+          if (TypeOf(v) == ValueType::kInt && !acc.saw_double) {
+            acc.int_sum += std::get<int64_t>(v);
+          } else {
+            EINSQL_ASSIGN_OR_RETURN(double d, AsDouble(v));
+            if (!acc.saw_double) {
+              acc.double_sum = static_cast<double>(acc.int_sum);
+              acc.saw_double = true;
+            }
+            acc.double_sum += d;
+          }
+        }
+        return Status::OK();
+    }
+    return Status::Internal("unhandled column kind");
+  }
+  if (f == "count") {
+    for (int64_t r = 0; r < n; ++r) {
+      if (!col.valid[r]) continue;
+      AggAccumulator& acc = (*accumulators)[group_ids[r]][call_index];
+      ++acc.count;
+      acc.saw_value = true;
+    }
+    return Status::OK();
+  }
+  if (f == "min" || f == "max") {
+    const bool is_min = f == "min";
+    for (int64_t r = 0; r < n; ++r) {
+      if (!col.valid[r]) continue;
+      const Value v = col.GetValue(r);
+      AggAccumulator& acc = (*accumulators)[group_ids[r]][call_index];
+      ++acc.count;
+      acc.saw_value = true;
+      if (is_min) {
+        if (IsNull(acc.min_value) || CompareValues(v, acc.min_value) < 0) {
+          acc.min_value = v;
+        }
+      } else {
+        if (IsNull(acc.max_value) || CompareValues(v, acc.max_value) > 0) {
+          acc.max_value = v;
+        }
+      }
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown aggregate '", f, "'");
+}
+
+void AccumulateCountStar(
+    const std::vector<int64_t>& group_ids,
+    std::vector<std::vector<AggAccumulator>>* accumulators,
+    size_t call_index) {
+  for (int64_t gid : group_ids) {
+    AggAccumulator& acc = (*accumulators)[gid][call_index];
+    ++acc.count;
+    acc.saw_value = true;
+  }
+}
+
+void MergeAggAccumulator(AggAccumulator* into, const AggAccumulator& from) {
+  if (into->count == 0 && !into->saw_value) {
+    // Fresh (or all-NULL) target: adopting `from` wholesale keeps the
+    // merged state bit-identical to the morsel's own fold.
+    *into = from;
+    return;
+  }
+  if (from.count == 0 && !from.saw_value) return;
+  into->count += from.count;
+  into->saw_value = true;
+  if (into->saw_double || from.saw_double) {
+    if (!into->saw_double) {
+      into->double_sum = static_cast<double>(into->int_sum);
+      into->saw_double = true;
+    }
+    into->double_sum += from.saw_double
+                            ? from.double_sum
+                            : static_cast<double>(from.int_sum);
+  } else {
+    into->int_sum += from.int_sum;
+  }
+  if (!IsNull(from.min_value) &&
+      (IsNull(into->min_value) ||
+       CompareValues(from.min_value, into->min_value) < 0)) {
+    into->min_value = from.min_value;
+  }
+  if (!IsNull(from.max_value) &&
+      (IsNull(into->max_value) ||
+       CompareValues(from.max_value, into->max_value) > 0)) {
+    into->max_value = from.max_value;
+  }
+}
+
+Value FinalizeAggregate(const Expr& call, const AggAccumulator& acc) {
+  if (call.function == "count") return Value(acc.count);
+  if (call.function == "sum") {
+    if (!acc.saw_value) return Value(Null{});
+    return acc.saw_double ? Value(acc.double_sum) : Value(acc.int_sum);
+  }
+  if (call.function == "avg") {
+    if (!acc.saw_value) return Value(Null{});
+    const double total =
+        acc.saw_double ? acc.double_sum : static_cast<double>(acc.int_sum);
+    return Value(total / static_cast<double>(acc.count));
+  }
+  if (call.function == "min") return acc.min_value;
+  return acc.max_value;  // max
+}
+
+}  // namespace einsql::minidb

@@ -1,0 +1,144 @@
+#ifndef EINSQL_MINIDB_VECTOR_OPS_H_
+#define EINSQL_MINIDB_VECTOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "minidb/ast.h"
+#include "minidb/column_batch.h"
+#include "minidb/table.h"
+
+namespace einsql::minidb {
+
+/// Column-at-a-time kernels behind the vectorized executor path. Every
+/// kernel is element-wise equivalent to the corresponding Value operation
+/// of the row interpreter (value.h / expr_eval.h): typed inner loops cover
+/// the int64/double fast cases; text and mixed-class (kValue) columns fall
+/// back to element-wise Value operations inside the kernel, so results are
+/// identical either way. The only permitted difference is *error timing*:
+/// kernels evaluate eagerly, so they may surface an evaluation error the
+/// short-circuiting row interpreter would have skipped — callers handle
+/// that by retrying the row path (see executor.cc).
+
+// ---------------------------------------------------------------------
+// Arithmetic / comparison / logic
+// ---------------------------------------------------------------------
+
+/// a op b with SQL NULL propagation. kAdd/kSub/kMul/kDiv/kMod only.
+Result<ColumnVector> VecArith(BinaryOp op, const ColumnVector& a,
+                              const ColumnVector& b);
+
+/// Three-valued comparison; kEq/kNotEq/kLt/kLtEq/kGt/kGtEq only. Output is
+/// a 0/1 int column with NULL where either input is NULL.
+Result<ColumnVector> VecCompare(BinaryOp op, const ColumnVector& a,
+                                const ColumnVector& b);
+
+/// Three-valued AND / OR over condition columns. Truthiness follows
+/// IsTrue(): non-NULL number != 0; text counts as false.
+ColumnVector VecAnd(const ColumnVector& a, const ColumnVector& b);
+ColumnVector VecOr(const ColumnVector& a, const ColumnVector& b);
+
+/// NOT with three-valued logic; numeric negation with NULL propagation.
+ColumnVector VecNot(const ColumnVector& a);
+Result<ColumnVector> VecNegate(const ColumnVector& a);
+
+/// x IS [NOT] NULL: a 0/1 int column, never NULL itself.
+ColumnVector VecIsNull(const ColumnVector& a, bool negated);
+
+/// Condition truthiness of element `i` (the filter kernel's accept test):
+/// valid and IsTrue.
+inline bool TruthyAt(const ColumnVector& col, int64_t i) {
+  if (!col.valid[i]) return false;
+  switch (col.kind) {
+    case ColumnVector::Kind::kInt:
+      return col.ints[i] != 0;
+    case ColumnVector::Kind::kDouble:
+      return col.doubles[i] != 0.0;
+    case ColumnVector::Kind::kText:
+      return false;
+    case ColumnVector::Kind::kValue: {
+      if (const int64_t* v = std::get_if<int64_t>(&col.values[i])) {
+        return *v != 0;
+      }
+      if (const double* d = std::get_if<double>(&col.values[i])) {
+        return *d != 0.0;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Join / group key extraction (the typed int64 fast path, batched)
+// ---------------------------------------------------------------------
+
+/// Per-row outcome of typed key extraction.
+enum class KeyRowClass : uint8_t {
+  kOk = 0,       // all key values are int64; the packed key is filled
+  kNull = 1,     // a key is NULL: the row never joins / typed-groups
+  kUntyped = 2,  // a non-NULL non-int value: the typed path must bail
+};
+
+/// Batch join-key extraction: packs the `slots` values of rows
+/// [begin, end) into `keys` (slots.size() ints per row, row-major) and
+/// writes one KeyRowClass per row. `keys` and `classes` must hold
+/// (end - begin) * slots.size() and (end - begin) entries. Returns true
+/// when no row was kUntyped (i.e. the typed path can proceed).
+bool ExtractIntKeys(const std::vector<Row>& rows, int64_t begin, int64_t end,
+                    const std::vector<int>& slots, int64_t* keys,
+                    KeyRowClass* classes);
+
+// ---------------------------------------------------------------------
+// Aggregation (SUM / COUNT / AVG / MIN / MAX)
+// ---------------------------------------------------------------------
+
+/// Running state of one aggregate call within one group. SUM/AVG keep an
+/// exact int64 sum until the first double appears, then switch to double
+/// accumulation — the promotion point is part of the result contract, so
+/// the row fold, the column kernels, and the morsel merge all share this
+/// struct and its transition rules.
+struct AggAccumulator {
+  double double_sum = 0.0;
+  int64_t int_sum = 0;
+  bool saw_double = false;
+  bool saw_value = false;
+  int64_t count = 0;
+  Value min_value = Null{};
+  Value max_value = Null{};
+};
+
+/// Row-at-a-time fold: evaluates every aggregate call's argument against
+/// `row` and updates the matching accumulator. The row executor path.
+Status UpdateAggAccumulators(const std::vector<const Expr*>& agg_calls,
+                             const Row& row,
+                             std::vector<AggAccumulator>* accumulators);
+
+/// Column-at-a-time fold for one aggregate call: folds `col[r]` into
+/// accumulator slot `call_index` of group `group_ids[r]`, for r in
+/// [0, col.size()), in row order — bit-identical to the row fold because
+/// accumulators of distinct calls never interact. `call` must not be
+/// COUNT(*) (see AccumulateCountStar).
+Status AccumulateColumn(const Expr& call, const ColumnVector& col,
+                        const std::vector<int64_t>& group_ids,
+                        std::vector<std::vector<AggAccumulator>>* accumulators,
+                        size_t call_index);
+
+/// COUNT(*): every row counts, no argument column.
+void AccumulateCountStar(
+    const std::vector<int64_t>& group_ids,
+    std::vector<std::vector<AggAccumulator>>* accumulators,
+    size_t call_index);
+
+/// Combines a morsel-local accumulator into the merged one. All supported
+/// aggregates merge associatively: counts add, sums add (with the same
+/// int->double promotion as row-at-a-time folding), min/max compare.
+void MergeAggAccumulator(AggAccumulator* into, const AggAccumulator& from);
+
+/// The aggregate's output value (SUM of nothing is NULL, COUNT is 0, ...).
+Value FinalizeAggregate(const Expr& call, const AggAccumulator& acc);
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_VECTOR_OPS_H_

@@ -90,12 +90,32 @@ std::vector<std::unique_ptr<Oracle>> MakeDefaultOracles(
         StrCat("minidb-", minidb::OptimizerModeToString(mode)),
         std::make_unique<MiniDbBackend>(planner),
         /*refuse_out_of_range=*/mode == minidb::OptimizerMode::kExhaustive));
+    // The same engine and optimizer level on the column-at-a-time
+    // executor: row-vs-vector differential coverage at every plan shape
+    // the optimizer levels produce.
+    auto vec_backend = std::make_unique<MiniDbBackend>(planner);
+    vec_backend->set_vectorized();
+    oracles.push_back(std::make_unique<EngineOracle>(
+        StrCat("minidb-vec-", minidb::OptimizerModeToString(mode)),
+        std::move(vec_backend),
+        /*refuse_out_of_range=*/mode == minidb::OptimizerMode::kExhaustive));
   }
   {
     auto backend = std::make_unique<MiniDbBackend>();
     backend->set_threads(4);
     oracles.push_back(std::make_unique<EngineOracle>(
         "minidb-parallel", std::move(backend), /*refuse_out_of_range=*/false));
+  }
+  {
+    // Vectorized + morsel-parallel: batches are real morsels here, so this
+    // axis exercises per-morsel batch boundaries and the vectorized
+    // accumulator merge.
+    auto backend = std::make_unique<MiniDbBackend>();
+    backend->set_threads(4);
+    backend->set_vectorized();
+    oracles.push_back(std::make_unique<EngineOracle>(
+        "minidb-vec-parallel", std::move(backend),
+        /*refuse_out_of_range=*/false));
   }
   if (auto sqlite = SqliteBackend::Open(); sqlite.ok()) {
     oracles.push_back(std::make_unique<EngineOracle>(

@@ -107,7 +107,10 @@ class EngineOracle : public Oracle {
 ///   reference, dense, sparse,
 ///   minidb-none / minidb-greedy / minidb-aggressive / minidb-exhaustive
 ///   (all four optimizer-effort levels, sequential),
+///   minidb-vec-none / -greedy / -aggressive / -exhaustive (the same four
+///   levels on the column-at-a-time executor),
 ///   minidb-parallel (greedy optimizer, morsel-driven execution),
+///   minidb-vec-parallel (vectorized batches over real morsels),
 ///   sqlite.
 /// `name_filter`, when non-empty, keeps only oracles whose name contains it
 /// as a substring (comma-separated alternatives allowed).

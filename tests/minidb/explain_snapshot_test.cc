@@ -1,0 +1,164 @@
+// Golden-snapshot tests for EXPLAIN and (normalized) EXPLAIN ANALYZE: a
+// fixed query set is planned at every optimizer level and executed on the
+// row and vectorized paths, and the rendered text must match the files
+// checked in under tests/minidb/snapshots/. Plan or rendering changes are
+// caught as diffs; intentional changes regenerate with
+//
+//   ./build/tests/minidb/explain_snapshot_test --update-snapshots
+//
+// EXPLAIN output is deterministic as-is. EXPLAIN ANALYZE contains wall
+// times, which are scrubbed (`time=<T>`, `Execution: <T>`) before
+// comparison; everything else — actual rows, group/build sizes, error
+// factors, the vectorized= marker — must be stable.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minidb/database.h"
+
+namespace einsql::minidb {
+namespace {
+
+bool g_update_snapshots = false;
+
+std::string SnapshotPath(const std::string& name) {
+  return std::string(EINSQL_SNAPSHOT_DIR) + "/" + name + ".txt";
+}
+
+void CheckSnapshot(const std::string& name, const std::string& actual) {
+  const std::string path = SnapshotPath(name);
+  if (g_update_snapshots) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing snapshot " << path
+      << " — regenerate with: explain_snapshot_test --update-snapshots";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), actual)
+      << "snapshot " << name << " diverged; if the change is intentional, "
+      << "regenerate with: explain_snapshot_test --update-snapshots";
+}
+
+// Renders the one-text-column EXPLAIN relation back into plain text.
+std::string DumpText(const Relation& relation) {
+  std::string text;
+  for (const Row& row : relation.rows) {
+    text += std::get<std::string>(row[0]);
+    text += "\n";
+  }
+  return text;
+}
+
+// Scrubs the nondeterministic wall-time fields of EXPLAIN ANALYZE.
+std::string Normalize(const std::string& text) {
+  static const std::regex kTime("time=[0-9.]+ ms");
+  static const std::regex kExec("Execution: [0-9.]+ ms");
+  return std::regex_replace(std::regex_replace(text, kTime, "time=<T>"),
+                            kExec, "Execution: <T>");
+}
+
+struct SnapshotQuery {
+  const char* id;
+  const char* sql;
+};
+
+// The fixed query set: the paper's core einsum shapes (matmul-style
+// join+aggregate, trace-style self-filter) plus a plain filter/project
+// pipeline and a HAVING query, over small deterministic tables.
+const SnapshotQuery kQueries[] = {
+    {"matmul",
+     "SELECT A.i AS i, B.j AS j, SUM(A.val * B.val) AS val "
+     "FROM A, B WHERE A.j = B.i GROUP BY A.i, B.j"},
+    {"trace", "SELECT SUM(A.val) AS val FROM A WHERE A.i = A.j"},
+    {"filter_project",
+     "SELECT A.i + A.j, A.val * 2.0 FROM A WHERE A.val > 0.5"},
+    {"having",
+     "SELECT A.i, COUNT(*) AS c FROM A GROUP BY A.i HAVING COUNT(*) > 1"},
+};
+
+void LoadTables(Database* db) {
+  ASSERT_TRUE(
+      db->Execute("CREATE TABLE A (i INT, j INT, val DOUBLE)").ok());
+  ASSERT_TRUE(
+      db->Execute("CREATE TABLE B (i INT, j INT, val DOUBLE)").ok());
+  ASSERT_TRUE(db->Execute("INSERT INTO A VALUES (0, 0, 1.5), (0, 1, 2.0), "
+                          "(1, 0, -1.0), (1, 1, 4.0), (2, 2, 0.5), "
+                          "(2, 0, 3.0), (0, 2, 0.25)")
+                  .ok());
+  ASSERT_TRUE(db->Execute("INSERT INTO B VALUES (0, 0, 3.0), (0, 1, -2.0), "
+                          "(1, 1, 1.0), (2, 0, 5.0), (1, 2, 2.5)")
+                  .ok());
+}
+
+// Executors stay sequential (threads/morsel counts would differ across
+// machines) and pin every env-settable option.
+void Configure(Database* db, bool vectorized) {
+  db->executor_options().vectorized = vectorized;
+  db->executor_options().parallel_operators = false;
+  db->executor_options().parallel_ctes = false;
+  db->executor_options().num_threads = 0;
+  db->executor_options().morsel_rows = 16384;
+}
+
+TEST(ExplainSnapshotTest, PlansAcrossOptimizerLevels) {
+  const OptimizerMode kModes[] = {OptimizerMode::kNone, OptimizerMode::kGreedy,
+                                  OptimizerMode::kAggressive,
+                                  OptimizerMode::kExhaustive};
+  for (OptimizerMode mode : kModes) {
+    PlannerOptions planner;
+    planner.mode = mode;
+    Database db(planner);
+    Configure(&db, /*vectorized=*/false);
+    LoadTables(&db);
+    for (const SnapshotQuery& query : kQueries) {
+      auto result = db.Execute(std::string("EXPLAIN ") + query.sql);
+      ASSERT_TRUE(result.ok()) << result.status() << "\nSQL: " << query.sql;
+      CheckSnapshot(
+          std::string(query.id) + "_" + OptimizerModeToString(mode),
+          DumpText(result->relation));
+    }
+  }
+}
+
+TEST(ExplainSnapshotTest, AnalyzeRowVersusVector) {
+  for (const bool vectorized : {false, true}) {
+    Database db;
+    Configure(&db, vectorized);
+    LoadTables(&db);
+    for (const SnapshotQuery& query : kQueries) {
+      auto result = db.Execute(std::string("EXPLAIN ANALYZE ") + query.sql);
+      ASSERT_TRUE(result.ok()) << result.status() << "\nSQL: " << query.sql;
+      CheckSnapshot(std::string(query.id) + "_analyze_" +
+                        (vectorized ? "vec" : "row"),
+                    Normalize(DumpText(result->relation)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace einsql::minidb
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--update-snapshots") {
+      einsql::minidb::g_update_snapshots = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

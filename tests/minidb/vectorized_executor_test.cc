@@ -1,0 +1,335 @@
+// Row-vs-vector differential battery: every query here runs on the row
+// interpreter, the vectorized executor, and the vectorized executor over
+// real morsels (parallel, morsel_rows=2), and the results must be
+// *identical* — not merely toleranced. Covers the kernel surface (filter
+// predicates, projection arithmetic, joins, aggregation), the fallback
+// rules (scalar functions, CASE, text), and the error-timing contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "minidb/database.h"
+
+namespace einsql::minidb {
+namespace {
+
+Relation RunSql(Database* db, std::string_view sql) {
+  auto result = db->Execute(sql);
+  EXPECT_TRUE(result.ok()) << result.status() << "\nSQL: " << sql;
+  return result.ok() ? result->relation : Relation{};
+}
+
+// Pin every option the environment can set (the CI matrix forces
+// MINIDB_VECTORIZED / MINIDB_PARALLEL on), so each database runs exactly
+// the configuration the test names.
+void Configure(Database* db, bool vectorized, bool parallel) {
+  db->executor_options().vectorized = vectorized;
+  db->executor_options().parallel_operators = parallel;
+  db->executor_options().parallel_ctes = false;
+  db->executor_options().num_threads = parallel ? 4 : 0;
+  db->executor_options().morsel_rows = 2;
+}
+
+// Exact relation equality, including value *types* (int64 1 != double
+// 1.0): the vectorized path must preserve int-vs-double identity.
+void ExpectSameRelation(const Relation& a, const Relation& b,
+                        std::string_view what) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << what;
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.rows[r], b.rows[r]) << what << ": row " << r;
+  }
+}
+
+// The differential harness: loads the same statements into four
+// databases — row/sequential, vectorized/sequential, row/parallel,
+// vectorized/parallel — and requires bit-identical results between row
+// and vectorized at equal morsel settings.
+void ExpectVectorMatchesRow(const std::vector<std::string>& load,
+                            std::string_view sql) {
+  Database row_seq, vec_seq, row_par, vec_par;
+  Configure(&row_seq, /*vectorized=*/false, /*parallel=*/false);
+  Configure(&vec_seq, /*vectorized=*/true, /*parallel=*/false);
+  Configure(&row_par, /*vectorized=*/false, /*parallel=*/true);
+  Configure(&vec_par, /*vectorized=*/true, /*parallel=*/true);
+  for (const std::string& statement : load) {
+    RunSql(&row_seq, statement);
+    RunSql(&vec_seq, statement);
+    RunSql(&row_par, statement);
+    RunSql(&vec_par, statement);
+  }
+  const Relation expected = RunSql(&row_seq, sql);
+  ExpectSameRelation(expected, RunSql(&vec_seq, sql), "vectorized sequential");
+  ExpectSameRelation(RunSql(&row_par, sql), RunSql(&vec_par, sql),
+                     "vectorized parallel (morsel_rows=2)");
+}
+
+const std::vector<std::string> kNumbers = {
+    "CREATE TABLE t (i INT, j INT, v DOUBLE)",
+    "INSERT INTO t VALUES (0, 0, 1.5), (1, 2, -2.0), (2, 2, 0.25), "
+    "(3, 0, 4.0), (4, 4, -0.5), (5, 3, 2.0), (6, 6, 0.0), (7, 5, 8.5)"};
+
+// ---------------------------------------------------------------------
+// Filter kernels
+// ---------------------------------------------------------------------
+
+TEST(VectorizedFilterTest, IntComparisons) {
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE i >= 3");
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE i = j");
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE i <> j");
+}
+
+TEST(VectorizedFilterTest, DoubleAndCrossTypeComparisons) {
+  ExpectVectorMatchesRow(kNumbers, "SELECT v FROM t WHERE v > 0.0");
+  // int column vs double literal: numeric comparison across storage class.
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE i < 3.5");
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE v <= i");
+}
+
+TEST(VectorizedFilterTest, BooleanConnectives) {
+  ExpectVectorMatchesRow(kNumbers,
+                         "SELECT i FROM t WHERE i > 1 AND v < 3.0");
+  ExpectVectorMatchesRow(kNumbers,
+                         "SELECT i FROM t WHERE i = 0 OR j = 2 OR v > 4.0");
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE NOT (i = j)");
+  ExpectVectorMatchesRow(
+      kNumbers, "SELECT i FROM t WHERE NOT (i > 2 AND NOT (j = 0))");
+}
+
+TEST(VectorizedFilterTest, ArithmeticInsidePredicate) {
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE i + j > 5");
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE i % 2 = 0");
+  // Division by zero yields NULL, which never passes a filter.
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE 10 / j > 2");
+  ExpectVectorMatchesRow(kNumbers, "SELECT i FROM t WHERE -i < -3");
+}
+
+TEST(VectorizedFilterTest, TextEquality) {
+  const std::vector<std::string> load = {
+      "CREATE TABLE s (k INT, name TEXT)",
+      "INSERT INTO s VALUES (1, 'alpha'), (2, 'beta'), (3, 'alpha'), "
+      "(4, 'gamma')"};
+  ExpectVectorMatchesRow(load, "SELECT k FROM s WHERE name = 'alpha'");
+  ExpectVectorMatchesRow(load, "SELECT k FROM s WHERE name < 'beta'");
+  // Text vs number ranks text higher — never equal, ordered after.
+  ExpectVectorMatchesRow(load, "SELECT k FROM s WHERE name > 5");
+}
+
+// ---------------------------------------------------------------------
+// Projection kernels
+// ---------------------------------------------------------------------
+
+TEST(VectorizedProjectTest, Arithmetic) {
+  ExpectVectorMatchesRow(
+      kNumbers, "SELECT i + j, i - j, i * j, v * 2.0, -v FROM t");
+  // Int division truncates; int modulo; both NULL on zero divisor.
+  ExpectVectorMatchesRow(kNumbers, "SELECT i / 2, 7 % 3, i / j, i % j FROM t");
+  // Mixed int/double arithmetic promotes to double.
+  ExpectVectorMatchesRow(kNumbers, "SELECT i + v, v / 2, i * 0.5 FROM t");
+}
+
+TEST(VectorizedProjectTest, PreservesIntVsDoubleIdentity) {
+  // 4 / 2 is int 2; 4 / 2.0 is double 2.0 — EXPECT_EQ on the variant rows
+  // inside the harness distinguishes them.
+  ExpectVectorMatchesRow(kNumbers, "SELECT i / 2, i / 2.0 FROM t");
+  ExpectVectorMatchesRow(kNumbers, "SELECT i + 1, i + 1.0 FROM t");
+}
+
+TEST(VectorizedProjectTest, ComparisonAndLogicAsValues) {
+  ExpectVectorMatchesRow(kNumbers, "SELECT i > 2, i = j, NOT (v > 0) FROM t");
+}
+
+TEST(VectorizedProjectTest, ScalarFunctionFallsBackToRowPath) {
+  // abs()/mod() are not vectorizable: the project node must silently use
+  // the row interpreter and still match.
+  ExpectVectorMatchesRow(kNumbers, "SELECT abs(v), mod(i, 3) FROM t");
+  ExpectVectorMatchesRow(kNumbers,
+                         "SELECT CASE WHEN i > 3 THEN i ELSE j END FROM t");
+}
+
+TEST(VectorizedProjectTest, MixedClassColumnStaysExact) {
+  // A column holding both ints and doubles must transpose as variants
+  // (kValue) so each element's storage class survives.
+  const std::vector<std::string> load = {
+      "CREATE TABLE m (x DOUBLE)",
+      "INSERT INTO m VALUES (1), (2.5), (3), (0.25)"};
+  ExpectVectorMatchesRow(load, "SELECT x, x + 1, x * 2 FROM m");
+  ExpectVectorMatchesRow(load, "SELECT x FROM m WHERE x > 1");
+}
+
+// ---------------------------------------------------------------------
+// Join key extraction
+// ---------------------------------------------------------------------
+
+TEST(VectorizedJoinTest, TypedIntKeys) {
+  const std::vector<std::string> load = {
+      "CREATE TABLE a (i INT, v DOUBLE)",
+      "CREATE TABLE b (i INT, w DOUBLE)",
+      "INSERT INTO a VALUES (0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0), "
+      "(1, 5.0)",
+      "INSERT INTO b VALUES (1, 10.0), (2, 20.0), (1, 30.0), (5, 50.0)"};
+  ExpectVectorMatchesRow(
+      load, "SELECT a.i, a.v, b.w FROM a, b WHERE a.i = b.i");
+  ExpectVectorMatchesRow(
+      load,
+      "SELECT SUM(a.v * b.w) AS dot FROM a, b WHERE a.i = b.i");
+}
+
+TEST(VectorizedJoinTest, UntypedKeysFallBackGenerically) {
+  // A double in a declared-int key column defeats the typed path on both
+  // executors; results must still agree (1 joins 1.0 numerically).
+  const std::vector<std::string> load = {
+      "CREATE TABLE a (i INT)", "CREATE TABLE b (i DOUBLE)",
+      "INSERT INTO a VALUES (1), (2), (3)",
+      "INSERT INTO b VALUES (1.0), (2.5), (3.0)"};
+  ExpectVectorMatchesRow(load,
+                         "SELECT a.i, b.i FROM a, b WHERE a.i = b.i");
+}
+
+// ---------------------------------------------------------------------
+// Aggregation kernels
+// ---------------------------------------------------------------------
+
+TEST(VectorizedAggregateTest, GlobalAggregates) {
+  ExpectVectorMatchesRow(
+      kNumbers,
+      "SELECT SUM(i), COUNT(*), MIN(v), MAX(v), AVG(v), SUM(v) FROM t");
+}
+
+TEST(VectorizedAggregateTest, GroupByTypedIntKey) {
+  ExpectVectorMatchesRow(
+      kNumbers,
+      "SELECT j, SUM(v), COUNT(*), MIN(i), MAX(i) FROM t GROUP BY j");
+}
+
+TEST(VectorizedAggregateTest, GroupByExpressionKey) {
+  ExpectVectorMatchesRow(kNumbers,
+                         "SELECT i % 3, SUM(v) FROM t GROUP BY i % 3");
+}
+
+TEST(VectorizedAggregateTest, SumIntThenDoublePromotion) {
+  // SUM over a mixed int/double column switches from exact int folding to
+  // double at the first double — the promotion point must match the row
+  // fold exactly.
+  const std::vector<std::string> load = {
+      "CREATE TABLE m (g INT, x DOUBLE)",
+      "INSERT INTO m VALUES (0, 1), (0, 2), (0, 0.5), (0, 3), "
+      "(1, 4), (1, 5)"};
+  ExpectVectorMatchesRow(load, "SELECT g, SUM(x), AVG(x) FROM m GROUP BY g");
+}
+
+TEST(VectorizedAggregateTest, AggregateOfExpression) {
+  ExpectVectorMatchesRow(kNumbers,
+                         "SELECT j, SUM(i * v), MAX(i + j) FROM t GROUP BY j");
+}
+
+TEST(VectorizedAggregateTest, Having) {
+  ExpectVectorMatchesRow(
+      kNumbers,
+      "SELECT j, SUM(v) AS s FROM t GROUP BY j HAVING COUNT(*) > 1");
+}
+
+TEST(VectorizedAggregateTest, EmptyInput) {
+  const std::vector<std::string> load = {"CREATE TABLE e (i INT, v DOUBLE)"};
+  ExpectVectorMatchesRow(load,
+                         "SELECT SUM(v), COUNT(*), MIN(i), AVG(v) FROM e");
+  ExpectVectorMatchesRow(load, "SELECT i, SUM(v) FROM e GROUP BY i");
+}
+
+TEST(VectorizedAggregateTest, CaseArgumentFallsBackToRowPath) {
+  ExpectVectorMatchesRow(
+      kNumbers,
+      "SELECT j, SUM(CASE WHEN i > 2 THEN v ELSE 0.0 END) FROM t GROUP BY j");
+}
+
+// ---------------------------------------------------------------------
+// The paper's einsum query shapes, end to end
+// ---------------------------------------------------------------------
+
+TEST(VectorizedEinsumQueryTest, TraceAndMatrixProduct) {
+  const std::vector<std::string> load = {
+      "CREATE TABLE A (i INT, j INT, val DOUBLE)",
+      "CREATE TABLE B (i INT, j INT, val DOUBLE)",
+      "INSERT INTO A VALUES (0, 0, 1.5), (0, 1, 2.0), (1, 0, -1.0), "
+      "(1, 1, 4.0), (2, 2, 0.5)",
+      "INSERT INTO B VALUES (0, 0, 3.0), (0, 1, -2.0), (1, 1, 1.0), "
+      "(2, 0, 5.0)"};
+  // trace: ii->
+  ExpectVectorMatchesRow(load,
+                         "SELECT SUM(A.val) AS val FROM A WHERE A.i = A.j");
+  // matmul: ik,kj->ij
+  ExpectVectorMatchesRow(
+      load,
+      "SELECT A.i AS i, B.j AS j, SUM(A.val * B.val) AS val "
+      "FROM A, B WHERE A.j = B.i GROUP BY A.i, B.j");
+}
+
+// ---------------------------------------------------------------------
+// Error-timing contract
+// ---------------------------------------------------------------------
+
+TEST(VectorizedErrorTest, ShortCircuitSkipsErrorEagerEvalWouldHit) {
+  // Every row short-circuits the AND before the text arithmetic, so the
+  // row interpreter never errors. The eager vectorized kernel does — and
+  // must transparently retry the morsel on the row path.
+  const std::vector<std::string> load = {
+      "CREATE TABLE s (i INT, name TEXT)",
+      "INSERT INTO s VALUES (5, 'x'), (6, 'y'), (7, 'z')"};
+  ExpectVectorMatchesRow(load,
+                         "SELECT i FROM s WHERE i < 3 AND name + 1 > 0");
+}
+
+TEST(VectorizedErrorTest, GenuineErrorsStillSurface) {
+  Database vec;
+  Configure(&vec, /*vectorized=*/true, /*parallel=*/false);
+  RunSql(&vec, "CREATE TABLE s (i INT, name TEXT)");
+  RunSql(&vec, "INSERT INTO s VALUES (1, 'x')");
+  auto result = vec.Execute("SELECT name + 1 FROM s");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Observability: EXPLAIN ANALYZE reports vectorized=
+// ---------------------------------------------------------------------
+
+TEST(VectorizedProfileTest, ExplainAnalyzeMarksVectorizedOperators) {
+  Database vec;
+  Configure(&vec, /*vectorized=*/true, /*parallel=*/false);
+  RunSql(&vec, "CREATE TABLE t (i INT, v DOUBLE)");
+  RunSql(&vec, "INSERT INTO t VALUES (1, 2.0), (2, 3.0)");
+  RunSql(&vec, "SELECT i FROM t WHERE v > 2.0");
+  ASSERT_NE(vec.last_profile(), nullptr);
+  EXPECT_NE(vec.last_profile()->ToString().find("vectorized=on"),
+            std::string::npos)
+      << vec.last_profile()->ToString();
+}
+
+TEST(VectorizedProfileTest, RowPathDoesNotClaimVectorized) {
+  Database row;
+  Configure(&row, /*vectorized=*/false, /*parallel=*/false);
+  RunSql(&row, "CREATE TABLE t (i INT, v DOUBLE)");
+  RunSql(&row, "INSERT INTO t VALUES (1, 2.0)");
+  RunSql(&row, "SELECT i FROM t WHERE v > 1.0");
+  ASSERT_NE(row.last_profile(), nullptr);
+  EXPECT_EQ(row.last_profile()->ToString().find("vectorized"),
+            std::string::npos);
+}
+
+TEST(VectorizedProfileTest, FallbackOperatorNotMarkedVectorized) {
+  Database vec;
+  Configure(&vec, /*vectorized=*/true, /*parallel=*/false);
+  RunSql(&vec, "CREATE TABLE t (i INT)");
+  RunSql(&vec, "INSERT INTO t VALUES (1), (2)");
+  // CASE is not vectorizable: the project runs on the row path.
+  RunSql(&vec, "SELECT CASE WHEN i > 1 THEN 1 ELSE 0 END FROM t");
+  ASSERT_NE(vec.last_profile(), nullptr);
+  EXPECT_EQ(vec.last_profile()->ToString().find("vectorized=on"),
+            std::string::npos)
+      << vec.last_profile()->ToString();
+}
+
+}  // namespace
+}  // namespace einsql::minidb

@@ -1,0 +1,176 @@
+// NULL-semantics edge cases for the vectorized kernels, asserted equal
+// between the row interpreter and the column-at-a-time path: three-valued
+// comparisons and connectives, NULL propagation through arithmetic,
+// aggregates over all-NULL and empty inputs, and the typed int fast path
+// degrading on NULL keys (row skip for joins, generic fallback for
+// GROUP BY and the whole-path abandon for untyped values).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "minidb/database.h"
+
+namespace einsql::minidb {
+namespace {
+
+Relation RunSql(Database* db, std::string_view sql) {
+  auto result = db->Execute(sql);
+  EXPECT_TRUE(result.ok()) << result.status() << "\nSQL: " << sql;
+  return result.ok() ? result->relation : Relation{};
+}
+
+void Configure(Database* db, bool vectorized, bool parallel) {
+  db->executor_options().vectorized = vectorized;
+  db->executor_options().parallel_operators = parallel;
+  db->executor_options().parallel_ctes = false;
+  db->executor_options().num_threads = parallel ? 4 : 0;
+  db->executor_options().morsel_rows = 2;
+}
+
+void ExpectSameRelation(const Relation& a, const Relation& b,
+                        std::string_view what) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << what;
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.rows[r], b.rows[r]) << what << ": row " << r;
+  }
+}
+
+void ExpectVectorMatchesRow(const std::vector<std::string>& load,
+                            std::string_view sql) {
+  Database row_seq, vec_seq, row_par, vec_par;
+  Configure(&row_seq, /*vectorized=*/false, /*parallel=*/false);
+  Configure(&vec_seq, /*vectorized=*/true, /*parallel=*/false);
+  Configure(&row_par, /*vectorized=*/false, /*parallel=*/true);
+  Configure(&vec_par, /*vectorized=*/true, /*parallel=*/true);
+  for (const std::string& statement : load) {
+    RunSql(&row_seq, statement);
+    RunSql(&vec_seq, statement);
+    RunSql(&row_par, statement);
+    RunSql(&vec_par, statement);
+  }
+  const Relation expected = RunSql(&row_seq, sql);
+  ExpectSameRelation(expected, RunSql(&vec_seq, sql), "vectorized sequential");
+  ExpectSameRelation(RunSql(&row_par, sql), RunSql(&vec_par, sql),
+                     "vectorized parallel (morsel_rows=2)");
+}
+
+// i=2 and i=5 carry NULL values; i=6 is NULL in both columns.
+const std::vector<std::string> kNullable = {
+    "CREATE TABLE n (i INT, v DOUBLE)",
+    "INSERT INTO n VALUES (0, 1.0), (1, -2.0), (2, NULL), (3, 4.0), "
+    "(4, 0.0), (5, NULL), (NULL, 7.0), (NULL, NULL)"};
+
+// ---------------------------------------------------------------------
+// Three-valued logic in filters
+// ---------------------------------------------------------------------
+
+TEST(VectorizedNullTest, ComparisonsAgainstNullNeverPass) {
+  ExpectVectorMatchesRow(kNullable, "SELECT i FROM n WHERE v > 0.0");
+  ExpectVectorMatchesRow(kNullable, "SELECT i FROM n WHERE v <= 1.0");
+  ExpectVectorMatchesRow(kNullable, "SELECT v FROM n WHERE i = i");
+  // A literal NULL comparison is NULL for every row.
+  ExpectVectorMatchesRow(kNullable, "SELECT i FROM n WHERE v = NULL");
+}
+
+TEST(VectorizedNullTest, IsNullPredicates) {
+  ExpectVectorMatchesRow(kNullable, "SELECT i FROM n WHERE v IS NULL");
+  ExpectVectorMatchesRow(kNullable, "SELECT i FROM n WHERE v IS NOT NULL");
+  ExpectVectorMatchesRow(
+      kNullable, "SELECT i FROM n WHERE i IS NULL AND v IS NOT NULL");
+}
+
+TEST(VectorizedNullTest, ConnectivesWithNullOperands) {
+  // NULL AND false = false, NULL AND true = NULL, NULL OR true = true,
+  // NULL OR false = NULL, NOT NULL = NULL — only definite-true rows pass.
+  ExpectVectorMatchesRow(kNullable,
+                         "SELECT i FROM n WHERE v > 0.0 AND i < 100");
+  ExpectVectorMatchesRow(kNullable,
+                         "SELECT i FROM n WHERE v > 0.0 OR i = 4");
+  ExpectVectorMatchesRow(kNullable, "SELECT i FROM n WHERE NOT (v > 0.0)");
+  ExpectVectorMatchesRow(
+      kNullable, "SELECT i FROM n WHERE NOT (v > 0.0 OR i IS NULL)");
+}
+
+TEST(VectorizedNullTest, NullsAsProjectedTruthValues) {
+  ExpectVectorMatchesRow(
+      kNullable, "SELECT v > 0.0, v IS NULL, NOT (i = 3) FROM n");
+}
+
+// ---------------------------------------------------------------------
+// NULL propagation through arithmetic
+// ---------------------------------------------------------------------
+
+TEST(VectorizedNullTest, ArithmeticPropagatesNull) {
+  ExpectVectorMatchesRow(kNullable,
+                         "SELECT i + 1, v * 2.0, i - v, -v FROM n");
+  ExpectVectorMatchesRow(kNullable, "SELECT i / 0, i % 0, v / 0.0 FROM n");
+  ExpectVectorMatchesRow(kNullable, "SELECT i + NULL FROM n");
+}
+
+// ---------------------------------------------------------------------
+// Aggregates over NULLs, all-NULL groups, and empty inputs
+// ---------------------------------------------------------------------
+
+TEST(VectorizedNullTest, AggregatesSkipNulls) {
+  ExpectVectorMatchesRow(
+      kNullable,
+      "SELECT SUM(v), COUNT(v), COUNT(*), MIN(v), MAX(v), AVG(v) FROM n");
+}
+
+TEST(VectorizedNullTest, SumOverAllNullColumnIsNull) {
+  const std::vector<std::string> load = {
+      "CREATE TABLE z (g INT, x DOUBLE)",
+      "INSERT INTO z VALUES (0, NULL), (0, NULL), (1, 2.0), (1, NULL)"};
+  // Group 0 is all-NULL: SUM/AVG/MIN/MAX are NULL, COUNT(x) is 0.
+  ExpectVectorMatchesRow(
+      load,
+      "SELECT g, SUM(x), AVG(x), MIN(x), MAX(x), COUNT(x), COUNT(*) "
+      "FROM z GROUP BY g");
+}
+
+TEST(VectorizedNullTest, GlobalAggregateOverEmptyTable) {
+  const std::vector<std::string> load = {"CREATE TABLE e (x DOUBLE)"};
+  ExpectVectorMatchesRow(
+      load, "SELECT SUM(x), AVG(x), MIN(x), MAX(x), COUNT(x), COUNT(*) "
+            "FROM e");
+}
+
+TEST(VectorizedNullTest, NullGroupKeysGroupTogether) {
+  // GROUP BY treats NULL keys as one group — the typed int path cannot
+  // represent that, so both executors must take the generic build.
+  ExpectVectorMatchesRow(kNullable,
+                         "SELECT i, COUNT(*), SUM(v) FROM n GROUP BY i");
+}
+
+// ---------------------------------------------------------------------
+// Typed int fast path degradation
+// ---------------------------------------------------------------------
+
+TEST(VectorizedNullTest, JoinSkipsNullKeys) {
+  const std::vector<std::string> load = {
+      "CREATE TABLE a (i INT, v DOUBLE)", "CREATE TABLE b (i INT, w DOUBLE)",
+      "INSERT INTO a VALUES (1, 1.0), (NULL, 2.0), (2, 3.0), (NULL, 4.0)",
+      "INSERT INTO b VALUES (1, 10.0), (NULL, 20.0), (2, 30.0)"};
+  // NULL = NULL is not true: NULL-keyed rows on either side never join.
+  ExpectVectorMatchesRow(load,
+                         "SELECT a.i, a.v, b.w FROM a, b WHERE a.i = b.i");
+}
+
+TEST(VectorizedNullTest, UntypedKeyAbandonsTypedJoinPath) {
+  const std::vector<std::string> load = {
+      "CREATE TABLE a (i INT)", "CREATE TABLE b (i DOUBLE)",
+      "INSERT INTO a VALUES (1), (NULL), (2), (3)",
+      "INSERT INTO b VALUES (1.0), (NULL), (2.5), (3.0)"};
+  ExpectVectorMatchesRow(load, "SELECT a.i, b.i FROM a, b WHERE a.i = b.i");
+}
+
+TEST(VectorizedNullTest, DistinctTreatsNullsEqual) {
+  ExpectVectorMatchesRow(kNullable, "SELECT DISTINCT i FROM n");
+  ExpectVectorMatchesRow(kNullable, "SELECT DISTINCT i, v FROM n");
+}
+
+}  // namespace
+}  // namespace einsql::minidb
