@@ -11,6 +11,8 @@
 #include "backends/einsum_engine.h"
 #include "backends/minidb_backend.h"
 #include "backends/sqlite_backend.h"
+#include "common/metrics.h"
+#include "common/str_util.h"
 #include "common/trace.h"
 
 namespace einsql::bench {
@@ -28,6 +30,9 @@ namespace einsql::bench {
 ///                         intra-operator parallelism on n workers (0 =
 ///                         hardware concurrency); omit for sequential
 ///                         execution
+///   --metrics=<file>      write the process-global metrics registry as
+///                         JSON at exit (counters, gauges, histograms
+///                         accumulated across every measured iteration)
 class BenchSession {
  public:
   static BenchSession& Get() {
@@ -36,7 +41,9 @@ class BenchSession {
   }
 
   /// Removes the flags above from argv (call before benchmark::Initialize,
-  /// which rejects unknown options).
+  /// which rejects unknown options). A malformed value (e.g.
+  /// --threads=garbage) is a fatal usage error: silently benchmarking with
+  /// a default would produce numbers labeled as something they are not.
   void ConsumeFlags(int* argc, char** argv) {
     int out = 1;
     for (int a = 1; a < *argc; ++a) {
@@ -45,8 +52,18 @@ class BenchSession {
         trace_file_ = arg.substr(8);
       } else if (arg.rfind("--phase-log=", 0) == 0) {
         phase_log_file_ = arg.substr(12);
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        metrics_file_ = arg.substr(10);
       } else if (arg.rfind("--threads=", 0) == 0) {
-        threads_ = std::atoi(arg.c_str() + 10);
+        const Result<int64_t> n = ParseInt64(arg.substr(10));
+        if (!n.ok() || *n < 0 || *n > 4096) {
+          std::fprintf(stderr,
+                       "invalid %s: expected a thread count in [0, 4096] "
+                       "(0 = hardware concurrency)\n",
+                       arg.c_str());
+          std::exit(2);
+        }
+        threads_ = static_cast<int>(*n);
         use_threads_ = true;
       } else {
         argv[out++] = argv[a];
@@ -100,6 +117,21 @@ class BenchSession {
   }
 
   ~BenchSession() {
+    if (!metrics_file_.empty()) {
+      const std::string json =
+          MetricsRegistry::Default().Snapshot().ToJson();
+      std::FILE* f = std::fopen(metrics_file_.c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(json.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::fprintf(stderr, "metrics written to %s\n",
+                     metrics_file_.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     metrics_file_.c_str());
+      }
+    }
     if (trace_file_.empty()) return;
     const Status status = trace_.WriteJsonFile(trace_file_);
     if (status.ok()) {
@@ -116,6 +148,7 @@ class BenchSession {
 
   std::string trace_file_;
   std::string phase_log_file_;
+  std::string metrics_file_;
   bool use_threads_ = false;
   int threads_ = 0;
   Trace trace_;

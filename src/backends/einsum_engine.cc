@@ -1,11 +1,39 @@
 #include "backends/einsum_engine.h"
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "core/dense_exec.h"
 #include "core/sparse_exec.h"
 
 namespace einsql {
 
 namespace {
+
+/// Pipeline-wide instruments: how many contraction programs the process
+/// planned, how large they are, and what cost the planner predicted.
+struct PipelineMetrics {
+  Counter* programs_built;
+  Counter* steps_planned;
+  Histogram* est_flops;
+  Counter* sql_programs;
+  Counter* sql_bytes;
+  Histogram* sql_gen_seconds;
+};
+
+PipelineMetrics& Pipeline() {
+  static PipelineMetrics metrics = [] {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    PipelineMetrics m;
+    m.programs_built = registry.counter("einsum.programs_built");
+    m.steps_planned = registry.counter("einsum.steps_planned");
+    m.est_flops = registry.histogram("einsum.est_flops");
+    m.sql_programs = registry.counter("einsum.sql_programs");
+    m.sql_bytes = registry.counter("einsum.sql_bytes");
+    m.sql_gen_seconds = registry.histogram("einsum.sql_gen_seconds");
+    return m;
+  }();
+  return metrics;
+}
 
 // Spans "path optimization" around BuildProgram, recording the chosen
 // algorithm and its predicted cost as attributes.
@@ -18,6 +46,11 @@ Result<ContractionProgram> BuildProgramTraced(const EinsumSpec& spec,
   span.SetAttribute("algorithm", PathAlgorithmToString(program.algorithm));
   span.SetAttribute("est_flops", program.est_flops);
   span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
+  PipelineMetrics& metrics = Pipeline();
+  metrics.programs_built->Increment();
+  metrics.steps_planned->Increment(
+      static_cast<int64_t>(program.steps.size()));
+  metrics.est_flops->Record(program.est_flops);
   return program;
 }
 
@@ -160,9 +193,14 @@ Result<CooTensor> SqlEinsumEngine::RunProgram(
   EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
   validate_span.End();
   ScopedSpan gen_span(options.trace, "sql generation");
+  Stopwatch gen_watch;
   EINSQL_ASSIGN_OR_RETURN(
       std::string sql,
       GenerateEinsumSql(program, tensors, ToSqlGenOptions(options)));
+  PipelineMetrics& metrics = Pipeline();
+  metrics.sql_programs->Increment();
+  metrics.sql_bytes->Increment(static_cast<int64_t>(sql.size()));
+  metrics.sql_gen_seconds->Record(gen_watch.ElapsedSeconds());
   gen_span.SetAttribute("sql_bytes", static_cast<int64_t>(sql.size()));
   gen_span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
   gen_span.End();
@@ -188,9 +226,14 @@ Result<ComplexCooTensor> SqlEinsumEngine::RunComplexProgram(
   EINSQL_RETURN_IF_ERROR(CheckShapes(program, tensors));
   validate_span.End();
   ScopedSpan gen_span(options.trace, "sql generation");
+  Stopwatch gen_watch;
   EINSQL_ASSIGN_OR_RETURN(
       std::string sql,
       GenerateComplexEinsumSql(program, tensors, ToSqlGenOptions(options)));
+  PipelineMetrics& metrics = Pipeline();
+  metrics.sql_programs->Increment();
+  metrics.sql_bytes->Increment(static_cast<int64_t>(sql.size()));
+  metrics.sql_gen_seconds->Record(gen_watch.ElapsedSeconds());
   gen_span.SetAttribute("sql_bytes", static_cast<int64_t>(sql.size()));
   gen_span.SetAttribute("steps", static_cast<int64_t>(program.steps.size()));
   gen_span.End();

@@ -1,10 +1,22 @@
 #include "backends/minidb_backend.h"
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 
 namespace einsql {
 
 namespace {
+
+// Feeds every operator's cardinality q-error into the engine-wide
+// estimation-quality histogram; EXPLAIN ANALYZE shows single queries, the
+// histogram shows the planner's aggregate accuracy over a whole run.
+void RecordEstimationErrors(const minidb::OperatorProfile& op,
+                            Histogram* qerror) {
+  qerror->Record(op.est_error());
+  for (const auto& child : op.children) {
+    RecordEstimationErrors(child, qerror);
+  }
+}
 
 std::vector<minidb::Column> CooColumns(int rank, bool complex_values) {
   std::vector<minidb::Column> columns;
@@ -46,10 +58,20 @@ Result<minidb::Relation> MiniDbBackend::Query(const std::string& sql) {
   stats_.result_rows = static_cast<int64_t>(result.relation.rows.size());
   if (const minidb::QueryProfile* profile = db_.last_profile()) {
     stats_.threads_used = profile->max_threads_used();
+    stats_.peak_memory_bytes = profile->peak_memory_bytes;
+    stats_.morsels_executed = profile->morsels_executed;
+    stats_.vectorized_morsels = profile->vectorized_morsels;
+    stats_.row_fallback_morsels = profile->row_fallback_morsels;
     stats_.cte_timings.reserve(profile->ctes.size());
     for (const auto& cte : profile->ctes) {
       stats_.cte_timings.push_back(
           {cte.name, cte.wall_seconds, cte.rows, cte.est_rows});
+    }
+    static Histogram* qerror =
+        MetricsRegistry::Default().histogram("minidb.qerror");
+    RecordEstimationErrors(profile->root, qerror);
+    for (const auto& cte : profile->ctes) {
+      RecordEstimationErrors(cte.root, qerror);
     }
   }
   return result.relation;

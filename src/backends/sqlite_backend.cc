@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 
@@ -49,6 +50,15 @@ Status SqliteBackend::Execute(const std::string& sql) {
 
 Result<minidb::Relation> SqliteBackend::Query(const std::string& sql) {
   stats_ = BackendStats{};
+  // Reset the library-wide high-water mark so it measures this query only.
+  // sqlite3_memory_highwater is process-global; concurrent queries on
+  // other connections would bleed in, but the engine opens one connection
+  // per backend and queries it from one thread.
+  sqlite3_memory_highwater(/*resetFlag=*/1);
+  static Counter* queries =
+      MetricsRegistry::Default().counter("sqlite.queries");
+  static Histogram* exec_seconds =
+      MetricsRegistry::Default().histogram("sqlite.exec_seconds");
   Stopwatch watch;
   ScopedSpan prepare_span(trace_, "sqlite prepare");
   sqlite3_stmt* raw = nullptr;
@@ -99,6 +109,9 @@ Result<minidb::Relation> SqliteBackend::Query(const std::string& sql) {
   }
   stats_.execution_seconds = watch.ElapsedSeconds();
   stats_.result_rows = static_cast<int64_t>(relation.rows.size());
+  stats_.peak_memory_bytes = sqlite3_memory_highwater(/*resetFlag=*/0);
+  queries->Increment();
+  exec_seconds->Record(stats_.execution_seconds);
   step_span.SetAttribute("rows", stats_.result_rows);
   return relation;
 }

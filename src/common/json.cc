@@ -1,0 +1,269 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+namespace einsql {
+
+namespace {
+
+const JsonValue& SharedNull() {
+  static const JsonValue null;
+  return null;
+}
+
+const std::vector<JsonValue>& EmptyItems() {
+  static const std::vector<JsonValue> empty;
+  return empty;
+}
+
+const std::vector<std::string>& EmptyKeys() {
+  static const std::vector<std::string> empty;
+  return empty;
+}
+
+const std::string& EmptyString() {
+  static const std::string empty;
+  return empty;
+}
+
+}  // namespace
+
+bool JsonValue::AsBool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::AsDouble(double fallback) const {
+  return kind_ == Kind::kNumber ? number_ : fallback;
+}
+
+int64_t JsonValue::AsInt(int64_t fallback) const {
+  return kind_ == Kind::kNumber ? static_cast<int64_t>(number_) : fallback;
+}
+
+const std::string& JsonValue::AsString() const {
+  return kind_ == Kind::kString ? string_ : EmptyString();
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  return kind_ == Kind::kArray ? items_ : EmptyItems();
+}
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  if (kind_ != Kind::kObject) return SharedNull();
+  const auto it = members_.find(std::string(key));
+  return it != members_.end() ? it->second : SharedNull();
+}
+
+bool JsonValue::Has(std::string_view key) const {
+  return kind_ == Kind::kObject &&
+         members_.find(std::string(key)) != members_.end();
+}
+
+const std::vector<std::string>& JsonValue::keys() const {
+  return kind_ == Kind::kObject ? keys_ : EmptyKeys();
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    EINSQL_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return Status::InvalidArgument("JSON parse error at offset ", pos_, ": ",
+                                   message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    JsonValue value;
+    const char c = text_[pos_];
+    Status status = Status::OK();
+    switch (c) {
+      case '{': status = ParseObject(&value); break;
+      case '[': status = ParseArray(&value); break;
+      case '"': status = ParseString(&value.string_);
+                value.kind_ = JsonValue::Kind::kString;
+                break;
+      case 't':
+        if (!ConsumeWord("true")) return Error("invalid literal");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = true;
+        break;
+      case 'f':
+        if (!ConsumeWord("false")) return Error("invalid literal");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = false;
+        break;
+      case 'n':
+        if (!ConsumeWord("null")) return Error("invalid literal");
+        value.kind_ = JsonValue::Kind::kNull;
+        break;
+      default: status = ParseNumber(&value); break;
+    }
+    --depth_;
+    if (!status.ok()) return status;
+    return value;
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      EINSQL_RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Error("expected ':' after object key");
+      EINSQL_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      if (out->members_.emplace(key, std::move(value)).second) {
+        out->keys_.push_back(key);
+      }
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      EINSQL_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out->items_.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return Error("invalid \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs for
+          // non-BMP text are not recombined — engine artifacts never
+          // contain them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("invalid value");
+    const std::string literal(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(literal.c_str(), &end);
+    if (end != literal.c_str() + literal.size() || !std::isfinite(value)) {
+      return Error("invalid number");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return Status::OK();
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+}  // namespace einsql

@@ -1,0 +1,65 @@
+#ifndef EINSQL_COMMON_JSON_H_
+#define EINSQL_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace einsql {
+
+/// A minimal JSON document model and recursive-descent parser — just
+/// enough to read the engine's own machine-readable artifacts back in
+/// (BENCH_*.json baselines, metrics snapshots) without an external
+/// dependency. Full JSON is accepted: objects, arrays, strings with
+/// escapes, numbers, booleans, null. Not a streaming parser; documents
+/// are small (kilobytes).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; wrong-kind access returns the fallback.
+  bool AsBool(bool fallback = false) const;
+  double AsDouble(double fallback = 0.0) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+  const std::string& AsString() const;  // empty string on wrong kind
+
+  /// Array elements (empty for non-arrays).
+  const std::vector<JsonValue>& items() const;
+
+  /// Object member by key, or a shared null value when absent/non-object.
+  /// Chains safely: doc["a"]["b"].AsDouble().
+  const JsonValue& operator[](std::string_view key) const;
+  bool Has(std::string_view key) const;
+  /// Object keys in document order (empty for non-objects).
+  const std::vector<std::string>& keys() const;
+
+  /// Parses a complete JSON document (trailing non-whitespace is an
+  /// error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::string> keys_;          // object member order
+  std::map<std::string, JsonValue> members_;
+};
+
+}  // namespace einsql
+
+#endif  // EINSQL_COMMON_JSON_H_

@@ -1,0 +1,302 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/trace.h"  // JsonEscape
+
+namespace einsql {
+
+namespace {
+
+// Relaxed CAS add for atomic doubles (fetch_add on atomic<double> is
+// C++20 but not universally lock-free; the CAS loop is portable and only
+// contends while other writers are actually racing).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+int BucketFor(double value) {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN: the "tiny" bucket
+  int exp = 0;
+  const double m = std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  // Buckets are (2^(e-1), 2^e]: an exact power of two (m == 0.5) belongs
+  // to the bucket it is the upper bound of, one below where frexp puts it.
+  if (m == 0.5) --exp;
+  const int bucket = exp - Histogram::kMinExp;
+  return std::clamp(bucket, 0, Histogram::kNumBuckets - 1);
+}
+
+std::string NumberJson(double value) {
+  if (value == static_cast<int64_t>(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First sample initializes min/max; racing first samples still
+    // converge because Min/Max below run unconditionally.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::BucketUpperBound(int bucket) {
+  return std::ldexp(1.0, bucket + kMinExp);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+double MetricsSnapshot::HistogramSample::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (const auto& [upper, n] : buckets) {
+    if (cumulative + n >= target) {
+      // Linear interpolation inside the log bucket (lower bound = half
+      // the upper bound by construction).
+      const double lower = upper / 2.0;
+      const double fraction =
+          n > 0 ? (target - cumulative) / static_cast<double>(n) : 0.0;
+      const double estimate = lower + fraction * (upper - lower);
+      // The true extremes are tracked exactly: never report beyond them.
+      return std::clamp(estimate, min, max);
+    }
+    cumulative += n;
+  }
+  return max;
+}
+
+int64_t MetricsSnapshot::CounterValue(std::string_view name,
+                                      int64_t fallback) const {
+  for (const CounterSample& sample : counters) {
+    if (sample.name == name) return sample.value;
+  }
+  return fallback;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name,
+                                   double fallback) const {
+  for (const GaugeSample& sample : gauges) {
+    if (sample.name == name) return sample.value;
+  }
+  return fallback;
+}
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  const std::string pad(indent, ' ');
+  const std::string pad2(indent + 2, ' ');
+  const std::string pad4(indent + 4, ' ');
+  std::ostringstream os;
+  os << "{\n" << pad2 << "\"counters\": {";
+  for (size_t k = 0; k < counters.size(); ++k) {
+    os << (k == 0 ? "\n" : ",\n") << pad4 << "\""
+       << JsonEscape(counters[k].name) << "\": " << counters[k].value;
+  }
+  os << (counters.empty() ? "" : "\n" + pad2) << "},\n";
+  os << pad2 << "\"gauges\": {";
+  for (size_t k = 0; k < gauges.size(); ++k) {
+    os << (k == 0 ? "\n" : ",\n") << pad4 << "\"" << JsonEscape(gauges[k].name)
+       << "\": " << NumberJson(gauges[k].value);
+  }
+  os << (gauges.empty() ? "" : "\n" + pad2) << "},\n";
+  os << pad2 << "\"histograms\": {";
+  for (size_t k = 0; k < histograms.size(); ++k) {
+    const HistogramSample& h = histograms[k];
+    os << (k == 0 ? "\n" : ",\n") << pad4 << "\"" << JsonEscape(h.name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << NumberJson(h.sum)
+       << ", \"min\": " << NumberJson(h.min)
+       << ", \"max\": " << NumberJson(h.max)
+       << ", \"mean\": " << NumberJson(h.mean())
+       << ", \"p50\": " << NumberJson(h.Quantile(0.5))
+       << ", \"p90\": " << NumberJson(h.Quantile(0.9))
+       << ", \"p99\": " << NumberJson(h.Quantile(0.99)) << "}";
+  }
+  os << (histograms.empty() ? "" : "\n" + pad2) << "}\n" << pad << "}";
+  return os.str();
+}
+
+namespace {
+
+// Splits a full instrument key back into (name, "{labels}") for the
+// Prometheus exposition, where labels attach to the sample, not the name.
+std::pair<std::string_view, std::string_view> SplitKey(
+    std::string_view key) {
+  const size_t brace = key.find('{');
+  if (brace == std::string_view::npos) return {key, ""};
+  return {key.substr(0, brace), key.substr(brace)};
+}
+
+// Prometheus metric names use '_' where our keys use '.' or '-'.
+std::string PrometheusName(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream os;
+  for (const CounterSample& sample : counters) {
+    const auto [name, labels] = SplitKey(sample.name);
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " counter\n"
+       << prom << labels << " " << sample.value << "\n";
+  }
+  for (const GaugeSample& sample : gauges) {
+    const auto [name, labels] = SplitKey(sample.name);
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << labels << " " << NumberJson(sample.value) << "\n";
+  }
+  for (const HistogramSample& sample : histograms) {
+    const auto [name, labels] = SplitKey(sample.name);
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " summary\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      os << prom << "{quantile=\"" << q << "\"} "
+         << NumberJson(sample.Quantile(q)) << "\n";
+    }
+    os << prom << "_sum" << labels << " " << NumberJson(sample.sum) << "\n"
+       << prom << "_count" << labels << " " << sample.count << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricKey(std::string_view name,
+                      std::initializer_list<MetricLabel> labels) {
+  std::string key(name);
+  if (labels.size() == 0) return key;
+  key.push_back('{');
+  bool first = true;
+  for (const MetricLabel& label : labels) {
+    if (!first) key.push_back(',');
+    first = false;
+    key.append(label.first);
+    key.append("=\"");
+    key.append(label.second);
+    key.push_back('"');
+  }
+  key.push_back('}');
+  return key;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked on purpose: instrument pointers cached in static locals must
+  // outlive every other static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name,
+                                  std::initializer_list<MetricLabel> labels) {
+  const std::string key = MetricKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name,
+                              std::initializer_list<MetricLabel> labels) {
+  const std::string key = MetricKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(
+    std::string_view name, std::initializer_list<MetricLabel> labels) {
+  const std::string key = MetricKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = name;
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    sample.min = histogram->min();
+    sample.max = histogram->max();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const int64_t n = histogram->bucket_count(b);
+      if (n > 0) {
+        sample.buckets.emplace_back(Histogram::BucketUpperBound(b), n);
+      }
+    }
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace einsql

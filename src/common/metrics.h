@@ -1,0 +1,215 @@
+#ifndef EINSQL_COMMON_METRICS_H_
+#define EINSQL_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace einsql {
+
+/// Engine-wide metrics: named counters, gauges, and log-bucketed histograms
+/// collected in a process-global registry and exposed as snapshots, JSON,
+/// and Prometheus-style text. The companion of the Trace subsystem: traces
+/// answer "where did this query spend its time", metrics answer "what has
+/// the engine done since it started" — rows scanned, morsels executed,
+/// bytes materialized, planning-latency distributions.
+///
+/// Design constraints (instrumented code sits on query hot paths):
+///   * recording is branch-free on the hot path: counters are relaxed
+///     atomic adds, gauges relaxed stores, histograms one relaxed add into
+///     a log2 bucket plus a CAS-loop sum;
+///   * instrument pointers are stable for the registry's lifetime, so call
+///     sites look instruments up once (a mutex-guarded map insert) and
+///     cache the pointer in a function-local static;
+///   * Reset() zeroes instruments in place — cached pointers stay valid.
+///
+/// Labels are optional and folded into the instrument key with the
+/// Prometheus convention: `name{key="value",...}`. Two calls with the same
+/// name and labels return the same instrument.
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value gauge with an optional keep-the-maximum update mode (used
+/// for high-water marks such as per-query peak memory).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// Sets the gauge to max(current, value).
+  void SetMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < value &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed histogram for latencies and sizes. Bucket b counts values
+/// in (2^(b-1+kMinExp), 2^(b+kMinExp)]: the smallest bucket bottoms out
+/// near 1e-12 (sub-picosecond / sub-byte values are all "tiny"), the
+/// largest tops out beyond 7e16, so seconds, rows, and bytes all fit
+/// without configuration. Values <= 0 land in bucket 0.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 96;
+  static constexpr int kMinExp = -40;  // 2^-40 ~ 9.1e-13
+
+  void Record(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  int64_t bucket_count(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of `bucket` (2^(bucket+kMinExp)).
+  static double BucketUpperBound(int bucket);
+  void Reset();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Thread-safe tracker of a resource pool's current and peak level —
+/// the memory-accounting hook behind per-query peak memory. Cheap enough
+/// to update from morsel workers (two relaxed atomics plus a CAS loop
+/// that only spins while the peak is actually moving).
+class MemoryTracker {
+ public:
+  void Add(int64_t bytes) {
+    const int64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (peak < now && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void Release(int64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  int64_t current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// One label pair, e.g. {"engine", "minidb-greedy"}.
+using MetricLabel = std::pair<std::string_view, std::string_view>;
+
+/// Point-in-time copy of every instrument in a registry, decoupled from
+/// the live atomics so serialization needs no locks.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;  // full key, labels included
+    int64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /// Non-empty buckets only: (upper bound, count).
+    std::vector<std::pair<double, int64_t>> buckets;
+
+    double mean() const { return count > 0 ? sum / count : 0.0; }
+    /// Approximate quantile (q in [0,1]) by linear interpolation within
+    /// the covering log bucket.
+    double Quantile(double q) const;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Value of a counter by full key, or `fallback` when absent.
+  int64_t CounterValue(std::string_view name, int64_t fallback = 0) const;
+  /// Value of a gauge by full key, or `fallback` when absent.
+  double GaugeValue(std::string_view name, double fallback = 0.0) const;
+
+  /// JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, min, max, mean, p50, p90, p99}}}.
+  std::string ToJson(int indent = 0) const;
+
+  /// Prometheus text exposition format (one `# TYPE` line per family,
+  /// histogram quantiles as <name>{quantile="..."} samples).
+  std::string ToPrometheusText() const;
+};
+
+/// The instrument registry. Instrument pointers are valid for the
+/// registry's lifetime; for the process-global Default() registry that is
+/// the whole process, so caching them in static locals is safe.
+class MetricsRegistry {
+ public:
+  /// The process-global registry every engine layer records into.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name,
+                   std::initializer_list<MetricLabel> labels = {});
+  Gauge* gauge(std::string_view name,
+               std::initializer_list<MetricLabel> labels = {});
+  Histogram* histogram(std::string_view name,
+                       std::initializer_list<MetricLabel> labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument in place. Registered instruments survive (and
+  /// cached pointers stay valid); only their values reset.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map keeps snapshots sorted by key — stable, diffable output.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Builds the full instrument key `name{k1="v1",k2="v2"}` (or just `name`
+/// with no labels). Exposed for tests and custom exposition code.
+std::string MetricKey(std::string_view name,
+                      std::initializer_list<MetricLabel> labels);
+
+}  // namespace einsql
+
+#endif  // EINSQL_COMMON_METRICS_H_

@@ -5,6 +5,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "minidb/column_batch.h"
@@ -27,6 +28,88 @@ using RelationPtr = std::shared_ptr<const Relation>;
 /// changes results — it is invisible to the morsel-level determinism
 /// contract.
 constexpr int64_t kVecChunkRows = 2048;
+
+/// Process-global engine counters, looked up once and cached so the hot
+/// path pays a pointer dereference plus a relaxed atomic op.
+struct EngineMetrics {
+  Counter* queries;
+  Counter* rows_scanned;
+  Counter* rows_joined;
+  Counter* rows_aggregated;
+  Counter* hash_entries;
+  Counter* morsels_executed;
+  Counter* vec_morsels;
+  Counter* vec_fallback_morsels;
+  Counter* bytes_materialized;
+  Counter* ctes_materialized;
+  Gauge* query_peak_bytes;
+  Histogram* exec_seconds;
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics metrics = [] {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    EngineMetrics m;
+    m.queries = registry.counter("minidb.queries");
+    m.rows_scanned = registry.counter("minidb.rows_scanned");
+    m.rows_joined = registry.counter("minidb.rows_joined");
+    m.rows_aggregated = registry.counter("minidb.rows_aggregated");
+    m.hash_entries = registry.counter("minidb.hash_entries");
+    m.morsels_executed = registry.counter("minidb.morsels_executed");
+    m.vec_morsels = registry.counter("minidb.vectorized_morsels");
+    m.vec_fallback_morsels =
+        registry.counter("minidb.row_fallback_morsels");
+    m.bytes_materialized = registry.counter("minidb.bytes_materialized");
+    m.ctes_materialized = registry.counter("minidb.ctes_materialized");
+    m.query_peak_bytes = registry.gauge("minidb.query_peak_bytes");
+    m.exec_seconds = registry.histogram("minidb.exec_seconds");
+    return m;
+  }();
+  return metrics;
+}
+
+/// Accounting estimate of a materialized relation: row/value containers
+/// plus out-of-line string payloads. Uses logical sizes (not capacities)
+/// so the figure is deterministic across allocators and growth policies.
+int64_t ApproxRelationBytes(const Relation& rel) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Relation)) +
+                  static_cast<int64_t>(rel.columns.size() * sizeof(Column));
+  for (const Row& row : rel.rows) {
+    bytes += static_cast<int64_t>(sizeof(Row)) +
+             static_cast<int64_t>(row.size() * sizeof(Value));
+    for (const Value& v : row) {
+      if (const std::string* s = std::get_if<std::string>(&v)) {
+        bytes += static_cast<int64_t>(s->size());
+      }
+    }
+  }
+  return bytes;
+}
+
+/// Accounting estimate of a two-level hash table (bucket map -> candidate
+/// indices -> per-entry key payload of `key_bytes`).
+int64_t ApproxHashTableBytes(int64_t entries, int64_t key_bytes) {
+  // Per entry: the key payload, its index slot in a bucket vector, and a
+  // share of the unordered_map node + control overhead.
+  return entries * (key_bytes + 8 + 48);
+}
+
+/// RAII span of tracked bytes: Add on construction, Release on scope exit.
+/// Used for hash tables whose lifetime is one operator evaluation.
+class ScopedTrackedBytes {
+ public:
+  ScopedTrackedBytes(MemoryTracker* mem, int64_t bytes)
+      : mem_(mem), bytes_(bytes) {
+    mem_->Add(bytes_);
+  }
+  ~ScopedTrackedBytes() { mem_->Release(bytes_); }
+  ScopedTrackedBytes(const ScopedTrackedBytes&) = delete;
+  ScopedTrackedBytes& operator=(const ScopedTrackedBytes&) = delete;
+
+ private:
+  MemoryTracker* mem_;
+  int64_t bytes_;
+};
 
 class Executor {
  public:
@@ -58,7 +141,27 @@ class Executor {
         Execute(*plan_.root, profile_ != nullptr ? &profile_->root : nullptr));
     root_span.SetAttribute("rows", result->num_rows());
     root_span.End();
-    if (profile_ != nullptr) profile_->exec_seconds = total.ElapsedSeconds();
+    // Capture the memory high-water mark while every CTE and the result
+    // are still held: this is the query's simultaneous-bytes peak.
+    const double seconds = total.ElapsedSeconds();
+    if (profile_ != nullptr) {
+      profile_->exec_seconds = seconds;
+      profile_->peak_memory_bytes = mem_.peak();
+      profile_->morsels_executed =
+          morsels_executed_.load(std::memory_order_relaxed);
+      profile_->vectorized_morsels =
+          vec_morsels_.load(std::memory_order_relaxed);
+      profile_->row_fallback_morsels =
+          fallback_morsels_.load(std::memory_order_relaxed);
+    }
+    EngineMetrics& metrics = Metrics();
+    metrics.queries->Increment();
+    if (profile_ != nullptr && !profile_->ctes.empty()) {
+      metrics.ctes_materialized->Increment(
+          static_cast<int64_t>(profile_->ctes.size()));
+    }
+    metrics.exec_seconds->Record(seconds);
+    metrics.query_peak_bytes->SetMax(static_cast<double>(mem_.peak()));
     return *result;  // copy out the final relation
   }
 
@@ -109,6 +212,8 @@ class Executor {
                     const char* span_name, Trace::SpanId parent,
                     const Body& body) {
     if (plan.num_morsels == 0) return Status::OK();
+    morsels_executed_.fetch_add(plan.num_morsels, std::memory_order_relaxed);
+    Metrics().morsels_executed->Increment(plan.num_morsels);
     std::vector<Status> statuses(plan.num_morsels);
     std::atomic<int64_t> next{0};
     // Per-morsel spans only make sense when the splitter is actually on;
@@ -170,6 +275,22 @@ class Executor {
     if (prof == nullptr || !options_.parallel_operators) return;
     prof->threads_used = plan.threads;
     prof->morsels = plan.num_morsels;
+  }
+
+  // Books an operator that attempted vectorized execution: `fallbacks` of
+  // its `plan.num_morsels` morsels retried on the row interpreter. Updates
+  // the query-level tallies, the global counters, and the profile flag.
+  void RecordVectorized(OperatorProfile* prof, const MorselPlan& plan,
+                        bool attempted, int64_t fallbacks) {
+    if (prof != nullptr) prof->vectorized = attempted && fallbacks == 0;
+    if (!attempted || plan.num_morsels == 0) return;
+    const int64_t clean = plan.num_morsels - fallbacks;
+    vec_morsels_.fetch_add(clean, std::memory_order_relaxed);
+    Metrics().vec_morsels->Increment(clean);
+    if (fallbacks > 0) {
+      fallback_morsels_.fetch_add(fallbacks, std::memory_order_relaxed);
+      Metrics().vec_fallback_morsels->Increment(fallbacks);
+    }
   }
 
   // ---------------------------------------------------------------------
@@ -300,7 +421,33 @@ class Executor {
     Stopwatch watch;
     ScopedSpan span(trace_, PlanKindToString(node.kind));
     EINSQL_ASSIGN_OR_RETURN(RelationPtr out, Dispatch(node, prof, span.id()));
+    int64_t mem_bytes = 0;
+    if (node.kind == PlanKind::kScan || node.kind == PlanKind::kCteScan) {
+      // Scans reference stored tables / already-accounted CTE results:
+      // count the rows read but no new bytes.
+      Metrics().rows_scanned->Increment(out->num_rows());
+    } else {
+      // A freshly materialized intermediate: charge its bytes to the
+      // query until the last reference drops (the custom deleter keeps the
+      // original shared_ptr alive, so control blocks chain safely).
+      mem_bytes = ApproxRelationBytes(*out);
+      mem_.Add(mem_bytes);
+      Metrics().bytes_materialized->Increment(mem_bytes);
+      MemoryTracker* mem = &mem_;
+      RelationPtr inner = std::move(out);
+      const Relation* raw = inner.get();
+      out = RelationPtr(raw,
+                        [inner = std::move(inner), mem,
+                         mem_bytes](const Relation*) mutable {
+                          mem->Release(mem_bytes);
+                          inner.reset();
+                        });
+    }
+    if (node.kind == PlanKind::kJoin) {
+      Metrics().rows_joined->Increment(out->num_rows());
+    }
     if (prof != nullptr) {
+      prof->mem_bytes = mem_bytes;
       prof->kind = node.kind;
       prof->label = node.HeadLine();
       prof->est_rows = node.est_rows;
@@ -459,7 +606,7 @@ class Executor {
         }));
     ConcatParts(&out->rows, &parts);
     RecordMorsels(prof, plan);
-    if (prof != nullptr) prof->vectorized = vec && vec_fallbacks.load() == 0;
+    RecordVectorized(prof, plan, vec, vec_fallbacks.load());
     return RelationPtr(out);
   }
 
@@ -502,7 +649,7 @@ class Executor {
         }));
     ConcatParts(&out->rows, &parts);
     RecordMorsels(prof, plan);
-    if (prof != nullptr) prof->vectorized = vec && vec_fallbacks.load() == 0;
+    RecordVectorized(prof, plan, vec, vec_fallbacks.load());
     return RelationPtr(out);
   }
 
@@ -638,6 +785,10 @@ class Executor {
         }
       }
       if (typed_ok) {
+        const int64_t hash_bytes = ApproxHashTableBytes(
+            static_cast<int64_t>(build_rows.size()),
+            static_cast<int64_t>(arity) * 8);
+        ScopedTrackedBytes tracked_hash(&mem_, hash_bytes);
         std::atomic<bool> probe_untyped{false};
         // Emits every build match of probe key `probe` for left row `l`.
         auto probe_one = [&](const Row& l, const int64_t* probe,
@@ -700,10 +851,13 @@ class Executor {
         if (!probe_untyped.load()) {
           if (prof != nullptr) {
             prof->hash_entries = static_cast<int64_t>(build_rows.size());
-            prof->vectorized = options_.vectorized;
+            prof->hash_bytes = hash_bytes;
           }
+          Metrics().hash_entries->Increment(
+              static_cast<int64_t>(build_rows.size()));
           ConcatParts(&out->rows, &parts);
           RecordMorsels(prof, plan);
+          RecordVectorized(prof, plan, options_.vectorized, 0);
           return RelationPtr(out);
         }
         // A probe row defeated the typed assumption (e.g. a double in a
@@ -729,7 +883,14 @@ class Executor {
         ++build_entries;
       }
     }
-    if (prof != nullptr) prof->hash_entries = build_entries;
+    const int64_t hash_bytes = ApproxHashTableBytes(
+        build_entries, static_cast<int64_t>(arity * sizeof(Value)));
+    ScopedTrackedBytes tracked_hash(&mem_, hash_bytes);
+    if (prof != nullptr) {
+      prof->hash_entries = build_entries;
+      prof->hash_bytes = hash_bytes;
+    }
+    Metrics().hash_entries->Increment(build_entries);
     EINSQL_RETURN_IF_ERROR(RunMorsels(
         left->num_rows(), plan, "join morsel", op_span,
         [&](int64_t m, int64_t begin, int64_t end) -> Status {
@@ -1046,6 +1207,7 @@ class Executor {
                                        OperatorProfile* prof,
                                        Trace::SpanId op_span) {
     EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
+    Metrics().rows_aggregated->Increment(input->num_rows());
     // The distinct aggregate calls across all output expressions.
     std::vector<const Expr*> agg_calls;
     for (const auto& expr : node.exprs) CollectAggregates(*expr, &agg_calls);
@@ -1130,11 +1292,22 @@ class Executor {
                                           Value(Null{}));
       merged.accumulators.emplace_back(agg_calls.size());
     }
+    // Group-table bytes: packed or Value keys plus one representative row
+    // and the accumulator array per group. Held through the output phase.
+    const int64_t group_bytes =
+        static_cast<int64_t>(arity * (typed ? 8 : sizeof(Value))) +
+        static_cast<int64_t>(input->num_columns() * sizeof(Value)) +
+        static_cast<int64_t>(agg_calls.size() * sizeof(AggAccumulator));
+    const int64_t hash_bytes = ApproxHashTableBytes(
+        static_cast<int64_t>(merged.size()), group_bytes);
+    ScopedTrackedBytes tracked_hash(&mem_, hash_bytes);
     if (prof != nullptr) {
       prof->hash_entries = static_cast<int64_t>(merged.size());
-      prof->vectorized = vec && vec_fallbacks.load() == 0;
+      prof->hash_bytes = hash_bytes;
     }
+    Metrics().hash_entries->Increment(static_cast<int64_t>(merged.size()));
     RecordMorsels(prof, plan);
+    RecordVectorized(prof, plan, vec, vec_fallbacks.load());
 
     // Phase 3: produce output rows (HAVING + projection per group).
     auto out = std::make_shared<Relation>();
@@ -1287,6 +1460,14 @@ class Executor {
   ExecutorOptions options_;
   Trace* trace_ = nullptr;
   QueryProfile* profile_ = nullptr;
+  // Query-wide tallies, updated from morsel workers.
+  std::atomic<int64_t> morsels_executed_{0};
+  std::atomic<int64_t> vec_morsels_{0};
+  std::atomic<int64_t> fallback_morsels_{0};
+  // Declared before cte_results_: the deleters of tracked relations held
+  // there release their bytes into mem_ during member destruction, which
+  // runs in reverse declaration order.
+  MemoryTracker mem_;
   std::vector<RelationPtr> cte_results_;
 };
 

@@ -20,6 +20,20 @@ std::string ErrorFactor(double q) {
   return buffer;
 }
 
+std::string HumanBytes(int64_t bytes) {
+  char buffer[32];
+  if (bytes < 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%lld B",
+                  static_cast<long long>(bytes));
+  } else if (bytes < 1024 * 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f MiB",
+                  bytes / (1024.0 * 1024.0));
+  }
+  return buffer;
+}
+
 }  // namespace
 
 double OperatorProfile::est_error() const {
@@ -38,6 +52,10 @@ std::string OperatorProfile::ToString(int indent) const {
   } else if (kind == PlanKind::kAggregate) {
     os << ", groups=" << hash_entries;
   }
+  // Memory figures are estimates from the accounting hook; snapshot tests
+  // normalize them away so they never flake.
+  if (mem_bytes > 0) os << ", mem=" << HumanBytes(mem_bytes);
+  if (hash_bytes > 0) os << ", hash_mem=" << HumanBytes(hash_bytes);
   if (morsels > 0) {
     os << ", threads=" << threads_used << ", morsels=" << morsels;
   }
@@ -81,6 +99,12 @@ std::string QueryProfile::ToString() const {
   }
   os << "Main:\n" << root.ToString(1);
   os << "Execution: " << Millis(exec_seconds) << "\n";
+  os << "Peak memory: " << HumanBytes(peak_memory_bytes) << "\n";
+  if (morsels_executed > 0) {
+    os << "Morsels: " << morsels_executed
+       << " (vectorized=" << vectorized_morsels
+       << ", row-fallback=" << row_fallback_morsels << ")\n";
+  }
   return os.str();
 }
 

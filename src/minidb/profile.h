@@ -36,6 +36,12 @@ struct OperatorProfile {
   /// (column-at-a-time) path. False when the operator is not vectorizable,
   /// vectorization is off, or any morsel fell back to the row interpreter.
   bool vectorized = false;
+  /// Estimated bytes of the operator's materialized output relation
+  /// (0 for scans, which only reference stored tables).
+  int64_t mem_bytes = 0;
+  /// Estimated bytes held by the operator's hash table (join build side or
+  /// aggregation groups), 0 elsewhere.
+  int64_t hash_bytes = 0;
   std::vector<OperatorProfile> children;
 
   /// Cardinality q-error of the estimate: max(est, actual) / min(est,
@@ -64,6 +70,19 @@ struct QueryProfile {
   OperatorProfile root;
   /// Total ExecutePlan wall time.
   double exec_seconds = 0.0;
+  /// High-water mark of bytes simultaneously held by this query's
+  /// materialized intermediates and hash tables (accounting estimate, not
+  /// an allocator measurement).
+  int64_t peak_memory_bytes = 0;
+  /// Morsels executed across all operators of the query.
+  int64_t morsels_executed = 0;
+  /// Morsels that ran fully on the vectorized column-at-a-time path.
+  int64_t vectorized_morsels = 0;
+  /// Morsels that fell back to the row interpreter (unsupported
+  /// expression, overflow guard, ...). vectorized_morsels +
+  /// row_fallback_morsels <= morsels_executed: operators that never
+  /// attempt vectorization count in neither bucket.
+  int64_t row_fallback_morsels = 0;
 
   /// Maximum `threads_used` across all operators (CTE subtrees included):
   /// the intra-operator parallelism the query actually exercised.

@@ -4,6 +4,7 @@
 
 #include "backends/minidb_backend.h"
 #include "backends/sqlite_backend.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/reference.h"
 #include "testing/almost_equal.h"
@@ -263,6 +264,38 @@ TEST(ParseCooResultTest, ColumnCountMismatchRejected) {
   relation.columns = {{"i0", minidb::ValueType::kInt},
                       {"val", minidb::ValueType::kDouble}};
   EXPECT_FALSE(ParseCooResult(relation, {2, 2}, 0.0).ok());
+}
+
+TEST(SqlEinsumEngineTest, PlanningFeedsMetricsRegistry) {
+  auto& registry = MetricsRegistry::Default();
+  const int64_t programs_before =
+      registry.counter("einsum.programs_built")->value();
+  const MetricsSnapshot before = registry.Snapshot();
+
+  MiniDbBackend backend;
+  SqlEinsumEngine engine(&backend);
+  CooTensor a({2, 3});
+  ASSERT_TRUE(a.Append({0, 1}, 2.0).ok());
+  CooTensor b({3, 2});
+  ASSERT_TRUE(b.Append({1, 0}, 4.0).ok());
+  ASSERT_TRUE(engine.Einsum("ik,kj->ij", {&a, &b}).ok());
+
+  EXPECT_EQ(registry.counter("einsum.programs_built")->value(),
+            programs_before + 1);
+  EXPECT_GT(registry.counter("einsum.steps_planned")->value(), 0);
+  EXPECT_GT(registry.counter("einsum.sql_programs")->value(), 0);
+  const MetricsSnapshot after = registry.Snapshot();
+  auto histogram_count = [](const MetricsSnapshot& snap,
+                            const std::string& name) -> int64_t {
+    for (const auto& h : snap.histograms) {
+      if (h.name == name) return h.count;
+    }
+    return 0;
+  };
+  EXPECT_GT(histogram_count(after, "einsum.est_flops"),
+            histogram_count(before, "einsum.est_flops"));
+  EXPECT_GT(histogram_count(after, "einsum.sql_gen_seconds"),
+            histogram_count(before, "einsum.sql_gen_seconds"));
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace einsql {
+namespace {
+
+JsonValue MustParse(std::string_view text) {
+  Result<JsonValue> result = JsonValue::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return result.ok() ? std::move(result).value() : JsonValue();
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").AsBool());
+  EXPECT_FALSE(MustParse("false").AsBool(true));
+  EXPECT_DOUBLE_EQ(MustParse("3.25").AsDouble(), 3.25);
+  EXPECT_EQ(MustParse("-17").AsInt(), -17);
+  EXPECT_DOUBLE_EQ(MustParse("1e3").AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(MustParse("2.5E-2").AsDouble(), 0.025);
+  EXPECT_EQ(MustParse("\"hello\"").AsString(), "hello");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\/d")").AsString(), "a\"b\\c/d");
+  EXPECT_EQ(MustParse(R"("\n\t\r\b\f")").AsString(), "\n\t\r\b\f");
+  EXPECT_EQ(MustParse(R"("A")").AsString(), "A");
+  EXPECT_EQ(MustParse(R"("é")").AsString(), "\xc3\xa9");    // é
+  EXPECT_EQ(MustParse(R"("€")").AsString(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParseTest, Arrays) {
+  const JsonValue doc = MustParse("[1, 2, [3, 4], \"x\"]");
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.items().size(), 4u);
+  EXPECT_EQ(doc.items()[0].AsInt(), 1);
+  EXPECT_EQ(doc.items()[2].items()[1].AsInt(), 4);
+  EXPECT_EQ(doc.items()[3].AsString(), "x");
+  EXPECT_TRUE(MustParse("[]").items().empty());
+}
+
+TEST(JsonParseTest, Objects) {
+  const JsonValue doc =
+      MustParse(R"({"name": "fig2", "seconds": 0.125, "nested": {"n": 5}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc["name"].AsString(), "fig2");
+  EXPECT_DOUBLE_EQ(doc["seconds"].AsDouble(), 0.125);
+  EXPECT_EQ(doc["nested"]["n"].AsInt(), 5);
+  EXPECT_TRUE(doc.Has("name"));
+  EXPECT_FALSE(doc.Has("absent"));
+}
+
+TEST(JsonParseTest, MissingKeysChainSafely) {
+  const JsonValue doc = MustParse(R"({"a": 1})");
+  EXPECT_TRUE(doc["b"].is_null());
+  EXPECT_TRUE(doc["b"]["c"]["d"].is_null());
+  EXPECT_EQ(doc["b"]["c"].AsInt(42), 42);
+}
+
+TEST(JsonParseTest, KeysPreserveDocumentOrder) {
+  const JsonValue doc = MustParse(R"({"zz": 1, "aa": 2, "mm": 3})");
+  ASSERT_EQ(doc.keys().size(), 3u);
+  EXPECT_EQ(doc.keys()[0], "zz");
+  EXPECT_EQ(doc.keys()[1], "aa");
+  EXPECT_EQ(doc.keys()[2], "mm");
+}
+
+TEST(JsonParseTest, DuplicateKeysFirstWins) {
+  const JsonValue doc = MustParse(R"({"k": 1, "k": 2})");
+  EXPECT_EQ(doc["k"].AsInt(), 1);
+  EXPECT_EQ(doc.keys().size(), 1u);
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  const JsonValue doc = MustParse(" \n\t { \"a\" : [ 1 , 2 ] } \r\n ");
+  EXPECT_EQ(doc["a"].items().size(), 2u);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"bad \\x escape\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\u12").ok());
+  EXPECT_FALSE(JsonValue::Parse("1.2.3").ok());
+  EXPECT_FALSE(JsonValue::Parse("nan").ok());
+  EXPECT_FALSE(JsonValue::Parse("{1: 2}").ok());
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int k = 0; k < 100; ++k) deep += '[';
+  for (int k = 0; k < 100; ++k) deep += ']';
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  // 32 levels is fine.
+  std::string ok;
+  for (int k = 0; k < 32; ++k) ok += '[';
+  for (int k = 0; k < 32; ++k) ok += ']';
+  EXPECT_TRUE(JsonValue::Parse(ok).ok());
+}
+
+TEST(JsonParseTest, BenchReportShapedDocument) {
+  // The exact shape bench_report reads back as a baseline.
+  const char* text = R"({
+    "schema_version": 1,
+    "git_sha": "abc123",
+    "benches": [
+      {"bench": "fig2_triplestore", "config": {"rows": 1000},
+       "seconds": {"median": 0.012, "p10": 0.011, "p90": 0.014},
+       "rows": 42}
+    ]
+  })";
+  const JsonValue doc = MustParse(text);
+  EXPECT_EQ(doc["schema_version"].AsInt(), 1);
+  ASSERT_EQ(doc["benches"].items().size(), 1u);
+  const JsonValue& bench = doc["benches"].items()[0];
+  EXPECT_EQ(bench["bench"].AsString(), "fig2_triplestore");
+  EXPECT_DOUBLE_EQ(bench["seconds"]["median"].AsDouble(), 0.012);
+  EXPECT_EQ(bench["config"]["rows"].AsInt(), 1000);
+}
+
+TEST(JsonParseTest, WrongKindAccessorsFallBack) {
+  const JsonValue doc = MustParse("[1]");
+  EXPECT_EQ(doc.AsString(), "");
+  EXPECT_EQ(doc.AsInt(9), 9);
+  EXPECT_TRUE(doc["key"].is_null());  // operator[] on non-object
+  EXPECT_TRUE(MustParse("5").items().empty());
+  EXPECT_TRUE(MustParse("5").keys().empty());
+}
+
+}  // namespace
+}  // namespace einsql

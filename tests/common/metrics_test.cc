@@ -1,0 +1,303 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace einsql {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int k = 0; k < kPerThread; ++k) c.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndSetMax) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.SetMax(2.0);  // lower: no effect
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.SetMax(7.25);
+  EXPECT_DOUBLE_EQ(g.value(), 7.25);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(GaugeTest, ConcurrentSetMaxKeepsMaximum) {
+  Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 8; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int k = 0; k < 5000; ++k) g.SetMax(t * 1000 + (k % 100));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(g.value(), 8099.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.Record(1.0);
+  h.Record(4.0);
+  h.Record(16.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 21.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 16.0);
+}
+
+TEST(HistogramTest, NonPositiveValuesLandInBucketZero) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.count(), 2);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  // Bucket b covers (2^(b-1+kMinExp), 2^(b+kMinExp)]. A value of exactly
+  // 1.0 = 2^0 must land in the bucket whose upper bound is 1.0.
+  Histogram h;
+  h.Record(1.0);
+  const int bucket = -Histogram::kMinExp;
+  EXPECT_EQ(h.bucket_count(bucket), 1);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(bucket), 1.0);
+  // 1.5 is in (1, 2]: next bucket up.
+  h.Record(1.5);
+  EXPECT_EQ(h.bucket_count(bucket + 1), 1);
+}
+
+TEST(HistogramTest, ExtremeValuesClampToEdgeBuckets) {
+  Histogram h;
+  h.Record(1e-300);
+  h.Record(1e300);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h;
+  h.Record(2.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_count(-Histogram::kMinExp + 1), 0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepCountAndExtremes) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int k = 1; k <= kPerThread; ++k) {
+        h.Record(static_cast<double>(t * kPerThread + k));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), kThreads * kPerThread);
+}
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Add(50);
+  EXPECT_EQ(tracker.current(), 150);
+  EXPECT_EQ(tracker.peak(), 150);
+  tracker.Release(120);
+  EXPECT_EQ(tracker.current(), 30);
+  EXPECT_EQ(tracker.peak(), 150);
+  tracker.Add(10);
+  EXPECT_EQ(tracker.peak(), 150);  // did not pass the old high-water mark
+}
+
+TEST(MemoryTrackerTest, ConcurrentPeakIsAtLeastSerialBound) {
+  MemoryTracker tracker;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int k = 0; k < 1000; ++k) {
+        tracker.Add(64);
+        tracker.Release(64);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tracker.current(), 0);
+  EXPECT_GE(tracker.peak(), 64);
+}
+
+TEST(MetricKeyTest, NoLabels) { EXPECT_EQ(MetricKey("a.b", {}), "a.b"); }
+
+TEST(MetricKeyTest, WithLabels) {
+  EXPECT_EQ(MetricKey("rows", {{"engine", "minidb"}, {"op", "scan"}}),
+            "rows{engine=\"minidb\",op=\"scan\"}");
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x.count");
+  Counter* b = registry.counter("x.count");
+  EXPECT_EQ(a, b);
+  Counter* labeled = registry.counter("x.count", {{"k", "v"}});
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(labeled, registry.counter("x.count", {{"k", "v"}}));
+}
+
+TEST(MetricsRegistryTest, SnapshotReflectsValues) {
+  MetricsRegistry registry;
+  registry.counter("c.one")->Increment(7);
+  registry.gauge("g.one")->Set(2.5);
+  registry.histogram("h.one")->Record(3.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("c.one"), 7);
+  EXPECT_EQ(snapshot.CounterValue("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("g.one"), 2.5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].sum, 3.0);
+}
+
+TEST(MetricsRegistryTest, ResetKeepsPointersValidAndZeroesValues) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("keep.me");
+  c->Increment(10);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0);
+  c->Increment(1);
+  EXPECT_EQ(registry.Snapshot().CounterValue("keep.me"), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotKeysAreSorted) {
+  MetricsRegistry registry;
+  registry.counter("zz.last")->Increment();
+  registry.counter("aa.first")->Increment();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "aa.first");
+  EXPECT_EQ(snapshot.counters[1].name, "zz.last");
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndRecording) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry] {
+      for (int k = 0; k < 1000; ++k) {
+        registry.counter("shared.count")->Increment();
+        registry.histogram("shared.hist")->Record(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("shared.count"), 8000);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 8000);
+}
+
+TEST(QuantileTest, ExactForSingleBucketIsClampedToExtremes) {
+  Histogram h;
+  for (int k = 0; k < 100; ++k) h.Record(10.0);
+  MetricsRegistry registry;  // build a sample by hand via a registry
+  Histogram* rh = registry.histogram("q");
+  for (int k = 0; k < 100; ++k) rh->Record(10.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const auto& sample = snapshot.histograms[0];
+  // All mass in one bucket whose true extremes are both 10: every
+  // quantile must report exactly 10.
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(sample.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(sample.Quantile(1.0), 10.0);
+}
+
+TEST(QuantileTest, MonotoneAcrossSpreadData) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("spread");
+  for (int k = 1; k <= 1024; ++k) h->Record(static_cast<double>(k));
+  const auto sample = registry.Snapshot().histograms[0];
+  const double p10 = sample.Quantile(0.1);
+  const double p50 = sample.Quantile(0.5);
+  const double p90 = sample.Quantile(0.9);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_GE(p10, sample.min);
+  EXPECT_LE(p90, sample.max);
+  // Log-bucket interpolation is coarse but should land within a factor
+  // of two of the true median (512).
+  EXPECT_GT(p50, 256.0);
+  EXPECT_LT(p50, 1024.0);
+}
+
+TEST(ExpositionTest, JsonContainsAllSections) {
+  MetricsRegistry registry;
+  registry.counter("c", {{"k", "v"}})->Increment(3);
+  registry.gauge("g")->Set(1.5);
+  registry.histogram("h")->Record(2.0);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c{k=\\\"v\\\"}\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"g\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(ExpositionTest, EmptyRegistryJsonIsWellFormedSkeleton) {
+  MetricsRegistry registry;
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {}"), std::string::npos);
+}
+
+TEST(ExpositionTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.counter("minidb.rows-scanned", {{"op", "scan"}})->Increment(12);
+  registry.gauge("minidb.peak")->Set(4096);
+  registry.histogram("einsum.plan.seconds")->Record(0.25);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE minidb_rows_scanned counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("minidb_rows_scanned{op=\"scan\"} 12"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE minidb_peak gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE einsum_plan_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("einsum_plan_seconds_count 1"), std::string::npos);
+}
+
+TEST(DefaultRegistryTest, IsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace einsql

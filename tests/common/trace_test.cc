@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -316,6 +317,114 @@ TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
   EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
   EXPECT_EQ(JsonEscape(std::string_view("a\x01""b", 3)), "a\\u0001b");
+}
+
+TEST(JsonEscapeTest, EscapesEveryControlCharacter) {
+  // All of 0x00-0x1F must render as escapes — raw control bytes inside a
+  // JSON string are invalid and break chrome://tracing imports.
+  for (int c = 1; c < 0x20; ++c) {
+    const std::string input(1, static_cast<char>(c));
+    const std::string escaped = JsonEscape(input);
+    EXPECT_GE(escaped.size(), 2u) << "control char " << c << " not escaped";
+    EXPECT_EQ(escaped[0], '\\') << "control char " << c;
+  }
+  EXPECT_EQ(JsonEscape("\t"), "\\t");
+  EXPECT_EQ(JsonEscape("\r"), "\\r");
+  EXPECT_EQ(JsonEscape(std::string_view("\x1f", 1)), "\\u001f");
+}
+
+TEST(JsonEscapeTest, MixedSpecialsRoundTripInOrder) {
+  EXPECT_EQ(JsonEscape("a\"\\\n\tb"), "a\\\"\\\\\\n\\tb");
+  // Multi-byte UTF-8 passes through untouched.
+  EXPECT_EQ(JsonEscape("π ≈ 3"), "π ≈ 3");
+}
+
+TEST(TraceTest, SpanNamesWithSpecialCharactersSerializeValidly) {
+  Trace trace;
+  const char* names[] = {
+      "quote \" in name",          "back\\slash",
+      "newline\nname",             "tab\tname",
+      "cte \"weird\"\\path\nend",  "unicode π name",
+  };
+  for (const char* name : names) {
+    const auto span = trace.BeginSpan(name);
+    trace.SetAttribute(span, "note", "attr with \"quotes\" and \\slashes\n");
+    trace.EndSpan(span);
+  }
+  // A control character in a span name (possible via generated CTE names)
+  // must not produce raw bytes in the JSON output.
+  const auto ctl = trace.BeginSpan(std::string_view("ctl\x02name", 8));
+  trace.EndSpan(ctl);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("quote \\\" in name"), std::string::npos) << json;
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos) << json;
+  EXPECT_NE(json.find("newline\\nname"), std::string::npos) << json;
+  EXPECT_NE(json.find("ctl\\u0002name"), std::string::npos) << json;
+  int raw_control_bytes = 0;
+  for (char c : json) {
+    if (static_cast<unsigned char>(c) < 0x20 && c != '\n') {
+      ++raw_control_bytes;
+    }
+  }
+  EXPECT_EQ(raw_control_bytes, 0) << "raw control bytes in JSON output";
+}
+
+TEST(TraceTest, ConcurrentWorkersWithAttributesAndCounters) {
+  // Workers concurrently open/close spans (implicit and explicit parents),
+  // set attributes on shared and private spans, and sample counters. Run
+  // under the TSan CI leg, this is the data-race proof for the whole
+  // recording surface.
+  Trace trace;
+  const auto root = trace.BeginSpan("root");
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 100;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trace, root, t] {
+      for (int k = 0; k < kIterations; ++k) {
+        const auto span =
+            trace.BeginSpan(k % 2 == 0 ? "even \"span\"" : "odd\\span", root);
+        trace.SetAttribute(span, "thread", static_cast<int64_t>(t));
+        trace.SetAttribute(span, "label", "worker \"quoted\"\n");
+        // Attribute writes on the shared root race by design; last writer
+        // wins, but every interleaving must be safe.
+        trace.SetAttribute(root, "last_thread", static_cast<int64_t>(t));
+        trace.AddCounter("iterations", static_cast<double>(k));
+        trace.EndSpan(span);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  trace.EndSpan(root);
+  EXPECT_EQ(trace.span_count(),
+            static_cast<size_t>(kThreads * kIterations + 1));
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  EXPECT_NE(json.find("even \\\"span\\\""), std::string::npos);
+  EXPECT_NE(json.find("odd\\\\span"), std::string::npos);
+}
+
+TEST(TraceTest, ConcurrentSerializationWhileRecording) {
+  // ToChromeJson/ToString/span_count are const and documented thread-safe:
+  // serialize concurrently with active recording.
+  Trace trace;
+  std::atomic<bool> stop{false};
+  std::thread recorder([&trace, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto span = trace.BeginSpan("busy");
+      trace.SetAttribute(span, "x", 1.5);
+      trace.EndSpan(span);
+    }
+  });
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_TRUE(JsonChecker(trace.ToChromeJson()).Valid());
+    (void)trace.ToString();
+    (void)trace.span_count();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  recorder.join();
+  EXPECT_TRUE(JsonChecker(trace.ToChromeJson()).Valid());
 }
 
 }  // namespace

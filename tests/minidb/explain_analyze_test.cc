@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -215,6 +216,82 @@ TEST(ExplainTest, PlanShowsPerCteEstimates) {
   const std::string text = DumpText(result->relation);
   EXPECT_NE(text.find("CTE a (~"), std::string::npos) << text;
   EXPECT_NE(text.find("rows):"), std::string::npos) << text;
+}
+
+TEST(QueryProfileTest, MemoryAccountingPopulated) {
+  Database db = WithJoinTables();
+  auto result = db.Execute(
+      "SELECT l.k, SUM(r.w) FROM l, r WHERE l.k = r.k GROUP BY l.k");
+  ASSERT_TRUE(result.ok());
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+
+  // Join and aggregate materialize output and build hash tables; both
+  // estimates must be nonzero for nonempty inputs.
+  const OperatorProfile& agg = profile->root;
+  ASSERT_EQ(agg.kind, PlanKind::kAggregate);
+  EXPECT_GT(agg.mem_bytes, 0);
+  EXPECT_GT(agg.hash_bytes, 0);
+  ASSERT_EQ(agg.children.size(), 1u);
+  const OperatorProfile& join = agg.children[0];
+  EXPECT_GT(join.mem_bytes, 0);
+  EXPECT_GT(join.hash_bytes, 0);
+  // Scans expose stored tables without copying: no materialization charge.
+  ASSERT_EQ(join.children.size(), 2u);
+  EXPECT_EQ(join.children[0].mem_bytes, 0);
+  EXPECT_EQ(join.children[1].mem_bytes, 0);
+
+  // The query-level peak covers at least the largest single holding, and
+  // at most everything the query ever charged at once.
+  EXPECT_GE(profile->peak_memory_bytes,
+            std::max(agg.mem_bytes, join.mem_bytes));
+  EXPECT_LE(profile->peak_memory_bytes,
+            agg.mem_bytes + agg.hash_bytes + join.mem_bytes +
+                join.hash_bytes);
+}
+
+TEST(QueryProfileTest, MorselCountersVectorizedOn) {
+  Database db = WithJoinTables();
+  db.executor_options().vectorized = true;
+  auto result = db.Execute(
+      "SELECT l.k, SUM(r.w) FROM l, r WHERE l.k = r.k GROUP BY l.k");
+  ASSERT_TRUE(result.ok());
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+  // All-numeric join + aggregate: every attempted morsel takes the
+  // vectorized kernels, nothing falls back to the row interpreter.
+  EXPECT_GT(profile->morsels_executed, 0);
+  EXPECT_GT(profile->vectorized_morsels, 0);
+  EXPECT_EQ(profile->row_fallback_morsels, 0);
+  EXPECT_LE(profile->vectorized_morsels + profile->row_fallback_morsels,
+            profile->morsels_executed);
+}
+
+TEST(QueryProfileTest, MorselCountersVectorizedOff) {
+  Database db = WithJoinTables();
+  db.executor_options().vectorized = false;
+  auto result = db.Execute(
+      "SELECT l.k, SUM(r.w) FROM l, r WHERE l.k = r.k GROUP BY l.k");
+  ASSERT_TRUE(result.ok());
+  const QueryProfile* profile = db.last_profile();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->vectorized_morsels, 0);
+  EXPECT_EQ(profile->row_fallback_morsels, 0);
+}
+
+TEST(ExplainAnalyzeTest, ReportsMemoryAndMorselFooter) {
+  Database db = WithJoinTables();
+  db.executor_options().vectorized = true;
+  auto result =
+      db.Execute("EXPLAIN ANALYZE SELECT l.k, SUM(r.w) FROM l, r "
+                 "WHERE l.k = r.k GROUP BY l.k");
+  ASSERT_TRUE(result.ok());
+  const std::string text = DumpText(result->relation);
+  EXPECT_NE(text.find("Peak memory: "), std::string::npos) << text;
+  EXPECT_NE(text.find("mem="), std::string::npos) << text;
+  EXPECT_NE(text.find("hash_mem="), std::string::npos) << text;
+  EXPECT_NE(text.find("Morsels: "), std::string::npos) << text;
+  EXPECT_NE(text.find("vectorized="), std::string::npos) << text;
 }
 
 }  // namespace

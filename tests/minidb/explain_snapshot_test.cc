@@ -61,12 +61,19 @@ std::string DumpText(const Relation& relation) {
   return text;
 }
 
-// Scrubs the nondeterministic wall-time fields of EXPLAIN ANALYZE.
+// Scrubs the nondeterministic fields of EXPLAIN ANALYZE: wall times, and
+// the memory-accounting byte counts (estimates involve sizeof(Value) and
+// friends, which differ across platforms/compilers — the *presence* of
+// mem=/hash_mem=/Peak memory is pinned, the magnitudes are not).
 std::string Normalize(const std::string& text) {
   static const std::regex kTime("time=[0-9.]+ ms");
   static const std::regex kExec("Execution: [0-9.]+ ms");
-  return std::regex_replace(std::regex_replace(text, kTime, "time=<T>"),
-                            kExec, "Execution: <T>");
+  static const std::regex kMem("mem=[0-9.]+ (B|KiB|MiB|GiB)");
+  static const std::regex kPeak("Peak memory: [0-9.]+ (B|KiB|MiB|GiB)");
+  std::string out = std::regex_replace(text, kTime, "time=<T>");
+  out = std::regex_replace(out, kExec, "Execution: <T>");
+  out = std::regex_replace(out, kMem, "mem=<M>");  // also hash_mem=
+  return std::regex_replace(out, kPeak, "Peak memory: <M>");
 }
 
 struct SnapshotQuery {

@@ -1,0 +1,648 @@
+// bench_report — the machine-readable perf-trajectory harness.
+//
+// Runs a pinned, fixed-seed, *reduced* cut of the paper's benchmark suite
+// (figure 2 triplestore, figure 4 #SAT, figure 6 graphical inference,
+// figure 8 quantum circuits, table 2 planning, plus the repo's
+// parallel-scaling and vectorized smoke workloads) entirely in-process,
+// repeats each workload a configurable number of times, and writes one
+// JSON report with median/p10/p90 wall times per bench, the result row
+// counts, the process-global metrics-registry snapshot, the git revision,
+// and an ISO-8601 timestamp. The schema is documented in
+// docs/benchmarking.md; BENCH_minidb.json at the repo root is the
+// checked-in trajectory point CI gates against.
+//
+// Usage:
+//   bench_report [--out=<file>] [--repeats=N] [--threads=N]
+//                [--baseline=<file>] [--max-regress=<ratio>]
+//                [--input=<file>] [--list]
+//
+//   --out=<file>        where to write the report (default
+//                       BENCH_minidb.json in the current directory)
+//   --repeats=N         timed repetitions per bench after one warm-up
+//                       (default 7; the report stores the spread)
+//   --threads=N         worker threads for the parallel-scaling bench
+//                       (default 4)
+//   --baseline=<file>   compare the current results against a previous
+//                       report; exit 1 when any shared bench regressed
+//   --max-regress=R     regression threshold for --baseline: fail when
+//                       current_median > baseline_median * scale * R
+//                       (default 1.5; `scale` compensates machine speed
+//                       via the calibration loop stored in both files)
+//   --input=<file>      do not run anything: load "current" results from
+//                       an existing report instead. Only meaningful with
+//                       --baseline; this is how the CI gate is tested
+//                       deterministically.
+//   --list              print the bench names and exit
+//
+// Cross-machine comparability: every report stores `calibration_seconds`,
+// the wall time of a fixed single-threaded integer loop. When comparing,
+// baseline medians are scaled by the ratio of the two calibrations
+// (clamped to [0.25, 4] so a pathological calibration cannot mask a real
+// regression), so a faster CI machine does not hide a slowdown and a
+// slower one does not fabricate one. The threshold should still be
+// generous — see docs/benchmarking.md.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backends/einsum_engine.h"
+#include "backends/minidb_backend.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "common/trace.h"
+#include "core/program.h"
+#include "core/sqlgen.h"
+#include "graphical/generator.h"
+#include "minidb/database.h"
+#include "quantum/sycamore.h"
+#include "quantum/to_einsum.h"
+#include "sat/count.h"
+#include "sat/generator.h"
+#include "triplestore/generator.h"
+#include "triplestore/query.h"
+
+namespace {
+
+using namespace einsql;  // NOLINT
+
+// ---------------------------------------------------------------------------
+// Measurement plumbing.
+
+struct BenchResult {
+  std::string name;
+  std::string engine;
+  int64_t rows = 0;  // result size, a cheap correctness fingerprint
+  int repeats = 0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// Runs `body` once untimed (warm-up) and `repeats` times timed. The body
+// returns the result row count, or a negative value on error.
+Result<BenchResult> Measure(const std::string& name,
+                            const std::string& engine, int repeats,
+                            const std::function<int64_t()>& body) {
+  BenchResult r;
+  r.name = name;
+  r.engine = engine;
+  r.repeats = repeats;
+  if (body() < 0) {
+    return Status::Internal("bench '" + name + "' failed during warm-up");
+  }
+  std::vector<double> seconds;
+  seconds.reserve(repeats);
+  for (int i = 0; i < repeats; ++i) {
+    Stopwatch watch;
+    const int64_t rows = body();
+    const double elapsed = watch.ElapsedSeconds();
+    if (rows < 0) {
+      return Status::Internal("bench '" + name + "' failed while timed");
+    }
+    r.rows = rows;
+    seconds.push_back(elapsed);
+  }
+  std::sort(seconds.begin(), seconds.end());
+  r.median = Percentile(seconds, 0.5);
+  r.p10 = Percentile(seconds, 0.1);
+  r.p90 = Percentile(seconds, 0.9);
+  return r;
+}
+
+// Fixed single-threaded integer loop whose wall time calibrates machine
+// speed; stored in every report and used to scale baselines on compare.
+double CalibrationSeconds() {
+  Stopwatch watch;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  uint64_t sum = 0;
+  for (int i = 0; i < 40 * 1000 * 1000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    sum += state;
+  }
+  // Defeat dead-code elimination without observable output noise.
+  if (sum == 42) std::fprintf(stderr, "calibration fixpoint\n");
+  return watch.ElapsedSeconds();
+}
+
+// ---------------------------------------------------------------------------
+// Pinned reduced workloads. Every constant below is part of the report's
+// identity: changing one invalidates baseline comparison, so bump sizes
+// only together with a baseline refresh (docs/benchmarking.md).
+
+std::unique_ptr<SqlBackend> MakeBackend(minidb::OptimizerMode mode) {
+  minidb::PlannerOptions options;
+  options.mode = mode;
+  return std::make_unique<MiniDbBackend>(options);
+}
+
+// Figure 2: the gold-medal query over a reduced Olympics dataset.
+Result<BenchResult> BenchFig2(int repeats) {
+  triplestore::OlympicsOptions options;
+  options.num_athletes = 600;
+  options.results_per_athlete = 3;
+  options.medal_fraction = 0.15;
+  options.seed = 7;
+  const triplestore::TripleStore store =
+      triplestore::GenerateOlympics(options);
+  auto backend = MakeBackend(minidb::OptimizerMode::kGreedy);
+  EINSQL_RETURN_IF_ERROR(store.LoadInto(backend.get()));
+  const triplestore::PatternQuery query = triplestore::GoldMedalQuery();
+  return Measure("fig2_triplestore", backend->name(), repeats,
+                 [&]() -> int64_t {
+                   auto rows = triplestore::AnswerWithSql(
+                       backend.get(), store, query);
+                   if (!rows.ok()) return -1;
+                   return static_cast<int64_t>(rows->size());
+                 });
+}
+
+// Figure 4: model counting on a truncated conda-like package formula.
+Result<BenchResult> BenchFig4(int repeats) {
+  sat::PackageFormulaOptions options;
+  options.num_packages = 189;
+  options.versions_per_package = 2;
+  options.dependencies_per_version = 1.25;
+  options.seed = 2023;
+  const sat::CnfFormula formula =
+      sat::TruncateClauses(sat::PackageDependencyFormula(options), 160);
+  EINSQL_ASSIGN_OR_RETURN(sat::SatTensorNetwork network,
+                          sat::BuildTensorNetwork(formula));
+  std::vector<Shape> shapes;
+  for (const CooTensor* t : network.operands()) shapes.push_back(t->shape());
+  EINSQL_ASSIGN_OR_RETURN(
+      ContractionProgram program,
+      BuildProgram(network.spec, shapes, PathAlgorithm::kElimination));
+  auto backend = MakeBackend(minidb::OptimizerMode::kGreedy);
+  SqlEinsumEngine engine(backend.get());
+  const std::vector<const CooTensor*> operands = network.operands();
+  return Measure("fig4_sat", backend->name(), repeats, [&]() -> int64_t {
+    auto result = engine.RunProgram(program, operands, EinsumOptions{});
+    if (!result.ok()) return -1;
+    return static_cast<int64_t>(result->nnz());
+  });
+}
+
+// Figure 6: breast-cancer-model inference, evidence batch of 16. The
+// network (fresh evidence embedding) is rebuilt inside the timed body,
+// as in the figure bench: a full solve embeds and contracts.
+Result<BenchResult> BenchFig6(int repeats) {
+  const graphical::PairwiseModel model = graphical::BreastCancerLikeModel();
+  Rng rng(1000 + 16);
+  const graphical::InferenceQuery query =
+      graphical::RandomQuery(model, /*query_variable=*/0, 16, &rng);
+  EINSQL_ASSIGN_OR_RETURN(graphical::InferenceNetwork network,
+                          graphical::BuildInferenceNetwork(model, query));
+  std::vector<Shape> shapes;
+  for (const CooTensor& t : network.tensors) shapes.push_back(t.shape());
+  EINSQL_ASSIGN_OR_RETURN(
+      ContractionProgram program,
+      BuildProgram(network.spec, shapes, PathAlgorithm::kElimination));
+  auto backend = MakeBackend(minidb::OptimizerMode::kGreedy);
+  SqlEinsumEngine engine(backend.get());
+  return Measure("fig6_graphical", backend->name(), repeats,
+                 [&]() -> int64_t {
+                   auto fresh =
+                       graphical::BuildInferenceNetwork(model, query);
+                   if (!fresh.ok()) return -1;
+                   auto result = engine.RunProgram(program, fresh->operands(),
+                                                   EinsumOptions{});
+                   if (!result.ok()) return -1;
+                   return static_cast<int64_t>(result->nnz());
+                 });
+}
+
+// Figures 8 and 9: Sycamore-like circuits, complex amplitudes as
+// (re, im) column pairs. One pinned point per axis: fig8's depth axis
+// (8 qubits x depth 4) and fig9's qubit axis (11 qubits x depth 2).
+Result<BenchResult> BenchQuantum(const std::string& name, int qubits,
+                                 int depth, int repeats) {
+  const quantum::Circuit circuit =
+      quantum::SycamoreLikeCircuit(qubits, depth, /*seed=*/11);
+  EINSQL_ASSIGN_OR_RETURN(
+      quantum::CircuitNetwork network,
+      quantum::BuildCircuitNetwork(circuit, std::vector<int>(qubits, 0)));
+  std::vector<Shape> shapes;
+  for (const ComplexCooTensor& t : network.tensors) {
+    shapes.push_back(t.shape());
+  }
+  EINSQL_ASSIGN_OR_RETURN(
+      ContractionProgram program,
+      BuildProgram(network.spec, shapes, PathAlgorithm::kElimination));
+  auto backend = MakeBackend(minidb::OptimizerMode::kGreedy);
+  SqlEinsumEngine engine(backend.get());
+  const auto operands = network.operands();
+  return Measure(name, backend->name(), repeats, [&]() -> int64_t {
+    auto amplitudes =
+        engine.RunComplexProgram(program, operands, EinsumOptions{});
+    if (!amplitudes.ok()) return -1;
+    return static_cast<int64_t>(amplitudes->nnz());
+  });
+}
+
+// Table 2: the planning pipeline alone — contraction-path search plus SQL
+// generation for a large decomposed #SAT query. No execution.
+Result<BenchResult> BenchTable2(int repeats) {
+  sat::PackageFormulaOptions options;
+  options.num_packages = 252;
+  options.versions_per_package = 2;
+  options.dependencies_per_version = 1.4;
+  options.seed = 4;
+  const sat::CnfFormula formula = sat::PackageDependencyFormula(options);
+  EINSQL_ASSIGN_OR_RETURN(sat::SatTensorNetwork network,
+                          sat::BuildTensorNetwork(formula));
+  std::vector<Shape> shapes;
+  for (const CooTensor* t : network.operands()) shapes.push_back(t->shape());
+  const std::vector<const CooTensor*> operands = network.operands();
+  return Measure("table2_planning", "planner", repeats, [&]() -> int64_t {
+    auto program =
+        BuildProgram(network.spec, shapes, PathAlgorithm::kElimination);
+    if (!program.ok()) return -1;
+    auto sql = GenerateEinsumSql(*program, operands, SqlGenOptions{});
+    if (!sql.ok()) return -1;
+    return static_cast<int64_t>(sql->size());
+  });
+}
+
+// The synthetic matmul-shaped join + GROUP BY workload shared by the
+// parallel-scaling and vectorized benches (bench/bench_parallel_scaling.cc
+// idiom, reduced row count).
+uint64_t NextRand(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return *state >> 33;
+}
+
+Status LoadMatrix(minidb::Database* db, const std::string& name,
+                  int64_t rows, int64_t i_dim, int64_t j_dim,
+                  uint64_t seed) {
+  EINSQL_RETURN_IF_ERROR(db->CreateTable(
+      name, {{"i", minidb::ValueType::kInt},
+             {"j", minidb::ValueType::kInt},
+             {"val", minidb::ValueType::kDouble}}));
+  uint64_t state = seed;
+  std::vector<minidb::Row> data;
+  data.reserve(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t i = static_cast<int64_t>(NextRand(&state) % i_dim);
+    const int64_t j = static_cast<int64_t>(NextRand(&state) % j_dim);
+    const double val =
+        static_cast<double>(NextRand(&state) % 1000) / 1000.0 - 0.5;
+    data.push_back({minidb::Value(i), minidb::Value(j), minidb::Value(val)});
+  }
+  return db->BulkInsert(name, std::move(data));
+}
+
+Result<std::unique_ptr<minidb::Database>> MakeJoinDatabase() {
+  auto db = std::make_unique<minidb::Database>();
+  EINSQL_RETURN_IF_ERROR(LoadMatrix(db.get(), "A", 24000, 64, 1024, 1));
+  EINSQL_RETURN_IF_ERROR(LoadMatrix(db.get(), "B", 24000, 1024, 64, 2));
+  return db;
+}
+
+constexpr const char kJoinSql[] =
+    "SELECT A.i AS i, B.j AS j, SUM(A.val * B.val) AS val "
+    "FROM A, B WHERE A.j = B.i GROUP BY A.i, B.j";
+
+// Morsel-driven scaling: the same prepared plan sequentially and with
+// `threads` workers; reported as two benches so each has its own spread.
+Result<std::vector<BenchResult>> BenchParallel(int repeats, int threads) {
+  EINSQL_ASSIGN_OR_RETURN(std::unique_ptr<minidb::Database> db,
+                          MakeJoinDatabase());
+  EINSQL_ASSIGN_OR_RETURN(minidb::QueryPlan plan, db->Prepare(kJoinSql));
+  auto run = [&](bool parallel, int n) -> int64_t {
+    db->executor_options().parallel_operators = parallel;
+    db->executor_options().num_threads = n;
+    auto result = db->ExecutePrepared(plan);
+    if (!result.ok()) return -1;
+    return result->relation.num_rows();
+  };
+  std::vector<BenchResult> results;
+  EINSQL_ASSIGN_OR_RETURN(
+      BenchResult seq,
+      Measure("parallel_scaling/seq", "minidb", repeats,
+              [&]() { return run(false, 0); }));
+  results.push_back(seq);
+  EINSQL_ASSIGN_OR_RETURN(
+      BenchResult par,
+      Measure("parallel_scaling/t" + std::to_string(threads), "minidb",
+              repeats, [&]() { return run(true, threads); }));
+  results.push_back(par);
+  return results;
+}
+
+// Row interpreter versus column-at-a-time kernels on the same plan.
+Result<std::vector<BenchResult>> BenchVectorized(int repeats) {
+  EINSQL_ASSIGN_OR_RETURN(std::unique_ptr<minidb::Database> db,
+                          MakeJoinDatabase());
+  EINSQL_ASSIGN_OR_RETURN(minidb::QueryPlan plan, db->Prepare(kJoinSql));
+  auto run = [&](bool vectorized) -> int64_t {
+    db->executor_options().vectorized = vectorized;
+    auto result = db->ExecutePrepared(plan);
+    if (!result.ok()) return -1;
+    return result->relation.num_rows();
+  };
+  std::vector<BenchResult> results;
+  EINSQL_ASSIGN_OR_RETURN(BenchResult row,
+                          Measure("vectorized/row", "minidb", repeats,
+                                  [&]() { return run(false); }));
+  results.push_back(row);
+  EINSQL_ASSIGN_OR_RETURN(BenchResult vec,
+                          Measure("vectorized/vec", "minidb", repeats,
+                                  [&]() { return run(true); }));
+  results.push_back(vec);
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Report I/O.
+
+std::string GitSha() {
+  std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[64] = {0};
+  std::string sha;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) sha = buffer;
+  pclose(pipe);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::string IsoUtcNow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string ReportToJson(const std::vector<BenchResult>& benches,
+                         int repeats, int threads, double calibration) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"einsql-bench-report\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"suite\": \"minidb\",\n";
+  out << "  \"git_sha\": \"" << JsonEscape(GitSha()) << "\",\n";
+  out << "  \"date\": \"" << IsoUtcNow() << "\",\n";
+  out << "  \"calibration_seconds\": " << FormatDouble(calibration) << ",\n";
+  out << "  \"config\": {\"repeats\": " << repeats
+      << ", \"threads\": " << threads << ", \"reduced\": true},\n";
+  out << "  \"benches\": [\n";
+  for (size_t i = 0; i < benches.size(); ++i) {
+    const BenchResult& b = benches[i];
+    out << "    {\"name\": \"" << JsonEscape(b.name) << "\", \"engine\": \""
+        << JsonEscape(b.engine) << "\", \"rows\": " << b.rows
+        << ", \"repeats\": " << b.repeats << ",\n"
+        << "     \"seconds\": {\"median\": " << FormatDouble(b.median)
+        << ", \"p10\": " << FormatDouble(b.p10)
+        << ", \"p90\": " << FormatDouble(b.p90) << "}}"
+        << (i + 1 < benches.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"metrics\": "
+      << MetricsRegistry::Default().Snapshot().ToJson(/*indent=*/2) << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+struct LoadedReport {
+  double calibration = 0.0;
+  std::vector<BenchResult> benches;
+};
+
+Result<LoadedReport> LoadReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open report '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EINSQL_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(buffer.str()));
+  if (doc["schema"].AsString() != "einsql-bench-report") {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not an einsql bench report");
+  }
+  LoadedReport report;
+  report.calibration = doc["calibration_seconds"].AsDouble();
+  for (const JsonValue& b : doc["benches"].items()) {
+    BenchResult r;
+    r.name = b["name"].AsString();
+    r.engine = b["engine"].AsString();
+    r.rows = b["rows"].AsInt();
+    r.repeats = static_cast<int>(b["repeats"].AsInt());
+    r.median = b["seconds"]["median"].AsDouble();
+    r.p10 = b["seconds"]["p10"].AsDouble();
+    r.p90 = b["seconds"]["p90"].AsDouble();
+    report.benches.push_back(std::move(r));
+  }
+  if (report.benches.empty()) {
+    return Status::InvalidArgument("'" + path + "' contains no benches");
+  }
+  return report;
+}
+
+// Compares `current` against `baseline`; returns the number of benches
+// whose scaled median regressed beyond `max_regress`.
+int Compare(const LoadedReport& baseline, const LoadedReport& current,
+            double max_regress) {
+  // Machine-speed compensation, clamped so a bad calibration cannot mask
+  // (or fabricate) an order-of-magnitude regression.
+  double scale = 1.0;
+  if (baseline.calibration > 0.0 && current.calibration > 0.0) {
+    scale = current.calibration / baseline.calibration;
+    scale = std::min(4.0, std::max(0.25, scale));
+  }
+  std::printf("comparing against baseline (machine scale %.2fx, "
+              "threshold %.2fx)\n",
+              scale, max_regress);
+  std::printf("%-24s %12s %12s %8s  %s\n", "bench", "baseline", "current",
+              "ratio", "verdict");
+  int regressions = 0;
+  for (const BenchResult& base : baseline.benches) {
+    const BenchResult* cur = nullptr;
+    for (const BenchResult& c : current.benches) {
+      if (c.name == base.name) {
+        cur = &c;
+        break;
+      }
+    }
+    if (cur == nullptr) {
+      std::printf("%-24s %12.6f %12s %8s  MISSING (not a failure)\n",
+                  base.name.c_str(), base.median, "-", "-");
+      continue;
+    }
+    const double allowed = base.median * scale;
+    const double ratio = allowed > 0.0 ? cur->median / allowed : 0.0;
+    const bool regressed = ratio > max_regress;
+    if (regressed) ++regressions;
+    std::printf("%-24s %12.6f %12.6f %7.2fx  %s\n", base.name.c_str(),
+                base.median, cur->median, ratio,
+                regressed ? "REGRESSED" : "ok");
+  }
+  if (regressions > 0) {
+    std::printf("%d bench(es) regressed beyond %.2fx\n", regressions,
+                max_regress);
+  } else {
+    std::printf("no regressions\n");
+  }
+  return regressions;
+}
+
+const char* const kBenchNames[] = {
+    "fig2_triplestore", "fig4_sat",        "fig6_graphical",
+    "fig8_quantum",     "fig9_quantum",    "table2_planning",
+    "parallel_scaling/seq", "parallel_scaling/tN",
+    "vectorized/row",   "vectorized/vec",
+};
+
+int Run(int argc, char** argv) {
+  std::string out_file = "BENCH_minidb.json";
+  std::string baseline_file;
+  std::string input_file;
+  int repeats = 7;
+  int threads = 4;
+  double max_regress = 1.5;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_file = arg.substr(6);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_file = arg.substr(11);
+    } else if (arg.rfind("--input=", 0) == 0) {
+      input_file = arg.substr(8);
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      const Result<int64_t> n = ParseInt64(arg.substr(10));
+      if (!n.ok() || *n < 1 || *n > 1000) {
+        std::fprintf(stderr, "invalid %s: expected a count in [1, 1000]\n",
+                     arg.c_str());
+        return 2;
+      }
+      repeats = static_cast<int>(*n);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const Result<int64_t> n = ParseInt64(arg.substr(10));
+      if (!n.ok() || *n < 1 || *n > 4096) {
+        std::fprintf(stderr,
+                     "invalid %s: expected a thread count in [1, 4096]\n",
+                     arg.c_str());
+        return 2;
+      }
+      threads = static_cast<int>(*n);
+    } else if (arg.rfind("--max-regress=", 0) == 0) {
+      const Result<double> r = ParseDouble(arg.substr(14));
+      if (!r.ok() || *r < 1.0 || *r > 100.0) {
+        std::fprintf(stderr, "invalid %s: expected a ratio in [1, 100]\n",
+                     arg.c_str());
+        return 2;
+      }
+      max_regress = *r;
+    } else if (arg == "--list") {
+      for (const char* name : kBenchNames) std::printf("%s\n", name);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  LoadedReport current;
+  if (!input_file.empty()) {
+    // Compare-only mode: deterministic, used by the gate's own tests.
+    auto loaded = LoadReport(input_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    current = std::move(*loaded);
+  } else {
+    const double calibration = CalibrationSeconds();
+    std::fprintf(stderr, "calibration: %.3f s\n", calibration);
+    std::vector<BenchResult> benches;
+    auto append_one = [&](Result<BenchResult> r) -> bool {
+      if (!r.ok()) {
+        std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+        return false;
+      }
+      std::fprintf(stderr, "%-24s median %.6f s  (rows %lld)\n",
+                   r->name.c_str(), r->median,
+                   static_cast<long long>(r->rows));
+      benches.push_back(std::move(*r));
+      return true;
+    };
+    auto append_many = [&](Result<std::vector<BenchResult>> r) -> bool {
+      if (!r.ok()) {
+        std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+        return false;
+      }
+      for (BenchResult& b : *r) {
+        std::fprintf(stderr, "%-24s median %.6f s  (rows %lld)\n",
+                     b.name.c_str(), b.median,
+                     static_cast<long long>(b.rows));
+        benches.push_back(std::move(b));
+      }
+      return true;
+    };
+    if (!append_one(BenchFig2(repeats)) || !append_one(BenchFig4(repeats)) ||
+        !append_one(BenchFig6(repeats)) ||
+        !append_one(BenchQuantum("fig8_quantum", 8, 4, repeats)) ||
+        !append_one(BenchQuantum("fig9_quantum", 11, 2, repeats)) ||
+        !append_one(BenchTable2(repeats)) ||
+        !append_many(BenchParallel(repeats, threads)) ||
+        !append_many(BenchVectorized(repeats))) {
+      return 1;
+    }
+    current.calibration = calibration;
+    current.benches = benches;
+    const std::string json =
+        ReportToJson(benches, repeats, threads, calibration);
+    std::ofstream out(out_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_file.c_str());
+      return 1;
+    }
+    out << json;
+    out.close();
+    std::fprintf(stderr, "report written to %s\n", out_file.c_str());
+  }
+
+  if (baseline_file.empty()) return 0;
+  auto baseline = LoadReport(baseline_file);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  return Compare(*baseline, current, max_regress) == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

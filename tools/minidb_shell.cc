@@ -11,6 +11,9 @@
 //   .threads N      run subsequent queries with morsel-driven parallelism
 //                   on N worker threads (0 = hardware concurrency, off =
 //                   back to sequential execution)
+//   .metrics [prom] dump the process-global metrics registry (rows
+//                   scanned, morsels, peak memory, latency histograms)
+//                   as JSON — or Prometheus text with the "prom" argument
 //
 // Usage:
 //   minidb_shell [--optimizer=none|greedy|aggressive|exhaustive]
@@ -37,6 +40,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics.h"
+#include "common/str_util.h"
 #include "common/trace.h"
 #include "minidb/database.h"
 
@@ -110,7 +115,14 @@ int Run(int argc, char** argv) {
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_file = arg.substr(8);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 10);
+      const Result<int64_t> n = ParseInt64(arg.substr(10));
+      if (!n.ok() || *n < 0 || *n > 4096) {
+        std::fprintf(stderr,
+                     "invalid %s: expected a thread count in [0, 4096]\n",
+                     arg.c_str());
+        return 2;
+      }
+      threads = static_cast<int>(*n);
       use_threads = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -161,10 +173,23 @@ int Run(int argc, char** argv) {
       if (command == ".timer") {
         timer = argument != "off";
       } else if (command == ".threads") {
+        const Result<int64_t> n = ParseInt64(argument);
         if (argument == "off") {
           apply_threads(false, 0);
+        } else if (n.ok() && *n >= 0 && *n <= 4096) {
+          apply_threads(true, static_cast<int>(*n));
         } else {
-          apply_threads(true, std::atoi(argument.c_str()));
+          std::fprintf(stderr,
+                       ".threads expects a count in [0, 4096] or 'off'\n");
+          ++failures;
+        }
+      } else if (command == ".metrics") {
+        const MetricsSnapshot snapshot =
+            MetricsRegistry::Default().Snapshot();
+        if (argument == "prom") {
+          std::printf("%s", snapshot.ToPrometheusText().c_str());
+        } else {
+          std::printf("%s\n", snapshot.ToJson().c_str());
         }
       } else {
         std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
