@@ -1,0 +1,42 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace einsql::simd {
+namespace {
+
+#if defined(EINSQL_HAVE_SIMD)
+bool InitialEnabled() {
+  const char* env = std::getenv("MINIDB_NO_SIMD");
+  if (env != nullptr && env[0] == '1' && env[1] == '\0') return false;
+  return true;
+}
+#else
+bool InitialEnabled() { return false; }
+#endif
+
+std::atomic<bool>& Flag() {
+  static std::atomic<bool> flag{InitialEnabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool Enabled() { return Flag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+#if defined(EINSQL_HAVE_SIMD)
+  Flag().store(enabled, std::memory_order_relaxed);
+#else
+  (void)enabled;  // No SIMD support compiled in: the flag stays false.
+#endif
+}
+
+ScopedEnable::ScopedEnable(bool enabled) : previous_(Enabled()) {
+  SetEnabled(enabled);
+}
+
+ScopedEnable::~ScopedEnable() { SetEnabled(previous_); }
+
+}  // namespace einsql::simd

@@ -1,0 +1,111 @@
+// Portable SIMD support for the hot kernels.
+//
+// The engine's vector kernels come in two flavours: a scalar reference
+// implementation (the historical code, kept verbatim) and a SIMD
+// implementation built on the GCC/Clang vector extensions below. Which
+// flavour runs is a *runtime* decision — `einsql::simd::Enabled()` — so a
+// single binary can prove both paths identical (the fuzzer's
+// SimdInvarianceOracle flips the knob per instance; see
+// src/testing/oracles.cc).
+//
+// Policy (see docs/kernels.md for the full statement):
+//  * Vector-extension types (`__attribute__((vector_size(32)))`) rather
+//    than raw intrinsics: they compile on any GCC/Clang target (x86, ARM,
+//    RISC-V) and lower to SSE2/AVX2/NEON as available. On compilers
+//    without the extension the SIMD path is compiled out and Enabled()
+//    is permanently false.
+//  * Every SIMD kernel must be bit-identical to its scalar twin. That
+//    rules out reassociating reductions (aggregates stay scalar) and
+//    anything relying on FMA contraction; kernels are element-wise or
+//    fixed-order only.
+//  * `MINIDB_NO_SIMD=1` in the environment forces the scalar flavour for
+//    the whole process; SetEnabled()/ScopedEnable allow tests and the
+//    fuzzer to toggle it programmatically.
+#ifndef EINSQL_COMMON_SIMD_H_
+#define EINSQL_COMMON_SIMD_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace einsql::simd {
+
+// True when the vector-extension kernels should run. Initialised once from
+// the MINIDB_NO_SIMD environment variable (and from compiler support).
+bool Enabled();
+
+// Force the flavour at runtime (used by the differential fuzzer and the
+// SIMD-vs-scalar unit tests). No-op (stays false) when the build has no
+// vector-extension support.
+void SetEnabled(bool enabled);
+
+// RAII toggle: sets the flavour for a scope, restores on destruction.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool enabled);
+  ~ScopedEnable();
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EINSQL_HAVE_SIMD 1
+
+// The vector helpers below are header-inline only — no 32-byte vector ever
+// crosses a real function-call boundary — so GCC's "AVX vector ... changes
+// the ABI" psabi note does not apply.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+// 256-bit lanes: 4 x int64 / 4 x uint64 / 4 x double. On targets without
+// native 256-bit registers the compiler splits these into two 128-bit ops,
+// which is still branch-free and still beats the scalar loop.
+typedef std::int64_t Vec4i __attribute__((vector_size(32)));
+typedef std::uint64_t Vec4u __attribute__((vector_size(32)));
+typedef double Vec4d __attribute__((vector_size(32)));
+
+static constexpr int kLanes = 4;
+
+// memcpy-based load/store: the column buffers are only guaranteed to be
+// aligned for their element type, not for the vector type.
+inline Vec4i LoadI(const std::int64_t* p) {
+  Vec4i v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline Vec4u LoadU(const std::uint64_t* p) {
+  Vec4u v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline Vec4d LoadD(const double* p) {
+  Vec4d v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void Store(std::int64_t* p, Vec4i v) { std::memcpy(p, &v, sizeof(v)); }
+inline void Store(std::uint64_t* p, Vec4u v) { std::memcpy(p, &v, sizeof(v)); }
+inline void Store(double* p, Vec4d v) { std::memcpy(p, &v, sizeof(v)); }
+
+// Bit-precise reinterpretation between double and uint64 lanes, for masking
+// floating-point results (e.g. zeroing quotients of masked-out divisions)
+// without tripping FP exceptions or UB.
+inline Vec4u BitcastU(Vec4d v) {
+  Vec4u u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+inline Vec4d BitcastD(Vec4u u) {
+  Vec4d v;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+#endif  // __GNUC__ || __clang__
+
+}  // namespace einsql::simd
+
+#endif  // EINSQL_COMMON_SIMD_H_

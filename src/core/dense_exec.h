@@ -13,7 +13,9 @@ namespace einsql {
 /// Executes a contraction program on dense tensors by pairwise contraction,
 /// exactly the strategy of opt_einsum with a NumPy backend: unary steps run
 /// ReduceLabels, pairwise steps run ContractPair. This is the dense
-/// reference backend the paper benchmarks SQL against.
+/// reference backend the paper benchmarks SQL against. Each pairwise step
+/// bottoms out in the cache-blocked GEMM kernel of tensor/gemm.h (register
+/// tiles + packed A panels; see docs/kernels.md for tile sizes).
 template <typename V>
 Result<Dense<V>> ExecuteProgramDense(const ContractionProgram& program,
                                      const std::vector<const Dense<V>*>& inputs);

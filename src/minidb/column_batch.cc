@@ -55,9 +55,17 @@ ColumnVector ColumnVector::FromInts(std::vector<int64_t> data) {
   return col;
 }
 
-ColumnVector ColumnVector::FromRows(const std::vector<Row>& rows,
-                                    int64_t begin, int64_t end, int col) {
-  const int64_t n = end - begin;
+namespace {
+
+using Kind = ColumnVector::Kind;
+
+// Shared transpose body: builds the column from the n row indices produced
+// by `at(j)` (dense iota for a plain morsel, a gather for a selected
+// batch). `at` is an inlineable functor, so the dense instantiation
+// compiles to exactly the historical sequential scan.
+template <typename IndexFn>
+ColumnVector BuildColumn(const std::vector<Row>& rows, int64_t n, int col,
+                         IndexFn at) {
   // Optimistic single pass for the dominant case — an all-int64/NULL
   // column (COO coordinates, join keys). Bails to the classifying
   // two-pass build on the first other storage class; the re-read prefix is
@@ -68,26 +76,26 @@ ColumnVector ColumnVector::FromRows(const std::vector<Row>& rows,
     out.kind = Kind::kInt;
     out.valid.assign(n, 1);
     out.ints.resize(n);
-    int64_t r = begin;
-    for (; r < end; ++r) {
-      const Value& v = rows[r][col];
+    int64_t j = 0;
+    for (; j < n; ++j) {
+      const Value& v = rows[at(j)][col];
       if (const int64_t* i = std::get_if<int64_t>(&v)) {
-        out.ints[r - begin] = *i;
+        out.ints[j] = *i;
         continue;
       }
       if (IsNull(v)) {
-        out.ints[r - begin] = 0;
-        out.valid[r - begin] = 0;
+        out.ints[j] = 0;
+        out.valid[j] = 0;
         continue;
       }
       break;
     }
-    if (r == end) return out;
+    if (j == n) return out;
   }
   // First pass: classify the storage classes actually present.
   bool has_int = false, has_double = false, has_text = false;
-  for (int64_t r = begin; r < end; ++r) {
-    switch (TypeOf(rows[r][col])) {
+  for (int64_t j = 0; j < n; ++j) {
+    switch (TypeOf(rows[at(j)][col])) {
       case ValueType::kNull:
         break;
       case ValueType::kInt:
@@ -109,9 +117,9 @@ ColumnVector ColumnVector::FromRows(const std::vector<Row>& rows,
     // Mixed storage classes: keep the variants.
     out.kind = Kind::kValue;
     out.values.reserve(n);
-    for (int64_t r = begin; r < end; ++r) {
-      const Value& v = rows[r][col];
-      if (IsNull(v)) out.valid[r - begin] = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      const Value& v = rows[at(j)][col];
+      if (IsNull(v)) out.valid[j] = 0;
       out.values.push_back(v);
     }
     return out;
@@ -119,12 +127,12 @@ ColumnVector ColumnVector::FromRows(const std::vector<Row>& rows,
   if (has_double) {
     out.kind = Kind::kDouble;
     out.doubles.assign(n, 0.0);
-    for (int64_t r = begin; r < end; ++r) {
-      const Value& v = rows[r][col];
+    for (int64_t j = 0; j < n; ++j) {
+      const Value& v = rows[at(j)][col];
       if (const double* d = std::get_if<double>(&v)) {
-        out.doubles[r - begin] = *d;
+        out.doubles[j] = *d;
       } else {
-        out.valid[r - begin] = 0;
+        out.valid[j] = 0;
       }
     }
     return out;
@@ -132,12 +140,12 @@ ColumnVector ColumnVector::FromRows(const std::vector<Row>& rows,
   if (has_text) {
     out.kind = Kind::kText;
     out.texts.assign(n, std::string());
-    for (int64_t r = begin; r < end; ++r) {
-      const Value& v = rows[r][col];
+    for (int64_t j = 0; j < n; ++j) {
+      const Value& v = rows[at(j)][col];
       if (const std::string* s = std::get_if<std::string>(&v)) {
-        out.texts[r - begin] = *s;
+        out.texts[j] = *s;
       } else {
-        out.valid[r - begin] = 0;
+        out.valid[j] = 0;
       }
     }
     return out;
@@ -145,15 +153,30 @@ ColumnVector ColumnVector::FromRows(const std::vector<Row>& rows,
   // All int or all NULL.
   out.kind = Kind::kInt;
   out.ints.assign(n, 0);
-  for (int64_t r = begin; r < end; ++r) {
-    const Value& v = rows[r][col];
+  for (int64_t j = 0; j < n; ++j) {
+    const Value& v = rows[at(j)][col];
     if (const int64_t* i = std::get_if<int64_t>(&v)) {
-      out.ints[r - begin] = *i;
+      out.ints[j] = *i;
     } else {
-      out.valid[r - begin] = 0;
+      out.valid[j] = 0;
     }
   }
   return out;
+}
+
+}  // namespace
+
+ColumnVector ColumnVector::FromRows(const std::vector<Row>& rows,
+                                    int64_t begin, int64_t end, int col) {
+  return BuildColumn(rows, end - begin, col,
+                     [begin](int64_t j) { return begin + j; });
+}
+
+ColumnVector ColumnVector::FromRows(const std::vector<Row>& rows,
+                                    int64_t begin, const SelVector& sel,
+                                    int col) {
+  return BuildColumn(rows, sel.size(), col,
+                     [begin, &sel](int64_t j) { return begin + sel.idx[j]; });
 }
 
 const ColumnVector& ColumnBatch::Column(int slot) const {
@@ -162,7 +185,8 @@ const ColumnVector& ColumnBatch::Column(int slot) const {
   }
   if (columns_[slot] == nullptr) {
     columns_[slot] = std::make_unique<ColumnVector>(
-        ColumnVector::FromRows(*rows_, begin_, end_, slot));
+        sel_ ? ColumnVector::FromRows(*rows_, begin_, *sel_, slot)
+             : ColumnVector::FromRows(*rows_, begin_, end_, slot));
   }
   return *columns_[slot];
 }

@@ -11,6 +11,8 @@
 
 namespace einsql::minidb {
 
+struct SelVector;  // defined below
+
 /// One column of a batch in columnar form: a typed data vector plus a
 /// validity byte-map (1 = non-NULL). The representation is chosen per batch
 /// from the values actually present, never from declared types alone:
@@ -52,6 +54,24 @@ struct ColumnVector {
   /// scanning the actual values to pick the tightest representation.
   static ColumnVector FromRows(const std::vector<Row>& rows, int64_t begin,
                                int64_t end, int col);
+
+  /// Gathering variant: builds the column from rows begin + sel.idx[j],
+  /// j in [0, sel.size()) — the transpose of a selected batch.
+  static ColumnVector FromRows(const std::vector<Row>& rows, int64_t begin,
+                               const SelVector& sel, int col);
+};
+
+/// A selection vector: the batch-relative indices of rows that survived a
+/// filter step, in ascending order. Kernels never consume a SelVector
+/// directly — batches gather (compact) the selected rows at transpose
+/// time, so every kernel runs full-occupancy over dense lanes and the
+/// gather doubles as the materialize-on-demand escape hatch for row-path
+/// fallback (docs/kernels.md).
+struct SelVector {
+  std::vector<int32_t> idx;
+
+  int64_t size() const { return static_cast<int64_t>(idx.size()); }
+  bool empty() const { return idx.empty(); }
 };
 
 /// A columnar view of one morsel of a row relation: rows [begin, end) of
@@ -63,25 +83,40 @@ struct ColumnVector {
 /// each worker builds a batch for its morsel; sequential execution is the
 /// degenerate one-batch-spanning-the-input case, mirroring the morsel
 /// model (docs/parallelism.md).
+///
+/// A batch may additionally carry a SelVector (selected form): it then
+/// presents only rows begin + sel[i], densely renumbered 0..sel.size().
+/// Transposition gathers exactly the selected rows, so downstream kernels
+/// are selection-agnostic. The SelVector must outlive the batch.
 class ColumnBatch {
  public:
   ColumnBatch(const std::vector<Row>& rows, int64_t begin, int64_t end)
       : rows_(&rows), begin_(begin), end_(end) {}
+  ColumnBatch(const std::vector<Row>& rows, int64_t begin, int64_t end,
+              const SelVector* sel)
+      : rows_(&rows), begin_(begin), end_(end), sel_(sel) {}
 
-  int64_t num_rows() const { return end_ - begin_; }
+  int64_t num_rows() const { return sel_ ? sel_->size() : end_ - begin_; }
   int64_t begin_row() const { return begin_; }
   const std::vector<Row>& rows() const { return *rows_; }
 
-  /// The column for input slot `slot`, transposing it on first use.
-  /// The reference stays valid for the lifetime of the batch. Logically
-  /// const (the cache is an implementation detail), but not thread-safe:
-  /// a batch belongs to exactly one morsel worker.
+  /// Absolute index (into rows()) of batch row `i`.
+  int64_t RowAt(int64_t i) const {
+    return sel_ ? begin_ + sel_->idx[i] : begin_ + i;
+  }
+
+  /// The column for input slot `slot`, transposing (and, in selected form,
+  /// gathering) it on first use. The reference stays valid for the
+  /// lifetime of the batch. Logically const (the cache is an
+  /// implementation detail), but not thread-safe: a batch belongs to
+  /// exactly one morsel worker.
   const ColumnVector& Column(int slot) const;
 
  private:
   const std::vector<Row>* rows_;
   int64_t begin_;
   int64_t end_;
+  const SelVector* sel_ = nullptr;
   // Per slot, lazily transposed.
   mutable std::vector<std::unique_ptr<ColumnVector>> columns_;
 };

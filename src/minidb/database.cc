@@ -14,13 +14,17 @@ Database::Database(PlannerOptions options) : options_(options) {
   // MINIDB_PARALLEL=<threads> force-enables morsel-driven execution for
   // every Database instance — the hook CI uses to run the whole test suite
   // under ThreadSanitizer with parallelism on. MINIDB_MORSEL_ROWS
-  // optionally shrinks morsels so small test inputs still split.
+  // optionally shrinks morsels so small test inputs still split. The hook
+  // also pins the faithful morsel policy (adaptive_parallelism off):
+  // forced parallelism exists to exercise the fixed-size morsel machinery
+  // on small inputs, which the adaptive planner would collapse away.
   if (const char* env = std::getenv("MINIDB_PARALLEL")) {
     const int threads = std::atoi(env);
     if (threads > 0) {
       executor_options_.parallel_operators = true;
       executor_options_.parallel_ctes = true;
       executor_options_.num_threads = threads;
+      executor_options_.adaptive_parallelism = false;
     }
   }
   if (const char* env = std::getenv("MINIDB_MORSEL_ROWS")) {

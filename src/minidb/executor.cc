@@ -11,6 +11,8 @@
 #include "minidb/column_batch.h"
 #include "minidb/expr_eval.h"
 #include "minidb/expr_eval_vec.h"
+#include "minidb/flat_index.h"
+#include "minidb/join_table.h"
 #include "minidb/vector_ops.h"
 
 namespace einsql::minidb {
@@ -28,6 +30,28 @@ using RelationPtr = std::shared_ptr<const Relation>;
 /// changes results — it is invisible to the morsel-level determinism
 /// contract.
 constexpr int64_t kVecChunkRows = 2048;
+
+/// Adaptive morsel planning (ExecutorOptions::adaptive_parallelism): a
+/// worker is only "useful" if it gets at least this many rows — below
+/// that, thread spawn and work-stealing bookkeeping cost more than the
+/// work itself.
+constexpr int64_t kMinRowsPerWorker = 8192;
+/// And each useful worker should see a handful of morsels, enough for the
+/// atomic-counter scheduler to balance skew without drowning in per-morsel
+/// state.
+constexpr int64_t kMorselsPerWorker = 4;
+
+// Flattens the top-level AND chain of a predicate into its conjuncts, in
+// left-to-right evaluation order. A non-AND predicate is its own single
+// conjunct.
+void CollectConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == ExprKind::kBinary && expr.binary_op == BinaryOp::kAnd) {
+    CollectConjuncts(*expr.left, out);
+    CollectConjuncts(*expr.right, out);
+    return;
+  }
+  out->push_back(&expr);
+}
 
 /// Process-global engine counters, looked up once and cached so the hot
 /// path pays a pointer dereference plus a relaxed atomic op.
@@ -187,19 +211,54 @@ class Executor {
                      std::max(1u, std::thread::hardware_concurrency()));
   }
 
-  MorselPlan PlanMorsels(int64_t num_rows) const {
+  // `order_preserving` marks operators whose per-morsel results concatenate
+  // without any merge (filter/project/join): for those, morsel boundaries
+  // are invisible in the output, so the adaptive policy may collapse them
+  // freely. Aggregates pass false — their double SUM/AVG partial-sum
+  // grouping is part of the result contract and must not depend on the
+  // scheduling decision of the day.
+  MorselPlan PlanMorsels(int64_t num_rows, bool order_preserving) const {
     MorselPlan plan;
-    plan.morsel_rows = options_.parallel_operators
-                           ? std::max<int64_t>(1, options_.morsel_rows)
-                           : std::max<int64_t>(1, num_rows);
+    if (!options_.parallel_operators) {
+      plan.morsel_rows = std::max<int64_t>(1, num_rows);
+      plan.num_morsels = num_rows == 0 ? 0 : 1;
+      plan.threads = 1;
+      return plan;
+    }
+    if (!options_.adaptive_parallelism) {
+      // Faithful policy: fixed-size morsels, exactly the requested workers.
+      plan.morsel_rows = std::max<int64_t>(1, options_.morsel_rows);
+      plan.num_morsels =
+          num_rows == 0 ? 0
+                        : (num_rows + plan.morsel_rows - 1) / plan.morsel_rows;
+      plan.threads = static_cast<int>(std::min<int64_t>(
+          WorkerCount(), std::max<int64_t>(1, plan.num_morsels)));
+      return plan;
+    }
+    // Adaptive policy. Everything that shapes morsel *boundaries* below
+    // depends only on the machine (hardware concurrency) and the input
+    // size — never on num_threads — so the "same result for any thread
+    // count" guarantee survives: threads only changes who runs a morsel.
+    const int64_t hw = static_cast<int64_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    const int64_t useful = std::min(
+        hw, std::max<int64_t>(1, num_rows / kMinRowsPerWorker));
+    const int64_t target_morsels =
+        useful == 1 ? 1 : kMorselsPerWorker * useful;
+    plan.morsel_rows = std::max<int64_t>(
+        std::max<int64_t>(1, options_.morsel_rows),
+        (num_rows + target_morsels - 1) / std::max<int64_t>(1, target_morsels));
+    if (order_preserving && useful == 1) {
+      // One useful worker and no merge sensitivity: one input-spanning
+      // morsel skips all per-morsel bookkeeping.
+      plan.morsel_rows = std::max<int64_t>(1, num_rows);
+    }
     plan.num_morsels =
         num_rows == 0 ? 0
                       : (num_rows + plan.morsel_rows - 1) / plan.morsel_rows;
-    plan.threads =
-        options_.parallel_operators
-            ? static_cast<int>(std::min<int64_t>(
-                  WorkerCount(), std::max<int64_t>(1, plan.num_morsels)))
-            : 1;
+    plan.threads = static_cast<int>(std::min<int64_t>(
+        std::min<int64_t>(WorkerCount(), useful),
+        std::max<int64_t>(1, plan.num_morsels)));
     return plan;
   }
 
@@ -553,9 +612,16 @@ class Executor {
     EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = input->columns;
-    const MorselPlan plan = PlanMorsels(input->num_rows());
+    const MorselPlan plan = PlanMorsels(input->num_rows(), true);
     std::vector<std::vector<Row>> parts(plan.num_morsels);
     const bool vec = options_.vectorized && CanVectorizeExpr(*node.predicate);
+    // The predicate's top-level AND chain, evaluated conjunct by conjunct
+    // over a shrinking selection vector. Legal because a 3VL AND chain is
+    // truthy iff every conjunct is truthy (FALSE and NULL both reject), and
+    // it strictly *reduces* spurious eager-evaluation errors: a conjunct is
+    // never evaluated on a row an earlier conjunct already rejected.
+    std::vector<const Expr*> conjuncts;
+    if (vec) CollectConjuncts(*node.predicate, &conjuncts);
     std::atomic<int64_t> vec_fallbacks{0};
     EINSQL_RETURN_IF_ERROR(RunMorsels(
         input->num_rows(), plan, "filter morsel", op_span,
@@ -563,32 +629,45 @@ class Executor {
           std::vector<Row>& local = parts[m];
           if (vec) {
             bool chunks_ok = true;
-            for (int64_t cb = begin; cb < end; cb += kVecChunkRows) {
+            for (int64_t cb = begin; cb < end && chunks_ok;
+                 cb += kVecChunkRows) {
               const int64_t ce = std::min(end, cb + kVecChunkRows);
-              ColumnBatch batch(input->rows, cb, ce);
-              VecEvaluator eval(&batch);
-              auto cond = eval.Evaluate(*node.predicate);
-              if (!cond.ok()) {
-                chunks_ok = false;
-                break;
+              // Conjunct 1 runs on the full chunk and builds the selection
+              // vector; each later conjunct runs on a batch that gathers
+              // only the still-selected rows and refines the selection in
+              // place. Kernels stay selection-agnostic: gathering at
+              // transpose time keeps every batch full-occupancy.
+              SelVector sel;
+              bool have_sel = false;
+              for (size_t c = 0; c < conjuncts.size(); ++c) {
+                if (have_sel && sel.empty()) break;
+                ColumnBatch batch =
+                    have_sel ? ColumnBatch(input->rows, cb, ce, &sel)
+                             : ColumnBatch(input->rows, cb, ce);
+                VecEvaluator eval(&batch);
+                auto cond = eval.Evaluate(*conjuncts[c]);
+                if (!cond.ok()) {
+                  chunks_ok = false;
+                  break;
+                }
+                if (!have_sel) {
+                  sel = BuildSelection(**cond);
+                  have_sel = true;
+                } else {
+                  RefineSelection(**cond, &sel);
+                }
               }
-              const ColumnVector& keep = **cond;
+              if (!chunks_ok) break;
               // The selection vector is fully known before any row is
               // emitted, so the output buffer can be sized exactly — an
               // advantage tuple-at-a-time evaluation cannot have.
-              int64_t selected = 0;
-              for (int64_t r = cb; r < ce; ++r) {
-                if (TruthyAt(keep, r - cb)) ++selected;
-              }
-              const size_t needed = local.size() + selected;
+              const size_t needed = local.size() + sel.size();
               if (local.capacity() < needed) {
                 // Keep growth geometric: a bare reserve(needed) every chunk
                 // would reallocate per chunk.
                 local.reserve(std::max(needed, 2 * local.capacity()));
               }
-              for (int64_t r = cb; r < ce; ++r) {
-                if (TruthyAt(keep, r - cb)) local.push_back(input->rows[r]);
-              }
+              for (int32_t r : sel.idx) local.push_back(input->rows[cb + r]);
             }
             if (chunks_ok) return Status::OK();
             // Eager evaluation error: the row path decides whether it is
@@ -616,7 +695,7 @@ class Executor {
     EINSQL_ASSIGN_OR_RETURN(RelationPtr input, ExecuteChild(node, 0, prof));
     auto out = std::make_shared<Relation>();
     out->columns = SchemaColumns(node.schema);
-    const MorselPlan plan = PlanMorsels(input->num_rows());
+    const MorselPlan plan = PlanMorsels(input->num_rows(), true);
     std::vector<std::vector<Row>> parts(plan.num_morsels);
     bool vec = options_.vectorized;
     for (const auto& expr : node.exprs) {
@@ -693,7 +772,7 @@ class Executor {
     out->columns = left->columns;
     out->columns.insert(out->columns.end(), right->columns.begin(),
                         right->columns.end());
-    const MorselPlan plan = PlanMorsels(left->num_rows());
+    const MorselPlan plan = PlanMorsels(left->num_rows(), true);
     std::vector<std::vector<Row>> parts(plan.num_morsels);
 
     // Emits l⋈r into the morsel-local buffer when the residual predicate
@@ -741,8 +820,6 @@ class Executor {
 
     // --- typed path ---
     if (node.typed_int_keys) {
-      std::unordered_map<size_t, std::vector<int64_t>> buckets;
-      buckets.reserve(right->rows.size() * 2);
       std::vector<int64_t> build_keys;   // arity ints per entry
       std::vector<int64_t> build_rows;   // right-row index per entry
       build_keys.reserve(right->rows.size() * arity);
@@ -762,8 +839,6 @@ class Executor {
           for (int64_t r = 0; r < n; ++r) {
             if (classes[r] != KeyRowClass::kOk) continue;  // NULL key
             const int64_t* key = keys.data() + r * arity;
-            buckets[HashIntKey(key, arity)].push_back(
-                static_cast<int64_t>(build_rows.size()));
             build_keys.insert(build_keys.end(), key, key + arity);
             build_rows.push_back(r);
           }
@@ -778,13 +853,18 @@ class Executor {
             typed_ok = false;
             break;
           }
-          buckets[HashIntKey(key.data(), arity)].push_back(
-              static_cast<int64_t>(build_rows.size()));
           build_keys.insert(build_keys.end(), key.begin(), key.end());
           build_rows.push_back(r);
         }
       }
       if (typed_ok) {
+        // The build side picks its own layout from the key statistics:
+        // direct addressing when the key space is dense enough (the einsum
+        // case — index columns spanning 0..N-1), radix-partitioned
+        // chaining otherwise. Both enumerate matches in build order, so
+        // the output is row-identical to the old bucket-vector scheme.
+        IntKeyJoinTable table(build_keys.data(),
+                              static_cast<int64_t>(build_rows.size()), arity);
         const int64_t hash_bytes = ApproxHashTableBytes(
             static_cast<int64_t>(build_rows.size()),
             static_cast<int64_t>(arity) * 8);
@@ -793,20 +873,9 @@ class Executor {
         // Emits every build match of probe key `probe` for left row `l`.
         auto probe_one = [&](const Row& l, const int64_t* probe,
                              std::vector<Row>* local) -> Status {
-          auto it = buckets.find(HashIntKey(probe, arity));
-          if (it == buckets.end()) return Status::OK();
-          for (int64_t entry : it->second) {
-            const int64_t* ek = build_keys.data() + entry * arity;
-            bool match = true;
-            for (size_t k = 0; k < arity && match; ++k) {
-              match = ek[k] == probe[k];
-            }
-            if (match) {
-              EINSQL_RETURN_IF_ERROR(
-                  emit(l, right->rows[build_rows[entry]], local));
-            }
-          }
-          return Status::OK();
+          return table.ForEachMatch(probe, [&](int64_t entry) -> Status {
+            return emit(l, right->rows[build_rows[entry]], local);
+          });
         };
         EINSQL_RETURN_IF_ERROR(RunMorsels(
             left->num_rows(), plan, "join morsel", op_span,
@@ -948,11 +1017,12 @@ class Executor {
   // aggregation kernels so the two paths cannot drift apart.
 
   // Partial aggregation state of one morsel (or, after merging, of the
-  // whole input). Groups are stored in first-occurrence order; `buckets`
-  // maps a key hash to candidate group indices. Exactly one of
-  // `keys`/`int_keys` is populated depending on the key representation.
+  // whole input). Groups are stored in first-occurrence order; `index`
+  // maps a key hash to the group id (open addressing — key storage and
+  // equality stay here). Exactly one of `keys`/`int_keys` is populated
+  // depending on the key representation.
   struct GroupTable {
-    std::unordered_map<size_t, std::vector<int64_t>> buckets;
+    FlatIndex index;
     std::vector<std::vector<Value>> keys;  // generic path
     std::vector<int64_t> int_keys;         // typed path, arity per group
     std::vector<Row> representatives;
@@ -967,40 +1037,44 @@ class Executor {
                                    const std::vector<Value>& key,
                                    const Row& representative,
                                    size_t num_accumulators) {
-    std::vector<int64_t>& bucket = table->buckets[HashRowKey(key)];
-    for (int64_t candidate : bucket) {
-      const std::vector<Value>& existing = table->keys[candidate];
-      bool same = existing.size() == key.size();
-      for (size_t k = 0; k < key.size() && same; ++k) {
-        same = CompareValues(existing[k], key[k]) == 0;
-      }
-      if (same) return candidate;
+    const int64_t next = static_cast<int64_t>(table->size());
+    const int64_t g = table->index.FindOrInsert(
+        HashRowKey(key), next, [&](int64_t candidate) {
+          const std::vector<Value>& existing = table->keys[candidate];
+          bool same = existing.size() == key.size();
+          for (size_t k = 0; k < key.size() && same; ++k) {
+            same = CompareValues(existing[k], key[k]) == 0;
+          }
+          return same;
+        });
+    if (g == next) {
+      table->keys.push_back(key);
+      table->representatives.push_back(representative);
+      table->accumulators.emplace_back(num_accumulators);
     }
-    const int64_t index = static_cast<int64_t>(table->size());
-    bucket.push_back(index);
-    table->keys.push_back(key);
-    table->representatives.push_back(representative);
-    table->accumulators.emplace_back(num_accumulators);
-    return index;
+    return g;
   }
 
   static int64_t FindOrCreateTypedGroup(GroupTable* table, const int64_t* key,
                                         size_t arity,
                                         const Row& representative,
                                         size_t num_accumulators) {
-    std::vector<int64_t>& bucket = table->buckets[HashIntKey(key, arity)];
-    for (int64_t candidate : bucket) {
-      const int64_t* existing = table->int_keys.data() + candidate * arity;
-      bool same = true;
-      for (size_t k = 0; k < arity && same; ++k) same = existing[k] == key[k];
-      if (same) return candidate;
+    const int64_t next = static_cast<int64_t>(table->size());
+    const int64_t g = table->index.FindOrInsert(
+        HashIntKey(key, arity), next, [&](int64_t candidate) {
+          const int64_t* existing = table->int_keys.data() + candidate * arity;
+          bool same = true;
+          for (size_t k = 0; k < arity && same; ++k) {
+            same = existing[k] == key[k];
+          }
+          return same;
+        });
+    if (g == next) {
+      table->int_keys.insert(table->int_keys.end(), key, key + arity);
+      table->representatives.push_back(representative);
+      table->accumulators.emplace_back(num_accumulators);
     }
-    const int64_t index = static_cast<int64_t>(table->size());
-    bucket.push_back(index);
-    table->int_keys.insert(table->int_keys.end(), key, key + arity);
-    table->representatives.push_back(representative);
-    table->accumulators.emplace_back(num_accumulators);
-    return index;
+    return g;
   }
 
   // Generic per-morsel aggregation build (Value keys).
@@ -1213,7 +1287,7 @@ class Executor {
     for (const auto& expr : node.exprs) CollectAggregates(*expr, &agg_calls);
     if (node.predicate) CollectAggregates(*node.predicate, &agg_calls);
 
-    const MorselPlan plan = PlanMorsels(input->num_rows());
+    const MorselPlan plan = PlanMorsels(input->num_rows(), false);
     const size_t arity = node.group_exprs.size();
     std::vector<GroupTable> parts(plan.num_morsels);
     const bool vec =
@@ -1271,17 +1345,50 @@ class Executor {
         continue;
       }
       for (size_t g = 0; g < part.size(); ++g) {
-        const int64_t target =
-            typed ? FindOrCreateTypedGroup(&merged,
-                                           part.int_keys.data() + g * arity,
-                                           arity, part.representatives[g],
-                                           agg_calls.size())
-                  : FindOrCreateGroup(&merged, part.keys[g],
-                                      part.representatives[g],
-                                      agg_calls.size());
+        // Inline find-or-create: a group first seen in this morsel adopts
+        // the morsel's key, representative, and accumulator state by move.
+        // Bit-identical to merging into fresh accumulators (for an empty
+        // target MergeAggAccumulator adopts `from` unchanged) but without
+        // the per-accumulator copies.
+        const int64_t next = static_cast<int64_t>(merged.size());
+        int64_t target;
+        if (typed) {
+          const int64_t* key = part.int_keys.data() + g * arity;
+          target = merged.index.FindOrInsert(
+              HashIntKey(key, arity), next, [&](int64_t candidate) {
+                const int64_t* existing =
+                    merged.int_keys.data() + candidate * arity;
+                bool same = true;
+                for (size_t k = 0; k < arity && same; ++k) {
+                  same = existing[k] == key[k];
+                }
+                return same;
+              });
+          if (target == next) {
+            merged.int_keys.insert(merged.int_keys.end(), key, key + arity);
+          }
+        } else {
+          std::vector<Value>& key = part.keys[g];
+          target = merged.index.FindOrInsert(
+              HashRowKey(key), next, [&](int64_t candidate) {
+                const std::vector<Value>& existing = merged.keys[candidate];
+                bool same = existing.size() == key.size();
+                for (size_t k = 0; k < key.size() && same; ++k) {
+                  same = CompareValues(existing[k], key[k]) == 0;
+                }
+                return same;
+              });
+          if (target == next) merged.keys.push_back(std::move(key));
+        }
+        if (target == next) {
+          merged.representatives.push_back(
+              std::move(part.representatives[g]));
+          merged.accumulators.push_back(std::move(part.accumulators[g]));
+          continue;
+        }
         for (size_t a = 0; a < agg_calls.size(); ++a) {
           MergeAggAccumulator(&merged.accumulators[target][a],
-                           part.accumulators[g][a]);
+                              part.accumulators[g][a]);
         }
       }
     }
@@ -1392,8 +1499,7 @@ class Executor {
 
     // Typed path: all columns declared kInt — dedup on packed int64 rows.
     if (node.typed_int_keys) {
-      std::unordered_map<size_t, std::vector<int64_t>> seen;
-      seen.reserve(input->rows.size() * 2);
+      FlatIndex seen(input->rows.size());
       std::vector<int64_t> kept_keys;  // num_columns ints per kept row
       const size_t arity = input->columns.size();
       std::vector<int64_t> key(arity);
@@ -1411,19 +1517,17 @@ class Executor {
           typed_ok = false;
           break;
         }
-        std::vector<int64_t>& bucket = seen[HashIntKey(key.data(), arity)];
-        bool duplicate = false;
-        for (int64_t candidate : bucket) {
-          const int64_t* existing = kept_keys.data() + candidate * arity;
-          bool same = true;
-          for (size_t k = 0; k < arity && same; ++k) {
-            same = existing[k] == key[k];
-          }
-          duplicate = same;
-          if (duplicate) break;
-        }
-        if (duplicate) continue;
-        bucket.push_back(static_cast<int64_t>(out->rows.size()));
+        const int64_t next = static_cast<int64_t>(out->rows.size());
+        const int64_t id = seen.FindOrInsert(
+            HashIntKey(key.data(), arity), next, [&](int64_t candidate) {
+              const int64_t* existing = kept_keys.data() + candidate * arity;
+              bool same = true;
+              for (size_t k = 0; k < arity && same; ++k) {
+                same = existing[k] == key[k];
+              }
+              return same;
+            });
+        if (id != next) continue;  // duplicate
         kept_keys.insert(kept_keys.end(), key.begin(), key.end());
         out->rows.push_back(row);
       }
@@ -1435,22 +1539,19 @@ class Executor {
     // chain (NULLs compare equal, int/double compare numerically — the
     // same semantics as the former ordered-map implementation, without its
     // O(n log n) variant comparisons).
-    std::unordered_map<size_t, std::vector<int64_t>> seen;
-    seen.reserve(input->rows.size() * 2);
+    FlatIndex seen(input->rows.size());
     for (const Row& row : input->rows) {
-      std::vector<int64_t>& bucket = seen[HashRowKey(row)];
-      bool duplicate = false;
-      for (int64_t candidate : bucket) {
-        const Row& existing = out->rows[candidate];
-        bool same = existing.size() == row.size();
-        for (size_t k = 0; k < row.size() && same; ++k) {
-          same = CompareValues(existing[k], row[k]) == 0;
-        }
-        duplicate = same;
-        if (duplicate) break;
-      }
-      if (duplicate) continue;
-      bucket.push_back(static_cast<int64_t>(out->rows.size()));
+      const int64_t next = static_cast<int64_t>(out->rows.size());
+      const int64_t id = seen.FindOrInsert(
+          HashRowKey(row), next, [&](int64_t candidate) {
+            const Row& existing = out->rows[candidate];
+            bool same = existing.size() == row.size();
+            for (size_t k = 0; k < row.size() && same; ++k) {
+              same = CompareValues(existing[k], row[k]) == 0;
+            }
+            return same;
+          });
+      if (id != next) continue;  // duplicate
       out->rows.push_back(row);
     }
     return RelationPtr(out);

@@ -35,6 +35,22 @@ struct ExecutorOptions {
   /// per-morsel partial sums, so changing morsel_rows (unlike num_threads)
   /// may perturb double SUM/AVG results in the last ulp.
   int64_t morsel_rows = 16384;
+  /// Machine-adaptive morsel planning (default on, only meaningful with
+  /// `parallel_operators`). The planner bounds useful workers by the
+  /// hardware concurrency and by one worker per ~8k input rows, widens
+  /// morsels so each useful worker gets a handful of them (rather than
+  /// splitting tiny inputs into many fixed-size morsels), and — when only
+  /// one worker is useful — collapses order-preserving operators to a
+  /// single input-spanning morsel. The effective morsel size depends only
+  /// on the machine and the input size, never on `num_threads`, so the
+  /// thread-count determinism guarantee above still holds; but unlike the
+  /// faithful policy it is machine-dependent, so double SUM/AVG results
+  /// may differ across machines in the last ulp. Set to false for the
+  /// faithful policy: exactly `num_threads` workers over fixed
+  /// `morsel_rows` morsels regardless of machine or input (the TSan CI
+  /// job and the parallel unit tests rely on it, and it keeps
+  /// morsel-boundary-sensitive results machine-independent).
+  bool adaptive_parallelism = true;
   /// Column-at-a-time (vectorized) execution: filter predicates, projection
   /// arithmetic, aggregation, and typed join-key extraction run as
   /// column kernels over one batch per morsel instead of row-at-a-time

@@ -1,0 +1,82 @@
+#ifndef EINSQL_MINIDB_FLAT_INDEX_H_
+#define EINSQL_MINIDB_FLAT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace einsql::minidb {
+
+/// Open-addressing hash index from a caller-computed hash to a dense id
+/// (a group index, a kept-distinct-row index, ...). Replaces the
+/// `unordered_map<size_t, vector<int64_t>> buckets` scheme in the group
+/// and distinct operators: one flat array of (hash, id) slots with linear
+/// probing — no per-bucket vector allocations, one cache line per probe
+/// step, and candidate chains that are just consecutive slots.
+///
+/// The index stores ids only; key storage and key equality stay with the
+/// caller (`eq(id)` answers "does the key behind `id` equal the probe
+/// key?"). Ids handed to FindOrInsert must be dense and ascending — the
+/// standard use is `FindOrInsert(h, next_dense_id, eq)` which either
+/// returns an existing id or adopts the new one, preserving
+/// first-occurrence order exactly like the bucket scheme it replaces.
+class FlatIndex {
+ public:
+  FlatIndex() { Reset(16); }
+  explicit FlatIndex(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap *= 2;
+    Reset(cap);
+  }
+
+  int64_t size() const { return size_; }
+
+  /// Returns the id previously inserted under an equal key (same `hash`
+  /// and `eq(id)` true), or inserts `new_id` and returns it.
+  template <typename Eq>
+  int64_t FindOrInsert(size_t hash, int64_t new_id, const Eq& eq) {
+    size_t i = hash & mask_;
+    while (ids_[i] != kEmpty) {
+      if (hashes_[i] == hash && eq(ids_[i])) return ids_[i];
+      i = (i + 1) & mask_;
+    }
+    ids_[i] = new_id;
+    hashes_[i] = hash;
+    ++size_;
+    if (static_cast<size_t>(size_) * 4 > ids_.size() * 3) Grow();
+    return new_id;
+  }
+
+ private:
+  static constexpr int64_t kEmpty = -1;
+
+  void Reset(size_t capacity) {  // capacity must be a power of two
+    ids_.assign(capacity, kEmpty);
+    hashes_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    size_ = 0;
+  }
+
+  void Grow() {
+    std::vector<int64_t> old_ids = std::move(ids_);
+    std::vector<size_t> old_hashes = std::move(hashes_);
+    Reset(old_ids.size() * 2);
+    for (size_t i = 0; i < old_ids.size(); ++i) {
+      if (old_ids[i] == kEmpty) continue;
+      size_t j = old_hashes[i] & mask_;
+      while (ids_[j] != kEmpty) j = (j + 1) & mask_;
+      ids_[j] = old_ids[i];
+      hashes_[j] = old_hashes[i];
+      ++size_;
+    }
+  }
+
+  std::vector<int64_t> ids_;
+  std::vector<size_t> hashes_;
+  size_t mask_ = 0;
+  int64_t size_ = 0;
+};
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_FLAT_INDEX_H_

@@ -1,0 +1,116 @@
+#include "minidb/join_table.h"
+
+#include <algorithm>
+
+namespace einsql::minidb {
+
+namespace {
+
+// Upper bounds for the direct-address layout. The floor lets small builds
+// (the common einsum case: a few thousand entries over dense dimensions)
+// use direct addressing even when the key space is larger than 2n; the
+// ceiling caps the slot array at 2^22 entries (16 MiB of int32 heads) no
+// matter how many entries there are.
+constexpr uint64_t kDirectFloorSlots = 65536;
+constexpr uint64_t kDirectCeilSlots = uint64_t{1} << 22;
+
+}  // namespace
+
+IntKeyJoinTable::IntKeyJoinTable(const int64_t* keys, int64_t num_entries,
+                                 size_t arity)
+    : arity_(arity), num_entries_(num_entries) {
+  if (num_entries == 0) {
+    // Empty build side: a one-bucket radix table probes safely (every
+    // probe scans an empty range) without touching the key array at all.
+    strategy_ = Strategy::kRadixChained;
+    mask_ = 0;
+    bucket_start_.assign(2, 0);
+    return;
+  }
+  // Pass 1: per-column min/max. These statistics pick the layout; for the
+  // direct layout they also *are* the hash function.
+  mins_.assign(arity, 0);
+  std::vector<int64_t> maxs(arity, 0);
+  for (size_t k = 0; k < arity; ++k) {
+    int64_t lo = keys[k], hi = keys[k];
+    for (int64_t e = 1; e < num_entries; ++e) {
+      const int64_t v = keys[e * arity + k];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    mins_[k] = lo;
+    maxs[k] = hi;
+  }
+
+  // Key-space volume in uint64 (difference arithmetic is wrap-safe for the
+  // full int64 range; a wrapped or overflowing volume simply fails the
+  // bound and selects the radix layout).
+  const uint64_t max_slots =
+      std::min(kDirectCeilSlots,
+               std::max(kDirectFloorSlots,
+                        2 * static_cast<uint64_t>(num_entries)));
+  uint64_t volume = 1;
+  bool direct = true;
+  extents_.assign(arity, 0);
+  for (size_t k = 0; k < arity && direct; ++k) {
+    const uint64_t extent = static_cast<uint64_t>(maxs[k]) -
+                            static_cast<uint64_t>(mins_[k]) + 1;
+    extents_[k] = extent;
+    direct = extent != 0 && extent <= max_slots && volume <= max_slots / extent;
+    volume *= extent;
+  }
+  direct = direct && volume <= max_slots;
+
+  if (direct) {
+    strategy_ = Strategy::kDirectAddress;
+    strides_.assign(arity, 1);
+    for (size_t k = arity; k-- > 1;) {
+      strides_[k - 1] =
+          strides_[k] * static_cast<int64_t>(extents_[k]);
+    }
+    head_.assign(volume, -1);
+    next_.assign(num_entries, -1);
+    // Chains are threaded back to front so each head reaches its entries
+    // in ascending id order — the emit order of the bucket-vector scheme
+    // this table replaces.
+    for (int64_t e = num_entries; e-- > 0;) {
+      int64_t slot = 0;
+      for (size_t k = 0; k < arity; ++k) {
+        slot += static_cast<int64_t>(static_cast<uint64_t>(keys[e * arity + k]) -
+                                     static_cast<uint64_t>(mins_[k])) *
+                strides_[k];
+      }
+      next_[e] = head_[slot];
+      head_[slot] = static_cast<int32_t>(e);
+    }
+    return;
+  }
+
+  strategy_ = Strategy::kRadixChained;
+  size_t buckets = 16;
+  while (buckets < 2 * static_cast<size_t>(num_entries)) buckets *= 2;
+  mask_ = buckets - 1;
+  // Counting sort by hash radix: histogram, exclusive prefix sums, then a
+  // stable forward fill — ids within a bucket end up ascending.
+  std::vector<int64_t> hashes(num_entries);
+  bucket_start_.assign(buckets + 1, 0);
+  for (int64_t e = 0; e < num_entries; ++e) {
+    hashes[e] =
+        static_cast<int64_t>(HashIntKey(keys + e * arity, arity) & mask_);
+    ++bucket_start_[hashes[e] + 1];
+  }
+  for (size_t b = 0; b < buckets; ++b) {
+    bucket_start_[b + 1] += bucket_start_[b];
+  }
+  order_.assign(num_entries, 0);
+  sorted_keys_.assign(static_cast<size_t>(num_entries) * arity, 0);
+  std::vector<int64_t> cursor(bucket_start_.begin(), bucket_start_.end() - 1);
+  for (int64_t e = 0; e < num_entries; ++e) {
+    const int64_t pos = cursor[hashes[e]]++;
+    order_[pos] = static_cast<int32_t>(e);
+    std::copy(keys + e * arity, keys + (e + 1) * arity,
+              sorted_keys_.begin() + pos * arity);
+  }
+}
+
+}  // namespace einsql::minidb

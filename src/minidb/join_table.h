@@ -1,0 +1,103 @@
+#ifndef EINSQL_MINIDB_JOIN_TABLE_H_
+#define EINSQL_MINIDB_JOIN_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/value.h"
+
+namespace einsql::minidb {
+
+/// Build-side hash table of the typed int64-key join path. Entries are
+/// packed keys (`arity` int64s each) with dense ids 0..n-1 in build order;
+/// probing enumerates matching entry ids in ascending order — the same
+/// order the previous unordered_map-of-vectors produced, so the join
+/// result is unchanged row for row.
+///
+/// Two layouts, chosen at build time from the key min/max statistics
+/// gathered in the same pass (docs/kernels.md has the policy table):
+///
+///  * kDirectAddress — a perfect hash: each key maps bijectively to
+///    slot = sum_k (key[k] - min[k]) * stride[k] (mixed-radix packing of
+///    the per-column offsets). Chosen when the key-space volume
+///    prod_k (max[k] - min[k] + 1) is at most
+///    min(max(65536, 2 * entries), 2^22). Probes are one bounds check and
+///    one load, no key comparison — einsum index columns (dense 0..N-1
+///    dimensions) essentially always take this layout.
+///
+///  * kRadixChained — a bucket-major layout built with a counting sort:
+///    entry ids are partitioned by hash radix into `buckets` (a power of
+///    two >= 2n), each bucket's ids stored contiguously and ascending, and
+///    their packed keys gathered into the same order. A probe scans one
+///    contiguous key run instead of chasing per-entry pointers, so the
+///    random-access part of a probe is exactly one bucket-range load.
+class IntKeyJoinTable {
+ public:
+  enum class Strategy { kDirectAddress, kRadixChained };
+
+  /// Builds from `num_entries` packed keys, `arity` int64s per entry.
+  /// The key array must outlive the table (the radix layout keeps its own
+  /// gathered copy; the direct layout needs no keys at all — the slot is
+  /// the key).
+  IntKeyJoinTable(const int64_t* keys, int64_t num_entries, size_t arity);
+
+  Strategy strategy() const { return strategy_; }
+  int64_t num_entries() const { return num_entries_; }
+
+  /// Calls fn(entry_id) for every entry whose key equals `probe`, in
+  /// ascending entry-id (build) order. `fn` returns Status; the first
+  /// error stops the enumeration.
+  template <typename Fn>
+  Status ForEachMatch(const int64_t* probe, const Fn& fn) const {
+    if (strategy_ == Strategy::kDirectAddress) {
+      int64_t slot = 0;
+      for (size_t k = 0; k < arity_; ++k) {
+        const uint64_t off =
+            static_cast<uint64_t>(probe[k]) - static_cast<uint64_t>(mins_[k]);
+        if (off >= extents_[k]) return Status::OK();  // outside key space
+        slot += static_cast<int64_t>(off) * strides_[k];
+      }
+      for (int32_t e = head_[slot]; e >= 0; e = next_[e]) {
+        EINSQL_RETURN_IF_ERROR(fn(static_cast<int64_t>(e)));
+      }
+      return Status::OK();
+    }
+    const size_t h = HashIntKey(probe, arity_) & mask_;
+    const int64_t lo = bucket_start_[h];
+    const int64_t hi = bucket_start_[h + 1];
+    for (int64_t p = lo; p < hi; ++p) {
+      const int64_t* ek = sorted_keys_.data() + p * arity_;
+      bool match = true;
+      for (size_t k = 0; k < arity_ && match; ++k) match = ek[k] == probe[k];
+      if (match) {
+        EINSQL_RETURN_IF_ERROR(fn(static_cast<int64_t>(order_[p])));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  size_t arity_ = 1;
+  int64_t num_entries_ = 0;
+  Strategy strategy_ = Strategy::kRadixChained;
+
+  // kDirectAddress: per-column key-space geometry and int32 entry chains.
+  // head_[slot] is the lowest entry id with that key; next_ threads the
+  // rest in ascending order (chains are built back to front).
+  std::vector<int64_t> mins_;
+  std::vector<uint64_t> extents_;
+  std::vector<int64_t> strides_;
+  std::vector<int32_t> head_;
+  std::vector<int32_t> next_;
+
+  // kRadixChained: bucket-major entry ids and their gathered keys.
+  size_t mask_ = 0;
+  std::vector<int64_t> bucket_start_;  // buckets + 1 prefix sums
+  std::vector<int32_t> order_;         // entry ids, bucket-major, ascending
+  std::vector<int64_t> sorted_keys_;   // arity ints per order_ position
+};
+
+}  // namespace einsql::minidb
+
+#endif  // EINSQL_MINIDB_JOIN_TABLE_H_

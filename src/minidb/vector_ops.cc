@@ -1,7 +1,9 @@
 #include "minidb/vector_ops.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "common/simd.h"
 #include "minidb/expr_eval.h"
 
 namespace einsql::minidb {
@@ -66,6 +68,168 @@ bool CompareHolds(BinaryOp op, int c) {
   }
 }
 
+#if defined(EINSQL_HAVE_SIMD)
+
+// ---------------------------------------------------------------------
+// SIMD kernel bodies (see docs/kernels.md). Selected at runtime by
+// simd::Enabled(); the scalar twins below each call site are the
+// historical loops, kept verbatim. Bit-identity argument, per kernel
+// family:
+//  * int64 arithmetic runs in uint64 lanes (two's-complement wraparound,
+//    no signed-overflow UB on garbage lanes) and the result is AND-masked
+//    with the merged validity, so invalid lanes hold 0 exactly like the
+//    scalar loop that never writes them.
+//  * double arithmetic is element-wise (one operation per lane, no
+//    reassociation, no FMA contraction), and results of masked-out lanes
+//    are zeroed through a uint64 bitcast — never by multiplying, which
+//    would launder NaN.
+//  * comparisons are built from < and > masks only: the scalar loop
+//    computes c = x<y ? -1 : (x>y ? 1 : 0), which classifies NaN operands
+//    as c == 0 (so NaN == anything holds, <= holds, < does not). Vector
+//    ==/!= on doubles would disagree with that, so kEq is ~(lt|gt),
+//    kNotEq is lt|gt, kLtEq is ~gt, kGtEq is ~lt.
+// ---------------------------------------------------------------------
+
+// 4 validity bytes (0/1) -> all-ones / all-zeros uint64 lane mask.
+inline simd::Vec4u ValidMask4(const uint8_t* v) {
+  return simd::Vec4u{0ull - v[0], 0ull - v[1], 0ull - v[2], 0ull - v[3]};
+}
+
+// 4 lanes of a numeric column as doubles, promoting int64 like NumericAt.
+inline simd::Vec4d LoadNumeric4(const ColumnVector& col, int64_t i) {
+  if (col.kind == Kind::kInt) {
+    return __builtin_convertvector(simd::LoadI(col.ints.data() + i),
+                                   simd::Vec4d);
+  }
+  return simd::LoadD(col.doubles.data() + i);
+}
+
+// int64 (.) int64 for +,-,*: uint64 lanes, masked store. `f` is a generic
+// lambda usable on both Vec4u lanes and uint64_t scalars (tail).
+template <typename F>
+ColumnVector SimdIntArith(const ColumnVector& a, const ColumnVector& b, F f) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kInt;
+  out.ints.assign(n, 0);
+  out.valid.assign(n, 0);
+  for (int64_t i = 0; i < n; ++i) out.valid[i] = a.valid[i] & b.valid[i];
+  const auto* ap = reinterpret_cast<const uint64_t*>(a.ints.data());
+  const auto* bp = reinterpret_cast<const uint64_t*>(b.ints.data());
+  auto* op = reinterpret_cast<uint64_t*>(out.ints.data());
+  int64_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const simd::Vec4u m = ValidMask4(out.valid.data() + i);
+    simd::Store(op + i, f(simd::LoadU(ap + i), simd::LoadU(bp + i)) & m);
+  }
+  for (; i < n; ++i) {
+    if (out.valid[i]) op[i] = f(ap[i], bp[i]);
+  }
+  return out;
+}
+
+// Numeric (.) numeric promoted to double, for +,-,*.
+template <typename F>
+ColumnVector SimdDoubleArith(const ColumnVector& a, const ColumnVector& b,
+                             F f) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kDouble;
+  out.doubles.assign(n, 0.0);
+  out.valid.assign(n, 0);
+  for (int64_t i = 0; i < n; ++i) out.valid[i] = a.valid[i] & b.valid[i];
+  auto* op = reinterpret_cast<uint64_t*>(out.doubles.data());
+  int64_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const simd::Vec4u m = ValidMask4(out.valid.data() + i);
+    const simd::Vec4d r = f(LoadNumeric4(a, i), LoadNumeric4(b, i));
+    simd::Store(op + i, simd::BitcastU(r) & m);
+  }
+  for (; i < n; ++i) {
+    if (out.valid[i]) out.doubles[i] = f(NumericAt(a, i), NumericAt(b, i));
+  }
+  return out;
+}
+
+// Double division: a zero divisor makes the element NULL (and leaves the
+// payload 0 bits), so validity depends on the data, not just the inputs'
+// null bytes. IEEE division by zero is well-defined (inf/NaN) and those
+// lanes are masked away; no lane traps.
+ColumnVector SimdDoubleDiv(const ColumnVector& a, const ColumnVector& b) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kDouble;
+  out.doubles.assign(n, 0.0);
+  out.valid.assign(n, 0);
+  auto* op = reinterpret_cast<uint64_t*>(out.doubles.data());
+  int64_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const simd::Vec4d x = LoadNumeric4(a, i);
+    const simd::Vec4d y = LoadNumeric4(b, i);
+    const uint8_t v[4] = {
+        static_cast<uint8_t>(a.valid[i] & b.valid[i]),
+        static_cast<uint8_t>(a.valid[i + 1] & b.valid[i + 1]),
+        static_cast<uint8_t>(a.valid[i + 2] & b.valid[i + 2]),
+        static_cast<uint8_t>(a.valid[i + 3] & b.valid[i + 3])};
+    // NaN != 0.0 holds, matching the scalar `y == 0.0` test.
+    const simd::Vec4u m = ValidMask4(v) & (simd::Vec4u)(y != 0.0);
+    simd::Store(op + i, simd::BitcastU(x / y) & m);
+    out.valid[i] = static_cast<uint8_t>(m[0] & 1);
+    out.valid[i + 1] = static_cast<uint8_t>(m[1] & 1);
+    out.valid[i + 2] = static_cast<uint8_t>(m[2] & 1);
+    out.valid[i + 3] = static_cast<uint8_t>(m[3] & 1);
+  }
+  for (; i < n; ++i) {
+    if (!(a.valid[i] & b.valid[i])) continue;
+    const double y = NumericAt(b, i);
+    if (y == 0.0) continue;
+    out.doubles[i] = NumericAt(a, i) / y;
+    out.valid[i] = 1;
+  }
+  return out;
+}
+
+// Numeric comparison from lt/gt masks only (NaN-exact; see header comment).
+ColumnVector SimdNumericCompare(BinaryOp op, const ColumnVector& a,
+                                const ColumnVector& b) {
+  const int64_t n = a.size();
+  ColumnVector out;
+  out.kind = Kind::kInt;
+  out.ints.assign(n, 0);
+  out.valid.assign(n, 0);
+  for (int64_t i = 0; i < n; ++i) out.valid[i] = a.valid[i] & b.valid[i];
+  auto* outp = reinterpret_cast<uint64_t*>(out.ints.data());
+  int64_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const simd::Vec4d x = LoadNumeric4(a, i);
+    const simd::Vec4d y = LoadNumeric4(b, i);
+    const simd::Vec4u lt = (simd::Vec4u)(x < y);
+    const simd::Vec4u gt = (simd::Vec4u)(x > y);
+    simd::Vec4u r;
+    switch (op) {
+      case BinaryOp::kEq: r = ~(lt | gt); break;
+      case BinaryOp::kNotEq: r = lt | gt; break;
+      case BinaryOp::kLt: r = lt; break;
+      case BinaryOp::kLtEq: r = ~gt; break;
+      case BinaryOp::kGt: r = gt; break;
+      case BinaryOp::kGtEq: r = ~lt; break;
+      default: r = simd::Vec4u{0, 0, 0, 0}; break;
+    }
+    const simd::Vec4u m = ValidMask4(out.valid.data() + i);
+    simd::Store(outp + i, r & m & 1);
+  }
+  for (; i < n; ++i) {
+    if (!out.valid[i]) continue;
+    const double x = NumericAt(a, i);
+    const double y = NumericAt(b, i);
+    const int c = x < y ? -1 : (x > y ? 1 : 0);
+    out.ints[i] = CompareHolds(op, c) ? 1 : 0;
+  }
+  return out;
+}
+
+#endif  // EINSQL_HAVE_SIMD
+
 }  // namespace
 
 Result<ColumnVector> VecArith(BinaryOp op, const ColumnVector& a,
@@ -74,6 +238,23 @@ Result<ColumnVector> VecArith(BinaryOp op, const ColumnVector& a,
   // int64 (.) int64 stays exact int arithmetic; a zero divisor turns the
   // element NULL, mirroring Divide/Modulo.
   if (a.kind == Kind::kInt && b.kind == Kind::kInt) {
+#if defined(EINSQL_HAVE_SIMD)
+    // +,-,* are branch-free in uint64 lanes; /,% keep the scalar loop in
+    // both flavours (the per-element zero-divisor guard does not pay off
+    // as a masked lane op for integer division).
+    if (simd::Enabled()) {
+      switch (op) {
+        case BinaryOp::kAdd:
+          return SimdIntArith(a, b, [](auto x, auto y) { return x + y; });
+        case BinaryOp::kSub:
+          return SimdIntArith(a, b, [](auto x, auto y) { return x - y; });
+        case BinaryOp::kMul:
+          return SimdIntArith(a, b, [](auto x, auto y) { return x * y; });
+        default:
+          break;
+      }
+    }
+#endif
     ColumnVector out;
     out.kind = Kind::kInt;
     out.ints.assign(n, 0);
@@ -126,6 +307,24 @@ Result<ColumnVector> VecArith(BinaryOp op, const ColumnVector& a,
   }
   // Any other numeric pairing promotes to double, like Arith in value.cc.
   if (IsNumericKind(a.kind) && IsNumericKind(b.kind)) {
+#if defined(EINSQL_HAVE_SIMD)
+    // fmod stays scalar in both flavours — there is no lane-wise fmod and
+    // calling libm per lane is the scalar loop by another name.
+    if (simd::Enabled()) {
+      switch (op) {
+        case BinaryOp::kAdd:
+          return SimdDoubleArith(a, b, [](auto x, auto y) { return x + y; });
+        case BinaryOp::kSub:
+          return SimdDoubleArith(a, b, [](auto x, auto y) { return x - y; });
+        case BinaryOp::kMul:
+          return SimdDoubleArith(a, b, [](auto x, auto y) { return x * y; });
+        case BinaryOp::kDiv:
+          return SimdDoubleDiv(a, b);
+        default:
+          break;
+      }
+    }
+#endif
     ColumnVector out;
     out.kind = Kind::kDouble;
     out.doubles.assign(n, 0.0);
@@ -164,6 +363,9 @@ Result<ColumnVector> VecCompare(BinaryOp op, const ColumnVector& a,
   out.ints.assign(n, 0);
   out.valid.assign(n, 0);
   if (IsNumericKind(a.kind) && IsNumericKind(b.kind)) {
+#if defined(EINSQL_HAVE_SIMD)
+    if (simd::Enabled()) return SimdNumericCompare(op, a, b);
+#endif
     // CompareValues compares numbers through double, including int64
     // operands — the casts here are not an approximation, they are the
     // row semantics.
@@ -204,6 +406,23 @@ ColumnVector VecAnd(const ColumnVector& a, const ColumnVector& b) {
   out.kind = Kind::kInt;
   out.ints.assign(n, 0);
   out.valid.assign(n, 1);
+#if defined(EINSQL_HAVE_SIMD)
+  // Branch-free three-valued AND over 0/1 bytes: with t = valid & (x != 0)
+  // and f = valid & (x == 0), the result is TRUE iff both sides are true
+  // and non-NULL iff either side is false or both are valid. Auto-
+  // vectorizes; truth table identical to the Truth loop below.
+  if (simd::Enabled() && a.kind == Kind::kInt && b.kind == Kind::kInt) {
+    for (int64_t i = 0; i < n; ++i) {
+      const uint8_t at = a.valid[i] & (a.ints[i] != 0);
+      const uint8_t af = a.valid[i] & (a.ints[i] == 0);
+      const uint8_t bt = b.valid[i] & (b.ints[i] != 0);
+      const uint8_t bf = b.valid[i] & (b.ints[i] == 0);
+      out.ints[i] = at & bt;
+      out.valid[i] = af | bf | (a.valid[i] & b.valid[i]);
+    }
+    return out;
+  }
+#endif
   for (int64_t i = 0; i < n; ++i) {
     const Truth ta = TruthAt(a, i), tb = TruthAt(b, i);
     if (ta == Truth::kFalse || tb == Truth::kFalse) {
@@ -223,6 +442,19 @@ ColumnVector VecOr(const ColumnVector& a, const ColumnVector& b) {
   out.kind = Kind::kInt;
   out.ints.assign(n, 0);
   out.valid.assign(n, 1);
+#if defined(EINSQL_HAVE_SIMD)
+  // Branch-free dual of VecAnd: TRUE if either side is true (even when the
+  // other is NULL), NULL only when no side is true and one is NULL.
+  if (simd::Enabled() && a.kind == Kind::kInt && b.kind == Kind::kInt) {
+    for (int64_t i = 0; i < n; ++i) {
+      const uint8_t at = a.valid[i] & (a.ints[i] != 0);
+      const uint8_t bt = b.valid[i] & (b.ints[i] != 0);
+      out.ints[i] = at | bt;
+      out.valid[i] = at | bt | (a.valid[i] & b.valid[i]);
+    }
+    return out;
+  }
+#endif
   for (int64_t i = 0; i < n; ++i) {
     const Truth ta = TruthAt(a, i), tb = TruthAt(b, i);
     if (ta == Truth::kTrue || tb == Truth::kTrue) {
@@ -258,6 +490,22 @@ Result<ColumnVector> VecNegate(const ColumnVector& a) {
       out.kind = Kind::kInt;
       out.valid = a.valid;
       out.ints.assign(n, 0);
+#if defined(EINSQL_HAVE_SIMD)
+      if (simd::Enabled()) {
+        const auto* ap = reinterpret_cast<const uint64_t*>(a.ints.data());
+        auto* op = reinterpret_cast<uint64_t*>(out.ints.data());
+        int64_t i = 0;
+        for (; i + simd::kLanes <= n; i += simd::kLanes) {
+          const simd::Vec4u m = ValidMask4(out.valid.data() + i);
+          simd::Store(op + i,
+                      (simd::Vec4u{0, 0, 0, 0} - simd::LoadU(ap + i)) & m);
+        }
+        for (; i < n; ++i) {
+          if (out.valid[i]) op[i] = 0ull - ap[i];
+        }
+        return out;
+      }
+#endif
       for (int64_t i = 0; i < n; ++i) {
         if (a.valid[i]) out.ints[i] = -a.ints[i];
       }
@@ -266,6 +514,25 @@ Result<ColumnVector> VecNegate(const ColumnVector& a) {
       out.kind = Kind::kDouble;
       out.valid = a.valid;
       out.doubles.assign(n, 0.0);
+#if defined(EINSQL_HAVE_SIMD)
+      // IEEE negation is a sign-bit flip (NaN payloads included), so the
+      // XOR form is bit-identical to the scalar `-x`.
+      if (simd::Enabled()) {
+        const auto* ap = reinterpret_cast<const uint64_t*>(a.doubles.data());
+        auto* op = reinterpret_cast<uint64_t*>(out.doubles.data());
+        const simd::Vec4u sign = {0x8000000000000000ull, 0x8000000000000000ull,
+                                  0x8000000000000000ull, 0x8000000000000000ull};
+        int64_t i = 0;
+        for (; i + simd::kLanes <= n; i += simd::kLanes) {
+          const simd::Vec4u m = ValidMask4(out.valid.data() + i);
+          simd::Store(op + i, (simd::LoadU(ap + i) ^ sign) & m);
+        }
+        for (; i < n; ++i) {
+          if (out.valid[i]) op[i] = ap[i] ^ 0x8000000000000000ull;
+        }
+        return out;
+      }
+#endif
       for (int64_t i = 0; i < n; ++i) {
         if (a.valid[i]) out.doubles[i] = -a.doubles[i];
       }
@@ -297,6 +564,45 @@ ColumnVector VecIsNull(const ColumnVector& a, bool negated) {
     out.ints[i] = (is_null != negated) ? 1 : 0;
   }
   return out;
+}
+
+SelVector BuildSelection(const ColumnVector& cond) {
+  const int64_t n = cond.size();
+  SelVector sel;
+  sel.idx.reserve(n);
+  if (cond.kind == Kind::kInt) {
+    // Branch-free append: write the candidate index unconditionally, bump
+    // the cursor only when the element is truthy.
+    sel.idx.resize(n);
+    int64_t k = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      sel.idx[k] = static_cast<int32_t>(i);
+      k += cond.valid[i] & (cond.ints[i] != 0);
+    }
+    sel.idx.resize(k);
+    return sel;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    if (TruthyAt(cond, i)) sel.idx.push_back(static_cast<int32_t>(i));
+  }
+  return sel;
+}
+
+void RefineSelection(const ColumnVector& cond, SelVector* sel) {
+  const int64_t n = cond.size();
+  int64_t k = 0;
+  if (cond.kind == Kind::kInt) {
+    for (int64_t j = 0; j < n; ++j) {
+      sel->idx[k] = sel->idx[j];
+      k += cond.valid[j] & (cond.ints[j] != 0);
+    }
+  } else {
+    for (int64_t j = 0; j < n; ++j) {
+      sel->idx[k] = sel->idx[j];
+      if (TruthyAt(cond, j)) ++k;
+    }
+  }
+  sel->idx.resize(k);
 }
 
 bool ExtractIntKeys(const std::vector<Row>& rows, int64_t begin, int64_t end,

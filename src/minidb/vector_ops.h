@@ -71,6 +71,19 @@ inline bool TruthyAt(const ColumnVector& col, int64_t i) {
 }
 
 // ---------------------------------------------------------------------
+// Selection vectors
+// ---------------------------------------------------------------------
+
+/// The indices of truthy elements of a condition column, ascending — the
+/// filter kernel's accept set as a SelVector.
+SelVector BuildSelection(const ColumnVector& cond);
+
+/// In-place refinement for conjunctive filters: keeps sel->idx[j] exactly
+/// when cond element j is truthy. `cond` must have sel->size() elements
+/// (it was evaluated over the selected batch).
+void RefineSelection(const ColumnVector& cond, SelVector* sel);
+
+// ---------------------------------------------------------------------
 // Join / group key extraction (the typed int64 fast path, batched)
 // ---------------------------------------------------------------------
 

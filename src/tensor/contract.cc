@@ -4,6 +4,8 @@
 #include <complex>
 #include <map>
 
+#include "tensor/gemm.h"
+
 namespace einsql {
 
 namespace {
@@ -217,23 +219,13 @@ Result<Dense<V>> ContractPair(const Dense<V>& a, const Labels& a_labels,
   const int64_t k = extent_product(contracted);
   const int64_t n = extent_product(b_free);
 
-  // Batched GEMM: C[bt,i,j] = sum_k A[bt,i,k] * B[bt,k,j].
+  // Batched GEMM: C[bt,i,j] = sum_k A[bt,i,k] * B[bt,k,j], one
+  // cache-blocked kernel call per batch slice (gemm.h).
   std::vector<V> c(static_cast<size_t>(nbatch * m * n), V(0));
   const V* pa = ta.data().data();
   const V* pb = tb.data().data();
   for (int64_t bt = 0; bt < nbatch; ++bt) {
-    const V* ab = pa + bt * m * k;
-    const V* bb = pb + bt * k * n;
-    V* cb = c.data() + bt * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const V aval = ab[i * k + kk];
-        if (aval == V(0)) continue;
-        const V* brow = bb + kk * n;
-        V* crow = cb + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-      }
-    }
+    Gemm(pa + bt * m * k, pb + bt * k * n, c.data() + bt * m * n, m, k, n);
   }
   // Current layout: [batch, a_free, b_free]; permute to out_labels.
   Labels c_labels = batch;

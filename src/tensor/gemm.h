@@ -1,0 +1,245 @@
+#ifndef EINSQL_TENSOR_GEMM_H_
+#define EINSQL_TENSOR_GEMM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/simd.h"
+
+namespace einsql {
+
+/// Dense matrix-multiply kernels behind the pairwise contraction step
+/// (ContractPair): C[i,j] += sum_k A[i,k] * B[k,j] over row-major operands.
+///
+/// `GemmNaive` is the pre-blocking reference implementation — the exact
+/// loop nest ContractPair used before the blocked kernel existed,
+/// including its skip of zero A entries. It stays here for the `kernels`
+/// benchmark group (blocked-vs-naive speedup) and as a second
+/// implementation for differential tests.
+///
+/// `Gemm` is the production kernel: cache-blocked over k panels (KC rows
+/// of B at a time) with MR x NR register tiles and a packed copy of the A
+/// tile, so the inner loop reads two contiguous streams and touches each
+/// C element once per k panel instead of once per k step. For every
+/// output element the terms still accumulate into a single running value
+/// in ascending-k order — the same order as a zero-skip-free naive loop —
+/// so the blocked result is bit-identical to naive accumulation whenever
+/// no A entry is exactly zero. (GemmNaive's zero-skip can differ from
+/// both in the last bit of signed zeros, or when B holds non-finite
+/// values: 0 * inf is NaN when computed but nothing when skipped. The
+/// production kernel never skips, which keeps its results independent of
+/// A's sparsity pattern.)
+///
+/// docs/kernels.md documents the tile sizes and the SIMD policy. The
+/// double micro-kernel uses the portable 4-lane vectors of common/simd.h
+/// when `simd::Enabled()`; the scalar twin runs the identical
+/// per-element operations in the identical order, so MINIDB_NO_SIMD=1
+/// changes no bits of any GEMM result.
+
+namespace gemm_internal {
+
+/// Register-tile geometry. MR x NR accumulators live in registers across
+/// the whole k panel; NR = 4 doubles is one portable Vec4d.
+inline constexpr int64_t kMr = 4;
+inline constexpr int64_t kNr = 4;
+/// k-panel depth: one panel of packed A (kMr * kKc values) plus the B
+/// rows it touches stay L1/L2-resident. 256 doubles * 4 rows = 8 KiB of
+/// packed A per tile.
+inline constexpr int64_t kKc = 256;
+
+/// Scalar MR x NR micro-kernel over one packed A tile and the matching B
+/// panel. `apack` holds kc steps of kMr A values each (k-major); C is
+/// loaded into local accumulators once, updated for every k step in
+/// ascending order, and stored back once.
+template <typename V>
+inline void MicroTileScalar(const V* apack, const V* b, V* c, int64_t kc,
+                            int64_t n) {
+  V acc[kMr][kNr];
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t s = 0; s < kNr; ++s) acc[r][s] = c[r * n + s];
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const V* brow = b + kk * n;
+    for (int64_t r = 0; r < kMr; ++r) {
+      const V av = apack[kk * kMr + r];
+      for (int64_t s = 0; s < kNr; ++s) acc[r][s] += av * brow[s];
+    }
+  }
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t s = 0; s < kNr; ++s) c[r * n + s] = acc[r][s];
+  }
+}
+
+#if defined(EINSQL_HAVE_SIMD)
+/// Vector micro-kernel for doubles: each C row of the tile is one Vec4d
+/// accumulator; per k step, broadcast one A value per row against one
+/// contiguous B row load. Element-for-element the same multiplies and
+/// adds in the same order as MicroTileScalar.
+inline void MicroTileDouble(const double* apack, const double* b, double* c,
+                            int64_t kc, int64_t n) {
+  simd::Vec4d acc0 = simd::LoadD(c);
+  simd::Vec4d acc1 = simd::LoadD(c + n);
+  simd::Vec4d acc2 = simd::LoadD(c + 2 * n);
+  simd::Vec4d acc3 = simd::LoadD(c + 3 * n);
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const simd::Vec4d brow = simd::LoadD(b + kk * n);
+    const double* av = apack + kk * kMr;
+    acc0 += av[0] * brow;
+    acc1 += av[1] * brow;
+    acc2 += av[2] * brow;
+    acc3 += av[3] * brow;
+  }
+  simd::Store(c, acc0);
+  simd::Store(c + n, acc1);
+  simd::Store(c + 2 * n, acc2);
+  simd::Store(c + 3 * n, acc3);
+}
+#if defined(__x86_64__) || defined(__i386__)
+#define EINSQL_GEMM_X86_DISPATCH 1
+
+/// Runtime AVX2 detection, cached after the first query. The AVX2
+/// micro-kernel below carries a per-function target attribute, so this
+/// translation unit stays baseline-portable — the wide path is only
+/// *taken* (never merely compiled in) on CPUs that report AVX2.
+inline bool CpuHasAvx2() {
+  static const bool kHas = __builtin_cpu_supports("avx2") != 0;
+  return kHas;
+}
+
+/// 4x8 AVX2 micro-kernel: two Vec4d (ymm) accumulators per C row — eight
+/// independent add chains, enough to cover the FP add latency. Only
+/// vmulpd + vaddpd are used; FMA is deliberately absent from the target
+/// string, because fused rounding would break the bit-identity contract
+/// with the scalar twin. Per C element this is exactly the same multiply
+/// and add sequence, in the same ascending-k order, as MicroTileScalar.
+__attribute__((target("avx2"))) inline void MicroTileDoubleAvx2(
+    const double* apack, const double* b, double* c, int64_t kc, int64_t n) {
+  simd::Vec4d acc00 = simd::LoadD(c);
+  simd::Vec4d acc01 = simd::LoadD(c + 4);
+  simd::Vec4d acc10 = simd::LoadD(c + n);
+  simd::Vec4d acc11 = simd::LoadD(c + n + 4);
+  simd::Vec4d acc20 = simd::LoadD(c + 2 * n);
+  simd::Vec4d acc21 = simd::LoadD(c + 2 * n + 4);
+  simd::Vec4d acc30 = simd::LoadD(c + 3 * n);
+  simd::Vec4d acc31 = simd::LoadD(c + 3 * n + 4);
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const simd::Vec4d b0 = simd::LoadD(b + kk * n);
+    const simd::Vec4d b1 = simd::LoadD(b + kk * n + 4);
+    const double* av = apack + kk * kMr;
+    acc00 += av[0] * b0;
+    acc01 += av[0] * b1;
+    acc10 += av[1] * b0;
+    acc11 += av[1] * b1;
+    acc20 += av[2] * b0;
+    acc21 += av[2] * b1;
+    acc30 += av[3] * b0;
+    acc31 += av[3] * b1;
+  }
+  simd::Store(c, acc00);
+  simd::Store(c + 4, acc01);
+  simd::Store(c + n, acc10);
+  simd::Store(c + n + 4, acc11);
+  simd::Store(c + 2 * n, acc20);
+  simd::Store(c + 2 * n + 4, acc21);
+  simd::Store(c + 3 * n, acc30);
+  simd::Store(c + 3 * n + 4, acc31);
+}
+#endif  // x86 dispatch
+#endif  // EINSQL_HAVE_SIMD
+
+template <typename V>
+inline void MicroTile(const V* apack, const V* b, V* c, int64_t kc,
+                      int64_t n) {
+#if defined(EINSQL_HAVE_SIMD)
+  if constexpr (std::is_same_v<V, double>) {
+    if (simd::Enabled()) {
+      MicroTileDouble(apack, b, c, kc, n);
+      return;
+    }
+  }
+#endif
+  MicroTileScalar(apack, b, c, kc, n);
+}
+
+}  // namespace gemm_internal
+
+/// Reference kernel: the i/k/j loop nest with zero-skip that ContractPair
+/// used before blocking. C must be zero-initialized (or hold the running
+/// sum being extended).
+template <typename V>
+void GemmNaive(const V* a, const V* b, V* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const V aval = a[i * k + kk];
+      if (aval == V(0)) continue;
+      const V* brow = b + kk * n;
+      V* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+/// Cache-blocked production kernel. Accumulates C[i,j] in ascending-k
+/// order into a single running value per element (see file comment for
+/// the bit-identity contract).
+template <typename V>
+void Gemm(const V* a, const V* b, V* c, int64_t m, int64_t k, int64_t n) {
+  using gemm_internal::kKc;
+  using gemm_internal::kMr;
+  using gemm_internal::kNr;
+  // Packed A tile: kMr rows by up to kKc k-steps, stored k-major so the
+  // micro-kernel reads it as one forward stream. Rows past the edge of A
+  // pack zeros; the micro-kernel never stores their accumulators.
+  std::vector<V> apack(static_cast<size_t>(kMr * kKc));
+  for (int64_t pc = 0; pc < k; pc += kKc) {  // ascending k panels
+    const int64_t kc = std::min(kKc, k - pc);
+    for (int64_t i0 = 0; i0 < m; i0 += kMr) {
+      const int64_t mr = std::min(kMr, m - i0);
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        for (int64_t r = 0; r < kMr; ++r) {
+          apack[kk * kMr + r] =
+              r < mr ? a[(i0 + r) * k + (pc + kk)] : V(0);
+        }
+      }
+      const V* bpanel = b + pc * n;
+      int64_t j0 = 0;
+      if (mr == kMr) {
+#if defined(EINSQL_HAVE_SIMD) && defined(EINSQL_GEMM_X86_DISPATCH)
+        if constexpr (std::is_same_v<V, double>) {
+          // Wide tiles first; identical per-element operation order, so
+          // the mixed 4x8 / 4x4 / scalar coverage of one row block is
+          // still bit-identical to all-scalar execution.
+          if (simd::Enabled() && gemm_internal::CpuHasAvx2()) {
+            for (; j0 + 2 * kNr <= n; j0 += 2 * kNr) {
+              gemm_internal::MicroTileDoubleAvx2(apack.data(), bpanel + j0,
+                                                 c + i0 * n + j0, kc, n);
+            }
+          }
+        }
+#endif
+        for (; j0 + kNr <= n; j0 += kNr) {
+          gemm_internal::MicroTile(apack.data(), bpanel + j0,
+                                   c + i0 * n + j0, kc, n);
+        }
+      }
+      // Edge tiles (bottom rows, right columns): plain scalar loops with
+      // the same load-once / ascending-k / store-once discipline.
+      for (int64_t r = 0; r < mr; ++r) {
+        for (int64_t j = j0; j < n; ++j) {
+          V acc = c[(i0 + r) * n + j];
+          for (int64_t kk = 0; kk < kc; ++kk) {
+            acc += apack[kk * kMr + r] * bpanel[kk * n + j];
+          }
+          c[(i0 + r) * n + j] = acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace einsql
+
+#endif  // EINSQL_TENSOR_GEMM_H_

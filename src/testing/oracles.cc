@@ -1,7 +1,10 @@
 #include "testing/oracles.h"
 
+#include <cstring>
+
 #include "backends/minidb_backend.h"
 #include "backends/sqlite_backend.h"
+#include "common/simd.h"
 #include "common/str_util.h"
 #include "core/reference.h"
 
@@ -27,7 +30,84 @@ Result<Coo<V>> ReferenceEval(const ContractionProgram& program,
   return result.ToCoo(options.epsilon);
 }
 
+// Byte identity for COO tensors: same shape, same coordinate stream, and
+// values equal by bit pattern (memcmp), so NaN payloads and signed zeros
+// count as differences.
+template <typename V>
+bool BitIdentical(const Coo<V>& a, const Coo<V>& b, std::string* detail) {
+  if (a.shape() != b.shape()) {
+    *detail = "shapes differ";
+    return false;
+  }
+  if (a.nnz() != b.nnz()) {
+    *detail = StrCat("nnz ", a.nnz(), " vs ", b.nnz());
+    return false;
+  }
+  if (a.raw_coords() != b.raw_coords()) {
+    *detail = "coordinate streams differ";
+    return false;
+  }
+  for (int64_t k = 0; k < a.nnz(); ++k) {
+    const V va = a.ValueAt(k);
+    const V vb = b.ValueAt(k);
+    if (std::memcmp(&va, &vb, sizeof(V)) != 0) {
+      *detail = StrCat("value bit pattern differs at entry ", k);
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename V, typename Fn>
+Result<Coo<V>> EvalBothSimdModes(const std::string& name, const Fn& eval) {
+  Result<Coo<V>> with_simd = [&] {
+    simd::ScopedEnable on(true);
+    return eval();
+  }();
+  Result<Coo<V>> without = [&] {
+    simd::ScopedEnable off(false);
+    return eval();
+  }();
+  if (with_simd.ok() != without.ok()) {
+    return Status::Internal(StrCat(
+        name, ": simd-on ", with_simd.ok() ? "succeeded" : "failed",
+        " but simd-off ", without.ok() ? "succeeded" : "failed", " (",
+        (with_simd.ok() ? without.status() : with_simd.status()).ToString(),
+        ")"));
+  }
+  if (!with_simd.ok()) return with_simd;
+  std::string detail;
+  if (!BitIdentical(*with_simd, *without, &detail)) {
+    return Status::Internal(
+        StrCat(name, ": simd-on and simd-off results are not byte-identical: ",
+               detail));
+  }
+  return with_simd;
+}
+
 }  // namespace
+
+SimdInvarianceOracle::SimdInvarianceOracle(std::unique_ptr<Oracle> inner)
+    : name_(StrCat("simd-invariance/", inner->name())),
+      inner_(std::move(inner)) {}
+
+Result<CooTensor> SimdInvarianceOracle::EvalReal(
+    const ContractionProgram& program,
+    const std::vector<const CooTensor*>& tensors,
+    const EinsumOptions& options) {
+  return EvalBothSimdModes<double>(name_, [&] {
+    return inner_->EvalReal(program, tensors, options);
+  });
+}
+
+Result<ComplexCooTensor> SimdInvarianceOracle::EvalComplex(
+    const ContractionProgram& program,
+    const std::vector<const ComplexCooTensor*>& tensors,
+    const EinsumOptions& options) {
+  return EvalBothSimdModes<std::complex<double>>(name_, [&] {
+    return inner_->EvalComplex(program, tensors, options);
+  });
+}
 
 bool ReferenceOracle::Supports(const EinsumInstance& instance) const {
   return instance.joint_space() <= max_joint_space_;
@@ -116,6 +196,24 @@ std::vector<std::unique_ptr<Oracle>> MakeDefaultOracles(
     oracles.push_back(std::make_unique<EngineOracle>(
         "minidb-vec-parallel", std::move(backend),
         /*refuse_out_of_range=*/false));
+  }
+  {
+    // SIMD bit-identity enforcement on the two SIMD-sensitive engines:
+    // the dense engine (blocked-GEMM micro-kernel) and the vectorized
+    // MiniDB executor (column kernels). Each instance is evaluated with
+    // kernels forced on and forced off; any ulp of difference is a
+    // divergence.
+    oracles.push_back(
+        std::make_unique<SimdInvarianceOracle>(std::make_unique<EngineOracle>(
+            "dense", std::make_unique<DenseEinsumEngine>())));
+    minidb::PlannerOptions planner;
+    planner.mode = minidb::OptimizerMode::kGreedy;
+    auto vec_backend = std::make_unique<MiniDbBackend>(planner);
+    vec_backend->set_vectorized();
+    oracles.push_back(
+        std::make_unique<SimdInvarianceOracle>(std::make_unique<EngineOracle>(
+            "minidb-vec-greedy", std::move(vec_backend),
+            /*refuse_out_of_range=*/false)));
   }
   if (auto sqlite = SqliteBackend::Open(); sqlite.ok()) {
     oracles.push_back(std::make_unique<EngineOracle>(

@@ -103,6 +103,37 @@ class EngineOracle : public Oracle {
   bool refuse_out_of_range_ = false;
 };
 
+/// Metamorphic wrapper: evaluates `inner` twice — once with the SIMD
+/// kernels forced on and once forced off (simd::ScopedEnable) — and
+/// returns an Internal error unless the two results are byte-identical
+/// (same shape, same coordinates, same value *bit patterns*). This is the
+/// fuzz-level enforcement of the bit-identity contract in docs/kernels.md:
+/// MINIDB_NO_SIMD=1 must never change any query result by even one ulp.
+/// The SIMD-on result is returned, so the wrapped oracle still
+/// participates in ordinary cross-oracle differential checking.
+class SimdInvarianceOracle : public Oracle {
+ public:
+  explicit SimdInvarianceOracle(std::unique_ptr<Oracle> inner);
+  std::string name() const override { return name_; }
+  bool Supports(const EinsumInstance& instance) const override {
+    return inner_->Supports(instance);
+  }
+  bool MayRefuse(const Status& status) const override {
+    return inner_->MayRefuse(status);
+  }
+  Result<CooTensor> EvalReal(const ContractionProgram& program,
+                             const std::vector<const CooTensor*>& tensors,
+                             const EinsumOptions& options) override;
+  Result<ComplexCooTensor> EvalComplex(
+      const ContractionProgram& program,
+      const std::vector<const ComplexCooTensor*>& tensors,
+      const EinsumOptions& options) override;
+
+ private:
+  std::string name_;
+  std::unique_ptr<Oracle> inner_;
+};
+
 /// The full default oracle battery:
 ///   reference, dense, sparse,
 ///   minidb-none / minidb-greedy / minidb-aggressive / minidb-exhaustive
@@ -111,6 +142,8 @@ class EngineOracle : public Oracle {
 ///   levels on the column-at-a-time executor),
 ///   minidb-parallel (greedy optimizer, morsel-driven execution),
 ///   minidb-vec-parallel (vectorized batches over real morsels),
+///   simd-invariance/dense and simd-invariance/minidb-vec-greedy
+///   (SimdInvarianceOracle wrappers: SIMD-on vs SIMD-off byte identity),
 ///   sqlite.
 /// `name_filter`, when non-empty, keeps only oracles whose name contains it
 /// as a substring (comma-separated alternatives allowed).

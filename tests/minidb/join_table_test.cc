@@ -1,0 +1,144 @@
+// Tests for IntKeyJoinTable: strategy selection from key statistics,
+// match enumeration order (ascending entry ids — the join result contract),
+// out-of-range and missing probes, multi-column keys, and extreme key
+// values that must force the radix layout.
+
+#include "minidb/join_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace einsql::minidb {
+namespace {
+
+std::vector<int64_t> Matches(const IntKeyJoinTable& table,
+                             const std::vector<int64_t>& probe) {
+  std::vector<int64_t> out;
+  const Status status = table.ForEachMatch(probe.data(), [&](int64_t e) {
+    out.push_back(e);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  return out;
+}
+
+TEST(IntKeyJoinTable, DenseKeysPickDirectAddress) {
+  // Dense einsum-style index column 0..999: key space 1000 <= 65536.
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 1000; ++i) keys.push_back(i % 100);
+  IntKeyJoinTable table(keys.data(), 1000, 1);
+  EXPECT_EQ(table.strategy(), IntKeyJoinTable::Strategy::kDirectAddress);
+  // Every key 0..99 has 10 entries, ascending (build order).
+  const std::vector<int64_t> got = Matches(table, {7});
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t r = 0; r < got.size(); ++r) {
+    EXPECT_EQ(got[r], static_cast<int64_t>(7 + 100 * r));
+  }
+}
+
+TEST(IntKeyJoinTable, SparseKeysPickRadix) {
+  // Key space far beyond the 2^22 ceiling: radix layout.
+  std::vector<int64_t> keys = {0, 1'000'000'000, -5, 1'000'000'000, 77};
+  IntKeyJoinTable table(keys.data(), 5, 1);
+  EXPECT_EQ(table.strategy(), IntKeyJoinTable::Strategy::kRadixChained);
+  EXPECT_EQ(Matches(table, {1'000'000'000}), (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(Matches(table, {-5}), (std::vector<int64_t>{2}));
+  EXPECT_TRUE(Matches(table, {6}).empty());
+}
+
+TEST(IntKeyJoinTable, ExtremeKeysAreSafe) {
+  // min/max int64 extents wrap in uint64 arithmetic; must choose radix and
+  // still probe correctly.
+  std::vector<int64_t> keys = {std::numeric_limits<int64_t>::min(),
+                               std::numeric_limits<int64_t>::max(), 0};
+  IntKeyJoinTable table(keys.data(), 3, 1);
+  EXPECT_EQ(table.strategy(), IntKeyJoinTable::Strategy::kRadixChained);
+  EXPECT_EQ(Matches(table, {std::numeric_limits<int64_t>::min()}),
+            (std::vector<int64_t>{0}));
+  EXPECT_EQ(Matches(table, {std::numeric_limits<int64_t>::max()}),
+            (std::vector<int64_t>{1}));
+  EXPECT_EQ(Matches(table, {0}), (std::vector<int64_t>{2}));
+}
+
+TEST(IntKeyJoinTable, MultiColumnDirect) {
+  // 2-d keys over [0,16) x [0,16): volume 256, direct.
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t j = 0; j < 16; ++j) {
+      keys.push_back(i);
+      keys.push_back(j);
+    }
+  }
+  IntKeyJoinTable table(keys.data(), 256, 2);
+  EXPECT_EQ(table.strategy(), IntKeyJoinTable::Strategy::kDirectAddress);
+  EXPECT_EQ(Matches(table, {3, 11}), (std::vector<int64_t>{3 * 16 + 11}));
+  // Probes outside the observed key space match nothing (and must not
+  // touch out-of-bounds slots).
+  EXPECT_TRUE(Matches(table, {16, 0}).empty());
+  EXPECT_TRUE(Matches(table, {-1, 5}).empty());
+  EXPECT_TRUE(Matches(table, {3, 200}).empty());
+}
+
+TEST(IntKeyJoinTable, MultiColumnRadixPreservesBuildOrder) {
+  // Wide 2-d key *extent* (the second column spans 0..2^30, far beyond
+  // the slot ceiling): radix, duplicate keys keep ascending entry order.
+  std::vector<int64_t> keys = {
+      5, 1 << 30,  // entry 0
+      5, 1 << 30,  // entry 1 (duplicate)
+      6, 0,        // entry 2 (stretches column 1's extent)
+      5, 1 << 30,  // entry 3 (duplicate)
+  };
+  IntKeyJoinTable table(keys.data(), 4, 2);
+  EXPECT_EQ(table.strategy(), IntKeyJoinTable::Strategy::kRadixChained);
+  EXPECT_EQ(Matches(table, {5, 1 << 30}), (std::vector<int64_t>{0, 1, 3}));
+  EXPECT_EQ(Matches(table, {6, 0}), (std::vector<int64_t>{2}));
+}
+
+TEST(IntKeyJoinTable, LargeSharedOffsetStaysDirect) {
+  // Direct addressing depends on extents, not magnitudes: keys clustered
+  // around 2^30 with a small spread still take the perfect-hash layout.
+  std::vector<int64_t> keys = {(1 << 30) + 5, (1 << 30) + 5, (1 << 30) + 9};
+  IntKeyJoinTable table(keys.data(), 3, 1);
+  EXPECT_EQ(table.strategy(), IntKeyJoinTable::Strategy::kDirectAddress);
+  EXPECT_EQ(Matches(table, {(1 << 30) + 5}), (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(Matches(table, {(1 << 30) + 9}), (std::vector<int64_t>{2}));
+  EXPECT_TRUE(Matches(table, {5}).empty());
+}
+
+TEST(IntKeyJoinTable, NegativeDenseRangeIsDirect) {
+  // Direct addressing is offset-based: a dense range of negative keys
+  // still qualifies.
+  std::vector<int64_t> keys;
+  for (int64_t i = -50; i < 50; ++i) keys.push_back(i);
+  IntKeyJoinTable table(keys.data(), 100, 1);
+  EXPECT_EQ(table.strategy(), IntKeyJoinTable::Strategy::kDirectAddress);
+  EXPECT_EQ(Matches(table, {-50}), (std::vector<int64_t>{0}));
+  EXPECT_EQ(Matches(table, {49}), (std::vector<int64_t>{99}));
+  EXPECT_TRUE(Matches(table, {50}).empty());
+  EXPECT_TRUE(Matches(table, {-51}).empty());
+}
+
+TEST(IntKeyJoinTable, EmptyBuildSide) {
+  IntKeyJoinTable table(nullptr, 0, 2);
+  EXPECT_EQ(table.num_entries(), 0);
+  EXPECT_TRUE(Matches(table, {1, 2}).empty());
+}
+
+TEST(IntKeyJoinTable, ErrorStopsEnumeration) {
+  std::vector<int64_t> keys = {4, 4, 4};
+  IntKeyJoinTable table(keys.data(), 3, 1);
+  int calls = 0;
+  const int64_t probe = 4;
+  const Status status = table.ForEachMatch(&probe, [&](int64_t) {
+    ++calls;
+    return calls == 2 ? Status::InvalidArgument("stop") : Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace einsql::minidb

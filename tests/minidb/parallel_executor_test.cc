@@ -23,11 +23,14 @@ double D(const Value& v) { return AsDouble(v).value(); }
 int64_t I(const Value& v) { return AsInt(v).value(); }
 
 // Enables morsel parallelism with a tiny morsel size so even small test
-// inputs split into many morsels.
+// inputs split into many morsels. Pins the faithful morsel policy: these
+// tests assert exact morsel/thread counts and fixed-boundary determinism,
+// which the machine-adaptive planner would collapse away.
 void EnableParallel(Database* db, int threads = 4, int64_t morsel_rows = 2) {
   db->executor_options().parallel_operators = true;
   db->executor_options().num_threads = threads;
   db->executor_options().morsel_rows = morsel_rows;
+  db->executor_options().adaptive_parallelism = false;
 }
 
 // Exact relation equality: same shape, every value identical (doubles

@@ -100,6 +100,54 @@ TEST(VectorizedNullTest, NullsAsProjectedTruthValues) {
 }
 
 // ---------------------------------------------------------------------
+// Selectivity extremes over all-NULL columns: 0% (nothing passes), 100%
+// (everything passes), and exactly-one-row selections must agree with the
+// row path — these are the boundary shapes of the selection-vector filter
+// (empty selection early-out, full selection, singleton gather).
+// ---------------------------------------------------------------------
+
+// 20 rows whose `x` column is entirely NULL; `i` is 0..19 so predicates
+// can dial in any selectivity. Small morsels (morsel_rows=2 in Configure)
+// put batch boundaries inside every run of rows.
+const std::vector<std::string> kAllNullColumn = {
+    "CREATE TABLE an (i INT, x DOUBLE)",
+    "INSERT INTO an VALUES "
+    "(0, NULL), (1, NULL), (2, NULL), (3, NULL), (4, NULL), "
+    "(5, NULL), (6, NULL), (7, NULL), (8, NULL), (9, NULL), "
+    "(10, NULL), (11, NULL), (12, NULL), (13, NULL), (14, NULL), "
+    "(15, NULL), (16, NULL), (17, NULL), (18, NULL), (19, NULL)"};
+
+TEST(VectorizedNullTest, ZeroSelectivityOverAllNullColumn) {
+  // Predicates on the all-NULL column are NULL for every row: the
+  // selection is empty in every batch (the early-out path).
+  ExpectVectorMatchesRow(kAllNullColumn, "SELECT i FROM an WHERE x > 0.0");
+  ExpectVectorMatchesRow(kAllNullColumn,
+                         "SELECT i, x FROM an WHERE x = x");
+  ExpectVectorMatchesRow(kAllNullColumn,
+                         "SELECT i FROM an WHERE x IS NOT NULL AND i < 100");
+}
+
+TEST(VectorizedNullTest, FullSelectivityOverAllNullColumn) {
+  // Every row passes: the selection is the identity in every batch, and
+  // the projected all-NULL column must survive the gather untouched.
+  ExpectVectorMatchesRow(kAllNullColumn,
+                         "SELECT i, x FROM an WHERE x IS NULL");
+  ExpectVectorMatchesRow(kAllNullColumn,
+                         "SELECT x FROM an WHERE i >= 0 OR x > 1.0");
+}
+
+TEST(VectorizedNullTest, SingleRowSelectivityOverAllNullColumn) {
+  // Exactly one surviving row, in the first, a middle, and the last
+  // batch position respectively.
+  ExpectVectorMatchesRow(kAllNullColumn,
+                         "SELECT i, x FROM an WHERE i = 0 AND x IS NULL");
+  ExpectVectorMatchesRow(kAllNullColumn,
+                         "SELECT i, x FROM an WHERE i = 11");
+  ExpectVectorMatchesRow(kAllNullColumn,
+                         "SELECT i, x FROM an WHERE i = 19 AND x IS NULL");
+}
+
+// ---------------------------------------------------------------------
 // NULL propagation through arithmetic
 // ---------------------------------------------------------------------
 

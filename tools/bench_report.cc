@@ -3,7 +3,8 @@
 // Runs a pinned, fixed-seed, *reduced* cut of the paper's benchmark suite
 // (figure 2 triplestore, figure 4 #SAT, figure 6 graphical inference,
 // figure 8 quantum circuits, table 2 planning, plus the repo's
-// parallel-scaling and vectorized smoke workloads) entirely in-process,
+// parallel-scaling, vectorized, and dense-kernel smoke workloads)
+// entirely in-process,
 // repeats each workload a configurable number of times, and writes one
 // JSON report with median/p10/p90 wall times per bench, the result row
 // counts, the process-global metrics-registry snapshot, the git revision,
@@ -69,6 +70,7 @@
 #include "quantum/to_einsum.h"
 #include "sat/count.h"
 #include "sat/generator.h"
+#include "tensor/gemm.h"
 #include "triplestore/generator.h"
 #include "triplestore/query.h"
 
@@ -127,6 +129,52 @@ Result<BenchResult> Measure(const std::string& name,
   r.p10 = Percentile(seconds, 0.1);
   r.p90 = Percentile(seconds, 0.9);
   return r;
+}
+
+// Paired variant of Measure for A/B benches (seq vs parallel, row vs
+// vectorized): the two bodies alternate within one repeat loop, so slow
+// drift across the process lifetime (heap growth, frequency scaling,
+// noisy neighbors) hits both sides equally instead of biasing whichever
+// bench happens to run second.
+Result<std::vector<BenchResult>> MeasurePair(
+    const std::string& name_a, const std::function<int64_t()>& body_a,
+    const std::string& name_b, const std::function<int64_t()>& body_b,
+    const std::string& engine, int repeats) {
+  BenchResult ra, rb;
+  ra.name = name_a;
+  rb.name = name_b;
+  ra.engine = rb.engine = engine;
+  ra.repeats = rb.repeats = repeats;
+  if (body_a() < 0 || body_b() < 0) {
+    return Status::Internal("bench pair '" + name_a + "'/'" + name_b +
+                            "' failed during warm-up");
+  }
+  std::vector<double> seconds_a, seconds_b;
+  seconds_a.reserve(repeats);
+  seconds_b.reserve(repeats);
+  for (int i = 0; i < repeats; ++i) {
+    for (int side = 0; side < 2; ++side) {
+      BenchResult& r = side == 0 ? ra : rb;
+      std::vector<double>& seconds = side == 0 ? seconds_a : seconds_b;
+      Stopwatch watch;
+      const int64_t rows = side == 0 ? body_a() : body_b();
+      const double elapsed = watch.ElapsedSeconds();
+      if (rows < 0) {
+        return Status::Internal("bench '" + r.name + "' failed while timed");
+      }
+      r.rows = rows;
+      seconds.push_back(elapsed);
+    }
+  }
+  for (int side = 0; side < 2; ++side) {
+    BenchResult& r = side == 0 ? ra : rb;
+    std::vector<double>& seconds = side == 0 ? seconds_a : seconds_b;
+    std::sort(seconds.begin(), seconds.end());
+    r.median = Percentile(seconds, 0.5);
+    r.p10 = Percentile(seconds, 0.1);
+    r.p90 = Percentile(seconds, 0.9);
+  }
+  return std::vector<BenchResult>{std::move(ra), std::move(rb)};
 }
 
 // Fixed single-threaded integer loop whose wall time calibrates machine
@@ -325,7 +373,8 @@ constexpr const char kJoinSql[] =
     "FROM A, B WHERE A.j = B.i GROUP BY A.i, B.j";
 
 // Morsel-driven scaling: the same prepared plan sequentially and with
-// `threads` workers; reported as two benches so each has its own spread.
+// `threads` workers, interleaved (MeasurePair) so process drift cannot
+// bias either side.
 Result<std::vector<BenchResult>> BenchParallel(int repeats, int threads) {
   EINSQL_ASSIGN_OR_RETURN(std::unique_ptr<minidb::Database> db,
                           MakeJoinDatabase());
@@ -337,41 +386,71 @@ Result<std::vector<BenchResult>> BenchParallel(int repeats, int threads) {
     if (!result.ok()) return -1;
     return result->relation.num_rows();
   };
+  return MeasurePair(
+      "parallel_scaling/seq", [&]() { return run(false, 0); },
+      "parallel_scaling/t" + std::to_string(threads),
+      [&]() { return run(true, threads); }, "minidb", repeats);
+}
+
+// The dense contraction kernel in isolation: the pre-PR naive triple
+// loop (GemmNaive, the zero-skipping i/k/j order dense_exec used to
+// bottom out in) versus the cache-blocked register-tiled kernel the
+// engine now calls. 384x384x384 double matmul, fixed operands.
+Result<std::vector<BenchResult>> BenchKernels(int repeats) {
+  constexpr int64_t kDim = 384;
+  std::vector<double> a(kDim * kDim), b(kDim * kDim);
+  uint64_t state = 77;
+  for (double& v : a) {
+    v = static_cast<double>(NextRand(&state) % 2000) / 1000.0 - 1.0;
+  }
+  for (double& v : b) {
+    v = static_cast<double>(NextRand(&state) % 2000) / 1000.0 - 1.0;
+  }
+  std::vector<double> c(kDim * kDim);
   std::vector<BenchResult> results;
   EINSQL_ASSIGN_OR_RETURN(
-      BenchResult seq,
-      Measure("parallel_scaling/seq", "minidb", repeats,
-              [&]() { return run(false, 0); }));
-  results.push_back(seq);
+      BenchResult naive,
+      Measure("kernels/gemm_naive", "tensor", repeats, [&]() -> int64_t {
+        std::fill(c.begin(), c.end(), 0.0);
+        GemmNaive(a.data(), b.data(), c.data(), kDim, kDim, kDim);
+        return c.back() == 12345.0 ? -1 : kDim * kDim;  // defeat DCE
+      }));
+  results.push_back(naive);
   EINSQL_ASSIGN_OR_RETURN(
-      BenchResult par,
-      Measure("parallel_scaling/t" + std::to_string(threads), "minidb",
-              repeats, [&]() { return run(true, threads); }));
-  results.push_back(par);
+      BenchResult blocked,
+      Measure("kernels/gemm_blocked", "tensor", repeats, [&]() -> int64_t {
+        std::fill(c.begin(), c.end(), 0.0);
+        Gemm(a.data(), b.data(), c.data(), kDim, kDim, kDim);
+        return c.back() == 12345.0 ? -1 : kDim * kDim;
+      }));
+  results.push_back(blocked);
   return results;
 }
 
-// Row interpreter versus column-at-a-time kernels on the same plan.
+// Row interpreter versus column-at-a-time kernels on the same plan: an
+// arithmetic-heavy selective filter + typed-int GROUP BY over a 600k-row
+// table. This is the workload class vectorization exists for — per-row
+// expression interpretation dominates the row path, while every operator
+// (filter with selection vectors, projection of the aggregate argument,
+// typed group accumulation) runs as tight column kernels on the
+// vectorized path (docs/vectorization.md, docs/kernels.md).
 Result<std::vector<BenchResult>> BenchVectorized(int repeats) {
-  EINSQL_ASSIGN_OR_RETURN(std::unique_ptr<minidb::Database> db,
-                          MakeJoinDatabase());
-  EINSQL_ASSIGN_OR_RETURN(minidb::QueryPlan plan, db->Prepare(kJoinSql));
+  auto db = std::make_unique<minidb::Database>();
+  EINSQL_RETURN_IF_ERROR(LoadMatrix(db.get(), "M", 600000, 64, 1024, 3));
+  constexpr const char kVecSql[] =
+      "SELECT i, SUM(val * val * 0.5 + val * 0.25 - 0.125) AS s FROM M "
+      "WHERE val * (val + 2.0) > 0.96 AND j % 3 != 1 "
+      "AND val * val * 4.0 + val > 0.9 GROUP BY i";
+  EINSQL_ASSIGN_OR_RETURN(minidb::QueryPlan plan, db->Prepare(kVecSql));
   auto run = [&](bool vectorized) -> int64_t {
     db->executor_options().vectorized = vectorized;
     auto result = db->ExecutePrepared(plan);
     if (!result.ok()) return -1;
     return result->relation.num_rows();
   };
-  std::vector<BenchResult> results;
-  EINSQL_ASSIGN_OR_RETURN(BenchResult row,
-                          Measure("vectorized/row", "minidb", repeats,
-                                  [&]() { return run(false); }));
-  results.push_back(row);
-  EINSQL_ASSIGN_OR_RETURN(BenchResult vec,
-                          Measure("vectorized/vec", "minidb", repeats,
-                                  [&]() { return run(true); }));
-  results.push_back(vec);
-  return results;
+  return MeasurePair(
+      "vectorized/row", [&]() { return run(false); },  //
+      "vectorized/vec", [&]() { return run(true); }, "minidb", repeats);
 }
 
 // ---------------------------------------------------------------------------
@@ -483,8 +562,8 @@ int Compare(const LoadedReport& baseline, const LoadedReport& current,
   std::printf("comparing against baseline (machine scale %.2fx, "
               "threshold %.2fx)\n",
               scale, max_regress);
-  std::printf("%-24s %12s %12s %8s  %s\n", "bench", "baseline", "current",
-              "ratio", "verdict");
+  std::printf("%-24s %12s %12s %8s %8s  %s\n", "bench", "baseline",
+              "current", "ratio", "speedup", "verdict");
   int regressions = 0;
   for (const BenchResult& base : baseline.benches) {
     const BenchResult* cur = nullptr;
@@ -495,16 +574,19 @@ int Compare(const LoadedReport& baseline, const LoadedReport& current,
       }
     }
     if (cur == nullptr) {
-      std::printf("%-24s %12.6f %12s %8s  MISSING (not a failure)\n",
-                  base.name.c_str(), base.median, "-", "-");
+      std::printf("%-24s %12.6f %12s %8s %8s  MISSING (not a failure)\n",
+                  base.name.c_str(), base.median, "-", "-", "-");
       continue;
     }
     const double allowed = base.median * scale;
     const double ratio = allowed > 0.0 ? cur->median / allowed : 0.0;
+    // Speedup over the (machine-scaled) baseline: >1 means this revision
+    // is faster than the checked-in trajectory point.
+    const double speedup = cur->median > 0.0 ? allowed / cur->median : 0.0;
     const bool regressed = ratio > max_regress;
     if (regressed) ++regressions;
-    std::printf("%-24s %12.6f %12.6f %7.2fx  %s\n", base.name.c_str(),
-                base.median, cur->median, ratio,
+    std::printf("%-24s %12.6f %12.6f %7.2fx %7.2fx  %s\n", base.name.c_str(),
+                base.median, cur->median, ratio, speedup,
                 regressed ? "REGRESSED" : "ok");
   }
   if (regressions > 0) {
@@ -521,6 +603,7 @@ const char* const kBenchNames[] = {
     "fig8_quantum",     "fig9_quantum",    "table2_planning",
     "parallel_scaling/seq", "parallel_scaling/tN",
     "vectorized/row",   "vectorized/vec",
+    "kernels/gemm_naive", "kernels/gemm_blocked",
 };
 
 int Run(int argc, char** argv) {
@@ -616,7 +699,8 @@ int Run(int argc, char** argv) {
         !append_one(BenchQuantum("fig9_quantum", 11, 2, repeats)) ||
         !append_one(BenchTable2(repeats)) ||
         !append_many(BenchParallel(repeats, threads)) ||
-        !append_many(BenchVectorized(repeats))) {
+        !append_many(BenchVectorized(repeats)) ||
+        !append_many(BenchKernels(repeats))) {
       return 1;
     }
     current.calibration = calibration;
